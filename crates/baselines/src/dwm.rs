@@ -1,0 +1,236 @@
+//! Dynamic Weighted Majority (Kolter & Maloof, ICDM'03 — the paper's
+//! ref. \[15\]).
+//!
+//! An extension baseline (not one of the paper's two competitors): a
+//! self-sizing ensemble of *incremental* learners. Each expert carries a
+//! weight; every `period` records the weights of experts that
+//! misclassified the latest record are multiplied by β, experts whose
+//! weight falls below θ are removed, and a fresh expert is added whenever
+//! the weighted-majority prediction itself was wrong. All experts train
+//! on every record. Like WCE it chases the current trend; unlike WCE its
+//! ensemble size adapts to the stream's stability.
+
+use std::sync::Arc;
+
+use hom_classifiers::incremental::OnlineNaiveBayes;
+use hom_classifiers::{argmax, Classifier};
+use hom_data::{ClassId, Dataset, Schema};
+
+/// DWM hyper-parameters (defaults from Kolter & Maloof).
+#[derive(Debug, Clone)]
+pub struct DwmParams {
+    /// Weight multiplier for wrong experts (0.5).
+    pub beta: f64,
+    /// Removal threshold on normalized weights (0.01).
+    pub theta: f64,
+    /// Records between weight updates / expert management (50).
+    pub period: usize,
+    /// Hard cap on the ensemble size.
+    pub max_experts: usize,
+}
+
+impl Default for DwmParams {
+    fn default() -> Self {
+        DwmParams {
+            beta: 0.5,
+            theta: 0.01,
+            period: 50,
+            max_experts: 25,
+        }
+    }
+}
+
+struct Expert {
+    model: OnlineNaiveBayes,
+    weight: f64,
+}
+
+/// The DWM stream classifier over incremental naive Bayes experts.
+pub struct Dwm {
+    params: DwmParams,
+    schema: Arc<Schema>,
+    experts: Vec<Expert>,
+    step: usize,
+}
+
+impl Dwm {
+    /// A fresh ensemble with one untrained expert.
+    ///
+    /// # Panics
+    /// Panics on non-sensical parameters (β or θ outside (0,1), zero
+    /// period or capacity).
+    pub fn new(schema: Arc<Schema>, params: DwmParams) -> Self {
+        assert!((0.0..1.0).contains(&params.beta), "beta must be in (0,1)");
+        assert!((0.0..1.0).contains(&params.theta), "theta must be in (0,1)");
+        assert!(params.period >= 1, "period must be positive");
+        assert!(params.max_experts >= 1, "need room for one expert");
+        let first = Expert {
+            model: OnlineNaiveBayes::new(Arc::clone(&schema)),
+            weight: 1.0,
+        };
+        Dwm {
+            params,
+            schema,
+            experts: vec![first],
+            step: 0,
+        }
+    }
+
+    /// Build by streaming the historical dataset through [`Self::learn`].
+    pub fn build(historical: &Dataset, params: DwmParams) -> Self {
+        let mut dwm = Dwm::new(Arc::clone(historical.schema()), params);
+        for (x, y) in historical.iter() {
+            dwm.learn(x, y);
+        }
+        dwm
+    }
+
+    /// Current ensemble size.
+    pub fn n_experts(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// Weighted-majority prediction.
+    pub fn predict(&mut self, x: &[f64]) -> ClassId {
+        let mut votes = vec![0.0; self.schema.n_classes()];
+        for e in &self.experts {
+            votes[e.model.predict(x) as usize] += e.weight;
+        }
+        argmax(&votes) as ClassId
+    }
+
+    /// Consume the labeled record of the current timestamp.
+    pub fn learn(&mut self, x: &[f64], y: ClassId) {
+        self.step += 1;
+        let manage = self.step.is_multiple_of(self.params.period);
+
+        // Expert predictions and the global vote, *before* training.
+        let mut votes = vec![0.0; self.schema.n_classes()];
+        let mut wrong = Vec::new();
+        for (i, e) in self.experts.iter().enumerate() {
+            let p = e.model.predict(x);
+            votes[p as usize] += e.weight;
+            if p != y {
+                wrong.push(i);
+            }
+        }
+        let global = argmax(&votes) as ClassId;
+
+        if manage {
+            for &i in &wrong {
+                self.experts[i].weight *= self.params.beta;
+            }
+            // Normalize so the best expert has weight 1, then drop the
+            // under-performers.
+            let max_w = self
+                .experts
+                .iter()
+                .map(|e| e.weight)
+                .fold(f64::MIN_POSITIVE, f64::max);
+            for e in &mut self.experts {
+                e.weight /= max_w;
+            }
+            let theta = self.params.theta;
+            self.experts.retain(|e| e.weight >= theta);
+            if global != y && self.experts.len() < self.params.max_experts {
+                self.experts.push(Expert {
+                    model: OnlineNaiveBayes::new(Arc::clone(&self.schema)),
+                    weight: 1.0,
+                });
+            }
+            if self.experts.is_empty() {
+                self.experts.push(Expert {
+                    model: OnlineNaiveBayes::new(Arc::clone(&self.schema)),
+                    weight: 1.0,
+                });
+            }
+        }
+
+        // Every expert trains on every record.
+        for e in &mut self.experts {
+            e.model.update(x, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_data::Attribute;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![Attribute::numeric("x")], ["a", "b"])
+    }
+
+    fn xs(n: usize, seed: u64) -> impl Iterator<Item = f64> {
+        let mut state = seed | 1;
+        (0..n).map(move |_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        })
+    }
+
+    #[test]
+    fn learns_a_stationary_concept() {
+        let mut dwm = Dwm::new(schema(), DwmParams::default());
+        for x in xs(400, 1) {
+            dwm.learn(&[x], u32::from(x > 0.5));
+        }
+        assert_eq!(dwm.predict(&[0.9]), 1);
+        assert_eq!(dwm.predict(&[0.1]), 0);
+    }
+
+    #[test]
+    fn adapts_after_concept_flip() {
+        let mut dwm = Dwm::new(schema(), DwmParams::default());
+        for x in xs(500, 2) {
+            dwm.learn(&[x], u32::from(x > 0.5));
+        }
+        for x in xs(1500, 3) {
+            dwm.learn(&[x], u32::from(x <= 0.5));
+        }
+        assert_eq!(dwm.predict(&[0.9]), 0);
+        assert_eq!(dwm.predict(&[0.1]), 1);
+    }
+
+    #[test]
+    fn ensemble_size_adapts_but_is_capped() {
+        let params = DwmParams {
+            max_experts: 5,
+            ..Default::default()
+        };
+        let mut dwm = Dwm::new(schema(), params);
+        // alternate concepts frequently to provoke expert creation
+        for (i, x) in xs(3000, 4).enumerate() {
+            let flipped = (i / 150) % 2 == 1;
+            dwm.learn(&[x], u32::from(x > 0.5) ^ u32::from(flipped));
+        }
+        assert!(dwm.n_experts() >= 2, "experts = {}", dwm.n_experts());
+        assert!(dwm.n_experts() <= 5);
+    }
+
+    #[test]
+    fn build_from_historical() {
+        let mut d = Dataset::new(schema());
+        for x in xs(300, 5) {
+            d.push(&[x], u32::from(x > 0.5));
+        }
+        let mut dwm = Dwm::build(&d, DwmParams::default());
+        assert_eq!(dwm.predict(&[0.8]), 1);
+    }
+
+    #[test]
+    fn never_empties_the_ensemble() {
+        // Adversarial labels shrink every weight; the ensemble must keep
+        // at least one expert.
+        let mut dwm = Dwm::new(schema(), DwmParams::default());
+        let mut flip = false;
+        for x in xs(2000, 6) {
+            flip = !flip;
+            dwm.learn(&[x], u32::from(flip));
+            assert!(dwm.n_experts() >= 1);
+        }
+    }
+}

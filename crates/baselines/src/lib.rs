@@ -1,0 +1,30 @@
+//! Baseline stream classifiers the paper compares against (§IV-B).
+//!
+//! * [`RePro`] — Yang, Wu & Zhu (KDD'05): trigger-window change detection,
+//!   a history of stored concepts reused when a detected "new" concept is
+//!   conceptually equivalent to an old one, and proactive prediction of
+//!   the next concept from historical transition counts. Re-implemented
+//!   from its published description with the parameter values this paper
+//!   uses (trigger window 20, stable-learning size 200, trigger error
+//!   threshold 0.2, equivalence/proactive thresholds 0.8).
+//! * [`Wce`] — Wang, Fan, Yu & Han (KDD'03): an ensemble of classifiers
+//!   trained on the most recent fixed-size chunks, weighted by
+//!   `MSE_r − MSE_i` on the latest chunk, with instance-based pruning at
+//!   prediction time (chunk size 100, 20 chunks in this paper).
+//! * [`StaticModel`] — a train-once-never-update strawman, the floor any
+//!   adaptive method must beat on evolving data.
+//!
+//! All three expose the same two-call protocol used by the experiment
+//! harness: `predict(x)` classifies an unlabeled record with the state
+//! built from labels seen so far, and `learn(x, y)` consumes the labeled
+//! record of the same timestamp afterwards.
+
+pub mod dwm;
+pub mod repro;
+pub mod static_model;
+pub mod wce;
+
+pub use dwm::{Dwm, DwmParams};
+pub use repro::{RePro, ReProParams};
+pub use static_model::StaticModel;
+pub use wce::{Wce, WceParams};

@@ -1,0 +1,69 @@
+//! The train-once strawman.
+
+use std::sync::Arc;
+
+use hom_classifiers::{Classifier, Learner, MajorityLearner};
+use hom_data::{ClassId, Dataset};
+
+/// A classifier trained once on the historical dataset and never updated.
+///
+/// Not one of the paper's competitors, but the natural floor: on evolving
+/// data any adaptive method must beat it, and on stationary data nothing
+/// should beat it by much. Used by tests and ablation benches.
+pub struct StaticModel {
+    model: Box<dyn Classifier>,
+}
+
+impl StaticModel {
+    /// Train on the full historical dataset.
+    ///
+    /// An empty dataset yields a degenerate majority model over class 0.
+    pub fn build(historical: &Dataset, learner: &Arc<dyn Learner>) -> Self {
+        let model = if historical.is_empty() {
+            MajorityLearner.fit(&Dataset::new(Arc::clone(historical.schema())))
+        } else {
+            learner.fit(historical)
+        };
+        StaticModel { model }
+    }
+
+    /// Predict an unlabeled record.
+    pub fn predict(&mut self, x: &[f64]) -> ClassId {
+        self.model.predict(x)
+    }
+
+    /// Labels are ignored — this model never adapts.
+    pub fn learn(&mut self, _x: &[f64], _y: ClassId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_classifiers::DecisionTreeLearner;
+    use hom_data::{Attribute, Schema};
+
+    #[test]
+    fn never_adapts() {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let mut d = Dataset::new(schema);
+        for i in 0..50 {
+            d.push(&[i as f64], u32::from(i >= 25));
+        }
+        let learner: Arc<dyn Learner> = Arc::new(DecisionTreeLearner::new());
+        let mut m = StaticModel::build(&d, &learner);
+        assert_eq!(m.predict(&[40.0]), 1);
+        // feed contradicting labels; prediction must not move
+        for _ in 0..100 {
+            m.learn(&[40.0], 0);
+        }
+        assert_eq!(m.predict(&[40.0]), 1);
+    }
+
+    #[test]
+    fn empty_history_predicts_class_zero() {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let learner: Arc<dyn Learner> = Arc::new(DecisionTreeLearner::new());
+        let mut m = StaticModel::build(&Dataset::new(schema), &learner);
+        assert_eq!(m.predict(&[1.0]), 0);
+    }
+}

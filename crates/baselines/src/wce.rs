@@ -1,0 +1,292 @@
+//! The Weighted Classifier Ensemble (Wang, Fan, Yu & Han, KDD'03).
+//!
+//! The stream is divided into sequential chunks of fixed size; each
+//! completed chunk trains one base classifier. Ensemble members are
+//! weighted by their benefit over random guessing on the most recent
+//! chunk: `wᵢ = MSE_r − MSEᵢ`, where `MSEᵢ` is classifier `i`'s mean
+//! squared error `(1 − pᵢ(y|x))²` on that chunk and `MSE_r = Σ p(c)(1−p(c))²`
+//! is the error of a random predictor under the chunk's class prior.
+//! Classifiers with non-positive weight are dropped; at most `n_chunks`
+//! classifiers are retained (the best ones).
+//!
+//! Prediction uses instance-based pruning (the KDD'03 §4.2 idea, also
+//! responsible for WCE's test time *decreasing* with the change rate in
+//! the paper's Fig. 3): classifiers are consulted in decreasing weight
+//! order and enumeration stops once the leading class cannot be overtaken
+//! by the remaining weight mass.
+
+use std::sync::Arc;
+
+use hom_classifiers::{argmax, Classifier, Learner};
+use hom_data::metrics::mse_random;
+use hom_data::{ClassId, Dataset};
+
+/// WCE hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct WceParams {
+    /// Records per chunk (this paper's experiments: 100).
+    pub chunk_size: usize,
+    /// Maximum ensemble size (this paper's experiments: 20).
+    pub n_chunks: usize,
+}
+
+impl Default for WceParams {
+    fn default() -> Self {
+        WceParams {
+            chunk_size: 100,
+            n_chunks: 20,
+        }
+    }
+}
+
+struct Member {
+    model: Box<dyn Classifier>,
+    weight: f64,
+}
+
+/// The WCE stream classifier.
+pub struct Wce {
+    params: WceParams,
+    learner: Arc<dyn Learner>,
+    /// Ensemble members sorted by decreasing weight.
+    members: Vec<Member>,
+    /// The chunk currently being filled.
+    chunk: Dataset,
+    n_classes: usize,
+    scratch: Vec<f64>,
+}
+
+impl Wce {
+    /// An empty ensemble over `schema`-shaped records.
+    pub fn new(
+        schema: Arc<hom_data::Schema>,
+        learner: Arc<dyn Learner>,
+        params: WceParams,
+    ) -> Self {
+        assert!(params.chunk_size >= 2, "chunks must train a classifier");
+        assert!(params.n_chunks >= 1, "ensemble needs at least one member");
+        let n_classes = schema.n_classes();
+        Wce {
+            params,
+            learner,
+            members: Vec::new(),
+            chunk: Dataset::new(schema),
+            n_classes,
+            scratch: vec![0.0; n_classes],
+        }
+    }
+
+    /// Build the initial ensemble by streaming the historical dataset
+    /// through [`Self::learn`].
+    pub fn build(
+        historical: &Dataset,
+        learner: Arc<dyn Learner>,
+        params: WceParams,
+    ) -> Self {
+        let mut wce = Wce::new(Arc::clone(historical.schema()), learner, params);
+        for (x, y) in historical.iter() {
+            wce.learn_row(x, y);
+        }
+        wce
+    }
+
+    /// Number of live ensemble members.
+    pub fn n_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Predict an unlabeled record with instance-based pruning.
+    pub fn predict(&mut self, x: &[f64]) -> ClassId {
+        if self.members.is_empty() {
+            // Cold start: majority of the partial chunk, else class 0.
+            return if self.chunk.is_empty() {
+                0
+            } else {
+                argmax(
+                    &self
+                        .chunk
+                        .class_counts()
+                        .iter()
+                        .map(|&c| c as f64)
+                        .collect::<Vec<_>>(),
+                ) as ClassId
+            };
+        }
+        let mut scores = vec![0.0; self.n_classes];
+        let mut remaining: f64 = self.members.iter().map(|m| m.weight).sum();
+        for member in &self.members {
+            remaining -= member.weight;
+            member.model.predict_proba(x, &mut self.scratch);
+            for (s, &p) in scores.iter_mut().zip(self.scratch.iter()) {
+                *s += member.weight * p;
+            }
+            let best = argmax(&scores);
+            let runner_up = scores
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != best)
+                .map(|(_, &v)| v)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if scores[best] - runner_up > remaining {
+                break; // no remaining member can change the winner
+            }
+        }
+        argmax(&scores) as ClassId
+    }
+
+    /// Consume the labeled record of the current timestamp.
+    pub fn learn(&mut self, x: &[f64], y: ClassId) {
+        self.learn_row(x, y);
+    }
+
+    fn learn_row(&mut self, x: &[f64], y: ClassId) {
+        self.chunk.push(x, y);
+        if self.chunk.len() >= self.params.chunk_size {
+            self.finish_chunk();
+        }
+    }
+
+    /// Train a classifier on the completed chunk, reweight everything on
+    /// that chunk, and retain the best `n_chunks` members.
+    fn finish_chunk(&mut self) {
+        let empty = Dataset::new(Arc::clone(self.chunk.schema()));
+        let chunk = std::mem::replace(&mut self.chunk, empty);
+
+        // MSE_r from the chunk's class prior.
+        let n = chunk.len() as f64;
+        let prior: Vec<f64> = chunk
+            .class_counts()
+            .iter()
+            .map(|&c| c as f64 / n)
+            .collect();
+        let mse_r = mse_random(&prior);
+
+        let new_model = self.learner.fit(&chunk);
+        self.members.push(Member {
+            model: new_model,
+            weight: 0.0,
+        });
+
+        // Weight every member by MSE_r − MSE_i on this chunk.
+        for member in &mut self.members {
+            let mut mse = 0.0;
+            for (x, y) in chunk.iter() {
+                member.model.predict_proba(x, &mut self.scratch);
+                let p = self.scratch[y as usize];
+                mse += (1.0 - p) * (1.0 - p);
+            }
+            mse /= n;
+            member.weight = (mse_r - mse).max(0.0);
+        }
+        // For the KDD'03 scheme a weight of exactly 0 removes a member,
+        // but the freshly trained model is kept even when the chunk prior
+        // is degenerate (mse_r = 0) so the ensemble is never empty.
+        let keep_newest_floor = 1e-9;
+        let last = self.members.len() - 1;
+        if self.members[last].weight <= 0.0 {
+            self.members[last].weight = keep_newest_floor;
+        }
+        self.members.retain(|m| m.weight > 0.0);
+        self.members
+            .sort_by(|a, b| b.weight.total_cmp(&a.weight));
+        self.members.truncate(self.params.n_chunks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_classifiers::DecisionTreeLearner;
+    use hom_data::{Attribute, Schema};
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![Attribute::numeric("x")], ["a", "b"])
+    }
+
+    fn learner() -> Arc<dyn Learner> {
+        Arc::new(DecisionTreeLearner::new())
+    }
+
+    fn params() -> WceParams {
+        WceParams {
+            chunk_size: 50,
+            n_chunks: 5,
+        }
+    }
+
+    /// Pseudo-random x in [0,1) so every chunk sees both sides of the
+    /// decision boundary.
+    fn xs(n: usize, seed: u64) -> impl Iterator<Item = f64> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(1);
+        (0..n).map(move |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        })
+    }
+
+    #[test]
+    fn cold_start_predicts_without_members() {
+        let mut wce = Wce::new(schema(), learner(), params());
+        assert_eq!(wce.predict(&[0.5]), 0);
+        wce.learn(&[0.0], 1);
+        assert_eq!(wce.predict(&[0.5]), 1); // majority of partial chunk
+        assert_eq!(wce.n_members(), 0);
+    }
+
+    #[test]
+    fn learns_a_stationary_concept() {
+        let mut wce = Wce::new(schema(), learner(), params());
+        for x in xs(200, 1) {
+            wce.learn(&[x], u32::from(x > 0.5));
+        }
+        assert!(wce.n_members() >= 1);
+        assert_eq!(wce.predict(&[0.9]), 1);
+        assert_eq!(wce.predict(&[0.1]), 0);
+    }
+
+    #[test]
+    fn adapts_after_concept_flip() {
+        let mut wce = Wce::new(schema(), learner(), params());
+        for x in xs(300, 2) {
+            wce.learn(&[x], u32::from(x > 0.5));
+        }
+        // flip the concept; after a few chunks the ensemble must follow
+        for x in xs(300, 3) {
+            wce.learn(&[x], u32::from(x <= 0.5));
+        }
+        assert_eq!(wce.predict(&[0.9]), 0);
+        assert_eq!(wce.predict(&[0.1]), 1);
+    }
+
+    #[test]
+    fn ensemble_size_is_capped() {
+        let mut wce = Wce::new(schema(), learner(), params());
+        for x in xs(2000, 4) {
+            wce.learn(&[x], u32::from(x > 0.5));
+        }
+        assert!(wce.n_members() <= 5);
+    }
+
+    #[test]
+    fn build_streams_historical_data() {
+        let mut d = Dataset::new(schema());
+        for x in xs(200, 5) {
+            d.push(&[x], u32::from(x > 0.5));
+        }
+        let mut wce = Wce::build(&d, learner(), params());
+        assert!(wce.n_members() >= 1);
+        assert_eq!(wce.predict(&[0.8]), 1);
+    }
+
+    #[test]
+    fn degenerate_single_class_chunk_keeps_newest() {
+        let mut wce = Wce::new(schema(), learner(), params());
+        for i in 0..100 {
+            wce.learn(&[i as f64], 1); // pure class: mse_r = 0
+        }
+        // Each degenerate chunk zeroes every weight; only the newest
+        // member survives through the keep-newest floor.
+        assert_eq!(wce.n_members(), 1);
+        assert_eq!(wce.predict(&[3.0]), 1);
+    }
+}

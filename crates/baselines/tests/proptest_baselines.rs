@@ -1,0 +1,108 @@
+//! Property-based tests of the baseline stream classifiers: whatever the
+//! label stream does, RePro and WCE must stay total (no panics), produce
+//! valid class ids, and obey their structural bounds.
+
+use std::sync::Arc;
+
+use hom_baselines::{RePro, ReProParams, Wce, WceParams};
+use hom_classifiers::{DecisionTreeLearner, Learner};
+use hom_data::{Attribute, Schema};
+use proptest::prelude::*;
+
+fn schema() -> Arc<Schema> {
+    Schema::new(
+        vec![
+            Attribute::numeric("x"),
+            Attribute::categorical("c", ["u", "v"]),
+        ],
+        ["a", "b", "c"],
+    )
+}
+
+fn learner() -> Arc<dyn Learner> {
+    Arc::new(DecisionTreeLearner::new())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// WCE survives arbitrary labeled streams and never exceeds its
+    /// ensemble cap; predictions are always valid class ids.
+    #[test]
+    fn wce_is_total(
+        records in proptest::collection::vec((0.0f64..1.0, 0u32..2, 0u32..3), 1..400),
+        chunk_size in 2usize..60,
+        n_chunks in 1usize..6,
+    ) {
+        let mut wce = Wce::new(
+            schema(),
+            learner(),
+            WceParams { chunk_size, n_chunks },
+        );
+        for &(x, c, y) in &records {
+            let row = [x, f64::from(c)];
+            let pred = wce.predict(&row);
+            prop_assert!(pred < 3);
+            wce.learn(&row, y);
+            prop_assert!(wce.n_members() <= n_chunks);
+        }
+    }
+
+    /// RePro survives arbitrary labeled streams; its concept history only
+    /// grows when full relearning happens, so it is bounded by the number
+    /// of completed stable-learning phases plus one.
+    #[test]
+    fn repro_is_total(
+        records in proptest::collection::vec((0.0f64..1.0, 0u32..2, 0u32..3), 1..400),
+        stable_size in 10usize..80,
+    ) {
+        let mut repro = RePro::new(
+            schema(),
+            learner(),
+            ReProParams {
+                trigger_window: 8,
+                stable_size,
+                ..Default::default()
+            },
+        );
+        for &(x, c, y) in &records {
+            let row = [x, f64::from(c)];
+            let pred = repro.predict(&row);
+            prop_assert!(pred < 3);
+            repro.learn(&row, y);
+        }
+        let max_concepts = records.len() / stable_size + 1;
+        prop_assert!(
+            repro.n_concepts() <= max_concepts,
+            "{} concepts from {} records with stable_size {}",
+            repro.n_concepts(),
+            records.len(),
+            stable_size
+        );
+    }
+
+    /// A stationary, perfectly learnable stream never triggers RePro into
+    /// growing its history beyond the bootstrap concept.
+    #[test]
+    fn repro_stationary_stays_single_concept(seed in any::<u64>()) {
+        let mut repro = RePro::new(
+            schema(),
+            learner(),
+            ReProParams {
+                trigger_window: 20,
+                stable_size: 50,
+                ..Default::default()
+            },
+        );
+        let mut state = seed | 1;
+        for _ in 0..600 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let c = (state & 1) as f64;
+            // deterministic 3-class rule on x only
+            let y = if x < 0.33 { 0 } else if x < 0.66 { 1 } else { 2 };
+            repro.learn(&[x, c], y);
+        }
+        prop_assert_eq!(repro.n_concepts(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Ablations of the high-order model's design choices (DESIGN.md).
+//!
+//! Not in the paper; these isolate the contribution of each component on
+//! the Stagger workload:
+//!
+//! * **block size** — the paper recommends 2–20 (§II-A); sweep it.
+//! * **cut slack** — the paper's strict `Err* < Err` rule (z = 0) vs the
+//!   noise-guarded cut (z = 1.5) at reduced scale.
+//! * **prediction pruning** — §III-C early termination vs the full
+//!   ensemble: identical answers, different cost.
+//! * **base learner** — C4.5-style tree vs naive Bayes (§II-B allows
+//!   any stationary learner).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hom_classifiers::{DecisionTreeLearner, Learner, NaiveBayesLearner};
+use hom_cluster::ClusterParams;
+use hom_core::{build, BuildParams, OnlinePredictor};
+use hom_data::stream::collect;
+use hom_data::Dataset;
+use hom_eval::report::{fmt_err, print_table};
+use hom_eval::workloads::{Workload, WorkloadKind};
+use hom_eval::EvalConfig;
+
+fn build_and_run(
+    historical: &Dataset,
+    test: &Dataset,
+    learner: &Arc<dyn Learner>,
+    cluster: ClusterParams,
+    pruned: bool,
+) -> (usize, f64, f64) {
+    let (model, report) = build(
+        historical,
+        learner.as_ref(),
+        &BuildParams {
+            cluster,
+            ..Default::default()
+        },
+    );
+    let mut predictor = OnlinePredictor::new(Arc::new(model));
+    let mut wrong = 0usize;
+    let start = Instant::now();
+    for (x, y) in test.iter() {
+        let pred = if pruned {
+            predictor.predict_pruned(x)
+        } else {
+            predictor.predict(x)
+        };
+        if pred != y {
+            wrong += 1;
+        }
+        predictor.observe(x, y);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (
+        report.n_concepts,
+        wrong as f64 / test.len() as f64,
+        secs,
+    )
+}
+
+fn main() {
+    let config = EvalConfig::from_env();
+    println!("{}", config.banner());
+
+    let workload = Workload::paper(WorkloadKind::Stagger, config.scale);
+    let (historical, _, mut source) = workload.split(config.seed);
+    let (test, _) = collect(source.as_mut(), workload.test_size);
+    let tree: Arc<dyn Learner> = Arc::new(DecisionTreeLearner::new());
+    let bayes: Arc<dyn Learner> = Arc::new(NaiveBayesLearner);
+
+    // Block-size sweep.
+    let mut rows = Vec::new();
+    for block_size in [5usize, 10, 20, 50, 100] {
+        let (n, err, _) = build_and_run(
+            &historical,
+            &test,
+            &tree,
+            ClusterParams {
+                block_size,
+                seed: config.seed,
+                ..Default::default()
+            },
+            true,
+        );
+        rows.push(vec![block_size.to_string(), n.to_string(), fmt_err(err)]);
+        eprintln!("  done: block={block_size}");
+    }
+    print_table(
+        "Ablation: block size (Stagger)",
+        &["block_size", "concepts", "error_rate"],
+        &rows,
+    );
+
+    // Cut-slack ablation.
+    let mut rows = Vec::new();
+    for z in [0.0f64, 1.5] {
+        let (n, err, _) = build_and_run(
+            &historical,
+            &test,
+            &tree,
+            ClusterParams {
+                block_size: workload.block_size,
+                cut_slack_z: z,
+                seed: config.seed,
+                ..Default::default()
+            },
+            true,
+        );
+        rows.push(vec![format!("{z}"), n.to_string(), fmt_err(err)]);
+        eprintln!("  done: slack={z}");
+    }
+    print_table(
+        "Ablation: dendrogram cut slack (Stagger; z=0 is the paper's strict rule)",
+        &["cut_slack_z", "concepts", "error_rate"],
+        &rows,
+    );
+
+    // Pruned vs full ensemble prediction.
+    let mut rows = Vec::new();
+    for pruned in [false, true] {
+        let (_, err, secs) = build_and_run(
+            &historical,
+            &test,
+            &tree,
+            ClusterParams {
+                block_size: workload.block_size,
+                seed: config.seed,
+                ..Default::default()
+            },
+            pruned,
+        );
+        rows.push(vec![
+            if pruned { "pruned" } else { "full" }.to_string(),
+            fmt_err(err),
+            format!("{secs:.4}"),
+        ]);
+        eprintln!("  done: pruned={pruned}");
+    }
+    print_table(
+        "Ablation: §III-C prediction pruning (Stagger)",
+        &["prediction", "error_rate", "test_time_s"],
+        &rows,
+    );
+
+    // §II-D unbalanced-merger model reuse.
+    let mut rows = Vec::new();
+    for (name, ratio) in [("off", None), ("64x", Some(64.0)), ("8x", Some(8.0))] {
+        let start = Instant::now();
+        let (n, err, _) = build_and_run(
+            &historical,
+            &test,
+            &tree,
+            ClusterParams {
+                block_size: workload.block_size,
+                reuse_ratio: ratio,
+                seed: config.seed,
+                ..Default::default()
+            },
+            true,
+        );
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.4}", start.elapsed().as_secs_f64()),
+            n.to_string(),
+            fmt_err(err),
+        ]);
+        eprintln!("  done: reuse={name}");
+    }
+    print_table(
+        "Ablation: §II-D unbalanced-merger model reuse (Stagger)",
+        &["reuse_ratio", "build+test_s", "concepts", "error_rate"],
+        &rows,
+    );
+
+    // Base learner swap.
+    let mut rows = Vec::new();
+    for (name, learner) in [("c4.5-tree", &tree), ("naive-bayes", &bayes)] {
+        let (n, err, _) = build_and_run(
+            &historical,
+            &test,
+            learner,
+            ClusterParams {
+                block_size: workload.block_size,
+                seed: config.seed,
+                ..Default::default()
+            },
+            true,
+        );
+        rows.push(vec![name.to_string(), n.to_string(), fmt_err(err)]);
+        eprintln!("  done: learner={name}");
+    }
+    print_table(
+        "Ablation: base learner (Stagger)",
+        &["learner", "concepts", "error_rate"],
+        &rows,
+    );
+}

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks of the building blocks.
+//!
+//! Not paper experiments — these track the cost of the hot paths: base
+//! learner training/prediction, the online filter update, pruned
+//! prediction, and the full offline build at small scale.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hom_classifiers::{DecisionTreeLearner, Learner, NaiveBayesLearner};
+use hom_cluster::ClusterParams;
+use hom_core::{build, BuildParams, OnlinePredictor};
+use hom_data::stream::collect;
+use hom_data::{Dataset, StreamSource};
+use hom_datagen::{StaggerParams, StaggerSource};
+
+fn stagger_data(n: usize, lambda: f64) -> Dataset {
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda,
+        ..Default::default()
+    });
+    collect(&mut src, n).0
+}
+
+fn bench_learners(c: &mut Criterion) {
+    let data = stagger_data(1000, 0.0);
+    let mut group = c.benchmark_group("learner_fit_1k");
+    group.bench_function("decision_tree", |b| {
+        let learner = DecisionTreeLearner::new();
+        b.iter(|| learner.fit(&data))
+    });
+    group.bench_function("naive_bayes", |b| {
+        b.iter(|| NaiveBayesLearner.fit(&data))
+    });
+    group.finish();
+
+    let model = DecisionTreeLearner::new().fit(&data);
+    let mut src = StaggerSource::new(StaggerParams::default());
+    let record = src.next_record();
+    c.bench_function("tree_predict", |b| b.iter(|| model.predict(&record.x)));
+}
+
+fn bench_online(c: &mut Criterion) {
+    let historical = stagger_data(4000, 0.01);
+    let (model, _) = build(
+        &historical,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let model = Arc::new(model);
+    let mut src = StaggerSource::new(StaggerParams::default());
+    let record = src.next_record();
+
+    c.bench_function("online_observe", |b| {
+        b.iter_batched(
+            || OnlinePredictor::new(Arc::clone(&model)),
+            |mut p| p.observe(&record.x, record.y),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut predictor = OnlinePredictor::new(Arc::clone(&model));
+    c.bench_function("online_predict_pruned", |b| {
+        b.iter(|| predictor.predict_pruned(&record.x))
+    });
+    let mut predictor = OnlinePredictor::new(model);
+    c.bench_function("online_predict_full", |b| {
+        b.iter(|| predictor.predict(&record.x))
+    });
+}
+
+fn bench_build(c: &mut Criterion) {
+    let historical = stagger_data(2000, 0.01);
+    c.bench_function("high_order_build_2k", |b| {
+        b.iter(|| {
+            build(
+                &historical,
+                &DecisionTreeLearner::new(),
+                &BuildParams {
+                    cluster: ClusterParams {
+                        block_size: 10,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_learners, bench_online, bench_build
+}
+criterion_main!(benches);

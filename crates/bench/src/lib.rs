@@ -1,0 +1,47 @@
+//! Shared helpers for the paper-reproduction bench targets.
+//!
+//! Every bench under `benches/` regenerates one table or figure of the
+//! paper; this library holds the code they share. All benches honour
+//! `HOM_SCALE`, `HOM_RUNS` and `HOM_SEED` (see [`hom_eval::EvalConfig`]).
+
+use hom_eval::workloads::{Workload, WorkloadKind};
+use hom_eval::EvalConfig;
+
+/// The three Table-I workloads at the configured scale.
+pub fn paper_workloads(config: &EvalConfig) -> Vec<Workload> {
+    WorkloadKind::ALL
+        .iter()
+        .map(|&k| Workload::paper(k, config.scale))
+        .collect()
+}
+
+/// The Fig. 3 sweep of `1 / changing-rate` values (the paper sweeps
+/// 200 … 2200).
+pub fn fig3_inverse_rates() -> Vec<f64> {
+    vec![200.0, 600.0, 1000.0, 1400.0, 1800.0, 2200.0]
+}
+
+/// The Fig. 4 sweep of historical dataset sizes, as fractions of the
+/// workload's configured historical size (the paper sweeps up to 200k).
+pub fn fig4_fractions() -> Vec<f64> {
+    vec![0.125, 0.25, 0.5, 0.75, 1.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_cover_all_kinds() {
+        let ws = paper_workloads(&EvalConfig::default());
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].kind, WorkloadKind::Stagger);
+        assert_eq!(ws[2].kind, WorkloadKind::Intrusion);
+    }
+
+    #[test]
+    fn sweeps_are_monotone() {
+        assert!(fig3_inverse_rates().windows(2).all(|w| w[0] < w[1]));
+        assert!(fig4_fractions().windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,151 @@
+//! Recursive tree growing.
+
+use hom_data::{ClassId, Instances};
+
+use super::split::{best_split, Split};
+use super::{DecisionTree, DecisionTreeParams, Node, NodeKind};
+
+/// Grow an unpruned tree over all records of `data`.
+pub(crate) fn grow(data: &dyn Instances, params: &DecisionTreeParams) -> DecisionTree {
+    let n_classes = data.schema().n_classes();
+    let mut tree = DecisionTree {
+        nodes: Vec::new(),
+        n_classes,
+    };
+    let idx: Vec<u32> = (0..data.len() as u32).collect();
+    grow_node(&mut tree, data, idx, 0, params);
+    tree
+}
+
+fn class_counts(data: &dyn Instances, idx: &[u32], n_classes: usize) -> Box<[u32]> {
+    let mut counts = vec![0u32; n_classes].into_boxed_slice();
+    for &i in idx {
+        counts[data.label(i as usize) as usize] += 1;
+    }
+    counts
+}
+
+fn majority(counts: &[u32]) -> ClassId {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+        .map(|(i, _)| i as ClassId)
+        .unwrap_or(0)
+}
+
+/// Grow the node for `idx` and append it (and its subtree) to the arena,
+/// returning its id.
+fn grow_node(
+    tree: &mut DecisionTree,
+    data: &dyn Instances,
+    idx: Vec<u32>,
+    depth: usize,
+    params: &DecisionTreeParams,
+) -> u32 {
+    let counts = class_counts(data, &idx, tree.n_classes);
+    let maj = majority(&counts);
+    let id = tree.nodes.len() as u32;
+    tree.nodes.push(Node {
+        kind: NodeKind::Leaf,
+        counts,
+        majority: maj,
+    });
+
+    let n = idx.len();
+    let pure = tree.nodes[id as usize]
+        .counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .count()
+        <= 1;
+    if pure || n < 2 * params.min_leaf || depth >= params.max_depth {
+        return id;
+    }
+
+    let Some(split) = best_split(data, &idx, &tree.nodes[id as usize].counts, params) else {
+        return id;
+    };
+    drop(idx); // partitions own the indices from here on
+
+    match split {
+        Split::Cat { attr, buckets } => {
+            let mut children = Vec::with_capacity(buckets.len());
+            for bucket in buckets {
+                if bucket.is_empty() {
+                    // Empty branch: a leaf carrying the parent distribution,
+                    // so unseen-at-this-node categories predict sensibly.
+                    let parent = &tree.nodes[id as usize];
+                    let node = Node {
+                        kind: NodeKind::Leaf,
+                        counts: parent.counts.clone(),
+                        majority: parent.majority,
+                    };
+                    let cid = tree.nodes.len() as u32;
+                    tree.nodes.push(node);
+                    children.push(cid);
+                } else {
+                    children.push(grow_node(tree, data, bucket, depth + 1, params));
+                }
+            }
+            tree.nodes[id as usize].kind = NodeKind::Cat {
+                attr: attr as u32,
+                children: children.into_boxed_slice(),
+            };
+        }
+        Split::Num {
+            attr,
+            threshold,
+            left,
+            right,
+        } => {
+            let l = grow_node(tree, data, left, depth + 1, params);
+            let r = grow_node(tree, data, right, depth + 1, params);
+            tree.nodes[id as usize].kind = NodeKind::Num {
+                attr: attr as u32,
+                threshold,
+                left: l,
+                right: r,
+            };
+        }
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_data::{Attribute, Dataset, Schema};
+
+    #[test]
+    fn root_is_index_zero() {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let mut d = Dataset::new(schema);
+        for i in 0..10 {
+            d.push(&[i as f64], u32::from(i >= 5));
+        }
+        let t = grow(&d, &DecisionTreeParams::default());
+        assert!(matches!(t.nodes[0].kind, NodeKind::Num { .. }));
+        assert_eq!(t.nodes[0].n(), 10);
+    }
+
+    #[test]
+    fn empty_categorical_branch_gets_parent_distribution() {
+        let schema = Schema::new(
+            vec![Attribute::categorical("c", ["u", "v", "w"])],
+            ["a", "b"],
+        );
+        let mut d = Dataset::new(schema);
+        for _ in 0..5 {
+            d.push(&[0.0], 0);
+            d.push(&[1.0], 1);
+        }
+        let t = grow(&d, &DecisionTreeParams::default());
+        if let NodeKind::Cat { children, .. } = &t.nodes[0].kind {
+            let w_child = &t.nodes[children[2] as usize];
+            assert_eq!(&*w_child.counts, &[5, 5]);
+        } else {
+            panic!("expected categorical root split");
+        }
+    }
+}

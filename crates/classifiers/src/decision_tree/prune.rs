@@ -1,0 +1,222 @@
+//! Pessimistic error-based pruning (C4.5 / J48 style).
+//!
+//! After growing, each subtree is compared against the leaf that would
+//! replace it. Errors are estimated pessimistically: the observed training
+//! error at a node is inflated to the upper limit of a confidence interval
+//! with confidence factor `cf` (default 0.25). If the estimated error of the
+//! collapsed leaf does not exceed the summed estimated error of the subtree
+//! (plus a small slack, as in C4.5), the subtree is replaced by the leaf.
+
+use super::{DecisionTree, Node, NodeKind};
+
+/// Upper confidence limit inflation: the number of *additional* errors to
+/// add to `e` observed errors among `n` records, for confidence factor
+/// `cf`. This is the `addErrs` estimate used by C4.5 and Weka's J48.
+pub(crate) fn add_errs(n: f64, e: f64, cf: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    if e < 1.0 {
+        // Base case: zero observed errors. The upper limit solves
+        // (1-p)^n = cf  =>  p = 1 - cf^(1/n); expected extra errors = n*p.
+        let base = n * (1.0 - cf.powf(1.0 / n));
+        if e > 0.0 {
+            // Interpolate between the e=0 case and the e=1 case.
+            return base + e * (add_errs(n, 1.0, cf) - base);
+        }
+        return base;
+    }
+    if e + 0.5 >= n {
+        return (n - e).max(0.0);
+    }
+    let z = normal_quantile(1.0 - cf);
+    let f = (e + 0.5) / n;
+    let r = (f + z * z / (2.0 * n)
+        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+        / (1.0 + z * z / n);
+    (r * n - e).max(0.0)
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9 on (0,1)).
+pub(crate) fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+fn leaf_errors(node: &Node) -> f64 {
+    let n = node.n() as f64;
+    let correct = node.counts[node.majority as usize] as f64;
+    n - correct
+}
+
+/// Estimated (pessimistic) error count if `node` were a leaf.
+fn estimated_leaf_error(node: &Node, cf: f64) -> f64 {
+    let n = node.n() as f64;
+    let e = leaf_errors(node);
+    e + add_errs(n, e, cf)
+}
+
+/// Prune `tree` in place, then compact the arena so dropped nodes do not
+/// linger in memory (thousands of trees are kept alive by the high-order
+/// model, so arena size matters).
+pub(crate) fn prune(tree: &mut DecisionTree, cf: f64) {
+    prune_rec(tree, 0, cf);
+    compact(tree);
+}
+
+/// Returns the estimated subtree error after pruning the subtree at `id`.
+fn prune_rec(tree: &mut DecisionTree, id: u32, cf: f64) -> f64 {
+    let kind = tree.nodes[id as usize].kind.clone();
+    let subtree_err = match kind {
+        NodeKind::Leaf => return estimated_leaf_error(&tree.nodes[id as usize], cf),
+        NodeKind::Cat { ref children, .. } => children
+            .iter()
+            .map(|&c| prune_rec(tree, c, cf))
+            .sum::<f64>(),
+        NodeKind::Num { left, right, .. } => {
+            prune_rec(tree, left, cf) + prune_rec(tree, right, cf)
+        }
+    };
+    let as_leaf = estimated_leaf_error(&tree.nodes[id as usize], cf);
+    // C4.5 collapses when the leaf estimate is within 0.1 errors of the
+    // subtree estimate.
+    if as_leaf <= subtree_err + 0.1 {
+        tree.nodes[id as usize].kind = NodeKind::Leaf;
+        as_leaf
+    } else {
+        subtree_err
+    }
+}
+
+/// Rebuild the arena keeping only nodes reachable from the root.
+fn compact(tree: &mut DecisionTree) {
+    let mut new_nodes: Vec<Node> = Vec::with_capacity(tree.nodes.len());
+    let old = std::mem::take(&mut tree.nodes);
+    fn copy(old: &[Node], new_nodes: &mut Vec<Node>, id: u32) -> u32 {
+        let new_id = new_nodes.len() as u32;
+        new_nodes.push(old[id as usize].clone());
+        let kind = match &old[id as usize].kind {
+            NodeKind::Leaf => NodeKind::Leaf,
+            NodeKind::Cat { attr, children } => {
+                let new_children: Vec<u32> = children
+                    .iter()
+                    .map(|&c| copy(old, new_nodes, c))
+                    .collect();
+                NodeKind::Cat {
+                    attr: *attr,
+                    children: new_children.into_boxed_slice(),
+                }
+            }
+            NodeKind::Num {
+                attr,
+                threshold,
+                left,
+                right,
+            } => {
+                let l = copy(old, new_nodes, *left);
+                let r = copy(old, new_nodes, *right);
+                NodeKind::Num {
+                    attr: *attr,
+                    threshold: *threshold,
+                    left: l,
+                    right: r,
+                }
+            }
+        };
+        new_nodes[new_id as usize].kind = kind;
+        new_id
+    }
+    copy(&old, &mut new_nodes, 0);
+    tree.nodes = new_nodes;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.75) - 0.6744897501960817).abs() < 1e-7);
+        assert!((normal_quantile(0.975) - 1.959963984540054).abs() < 1e-7);
+        assert!((normal_quantile(0.025) + 1.959963984540054).abs() < 1e-7);
+        // tail region uses the other branch of the approximation
+        assert!((normal_quantile(0.001) + 3.090232306167813).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_errs_zero_observed() {
+        // With no observed errors the pessimistic estimate is still > 0.
+        let extra = add_errs(10.0, 0.0, 0.25);
+        assert!(extra > 0.0 && extra < 10.0);
+        // More data shrinks the relative inflation.
+        assert!(add_errs(1000.0, 0.0, 0.25) / 1000.0 < extra / 10.0);
+    }
+
+    #[test]
+    fn add_errs_monotone_in_cf() {
+        // Smaller cf => more pessimism => more added errors.
+        let strict = add_errs(100.0, 10.0, 0.05);
+        let lax = add_errs(100.0, 10.0, 0.5);
+        assert!(strict > lax);
+    }
+
+    #[test]
+    fn add_errs_saturates_near_n() {
+        assert_eq!(add_errs(10.0, 10.0, 0.25), 0.0);
+        assert!(add_errs(10.0, 9.8, 0.25) <= 0.2 + 1e-12);
+    }
+
+    #[test]
+    fn add_errs_fractional_interpolates() {
+        let e0 = add_errs(50.0, 0.0, 0.25);
+        let e_half = add_errs(50.0, 0.5, 0.25);
+        let e1 = add_errs(50.0, 1.0, 0.25);
+        assert!(e0 <= e_half + 1e-12 && e_half <= e1 + 1e-9 || (e0 >= e_half && e_half >= e1));
+        // midpoint property of the linear interpolation
+        assert!((e_half - (e0 + e1) * 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,332 @@
+//! Split selection: information gain, split info, gain ratio.
+
+use hom_data::Instances;
+
+use super::DecisionTreeParams;
+
+/// A chosen split, together with the index partition it induces.
+pub(crate) enum Split {
+    Cat {
+        attr: usize,
+        /// One index bucket per category value (possibly empty buckets).
+        buckets: Vec<Vec<u32>>,
+    },
+    Num {
+        attr: usize,
+        threshold: f64,
+        left: Vec<u32>,
+        right: Vec<u32>,
+    },
+}
+
+/// Entropy (nats scaled to bits are irrelevant for comparisons; we use
+/// natural log) of a class-count vector with total `n`.
+pub(crate) fn entropy(counts: &[u32], n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / n;
+            h -= p * p.ln();
+        }
+    }
+    h
+}
+
+struct Candidate {
+    attr: usize,
+    gain: f64,
+    gain_ratio: f64,
+    /// For numeric attributes: the threshold. Unused for categorical.
+    threshold: f64,
+    is_numeric: bool,
+}
+
+/// Find the best split of the records at `idx`, or `None` when no
+/// admissible split has positive gain.
+///
+/// Follows C4.5's selection rule: among candidates whose information gain
+/// is at least the average gain of all positive-gain candidates, pick the
+/// one with the highest gain ratio.
+pub(crate) fn best_split(
+    data: &dyn Instances,
+    idx: &[u32],
+    parent_counts: &[u32],
+    params: &DecisionTreeParams,
+) -> Option<Split> {
+    let n = idx.len() as f64;
+    let parent_h = entropy(parent_counts, n);
+    let n_classes = data.schema().n_classes();
+    let mut candidates: Vec<Candidate> = Vec::new();
+
+    for attr in 0..data.schema().n_attrs() {
+        if let Some(card) = data.schema().cardinality(attr) {
+            if let Some(c) =
+                eval_categorical(data, idx, attr, card, n_classes, parent_h, params)
+            {
+                candidates.push(c);
+            }
+        } else if let Some(c) = eval_numeric(data, idx, attr, n_classes, parent_h, params) {
+            candidates.push(c);
+        }
+    }
+
+    if candidates.is_empty() {
+        return None;
+    }
+    let avg_gain: f64 =
+        candidates.iter().map(|c| c.gain).sum::<f64>() / candidates.len() as f64;
+    let best = candidates
+        .iter()
+        .filter(|c| c.gain + 1e-12 >= avg_gain)
+        .max_by(|a, b| a.gain_ratio.total_cmp(&b.gain_ratio))?;
+
+    // Materialize the partition for the winning candidate.
+    Some(if best.is_numeric {
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        for &i in idx {
+            if data.row(i as usize)[best.attr] <= best.threshold {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        Split::Num {
+            attr: best.attr,
+            threshold: best.threshold,
+            left,
+            right,
+        }
+    } else {
+        let card = data.schema().cardinality(best.attr).unwrap();
+        let mut buckets = vec![Vec::new(); card];
+        for &i in idx {
+            let v = data.row(i as usize)[best.attr] as usize;
+            buckets[v].push(i);
+        }
+        Split::Cat {
+            attr: best.attr,
+            buckets,
+        }
+    })
+}
+
+fn eval_categorical(
+    data: &dyn Instances,
+    idx: &[u32],
+    attr: usize,
+    card: usize,
+    n_classes: usize,
+    parent_h: f64,
+    params: &DecisionTreeParams,
+) -> Option<Candidate> {
+    let n = idx.len() as f64;
+    // counts[v * n_classes + c]
+    let mut counts = vec![0u32; card * n_classes];
+    let mut totals = vec![0u32; card];
+    for &i in idx {
+        let row = data.row(i as usize);
+        let v = row[attr] as usize;
+        counts[v * n_classes + data.label(i as usize) as usize] += 1;
+        totals[v] += 1;
+    }
+    // C4.5 requires at least two branches holding >= min_leaf records.
+    let non_trivial = totals
+        .iter()
+        .filter(|&&t| t as usize >= params.min_leaf)
+        .count();
+    let non_empty = totals.iter().filter(|&&t| t > 0).count();
+    if non_trivial < 2 || non_empty < 2 {
+        return None;
+    }
+
+    let mut child_h = 0.0;
+    let mut split_info = 0.0;
+    for v in 0..card {
+        let t = totals[v] as f64;
+        if totals[v] > 0 {
+            child_h += t / n * entropy(&counts[v * n_classes..(v + 1) * n_classes], t);
+            let p = t / n;
+            split_info -= p * p.ln();
+        }
+    }
+    let gain = parent_h - child_h;
+    if gain <= 1e-12 || split_info <= 1e-12 {
+        return None;
+    }
+    Some(Candidate {
+        attr,
+        gain,
+        gain_ratio: gain / split_info,
+        threshold: 0.0,
+        is_numeric: false,
+    })
+}
+
+fn eval_numeric(
+    data: &dyn Instances,
+    idx: &[u32],
+    attr: usize,
+    n_classes: usize,
+    parent_h: f64,
+    params: &DecisionTreeParams,
+) -> Option<Candidate> {
+    let n = idx.len();
+    if n < 2 * params.min_leaf {
+        return None;
+    }
+    // Sort (value, label) pairs by value.
+    let mut pairs: Vec<(f64, u32)> = idx
+        .iter()
+        .map(|&i| (data.row(i as usize)[attr], data.label(i as usize)))
+        .collect();
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut right_counts = vec![0u32; n_classes];
+    for &(_, l) in &pairs {
+        right_counts[l as usize] += 1;
+    }
+    let mut left_counts = vec![0u32; n_classes];
+
+    let nf = n as f64;
+    let mut best: Option<(f64, f64)> = None; // (gain, threshold)
+    for k in 0..n - 1 {
+        let (v, l) = pairs[k];
+        left_counts[l as usize] += 1;
+        right_counts[l as usize] -= 1;
+        let next_v = pairs[k + 1].0;
+        // Only cut between distinct values.
+        if next_v <= v {
+            continue;
+        }
+        let n_left = k + 1;
+        let n_right = n - n_left;
+        if n_left < params.min_leaf || n_right < params.min_leaf {
+            continue;
+        }
+        let h = (n_left as f64 / nf) * entropy(&left_counts, n_left as f64)
+            + (n_right as f64 / nf) * entropy(&right_counts, n_right as f64);
+        let gain = parent_h - h;
+        if best.is_none_or(|(g, _)| gain > g) {
+            best = Some((gain, (v + next_v) * 0.5));
+        }
+    }
+    let (gain, threshold) = best?;
+    if gain <= 1e-12 {
+        return None;
+    }
+    // Split info of the realized binary partition.
+    let n_left = pairs.iter().filter(|&&(v, _)| v <= threshold).count();
+    let p = n_left as f64 / nf;
+    let split_info = -(p * p.ln() + (1.0 - p) * (1.0 - p).ln());
+    if split_info <= 1e-12 {
+        return None;
+    }
+    Some(Candidate {
+        attr,
+        gain,
+        gain_ratio: gain / split_info,
+        threshold,
+        is_numeric: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_data::{Attribute, Dataset, Schema};
+
+    #[test]
+    fn entropy_bounds() {
+        assert_eq!(entropy(&[10, 0], 10.0), 0.0);
+        let h = entropy(&[5, 5], 10.0);
+        assert!((h - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(entropy(&[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn picks_informative_categorical_attribute() {
+        let schema = Schema::new(
+            vec![
+                Attribute::categorical("noise", ["0", "1"]),
+                Attribute::categorical("signal", ["0", "1"]),
+            ],
+            ["neg", "pos"],
+        );
+        let mut d = Dataset::new(schema);
+        // signal fully determines the label; noise is uncorrelated
+        for i in 0..40u32 {
+            let noise = f64::from(i % 2);
+            let signal = f64::from((i / 2) % 2);
+            d.push(&[noise, signal], (signal as u32) & 1);
+        }
+        let idx: Vec<u32> = (0..40).collect();
+        let counts = [20, 20];
+        let split = best_split(&d, &idx, &counts, &DecisionTreeParams::default()).unwrap();
+        match split {
+            Split::Cat { attr, buckets } => {
+                assert_eq!(attr, 1);
+                assert_eq!(buckets.len(), 2);
+                assert_eq!(buckets[0].len(), 20);
+            }
+            _ => panic!("expected categorical split"),
+        }
+    }
+
+    #[test]
+    fn numeric_threshold_lies_between_classes() {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let mut d = Dataset::new(schema);
+        for i in 0..20 {
+            d.push(&[i as f64], u32::from(i >= 12));
+        }
+        let idx: Vec<u32> = (0..20).collect();
+        let counts = [12, 8];
+        let split = best_split(&d, &idx, &counts, &DecisionTreeParams::default()).unwrap();
+        match split {
+            Split::Num {
+                threshold,
+                left,
+                right,
+                ..
+            } => {
+                assert!(threshold > 11.0 && threshold < 12.0);
+                assert_eq!(left.len(), 12);
+                assert_eq!(right.len(), 8);
+            }
+            _ => panic!("expected numeric split"),
+        }
+    }
+
+    #[test]
+    fn no_split_on_pure_or_constant_data() {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let mut d = Dataset::new(schema);
+        for _ in 0..10 {
+            d.push(&[1.0], 0);
+            d.push(&[1.0], 1);
+        }
+        let idx: Vec<u32> = (0..20).collect();
+        // constant attribute -> no admissible threshold
+        assert!(best_split(&d, &idx, &[10, 10], &DecisionTreeParams::default()).is_none());
+    }
+
+    #[test]
+    fn min_leaf_blocks_tiny_splits() {
+        // Three records cannot be split with min_leaf = 2 (no threshold
+        // leaves two records on each side).
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let mut d = Dataset::new(schema);
+        d.push(&[0.0], 0);
+        d.push(&[1.0], 0);
+        d.push(&[2.0], 1);
+        let idx: Vec<u32> = (0..3).collect();
+        let params = DecisionTreeParams {
+            min_leaf: 2,
+            ..Default::default()
+        };
+        assert!(best_split(&d, &idx, &[2, 1], &params).is_none());
+    }
+}

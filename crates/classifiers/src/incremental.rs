@@ -1,0 +1,226 @@
+//! An incrementally updatable naive Bayes model.
+//!
+//! Batch learners (the `Learner` trait) retrain from scratch; some stream
+//! algorithms — notably Dynamic Weighted Majority (Kolter & Maloof,
+//! ICDM'03, the paper's ref. \[15\]) — instead require *online* base
+//! learners that absorb one labeled record at a time. This incremental
+//! naive Bayes keeps running sufficient statistics (class counts,
+//! per-class mean/M2 via Welford's algorithm for numeric attributes,
+//! per-class count tables for categorical ones) and can classify at any
+//! point, including before seeing any data.
+
+use std::sync::Arc;
+
+use hom_data::{AttrKind, ClassId, Schema};
+
+use crate::api::{argmax, Classifier};
+
+/// Variance floor preventing degenerate Gaussians.
+const MIN_VAR: f64 = 1e-9;
+
+#[derive(Debug, Clone)]
+enum AttrStats {
+    /// Per-class Welford accumulators: (count, mean, M2).
+    Numeric(Vec<(f64, f64, f64)>),
+    /// Per-class × value counts, row-major.
+    Categorical { card: usize, counts: Vec<u32> },
+}
+
+/// A naive Bayes model that learns one record at a time.
+#[derive(Debug, Clone)]
+pub struct OnlineNaiveBayes {
+    schema: Arc<Schema>,
+    class_counts: Vec<u64>,
+    attrs: Vec<AttrStats>,
+    n_seen: u64,
+}
+
+impl OnlineNaiveBayes {
+    /// An empty model over `schema` (predicts uniformly until updated).
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let n_classes = schema.n_classes();
+        let attrs = schema
+            .attrs()
+            .iter()
+            .map(|a| match &a.kind {
+                AttrKind::Numeric => AttrStats::Numeric(vec![(0.0, 0.0, 0.0); n_classes]),
+                AttrKind::Categorical { values } => AttrStats::Categorical {
+                    card: values.len(),
+                    counts: vec![0; n_classes * values.len()],
+                },
+            })
+            .collect();
+        OnlineNaiveBayes {
+            schema,
+            class_counts: vec![0; n_classes],
+            attrs,
+            n_seen: 0,
+        }
+    }
+
+    /// Absorb one labeled record.
+    pub fn update(&mut self, x: &[f64], y: ClassId) {
+        let c = y as usize;
+        self.class_counts[c] += 1;
+        self.n_seen += 1;
+        for (stats, &v) in self.attrs.iter_mut().zip(x) {
+            match stats {
+                AttrStats::Numeric(acc) => {
+                    let (n, mean, m2) = &mut acc[c];
+                    *n += 1.0;
+                    let delta = v - *mean;
+                    *mean += delta / *n;
+                    *m2 += delta * (v - *mean);
+                }
+                AttrStats::Categorical { card, counts } => {
+                    let vi = v as usize;
+                    if vi < *card {
+                        counts[c * *card + vi] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records absorbed so far.
+    pub fn n_seen(&self) -> u64 {
+        self.n_seen
+    }
+
+    fn log_posteriors(&self, x: &[f64], out: &mut [f64]) {
+        let k = self.schema.n_classes() as f64;
+        let total = self.n_seen as f64;
+        for (c, o) in out.iter_mut().enumerate() {
+            *o = ((self.class_counts[c] as f64 + 1.0) / (total + k)).ln();
+        }
+        for (stats, &v) in self.attrs.iter().zip(x) {
+            match stats {
+                AttrStats::Numeric(acc) => {
+                    for (c, o) in out.iter_mut().enumerate() {
+                        let (n, mean, m2) = acc[c];
+                        // Unit-variance prior until two records exist.
+                        let var = if n > 1.0 { (m2 / (n - 1.0)).max(MIN_VAR) } else { 1.0 };
+                        let mean = if n > 0.0 { mean } else { 0.0 };
+                        let d = v - mean;
+                        *o += -0.5
+                            * (d * d / var
+                                + var.ln()
+                                + (2.0 * std::f64::consts::PI).ln());
+                    }
+                }
+                AttrStats::Categorical { card, counts } => {
+                    let vi = v as usize;
+                    if vi < *card {
+                        for (c, o) in out.iter_mut().enumerate() {
+                            let row = &counts[c * *card..(c + 1) * *card];
+                            let row_total: u32 = row.iter().sum();
+                            *o += ((row[vi] as f64 + 1.0)
+                                / (row_total as f64 + *card as f64))
+                                .ln();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for OnlineNaiveBayes {
+    fn n_classes(&self) -> usize {
+        self.schema.n_classes()
+    }
+
+    fn predict(&self, x: &[f64]) -> ClassId {
+        let mut scores = vec![0.0; self.schema.n_classes()];
+        self.log_posteriors(x, &mut scores);
+        argmax(&scores) as ClassId
+    }
+
+    fn predict_proba(&self, x: &[f64], out: &mut [f64]) {
+        self.log_posteriors(x, out);
+        let max = out.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in out.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in out.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_data::Attribute;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(
+            vec![
+                Attribute::numeric("x"),
+                Attribute::categorical("c", ["u", "v"]),
+            ],
+            ["a", "b"],
+        )
+    }
+
+    #[test]
+    fn empty_model_predicts_without_panicking() {
+        let m = OnlineNaiveBayes::new(schema());
+        let mut p = [0.0; 2];
+        m.predict_proba(&[0.5, 1.0], &mut p);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(m.predict(&[0.5, 0.0]) < 2);
+    }
+
+    #[test]
+    fn learns_incrementally() {
+        let mut m = OnlineNaiveBayes::new(schema());
+        for i in 0..100 {
+            let x = i as f64 / 100.0;
+            m.update(&[x, f64::from(x > 0.5)], u32::from(x > 0.5));
+        }
+        assert_eq!(m.n_seen(), 100);
+        assert_eq!(m.predict(&[0.9, 1.0]), 1);
+        assert_eq!(m.predict(&[0.1, 0.0]), 0);
+    }
+
+    #[test]
+    fn matches_batch_naive_bayes_decisions() {
+        use crate::naive_bayes::NaiveBayesLearner;
+        use crate::Learner;
+        use hom_data::Dataset;
+
+        let mut d = Dataset::new(schema());
+        let mut online = OnlineNaiveBayes::new(schema());
+        let mut state = 7u64;
+        for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let c = f64::from(x > 0.3);
+            let y = u32::from(x > 0.6);
+            d.push(&[x, c], y);
+            online.update(&[x, c], y);
+        }
+        let batch = NaiveBayesLearner.fit(&d);
+        let mut agree = 0;
+        for i in 0..100 {
+            let q = [i as f64 / 100.0, f64::from(i % 2)];
+            if batch.predict(&q) == online.predict(&q) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 95, "batch and online NB disagree: {agree}/100");
+    }
+
+    #[test]
+    fn single_record_class_has_unit_variance_fallback() {
+        let mut m = OnlineNaiveBayes::new(schema());
+        m.update(&[0.5, 0.0], 0);
+        let mut p = [0.0; 2];
+        m.predict_proba(&[0.5, 0.0], &mut p);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!(p[0] > p[1]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Base classifiers for stationary data.
+//!
+//! The high-order model (and both baselines) treat the base learner as a
+//! black box "designed for mining stationary data" (paper §II-B). This crate
+//! provides that black box:
+//!
+//! * [`DecisionTreeLearner`] — a from-scratch C4.5-style decision tree
+//!   (gain-ratio splits, multiway categorical splits, binary numeric
+//!   threshold splits, pessimistic confidence-bound pruning). This plays the
+//!   role of Quinlan's C4.5 release 8 used in the paper's experiments.
+//! * [`NaiveBayesLearner`] — Gaussian/categorical naive Bayes, an
+//!   alternative base learner (the paper allows "decision tree, Naïve
+//!   Bayes, or SVM").
+//! * [`MajorityLearner`] — predicts the training majority class; the
+//!   weakest sensible baseline, useful in tests and as a degenerate-input
+//!   fallback.
+//! * [`validate`] — the holdout validation of paper §II-B and the k-fold
+//!   cross-validation its footnote 1 mentions as preferable.
+//!
+//! All learners consume `&dyn Instances`, so they train equally on owned
+//! datasets and on the zero-copy cluster views used by `hom-cluster`.
+
+pub mod api;
+pub mod decision_tree;
+pub mod hoeffding;
+pub mod incremental;
+pub mod majority;
+pub mod naive_bayes;
+pub mod validate;
+
+pub use api::{argmax, Classifier, Learner};
+pub use decision_tree::{DecisionTree, DecisionTreeLearner, DecisionTreeParams};
+pub use hoeffding::{HoeffdingLearner, HoeffdingParams, HoeffdingTree};
+pub use incremental::OnlineNaiveBayes;
+pub use majority::{MajorityClassifier, MajorityLearner};
+pub use naive_bayes::{NaiveBayes, NaiveBayesLearner};

@@ -1,0 +1,93 @@
+//! The constant majority-class model.
+
+use hom_data::{ClassId, Instances};
+
+use crate::api::{Classifier, Learner};
+
+/// Always predicts the majority class of its training data, with the
+/// Laplace-smoothed training class distribution as probabilities.
+#[derive(Debug, Clone)]
+pub struct MajorityClassifier {
+    majority: ClassId,
+    proba: Vec<f64>,
+}
+
+impl MajorityClassifier {
+    /// Build directly from class counts (Laplace-smoothed).
+    pub fn from_counts(counts: &[usize]) -> Self {
+        let n: usize = counts.iter().sum();
+        let k = counts.len();
+        let proba: Vec<f64> = counts
+            .iter()
+            .map(|&c| (c as f64 + 1.0) / (n as f64 + k as f64))
+            .collect();
+        let majority = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as ClassId)
+            .unwrap_or(0);
+        MajorityClassifier { majority, proba }
+    }
+}
+
+impl Classifier for MajorityClassifier {
+    fn n_classes(&self) -> usize {
+        self.proba.len()
+    }
+
+    fn predict(&self, _x: &[f64]) -> ClassId {
+        self.majority
+    }
+
+    fn predict_proba(&self, _x: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(&self.proba);
+    }
+}
+
+/// Learner producing [`MajorityClassifier`]s.
+#[derive(Debug, Clone, Default)]
+pub struct MajorityLearner;
+
+impl Learner for MajorityLearner {
+    fn fit(&self, data: &dyn Instances) -> Box<dyn Classifier> {
+        Box::new(MajorityClassifier::from_counts(&data.class_counts()))
+    }
+
+    fn name(&self) -> &str {
+        "majority"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_data::{Attribute, Dataset, Schema};
+
+    #[test]
+    fn predicts_majority_with_smoothed_probs() {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let mut d = Dataset::new(schema);
+        d.push(&[0.0], 1);
+        d.push(&[1.0], 1);
+        d.push(&[2.0], 0);
+        let m = MajorityLearner.fit(&d);
+        assert_eq!(m.predict(&[9.9]), 1);
+        let mut p = [0.0; 2];
+        m.predict_proba(&[9.9], &mut p);
+        assert!((p[0] - 2.0 / 5.0).abs() < 1e-12);
+        assert!((p[1] - 3.0 / 5.0).abs() < 1e-12);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_default_to_uniform() {
+        let m = MajorityClassifier::from_counts(&[0, 0, 0]);
+        assert_eq!(m.predict(&[]), 0);
+        let mut p = [0.0; 3];
+        m.predict_proba(&[], &mut p);
+        for v in p {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Naive Bayes with Gaussian numeric and multinomial categorical
+//! likelihoods.
+//!
+//! An alternative base learner (the paper permits "decision tree, Naïve
+//! Bayes, or SVM" as the per-concept model family). Used in tests and in
+//! the ablation benches to show the high-order model is learner-agnostic.
+
+use hom_data::{AttrKind, ClassId, Instances};
+
+use crate::api::{argmax, Classifier, Learner};
+
+/// Per-class Gaussian parameters of one numeric attribute.
+#[derive(Debug, Clone, Copy)]
+struct Gaussian {
+    mean: f64,
+    var: f64,
+}
+
+impl Gaussian {
+    fn log_density(&self, x: f64) -> f64 {
+        let d = x - self.mean;
+        -0.5 * (d * d / self.var + self.var.ln() + (2.0 * std::f64::consts::PI).ln())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum AttrModel {
+    /// `gaussians[class]`
+    Numeric(Vec<Gaussian>),
+    /// `log_prob[class * cardinality + value]`, Laplace smoothed.
+    Categorical { card: usize, log_prob: Vec<f64> },
+}
+
+/// A trained naive Bayes model.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    log_prior: Vec<f64>,
+    attrs: Vec<AttrModel>,
+    n_classes: usize,
+}
+
+/// Variance floor preventing degenerate (zero-variance) Gaussians.
+const MIN_VAR: f64 = 1e-9;
+
+impl Classifier for NaiveBayes {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict(&self, x: &[f64]) -> ClassId {
+        let mut scores = vec![0.0; self.n_classes];
+        self.log_posteriors(x, &mut scores);
+        argmax(&scores) as ClassId
+    }
+
+    fn predict_proba(&self, x: &[f64], out: &mut [f64]) {
+        self.log_posteriors(x, out);
+        // log-sum-exp normalization
+        let max = out.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in out.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in out.iter_mut() {
+            *v /= sum;
+        }
+    }
+
+    fn complexity(&self) -> usize {
+        self.attrs.len() * self.n_classes
+    }
+}
+
+impl NaiveBayes {
+    fn log_posteriors(&self, x: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(&self.log_prior);
+        for (a, model) in self.attrs.iter().enumerate() {
+            match model {
+                AttrModel::Numeric(gs) => {
+                    for (c, g) in gs.iter().enumerate() {
+                        out[c] += g.log_density(x[a]);
+                    }
+                }
+                AttrModel::Categorical { card, log_prob } => {
+                    let v = x[a] as usize;
+                    if v < *card {
+                        for (c, o) in out.iter_mut().enumerate() {
+                            *o += log_prob[c * card + v];
+                        }
+                    }
+                    // unseen/invalid category contributes nothing
+                }
+            }
+        }
+    }
+}
+
+/// Learner producing [`NaiveBayes`] models.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveBayesLearner;
+
+impl Learner for NaiveBayesLearner {
+    fn fit(&self, data: &dyn Instances) -> Box<dyn Classifier> {
+        Box::new(fit_nb(data))
+    }
+
+    fn name(&self) -> &str {
+        "naive-bayes"
+    }
+}
+
+fn fit_nb(data: &dyn Instances) -> NaiveBayes {
+    let schema = data.schema();
+    let n_classes = schema.n_classes();
+    let n = data.len();
+    let counts = data.class_counts();
+
+    // Laplace-smoothed priors.
+    let log_prior: Vec<f64> = counts
+        .iter()
+        .map(|&c| ((c as f64 + 1.0) / (n as f64 + n_classes as f64)).ln())
+        .collect();
+
+    let mut attrs = Vec::with_capacity(schema.n_attrs());
+    for a in 0..schema.n_attrs() {
+        match &schema.attr(a).kind {
+            AttrKind::Numeric => {
+                // One pass for means, one for variances.
+                let mut sums = vec![0.0; n_classes];
+                for i in 0..n {
+                    sums[data.label(i) as usize] += data.row(i)[a];
+                }
+                let means: Vec<f64> = sums
+                    .iter()
+                    .zip(&counts)
+                    .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+                    .collect();
+                let mut sq = vec![0.0; n_classes];
+                for i in 0..n {
+                    let c = data.label(i) as usize;
+                    let d = data.row(i)[a] - means[c];
+                    sq[c] += d * d;
+                }
+                let gaussians: Vec<Gaussian> = means
+                    .iter()
+                    .zip(&sq)
+                    .zip(&counts)
+                    .map(|((&mean, &s), &c)| Gaussian {
+                        mean,
+                        var: if c > 1 {
+                            (s / (c - 1) as f64).max(MIN_VAR)
+                        } else {
+                            1.0 // uninformative unit variance for empty/singleton classes
+                        },
+                    })
+                    .collect();
+                attrs.push(AttrModel::Numeric(gaussians));
+            }
+            AttrKind::Categorical { values } => {
+                let card = values.len();
+                let mut table = vec![0u32; n_classes * card];
+                for i in 0..n {
+                    let v = data.row(i)[a] as usize;
+                    table[data.label(i) as usize * card + v] += 1;
+                }
+                let log_prob: Vec<f64> = (0..n_classes)
+                    .flat_map(|c| {
+                        let total: u32 = table[c * card..(c + 1) * card].iter().sum();
+                        (0..card).map(move |v| (c, v, total))
+                    })
+                    .map(|(c, v, total)| {
+                        ((table[c * card + v] as f64 + 1.0)
+                            / (total as f64 + card as f64))
+                            .ln()
+                    })
+                    .collect();
+                attrs.push(AttrModel::Categorical { card, log_prob });
+            }
+        }
+    }
+
+    NaiveBayes {
+        log_prior,
+        attrs,
+        n_classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_data::{Attribute, Dataset, Schema};
+
+    #[test]
+    fn separates_gaussian_clusters() {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["lo", "hi"]);
+        let mut d = Dataset::new(schema);
+        for i in 0..50 {
+            d.push(&[i as f64 * 0.01], 0); // around 0.25
+            d.push(&[2.0 + i as f64 * 0.01], 1); // around 2.25
+        }
+        let m = NaiveBayesLearner.fit(&d);
+        assert_eq!(m.predict(&[0.2]), 0);
+        assert_eq!(m.predict(&[2.3]), 1);
+    }
+
+    #[test]
+    fn uses_categorical_evidence() {
+        let schema = Schema::new(
+            vec![Attribute::categorical("c", ["u", "v"])],
+            ["a", "b"],
+        );
+        let mut d = Dataset::new(schema);
+        for _ in 0..20 {
+            d.push(&[0.0], 0);
+            d.push(&[1.0], 1);
+        }
+        let m = NaiveBayesLearner.fit(&d);
+        assert_eq!(m.predict(&[0.0]), 0);
+        assert_eq!(m.predict(&[1.0]), 1);
+        let mut p = [0.0; 2];
+        m.predict_proba(&[0.0], &mut p);
+        assert!(p[0] > 0.9);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_class_with_no_records() {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b", "never"]);
+        let mut d = Dataset::new(schema);
+        for i in 0..10 {
+            d.push(&[i as f64], (i % 2) as u32);
+        }
+        let m = NaiveBayesLearner.fit(&d);
+        let mut p = [0.0; 3];
+        m.predict_proba(&[5.0], &mut p);
+        assert!(p.iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[2] < p[0].max(p[1]));
+    }
+
+    #[test]
+    fn zero_variance_attribute_does_not_panic() {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let mut d = Dataset::new(schema);
+        for _ in 0..10 {
+            d.push(&[1.0], 0);
+            d.push(&[1.0], 1);
+        }
+        let m = NaiveBayesLearner.fit(&d);
+        let mut p = [0.0; 2];
+        m.predict_proba(&[1.0], &mut p);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn unseen_category_is_neutral() {
+        let schema = Schema::new(
+            vec![Attribute::categorical("c", ["u", "v", "w"])],
+            ["a", "b"],
+        );
+        let mut d = Dataset::new(schema);
+        for _ in 0..8 {
+            d.push(&[0.0], 0);
+            d.push(&[1.0], 1);
+        }
+        let m = NaiveBayesLearner.fit(&d);
+        let mut p = [0.0; 2];
+        m.predict_proba(&[2.0], &mut p); // w never seen
+        // falls back to (smoothed) prior-ish: close to uniform
+        assert!((p[0] - p[1]).abs() < 0.4);
+    }
+}

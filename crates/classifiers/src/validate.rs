@@ -1,0 +1,207 @@
+//! Holdout and k-fold validation.
+//!
+//! The concept-clustering objective Q(P) = Σ|Dᵢ|·Errᵢ (paper Eq. 1) needs a
+//! validation error for every cluster. The paper derives it by holdout: half
+//! the cluster's data (chosen at random) trains the model, the other half
+//! measures its error (§II-B). Footnote 1 notes k-fold cross-validation is
+//! preferable but slower; both are implemented here.
+
+use hom_data::rng::holdout_split;
+use hom_data::{Dataset, IndexView, Instances};
+use rand::rngs::StdRng;
+
+use crate::api::{Classifier, Learner};
+
+/// Error rate of `model` on a view.
+pub fn evaluate(model: &dyn Classifier, data: &dyn Instances) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut wrong = 0usize;
+    for i in 0..data.len() {
+        if model.predict(data.row(i)) != data.label(i) {
+            wrong += 1;
+        }
+    }
+    wrong as f64 / data.len() as f64
+}
+
+/// Result of a holdout fit: the trained model, its holdout error, and the
+/// index split that produced them (indices are into the original dataset).
+pub struct HoldoutFit {
+    /// Model trained on the training half.
+    pub model: Box<dyn Classifier>,
+    /// Error rate of `model` on the held-out half.
+    pub error: f64,
+    /// Indices of the training half.
+    pub train_idx: Vec<u32>,
+    /// Indices of the held-out half.
+    pub test_idx: Vec<u32>,
+}
+
+/// Split the records at `idx` into random halves, train on one and measure
+/// error on the other (paper §II-B).
+///
+/// With a single record the test half is empty; the error is then 0 and the
+/// model is trained on that one record — the paper excludes this case for
+/// clustering (every Dᵢ has ≥ 2 records) but the function stays total.
+pub fn holdout_fit(
+    learner: &dyn Learner,
+    data: &Dataset,
+    idx: &[u32],
+    rng: &mut StdRng,
+) -> HoldoutFit {
+    assert!(!idx.is_empty(), "cannot fit on an empty cluster");
+    let (train_local, test_local) = holdout_split(idx.len(), rng);
+    let train_idx: Vec<u32> = train_local.iter().map(|&i| idx[i as usize]).collect();
+    let test_idx: Vec<u32> = test_local.iter().map(|&i| idx[i as usize]).collect();
+    fit_split(learner, data, train_idx, test_idx)
+}
+
+/// Train on `train_idx` and measure error on `test_idx` (both index into
+/// `data`). Used directly by the clustering algorithm when merging two
+/// clusters: the merged cluster's split is the union of the children's
+/// splits, so holdout data is never re-randomized during merging.
+pub fn fit_split(
+    learner: &dyn Learner,
+    data: &Dataset,
+    train_idx: Vec<u32>,
+    test_idx: Vec<u32>,
+) -> HoldoutFit {
+    let model = learner.fit(&IndexView::new(data, &train_idx));
+    let error = evaluate(model.as_ref(), &IndexView::new(data, &test_idx));
+    HoldoutFit {
+        model,
+        error,
+        train_idx,
+        test_idx,
+    }
+}
+
+/// Mean k-fold cross-validation error over the records at `idx`
+/// (the footnote-1 alternative to holdout).
+///
+/// # Panics
+/// Panics if `k < 2` or there are fewer records than folds.
+pub fn kfold_error(
+    learner: &dyn Learner,
+    data: &Dataset,
+    idx: &[u32],
+    k: usize,
+    rng: &mut StdRng,
+) -> f64 {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(idx.len() >= k, "need at least one record per fold");
+    use rand::seq::SliceRandom;
+    let mut order: Vec<u32> = idx.to_vec();
+    order.shuffle(rng);
+
+    let mut total_wrong = 0usize;
+    for fold in 0..k {
+        let lo = fold * order.len() / k;
+        let hi = (fold + 1) * order.len() / k;
+        let test: Vec<u32> = order[lo..hi].to_vec();
+        let train: Vec<u32> = order[..lo]
+            .iter()
+            .chain(&order[hi..])
+            .copied()
+            .collect();
+        let model = learner.fit(&IndexView::new(data, &train));
+        let test_view = IndexView::new(data, &test);
+        for i in 0..test_view.len() {
+            if model.predict(test_view.row(i)) != test_view.label(i) {
+                total_wrong += 1;
+            }
+        }
+    }
+    total_wrong as f64 / order.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DecisionTreeLearner, MajorityLearner};
+    use hom_data::rng::seeded;
+    use hom_data::{Attribute, Dataset, Schema};
+
+    fn threshold_data(n: usize) -> Dataset {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["lo", "hi"]);
+        let mut d = Dataset::new(schema);
+        for i in 0..n {
+            let v = i as f64 / n as f64;
+            d.push(&[v], u32::from(v > 0.5));
+        }
+        d
+    }
+
+    #[test]
+    fn evaluate_counts_errors() {
+        let d = threshold_data(20);
+        let model = MajorityLearner.fit(&d);
+        let err = evaluate(model.as_ref(), &d);
+        // majority class covers ~half the data
+        assert!(err > 0.3 && err < 0.7);
+    }
+
+    #[test]
+    fn holdout_fit_learnable_concept_has_low_error() {
+        let d = threshold_data(200);
+        let idx: Vec<u32> = (0..200).collect();
+        let mut rng = seeded(1);
+        let fit = holdout_fit(&DecisionTreeLearner::new(), &d, &idx, &mut rng);
+        assert!(fit.error < 0.1, "error was {}", fit.error);
+        assert_eq!(fit.train_idx.len(), 100);
+        assert_eq!(fit.test_idx.len(), 100);
+        // halves are disjoint and cover idx
+        let mut all: Vec<u32> = fit
+            .train_idx
+            .iter()
+            .chain(&fit.test_idx)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, idx);
+    }
+
+    #[test]
+    fn holdout_fit_single_record() {
+        let d = threshold_data(4);
+        let mut rng = seeded(2);
+        let fit = holdout_fit(&MajorityLearner, &d, &[2], &mut rng);
+        assert_eq!(fit.error, 0.0);
+        assert_eq!(fit.train_idx.len(), 1);
+        assert!(fit.test_idx.is_empty());
+    }
+
+    #[test]
+    fn kfold_error_learnable_concept() {
+        let d = threshold_data(100);
+        let idx: Vec<u32> = (0..100).collect();
+        let mut rng = seeded(3);
+        let err = kfold_error(&DecisionTreeLearner::new(), &d, &idx, 5, &mut rng);
+        assert!(err < 0.15, "error was {err}");
+    }
+
+    #[test]
+    fn kfold_error_random_labels_is_high() {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let mut d = Dataset::new(schema);
+        let mut state = 99u64;
+        for i in 0..100 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            d.push(&[i as f64], ((state >> 33) & 1) as u32);
+        }
+        let idx: Vec<u32> = (0..100).collect();
+        let mut rng = seeded(4);
+        let err = kfold_error(&DecisionTreeLearner::new(), &d, &idx, 4, &mut rng);
+        assert!(err > 0.3, "error was {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn kfold_rejects_k1() {
+        let d = threshold_data(10);
+        let idx: Vec<u32> = (0..10).collect();
+        kfold_error(&MajorityLearner, &d, &idx, 1, &mut seeded(5));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the classifier invariants.
+
+use hom_classifiers::{
+    argmax, Classifier, DecisionTreeLearner, Learner, MajorityLearner, NaiveBayesLearner,
+};
+use hom_data::{Attribute, Dataset, Schema};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// An arbitrary small mixed-schema dataset: one numeric and one
+/// 3-valued categorical attribute, two classes.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec((0.0f64..1.0, 0u32..3, 0u32..2), 1..80).prop_map(|rows| {
+        let schema = Schema::new(
+            vec![
+                Attribute::numeric("x"),
+                Attribute::categorical("c", ["u", "v", "w"]),
+            ],
+            ["neg", "pos"],
+        );
+        let mut d = Dataset::new(schema);
+        for (x, c, y) in rows {
+            d.push(&[x, f64::from(c)], y);
+        }
+        d
+    })
+}
+
+fn learners() -> Vec<Box<dyn Learner>> {
+    vec![
+        Box::new(DecisionTreeLearner::new()),
+        Box::new(DecisionTreeLearner::unpruned()),
+        Box::new(NaiveBayesLearner),
+        Box::new(MajorityLearner),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every learner: probabilities are a distribution, strictly
+    /// positive (Laplace smoothing), and consistent with `predict` up to
+    /// argmax tie-breaking.
+    #[test]
+    fn proba_is_distribution(d in dataset_strategy(), qx in 0.0f64..1.0, qc in 0u32..3) {
+        let q = [qx, f64::from(qc)];
+        for learner in learners() {
+            let model = learner.fit(&d);
+            let mut p = [0.0f64; 2];
+            model.predict_proba(&q, &mut p);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+                "{}: proba sums to {}", learner.name(), p.iter().sum::<f64>());
+            prop_assert!(p.iter().all(|&v| v > 0.0 && v.is_finite()),
+                "{}: non-positive probability {p:?}", learner.name());
+            let pred = model.predict(&q) as usize;
+            // predict must be one of the maximal-probability classes
+            let max = p[argmax(&p)];
+            prop_assert!(p[pred] >= max - 1e-9,
+                "{}: predict {pred} not maximal in {p:?}", learner.name());
+        }
+    }
+
+    /// Training data outside the schema's value range must not panic at
+    /// prediction time (unseen categories, out-of-range numerics).
+    #[test]
+    fn predict_total_on_weird_inputs(d in dataset_strategy(), qx in -10.0f64..10.0) {
+        for learner in learners() {
+            let model = learner.fit(&d);
+            for qc in [0.0, 1.0, 2.0, 7.0, -1.0, 0.5] {
+                let q = [qx, qc];
+                let y = model.predict(&q);
+                prop_assert!(y < 2);
+            }
+        }
+    }
+
+    /// A pruned tree never has more leaves than its unpruned twin, and
+    /// both classify training-pure datasets perfectly.
+    #[test]
+    fn pruning_never_grows(d in dataset_strategy()) {
+        let pruned = DecisionTreeLearner::new().fit_tree(&d);
+        let unpruned = DecisionTreeLearner::unpruned().fit_tree(&d);
+        prop_assert!(pruned.n_leaves() <= unpruned.n_leaves());
+        prop_assert!(pruned.depth() <= unpruned.depth());
+    }
+
+    /// On a deterministic, perfectly learnable target the unpruned tree
+    /// reaches zero training error.
+    #[test]
+    fn tree_fits_consistent_data(xs in proptest::collection::vec(0.0f64..1.0, 8..100)) {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["lo", "hi"]);
+        let mut d = Dataset::new(schema);
+        // consistent labeling: threshold at 0.5 with a margin
+        let mut n_used = 0;
+        for &x in &xs {
+            if (x - 0.5).abs() > 0.05 {
+                d.push(&[x], u32::from(x > 0.5));
+                n_used += 1;
+            }
+        }
+        prop_assume!(n_used >= 8);
+        let both = d.class_counts().iter().all(|&c| c >= 2);
+        prop_assume!(both);
+        let tree = DecisionTreeLearner::unpruned().fit_tree(&d);
+        for i in 0..d.len() {
+            prop_assert_eq!(tree.predict(hom_data::Instances::row(&d, i)),
+                hom_data::Instances::label(&d, i));
+        }
+    }
+
+    /// Holdout validation returns an error in [0,1] and reuses every
+    /// index exactly once.
+    #[test]
+    fn holdout_fit_partitions(d in dataset_strategy(), seed in any::<u64>()) {
+        use hom_classifiers::validate::holdout_fit;
+        let idx: Vec<u32> = (0..d.len() as u32).collect();
+        let mut rng = hom_data::rng::seeded(seed);
+        let fit = holdout_fit(&DecisionTreeLearner::new(), &d, &idx, &mut rng);
+        prop_assert!((0.0..=1.0).contains(&fit.error));
+        let mut all: Vec<u32> = fit.train_idx.iter().chain(&fit.test_idx).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, idx);
+    }
+}
+
+/// Shared-schema sanity for the trait objects: models survive being
+/// moved behind `Arc<dyn Classifier>` and used from another thread.
+#[test]
+fn classifier_is_send_sync() {
+    let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+    let mut d = Dataset::new(schema);
+    for i in 0..20 {
+        d.push(&[i as f64], u32::from(i >= 10));
+    }
+    let model: Arc<dyn Classifier> = Arc::from(DecisionTreeLearner::new().fit(&d));
+    let m2 = Arc::clone(&model);
+    let handle = std::thread::spawn(move || m2.predict(&[15.0]));
+    assert_eq!(handle.join().unwrap(), 1);
+    assert_eq!(model.predict(&[3.0]), 0);
+}

@@ -1,0 +1,218 @@
+//! The merge tree and its final cut (§II-C.2).
+
+use crate::node::ClusterNode;
+
+/// Tolerance for the `Err* < Err` comparison in the cut. `Err*` is defined
+/// as a minimum involving `Err`, so `Err* ≤ Err` always holds; equality
+/// (up to rounding) means "this node's own model is the local optimum".
+const EPS: f64 = 1e-12;
+
+/// A dendrogram: the arena of all clusters ever created plus the roots
+/// remaining when merging stopped (a single root unless merging terminated
+/// early under the §II-D rule).
+pub struct Dendrogram {
+    /// All nodes; initial nodes first, merged nodes appended in merge
+    /// order (so children always precede parents).
+    pub nodes: Vec<ClusterNode>,
+    /// Ids of the clusters still alive when merging stopped.
+    pub roots: Vec<u32>,
+    /// Number of mergers performed.
+    pub mergers: usize,
+}
+
+impl Dendrogram {
+    /// The final cut: split nodes top-down while `Err* < Err` (§II-C.2),
+    /// returning the node ids of the best partition found during merging.
+    ///
+    /// `slack_z` guards the comparison against holdout noise: a node is
+    /// split only when its children's partition improves the error by more
+    /// than `slack_z` standard errors of the node's holdout estimate
+    /// (`√(Err(1−Err)/|Dᵗᵉˢᵗ|)`). With `slack_z = 0` this is exactly the
+    /// paper's strict rule, which at the paper's 200k-record scale is
+    /// effectively noise-free; at smaller scales a slack of ~1.5 prevents
+    /// chance fluctuations from splitting off spurious micro-concepts.
+    pub fn cut(&self, slack_z: f64) -> Vec<u32> {
+        let mut partition = Vec::new();
+        let mut stack: Vec<u32> = self.roots.clone();
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            let n_test = node.test_idx.len().max(1) as f64;
+            let std_err = (node.err * (1.0 - node.err) / n_test).sqrt();
+            match node.children {
+                Some((u, v)) if node.err_star < node.err - slack_z * std_err - EPS => {
+                    stack.push(u);
+                    stack.push(v);
+                }
+                _ => partition.push(id),
+            }
+        }
+        partition.sort_unstable();
+        partition
+    }
+
+    /// The initial (leaf) node ids under `id`, in ascending id order.
+    pub fn leaves_under(&self, id: u32) -> Vec<u32> {
+        let mut leaves = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            match self.nodes[n as usize].children {
+                Some((u, v)) => {
+                    stack.push(u);
+                    stack.push(v);
+                }
+                None => leaves.push(n),
+            }
+        }
+        leaves.sort_unstable();
+        leaves
+    }
+
+    /// The objective `Q(P) = Σ |Dᵢ|·Errᵢ` (Eq. 1) of a set of node ids.
+    pub fn q_of(&self, partition: &[u32]) -> f64 {
+        partition
+            .iter()
+            .map(|&id| self.nodes[id as usize].weighted_err())
+            .sum()
+    }
+
+    /// Total records across the roots.
+    pub fn total_records(&self) -> usize {
+        self.roots
+            .iter()
+            .map(|&r| self.nodes[r as usize].size())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_classifiers::MajorityClassifier;
+
+    fn mk_node(
+        idx: Vec<u32>,
+        err: f64,
+        err_star: f64,
+        children: Option<(u32, u32)>,
+    ) -> ClusterNode {
+        ClusterNode {
+            idx,
+            train_idx: vec![],
+            test_idx: vec![],
+            model: std::sync::Arc::new(MajorityClassifier::from_counts(&[1, 1])),
+            err,
+            err_star,
+            children,
+            alive: children.is_none(),
+            preds: vec![],
+        }
+    }
+
+    /// Two leaves with zero error merged into a root with high error: the
+    /// cut must split the root.
+    #[test]
+    fn cut_splits_bad_root() {
+        let d = Dendrogram {
+            nodes: vec![
+                mk_node(vec![0, 1], 0.0, 0.0, None),
+                mk_node(vec![2, 3], 0.0, 0.0, None),
+                mk_node(vec![0, 1, 2, 3], 0.5, 0.0, Some((0, 1))),
+            ],
+            roots: vec![2],
+            mergers: 1,
+        };
+        assert_eq!(d.cut(0.0), vec![0, 1]);
+        assert_eq!(d.q_of(&d.cut(0.0)), 0.0);
+    }
+
+    /// A root whose own model is at least as good as its children's
+    /// partition stays whole.
+    #[test]
+    fn cut_keeps_good_root() {
+        let d = Dendrogram {
+            nodes: vec![
+                mk_node(vec![0, 1], 0.2, 0.2, None),
+                mk_node(vec![2, 3], 0.2, 0.2, None),
+                mk_node(vec![0, 1, 2, 3], 0.1, 0.1, Some((0, 1))),
+            ],
+            roots: vec![2],
+            mergers: 1,
+        };
+        assert_eq!(d.cut(0.0), vec![2]);
+    }
+
+    /// Nested structure: root splits, one child splits again, the other
+    /// stays (the "cannot cut during merging" caveat of §II-C.2 — a split
+    /// decision at one level does not preclude deeper splits).
+    #[test]
+    fn cut_recurses_past_first_split() {
+        let d = Dendrogram {
+            nodes: vec![
+                mk_node(vec![0], 0.0, 0.0, None),             // 0
+                mk_node(vec![1], 0.0, 0.0, None),             // 1
+                mk_node(vec![2, 3], 0.05, 0.05, None),        // 2
+                mk_node(vec![0, 1], 0.4, 0.0, Some((0, 1))),  // 3: should split
+                mk_node(vec![0, 1, 2, 3], 0.4, 0.025, Some((3, 2))), // 4: should split
+            ],
+            roots: vec![4],
+            mergers: 2,
+        };
+        assert_eq!(d.cut(0.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cut_handles_multiple_roots() {
+        let d = Dendrogram {
+            nodes: vec![
+                mk_node(vec![0, 1], 0.1, 0.1, None),
+                mk_node(vec![2, 3], 0.2, 0.2, None),
+            ],
+            roots: vec![0, 1],
+            mergers: 0,
+        };
+        assert_eq!(d.cut(0.0), vec![0, 1]);
+        assert_eq!(d.total_records(), 4);
+    }
+
+    #[test]
+    fn leaves_under_collects_descendants() {
+        let d = Dendrogram {
+            nodes: vec![
+                mk_node(vec![0], 0.0, 0.0, None),
+                mk_node(vec![1], 0.0, 0.0, None),
+                mk_node(vec![2], 0.0, 0.0, None),
+                mk_node(vec![0, 1], 0.0, 0.0, Some((0, 1))),
+                mk_node(vec![0, 1, 2], 0.0, 0.0, Some((3, 2))),
+            ],
+            roots: vec![4],
+            mergers: 2,
+        };
+        assert_eq!(d.leaves_under(4), vec![0, 1, 2]);
+        assert_eq!(d.leaves_under(3), vec![0, 1]);
+        assert_eq!(d.leaves_under(2), vec![2]);
+    }
+
+    /// The defining property of the cut: the partition it returns attains
+    /// Q = Σ_roots |D_root| · Err*_root.
+    #[test]
+    fn cut_attains_err_star_of_roots() {
+        let d = Dendrogram {
+            nodes: vec![
+                mk_node(vec![0, 1], 0.1, 0.1, None),
+                mk_node(vec![2, 3], 0.3, 0.3, None),
+                // merged model err 0.5; children partition = (2*0.1+2*0.3)/4 = 0.2
+                mk_node(vec![0, 1, 2, 3], 0.5, 0.2, Some((0, 1))),
+            ],
+            roots: vec![2],
+            mergers: 1,
+        };
+        let cut = d.cut(0.0);
+        let q = d.q_of(&cut);
+        let expected: f64 = d
+            .roots
+            .iter()
+            .map(|&r| d.nodes[r as usize].size() as f64 * d.nodes[r as usize].err_star)
+            .sum();
+        assert!((q - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,362 @@
+//! Step 1: merge adjacent blocks into chunks (concept occurrences).
+//!
+//! The historical stream is partitioned into equal-size blocks; only
+//! *neighboring* clusters may merge (Fig. 2a — the candidate graph is a
+//! chain), so every cluster remains a contiguous segment of the stream.
+//! Merge order follows ΔQ (Eq. 2) exactly: for every candidate pair a
+//! classifier is trained on the union of the training halves and validated
+//! on the union of the test halves; the candidate with the smallest ΔQ is
+//! merged first. Candidate fits are cached so the winning merger reuses
+//! the already-trained model instead of training it twice.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use hom_classifiers::validate::holdout_fit;
+use hom_classifiers::{Classifier, Learner};
+use std::sync::Arc;
+use hom_data::rng::seeded;
+use hom_data::Dataset;
+
+use crate::dendrogram::Dendrogram;
+use crate::node::{err_star_merged, fit_merged, ClusterNode};
+use crate::ClusterParams;
+
+/// A cached candidate merger: the already-fitted merged cluster.
+struct CandidateFit {
+    idx: Vec<u32>,
+    train_idx: Vec<u32>,
+    test_idx: Vec<u32>,
+    model: Arc<dyn Classifier>,
+    err: f64,
+}
+
+/// Min-heap key ordered by `f64` (total order).
+#[derive(PartialEq)]
+struct Key(f64, u32, u32);
+
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then(self.1.cmp(&other.1))
+            .then(self.2.cmp(&other.2))
+    }
+}
+
+/// The chunks produced by step 1, handed to step 2.
+pub struct Step1Result {
+    /// Chunk clusters in stream order.
+    pub chunks: Vec<ClusterNode>,
+    /// `(start, end)` record ranges of each chunk.
+    pub bounds: Vec<(usize, usize)>,
+    /// Number of mergers performed.
+    pub mergers: usize,
+}
+
+/// Partition `0..n` into contiguous blocks of `block_size`, folding a
+/// too-small remainder (< 2 records) into the final block.
+pub(crate) fn block_ranges(n: usize, block_size: usize) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::with_capacity(n / block_size + 1);
+    let mut start = 0;
+    while start < n {
+        let end = (start + block_size).min(n);
+        ranges.push((start, end));
+        start = end;
+    }
+    // A trailing 1-record block cannot be holdout-split; fold it into the
+    // previous block.
+    if ranges.len() >= 2 && ranges.last().unwrap().1 - ranges.last().unwrap().0 < 2 {
+        let (_, end) = ranges.pop().unwrap();
+        ranges.last_mut().unwrap().1 = end;
+    }
+    ranges
+}
+
+/// Run step 1 over `data`.
+pub fn run(
+    data: &Dataset,
+    learner: &dyn Learner,
+    params: &ClusterParams,
+    seed: u64,
+) -> Step1Result {
+    let mut rng = seeded(seed);
+    let ranges = block_ranges(data.len(), params.block_size);
+    let n_blocks = ranges.len();
+
+    // Initial nodes: one per block, each with its own holdout fit
+    // (Algorithm 1, lines 2–7).
+    let mut nodes: Vec<ClusterNode> = Vec::with_capacity(2 * n_blocks);
+    for &(start, end) in &ranges {
+        let idx: Vec<u32> = (start as u32..end as u32).collect();
+        let fit = holdout_fit(learner, data, &idx, &mut rng);
+        nodes.push(ClusterNode {
+            idx,
+            train_idx: fit.train_idx,
+            test_idx: fit.test_idx,
+            model: Arc::from(fit.model),
+            err: fit.error,
+            err_star: fit.error,
+            children: None,
+            alive: true,
+            preds: Vec::new(),
+        });
+    }
+
+    // Chain adjacency: left/right neighbor of each arena node.
+    let mut left: Vec<Option<u32>> = (0..n_blocks)
+        .map(|i| if i == 0 { None } else { Some(i as u32 - 1) })
+        .collect();
+    let mut right: Vec<Option<u32>> = (0..n_blocks)
+        .map(|i| {
+            if i + 1 == n_blocks {
+                None
+            } else {
+                Some(i as u32 + 1)
+            }
+        })
+        .collect();
+
+    let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
+    let mut cache: HashMap<(u32, u32), CandidateFit> = HashMap::new();
+
+    // Seed the heap with every adjacent pair.
+    for u in 0..n_blocks.saturating_sub(1) as u32 {
+        let v = u + 1;
+        let dq = push_candidate(data, learner, &nodes, u, v, &mut cache, params.reuse_ratio);
+        heap.push(Reverse(Key(dq, u, v)));
+    }
+
+    let mut mergers = 0usize;
+    while let Some(Reverse(Key(_, u, v))) = heap.pop() {
+        // Lazy invalidation: the entry is valid only if both clusters are
+        // alive, still adjacent, and the cached fit was not dropped.
+        if !nodes[u as usize].alive || !nodes[v as usize].alive {
+            continue;
+        }
+        if right[u as usize] != Some(v) {
+            continue;
+        }
+        let Some(fit) = cache.remove(&(u, v)) else {
+            continue;
+        };
+
+        // Materialize the merger (Algorithm 1, lines 10–19).
+        let err_star = err_star_merged(fit.err, &nodes[u as usize], &nodes[v as usize]);
+        let w = nodes.len() as u32;
+        nodes[u as usize].alive = false;
+        nodes[v as usize].alive = false;
+        nodes.push(ClusterNode {
+            idx: fit.idx,
+            train_idx: fit.train_idx,
+            test_idx: fit.test_idx,
+            model: fit.model,
+            err: fit.err,
+            err_star,
+            children: Some((u, v)),
+            alive: true,
+            preds: Vec::new(),
+        });
+        mergers += 1;
+
+        // Rewire the chain: w replaces the span [u, v].
+        let lw = left[u as usize];
+        let rw = right[v as usize];
+        left.push(lw);
+        right.push(rw);
+        if let Some(l) = lw {
+            right[l as usize] = Some(w);
+            cache.remove(&(l, u));
+        }
+        if let Some(r) = rw {
+            left[r as usize] = Some(w);
+            cache.remove(&(v, r));
+        }
+
+        // Early termination (§II-D): a frozen cluster stops merging.
+        let w_frozen = params
+            .early_stop
+            .as_ref()
+            .is_some_and(|rule| rule.frozen(&nodes[w as usize]));
+        if w_frozen {
+            continue;
+        }
+        let frozen = |id: u32| {
+            params
+                .early_stop
+                .as_ref()
+                .is_some_and(|rule| rule.frozen(&nodes[id as usize]))
+        };
+        if let Some(l) = lw {
+            if !frozen(l) {
+                let dq = push_candidate(data, learner, &nodes, l, w, &mut cache, params.reuse_ratio);
+                heap.push(Reverse(Key(dq, l, w)));
+            }
+        }
+        if let Some(r) = rw {
+            if !frozen(r) {
+                let dq = push_candidate(data, learner, &nodes, w, r, &mut cache, params.reuse_ratio);
+                heap.push(Reverse(Key(dq, w, r)));
+            }
+        }
+    }
+
+    let roots: Vec<u32> = (0..nodes.len() as u32)
+        .filter(|&i| nodes[i as usize].alive)
+        .collect();
+    let dendro = Dendrogram {
+        nodes,
+        roots,
+        mergers,
+    };
+    let cut = dendro.cut(params.cut_slack_z);
+
+    // Extract the cut clusters, ordered by stream position.
+    let mut order: Vec<u32> = cut;
+    order.sort_by_key(|&id| dendro.nodes[id as usize].idx.iter().min().copied());
+    let mut taken: Vec<Option<ClusterNode>> = dendro.nodes.into_iter().map(Some).collect();
+    let mut chunks = Vec::with_capacity(order.len());
+    let mut bounds = Vec::with_capacity(order.len());
+    for id in order {
+        let node = taken[id as usize].take().expect("cut ids are unique");
+        let start = *node.idx.iter().min().expect("chunks are non-empty") as usize;
+        let end = *node.idx.iter().max().unwrap() as usize + 1;
+        debug_assert_eq!(
+            end - start,
+            node.idx.len(),
+            "step-1 clusters are contiguous"
+        );
+        bounds.push((start, end));
+        chunks.push(node);
+    }
+
+    Step1Result {
+        chunks,
+        bounds,
+        mergers,
+    }
+}
+
+/// Fit the candidate merger `(u, v)`, cache it, and return its ΔQ (Eq. 2).
+fn push_candidate(
+    data: &Dataset,
+    learner: &dyn Learner,
+    nodes: &[ClusterNode],
+    u: u32,
+    v: u32,
+    cache: &mut HashMap<(u32, u32), CandidateFit>,
+    reuse_ratio: Option<f64>,
+) -> f64 {
+    let (idx, train_idx, test_idx, model, err) =
+        fit_merged(data, learner, &nodes[u as usize], &nodes[v as usize], reuse_ratio);
+    let dq = idx.len() as f64 * err
+        - nodes[u as usize].weighted_err()
+        - nodes[v as usize].weighted_err();
+    cache.insert(
+        (u, v),
+        CandidateFit {
+            idx,
+            train_idx,
+            test_idx,
+            model,
+            err,
+        },
+    );
+    dq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_classifiers::DecisionTreeLearner;
+    use hom_data::{Attribute, Schema};
+
+    #[test]
+    fn block_ranges_cover_everything() {
+        assert_eq!(block_ranges(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(block_ranges(8, 4), vec![(0, 4), (4, 8)]);
+        // 1-record remainder folds into the previous block
+        assert_eq!(block_ranges(9, 4), vec![(0, 4), (4, 9)]);
+        assert_eq!(block_ranges(4, 4), vec![(0, 4)]);
+    }
+
+    /// Two clearly different concepts laid out as two halves of the stream
+    /// must produce a chunk boundary at (or near) the true change point.
+    #[test]
+    fn finds_change_point_between_two_concepts() {
+        let schema = Schema::new(
+            vec![Attribute::categorical("a", ["p", "q"])],
+            ["neg", "pos"],
+        );
+        let mut d = hom_data::Dataset::new(schema);
+        // concept 1 (records 0..100): label = a
+        for i in 0..100 {
+            let a = f64::from(i % 2 == 0);
+            d.push(&[a], a as u32);
+        }
+        // concept 2 (records 100..200): label = NOT a
+        for i in 0..100 {
+            let a = f64::from(i % 2 == 0);
+            d.push(&[a], 1 - a as u32);
+        }
+        let result = run(
+            &d,
+            &DecisionTreeLearner::new(),
+            &ClusterParams {
+                block_size: 10,
+                ..Default::default()
+            },
+            7,
+        );
+        assert!(
+            result.chunks.len() >= 2,
+            "expected a chunk boundary, got {} chunk(s)",
+            result.chunks.len()
+        );
+        // Some chunk boundary lies exactly at the concept change (both
+        // concepts are perfectly learnable, so Q strongly favors it).
+        assert!(
+            result.bounds.iter().any(|&(s, e)| s == 100 || e == 100),
+            "bounds {:?} miss the true change point",
+            result.bounds
+        );
+        // Bounds tile the stream.
+        assert_eq!(result.bounds.first().unwrap().0, 0);
+        assert_eq!(result.bounds.last().unwrap().1, 200);
+        for w in result.bounds.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    /// A stream with a single stable concept should collapse to one chunk.
+    #[test]
+    fn single_concept_becomes_one_chunk() {
+        let schema = Schema::new(
+            vec![Attribute::categorical("a", ["p", "q"])],
+            ["neg", "pos"],
+        );
+        let mut d = hom_data::Dataset::new(schema);
+        for i in 0..120 {
+            let a = f64::from(i % 2 == 0);
+            d.push(&[a], a as u32);
+        }
+        let result = run(
+            &d,
+            &DecisionTreeLearner::new(),
+            &ClusterParams {
+                block_size: 10,
+                ..Default::default()
+            },
+            11,
+        );
+        assert_eq!(result.chunks.len(), 1, "bounds = {:?}", result.bounds);
+        assert_eq!(result.bounds, vec![(0, 120)]);
+        assert_eq!(result.mergers, 11); // 12 blocks -> 1 cluster
+    }
+}

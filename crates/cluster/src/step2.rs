@@ -1,0 +1,337 @@
+//! Step 2: group chunks into stable concepts.
+//!
+//! The chunks found by step 1 form a complete candidate graph (Fig. 2b):
+//! any two chunks may merge, because occurrences of the same concept are
+//! scattered across the stream. Training a classifier for every candidate
+//! pair (as step 1 does) would cost O(n²) fits, so merge order instead
+//! uses the model-similarity distance of Eq. 3,
+//!
+//! ```text
+//! dist(u,v) = |Dᵤ|·(1 − sim(Mᵤ,Mᵥ)) + |Dᵥ|·(1 − sim(Mᵤ,Mᵥ))
+//! ```
+//!
+//! with `sim` the fraction of agreeing predictions (Eq. 4) on a *shared
+//! shuffled sample* `L` of all holdout records: node `u` caches its
+//! model's predictions on `L[0..|Dᵤᵗᵉˢᵗ|]`, and `sim(u,v)` compares the
+//! first `min(|Dᵤᵗᵉˢᵗ|,|Dᵥᵗᵉˢᵗ|)` entries (§II-C.1). A merged cluster does
+//! get a real fitted model (needed for `Err` and the dendrogram cut), but
+//! only O(n) such fits are ever performed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hom_classifiers::Learner;
+use hom_data::rng::seeded;
+use hom_data::Dataset;
+use rand::seq::SliceRandom;
+
+use crate::dendrogram::Dendrogram;
+use crate::node::{err_star_merged, fit_merged, ClusterNode};
+use crate::step1::Step1Result;
+use crate::{ClusterParams, ClusteringResult, DiscoveredConcept};
+
+/// Min-heap key ordered by `f64` distance.
+#[derive(PartialEq)]
+struct Key(f64, u32, u32);
+
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then(self.1.cmp(&other.1))
+            .then(self.2.cmp(&other.2))
+    }
+}
+
+/// Similarity of two nodes' cached prediction arrays (Eq. 4): agreement on
+/// the shared prefix of length `min(kᵤ, kᵥ)`; 0 when either array is empty
+/// (no evidence of agreement).
+fn similarity(u: &ClusterNode, v: &ClusterNode) -> f64 {
+    let k = u.preds.len().min(v.preds.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let agree = u.preds[..k]
+        .iter()
+        .zip(&v.preds[..k])
+        .filter(|(a, b)| a == b)
+        .count();
+    agree as f64 / k as f64
+}
+
+/// The distance of Eq. 3.
+fn distance(u: &ClusterNode, v: &ClusterNode) -> f64 {
+    (u.size() + v.size()) as f64 * (1.0 - similarity(u, v))
+}
+
+/// Fill `node.preds` with its model's predictions on `sample[0..k]`,
+/// `k = min(|test|, |sample|)`.
+fn cache_predictions(data: &Dataset, sample: &[u32], node: &mut ClusterNode) {
+    let k = node.test_idx.len().min(sample.len());
+    node.preds = sample[..k]
+        .iter()
+        .map(|&i| node.model.predict(data.row(i as usize)))
+        .collect();
+}
+
+/// Run step 2 over the chunks of step 1, producing the final concepts.
+pub fn run(
+    data: &Dataset,
+    learner: &dyn Learner,
+    params: &ClusterParams,
+    step1: Step1Result,
+    seed: u64,
+) -> ClusteringResult {
+    let mut rng = seeded(seed);
+    let n_chunks = step1.chunks.len();
+    let chunk_bounds = step1.bounds;
+
+    // The shared shuffled sample L: all holdout records of all chunks
+    // (§II-C.1), optionally capped.
+    let mut sample: Vec<u32> = step1
+        .chunks
+        .iter()
+        .flat_map(|c| c.test_idx.iter().copied())
+        .collect();
+    sample.shuffle(&mut rng);
+    sample.truncate(params.sample_cap);
+
+    let mut nodes: Vec<ClusterNode> = step1.chunks;
+    for node in &mut nodes {
+        // Chunks are the *initial* nodes of this arena: their step-1
+        // subtree is irrelevant here and its child ids would dangle.
+        node.children = None;
+        node.alive = true;
+        node.err_star = node.err; // leaves of the new dendrogram
+        cache_predictions(data, &sample, node);
+    }
+
+    // Seed the heap with every pair (complete graph).
+    let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
+    for u in 0..n_chunks as u32 {
+        for v in (u + 1)..n_chunks as u32 {
+            heap.push(Reverse(Key(
+                distance(&nodes[u as usize], &nodes[v as usize]),
+                u,
+                v,
+            )));
+        }
+    }
+
+    let mut mergers = 0usize;
+    while let Some(Reverse(Key(_, u, v))) = heap.pop() {
+        if !nodes[u as usize].alive || !nodes[v as usize].alive {
+            continue; // stale entry
+        }
+        let (idx, train_idx, test_idx, model, err) =
+            fit_merged(data, learner, &nodes[u as usize], &nodes[v as usize], params.reuse_ratio);
+        let err_star = err_star_merged(err, &nodes[u as usize], &nodes[v as usize]);
+        let w = nodes.len() as u32;
+        nodes[u as usize].alive = false;
+        nodes[v as usize].alive = false;
+        let mut node = ClusterNode {
+            idx,
+            train_idx,
+            test_idx,
+            model,
+            err,
+            err_star,
+            children: Some((u, v)),
+            alive: true,
+            preds: Vec::new(),
+        };
+        cache_predictions(data, &sample, &mut node);
+        nodes.push(node);
+        mergers += 1;
+
+        // Early termination (§II-D).
+        let w_frozen = params
+            .early_stop
+            .as_ref()
+            .is_some_and(|rule| rule.frozen(&nodes[w as usize]));
+        if w_frozen {
+            continue;
+        }
+        // New candidates: w against every remaining alive cluster.
+        for x in 0..w {
+            if nodes[x as usize].alive {
+                let frozen = params
+                    .early_stop
+                    .as_ref()
+                    .is_some_and(|rule| rule.frozen(&nodes[x as usize]));
+                if frozen {
+                    continue;
+                }
+                heap.push(Reverse(Key(
+                    distance(&nodes[x as usize], &nodes[w as usize]),
+                    x,
+                    w,
+                )));
+            }
+        }
+    }
+
+    let roots: Vec<u32> = (0..nodes.len() as u32)
+        .filter(|&i| nodes[i as usize].alive)
+        .collect();
+    let dendro = Dendrogram {
+        nodes,
+        roots,
+        mergers,
+    };
+    let cut = dendro.cut(params.cut_slack_z);
+
+    // Assign chunks to concepts and extract the concept clusters.
+    let mut chunk_concept = vec![usize::MAX; n_chunks];
+    let mut concept_chunks: Vec<Vec<usize>> = Vec::with_capacity(cut.len());
+    for (concept_id, &node_id) in cut.iter().enumerate() {
+        let leaves = dendro.leaves_under(node_id);
+        let mut chunks: Vec<usize> = leaves.iter().map(|&l| l as usize).collect();
+        chunks.sort_unstable();
+        for &c in &chunks {
+            debug_assert!(c < n_chunks, "leaves of step 2 are step-1 chunks");
+            chunk_concept[c] = concept_id;
+        }
+        concept_chunks.push(chunks);
+    }
+    debug_assert!(chunk_concept.iter().all(|&c| c != usize::MAX));
+
+    let mut taken: Vec<Option<ClusterNode>> = dendro.nodes.into_iter().map(Some).collect();
+    let concepts: Vec<DiscoveredConcept> = cut
+        .iter()
+        .zip(concept_chunks)
+        .map(|(&node_id, chunks)| {
+            let node = taken[node_id as usize].take().expect("cut ids are unique");
+            DiscoveredConcept {
+                model: node.model,
+                err: node.err,
+                indices: node.idx,
+                train_idx: node.train_idx,
+                test_idx: node.test_idx,
+                chunks,
+            }
+        })
+        .collect();
+
+    ClusteringResult {
+        concepts,
+        chunk_bounds,
+        chunk_concept,
+        mergers: (0, mergers),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_classifiers::{DecisionTreeLearner, MajorityClassifier};
+    use hom_data::{Attribute, Schema};
+
+    fn mk_node(idx: Vec<u32>, test: Vec<u32>, preds: Vec<u32>) -> ClusterNode {
+        ClusterNode {
+            idx: idx.clone(),
+            train_idx: idx,
+            test_idx: test,
+            model: std::sync::Arc::new(MajorityClassifier::from_counts(&[1, 1])),
+            err: 0.0,
+            err_star: 0.0,
+            children: None,
+            alive: true,
+            preds,
+        }
+    }
+
+    #[test]
+    fn similarity_counts_agreement_on_shared_prefix() {
+        let u = mk_node(vec![0, 1], vec![0, 1], vec![0, 1, 0, 1]);
+        let v = mk_node(vec![2, 3], vec![2], vec![0, 0]);
+        // shared prefix length 2: agree on position 0 only
+        assert_eq!(similarity(&u, &v), 0.5);
+        // distance of Eq. 3: (2+2) * (1-0.5)
+        assert_eq!(distance(&u, &v), 2.0);
+    }
+
+    #[test]
+    fn empty_predictions_give_zero_similarity() {
+        let u = mk_node(vec![0], vec![], vec![]);
+        let v = mk_node(vec![1], vec![1], vec![0]);
+        assert_eq!(similarity(&u, &v), 0.0);
+        assert_eq!(distance(&u, &v), 2.0);
+    }
+
+    /// An alternating-concept stream: step 1 finds the four chunks; step 2
+    /// must group the 1st with the 3rd and the 2nd with the 4th.
+    #[test]
+    fn groups_recurring_occurrences() {
+        let schema = Schema::new(
+            vec![Attribute::categorical("a", ["p", "q"])],
+            ["neg", "pos"],
+        );
+        let mut d = hom_data::Dataset::new(schema);
+        // concept X: label = a; concept Y: label = !a; pattern X Y X Y
+        for seg in 0..4 {
+            for i in 0..80 {
+                let a = f64::from(i % 2 == 0);
+                let label = if seg % 2 == 0 { a as u32 } else { 1 - a as u32 };
+                d.push(&[a], label);
+            }
+        }
+        let params = ClusterParams {
+            block_size: 10,
+            ..Default::default()
+        };
+        let s1 = crate::step1::run(&d, &DecisionTreeLearner::new(), &params, 5);
+        assert!(s1.chunks.len() >= 2);
+        let result = run(&d, &DecisionTreeLearner::new(), &params, s1, 6);
+        assert_eq!(
+            result.concepts.len(),
+            2,
+            "chunk bounds {:?}, assignment {:?}",
+            result.chunk_bounds,
+            result.chunk_concept
+        );
+        // Verify segment membership by record ranges: records in [0,80) and
+        // [160,240) share a concept; [80,160) and [240,320) share the other.
+        let concept_of = |record: usize| {
+            let chunk = result
+                .chunk_bounds
+                .iter()
+                .position(|&(s, e)| s <= record && record < e)
+                .unwrap();
+            result.chunk_concept[chunk]
+        };
+        assert_eq!(concept_of(10), concept_of(170));
+        assert_eq!(concept_of(90), concept_of(250));
+        assert_ne!(concept_of(10), concept_of(90));
+    }
+
+    /// One chunk in: one concept out, no mergers.
+    #[test]
+    fn single_chunk_single_concept() {
+        let schema = Schema::new(
+            vec![Attribute::categorical("a", ["p", "q"])],
+            ["neg", "pos"],
+        );
+        let mut d = hom_data::Dataset::new(schema);
+        for i in 0..60 {
+            let a = f64::from(i % 2 == 0);
+            d.push(&[a], a as u32);
+        }
+        let params = ClusterParams {
+            block_size: 10,
+            ..Default::default()
+        };
+        let s1 = crate::step1::run(&d, &DecisionTreeLearner::new(), &params, 1);
+        let n_chunks = s1.chunks.len();
+        let result = run(&d, &DecisionTreeLearner::new(), &params, s1, 2);
+        assert_eq!(result.concepts.len(), 1);
+        assert_eq!(result.concepts[0].chunks.len(), n_chunks);
+        assert_eq!(result.concepts[0].indices.len(), 60);
+    }
+}

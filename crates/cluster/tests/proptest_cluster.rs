@@ -1,0 +1,123 @@
+//! Property-based tests of the concept-clustering invariants, run on
+//! small randomized concept-switching streams.
+
+use hom_classifiers::DecisionTreeLearner;
+use hom_cluster::{cluster_concepts, ClusterParams};
+use hom_data::{Attribute, Dataset, Schema};
+use proptest::prelude::*;
+
+/// Build a stream of `segments` alternating between `n_concepts` simple
+/// categorical concepts; returns the dataset and the segment layout.
+fn synth_stream(
+    n_concepts: usize,
+    segments: &[(usize, usize)], // (concept, length)
+    seed: u64,
+) -> Dataset {
+    let schema = Schema::new(
+        vec![
+            Attribute::categorical("a", ["p", "q"]),
+            Attribute::categorical("b", ["p", "q"]),
+        ],
+        ["neg", "pos"],
+    );
+    let mut d = Dataset::new(schema);
+    let mut state = seed | 1;
+    let mut rand_bit = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) & 1) as f64
+    };
+    for &(concept, len) in segments {
+        for _ in 0..len {
+            let a = rand_bit();
+            let b = rand_bit();
+            // Distinct deterministic boolean concepts over (a, b).
+            let label = match concept % n_concepts {
+                0 => a as u32,                        // y = a
+                1 => 1 - a as u32,                    // y = !a
+                _ => u32::from(a == b),               // y = (a == b)
+            };
+            d.push(&[a, b], label);
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Structural invariants on arbitrary segmentations:
+    /// chunk bounds tile the stream, every chunk maps to a valid concept,
+    /// concept index sets are disjoint and cover all records.
+    #[test]
+    fn clustering_partitions_the_stream(
+        raw_segments in proptest::collection::vec((0usize..3, 40usize..150), 2..8),
+        seed in any::<u64>(),
+    ) {
+        let data = synth_stream(3, &raw_segments, seed);
+        let result = cluster_concepts(
+            &data,
+            &DecisionTreeLearner::new(),
+            &ClusterParams {
+                block_size: 10,
+                seed,
+                ..Default::default()
+            },
+        );
+
+        // Chunks tile [0, n).
+        prop_assert_eq!(result.chunk_bounds.first().unwrap().0, 0);
+        prop_assert_eq!(result.chunk_bounds.last().unwrap().1, data.len());
+        for w in result.chunk_bounds.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0);
+        }
+
+        // Every chunk assigned to an in-range concept.
+        prop_assert_eq!(result.chunk_concept.len(), result.chunk_bounds.len());
+        for &c in &result.chunk_concept {
+            prop_assert!(c < result.concepts.len());
+        }
+
+        // Concept index sets are disjoint and cover every record.
+        let mut seen = vec![false; data.len()];
+        for concept in &result.concepts {
+            for &i in &concept.indices {
+                prop_assert!(!seen[i as usize], "record {i} in two concepts");
+                seen[i as usize] = true;
+            }
+            // train/test split partitions the concept's records
+            prop_assert_eq!(
+                concept.train_idx.len() + concept.test_idx.len(),
+                concept.indices.len()
+            );
+            // holdout error is a probability
+            prop_assert!((0.0..=1.0).contains(&concept.err));
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some record in no concept");
+
+        // The concept count never exceeds the chunk count.
+        prop_assert!(result.concepts.len() <= result.chunk_bounds.len());
+    }
+
+    /// A stream with a single stable concept always collapses to one
+    /// concept regardless of segmentation of the generator loop.
+    #[test]
+    fn single_concept_never_splits(
+        lens in proptest::collection::vec(50usize..120, 2..5),
+        seed in any::<u64>(),
+    ) {
+        let segments: Vec<(usize, usize)> = lens.iter().map(|&l| (0, l)).collect();
+        let data = synth_stream(3, &segments, seed);
+        let result = cluster_concepts(
+            &data,
+            &DecisionTreeLearner::new(),
+            &ClusterParams {
+                block_size: 10,
+                seed,
+                ..Default::default()
+            },
+        );
+        prop_assert_eq!(result.concepts.len(), 1);
+    }
+}

@@ -1,0 +1,425 @@
+//! Online concept identification and prediction (paper §III).
+//!
+//! The predictor maintains each concept's **active probability**. Per
+//! timestamp `t` the lifecycle is:
+//!
+//! 1. the *prior* `Pₜ⁻(c)` is obtained from the previous posterior through
+//!    the transition kernel χ (Eq. 5);
+//! 2. unlabeled records of timestamp `t` are classified with the
+//!    prior-weighted ensemble (Eq. 10) — the paper's Eq. 10 uses `Pₜ⁻`
+//!    because the label of timestamp `t` is not yet available;
+//! 3. the labeled record `yₜ` arrives and the *posterior* `Pₜ(c)` is
+//!    computed by Bayes' rule with the likelihood proxy `ψ` (Eqs. 7–9).
+//!
+//! [`OnlinePredictor::step`] performs 1–3 for the common benchmark loop
+//! where every record is both predicted and then revealed.
+
+use std::sync::Arc;
+
+use hom_classifiers::argmax;
+use hom_data::ClassId;
+
+use crate::build::HighOrderModel;
+
+/// The online state: a probability distribution over concepts.
+pub struct OnlinePredictor {
+    model: Arc<HighOrderModel>,
+    /// Posterior `P_{t-1}(c)` after the last observed label.
+    posterior: Vec<f64>,
+    /// Prior `Pₜ⁻(c)` for the current timestamp (derived from
+    /// `posterior`), the distribution predictions use.
+    prior: Vec<f64>,
+    /// Concept order sorted by descending prior (for pruned prediction).
+    order: Vec<u32>,
+    /// Scratch buffer for per-concept class distributions.
+    scratch: Vec<f64>,
+    /// Scratch buffer in concept space for the χ advance.
+    scratch_c: Vec<f64>,
+}
+
+impl OnlinePredictor {
+    /// Start a predictor with the uniform initial distribution
+    /// `P₁(c) = 1/N` (§III-B).
+    pub fn new(model: Arc<HighOrderModel>) -> Self {
+        let n = model.n_concepts();
+        assert!(n > 0, "model has no concepts");
+        let uniform = vec![1.0 / n as f64; n];
+        let n_classes = model.schema().n_classes();
+        OnlinePredictor {
+            model,
+            posterior: uniform.clone(),
+            prior: uniform,
+            order: (0..n as u32).collect(),
+            scratch: vec![0.0; n_classes],
+            scratch_c: vec![0.0; n],
+        }
+    }
+
+    /// The model this predictor runs.
+    pub fn model(&self) -> &Arc<HighOrderModel> {
+        &self.model
+    }
+
+    /// The active probabilities used for prediction at the current
+    /// timestamp (`Pₜ⁻`).
+    pub fn concept_probs(&self) -> &[f64] {
+        &self.prior
+    }
+
+    /// The most likely current concept.
+    pub fn current_concept(&self) -> usize {
+        argmax(&self.prior)
+    }
+
+    /// Advance one timestamp: posterior → prior through χ (Eq. 5).
+    ///
+    /// Called automatically by [`Self::observe`]; call it directly
+    /// (possibly several times) when timestamps pass without labeled data
+    /// — e.g. a variable-rate stream where `k` unlabeled records arrive
+    /// between labels (§III-B notes the equations adapt to variable rate).
+    pub fn advance(&mut self) {
+        self.model
+            .stats()
+            .advance(&self.posterior, &mut self.scratch_c);
+        self.prior.copy_from_slice(&self.scratch_c);
+        // Posterior defaults to the prior until a label arrives.
+        self.posterior.copy_from_slice(&self.scratch_c);
+        self.resort();
+    }
+
+    /// Absorb the labeled record of the current timestamp: posterior ∝
+    /// prior · ψ(c, yₜ), normalized (Eqs. 7–9), then advance to the next
+    /// timestamp's prior.
+    pub fn observe(&mut self, x: &[f64], y: ClassId) {
+        let mut sum = 0.0;
+        for (c, p) in self.model.concepts().iter().zip(self.prior.iter()) {
+            sum += p * c.psi(x, y);
+        }
+        if sum <= 0.0 {
+            // All concepts had zero probability mass (cannot happen with
+            // clamped errors, but stay safe): reset to uniform.
+            let n = self.posterior.len() as f64;
+            self.posterior.fill(1.0 / n);
+        } else {
+            for ((q, p), c) in self
+                .posterior
+                .iter_mut()
+                .zip(self.prior.iter())
+                .zip(self.model.concepts())
+            {
+                *q = p * c.psi(x, y) / sum;
+            }
+        }
+        // Pre-compute the next timestamp's prior.
+        self.model
+            .stats()
+            .advance(&self.posterior, &mut self.scratch_c);
+        self.prior.copy_from_slice(&self.scratch_c);
+        self.resort();
+    }
+
+    /// Advance `k` timestamps at once — the variable-rate adaptation the
+    /// paper mentions in §III-B ("if records are generated in variable
+    /// rate, the equations can be easily revised"): when `k` unlabeled
+    /// records passed between two labeled ones, the prior must diffuse
+    /// through χ once per elapsed timestamp.
+    pub fn advance_by(&mut self, k: usize) {
+        for _ in 0..k {
+            self.advance();
+        }
+    }
+
+    fn resort(&mut self) {
+        let prior = &self.prior;
+        self.order
+            .sort_unstable_by(|&a, &b| prior[b as usize].total_cmp(&prior[a as usize]));
+    }
+
+    /// Class-probability prediction for an unlabeled record (Eq. 10):
+    /// `Highorder(l|x) = Σ_c Pₜ⁻(c)·M_c(l|x)`.
+    pub fn predict_proba(&mut self, x: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        for (c, &p) in self.model.concepts().iter().zip(self.prior.iter()) {
+            if p == 0.0 {
+                continue;
+            }
+            c.model.predict_proba(x, &mut self.scratch);
+            for (o, &v) in out.iter_mut().zip(self.scratch.iter()) {
+                *o += p * v;
+            }
+        }
+    }
+
+    /// Unique-class prediction (Eq. 11): the argmax of Eq. 10.
+    pub fn predict(&mut self, x: &[f64]) -> ClassId {
+        let mut out = vec![0.0; self.model.schema().n_classes()];
+        self.predict_proba(x, &mut out);
+        argmax(&out) as ClassId
+    }
+
+    /// Unique-class prediction with the early-terminated enumeration of
+    /// §III-C: concepts are consulted in decreasing order of active
+    /// probability, and enumeration stops as soon as the remaining
+    /// probability mass cannot change the argmax. In the usual case of a
+    /// clearly-identified current concept, exactly one classifier runs.
+    pub fn predict_pruned(&mut self, x: &[f64]) -> ClassId {
+        let n_classes = self.model.schema().n_classes();
+        let mut scores = vec![0.0; n_classes];
+        // Remaining probability mass after each prefix of the enumeration.
+        let mut remaining: f64 = self.prior.iter().sum();
+        for &ci in &self.order {
+            let p = self.prior[ci as usize];
+            remaining -= p;
+            if p > 0.0 {
+                self.model.concepts()[ci as usize]
+                    .model
+                    .predict_proba(x, &mut self.scratch);
+                for (s, &v) in scores.iter_mut().zip(self.scratch.iter()) {
+                    *s += p * v;
+                }
+            }
+            // A remaining concept can add at most `remaining` to any one
+            // class; if the leader's margin exceeds that, the answer is
+            // decided (§III-C).
+            let best = argmax(&scores);
+            let best_v = scores[best];
+            let runner_up = scores
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != best)
+                .map(|(_, &v)| v)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if best_v - runner_up > remaining {
+                return best as ClassId;
+            }
+        }
+        argmax(&scores) as ClassId
+    }
+
+    /// Predict the unlabeled record of timestamp `t`, then absorb its
+    /// label — the benchmark loop used by all experiments (the prediction
+    /// never sees `yₜ`, matching the paper's protocol where `xₜ` is
+    /// predicted with labels `y₁ … y_{t−1}`).
+    pub fn step(&mut self, x: &[f64], y: ClassId) -> ClassId {
+        let pred = self.predict_pruned(x);
+        self.observe(x, y);
+        pred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build, BuildParams};
+    use crate::transition::TransitionStats;
+    use crate::Concept;
+    use hom_classifiers::{DecisionTreeLearner, MajorityClassifier};
+    use hom_cluster::ClusterParams;
+    use hom_data::stream::collect;
+    use hom_data::{Attribute, Schema, StreamSource};
+    use hom_datagen::stagger::stagger_label;
+    use hom_datagen::{StaggerParams, StaggerSource};
+
+    /// Hand-built two-concept model: concept 0 always predicts class 0,
+    /// concept 1 always predicts class 1, both with error 0.1.
+    fn toy_model() -> Arc<HighOrderModel> {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let concepts = vec![
+            Concept {
+                id: 0,
+                model: Arc::new(MajorityClassifier::from_counts(&[10, 0])),
+                err: 0.1,
+                n_records: 100,
+                n_occurrences: 1,
+            },
+            Concept {
+                id: 1,
+                model: Arc::new(MajorityClassifier::from_counts(&[0, 10])),
+                err: 0.1,
+                n_records: 100,
+                n_occurrences: 1,
+            },
+        ];
+        let stats = TransitionStats::from_occurrences(2, &[(0, 100), (1, 100)]);
+        Arc::new(HighOrderModel::from_parts(schema, concepts, stats))
+    }
+
+    #[test]
+    fn probabilities_start_uniform_and_stay_normalized() {
+        let mut p = OnlinePredictor::new(toy_model());
+        assert_eq!(p.concept_probs(), &[0.5, 0.5]);
+        for t in 0..50 {
+            let y = u32::from(t % 2 == 0);
+            p.observe(&[0.0], y);
+            let sum: f64 = p.concept_probs().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum = {sum} at t = {t}");
+        }
+    }
+
+    #[test]
+    fn evidence_concentrates_on_consistent_concept() {
+        let mut p = OnlinePredictor::new(toy_model());
+        for _ in 0..20 {
+            p.observe(&[0.0], 1); // always class b: concept 1's prediction
+        }
+        assert_eq!(p.current_concept(), 1);
+        assert!(p.concept_probs()[1] > 0.9);
+        assert_eq!(p.predict(&[0.0]), 1);
+        assert_eq!(p.predict_pruned(&[0.0]), 1);
+    }
+
+    #[test]
+    fn filter_recovers_after_concept_change() {
+        let mut p = OnlinePredictor::new(toy_model());
+        for _ in 0..30 {
+            p.observe(&[0.0], 0);
+        }
+        assert_eq!(p.current_concept(), 0);
+        // concept changes: labels flip
+        let mut recovered_at = None;
+        for t in 0..30 {
+            p.observe(&[0.0], 1);
+            if recovered_at.is_none() && p.current_concept() == 1 {
+                recovered_at = Some(t);
+            }
+        }
+        let t = recovered_at.expect("filter never recovered");
+        assert!(t <= 5, "recovery took {t} records");
+    }
+
+    #[test]
+    fn pruned_prediction_matches_full_ensemble() {
+        let mut src = StaggerSource::new(StaggerParams {
+            lambda: 0.01,
+            ..Default::default()
+        });
+        let (data, _) = collect(&mut src, 3000);
+        let (model, _) = build(
+            &data,
+            &DecisionTreeLearner::new(),
+            &BuildParams {
+                cluster: ClusterParams {
+                    block_size: 10,
+                    seed: 9,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let model = Arc::new(model);
+        let mut a = OnlinePredictor::new(Arc::clone(&model));
+        let mut b = OnlinePredictor::new(model);
+        let mut src2 = StaggerSource::new(StaggerParams {
+            lambda: 0.01,
+            seed: 5,
+            ..Default::default()
+        });
+        for _ in 0..500 {
+            let r = src2.next_record();
+            assert_eq!(
+                a.predict(&r.x),
+                b.predict_pruned(&r.x),
+                "pruned and full predictions diverged"
+            );
+            a.observe(&r.x, r.y);
+            b.observe(&r.x, r.y);
+        }
+    }
+
+    #[test]
+    fn tracks_stagger_stream_with_low_error() {
+        let mut src = StaggerSource::new(StaggerParams {
+            lambda: 0.01,
+            ..Default::default()
+        });
+        let (data, _) = collect(&mut src, 4000);
+        let (model, _) = build(
+            &data,
+            &DecisionTreeLearner::new(),
+            &BuildParams {
+                cluster: ClusterParams {
+                    block_size: 10,
+                    seed: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let mut p = OnlinePredictor::new(Arc::new(model));
+        // fresh test stream continuing from the same generator
+        let mut wrong = 0usize;
+        let n = 4000;
+        for _ in 0..n {
+            let r = src.next_record();
+            if p.step(&r.x, r.y) != r.y {
+                wrong += 1;
+            }
+        }
+        let err = wrong as f64 / n as f64;
+        assert!(err < 0.05, "online error = {err}");
+    }
+
+    #[test]
+    fn advance_without_labels_diffuses_probability() {
+        let mut p = OnlinePredictor::new(toy_model());
+        for _ in 0..20 {
+            p.observe(&[0.0], 0);
+        }
+        let before = p.concept_probs()[0];
+        // 200 unlabeled timestamps: mass should leak toward concept 1
+        for _ in 0..200 {
+            p.advance();
+        }
+        let after = p.concept_probs()[0];
+        assert!(after < before);
+        let sum: f64 = p.concept_probs().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stagger_concept_models_are_usable_after_identification() {
+        let mut src = StaggerSource::new(StaggerParams {
+            lambda: 0.01,
+            ..Default::default()
+        });
+        let (data, _) = collect(&mut src, 4000);
+        let (model, _) = build(
+            &data,
+            &DecisionTreeLearner::new(),
+            &BuildParams {
+                cluster: ClusterParams {
+                    block_size: 10,
+                    seed: 2,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let mut p = OnlinePredictor::new(Arc::new(model));
+        // Feed 100 labeled records from pure concept 2, then check fresh
+        // predictions match concept 2's ground truth.
+        let mut rng = hom_data::rng::seeded(4242);
+        use rand::Rng;
+        let mut gen = || {
+            let x = [
+                f64::from(rng.gen_range(0..3u8)),
+                f64::from(rng.gen_range(0..3u8)),
+                f64::from(rng.gen_range(0..3u8)),
+            ];
+            let y = stagger_label(2, x[0], x[1], x[2]);
+            (x, y)
+        };
+        for _ in 0..100 {
+            let (x, y) = gen();
+            p.observe(&x, y);
+        }
+        let mut wrong = 0;
+        for _ in 0..200 {
+            let (x, y) = gen();
+            if p.predict_pruned(&x) != y {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 6, "wrong = {wrong}/200");
+    }
+}

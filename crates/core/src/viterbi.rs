@@ -1,0 +1,161 @@
+//! Offline Viterbi smoothing of the concept sequence.
+//!
+//! The paper observes (§III-A) that the online filter is "to certain
+//! extent training a Hidden Markov Model" and leaves the full analogy to
+//! future work. This module implements that extension: given a *complete*
+//! labeled segment, compute the most likely underlying concept sequence
+//! with the standard Viterbi recursion over the same HMM — states are the
+//! mined concepts, transitions are χ (Eq. 6), and the emission likelihood
+//! of a labeled record is the `ψ` proxy (Eq. 8).
+//!
+//! Unlike the online filter, Viterbi sees the future: it is useful for
+//! retrospective analysis (e.g. auditing *when* each concept was active,
+//! or segmenting an archived stream), not for online prediction.
+
+use hom_data::ClassId;
+
+use crate::build::HighOrderModel;
+
+/// The most likely concept sequence for the labeled records `(x, y)`.
+///
+/// Runs in `O(T · N²)` for `T` records and `N` concepts, in log domain for
+/// numerical stability. Returns one concept id per record; empty input
+/// yields an empty path.
+pub fn most_likely_path(model: &HighOrderModel, records: &[(&[f64], ClassId)]) -> Vec<usize> {
+    let n = model.n_concepts();
+    let t_max = records.len();
+    if t_max == 0 {
+        return Vec::new();
+    }
+    let stats = model.stats();
+    let ln = |v: f64| {
+        if v > 0.0 {
+            v.ln()
+        } else {
+            f64::NEG_INFINITY
+        }
+    };
+
+    // delta[c] = best log-probability of any path ending in concept c;
+    // back[t][c] = predecessor of c at time t.
+    let mut delta: Vec<f64> = (0..n)
+        .map(|c| {
+            let (x, y) = records[0];
+            ln(1.0 / n as f64) + ln(model.concepts()[c].psi(x, y))
+        })
+        .collect();
+    let mut back: Vec<Vec<u32>> = Vec::with_capacity(t_max);
+    back.push((0..n as u32).collect()); // unused for t = 0
+
+    let mut next = vec![0.0f64; n];
+    for &(x, y) in &records[1..] {
+        let mut back_t = vec![0u32; n];
+        for (c, slot) in next.iter_mut().enumerate() {
+            let mut best = f64::NEG_INFINITY;
+            let mut best_i = 0u32;
+            for (i, &d) in delta.iter().enumerate() {
+                let cand = d + ln(stats.chi(i, c));
+                if cand > best {
+                    best = cand;
+                    best_i = i as u32;
+                }
+            }
+            *slot = best + ln(model.concepts()[c].psi(x, y));
+            back_t[c] = best_i;
+        }
+        std::mem::swap(&mut delta, &mut next);
+        back.push(back_t);
+    }
+
+    // Backtrack.
+    let mut path = vec![0usize; t_max];
+    let mut c = delta
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    for t in (0..t_max).rev() {
+        path[t] = c;
+        if t > 0 {
+            c = back[t][c] as usize;
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transition::TransitionStats;
+    use crate::Concept;
+    use hom_classifiers::MajorityClassifier;
+    use std::sync::Arc;
+    use hom_data::{Attribute, Schema};
+
+    fn toy_model() -> HighOrderModel {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let concepts = vec![
+            Concept {
+                id: 0,
+                model: Arc::new(MajorityClassifier::from_counts(&[10, 0])),
+                err: 0.1,
+                n_records: 100,
+                n_occurrences: 1,
+            },
+            Concept {
+                id: 1,
+                model: Arc::new(MajorityClassifier::from_counts(&[0, 10])),
+                err: 0.1,
+                n_records: 100,
+                n_occurrences: 1,
+            },
+        ];
+        let stats = TransitionStats::from_occurrences(2, &[(0, 50), (1, 50)]);
+        HighOrderModel::from_parts(schema, concepts, stats)
+    }
+
+    #[test]
+    fn empty_input_empty_path() {
+        let model = toy_model();
+        assert!(most_likely_path(&model, &[]).is_empty());
+    }
+
+    #[test]
+    fn recovers_segmented_sequence() {
+        let model = toy_model();
+        let x = [0.0f64];
+        // 10 records of class a, then 10 of class b
+        let records: Vec<(&[f64], u32)> = (0..20)
+            .map(|t| (&x[..], u32::from(t >= 10)))
+            .collect();
+        let path = most_likely_path(&model, &records);
+        assert_eq!(&path[..10], &[0; 10]);
+        assert_eq!(&path[10..], &[1; 10]);
+    }
+
+    #[test]
+    fn smooths_single_record_noise() {
+        let model = toy_model();
+        let x = [0.0f64];
+        // one noisy 'b' in the middle of an 'a' run: with Len = 50 the
+        // switch penalty outweighs one misclassified record
+        let labels = [0u32, 0, 0, 0, 1, 0, 0, 0, 0];
+        let records: Vec<(&[f64], u32)> =
+            labels.iter().map(|&y| (&x[..], y)).collect();
+        let path = most_likely_path(&model, &records);
+        assert_eq!(path, vec![0; 9]);
+    }
+
+    #[test]
+    fn persistent_change_is_detected() {
+        let model = toy_model();
+        let x = [0.0f64];
+        let labels = [0u32, 0, 0, 1, 1, 1, 1, 1, 1];
+        let records: Vec<(&[f64], u32)> =
+            labels.iter().map(|&y| (&x[..], y)).collect();
+        let path = most_likely_path(&model, &records);
+        assert_eq!(path[0], 0);
+        assert_eq!(path[8], 1);
+    }
+}

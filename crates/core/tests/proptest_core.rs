@@ -1,0 +1,161 @@
+//! Property-based tests of the high-order model invariants.
+
+use std::sync::Arc;
+
+use hom_classifiers::MajorityClassifier;
+use hom_core::{Concept, HighOrderModel, OnlinePredictor, TransitionStats};
+use hom_data::{Attribute, Schema};
+use proptest::prelude::*;
+
+/// Arbitrary occurrence sequences over up to 5 concepts, with every
+/// concept appearing at least once.
+fn occurrences_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..=5).prop_flat_map(|n| {
+        proptest::collection::vec((0usize..n, 1usize..500), n..40).prop_map(move |mut occ| {
+            // guarantee every concept occurs
+            for c in 0..n {
+                if !occ.iter().any(|&(oc, _)| oc == c) {
+                    occ.push((c, 10));
+                }
+            }
+            (n, occ)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// χ is a stochastic matrix: non-negative entries, rows summing to 1.
+    #[test]
+    fn chi_is_stochastic((n, occ) in occurrences_strategy()) {
+        let stats = TransitionStats::from_occurrences(n, &occ);
+        for i in 0..n {
+            let mut sum = 0.0;
+            for j in 0..n {
+                let x = stats.chi(i, j);
+                prop_assert!((0.0..=1.0).contains(&x), "chi({i},{j}) = {x}");
+                sum += x;
+            }
+            prop_assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+        }
+    }
+
+    /// The prior update (Eq. 5) preserves probability mass for any input
+    /// distribution.
+    #[test]
+    fn advance_preserves_mass(
+        (n, occ) in occurrences_strategy(),
+        raw in proptest::collection::vec(0.0f64..1.0, 5),
+    ) {
+        let stats = TransitionStats::from_occurrences(n, &occ);
+        let total: f64 = raw[..n].iter().sum();
+        prop_assume!(total > 0.0);
+        let p: Vec<f64> = raw[..n].iter().map(|&v| v / total).collect();
+        let mut out = vec![0.0; n];
+        stats.advance(&p, &mut out);
+        prop_assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(out.iter().all(|&v| v >= 0.0));
+    }
+
+    /// Frequencies sum to one and mean lengths are at least one record.
+    #[test]
+    fn len_freq_consistency((n, occ) in occurrences_strategy()) {
+        let stats = TransitionStats::from_occurrences(n, &occ);
+        let freq_sum: f64 = (0..n).map(|c| stats.freq(c)).sum();
+        prop_assert!((freq_sum - 1.0).abs() < 1e-9);
+        for c in 0..n {
+            prop_assert!(stats.len(c) >= 1.0);
+        }
+    }
+
+    /// The online filter keeps a normalized distribution under arbitrary
+    /// labeled evidence, and never assigns NaN.
+    #[test]
+    fn online_filter_stays_normalized(
+        (n, occ) in occurrences_strategy(),
+        evidence in proptest::collection::vec((0.0f64..1.0, 0u32..2), 1..200),
+        errs in proptest::collection::vec(0.01f64..0.49, 5),
+    ) {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let concepts: Vec<Concept> = (0..n)
+            .map(|id| Concept {
+                id,
+                // concept id parity decides its constant prediction
+                model: Arc::new(MajorityClassifier::from_counts(
+                    if id % 2 == 0 { &[1, 0] } else { &[0, 1] },
+                )),
+                err: errs[id],
+                n_records: 10,
+                n_occurrences: 1,
+            })
+            .collect();
+        let stats = TransitionStats::from_occurrences(n, &occ);
+        let model = Arc::new(HighOrderModel::from_parts(schema, concepts, stats));
+        let mut p = OnlinePredictor::new(model);
+        for (x, y) in evidence {
+            let pred = p.step(&[x], y);
+            prop_assert!(pred < 2);
+            let sum: f64 = p.concept_probs().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+            prop_assert!(p.concept_probs().iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+
+    /// Pruned and full ensemble predictions agree for every state the
+    /// filter can reach (the §III-C bound is exact, not approximate).
+    #[test]
+    fn pruned_equals_full(
+        (n, occ) in occurrences_strategy(),
+        evidence in proptest::collection::vec((0.0f64..1.0, 0u32..2), 1..60),
+    ) {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let concepts: Vec<Concept> = (0..n)
+            .map(|id| Concept {
+                id,
+                model: Arc::new(MajorityClassifier::from_counts(
+                    if id % 2 == 0 { &[3, 1] } else { &[1, 3] },
+                )),
+                err: 0.1 + 0.05 * id as f64,
+                n_records: 10,
+                n_occurrences: 1,
+            })
+            .collect();
+        let stats = TransitionStats::from_occurrences(n, &occ);
+        let model = Arc::new(HighOrderModel::from_parts(schema, concepts, stats));
+        let mut a = OnlinePredictor::new(Arc::clone(&model));
+        let mut b = OnlinePredictor::new(model);
+        for (x, y) in evidence {
+            prop_assert_eq!(a.predict(&[x]), b.predict_pruned(&[x]));
+            a.observe(&[x], y);
+            b.observe(&[x], y);
+        }
+    }
+
+    /// Viterbi output is a valid concept path of the right length.
+    #[test]
+    fn viterbi_path_is_valid(
+        (n, occ) in occurrences_strategy(),
+        labels in proptest::collection::vec(0u32..2, 0..100),
+    ) {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let concepts: Vec<Concept> = (0..n)
+            .map(|id| Concept {
+                id,
+                model: Arc::new(MajorityClassifier::from_counts(
+                    if id % 2 == 0 { &[1, 0] } else { &[0, 1] },
+                )),
+                err: 0.2,
+                n_records: 10,
+                n_occurrences: 1,
+            })
+            .collect();
+        let stats = TransitionStats::from_occurrences(n, &occ);
+        let model = HighOrderModel::from_parts(schema, concepts, stats);
+        let x = [0.5f64];
+        let records: Vec<(&[f64], u32)> = labels.iter().map(|&y| (&x[..], y)).collect();
+        let path = hom_core::viterbi::most_likely_path(&model, &records);
+        prop_assert_eq!(path.len(), labels.len());
+        prop_assert!(path.iter().all(|&c| c < n));
+    }
+}

@@ -1,0 +1,228 @@
+//! Owned, row-major storage of labeled records.
+
+use std::sync::Arc;
+
+use crate::schema::{ClassId, Schema, SchemaError};
+
+/// An owned table of labeled records, stored row-major in one flat buffer.
+///
+/// Categorical attribute values are stored as their integer code widened to
+/// `f64`, so a row is always a `&[f64]` of width [`Schema::n_attrs`]. This
+/// keeps training loops free of per-value branching and makes a dataset one
+/// contiguous allocation regardless of the attribute mix.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    schema: Arc<Schema>,
+    values: Vec<f64>,
+    labels: Vec<ClassId>,
+}
+
+impl Dataset {
+    /// An empty dataset under `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Dataset {
+            schema,
+            values: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// An empty dataset with room for `n` records.
+    pub fn with_capacity(schema: Arc<Schema>, n: usize) -> Self {
+        let width = schema.n_attrs();
+        Dataset {
+            schema,
+            values: Vec::with_capacity(n * width),
+            labels: Vec::with_capacity(n),
+        }
+    }
+
+    /// The schema shared by all records.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Append a record, validating it against the schema.
+    pub fn try_push(&mut self, row: &[f64], label: ClassId) -> Result<(), SchemaError> {
+        self.schema.validate_row(row)?;
+        self.schema.validate_label(label)?;
+        self.values.extend_from_slice(row);
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Append a record.
+    ///
+    /// # Panics
+    /// Panics if the row or label is invalid under the schema.
+    pub fn push(&mut self, row: &[f64], label: ClassId) {
+        self.try_push(row, label).expect("invalid record");
+    }
+
+    /// The attribute values of record `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        let w = self.schema.n_attrs();
+        &self.values[i * w..(i + 1) * w]
+    }
+
+    /// The label of record `i`.
+    pub fn label(&self, i: usize) -> ClassId {
+        self.labels[i]
+    }
+
+    /// All labels, in record order.
+    pub fn labels(&self) -> &[ClassId] {
+        &self.labels
+    }
+
+    /// Iterate `(row, label)` pairs in record order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], ClassId)> + '_ {
+        let w = self.schema.n_attrs();
+        self.values
+            .chunks_exact(w)
+            .zip(self.labels.iter().copied())
+    }
+
+    /// Append every record of `other`.
+    ///
+    /// # Panics
+    /// Panics if the schemas differ.
+    pub fn extend_from(&mut self, other: &Dataset) {
+        assert!(
+            Arc::ptr_eq(&self.schema, &other.schema) || self.schema == other.schema,
+            "cannot extend a dataset with records of a different schema"
+        );
+        self.values.extend_from_slice(&other.values);
+        self.labels.extend_from_slice(&other.labels);
+    }
+
+    /// A new dataset containing the records at `indices`, in that order.
+    pub fn select(&self, indices: &[u32]) -> Dataset {
+        let mut out = Dataset::with_capacity(Arc::clone(&self.schema), indices.len());
+        for &i in indices {
+            let i = i as usize;
+            out.values.extend_from_slice(self.row(i));
+            out.labels.push(self.labels[i]);
+        }
+        out
+    }
+
+    /// The first `n` records as a new dataset (or all of them if shorter).
+    pub fn head(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        let w = self.schema.n_attrs();
+        Dataset {
+            schema: Arc::clone(&self.schema),
+            values: self.values[..n * w].to_vec(),
+            labels: self.labels[..n].to_vec(),
+        }
+    }
+
+    /// Count of records per class.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.schema.n_classes()];
+        for &l in &self.labels {
+            counts[l as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(
+            vec![
+                Attribute::numeric("x"),
+                Attribute::categorical("c", ["a", "b"]),
+            ],
+            ["neg", "pos"],
+        )
+    }
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(schema());
+        d.push(&[0.1, 0.0], 0);
+        d.push(&[0.9, 1.0], 1);
+        d.push(&[0.5, 1.0], 0);
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.row(1), &[0.9, 1.0]);
+        assert_eq!(d.label(1), 1);
+        assert_eq!(d.labels(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn iter_matches_rows() {
+        let d = sample();
+        let collected: Vec<_> = d.iter().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[2], (&[0.5, 1.0][..], 0));
+    }
+
+    #[test]
+    fn try_push_rejects_invalid() {
+        let mut d = Dataset::new(schema());
+        assert!(d.try_push(&[0.1], 0).is_err());
+        assert!(d.try_push(&[0.1, 5.0], 0).is_err());
+        assert!(d.try_push(&[0.1, 1.0], 9).is_err());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn select_reorders() {
+        let d = sample();
+        let s = d.select(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), &[0.5, 1.0]);
+        assert_eq!(s.label(1), 0);
+    }
+
+    #[test]
+    fn head_truncates() {
+        let d = sample();
+        assert_eq!(d.head(2).len(), 2);
+        assert_eq!(d.head(99).len(), 3);
+        assert_eq!(d.head(0).len(), 0);
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut a = sample();
+        let b = sample();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.row(3), &[0.1, 0.0]);
+    }
+
+    #[test]
+    fn class_counts_counts() {
+        let d = sample();
+        assert_eq!(d.class_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let d = Dataset::with_capacity(schema(), 16);
+        assert!(d.is_empty());
+    }
+}

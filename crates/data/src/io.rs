@@ -1,0 +1,372 @@
+//! CSV import/export for datasets.
+//!
+//! The paper's third benchmark is the real KDDCUP'99 network-intrusion
+//! dump, which cannot be shipped with this repository. This module lets a
+//! user who *has* the file (`kddcup.data`, comma-separated, label last)
+//! load it into a [`Dataset`] and run the experiments against the genuine
+//! stream instead of the synthetic stand-in. It is generic: any
+//! comma/TSV-style file with one record per line works.
+//!
+//! Schema handling: pass an explicit [`Schema`] to validate against, or
+//! let [`read_csv`] infer one — a column whose every value parses as a
+//! float becomes numeric, anything else becomes categorical with codes
+//! assigned in order of first appearance; the designated class column
+//! supplies the class names.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::Arc;
+
+use crate::dataset::Dataset;
+use crate::schema::{Attribute, ClassId, Schema};
+
+/// Options for [`read_csv`].
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first line is a header naming the attributes.
+    pub has_header: bool,
+    /// Index of the class column; `None` means the last column (the
+    /// KDDCUP'99 layout).
+    pub class_column: Option<usize>,
+    /// Trailing characters stripped from each field (KDDCUP'99 labels end
+    /// with a `.`).
+    pub trim_chars: Vec<char>,
+    /// Read at most this many records (`None` = all).
+    pub limit: Option<usize>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: false,
+            class_column: None,
+            trim_chars: vec!['.', ' ', '\r'],
+            limit: None,
+        }
+    }
+}
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line had the wrong number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// No data records found.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::FieldCount { line, got, expected } => {
+                write!(f, "line {line}: {got} fields, expected {expected}")
+            }
+            CsvError::Empty => write!(f, "no data records in input"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Read a dataset from CSV text, inferring the schema.
+///
+/// Two passes over the parsed fields: the first determines each column's
+/// kind (numeric iff every value parses as a finite float) and collects
+/// categorical vocabularies and class names; the second encodes rows.
+pub fn read_csv<R: Read>(reader: R, options: &CsvOptions) -> Result<Dataset, CsvError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut header: Option<Vec<String>> = None;
+    if options.has_header {
+        match lines.next() {
+            Some(line) => {
+                header = Some(
+                    split_fields(&line?, options)
+                        .map(|s| s.to_string())
+                        .collect(),
+                );
+            }
+            None => return Err(CsvError::Empty),
+        }
+    }
+
+    // Pass 1: materialize all rows as strings (bounded by `limit`).
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if options.limit.is_some_and(|l| rows.len() >= l) {
+            break;
+        }
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<String> = split_fields(&line, options)
+            .map(|s| s.to_string())
+            .collect();
+        if let Some(first) = rows.first() {
+            if fields.len() != first.len() {
+                return Err(CsvError::FieldCount {
+                    line: i + 1 + usize::from(options.has_header),
+                    got: fields.len(),
+                    expected: first.len(),
+                });
+            }
+        }
+        rows.push(fields);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+
+    let n_cols = rows[0].len();
+    let class_col = options.class_column.unwrap_or(n_cols - 1);
+    debug_assert!(class_col < n_cols);
+
+    // Column kinds and vocabularies.
+    let mut numeric = vec![true; n_cols];
+    let mut vocab: Vec<Vec<String>> = vec![Vec::new(); n_cols];
+    let mut vocab_index: Vec<HashMap<String, usize>> = vec![HashMap::new(); n_cols];
+    for row in &rows {
+        for (c, field) in row.iter().enumerate() {
+            if c != class_col && numeric[c] {
+                numeric[c] = field.parse::<f64>().is_ok_and(f64::is_finite);
+            }
+        }
+    }
+    for row in &rows {
+        for (c, field) in row.iter().enumerate() {
+            if (c == class_col || !numeric[c]) && !vocab_index[c].contains_key(field) {
+                vocab_index[c].insert(field.clone(), vocab[c].len());
+                vocab[c].push(field.clone());
+            }
+        }
+    }
+
+    // Schema: attributes in column order, class column skipped.
+    let attrs: Vec<Attribute> = (0..n_cols)
+        .filter(|&c| c != class_col)
+        .map(|c| {
+            let name = header
+                .as_ref()
+                .map(|h| h[c].clone())
+                .unwrap_or_else(|| format!("col{c}"));
+            if numeric[c] {
+                Attribute::numeric(name)
+            } else {
+                Attribute::categorical(name, vocab[c].iter().cloned())
+            }
+        })
+        .collect();
+    let mut classes = vocab[class_col].clone();
+    if classes.len() < 2 {
+        // A single-class file still needs a valid schema; add a phantom
+        // negative class so downstream learners stay well-formed.
+        classes.push("__other__".to_string());
+    }
+    let schema = Schema::new(attrs, classes);
+
+    // Pass 2: encode.
+    let mut data = Dataset::with_capacity(Arc::clone(&schema), rows.len());
+    let mut buf = vec![0.0f64; n_cols - 1];
+    for row in &rows {
+        let mut k = 0;
+        for (c, field) in row.iter().enumerate() {
+            if c == class_col {
+                continue;
+            }
+            buf[k] = if numeric[c] {
+                field.parse::<f64>().expect("checked in pass 1")
+            } else {
+                vocab_index[c][field] as f64
+            };
+            k += 1;
+        }
+        let label = vocab_index[class_col][&row[class_col]] as ClassId;
+        data.push(&buf, label);
+    }
+    Ok(data)
+}
+
+fn split_fields<'a>(
+    line: &'a str,
+    options: &'a CsvOptions,
+) -> impl Iterator<Item = &'a str> + 'a {
+    line.split(options.delimiter)
+        .map(move |f| f.trim_matches(|ch| options.trim_chars.contains(&ch)))
+}
+
+/// Write a dataset as CSV (class column last, categorical values and
+/// class names written symbolically). The output round-trips through
+/// [`read_csv`].
+pub fn write_csv<W: Write>(data: &Dataset, mut writer: W) -> std::io::Result<()> {
+    let schema = data.schema();
+    for (row, label) in data.iter() {
+        let mut first = true;
+        for (a, &v) in row.iter().enumerate() {
+            if !first {
+                write!(writer, ",")?;
+            }
+            first = false;
+            match schema.attr(a).kind {
+                crate::schema::AttrKind::Numeric => write!(writer, "{v}")?,
+                crate::schema::AttrKind::Categorical { ref values } => {
+                    write!(writer, "{}", values[v as usize])?
+                }
+            }
+        }
+        writeln!(writer, ",{}", schema.class_name(label))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+0.5,tcp,http,1
+1.5,udp,dns,0
+2.5,tcp,http,1
+3.5,icmp,dns,0
+";
+
+    #[test]
+    fn infers_mixed_schema() {
+        let d = read_csv(SAMPLE.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(d.len(), 4);
+        let s = d.schema();
+        assert_eq!(s.n_attrs(), 3);
+        assert!(!s.is_categorical(0)); // 0.5, 1.5 … numeric
+        assert!(s.is_categorical(1)); // tcp/udp/icmp
+        assert!(s.is_categorical(2)); // http/dns
+        assert_eq!(s.n_classes(), 2); // "1" first-seen => class 0
+        assert_eq!(s.class_name(0), "1");
+        assert_eq!(d.row(0), &[0.5, 0.0, 0.0]);
+        assert_eq!(d.label(1), 1);
+        assert_eq!(d.row(3), &[3.5, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn kdd_style_trailing_dot_is_trimmed() {
+        let text = "1,tcp,normal.\n2,udp,smurf.\n";
+        let d = read_csv(text.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(d.schema().class_name(0), "normal");
+        assert_eq!(d.schema().class_name(1), "smurf");
+    }
+
+    #[test]
+    fn header_names_attributes() {
+        let text = "duration,proto,label\n1,tcp,a\n2,udp,b\n";
+        let d = read_csv(
+            text.as_bytes(),
+            &CsvOptions {
+                has_header: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(d.schema().attr(0).name, "duration");
+        assert_eq!(d.schema().attr(1).name, "proto");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn class_column_override() {
+        let text = "a,1,x\nb,2,x\na,3,y\n";
+        let d = read_csv(
+            text.as_bytes(),
+            &CsvOptions {
+                class_column: Some(0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(d.schema().n_classes(), 2); // a, b
+        assert_eq!(d.schema().n_attrs(), 2); // the numeric and the x/y col
+        assert_eq!(d.label(1), 1);
+    }
+
+    #[test]
+    fn limit_caps_records() {
+        let d = read_csv(
+            SAMPLE.as_bytes(),
+            &CsvOptions {
+                limit: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let text = "1,a,0\n2,b\n";
+        let err = read_csv(text.as_bytes(), &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, CsvError::FieldCount { line: 2, got: 2, expected: 3 }));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(
+            read_csv("".as_bytes(), &CsvOptions::default()),
+            Err(CsvError::Empty)
+        ));
+        assert!(matches!(
+            read_csv("\n  \n".as_bytes(), &CsvOptions::default()),
+            Err(CsvError::Empty)
+        ));
+    }
+
+    #[test]
+    fn single_class_gets_phantom_negative() {
+        let text = "1,x\n2,x\n";
+        let d = read_csv(text.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(d.schema().n_classes(), 2);
+        assert_eq!(d.class_counts(), vec![2, 0]);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let d = read_csv(SAMPLE.as_bytes(), &CsvOptions::default()).unwrap();
+        let mut out = Vec::new();
+        write_csv(&d, &mut out).unwrap();
+        let d2 = read_csv(out.as_slice(), &CsvOptions::default()).unwrap();
+        assert_eq!(d2.len(), d.len());
+        for i in 0..d.len() {
+            assert_eq!(d2.row(i), d.row(i));
+            assert_eq!(
+                d2.schema().class_name(d2.label(i)),
+                d.schema().class_name(d.label(i))
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CsvError::FieldCount {
+            line: 7,
+            got: 2,
+            expected: 3,
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

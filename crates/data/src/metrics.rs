@@ -1,0 +1,155 @@
+//! Classification quality metrics.
+
+use crate::schema::ClassId;
+
+/// Fraction of positions where `predicted[i] != actual[i]`.
+///
+/// Returns 0.0 for empty inputs (an empty test set provides no evidence of
+/// error — callers that need to treat it specially should check emptiness).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn error_rate(predicted: &[ClassId], actual: &[ClassId]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let wrong = predicted
+        .iter()
+        .zip(actual)
+        .filter(|(p, a)| p != a)
+        .count();
+    wrong as f64 / predicted.len() as f64
+}
+
+/// `1.0 - error_rate`.
+pub fn accuracy(predicted: &[ClassId], actual: &[ClassId]) -> f64 {
+    1.0 - error_rate(predicted, actual)
+}
+
+/// A confusion matrix over `n_classes` classes.
+///
+/// `counts[actual][predicted]` is the number of records of class `actual`
+/// predicted as `predicted`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// An all-zero matrix.
+    pub fn new(n_classes: usize) -> Self {
+        ConfusionMatrix {
+            n_classes,
+            counts: vec![0; n_classes * n_classes],
+        }
+    }
+
+    /// Record one prediction.
+    pub fn record(&mut self, actual: ClassId, predicted: ClassId) {
+        self.counts[actual as usize * self.n_classes + predicted as usize] += 1;
+    }
+
+    /// Count for an (actual, predicted) pair.
+    pub fn get(&self, actual: ClassId, predicted: ClassId) -> usize {
+        self.counts[actual as usize * self.n_classes + predicted as usize]
+    }
+
+    /// Total records recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Number of correct predictions (trace).
+    pub fn correct(&self) -> usize {
+        (0..self.n_classes)
+            .map(|i| self.counts[i * self.n_classes + i])
+            .sum()
+    }
+
+    /// Overall error rate; 0.0 when nothing has been recorded.
+    pub fn error_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            1.0 - self.correct() as f64 / t as f64
+        }
+    }
+}
+
+/// Mean squared error of probabilistic predictions, as used by the WCE
+/// baseline (Wang et al., KDD'03): for each record the squared error is
+/// `(1 - p(true class))²`.
+///
+/// `probs[i]` is the predicted probability assigned to `actual[i]`.
+pub fn mse_from_true_class_probs(probs: &[f64], _actual: &[ClassId]) -> f64 {
+    if probs.is_empty() {
+        return 0.0;
+    }
+    probs.iter().map(|p| (1.0 - p) * (1.0 - p)).sum::<f64>() / probs.len() as f64
+}
+
+/// The MSE of a classifier that predicts randomly according to the class
+/// prior `p`: `MSE_r = Σ_c p(c) (1 - p(c))²` (Wang et al., KDD'03). This is
+/// the reference weight in the WCE ensemble.
+pub fn mse_random(class_prior: &[f64]) -> f64 {
+    class_prior.iter().map(|&p| p * (1.0 - p) * (1.0 - p)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_rate_counts_mismatches() {
+        assert_eq!(error_rate(&[0, 1, 1, 0], &[0, 1, 0, 1]), 0.5);
+        assert_eq!(error_rate(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn error_rate_rejects_mismatched_lengths() {
+        error_rate(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn confusion_matrix_tracks_counts() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(0, 0);
+        m.record(0, 1);
+        m.record(2, 2);
+        m.record(2, 2);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(2, 2), 2);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.correct(), 3);
+        assert!((m.error_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_confusion_matrix_has_zero_error() {
+        assert_eq!(ConfusionMatrix::new(2).error_rate(), 0.0);
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        // probabilities assigned to the true class
+        let p = [1.0, 0.5, 0.0];
+        let mse = mse_from_true_class_probs(&p, &[0, 0, 0]);
+        assert!((mse - (0.0 + 0.25 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_random_uniform_two_classes() {
+        // p = (0.5, 0.5): Σ 0.5 * 0.25 = 0.25
+        assert!((mse_random(&[0.5, 0.5]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_random_degenerate_prior_is_zero() {
+        assert_eq!(mse_random(&[1.0, 0.0]), 0.0);
+    }
+}

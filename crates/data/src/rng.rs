@@ -1,0 +1,163 @@
+//! Deterministic randomness helpers.
+//!
+//! Every stochastic component in the workspace (generators, holdout splits,
+//! the shared shuffled sample of clustering step 2) takes an explicit `u64`
+//! seed, and experiments derive per-component seeds from one master seed so
+//! that a whole experiment is reproducible from a single number.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A seeded standard RNG.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive a child seed from a master seed and a stream index, using the
+/// SplitMix64 finalizer. Distinct `(seed, index)` pairs give well-separated
+/// child seeds, so components never share random streams accidentally.
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The indices `0..n` in random order.
+pub fn shuffled_indices(n: usize, rng: &mut StdRng) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.shuffle(rng);
+    idx
+}
+
+/// Split `0..n` into a random (train, test) pair of disjoint halves, as the
+/// paper's holdout validation does (§II-B: "we randomly choose half of the
+/// data for testing, and the remaining half for training").
+///
+/// For odd `n` the extra record goes to the training half, so both halves
+/// are non-empty whenever `n >= 2`.
+pub fn holdout_split(n: usize, rng: &mut StdRng) -> (Vec<u32>, Vec<u32>) {
+    let idx = shuffled_indices(n, rng);
+    let n_test = n / 2;
+    let test = idx[..n_test].to_vec();
+    let train = idx[n_test..].to_vec();
+    (train, test)
+}
+
+/// Normalized Zipf weights `w_k ∝ 1/(k+1)^z` for ranks `0..n`.
+pub fn zipf_weights(n: usize, z: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(z)).collect();
+    let sum: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= sum;
+    }
+    w
+}
+
+/// Sample an index from a discrete distribution given by non-negative
+/// weights (not necessarily normalized).
+///
+/// # Panics
+/// Panics if all weights are zero or the slice is empty.
+pub fn sample_discrete(weights: &[f64], rng: &mut StdRng) -> usize {
+    use rand::Rng;
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "cannot sample from all-zero weights");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        use rand::Rng;
+        let a: u64 = seeded(42).gen();
+        let b: u64 = seeded(42).gen();
+        let c: u64 = seeded(43).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn derived_seeds_differ_per_index() {
+        let s = 7;
+        assert_ne!(derive_seed(s, 0), derive_seed(s, 1));
+        assert_eq!(derive_seed(s, 5), derive_seed(s, 5));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = seeded(1);
+        let mut idx = shuffled_indices(100, &mut rng);
+        idx.sort_unstable();
+        assert_eq!(idx, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn holdout_split_is_disjoint_and_covers() {
+        let mut rng = seeded(2);
+        let (train, test) = holdout_split(11, &mut rng);
+        assert_eq!(train.len(), 6); // odd record goes to train
+        assert_eq!(test.len(), 5);
+        let mut all: Vec<u32> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..11).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn holdout_split_two_records() {
+        let mut rng = seeded(3);
+        let (train, test) = holdout_split(2, &mut rng);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn zipf_weights_normalize_and_decay() {
+        let w = zipf_weights(4, 1.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[0] > w[1] && w[1] > w[2] && w[2] > w[3]);
+        // z = 0 gives uniform weights
+        let u = zipf_weights(4, 0.0);
+        for x in u {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_discrete_respects_support() {
+        let mut rng = seeded(4);
+        for _ in 0..100 {
+            let i = sample_discrete(&[0.0, 1.0, 0.0], &mut rng);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn sample_discrete_hits_all_positive_weights() {
+        let mut rng = seeded(5);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[sample_discrete(&[1.0, 1.0, 1.0], &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero weights")]
+    fn sample_discrete_rejects_zero_weights() {
+        let mut rng = seeded(6);
+        sample_discrete(&[0.0, 0.0], &mut rng);
+    }
+}

@@ -1,0 +1,305 @@
+//! Attribute and class definitions for a data stream.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a class label. Class ids are dense indices into
+/// [`Schema::classes`].
+pub type ClassId = u32;
+
+/// The kind of an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrKind {
+    /// A real-valued attribute.
+    Numeric,
+    /// A categorical attribute with a fixed, named set of values. Values are
+    /// stored in datasets as their index (as an `f64` with integral value).
+    Categorical { values: Vec<String> },
+}
+
+/// A single attribute of a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Human-readable attribute name.
+    pub name: String,
+    /// Numeric or categorical.
+    pub kind: AttrKind,
+}
+
+impl Attribute {
+    /// A numeric attribute with the given name.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Numeric,
+        }
+    }
+
+    /// A categorical attribute with the given name and value names.
+    pub fn categorical<S: Into<String>>(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = S>,
+    ) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Categorical {
+                values: values.into_iter().map(Into::into).collect(),
+            },
+        }
+    }
+
+    /// Number of distinct values for categorical attributes, `None` for
+    /// numeric ones.
+    pub fn cardinality(&self) -> Option<usize> {
+        match &self.kind {
+            AttrKind::Numeric => None,
+            AttrKind::Categorical { values } => Some(values.len()),
+        }
+    }
+
+    /// Whether this attribute is categorical.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self.kind, AttrKind::Categorical { .. })
+    }
+}
+
+/// The schema of a stream: its attributes and its class labels.
+///
+/// Schemas are immutable once built and shared via [`Arc`]; every
+/// [`crate::Dataset`] and generator holds a reference to the same schema
+/// instance, which makes schema-compatibility checks cheap pointer
+/// comparisons in the common case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+    classes: Vec<String>,
+}
+
+impl Schema {
+    /// Build a schema from attributes and class names.
+    ///
+    /// # Panics
+    /// Panics if there are no attributes, fewer than two classes, or a
+    /// categorical attribute with no values — such schemas cannot describe a
+    /// classification stream.
+    pub fn new<S: Into<String>>(
+        attrs: Vec<Attribute>,
+        classes: impl IntoIterator<Item = S>,
+    ) -> Arc<Self> {
+        let classes: Vec<String> = classes.into_iter().map(Into::into).collect();
+        assert!(!attrs.is_empty(), "schema requires at least one attribute");
+        assert!(classes.len() >= 2, "schema requires at least two classes");
+        for a in &attrs {
+            if let Some(0) = a.cardinality() {
+                panic!("categorical attribute {:?} has no values", a.name);
+            }
+        }
+        Arc::new(Schema { attrs, classes })
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The attribute at index `i`.
+    pub fn attr(&self, i: usize) -> &Attribute {
+        &self.attrs[i]
+    }
+
+    /// All attributes.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// All class names.
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// Name of class `c`.
+    pub fn class_name(&self, c: ClassId) -> &str {
+        &self.classes[c as usize]
+    }
+
+    /// Cardinality of categorical attribute `i`, `None` if numeric.
+    pub fn cardinality(&self, i: usize) -> Option<usize> {
+        self.attrs[i].cardinality()
+    }
+
+    /// Whether attribute `i` is categorical.
+    pub fn is_categorical(&self, i: usize) -> bool {
+        self.attrs[i].is_categorical()
+    }
+
+    /// Check that a raw row is valid under this schema: correct width,
+    /// finite numerics, and in-range integral codes for categoricals.
+    pub fn validate_row(&self, row: &[f64]) -> Result<(), SchemaError> {
+        if row.len() != self.attrs.len() {
+            return Err(SchemaError::WrongWidth {
+                expected: self.attrs.len(),
+                got: row.len(),
+            });
+        }
+        for (i, (&v, a)) in row.iter().zip(&self.attrs).enumerate() {
+            match &a.kind {
+                AttrKind::Numeric => {
+                    if !v.is_finite() {
+                        return Err(SchemaError::NonFinite { attr: i });
+                    }
+                }
+                AttrKind::Categorical { values } => {
+                    if v.fract() != 0.0 || v < 0.0 || (v as usize) >= values.len() {
+                        return Err(SchemaError::BadCategory { attr: i, value: v });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check that a class id is valid under this schema.
+    pub fn validate_label(&self, y: ClassId) -> Result<(), SchemaError> {
+        if (y as usize) < self.classes.len() {
+            Ok(())
+        } else {
+            Err(SchemaError::BadLabel {
+                label: y,
+                n_classes: self.classes.len(),
+            })
+        }
+    }
+}
+
+/// Validation failures for rows and labels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaError {
+    /// Row has the wrong number of attributes.
+    WrongWidth { expected: usize, got: usize },
+    /// A numeric attribute holds NaN or infinity.
+    NonFinite { attr: usize },
+    /// A categorical attribute holds a non-integral or out-of-range code.
+    BadCategory { attr: usize, value: f64 },
+    /// Class id out of range.
+    BadLabel { label: ClassId, n_classes: usize },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::WrongWidth { expected, got } => {
+                write!(f, "row has {got} attributes, schema expects {expected}")
+            }
+            SchemaError::NonFinite { attr } => {
+                write!(f, "numeric attribute {attr} is not finite")
+            }
+            SchemaError::BadCategory { attr, value } => {
+                write!(f, "categorical attribute {attr} has invalid code {value}")
+            }
+            SchemaError::BadLabel { label, n_classes } => {
+                write!(f, "label {label} out of range for {n_classes} classes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(
+            vec![
+                Attribute::categorical("color", ["red", "green", "blue"]),
+                Attribute::numeric("size"),
+            ],
+            ["neg", "pos"],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = schema();
+        assert_eq!(s.n_attrs(), 2);
+        assert_eq!(s.n_classes(), 2);
+        assert!(s.is_categorical(0));
+        assert!(!s.is_categorical(1));
+        assert_eq!(s.cardinality(0), Some(3));
+        assert_eq!(s.cardinality(1), None);
+        assert_eq!(s.class_name(1), "pos");
+        assert_eq!(s.attr(0).name, "color");
+    }
+
+    #[test]
+    fn validate_good_row() {
+        let s = schema();
+        assert_eq!(s.validate_row(&[2.0, 0.5]), Ok(()));
+        assert_eq!(s.validate_label(1), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_width() {
+        let s = schema();
+        assert!(matches!(
+            s.validate_row(&[1.0]),
+            Err(SchemaError::WrongWidth { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let s = schema();
+        assert!(matches!(
+            s.validate_row(&[0.0, f64::NAN]),
+            Err(SchemaError::NonFinite { attr: 1 })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_category() {
+        let s = schema();
+        assert!(matches!(
+            s.validate_row(&[3.0, 0.0]),
+            Err(SchemaError::BadCategory { attr: 0, .. })
+        ));
+        assert!(matches!(
+            s.validate_row(&[0.5, 0.0]),
+            Err(SchemaError::BadCategory { attr: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_label() {
+        let s = schema();
+        assert!(matches!(
+            s.validate_label(2),
+            Err(SchemaError::BadLabel { label: 2, n_classes: 2 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn rejects_single_class() {
+        Schema::new(vec![Attribute::numeric("x")], ["only"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn rejects_empty_attrs() {
+        Schema::new(vec![], ["a", "b"]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let s = schema();
+        let e = s.validate_row(&[1.0]).unwrap_err();
+        assert!(e.to_string().contains("expects 2"));
+    }
+}

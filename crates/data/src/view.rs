@@ -1,0 +1,211 @@
+//! Zero-copy read access to subsets of a [`Dataset`].
+//!
+//! The concept-clustering algorithm partitions one historical dataset into
+//! thousands of clusters, repeatedly merging them. Copying rows for each
+//! cluster would dominate the build cost, so clusters hold index lists and
+//! learners consume the [`Instances`] trait instead of concrete datasets.
+
+use crate::dataset::Dataset;
+use crate::schema::{ClassId, Schema};
+
+/// Read-only access to a sequence of labeled records.
+///
+/// Implemented by [`Dataset`] (all records), [`FullView`] and [`IndexView`]
+/// (an arbitrary subset, zero-copy). Learners take `&dyn Instances` so the
+/// same code trains on owned datasets, holdout halves and cluster members.
+pub trait Instances {
+    /// Schema of the records.
+    fn schema(&self) -> &Schema;
+    /// Number of records in the view.
+    fn len(&self) -> usize;
+    /// Attribute values of the `i`-th record of the view.
+    fn row(&self, i: usize) -> &[f64];
+    /// Label of the `i`-th record of the view.
+    fn label(&self, i: usize) -> ClassId;
+
+    /// Whether the view is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Count of records per class.
+    fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.schema().n_classes()];
+        for i in 0..self.len() {
+            counts[self.label(i) as usize] += 1;
+        }
+        counts
+    }
+
+    /// The most frequent class in the view (ties broken by lowest id);
+    /// class 0 for an empty view.
+    fn majority_class(&self) -> ClassId {
+        let counts = self.class_counts();
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as ClassId)
+            .unwrap_or(0)
+    }
+}
+
+impl Instances for Dataset {
+    fn schema(&self) -> &Schema {
+        Dataset::schema(self)
+    }
+    fn len(&self) -> usize {
+        Dataset::len(self)
+    }
+    fn row(&self, i: usize) -> &[f64] {
+        Dataset::row(self, i)
+    }
+    fn label(&self, i: usize) -> ClassId {
+        Dataset::label(self, i)
+    }
+}
+
+/// A view of an entire dataset (useful when an API wants a view type).
+#[derive(Clone, Copy)]
+pub struct FullView<'a> {
+    data: &'a Dataset,
+}
+
+impl<'a> FullView<'a> {
+    /// View all records of `data`.
+    pub fn new(data: &'a Dataset) -> Self {
+        FullView { data }
+    }
+}
+
+impl Instances for FullView<'_> {
+    fn schema(&self) -> &Schema {
+        self.data.schema()
+    }
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+    fn row(&self, i: usize) -> &[f64] {
+        self.data.row(i)
+    }
+    fn label(&self, i: usize) -> ClassId {
+        self.data.label(i)
+    }
+}
+
+/// A view of the records of a dataset selected by an index list.
+///
+/// Indices may appear in any order and need not be unique (bootstrap-style
+/// views are allowed). The view borrows both the dataset and the index
+/// slice; it never copies rows.
+#[derive(Clone, Copy)]
+pub struct IndexView<'a> {
+    data: &'a Dataset,
+    idx: &'a [u32],
+}
+
+impl<'a> IndexView<'a> {
+    /// View the records of `data` at positions `idx`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if any index is out of range.
+    pub fn new(data: &'a Dataset, idx: &'a [u32]) -> Self {
+        debug_assert!(
+            idx.iter().all(|&i| (i as usize) < data.len()),
+            "index view contains out-of-range indices"
+        );
+        IndexView { data, idx }
+    }
+
+    /// The underlying index list.
+    pub fn indices(&self) -> &'a [u32] {
+        self.idx
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.data
+    }
+}
+
+impl Instances for IndexView<'_> {
+    fn schema(&self) -> &Schema {
+        self.data.schema()
+    }
+    fn len(&self) -> usize {
+        self.idx.len()
+    }
+    fn row(&self, i: usize) -> &[f64] {
+        self.data.row(self.idx[i] as usize)
+    }
+    fn label(&self, i: usize) -> ClassId {
+        self.data.label(self.idx[i] as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    fn sample() -> Dataset {
+        let schema = Schema::new(
+            vec![Attribute::numeric("x")],
+            ["a", "b", "c"],
+        );
+        let mut d = Dataset::new(schema);
+        d.push(&[0.0], 0);
+        d.push(&[1.0], 1);
+        d.push(&[2.0], 1);
+        d.push(&[3.0], 2);
+        d
+    }
+
+    #[test]
+    fn dataset_is_instances() {
+        let d = sample();
+        let v: &dyn Instances = &d;
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.row(2), &[2.0]);
+        assert_eq!(v.label(3), 2);
+        assert_eq!(v.class_counts(), vec![1, 2, 1]);
+        assert_eq!(v.majority_class(), 1);
+    }
+
+    #[test]
+    fn index_view_selects_and_reorders() {
+        let d = sample();
+        let idx = [3u32, 1, 1];
+        let v = IndexView::new(&d, &idx);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.row(0), &[3.0]);
+        assert_eq!(v.label(1), 1);
+        assert_eq!(v.class_counts(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn full_view_mirrors_dataset() {
+        let d = sample();
+        let v = FullView::new(&d);
+        assert_eq!(v.len(), d.len());
+        assert_eq!(v.row(1), d.row(1));
+    }
+
+    #[test]
+    fn majority_class_ties_break_low() {
+        let d = sample();
+        let idx = [0u32, 3];
+        let v = IndexView::new(&d, &idx);
+        // one record each of class 0 and 2 -> tie broken toward class 0
+        assert_eq!(v.majority_class(), 0);
+    }
+
+    #[test]
+    fn empty_view_majority_is_zero() {
+        let d = sample();
+        let idx: [u32; 0] = [];
+        let v = IndexView::new(&d, &idx);
+        assert!(v.is_empty());
+        assert_eq!(v.majority_class(), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the data layer's invariants.
+
+use hom_data::metrics::{error_rate, mse_random, ConfusionMatrix};
+use hom_data::rng::{derive_seed, holdout_split, sample_discrete, seeded, zipf_weights};
+use hom_data::{Attribute, Dataset, IndexView, Instances, Schema};
+use proptest::prelude::*;
+
+proptest! {
+    /// Holdout split is a partition: disjoint halves covering 0..n, with
+    /// the test half exactly ⌊n/2⌋.
+    #[test]
+    fn holdout_split_partitions(n in 2usize..500, seed in any::<u64>()) {
+        let mut rng = seeded(seed);
+        let (train, test) = holdout_split(n, &mut rng);
+        prop_assert_eq!(test.len(), n / 2);
+        prop_assert_eq!(train.len(), n - n / 2);
+        let mut all: Vec<u32> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    /// Zipf weights are a probability distribution and non-increasing in
+    /// rank for non-negative exponents.
+    #[test]
+    fn zipf_weights_are_distribution(n in 1usize..100, z in 0.0f64..4.0) {
+        let w = zipf_weights(n, z);
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(w.windows(2).all(|p| p[0] >= p[1] - 1e-12));
+        prop_assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    /// Discrete sampling never picks a zero-weight index.
+    #[test]
+    fn sample_discrete_respects_zeros(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..20),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = seeded(seed);
+        for _ in 0..20 {
+            let i = sample_discrete(&weights, &mut rng);
+            prop_assert!(weights[i] > 0.0, "picked zero-weight index {i}");
+        }
+    }
+
+    /// Derived seeds are deterministic and (practically) distinct across
+    /// indices.
+    #[test]
+    fn derive_seed_deterministic(seed in any::<u64>(), a in 0u64..1000, b in 0u64..1000) {
+        prop_assert_eq!(derive_seed(seed, a), derive_seed(seed, a));
+        if a != b {
+            prop_assert_ne!(derive_seed(seed, a), derive_seed(seed, b));
+        }
+    }
+
+    /// error_rate is within [0,1] and complements accuracy.
+    #[test]
+    fn error_rate_bounds(labels in proptest::collection::vec((0u32..4, 0u32..4), 0..200)) {
+        let (pred, actual): (Vec<u32>, Vec<u32>) = labels.into_iter().unzip();
+        let e = error_rate(&pred, &actual);
+        prop_assert!((0.0..=1.0).contains(&e));
+        let a = hom_data::metrics::accuracy(&pred, &actual);
+        prop_assert!((e + a - 1.0).abs() < 1e-12);
+    }
+
+    /// The confusion matrix agrees with the direct error count.
+    #[test]
+    fn confusion_matrix_matches_error_rate(
+        labels in proptest::collection::vec((0u32..3, 0u32..3), 1..200),
+    ) {
+        let mut m = ConfusionMatrix::new(3);
+        for &(a, p) in &labels {
+            m.record(a, p);
+        }
+        let (pred, actual): (Vec<u32>, Vec<u32>) =
+            labels.iter().map(|&(a, p)| (p, a)).unzip();
+        prop_assert!((m.error_rate() - error_rate(&pred, &actual)).abs() < 1e-12);
+        prop_assert_eq!(m.total(), labels.len());
+    }
+
+    /// MSE of a random guesser is within [0, 1) and zero only for
+    /// degenerate priors.
+    #[test]
+    fn mse_random_bounds(counts in proptest::collection::vec(0u32..100, 2..6)) {
+        let total: u32 = counts.iter().sum();
+        prop_assume!(total > 0);
+        let prior: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
+        let mse = mse_random(&prior);
+        prop_assert!((0.0..1.0).contains(&mse));
+    }
+
+    /// Index views agree with direct dataset access under arbitrary index
+    /// lists (including duplicates).
+    #[test]
+    fn index_view_consistency(
+        rows in proptest::collection::vec((0.0f64..1.0, 0u32..3), 1..50),
+        picks in proptest::collection::vec(0usize..49, 0..100),
+    ) {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b", "c"]);
+        let mut d = Dataset::new(schema);
+        for &(x, y) in &rows {
+            d.push(&[x], y);
+        }
+        let idx: Vec<u32> = picks
+            .into_iter()
+            .filter(|&p| p < rows.len())
+            .map(|p| p as u32)
+            .collect();
+        let view = IndexView::new(&d, &idx);
+        prop_assert_eq!(view.len(), idx.len());
+        for (k, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(view.row(k), d.row(i as usize));
+            prop_assert_eq!(view.label(k), d.label(i as usize));
+        }
+        // class counts of the view sum to its length
+        prop_assert_eq!(view.class_counts().iter().sum::<usize>(), idx.len());
+    }
+
+    /// select() round-trips rows in the requested order.
+    #[test]
+    fn dataset_select_roundtrip(
+        rows in proptest::collection::vec((0.0f64..1.0, 0u32..2), 1..40),
+    ) {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let mut d = Dataset::new(schema);
+        for &(x, y) in &rows {
+            d.push(&[x], y);
+        }
+        let rev: Vec<u32> = (0..rows.len() as u32).rev().collect();
+        let s = d.select(&rev);
+        for k in 0..rows.len() {
+            prop_assert_eq!(s.row(k), d.row(rows.len() - 1 - k));
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The Hyperplane concept-drifting stream (paper §IV-A).
+//!
+//! Records are uniform in `[0,1]^d`. A record is positive iff
+//! `Σ aᵢ xᵢ ≥ a₀` with `a₀ = ½ Σ aᵢ`, so each concept's hyperplane halves
+//! the volume. Each of the `n_concepts` concepts has its own random weight
+//! vector. When the schedule switches concepts, the active weights glide
+//! linearly from the current effective weights to the target's weights over
+//! `drift_steps` records (paper default: 100), producing gradual drift
+//! rather than an abrupt shift. Records generated mid-glide carry
+//! `drifting = true` and are tagged with the *target* concept.
+
+use std::sync::Arc;
+
+use hom_data::rng::{derive_seed, seeded};
+use hom_data::{Attribute, Schema, StreamRecord, StreamSource};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::schedule::SwitchSchedule;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct HyperplaneParams {
+    /// Dimensionality (paper: 3 continuous attributes).
+    pub dims: usize,
+    /// Number of stable concepts (paper: 4).
+    pub n_concepts: usize,
+    /// Per-record concept-switch probability (paper default 0.001).
+    pub lambda: f64,
+    /// Zipf exponent of the transition law (paper default 1.0).
+    pub zipf_z: f64,
+    /// Records taken by one drift from concept to concept (paper: 100).
+    pub drift_steps: usize,
+    /// When set, overrides the random schedule with deterministic
+    /// round-robin switching every `period` records (Figs. 5–6).
+    pub period: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for HyperplaneParams {
+    fn default() -> Self {
+        HyperplaneParams {
+            dims: 3,
+            n_concepts: 4,
+            lambda: 0.001,
+            zipf_z: 1.0,
+            drift_steps: 100,
+            period: None,
+            seed: 0,
+        }
+    }
+}
+
+/// The Hyperplane stream source.
+pub struct HyperplaneSource {
+    schema: Arc<Schema>,
+    schedule: SwitchSchedule,
+    rng: StdRng,
+    /// Per-concept weight vectors.
+    concept_weights: Vec<Vec<f64>>,
+    /// Weights currently generating labels (equal to a concept's weights
+    /// when stable, an interpolation while drifting).
+    active: Vec<f64>,
+    /// Drift state: (start weights, target concept, step, total steps).
+    drift: Option<DriftState>,
+    drift_steps: usize,
+}
+
+struct DriftState {
+    from: Vec<f64>,
+    target: usize,
+    step: usize,
+}
+
+/// The d-dimensional hyperplane schema.
+pub fn hyperplane_schema(dims: usize) -> Arc<Schema> {
+    let attrs = (0..dims)
+        .map(|i| Attribute::numeric(format!("x{i}")))
+        .collect();
+    Schema::new(attrs, ["negative", "positive"])
+}
+
+/// Label of `x` under weight vector `w` with `a₀ = ½ Σ wᵢ`.
+pub fn hyperplane_label(w: &[f64], x: &[f64]) -> u32 {
+    let a0 = 0.5 * w.iter().sum::<f64>();
+    let s: f64 = w.iter().zip(x).map(|(a, b)| a * b).sum();
+    u32::from(s >= a0)
+}
+
+impl HyperplaneSource {
+    /// Build a source from parameters.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0` or `drift_steps == 0`.
+    pub fn new(params: HyperplaneParams) -> Self {
+        assert!(params.dims > 0, "need at least one dimension");
+        assert!(params.drift_steps > 0, "drift must take at least one step");
+        let mut weight_rng = seeded(derive_seed(params.seed, 0));
+        let concept_weights: Vec<Vec<f64>> = (0..params.n_concepts)
+            .map(|_| (0..params.dims).map(|_| weight_rng.gen::<f64>()).collect())
+            .collect();
+        let active = concept_weights[0].clone();
+        let schedule = match params.period {
+            Some(p) => {
+                SwitchSchedule::periodic(params.n_concepts, p, derive_seed(params.seed, 1))
+            }
+            None => SwitchSchedule::new(
+                params.n_concepts,
+                params.lambda,
+                params.zipf_z,
+                derive_seed(params.seed, 1),
+            ),
+        };
+        HyperplaneSource {
+            schema: hyperplane_schema(params.dims),
+            schedule,
+            rng: seeded(derive_seed(params.seed, 2)),
+            concept_weights,
+            active,
+            drift: None,
+            drift_steps: params.drift_steps,
+        }
+    }
+
+    /// The stable weight vector of concept `c` (for tests and ablations).
+    pub fn concept_weights(&self, c: usize) -> &[f64] {
+        &self.concept_weights[c]
+    }
+}
+
+impl StreamSource for HyperplaneSource {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next_record(&mut self) -> StreamRecord {
+        let (concept, switched) = self.schedule.tick();
+        if switched {
+            // Begin a glide from wherever we currently are (possibly
+            // mid-drift) toward the new concept's hyperplane.
+            self.drift = Some(DriftState {
+                from: self.active.clone(),
+                target: concept,
+                step: 0,
+            });
+        }
+
+        let mut drifting = false;
+        if let Some(d) = &mut self.drift {
+            d.step += 1;
+            let t = d.step as f64 / self.drift_steps as f64;
+            let target_w = &self.concept_weights[d.target];
+            for (a, (f, g)) in self
+                .active
+                .iter_mut()
+                .zip(d.from.iter().zip(target_w.iter()))
+            {
+                *a = f + (g - f) * t;
+            }
+            if d.step >= self.drift_steps {
+                self.drift = None;
+            } else {
+                drifting = true;
+            }
+        }
+
+        let x: Box<[f64]> = (0..self.active.len())
+            .map(|_| self.rng.gen::<f64>())
+            .collect();
+        let y = hyperplane_label(&self.active, &x);
+        StreamRecord {
+            x,
+            y,
+            concept,
+            drifting,
+        }
+    }
+
+    fn n_concepts(&self) -> Option<usize> {
+        Some(self.concept_weights.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_splits_volume_roughly_in_half() {
+        let mut s = HyperplaneSource::new(HyperplaneParams {
+            lambda: 0.0,
+            ..Default::default()
+        });
+        let pos = (0..20_000)
+            .filter(|_| s.next_record().y == 1)
+            .count() as f64
+            / 20_000.0;
+        assert!((pos - 0.5).abs() < 0.05, "positive fraction = {pos}");
+    }
+
+    #[test]
+    fn stable_stream_is_consistent_with_concept_weights() {
+        let mut s = HyperplaneSource::new(HyperplaneParams {
+            lambda: 0.0,
+            ..Default::default()
+        });
+        let w = s.concept_weights(0).to_vec();
+        for _ in 0..200 {
+            let r = s.next_record();
+            assert_eq!(r.y, hyperplane_label(&w, &r.x));
+            assert_eq!(r.concept, 0);
+            assert!(!r.drifting);
+        }
+    }
+
+    #[test]
+    fn drift_lasts_drift_steps_records() {
+        let mut s = HyperplaneSource::new(HyperplaneParams {
+            lambda: 1.0, // force a switch on the first record
+            drift_steps: 50,
+            ..Default::default()
+        });
+        // First record starts (and is part of) a drift.
+        let first = s.next_record();
+        assert!(first.drifting);
+        // Force no further switches by hacking lambda = 0 is not possible
+        // post-construction; instead verify that a drifting flag appears
+        // for at most drift_steps consecutive records in a λ=1 stream
+        // (every record re-triggers, so all records are drifting).
+        for _ in 0..10 {
+            assert!(s.next_record().drifting);
+        }
+    }
+
+    #[test]
+    fn drift_completes_then_becomes_stable() {
+        let mut s = HyperplaneSource::new(HyperplaneParams {
+            lambda: 0.0,
+            drift_steps: 10,
+            ..Default::default()
+        });
+        // Manually inject a drift to concept 1.
+        s.drift = Some(DriftState {
+            from: s.concept_weights(0).to_vec(),
+            target: 1,
+            step: 0,
+        });
+        let mut drifting_count = 0;
+        for _ in 0..20 {
+            if s.next_record().drifting {
+                drifting_count += 1;
+            }
+        }
+        assert_eq!(drifting_count, 9); // steps 1..9 drift, step 10 completes
+        let w1 = s.concept_weights(1).to_vec();
+        assert_eq!(s.active, w1);
+    }
+
+    #[test]
+    fn concepts_have_distinct_hyperplanes() {
+        let s = HyperplaneSource::new(HyperplaneParams::default());
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                assert_ne!(s.concept_weights(a), s.concept_weights(b));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = HyperplaneSource::new(HyperplaneParams::default());
+        let mut b = HyperplaneSource::new(HyperplaneParams::default());
+        for _ in 0..300 {
+            assert_eq!(a.next_record(), b.next_record());
+        }
+    }
+
+    #[test]
+    fn attributes_stay_in_unit_cube() {
+        let mut s = HyperplaneSource::new(HyperplaneParams::default());
+        for _ in 0..500 {
+            let r = s.next_record();
+            assert!(r.x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+}

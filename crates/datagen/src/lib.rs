@@ -1,0 +1,31 @@
+//! Benchmark stream generators (paper §IV-A).
+//!
+//! Three streams, covering the paper's three change regimes:
+//!
+//! * [`stagger`] — **concept shift**: three symbolic attributes, three
+//!   boolean target concepts A/B/C that switch abruptly.
+//! * [`hyperplane`] — **concept drift**: a moving hyperplane in `[0,1]^d`;
+//!   on each switch the hyperplane glides to the next concept's hyperplane
+//!   over ~100 records.
+//! * [`intrusion`] — **sampling change**: a synthetic stand-in for the
+//!   KDDCUP'99 network-intrusion stream (34 continuous + 7 discrete
+//!   attributes, 5 traffic classes) whose class mixture and class-
+//!   conditional distributions change in bursts between stable regimes.
+//!   See DESIGN.md for why this substitution preserves the experiment.
+//!
+//! All three share the [`schedule::SwitchSchedule`]: before each record the
+//! current concept switches with probability λ (default 0.001), and the
+//! next concept is drawn from a Zipf(z) law over the other concepts
+//! (default z = 1), exactly the paper's default configuration.
+
+pub mod hyperplane;
+pub mod intrusion;
+pub mod schedule;
+pub mod sea;
+pub mod stagger;
+
+pub use hyperplane::{HyperplaneParams, HyperplaneSource};
+pub use intrusion::{IntrusionParams, IntrusionSource};
+pub use schedule::SwitchSchedule;
+pub use sea::{SeaParams, SeaSource};
+pub use stagger::{StaggerParams, StaggerSource};

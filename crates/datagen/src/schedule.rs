@@ -1,0 +1,211 @@
+//! The concept-switch process shared by all generators.
+
+use hom_data::rng::{sample_discrete, seeded, zipf_weights};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Drives *when* the active concept changes and *which* concept comes next.
+///
+/// Matches the paper's generator configuration (§IV-A): "there is a
+/// probability λ to change the current concept before generating each
+/// record" and "the transition among concepts is controlled by the z
+/// parameter of Zipf distribution".
+#[derive(Debug, Clone)]
+pub struct SwitchSchedule {
+    zipf: Vec<f64>,
+    mode: Mode,
+    current: usize,
+    rng: StdRng,
+    /// Records generated since the last switch.
+    run_length: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Paper default: switch with probability λ before each record, next
+    /// concept Zipf-distributed.
+    Random { lambda: f64 },
+    /// Deterministic round-robin switching every `period` records — used
+    /// by the change-point-aligned experiments (Figs. 5–6), where the
+    /// switch time must be known exactly.
+    Periodic { period: u64 },
+}
+
+impl SwitchSchedule {
+    /// A schedule over `n_concepts` concepts with per-record switch
+    /// probability `lambda` and Zipf exponent `z`.
+    ///
+    /// # Panics
+    /// Panics unless `n_concepts >= 2` and `0 <= lambda <= 1`.
+    pub fn new(n_concepts: usize, lambda: f64, z: f64, seed: u64) -> Self {
+        assert!(n_concepts >= 2, "need at least two concepts to switch");
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+        SwitchSchedule {
+            zipf: zipf_weights(n_concepts, z),
+            mode: Mode::Random { lambda },
+            current: 0,
+            rng: seeded(seed),
+            run_length: 0,
+        }
+    }
+
+    /// A deterministic schedule that cycles concepts round-robin
+    /// (0, 1, …, N−1, 0, …), switching every `period` records. Record
+    /// indices `k·period` (k ≥ 1) are the first records of new segments.
+    ///
+    /// # Panics
+    /// Panics unless `n_concepts >= 2` and `period >= 1`.
+    pub fn periodic(n_concepts: usize, period: usize, seed: u64) -> Self {
+        assert!(n_concepts >= 2, "need at least two concepts to switch");
+        assert!(period >= 1, "period must be positive");
+        SwitchSchedule {
+            zipf: zipf_weights(n_concepts, 1.0),
+            mode: Mode::Periodic {
+                period: period as u64,
+            },
+            current: 0,
+            rng: seeded(seed),
+            run_length: 0,
+        }
+    }
+
+    /// Number of concepts.
+    pub fn n_concepts(&self) -> usize {
+        self.zipf.len()
+    }
+
+    /// The concept active right now (before the next [`Self::tick`]).
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Advance one record: possibly switch, then return
+    /// `(active_concept, switched_this_tick)`.
+    pub fn tick(&mut self) -> (usize, bool) {
+        let mut switched = false;
+        match self.mode {
+            Mode::Random { lambda } => {
+                if self.rng.gen::<f64>() < lambda {
+                    // Draw the next concept from the Zipf law restricted
+                    // to the other concepts.
+                    let mut w = self.zipf.clone();
+                    w[self.current] = 0.0;
+                    self.current = sample_discrete(&w, &mut self.rng);
+                    self.run_length = 0;
+                    switched = true;
+                }
+            }
+            Mode::Periodic { period } => {
+                if self.run_length >= period {
+                    self.current = (self.current + 1) % self.zipf.len();
+                    self.run_length = 0;
+                    switched = true;
+                }
+            }
+        }
+        self.run_length += 1;
+        (self.current, switched)
+    }
+
+    /// Expected concept run length: `1/λ` for random schedules (∞ when
+    /// λ = 0), the period for periodic ones.
+    pub fn expected_run_length(&self) -> f64 {
+        match self.mode {
+            Mode::Random { lambda: 0.0 } => f64::INFINITY,
+            Mode::Random { lambda } => 1.0 / lambda,
+            Mode::Periodic { period } => period as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_switches_with_zero_lambda() {
+        let mut s = SwitchSchedule::new(3, 0.0, 1.0, 42);
+        for _ in 0..1000 {
+            let (c, switched) = s.tick();
+            assert_eq!(c, 0);
+            assert!(!switched);
+        }
+    }
+
+    #[test]
+    fn always_switches_with_lambda_one() {
+        let mut s = SwitchSchedule::new(2, 1.0, 1.0, 42);
+        let mut prev = s.current();
+        for _ in 0..50 {
+            let (c, switched) = s.tick();
+            assert!(switched);
+            assert_ne!(c, prev, "with two concepts every switch alternates");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn switch_rate_approximates_lambda() {
+        let mut s = SwitchSchedule::new(4, 0.01, 1.0, 7);
+        let switches = (0..100_000).filter(|_| s.tick().1).count();
+        let rate = switches as f64 / 100_000.0;
+        assert!((rate - 0.01).abs() < 0.002, "rate = {rate}");
+    }
+
+    #[test]
+    fn zipf_biases_transitions_toward_low_ranks() {
+        // With a strong Zipf exponent, concept 0 should be the most common
+        // destination when switching away from others.
+        let mut s = SwitchSchedule::new(4, 1.0, 2.0, 11);
+        let mut dest_counts = [0usize; 4];
+        let mut prev = s.current();
+        for _ in 0..20_000 {
+            let (c, _) = s.tick();
+            if prev != 0 {
+                dest_counts[c] += 1;
+            }
+            prev = c;
+        }
+        assert!(dest_counts[0] > dest_counts[2]);
+        assert!(dest_counts[0] > dest_counts[3]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = SwitchSchedule::new(3, 0.05, 1.0, 5);
+        let mut b = SwitchSchedule::new(3, 0.05, 1.0, 5);
+        for _ in 0..1000 {
+            assert_eq!(a.tick(), b.tick());
+        }
+    }
+
+    #[test]
+    fn expected_run_length_inverse_lambda() {
+        let s = SwitchSchedule::new(2, 0.001, 1.0, 1);
+        assert_eq!(s.expected_run_length(), 1000.0);
+        assert!(SwitchSchedule::new(2, 0.0, 1.0, 1)
+            .expected_run_length()
+            .is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_concept() {
+        SwitchSchedule::new(1, 0.1, 1.0, 0);
+    }
+
+    #[test]
+    fn periodic_cycles_round_robin() {
+        let mut s = SwitchSchedule::periodic(3, 5, 0);
+        let mut seen = Vec::new();
+        for _ in 0..30 {
+            seen.push(s.tick());
+        }
+        // first 5 records concept 0 (no switch), then 5 of concept 1, …
+        for (i, &(c, switched)) in seen.iter().enumerate() {
+            assert_eq!(c, (i / 5) % 3, "record {i}");
+            assert_eq!(switched, i >= 5 && i % 5 == 0, "record {i}");
+        }
+        assert_eq!(s.expected_run_length(), 5.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The Stagger concept-shifting stream (paper §IV-A).
+//!
+//! Records have three symbolic attributes — color ∈ {green, blue, red},
+//! shape ∈ {triangle, circle, rectangle}, size ∈ {small, medium, large} —
+//! and a boolean class determined by the active concept:
+//!
+//! * **A**: positive iff color = red ∧ size = small
+//! * **B**: positive iff color = green ∨ shape = circle
+//! * **C**: positive iff size = medium ∨ size = large
+
+use std::sync::Arc;
+
+use hom_data::rng::{derive_seed, seeded};
+use hom_data::{Attribute, Schema, StreamRecord, StreamSource};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::schedule::SwitchSchedule;
+
+/// Color codes in schema order.
+pub const GREEN: f64 = 0.0;
+/// See [`GREEN`].
+pub const BLUE: f64 = 1.0;
+/// See [`GREEN`].
+pub const RED: f64 = 2.0;
+/// Shape codes in schema order.
+pub const TRIANGLE: f64 = 0.0;
+/// See [`TRIANGLE`].
+pub const CIRCLE: f64 = 1.0;
+/// See [`TRIANGLE`].
+pub const RECTANGLE: f64 = 2.0;
+/// Size codes in schema order.
+pub const SMALL: f64 = 0.0;
+/// See [`SMALL`].
+pub const MEDIUM: f64 = 1.0;
+/// See [`SMALL`].
+pub const LARGE: f64 = 2.0;
+
+/// Number of stable Stagger concepts.
+pub const N_CONCEPTS: usize = 3;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct StaggerParams {
+    /// Per-record concept-switch probability (paper default 0.001).
+    pub lambda: f64,
+    /// Zipf exponent of the transition law (paper default 1.0).
+    pub zipf_z: f64,
+    /// When set, overrides the random schedule with deterministic
+    /// round-robin switching every `period` records (used by the
+    /// change-point-aligned experiments of Figs. 5–6).
+    pub period: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for StaggerParams {
+    fn default() -> Self {
+        StaggerParams {
+            lambda: 0.001,
+            zipf_z: 1.0,
+            period: None,
+            seed: 0,
+        }
+    }
+}
+
+/// The Stagger stream source.
+pub struct StaggerSource {
+    schema: Arc<Schema>,
+    schedule: SwitchSchedule,
+    rng: StdRng,
+}
+
+/// The Stagger schema: 3 categorical attributes, binary class.
+pub fn stagger_schema() -> Arc<Schema> {
+    Schema::new(
+        vec![
+            Attribute::categorical("color", ["green", "blue", "red"]),
+            Attribute::categorical("shape", ["triangle", "circle", "rectangle"]),
+            Attribute::categorical("size", ["small", "medium", "large"]),
+        ],
+        ["negative", "positive"],
+    )
+}
+
+/// Ground-truth label of `(color, shape, size)` under concept `concept`.
+pub fn stagger_label(concept: usize, color: f64, shape: f64, size: f64) -> u32 {
+    let positive = match concept {
+        0 => color == RED && size == SMALL,
+        1 => color == GREEN || shape == CIRCLE,
+        2 => size == MEDIUM || size == LARGE,
+        _ => panic!("stagger has exactly 3 concepts"),
+    };
+    u32::from(positive)
+}
+
+impl StaggerSource {
+    /// Build a source from parameters.
+    pub fn new(params: StaggerParams) -> Self {
+        let schedule = match params.period {
+            Some(p) => SwitchSchedule::periodic(N_CONCEPTS, p, derive_seed(params.seed, 0)),
+            None => SwitchSchedule::new(
+                N_CONCEPTS,
+                params.lambda,
+                params.zipf_z,
+                derive_seed(params.seed, 0),
+            ),
+        };
+        StaggerSource {
+            schema: stagger_schema(),
+            schedule,
+            rng: seeded(derive_seed(params.seed, 1)),
+        }
+    }
+}
+
+impl StreamSource for StaggerSource {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next_record(&mut self) -> StreamRecord {
+        let (concept, _) = self.schedule.tick();
+        let color = f64::from(self.rng.gen_range(0..3u8));
+        let shape = f64::from(self.rng.gen_range(0..3u8));
+        let size = f64::from(self.rng.gen_range(0..3u8));
+        StreamRecord {
+            x: Box::new([color, shape, size]),
+            y: stagger_label(concept, color, shape, size),
+            concept,
+            drifting: false,
+        }
+    }
+
+    fn n_concepts(&self) -> Option<usize> {
+        Some(N_CONCEPTS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_data::stream::collect;
+
+    #[test]
+    fn labels_match_concept_definitions() {
+        // concept A: red AND small
+        assert_eq!(stagger_label(0, RED, TRIANGLE, SMALL), 1);
+        assert_eq!(stagger_label(0, RED, TRIANGLE, MEDIUM), 0);
+        assert_eq!(stagger_label(0, BLUE, TRIANGLE, SMALL), 0);
+        // concept B: green OR circle
+        assert_eq!(stagger_label(1, GREEN, TRIANGLE, LARGE), 1);
+        assert_eq!(stagger_label(1, BLUE, CIRCLE, LARGE), 1);
+        assert_eq!(stagger_label(1, BLUE, TRIANGLE, LARGE), 0);
+        // concept C: medium OR large
+        assert_eq!(stagger_label(2, BLUE, TRIANGLE, MEDIUM), 1);
+        assert_eq!(stagger_label(2, BLUE, TRIANGLE, LARGE), 1);
+        assert_eq!(stagger_label(2, RED, CIRCLE, SMALL), 0);
+    }
+
+    #[test]
+    fn stream_is_schema_valid_and_deterministic() {
+        let mut a = StaggerSource::new(StaggerParams::default());
+        let mut b = StaggerSource::new(StaggerParams::default());
+        for _ in 0..500 {
+            let ra = a.next_record();
+            let rb = b.next_record();
+            assert_eq!(ra, rb);
+            assert!(a.schema().validate_row(&ra.x).is_ok());
+            assert!(ra.concept < 3);
+            assert!(!ra.drifting);
+            assert_eq!(
+                ra.y,
+                stagger_label(ra.concept, ra.x[0], ra.x[1], ra.x[2])
+            );
+        }
+    }
+
+    #[test]
+    fn concept_changes_occur_at_high_lambda() {
+        let mut s = StaggerSource::new(StaggerParams {
+            lambda: 0.05,
+            ..Default::default()
+        });
+        let (_, concepts) = collect(&mut s, 2000);
+        let distinct: std::collections::HashSet<_> = concepts.iter().collect();
+        assert_eq!(distinct.len(), 3, "all three concepts should appear");
+        let changes = concepts.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(changes > 30, "changes = {changes}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StaggerSource::new(StaggerParams::default());
+        let mut b = StaggerSource::new(StaggerParams {
+            seed: 1,
+            ..Default::default()
+        });
+        let same = (0..100)
+            .filter(|_| a.next_record() == b.next_record())
+            .count();
+        assert!(same < 30);
+    }
+}

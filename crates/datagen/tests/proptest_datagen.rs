@@ -1,0 +1,121 @@
+//! Property-based tests of the stream generators: schema validity and
+//! ground-truth consistency hold for arbitrary parameter settings.
+
+use hom_data::{StreamRecord, StreamSource};
+use hom_datagen::{
+    hyperplane::hyperplane_label, sea::sea_label, stagger::stagger_label, HyperplaneParams,
+    HyperplaneSource, IntrusionParams, IntrusionSource, SeaParams, SeaSource, StaggerParams,
+    StaggerSource,
+};
+use proptest::prelude::*;
+
+fn check_valid(src: &mut dyn StreamSource, n: usize) -> Vec<StreamRecord> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let r = src.next_record();
+        assert!(src.schema().validate_row(&r.x).is_ok(), "invalid row {:?}", r.x);
+        assert!(src.schema().validate_label(r.y).is_ok());
+        if let Some(k) = src.n_concepts() {
+            assert!(r.concept < k);
+        }
+        out.push(r);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Stagger: every record's label equals the active concept's rule.
+    #[test]
+    fn stagger_valid_for_any_params(
+        lambda in 0.0f64..0.2,
+        z in 0.0f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let mut s = StaggerSource::new(StaggerParams { lambda, zipf_z: z, period: None, seed });
+        for r in check_valid(&mut s, 300) {
+            prop_assert_eq!(r.y, stagger_label(r.concept, r.x[0], r.x[1], r.x[2]));
+            prop_assert!(!r.drifting);
+        }
+    }
+
+    /// Hyperplane: records stay in the unit cube; stable (non-drifting)
+    /// records match their concept's hyperplane exactly.
+    #[test]
+    fn hyperplane_valid_for_any_params(
+        lambda in 0.0f64..0.05,
+        dims in 2usize..6,
+        n_concepts in 2usize..6,
+        drift_steps in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut s = HyperplaneSource::new(HyperplaneParams {
+            dims,
+            n_concepts,
+            lambda,
+            drift_steps,
+            zipf_z: 1.0,
+            period: None,
+            seed,
+        });
+        let weights: Vec<Vec<f64>> =
+            (0..n_concepts).map(|c| s.concept_weights(c).to_vec()).collect();
+        for r in check_valid(&mut s, 300) {
+            prop_assert!(r.x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            if !r.drifting {
+                prop_assert_eq!(r.y, hyperplane_label(&weights[r.concept], &r.x));
+            }
+        }
+    }
+
+    /// SEA: noise-free labels match the active threshold rule.
+    #[test]
+    fn sea_valid_for_any_params(
+        lambda in 0.0f64..0.1,
+        seed in any::<u64>(),
+    ) {
+        let mut s = SeaSource::new(SeaParams {
+            lambda,
+            noise: 0.0,
+            ..Default::default()
+        });
+        let _ = seed; // SEA content varies via its own seeds below
+        let mut s2 = SeaSource::new(SeaParams { lambda, noise: 0.0, zipf_z: 1.0, period: None, seed });
+        for r in check_valid(&mut s2, 300) {
+            prop_assert_eq!(r.y, sea_label(r.concept, &r.x));
+        }
+        drop(s.next_record());
+    }
+
+    /// Intrusion: schema-valid for any regime count >= 2.
+    #[test]
+    fn intrusion_valid_for_any_params(
+        n_regimes in 2usize..8,
+        lambda in 0.0f64..0.02,
+        seed in any::<u64>(),
+    ) {
+        let mut s = IntrusionSource::new(IntrusionParams {
+            n_regimes,
+            lambda,
+            zipf_z: 1.0,
+            seed,
+        });
+        check_valid(&mut s, 200);
+    }
+
+    /// Periodic schedules produce exactly the scripted segmentation for
+    /// every generator that supports them.
+    #[test]
+    fn periodic_segmentation_is_exact(period in 5usize..200, seed in any::<u64>()) {
+        let mut s = StaggerSource::new(StaggerParams {
+            period: Some(period),
+            seed,
+            ..Default::default()
+        });
+        for i in 0..(3 * period) {
+            let r = s.next_record();
+            prop_assert_eq!(r.concept, (i / period) % 3, "record {}", i);
+        }
+    }
+}

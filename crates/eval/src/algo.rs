@@ -1,0 +1,325 @@
+//! A single interface over every compared stream classifier.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hom_baselines::{Dwm, DwmParams, RePro, ReProParams, StaticModel, Wce, WceParams};
+use hom_classifiers::Learner;
+use hom_cluster::ClusterParams;
+use hom_core::{build, BuildParams, OnlinePredictor};
+use hom_data::{ClassId, Dataset};
+
+/// The protocol every experiment drives: per timestamp, `predict` the
+/// unlabeled record first, then `learn` its label — so predictions of
+/// `xₜ` only ever use labels `y₁ … y_{t−1}`, the paper's evaluation
+/// protocol.
+pub trait StreamAlgorithm {
+    /// Short display name (matches the paper's table rows).
+    fn name(&self) -> &'static str;
+    /// Classify an unlabeled record.
+    fn predict(&mut self, x: &[f64]) -> ClassId;
+    /// Consume the labeled record of the same timestamp.
+    fn learn(&mut self, x: &[f64], y: ClassId);
+}
+
+/// Which algorithm to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// The paper's contribution.
+    HighOrder,
+    /// Yang, Wu & Zhu (KDD'05).
+    RePro,
+    /// Wang, Fan, Yu & Han (KDD'03).
+    Wce,
+    /// Dynamic Weighted Majority (Kolter & Maloof, ICDM'03) — an
+    /// extension baseline over incremental naive Bayes experts.
+    Dwm,
+    /// Train-once strawman.
+    Static,
+}
+
+impl AlgoKind {
+    /// The three competitors of the paper's tables, in table order.
+    pub const PAPER: [AlgoKind; 3] = [AlgoKind::HighOrder, AlgoKind::RePro, AlgoKind::Wce];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoKind::HighOrder => "High-order",
+            AlgoKind::RePro => "RePro",
+            AlgoKind::Wce => "WCE",
+            AlgoKind::Dwm => "DWM",
+            AlgoKind::Static => "Static",
+        }
+    }
+}
+
+/// Per-algorithm hyper-parameters used by a whole experiment.
+#[derive(Debug, Clone, Default)]
+pub struct AlgoConfig {
+    /// Concept-clustering parameters for the high-order build.
+    pub cluster: ClusterParams,
+    /// RePro parameters (paper defaults).
+    pub repro: ReProParams,
+    /// WCE parameters (paper defaults).
+    pub wce: WceParams,
+    /// DWM parameters (Kolter & Maloof defaults).
+    pub dwm: DwmParams,
+}
+
+/// An algorithm plus its offline-build diagnostics.
+pub struct BuiltAlgo {
+    /// The ready-to-stream classifier.
+    pub algo: Box<dyn StreamAlgorithm>,
+    /// Wall-clock time of the offline build over the historical data.
+    pub build_time: Duration,
+    /// Number of concepts the build discovered, when the notion applies.
+    pub n_concepts: Option<usize>,
+}
+
+/// Build the high-order model with its concrete adapter type exposed
+/// (Fig. 6 needs direct access to the predictor's concept probabilities).
+pub fn build_high_order(
+    historical: &Dataset,
+    learner: &Arc<dyn Learner>,
+    config: &AlgoConfig,
+) -> (HighOrderAlgo, Duration, usize) {
+    let start = Instant::now();
+    let (model, report) = build(
+        historical,
+        learner.as_ref(),
+        &BuildParams {
+            cluster: config.cluster.clone(),
+            ..Default::default()
+        },
+    );
+    (
+        HighOrderAlgo {
+            predictor: OnlinePredictor::new(Arc::new(model)),
+        },
+        start.elapsed(),
+        report.n_concepts,
+    )
+}
+
+/// Build `kind` from the historical dataset.
+pub fn build_algo(
+    kind: AlgoKind,
+    historical: &Dataset,
+    learner: &Arc<dyn Learner>,
+    config: &AlgoConfig,
+) -> BuiltAlgo {
+    let start = Instant::now();
+    match kind {
+        AlgoKind::HighOrder => {
+            let (model, report) = build(
+                historical,
+                learner.as_ref(),
+                &BuildParams {
+                    cluster: config.cluster.clone(),
+                    ..Default::default()
+                },
+            );
+            BuiltAlgo {
+                algo: Box::new(HighOrderAlgo {
+                    predictor: OnlinePredictor::new(Arc::new(model)),
+                }),
+                build_time: start.elapsed(),
+                n_concepts: Some(report.n_concepts),
+            }
+        }
+        AlgoKind::RePro => {
+            let repro = RePro::build(historical, Arc::clone(learner), config.repro.clone());
+            let n = repro.n_concepts();
+            BuiltAlgo {
+                algo: Box::new(ReProAlgo { inner: repro }),
+                build_time: start.elapsed(),
+                n_concepts: Some(n),
+            }
+        }
+        AlgoKind::Wce => {
+            let wce = Wce::build(historical, Arc::clone(learner), config.wce.clone());
+            BuiltAlgo {
+                algo: Box::new(WceAlgo { inner: wce }),
+                build_time: start.elapsed(),
+                n_concepts: None,
+            }
+        }
+        AlgoKind::Dwm => {
+            let dwm = Dwm::build(historical, config.dwm.clone());
+            BuiltAlgo {
+                algo: Box::new(DwmAlgo { inner: dwm }),
+                build_time: start.elapsed(),
+                n_concepts: None,
+            }
+        }
+        AlgoKind::Static => BuiltAlgo {
+            algo: Box::new(StaticAlgo {
+                inner: StaticModel::build(historical, learner),
+            }),
+            build_time: start.elapsed(),
+            n_concepts: None,
+        },
+    }
+}
+
+/// The high-order model behind the common interface.
+pub struct HighOrderAlgo {
+    predictor: OnlinePredictor,
+}
+
+impl HighOrderAlgo {
+    /// Access the underlying predictor (used by Fig. 6 to read concept
+    /// probabilities).
+    pub fn predictor(&self) -> &OnlinePredictor {
+        &self.predictor
+    }
+
+    /// Wrap an existing predictor.
+    pub fn from_predictor(predictor: OnlinePredictor) -> Self {
+        HighOrderAlgo { predictor }
+    }
+}
+
+impl StreamAlgorithm for HighOrderAlgo {
+    fn name(&self) -> &'static str {
+        "High-order"
+    }
+    fn predict(&mut self, x: &[f64]) -> ClassId {
+        self.predictor.predict_pruned(x)
+    }
+    fn learn(&mut self, x: &[f64], y: ClassId) {
+        self.predictor.observe(x, y);
+    }
+}
+
+struct ReProAlgo {
+    inner: RePro,
+}
+
+impl StreamAlgorithm for ReProAlgo {
+    fn name(&self) -> &'static str {
+        "RePro"
+    }
+    fn predict(&mut self, x: &[f64]) -> ClassId {
+        self.inner.predict(x)
+    }
+    fn learn(&mut self, x: &[f64], y: ClassId) {
+        self.inner.learn(x, y);
+    }
+}
+
+struct WceAlgo {
+    inner: Wce,
+}
+
+impl StreamAlgorithm for WceAlgo {
+    fn name(&self) -> &'static str {
+        "WCE"
+    }
+    fn predict(&mut self, x: &[f64]) -> ClassId {
+        self.inner.predict(x)
+    }
+    fn learn(&mut self, x: &[f64], y: ClassId) {
+        self.inner.learn(x, y);
+    }
+}
+
+struct DwmAlgo {
+    inner: Dwm,
+}
+
+impl StreamAlgorithm for DwmAlgo {
+    fn name(&self) -> &'static str {
+        "DWM"
+    }
+    fn predict(&mut self, x: &[f64]) -> ClassId {
+        self.inner.predict(x)
+    }
+    fn learn(&mut self, x: &[f64], y: ClassId) {
+        self.inner.learn(x, y);
+    }
+}
+
+struct StaticAlgo {
+    inner: StaticModel,
+}
+
+impl StreamAlgorithm for StaticAlgo {
+    fn name(&self) -> &'static str {
+        "Static"
+    }
+    fn predict(&mut self, x: &[f64]) -> ClassId {
+        self.inner.predict(x)
+    }
+    fn learn(&mut self, x: &[f64], y: ClassId) {
+        self.inner.learn(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_classifiers::DecisionTreeLearner;
+    use hom_data::stream::collect;
+    use hom_data::StreamSource;
+    use hom_datagen::{StaggerParams, StaggerSource};
+
+    fn stagger_history() -> (Dataset, StaggerSource) {
+        let mut src = StaggerSource::new(StaggerParams {
+            lambda: 0.01,
+            ..Default::default()
+        });
+        let (data, _) = collect(&mut src, 3000);
+        (data, src)
+    }
+
+    #[test]
+    fn every_kind_builds_and_streams() {
+        let (historical, mut src) = stagger_history();
+        let learner: Arc<dyn Learner> = Arc::new(DecisionTreeLearner::new());
+        let config = AlgoConfig {
+            cluster: ClusterParams {
+                block_size: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        for kind in [
+            AlgoKind::HighOrder,
+            AlgoKind::RePro,
+            AlgoKind::Wce,
+            AlgoKind::Dwm,
+            AlgoKind::Static,
+        ] {
+            let mut built = build_algo(kind, &historical, &learner, &config);
+            assert_eq!(built.algo.name(), kind.name());
+            let mut wrong = 0;
+            for _ in 0..500 {
+                let r = src.next_record();
+                if built.algo.predict(&r.x) != r.y {
+                    wrong += 1;
+                }
+                built.algo.learn(&r.x, r.y);
+            }
+            // every algorithm should beat coin flipping on Stagger
+            assert!(wrong < 250, "{}: {wrong}/500 wrong", kind.name());
+        }
+    }
+
+    #[test]
+    fn high_order_reports_concepts() {
+        let (historical, _) = stagger_history();
+        let learner: Arc<dyn Learner> = Arc::new(DecisionTreeLearner::new());
+        let config = AlgoConfig {
+            cluster: ClusterParams {
+                block_size: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let built = build_algo(AlgoKind::HighOrder, &historical, &learner, &config);
+        assert_eq!(built.n_concepts, Some(3));
+        assert!(built.build_time.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Concept-change-aligned curves (Figs. 5–6).
+//!
+//! The paper's Figs. 5–6 average the per-timestamp error rate (and, for
+//! the high-order model, the concepts' active probabilities) over many
+//! runs, aligned on a concept change. Here the alignment is exact: the
+//! test stream uses the *periodic* schedule (round-robin concept switches
+//! every `period` records), so every switch time is known, and each
+//! switch contributes one aligned window `[−pre, +post)` to the average.
+
+use hom_classifiers::argmax;
+use hom_data::StreamSource;
+
+use crate::algo::{HighOrderAlgo, StreamAlgorithm};
+
+/// Window specification for aligned curves.
+#[derive(Debug, Clone, Copy)]
+pub struct CurveSpec {
+    /// Records shown before the switch (paper Fig. 5: 50).
+    pub pre: usize,
+    /// Records shown after the switch (paper Fig. 5: ~150).
+    pub post: usize,
+    /// Segment length of the periodic schedule (must exceed pre + post).
+    pub period: usize,
+    /// Number of switches averaged.
+    pub n_switches: usize,
+}
+
+impl CurveSpec {
+    /// Total window width `pre + post`.
+    pub fn width(&self) -> usize {
+        self.pre + self.post
+    }
+
+    /// X-axis offsets relative to the switch, `-pre .. post`.
+    pub fn offsets(&self) -> Vec<i64> {
+        (-(self.pre as i64)..self.post as i64).collect()
+    }
+
+    fn total_records(&self) -> usize {
+        // Warm-up segment + n_switches full segments + the tail window.
+        self.period * (self.n_switches + 1) + self.post
+    }
+}
+
+/// Drive `algo` over a periodic stream and return the per-offset error
+/// rate averaged across switches (the Fig. 5 curve for one algorithm).
+///
+/// # Panics
+/// Panics unless `period > pre + post` (windows must not overlap).
+pub fn error_curve(
+    algo: &mut dyn StreamAlgorithm,
+    source: &mut dyn StreamSource,
+    spec: &CurveSpec,
+) -> Vec<f64> {
+    assert!(
+        spec.period > spec.width(),
+        "period must exceed the aligned window"
+    );
+    let width = spec.width();
+    let mut wrong = vec![0usize; width];
+    let mut seen = vec![0usize; width];
+
+    for i in 0..spec.total_records() {
+        let r = source.next_record();
+        let correct = algo.predict(&r.x) == r.y;
+        algo.learn(&r.x, r.y);
+
+        // Which switch window does record i fall into? Switch k happens
+        // at index k·period (k ≥ 1).
+        let period = spec.period as i64;
+        let i = i as i64;
+        let k = (i + spec.pre as i64) / period; // candidate switch index
+        if k >= 1 && k as usize <= spec.n_switches {
+            let offset = i - k * period; // in [-pre, period)
+            if offset >= -(spec.pre as i64) && offset < spec.post as i64 {
+                let slot = (offset + spec.pre as i64) as usize;
+                seen[slot] += 1;
+                if !correct {
+                    wrong[slot] += 1;
+                }
+            }
+        }
+    }
+
+    wrong
+        .iter()
+        .zip(&seen)
+        .map(|(&w, &s)| if s == 0 { 0.0 } else { w as f64 / s as f64 })
+        .collect()
+}
+
+/// The Fig. 6 curves: per-offset average active probability of the mined
+/// concept that dominates *before* each switch ("old") and the one that
+/// dominates *after* it ("new").
+///
+/// Returns `(p_old, p_new)` of length `pre + post`.
+pub fn probability_curves(
+    algo: &mut HighOrderAlgo,
+    source: &mut dyn StreamSource,
+    spec: &CurveSpec,
+) -> (Vec<f64>, Vec<f64>) {
+    assert!(
+        spec.period > spec.width(),
+        "period must exceed the aligned window"
+    );
+    let width = spec.width();
+    let n_concepts = algo.predictor().model().n_concepts();
+
+    // Record the full probability trajectory, then slice windows.
+    let total = spec.total_records();
+    let mut trajectory: Vec<f64> = Vec::with_capacity(total * n_concepts);
+    for _ in 0..total {
+        let r = source.next_record();
+        algo.learn(&r.x, r.y);
+        trajectory.extend_from_slice(algo.predictor().concept_probs());
+    }
+    let probs_at = |t: usize| &trajectory[t * n_concepts..(t + 1) * n_concepts];
+
+    let mut p_old = vec![0.0; width];
+    let mut p_new = vec![0.0; width];
+    let mut used = 0usize;
+    for k in 1..=spec.n_switches {
+        let switch = k * spec.period;
+        // The mined concept identified just before the switch, and the one
+        // identified well after it. A switch where both resolve to the
+        // same mined concept carries no crossover information (the filter
+        // did not distinguish the two segments — common when the mined
+        // concept count is below the generator's), so it is skipped.
+        let old_id = argmax(probs_at(switch - 1));
+        let new_id = argmax(probs_at(switch + spec.post - 1));
+        if old_id == new_id {
+            continue;
+        }
+        used += 1;
+        for (slot, offset) in (-(spec.pre as i64)..spec.post as i64).enumerate() {
+            let t = (switch as i64 + offset) as usize;
+            p_old[slot] += probs_at(t)[old_id];
+            p_new[slot] += probs_at(t)[new_id];
+        }
+    }
+    if used > 0 {
+        for v in p_old.iter_mut().chain(p_new.iter_mut()) {
+            *v /= used as f64;
+        }
+    }
+    (p_old, p_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{build_algo, AlgoConfig, AlgoKind};
+    use crate::runner::default_learner;
+    use hom_cluster::ClusterParams;
+    use hom_data::stream::collect;
+    use hom_datagen::{StaggerParams, StaggerSource};
+
+    fn spec() -> CurveSpec {
+        CurveSpec {
+            pre: 20,
+            post: 60,
+            period: 300,
+            n_switches: 6,
+        }
+    }
+
+    fn built_high_order() -> crate::algo::BuiltAlgo {
+        let mut src = StaggerSource::new(StaggerParams {
+            lambda: 0.01,
+            ..Default::default()
+        });
+        let (historical, _) = collect(&mut src, 3000);
+        build_algo(
+            AlgoKind::HighOrder,
+            &historical,
+            &default_learner(),
+            &AlgoConfig {
+                cluster: ClusterParams {
+                    block_size: 10,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn offsets_span_window() {
+        let s = spec();
+        let o = s.offsets();
+        assert_eq!(o.len(), 80);
+        assert_eq!(o[0], -20);
+        assert_eq!(*o.last().unwrap(), 59);
+    }
+
+    #[test]
+    fn high_order_error_spikes_then_recovers() {
+        let mut built = built_high_order();
+        let mut src = StaggerSource::new(StaggerParams {
+            period: Some(300),
+            seed: 77,
+            ..Default::default()
+        });
+        let curve = error_curve(built.algo.as_mut(), &mut src, &spec());
+        assert_eq!(curve.len(), 80);
+        // Stable before the switch …
+        let before: f64 = curve[..20].iter().sum::<f64>() / 20.0;
+        assert!(before < 0.1, "pre-switch error {before}");
+        // … error spikes right after it …
+        let spike: f64 = curve[20..30].iter().cloned().fold(0.0, f64::max);
+        assert!(spike > before, "no spike: {spike} vs {before}");
+        // … and recovers within the window.
+        let tail: f64 = curve[60..].iter().sum::<f64>() / 20.0;
+        assert!(tail < 0.1, "post-switch error {tail} did not recover");
+    }
+
+    #[test]
+    fn probability_curves_cross_at_switch() {
+        let mut src0 = StaggerSource::new(StaggerParams {
+            lambda: 0.01,
+            ..Default::default()
+        });
+        let (historical, _) = collect(&mut src0, 3000);
+        let (mut high, _, _) = crate::algo::build_high_order(
+            &historical,
+            &default_learner(),
+            &AlgoConfig {
+                cluster: ClusterParams {
+                    block_size: 10,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let mut src = StaggerSource::new(StaggerParams {
+            period: Some(300),
+            seed: 78,
+            ..Default::default()
+        });
+        let (p_old, p_new) = probability_curves(&mut high, &mut src, &spec());
+        assert_eq!(p_old.len(), 80);
+        // Before the switch the old concept dominates; after, the new one.
+        assert!(p_old[10] > 0.6, "old prob before switch: {}", p_old[10]);
+        assert!(p_new[75] > 0.6, "new prob after switch: {}", p_new[75]);
+        assert!(p_old[75] < 0.5);
+    }
+}

@@ -1,0 +1,227 @@
+//! Timed experiment runs (Tables II–IV, Figs. 3–4).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hom_classifiers::{DecisionTreeLearner, Learner};
+use hom_cluster::ClusterParams;
+use hom_data::rng::derive_seed;
+use hom_data::stream::collect;
+use hom_data::StreamSource;
+
+use crate::algo::{build_algo, AlgoConfig, AlgoKind, StreamAlgorithm};
+use crate::workloads::Workload;
+
+/// Test streams are generated into memory in batches of this many records
+/// before the timed predict/learn loop runs, so generator cost never
+/// pollutes the measured test time (Table III measures "classification +
+/// additional online training" only).
+const BATCH: usize = 20_000;
+
+/// Result of one algorithm on one workload.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Algorithm display name.
+    pub algo: &'static str,
+    /// Error rate over the test stream.
+    pub error_rate: f64,
+    /// Offline build time over the historical data.
+    pub build_time: Duration,
+    /// Test time: classification + online training on the test stream.
+    pub test_time: Duration,
+    /// Concepts discovered during the build (when the notion applies).
+    pub n_concepts: Option<usize>,
+}
+
+/// Drive `algo` over `n` records of `source`, returning
+/// `(error_rate, test_time)`. Prediction of each record precedes its
+/// label, per the paper's protocol.
+pub fn run_stream(
+    algo: &mut dyn StreamAlgorithm,
+    source: &mut dyn StreamSource,
+    n: usize,
+) -> (f64, Duration) {
+    let mut wrong = 0usize;
+    let mut elapsed = Duration::ZERO;
+    let mut remaining = n;
+    while remaining > 0 {
+        let batch = remaining.min(BATCH);
+        let (data, _) = collect(source, batch);
+        let start = Instant::now();
+        for (x, y) in data.iter() {
+            if algo.predict(x) != y {
+                wrong += 1;
+            }
+            algo.learn(x, y);
+        }
+        elapsed += start.elapsed();
+        remaining -= batch;
+    }
+    (wrong as f64 / n.max(1) as f64, elapsed)
+}
+
+/// The default base learner of all experiments (the paper uses C4.5 for
+/// every algorithm "for consistency").
+pub fn default_learner() -> Arc<dyn Learner> {
+    Arc::new(DecisionTreeLearner::new())
+}
+
+/// Algorithm configuration derived from a workload (block size flows into
+/// the clustering parameters; everything else stays at paper defaults).
+pub fn config_for(workload: &Workload, seed: u64) -> AlgoConfig {
+    AlgoConfig {
+        cluster: ClusterParams {
+            block_size: workload.block_size,
+            seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Run each algorithm once on `workload` with the given seed.
+pub fn run_workload(workload: &Workload, kinds: &[AlgoKind], seed: u64) -> Vec<RunResult> {
+    let learner = default_learner();
+    let config = config_for(workload, derive_seed(seed, 100));
+    kinds
+        .iter()
+        .map(|&kind| {
+            // Each algorithm sees an identical stream: same workload seed.
+            let (historical, _, mut test_source) = workload.split(seed);
+            let mut built = build_algo(kind, &historical, &learner, &config);
+            let (error_rate, test_time) =
+                run_stream(built.algo.as_mut(), test_source.as_mut(), workload.test_size);
+            RunResult {
+                algo: kind.name(),
+                error_rate,
+                build_time: built.build_time,
+                test_time,
+                n_concepts: built.n_concepts,
+            }
+        })
+        .collect()
+}
+
+/// Run `runs` repetitions (fresh stream content per run, as in the paper)
+/// and average every numeric field. `n_concepts` is averaged and rounded;
+/// its spread is captured in [`AveragedResult::concepts_min_max`].
+pub fn run_workload_averaged(
+    workload: &Workload,
+    kinds: &[AlgoKind],
+    seed: u64,
+    runs: usize,
+) -> Vec<AveragedResult> {
+    let mut acc: Vec<AveragedResult> = kinds
+        .iter()
+        .map(|&k| AveragedResult {
+            algo: k.name(),
+            error_rate: 0.0,
+            build_time: Duration::ZERO,
+            test_time: Duration::ZERO,
+            n_concepts: None,
+            concepts_min_max: None,
+        })
+        .collect();
+    for r in 0..runs {
+        let results = run_workload(workload, kinds, derive_seed(seed, r as u64));
+        for (a, res) in acc.iter_mut().zip(results) {
+            a.error_rate += res.error_rate / runs as f64;
+            a.build_time += res.build_time / runs as u32;
+            a.test_time += res.test_time / runs as u32;
+            if let Some(n) = res.n_concepts {
+                let avg = a.n_concepts.get_or_insert(0.0);
+                *avg += n as f64 / runs as f64;
+                let (lo, hi) = a.concepts_min_max.get_or_insert((n, n));
+                *lo = (*lo).min(n);
+                *hi = (*hi).max(n);
+            }
+        }
+    }
+    acc
+}
+
+/// Averaged counterpart of [`RunResult`].
+#[derive(Debug, Clone)]
+pub struct AveragedResult {
+    /// Algorithm display name.
+    pub algo: &'static str,
+    /// Mean error rate.
+    pub error_rate: f64,
+    /// Mean build time.
+    pub build_time: Duration,
+    /// Mean test time.
+    pub test_time: Duration,
+    /// Mean discovered concept count.
+    pub n_concepts: Option<f64>,
+    /// Min/max discovered concept count across runs (Table IV's "11 ± 2").
+    pub concepts_min_max: Option<(usize, usize)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::WorkloadKind;
+
+    fn tiny_stagger() -> Workload {
+        Workload {
+            kind: WorkloadKind::Stagger,
+            historical_size: 2000,
+            test_size: 2000,
+            lambda: 0.01,
+            block_size: 10,
+        }
+    }
+
+    #[test]
+    fn high_order_beats_wce_on_stagger() {
+        let results = run_workload(
+            &tiny_stagger(),
+            &[AlgoKind::HighOrder, AlgoKind::Wce],
+            42,
+        );
+        let high = &results[0];
+        let wce = &results[1];
+        assert_eq!(high.algo, "High-order");
+        assert!(
+            high.error_rate < wce.error_rate,
+            "high-order {} vs wce {}",
+            high.error_rate,
+            wce.error_rate
+        );
+        assert!(high.error_rate < 0.1);
+        assert!(high.test_time.as_nanos() > 0);
+        assert!(high.build_time > wce.build_time);
+    }
+
+    #[test]
+    fn averaging_accumulates_concept_spread() {
+        let avg = run_workload_averaged(&tiny_stagger(), &[AlgoKind::HighOrder], 7, 2);
+        assert_eq!(avg.len(), 1);
+        let a = &avg[0];
+        assert!(a.error_rate > 0.0 && a.error_rate < 0.2);
+        let (lo, hi) = a.concepts_min_max.unwrap();
+        assert!(lo >= 1 && lo <= hi && hi <= 8);
+        let n = a.n_concepts.unwrap();
+        assert!(n >= lo as f64 - 1e-9 && n <= hi as f64 + 1e-9);
+    }
+
+    #[test]
+    fn run_stream_counts_errors() {
+        struct AlwaysZero;
+        impl StreamAlgorithm for AlwaysZero {
+            fn name(&self) -> &'static str {
+                "zero"
+            }
+            fn predict(&mut self, _x: &[f64]) -> u32 {
+                0
+            }
+            fn learn(&mut self, _x: &[f64], _y: u32) {}
+        }
+        let w = tiny_stagger();
+        let mut src = w.source(3);
+        let (err, _) = run_stream(&mut AlwaysZero, src.as_mut(), 1000);
+        // Stagger's class balance depends on the active concept; the
+        // always-negative strawman must be wrong a nontrivial fraction.
+        assert!(err > 0.15 && err < 0.85, "err = {err}");
+    }
+}

@@ -1,0 +1,170 @@
+//! System monitoring — the paper's other motivating scenario: "most of
+//! the time the system is in a stable state. When certain events occur
+//! (e.g., heap exceeds physical memory), the system goes into another
+//! state (e.g., one characterized by paging operations)".
+//!
+//! Demonstrates two things beyond the quickstart:
+//!
+//! 1. a custom two-state stream (normal vs paging) where the relation
+//!    between metrics and the SLA class flips between states;
+//! 2. the **Viterbi extension** (`hom_core::viterbi`): retrospective
+//!    segmentation of an archived window into concept episodes, the
+//!    "HMM analogy" the paper leaves as future work.
+//!
+//! ```sh
+//! cargo run --release --example system_monitoring
+//! ```
+
+use std::sync::Arc;
+
+use high_order_models::core::viterbi::most_likely_path;
+use high_order_models::data as hom_data;
+use high_order_models::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NORMAL: usize = 0;
+const PAGING: usize = 1;
+
+/// Metrics of a server that occasionally falls into a paging regime.
+struct ServerSource {
+    schema: Arc<Schema>,
+    rng: StdRng,
+    state: usize,
+    remaining: usize,
+}
+
+impl ServerSource {
+    fn new(seed: u64) -> Self {
+        let schema = Schema::new(
+            vec![
+                Attribute::numeric("mem_used_gb"),
+                Attribute::numeric("page_faults_per_s"),
+                Attribute::numeric("cpu_pct"),
+                Attribute::numeric("io_wait_pct"),
+            ],
+            ["sla_met", "sla_violated"],
+        );
+        ServerSource {
+            schema,
+            rng: StdRng::seed_from_u64(seed),
+            state: NORMAL,
+            remaining: 1500,
+        }
+    }
+}
+
+impl StreamSource for ServerSource {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next_record(&mut self) -> hom_data::StreamRecord {
+        if self.remaining == 0 {
+            // paging episodes begin when memory pressure spikes and end
+            // when it recedes; they are shorter than normal operation
+            self.state = 1 - self.state;
+            self.remaining = if self.state == PAGING {
+                self.rng.gen_range(200..600)
+            } else {
+                self.rng.gen_range(800..2000)
+            };
+        }
+        self.remaining -= 1;
+
+        // Metric ranges overlap heavily across states: a snapshot alone
+        // does not reveal whether the box is paging. What flips is the
+        // *latency mechanism* (the label rule below) — the concept.
+        let u = |rng: &mut StdRng, lo: f64, hi: f64| lo + rng.gen::<f64>() * (hi - lo);
+        let x = [
+            u(&mut self.rng, 2.0, 16.0),
+            u(&mut self.rng, 0.0, 2000.0),
+            u(&mut self.rng, 5.0, 95.0),
+            u(&mut self.rng, 0.0, 90.0),
+        ];
+        // Under normal operation latency tracks CPU; while paging it
+        // tracks I/O wait — the concept the monitor must switch between.
+        let violated = match self.state {
+            NORMAL => x[2] > 75.0,
+            _ => x[3] > 40.0,
+        };
+        hom_data::StreamRecord {
+            x: Box::new(x),
+            y: ClassId::from(violated),
+            concept: self.state,
+            drifting: false,
+        }
+    }
+
+    fn n_concepts(&self) -> Option<usize> {
+        Some(2)
+    }
+}
+
+fn main() {
+    let mut source = ServerSource::new(11);
+
+    println!("collecting 20,000 historical samples …");
+    let (historical, _) = collect(&mut source, 20_000);
+    let (model, report) = build(
+        &historical,
+        &DecisionTreeLearner::new(),
+        &BuildParams::default(),
+    );
+    println!(
+        "  mined {} operating states in {:.2?} (true states: 2)",
+        report.n_concepts, report.build_time
+    );
+    let model = Arc::new(model);
+
+    // ---- Online SLA prediction. ----
+    let mut predictor = OnlinePredictor::new(Arc::clone(&model));
+    let mut wrong = 0usize;
+    let n = 20_000;
+    for _ in 0..n {
+        let r = source.next_record();
+        if predictor.step(&r.x, r.y) != r.y {
+            wrong += 1;
+        }
+    }
+    println!(
+        "online SLA-violation prediction error: {:.4}",
+        wrong as f64 / n as f64
+    );
+
+    // ---- Retrospective Viterbi segmentation of an archived window. ----
+    println!("\nretrospective segmentation (Viterbi over the mined HMM):");
+    let (archive, truth) = collect(&mut source, 5_000);
+    let records: Vec<(&[f64], ClassId)> =
+        (0..archive.len()).map(|i| (archive.row(i), archive.label(i))).collect();
+    let path = most_likely_path(&model, &records);
+
+    // Compress the path into episodes and compare against ground truth.
+    let episodes = compress(&path);
+    let true_episodes = compress(&truth);
+    println!("  mined episodes : {}", render(&episodes));
+    println!("  true episodes  : {}", render(&true_episodes));
+    println!(
+        "  (a one-to-one episode correspondence means the offline pass \
+         recovered every paging event)"
+    );
+}
+
+fn compress(path: &[usize]) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for &c in path {
+        match out.last_mut() {
+            Some((pc, len)) if *pc == c => *len += 1,
+            _ => out.push((c, 1)),
+        }
+    }
+    out
+}
+
+fn render(episodes: &[(usize, usize)]) -> String {
+    episodes
+        .iter()
+        .map(|(c, len)| format!("s{c}×{len}"))
+        .collect::<Vec<_>>()
+        .join(" → ")
+}

@@ -1,0 +1,87 @@
+//! # high-order-models
+//!
+//! A Rust reproduction of **"Stop Chasing Trends: Discovering High Order
+//! Models in Evolving Data"** (Chen, Wang, Zhou & Yu — ICDE 2008).
+//!
+//! Instead of perpetually re-learning classifiers on an evolving stream,
+//! a *high-order model* is mined once, offline, from a historical labeled
+//! stream: the set of stable concepts the stream keeps revisiting, one
+//! well-trained classifier per concept, and the statistics of how
+//! concepts replace each other. At runtime a lightweight Bayesian filter
+//! identifies the current concept from the labeled stream and classifies
+//! unlabeled records with the (probability-weighted) concept classifiers.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use high_order_models::prelude::*;
+//!
+//! // 1. A concept-shifting stream (any `StreamSource` works).
+//! let mut source = StaggerSource::new(StaggerParams {
+//!     lambda: 0.01,
+//!     ..Default::default()
+//! });
+//!
+//! // 2. Mine the high-order model from historical data — offline.
+//! let (historical, _) = collect(&mut source, 3_000);
+//! let (model, report) = build(
+//!     &historical,
+//!     &DecisionTreeLearner::new(),
+//!     &BuildParams {
+//!         cluster: ClusterParams { block_size: 10, ..Default::default() },
+//!         ..Default::default()
+//!     },
+//! );
+//! assert_eq!(report.n_concepts, 3); // Stagger's three concepts
+//!
+//! // 3. Classify the live stream — online, no re-training.
+//! let mut predictor = OnlinePredictor::new(Arc::new(model));
+//! let mut wrong = 0;
+//! for _ in 0..2_000 {
+//!     let r = source.next_record();
+//!     if predictor.step(&r.x, r.y) != r.y {
+//!         wrong += 1;
+//!     }
+//! }
+//! assert!((wrong as f64) / 2_000.0 < 0.05);
+//! ```
+//!
+//! ## Crates
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`data`] | schemas, datasets, zero-copy views, streams, metrics |
+//! | [`classifiers`] | C4.5-style decision tree, naive Bayes, validation |
+//! | [`datagen`] | Stagger, Hyperplane and synthetic Intrusion generators |
+//! | [`cluster`] | the two-step agglomerative concept clustering (§II) |
+//! | [`core`] | the high-order model: offline build + online filter (§III) |
+//! | [`baselines`] | RePro (KDD'05) and WCE (KDD'03) re-implementations |
+//! | [`eval`] | the experiment harness behind every table and figure |
+//!
+//! See `DESIGN.md` for the full system inventory and the experiment
+//! index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use hom_baselines as baselines;
+pub use hom_classifiers as classifiers;
+pub use hom_cluster as cluster;
+pub use hom_core as core;
+pub use hom_data as data;
+pub use hom_datagen as datagen;
+pub use hom_eval as eval;
+
+/// The most common imports in one line.
+pub mod prelude {
+    pub use hom_baselines::{RePro, ReProParams, Wce, WceParams};
+    pub use hom_classifiers::{
+        Classifier, DecisionTreeLearner, Learner, MajorityLearner, NaiveBayesLearner,
+    };
+    pub use hom_cluster::{cluster_concepts, ClusterParams};
+    pub use hom_core::{build, BuildParams, HighOrderModel, OnlinePredictor, TransitionStats};
+    pub use hom_data::stream::{collect, ReplaySource};
+    pub use hom_data::{Attribute, ClassId, Dataset, Instances, Schema, StreamSource};
+    pub use hom_datagen::{
+        HyperplaneParams, HyperplaneSource, IntrusionParams, IntrusionSource, SeaParams,
+        SeaSource, StaggerParams, StaggerSource,
+    };
+}

@@ -1,0 +1,144 @@
+//! Cross-crate behavioral contrasts between the algorithms — the
+//! mechanisms the paper's §IV-C discussion attributes to each method,
+//! asserted on controlled streams.
+
+use std::sync::Arc;
+
+use high_order_models::baselines::{RePro, ReProParams, Wce, WceParams};
+use high_order_models::prelude::*;
+
+fn learner() -> Arc<dyn Learner> {
+    Arc::new(DecisionTreeLearner::new())
+}
+
+/// A recurring A/B/A/B Stagger-like scripted stream.
+fn scripted(period: usize, seed: u64) -> StaggerSource {
+    StaggerSource::new(StaggerParams {
+        period: Some(period),
+        seed,
+        ..Default::default()
+    })
+}
+
+/// RePro's defining behaviour: a *recurring* concept is recognised and its
+/// stored model reused, so the second occurrence of a concept costs far
+/// fewer errors than the first.
+#[test]
+fn repro_reuses_recurring_concepts() {
+    let mut src = scripted(600, 3);
+    let mut repro = RePro::new(
+        src.schema().clone(),
+        learner(),
+        ReProParams::default(),
+    );
+    // Count errors per 600-record segment. Stagger cycles A,B,C,A,B,C …
+    let mut seg_errors = Vec::new();
+    for _seg in 0..6 {
+        let mut wrong = 0;
+        for _ in 0..600 {
+            let r = src.next_record();
+            if repro.predict(&r.x) != r.y {
+                wrong += 1;
+            }
+            repro.learn(&r.x, r.y);
+        }
+        seg_errors.push(wrong);
+    }
+    // Segments 3..5 revisit the concepts of segments 0..2: recovery must
+    // be cheaper the second time around.
+    let first_pass: usize = seg_errors[1..3].iter().sum();
+    let second_pass: usize = seg_errors[4..6].iter().sum();
+    assert!(
+        second_pass * 2 < first_pass,
+        "reuse should at least halve the per-revisit cost: {seg_errors:?}"
+    );
+    // and the concept history must not grow without bound
+    assert!(repro.n_concepts() <= 4, "history = {}", repro.n_concepts());
+}
+
+/// WCE's defining limitation: it never remembers — the second occurrence
+/// of a concept costs about as much as the first.
+#[test]
+fn wce_never_remembers() {
+    let mut src = scripted(600, 3);
+    let mut wce = Wce::new(src.schema().clone(), learner(), WceParams::default());
+    let mut seg_errors = Vec::new();
+    for _seg in 0..6 {
+        let mut wrong = 0;
+        for _ in 0..600 {
+            let r = src.next_record();
+            if wce.predict(&r.x) != r.y {
+                wrong += 1;
+            }
+            wce.learn(&r.x, r.y);
+        }
+        seg_errors.push(wrong);
+    }
+    let first_pass: usize = seg_errors[1..3].iter().sum();
+    let second_pass: usize = seg_errors[4..6].iter().sum();
+    // Within 2x either way: revisits are *not* systematically cheaper.
+    assert!(
+        second_pass * 2 >= first_pass,
+        "WCE should not benefit much from recurrence: {seg_errors:?}"
+    );
+}
+
+/// The high-order model outperforms both on the same scripted stream once
+/// it has mined the concepts offline.
+#[test]
+fn high_order_beats_both_on_recurrence() {
+    let mut hist_src = StaggerSource::new(StaggerParams {
+        lambda: 0.005,
+        ..Default::default()
+    });
+    let (historical, _) = collect(&mut hist_src, 8_000);
+    let (model, _) = build(
+        &historical,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let mut predictor = OnlinePredictor::new(Arc::new(model));
+
+    let run = |f: &mut dyn FnMut(&[f64], u32) -> u32| {
+        let mut src = scripted(600, 3);
+        let mut wrong = 0usize;
+        for _ in 0..3_600 {
+            let r = src.next_record();
+            if f(&r.x, r.y) != r.y {
+                wrong += 1;
+            }
+        }
+        wrong
+    };
+
+    let high_errors = run(&mut |x, y| predictor.step(x, y));
+
+    let mut repro = RePro::new(stagger_schema_for_test(), learner(), ReProParams::default());
+    let repro_errors = run(&mut |x, y| {
+        let p = repro.predict(x);
+        repro.learn(x, y);
+        p
+    });
+
+    let mut wce = Wce::new(stagger_schema_for_test(), learner(), WceParams::default());
+    let wce_errors = run(&mut |x, y| {
+        let p = wce.predict(x);
+        wce.learn(x, y);
+        p
+    });
+
+    assert!(
+        high_errors < repro_errors && high_errors < wce_errors,
+        "high-order {high_errors} vs repro {repro_errors} vs wce {wce_errors}"
+    );
+}
+
+fn stagger_schema_for_test() -> Arc<Schema> {
+    StaggerSource::new(StaggerParams::default()).schema().clone()
+}

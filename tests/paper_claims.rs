@@ -1,0 +1,191 @@
+//! Small-scale checks of the paper's headline claims — the qualitative
+//! shape of Tables II–IV and Figs. 3, 5, 6, asserted (not just printed)
+//! so regressions in any crate surface as test failures.
+
+use high_order_models::eval::algo::{build_algo, build_high_order, AlgoKind};
+use high_order_models::eval::curves::{error_curve, probability_curves, CurveSpec};
+use high_order_models::eval::runner::{config_for, default_learner, run_stream, run_workload};
+use high_order_models::eval::workloads::{Workload, WorkloadKind};
+use high_order_models::prelude::*;
+
+fn tiny(kind: WorkloadKind, lambda: f64) -> Workload {
+    Workload {
+        kind,
+        historical_size: 6_000,
+        test_size: 8_000,
+        lambda,
+        block_size: 10,
+    }
+}
+
+/// Table II shape: the high-order model beats both competitors on a
+/// shift stream, by a wide margin.
+#[test]
+fn high_order_wins_on_stagger() {
+    let results = run_workload(&tiny(WorkloadKind::Stagger, 0.002), &AlgoKind::PAPER, 11);
+    let (high, repro, wce) = (&results[0], &results[1], &results[2]);
+    assert!(high.error_rate < repro.error_rate);
+    assert!(high.error_rate < wce.error_rate);
+    assert!(
+        high.error_rate < 0.5 * repro.error_rate.min(wce.error_rate),
+        "margin too small: {} vs {}/{}",
+        high.error_rate,
+        repro.error_rate,
+        wce.error_rate
+    );
+}
+
+/// Table II shape on the drift stream: high-order still wins.
+#[test]
+fn high_order_wins_on_hyperplane() {
+    let results = run_workload(&tiny(WorkloadKind::Hyperplane, 0.002), &AlgoKind::PAPER, 5);
+    let high = &results[0];
+    for other in &results[1..] {
+        assert!(
+            high.error_rate < other.error_rate,
+            "{} ({}) should lose to high-order ({})",
+            other.algo,
+            other.error_rate,
+            high.error_rate
+        );
+    }
+}
+
+/// Table IV shape: the build phase dominates the run phase, but the
+/// number of concepts is small and the Stagger count is exact.
+#[test]
+fn build_phase_finds_exact_stagger_concepts() {
+    let workload = tiny(WorkloadKind::Stagger, 0.005);
+    let results = run_workload(&workload, &[AlgoKind::HighOrder], 3);
+    let r = &results[0];
+    // At this reduced scale (6k historical) an occasional duplicate
+    // concept survives; the count must stay in the immediate vicinity of
+    // the true 3 (the full-scale Table IV bench reproduces 3 exactly).
+    let n = r.n_concepts.unwrap();
+    assert!((3..=4).contains(&n), "found {n} concepts");
+    assert!(
+        r.build_time > r.test_time,
+        "build {:?} should exceed test {:?}",
+        r.build_time,
+        r.test_time
+    );
+}
+
+/// Fig. 3 shape: increasing the change frequency (smaller 1/λ) hurts WCE
+/// far more than the high-order model.
+#[test]
+fn changing_rate_hurts_wce_not_high_order() {
+    let fast = run_workload(
+        &tiny(WorkloadKind::Stagger, 1.0 / 200.0),
+        &[AlgoKind::HighOrder, AlgoKind::Wce],
+        21,
+    );
+    let slow = run_workload(
+        &tiny(WorkloadKind::Stagger, 1.0 / 2000.0),
+        &[AlgoKind::HighOrder, AlgoKind::Wce],
+        21,
+    );
+    let wce_degradation = fast[1].error_rate - slow[1].error_rate;
+    let high_degradation = fast[0].error_rate - slow[0].error_rate;
+    assert!(
+        wce_degradation > high_degradation + 0.02,
+        "WCE degradation {wce_degradation} vs high-order {high_degradation}"
+    );
+    assert!(fast[0].error_rate < 0.05, "high-order stays accurate");
+}
+
+/// Fig. 5 shape: after an abrupt shift the high-order model recovers
+/// within a few records, WCE needs about a chunk.
+#[test]
+fn recovery_speed_after_shift() {
+    let workload = tiny(WorkloadKind::Stagger, 0.002);
+    let (historical, _, _) = workload.split(9);
+    let learner = default_learner();
+    let config = config_for(&workload, 9);
+    let spec = CurveSpec {
+        pre: 30,
+        post: 150,
+        period: 500,
+        n_switches: 8,
+    };
+
+    let recovery_point = |curve: &[f64]| {
+        // first offset >= 0 from which the error stays below 0.15
+        (0..curve.len() - spec.pre)
+            .find(|&k| curve[spec.pre + k..].iter().all(|&e| e < 0.15))
+            .unwrap_or(usize::MAX)
+    };
+
+    let mut curves = Vec::new();
+    for kind in [AlgoKind::HighOrder, AlgoKind::Wce] {
+        let mut built = build_algo(kind, &historical, &learner, &config);
+        let mut src = StaggerSource::new(StaggerParams {
+            period: Some(500),
+            seed: 77,
+            ..Default::default()
+        });
+        curves.push(error_curve(built.algo.as_mut(), &mut src, &spec));
+    }
+    let high_rec = recovery_point(&curves[0]);
+    let wce_rec = recovery_point(&curves[1]);
+    assert!(high_rec <= 25, "high-order took {high_rec} records");
+    assert!(
+        wce_rec > high_rec,
+        "WCE ({wce_rec}) should recover later than high-order ({high_rec})"
+    );
+}
+
+/// Fig. 6 shape: the active probabilities of the old and new concepts
+/// cross shortly after the shift.
+#[test]
+fn probabilities_cross_after_shift() {
+    let workload = tiny(WorkloadKind::Stagger, 0.002);
+    let (historical, _, _) = workload.split(13);
+    let (mut algo, _, _) =
+        build_high_order(&historical, &default_learner(), &config_for(&workload, 13));
+    let spec = CurveSpec {
+        pre: 20,
+        post: 120,
+        period: 500,
+        n_switches: 8,
+    };
+    let mut src = StaggerSource::new(StaggerParams {
+        period: Some(500),
+        seed: 5,
+        ..Default::default()
+    });
+    let (p_old, p_new) = probability_curves(&mut algo, &mut src, &spec);
+    // dominance before, crossover after
+    assert!(p_old[10] > p_new[10], "old concept should dominate before");
+    let tail = spec.pre + 100;
+    assert!(
+        p_new[tail] > 0.6 && p_new[tail] > p_old[tail],
+        "new concept should dominate 100 records after the shift \
+         (p_new = {}, p_old = {})",
+        p_new[tail],
+        p_old[tail]
+    );
+}
+
+/// Table III ingredient: the §III-C pruning does not change predictions
+/// (asserted in unit/property tests) and the high-order test loop is not
+/// slower than WCE's ensemble loop.
+#[test]
+fn high_order_test_time_is_competitive() {
+    let workload = tiny(WorkloadKind::Stagger, 0.002);
+    let learner = default_learner();
+    let config = config_for(&workload, 17);
+    let mut times = Vec::new();
+    for kind in [AlgoKind::HighOrder, AlgoKind::Wce] {
+        let (historical, _, mut source) = workload.split(17);
+        let mut built = build_algo(kind, &historical, &learner, &config);
+        let (_, t) = run_stream(built.algo.as_mut(), source.as_mut(), workload.test_size);
+        times.push(t);
+    }
+    assert!(
+        times[0] < times[1],
+        "high-order {:?} should beat WCE {:?} at test time",
+        times[0],
+        times[1]
+    );
+}
