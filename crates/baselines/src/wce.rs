@@ -78,11 +78,7 @@ impl Wce {
 
     /// Build the initial ensemble by streaming the historical dataset
     /// through [`Self::learn`].
-    pub fn build(
-        historical: &Dataset,
-        learner: Arc<dyn Learner>,
-        params: WceParams,
-    ) -> Self {
+    pub fn build(historical: &Dataset, learner: Arc<dyn Learner>, params: WceParams) -> Self {
         let mut wce = Wce::new(Arc::clone(historical.schema()), learner, params);
         for (x, y) in historical.iter() {
             wce.learn_row(x, y);
@@ -154,11 +150,7 @@ impl Wce {
 
         // MSE_r from the chunk's class prior.
         let n = chunk.len() as f64;
-        let prior: Vec<f64> = chunk
-            .class_counts()
-            .iter()
-            .map(|&c| c as f64 / n)
-            .collect();
+        let prior: Vec<f64> = chunk.class_counts().iter().map(|&c| c as f64 / n).collect();
         let mse_r = mse_random(&prior);
 
         let new_model = self.learner.fit(&chunk);
@@ -187,8 +179,7 @@ impl Wce {
             self.members[last].weight = keep_newest_floor;
         }
         self.members.retain(|m| m.weight > 0.0);
-        self.members
-            .sort_by(|a, b| b.weight.total_cmp(&a.weight));
+        self.members.sort_by(|a, b| b.weight.total_cmp(&a.weight));
         self.members.truncate(self.params.n_chunks);
     }
 }
@@ -219,7 +210,9 @@ mod tests {
     fn xs(n: usize, seed: u64) -> impl Iterator<Item = f64> {
         let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(1);
         (0..n).map(move |_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         })
     }

@@ -53,11 +53,7 @@ fn build_and_run(
         predictor.observe(x, y);
     }
     let secs = start.elapsed().as_secs_f64();
-    (
-        report.n_concepts,
-        wrong as f64 / test.len() as f64,
-        secs,
-    )
+    (report.n_concepts, wrong as f64 / test.len() as f64, secs)
 }
 
 fn main() {

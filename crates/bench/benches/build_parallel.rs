@@ -1,0 +1,135 @@
+//! Parallel offline build — serial vs. threaded wall-clock time.
+//!
+//! Builds the high-order model over a 100k-record Stagger stream with 1,
+//! 2 and all-core worker pools and reports build time per thread count.
+//! The models must come out identical (the determinism contract of
+//! `hom_parallel`); the bench asserts the cheap observable parts of that
+//! and reports the speedup honestly, including the machine's core count —
+//! on a single-core machine the expected "speedup" is ~1.0× minus a small
+//! scheduling overhead.
+//!
+//! With `HOM_JSON_DIR` set, a `BENCH_build_parallel.json` snapshot is
+//! written there (the checked-in snapshot at the repository root was
+//! produced this way).
+
+use std::time::{Duration, Instant};
+
+use hom_classifiers::DecisionTreeLearner;
+use hom_cluster::ClusterParams;
+use hom_core::{build_with, BuildOptions, BuildParams, BuildReport, HighOrderModel};
+use hom_data::stream::collect;
+use hom_data::Dataset;
+use hom_datagen::{StaggerParams, StaggerSource};
+use hom_eval::report::{fmt_duration, print_table};
+use hom_eval::EvalConfig;
+
+const HISTORICAL: usize = 100_000;
+const BLOCK_SIZE: usize = 100;
+
+fn timed_build(
+    data: &Dataset,
+    seed: u64,
+    threads: usize,
+) -> (HighOrderModel, BuildReport, Duration) {
+    let start = Instant::now();
+    let (model, report) = build_with(
+        data,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: BLOCK_SIZE,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        &BuildOptions {
+            threads: Some(threads),
+        },
+    );
+    (model, report, start.elapsed())
+}
+
+/// `(threads, build_secs, n_concepts, n_chunks)` per run, as a JSON object
+/// with named fields. The serde shim has no derive, so the object layout is
+/// written by hand here.
+fn snapshot_json(cores: usize, rows: &[(usize, f64, usize, usize)]) -> String {
+    let rows_json: Vec<String> = rows
+        .iter()
+        .map(|&(threads, secs, concepts, chunks)| {
+            format!(
+                "    {{ \"threads\": {threads}, \"build_secs\": {secs:.3}, \
+                 \"n_concepts\": {concepts}, \"n_chunks\": {chunks} }}"
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"stream\": \"Stagger\",\n  \"historical_records\": {HISTORICAL},\n  \
+         \"block_size\": {BLOCK_SIZE},\n  \"machine_cores\": {cores},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows_json.join(",\n")
+    )
+}
+
+fn main() {
+    let config = EvalConfig::from_env();
+    println!("{}", config.banner());
+
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda: 0.002,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, HISTORICAL);
+    eprintln!("  generated {HISTORICAL} Stagger records");
+
+    let cores = hom_parallel::available_threads();
+    let mut counts = vec![1usize, 2, cores];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut rows: Vec<(usize, f64, usize, usize)> = Vec::new();
+    let mut table = Vec::new();
+    let mut reference: Option<(usize, Vec<(usize, usize)>)> = None;
+    let mut serial_secs = 0.0;
+    for &threads in &counts {
+        let (model, report, elapsed) = timed_build(&data, config.seed, threads);
+        // Thread count must never change the model: spot-check the parts
+        // that are cheap to compare (the determinism integration test does
+        // the exhaustive comparison).
+        let shape = (model.n_concepts(), report.occurrences.clone());
+        match &reference {
+            None => {
+                serial_secs = elapsed.as_secs_f64();
+                reference = Some(shape);
+            }
+            Some(r) => assert!(
+                *r == shape,
+                "threads={threads} changed the model — determinism violated"
+            ),
+        }
+        table.push(vec![
+            threads.to_string(),
+            fmt_duration(elapsed),
+            format!("{:.2}x", serial_secs / elapsed.as_secs_f64()),
+            report.n_concepts.to_string(),
+        ]);
+        rows.push((
+            threads,
+            elapsed.as_secs_f64(),
+            report.n_concepts,
+            report.n_chunks,
+        ));
+        eprintln!("  done: threads={threads}");
+    }
+
+    print_table(
+        &format!("Parallel build: {HISTORICAL} Stagger records, {cores}-core machine"),
+        &["Threads", "Build Time (sec)", "Speedup", "# of Concepts"],
+        &table,
+    );
+    println!("(speedup is relative to threads=1; models are identical by construction)");
+    if let Ok(dir) = std::env::var("HOM_JSON_DIR") {
+        let path = std::path::Path::new(&dir).join("BENCH_build_parallel.json");
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(path, snapshot_json(cores, &rows));
+    }
+}

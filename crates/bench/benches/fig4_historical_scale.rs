@@ -24,12 +24,8 @@ fn main() {
         for &f in &fig4_fractions() {
             let n = ((base.historical_size as f64 * f) as usize).max(200);
             let workload = base.clone().with_historical(n);
-            let results = run_workload_averaged(
-                &workload,
-                &[AlgoKind::HighOrder],
-                config.seed,
-                config.runs,
-            );
+            let results =
+                run_workload_averaged(&workload, &[AlgoKind::HighOrder], config.seed, config.runs);
             let r = &results[0];
             sizes.push(n as f64);
             err.push(r.error_rate);

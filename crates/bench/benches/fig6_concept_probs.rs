@@ -50,8 +50,7 @@ fn main() {
         let workload = Workload::paper(kind, config.scale);
         let (historical, _, _) = workload.split(config.seed);
         let algo_config = config_for(&workload, config.seed);
-        let (mut algo, _, n_concepts) =
-            build_high_order(&historical, &learner, &algo_config);
+        let (mut algo, _, n_concepts) = build_high_order(&historical, &learner, &algo_config);
         let mut source = scripted_source(kind, config.seed ^ 0x5eed);
         let (p_old, p_new) = probability_curves(&mut algo, source.as_mut(), &spec);
         eprintln!("  done: {} ({n_concepts} mined concepts)", kind.name());

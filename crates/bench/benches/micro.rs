@@ -29,9 +29,7 @@ fn bench_learners(c: &mut Criterion) {
         let learner = DecisionTreeLearner::new();
         b.iter(|| learner.fit(&data))
     });
-    group.bench_function("naive_bayes", |b| {
-        b.iter(|| NaiveBayesLearner.fit(&data))
-    });
+    group.bench_function("naive_bayes", |b| b.iter(|| NaiveBayesLearner.fit(&data)));
     group.finish();
 
     let model = DecisionTreeLearner::new().fit(&data);

@@ -18,8 +18,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut dump = Vec::new();
     for workload in paper_workloads(&config) {
-        let results =
-            run_workload_averaged(&workload, &AlgoKind::PAPER, config.seed, config.runs);
+        let results = run_workload_averaged(&workload, &AlgoKind::PAPER, config.seed, config.runs);
         let mut row = vec![workload.kind.name().to_string()];
         for r in &results {
             row.push(fmt_err(r.error_rate));

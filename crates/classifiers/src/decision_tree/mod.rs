@@ -55,7 +55,10 @@ impl Default for DecisionTreeParams {
 pub(crate) enum NodeKind {
     Leaf,
     /// Multiway split on a categorical attribute; one child per category.
-    Cat { attr: u32, children: Box<[u32]> },
+    Cat {
+        attr: u32,
+        children: Box<[u32]>,
+    },
     /// Binary split on a numeric attribute: `x[attr] <= threshold` goes
     /// left.
     Num {

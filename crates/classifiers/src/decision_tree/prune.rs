@@ -31,8 +31,7 @@ pub(crate) fn add_errs(n: f64, e: f64, cf: f64) -> f64 {
     }
     let z = normal_quantile(1.0 - cf);
     let f = (e + 0.5) / n;
-    let r = (f + z * z / (2.0 * n)
-        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+    let r = (f + z * z / (2.0 * n) + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
         / (1.0 + z * z / n);
     (r * n - e).max(0.0)
 }
@@ -116,9 +115,7 @@ fn prune_rec(tree: &mut DecisionTree, id: u32, cf: f64) -> f64 {
             .iter()
             .map(|&c| prune_rec(tree, c, cf))
             .sum::<f64>(),
-        NodeKind::Num { left, right, .. } => {
-            prune_rec(tree, left, cf) + prune_rec(tree, right, cf)
-        }
+        NodeKind::Num { left, right, .. } => prune_rec(tree, left, cf) + prune_rec(tree, right, cf),
     };
     let as_leaf = estimated_leaf_error(&tree.nodes[id as usize], cf);
     // C4.5 collapses when the leaf estimate is within 0.1 errors of the
@@ -141,10 +138,8 @@ fn compact(tree: &mut DecisionTree) {
         let kind = match &old[id as usize].kind {
             NodeKind::Leaf => NodeKind::Leaf,
             NodeKind::Cat { attr, children } => {
-                let new_children: Vec<u32> = children
-                    .iter()
-                    .map(|&c| copy(old, new_nodes, c))
-                    .collect();
+                let new_children: Vec<u32> =
+                    children.iter().map(|&c| copy(old, new_nodes, c)).collect();
                 NodeKind::Cat {
                     attr: *attr,
                     children: new_children.into_boxed_slice(),

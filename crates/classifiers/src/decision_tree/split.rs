@@ -63,9 +63,7 @@ pub(crate) fn best_split(
 
     for attr in 0..data.schema().n_attrs() {
         if let Some(card) = data.schema().cardinality(attr) {
-            if let Some(c) =
-                eval_categorical(data, idx, attr, card, n_classes, parent_h, params)
-            {
+            if let Some(c) = eval_categorical(data, idx, attr, card, n_classes, parent_h, params) {
                 candidates.push(c);
             }
         } else if let Some(c) = eval_numeric(data, idx, attr, n_classes, parent_h, params) {
@@ -76,8 +74,7 @@ pub(crate) fn best_split(
     if candidates.is_empty() {
         return None;
     }
-    let avg_gain: f64 =
-        candidates.iter().map(|c| c.gain).sum::<f64>() / candidates.len() as f64;
+    let avg_gain: f64 = candidates.iter().map(|c| c.gain).sum::<f64>() / candidates.len() as f64;
     let best = candidates
         .iter()
         .filter(|c| c.gain + 1e-12 >= avg_gain)

@@ -74,8 +74,16 @@ enum AttrObserver {
 #[derive(Debug, Clone)]
 enum HKind {
     Leaf(LeafStats),
-    Cat { attr: usize, children: Vec<u32> },
-    Num { attr: usize, threshold: f64, left: u32, right: u32 },
+    Cat {
+        attr: usize,
+        children: Vec<u32>,
+    },
+    Num {
+        attr: usize,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -123,7 +131,10 @@ impl HoeffdingTree {
                 unreachable!("descend returns leaves");
             };
             stats.observe(x, y);
-            (stats.since_eval >= self.params.grace_period, self.params.grace_period)
+            (
+                stats.since_eval >= self.params.grace_period,
+                self.params.grace_period,
+            )
         };
         if should_eval && self.nodes.len() + 4 <= self.params.max_nodes {
             self.try_split(leaf_id);
@@ -147,8 +158,17 @@ impl HoeffdingTree {
                     }
                     id = children[v];
                 }
-                HKind::Num { attr, threshold, left, right } => {
-                    id = if x[*attr] <= *threshold { *left } else { *right };
+                HKind::Num {
+                    attr,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if x[*attr] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -178,8 +198,7 @@ impl HoeffdingTree {
             }
             let mut gains: Vec<(f64, SplitChoice)> = Vec::new();
             for (a, obs) in stats.attrs.iter().enumerate() {
-                if let Some(g) = obs.best_gain(a, &stats.class_counts, self.params.numeric_bins)
-                {
+                if let Some(g) = obs.best_gain(a, &stats.class_counts, self.params.numeric_bins) {
                     gains.push(g);
                 }
             }
@@ -369,13 +388,7 @@ impl AttrObserver {
                         child_h += nv / n * entropy(&col);
                     }
                 }
-                Some((
-                    parent_h - child_h,
-                    SplitChoice::Cat {
-                        attr,
-                        card: *card,
-                    },
-                ))
+                Some((parent_h - child_h, SplitChoice::Cat { attr, card: *card }))
             }
             AttrObserver::Num { gauss, min, max } => {
                 if !min.is_finite() || max <= min {
@@ -392,7 +405,11 @@ impl AttrObserver {
                         if gn <= 0.0 {
                             continue;
                         }
-                        let var = if gn > 1.0 { (m2 / (gn - 1.0)).max(1e-12) } else { 1e-12 };
+                        let var = if gn > 1.0 {
+                            (m2 / (gn - 1.0)).max(1e-12)
+                        } else {
+                            1e-12
+                        };
                         let frac = normal_cdf((t - mean) / var.sqrt());
                         left[c] = gn * frac;
                         right[c] = gn * (1.0 - frac);

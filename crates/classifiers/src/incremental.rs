@@ -99,13 +99,14 @@ impl OnlineNaiveBayes {
                     for (c, o) in out.iter_mut().enumerate() {
                         let (n, mean, m2) = acc[c];
                         // Unit-variance prior until two records exist.
-                        let var = if n > 1.0 { (m2 / (n - 1.0)).max(MIN_VAR) } else { 1.0 };
+                        let var = if n > 1.0 {
+                            (m2 / (n - 1.0)).max(MIN_VAR)
+                        } else {
+                            1.0
+                        };
                         let mean = if n > 0.0 { mean } else { 0.0 };
                         let d = v - mean;
-                        *o += -0.5
-                            * (d * d / var
-                                + var.ln()
-                                + (2.0 * std::f64::consts::PI).ln());
+                        *o += -0.5 * (d * d / var + var.ln() + (2.0 * std::f64::consts::PI).ln());
                     }
                 }
                 AttrStats::Categorical { card, counts } => {
@@ -114,9 +115,7 @@ impl OnlineNaiveBayes {
                         for (c, o) in out.iter_mut().enumerate() {
                             let row = &counts[c * *card..(c + 1) * *card];
                             let row_total: u32 = row.iter().sum();
-                            *o += ((row[vi] as f64 + 1.0)
-                                / (row_total as f64 + *card as f64))
-                                .ln();
+                            *o += ((row[vi] as f64 + 1.0) / (row_total as f64 + *card as f64)).ln();
                         }
                     }
                 }

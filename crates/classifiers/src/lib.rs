@@ -20,6 +20,8 @@
 //! All learners consume `&dyn Instances`, so they train equally on owned
 //! datasets and on the zero-copy cluster views used by `hom-cluster`.
 
+#![warn(missing_docs)]
+
 pub mod api;
 pub mod decision_tree;
 pub mod hoeffding;

@@ -170,9 +170,7 @@ fn fit_nb(data: &dyn Instances) -> NaiveBayes {
                         (0..card).map(move |v| (c, v, total))
                     })
                     .map(|(c, v, total)| {
-                        ((table[c * card + v] as f64 + 1.0)
-                            / (total as f64 + card as f64))
-                            .ln()
+                        ((table[c * card + v] as f64 + 1.0) / (total as f64 + card as f64)).ln()
                     })
                     .collect();
                 attrs.push(AttrModel::Categorical { card, log_prob });
@@ -207,10 +205,7 @@ mod tests {
 
     #[test]
     fn uses_categorical_evidence() {
-        let schema = Schema::new(
-            vec![Attribute::categorical("c", ["u", "v"])],
-            ["a", "b"],
-        );
+        let schema = Schema::new(vec![Attribute::categorical("c", ["u", "v"])], ["a", "b"]);
         let mut d = Dataset::new(schema);
         for _ in 0..20 {
             d.push(&[0.0], 0);
@@ -268,7 +263,7 @@ mod tests {
         let m = NaiveBayesLearner.fit(&d);
         let mut p = [0.0; 2];
         m.predict_proba(&[2.0], &mut p); // w never seen
-        // falls back to (smoothed) prior-ish: close to uniform
+                                         // falls back to (smoothed) prior-ish: close to uniform
         assert!((p[0] - p[1]).abs() < 0.4);
     }
 }

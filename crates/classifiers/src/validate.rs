@@ -8,6 +8,7 @@
 
 use hom_data::rng::holdout_split;
 use hom_data::{Dataset, IndexView, Instances};
+use hom_parallel::Pool;
 use rand::rngs::StdRng;
 
 use crate::api::{Classifier, Learner};
@@ -79,7 +80,8 @@ pub fn fit_split(
 }
 
 /// Mean k-fold cross-validation error over the records at `idx`
-/// (the footnote-1 alternative to holdout).
+/// (the footnote-1 alternative to holdout), training the folds on one
+/// worker per available core.
 ///
 /// # Panics
 /// Panics if `k < 2` or there are fewer records than folds.
@@ -90,31 +92,42 @@ pub fn kfold_error(
     k: usize,
     rng: &mut StdRng,
 ) -> f64 {
+    kfold_error_pooled(learner, data, idx, k, rng, Pool::default())
+}
+
+/// [`kfold_error`] with an explicit degree of parallelism. The single
+/// shuffle happens up front on the caller's RNG; each fold's train/test
+/// split is then a deterministic function of `(order, fold)`, so the
+/// result is bit-identical for every thread count.
+///
+/// # Panics
+/// Panics if `k < 2` or there are fewer records than folds.
+pub fn kfold_error_pooled(
+    learner: &dyn Learner,
+    data: &Dataset,
+    idx: &[u32],
+    k: usize,
+    rng: &mut StdRng,
+    pool: Pool,
+) -> f64 {
     assert!(k >= 2, "k-fold needs k >= 2");
     assert!(idx.len() >= k, "need at least one record per fold");
     use rand::seq::SliceRandom;
     let mut order: Vec<u32> = idx.to_vec();
     order.shuffle(rng);
 
-    let mut total_wrong = 0usize;
-    for fold in 0..k {
+    let fold_wrong = pool.map_range(k, |fold| {
         let lo = fold * order.len() / k;
         let hi = (fold + 1) * order.len() / k;
         let test: Vec<u32> = order[lo..hi].to_vec();
-        let train: Vec<u32> = order[..lo]
-            .iter()
-            .chain(&order[hi..])
-            .copied()
-            .collect();
+        let train: Vec<u32> = order[..lo].iter().chain(&order[hi..]).copied().collect();
         let model = learner.fit(&IndexView::new(data, &train));
         let test_view = IndexView::new(data, &test);
-        for i in 0..test_view.len() {
-            if model.predict(test_view.row(i)) != test_view.label(i) {
-                total_wrong += 1;
-            }
-        }
-    }
-    total_wrong as f64 / order.len() as f64
+        (0..test_view.len())
+            .filter(|&i| model.predict(test_view.row(i)) != test_view.label(i))
+            .count()
+    });
+    fold_wrong.iter().sum::<usize>() as f64 / order.len() as f64
 }
 
 #[cfg(test)]
@@ -153,12 +166,7 @@ mod tests {
         assert_eq!(fit.train_idx.len(), 100);
         assert_eq!(fit.test_idx.len(), 100);
         // halves are disjoint and cover idx
-        let mut all: Vec<u32> = fit
-            .train_idx
-            .iter()
-            .chain(&fit.test_idx)
-            .copied()
-            .collect();
+        let mut all: Vec<u32> = fit.train_idx.iter().chain(&fit.test_idx).copied().collect();
         all.sort_unstable();
         assert_eq!(all, idx);
     }

@@ -148,10 +148,10 @@ mod tests {
     fn cut_recurses_past_first_split() {
         let d = Dendrogram {
             nodes: vec![
-                mk_node(vec![0], 0.0, 0.0, None),             // 0
-                mk_node(vec![1], 0.0, 0.0, None),             // 1
-                mk_node(vec![2, 3], 0.05, 0.05, None),        // 2
-                mk_node(vec![0, 1], 0.4, 0.0, Some((0, 1))),  // 3: should split
+                mk_node(vec![0], 0.0, 0.0, None),                    // 0
+                mk_node(vec![1], 0.0, 0.0, None),                    // 1
+                mk_node(vec![2, 3], 0.05, 0.05, None),               // 2
+                mk_node(vec![0, 1], 0.4, 0.0, Some((0, 1))),         // 3: should split
                 mk_node(vec![0, 1, 2, 3], 0.4, 0.025, Some((3, 2))), // 4: should split
             ],
             roots: vec![4],

@@ -85,6 +85,10 @@ impl EarlyStopRule {
     }
 }
 
+/// What [`fit_merged`] returns: `(idx, train_idx, test_idx, model, err)`
+/// of the merged cluster.
+pub type MergedFit = (Vec<u32>, Vec<u32>, Vec<u32>, Arc<dyn Classifier>, f64);
+
 /// Train and validate the merger of nodes `u` and `v` (Algorithm 1 lines
 /// 14–18): union the index sets and the holdout splits, train a model on
 /// the union training half, and measure its error on the union test half.
@@ -95,10 +99,6 @@ impl EarlyStopRule {
 /// ("if occasionally we do need to merge a large cluster with a very
 /// small one … simply reuse the existing classifier from the large
 /// cluster"). Its error is still measured on the union test half.
-///
-/// Returns `(idx, train_idx, test_idx, model, err)`.
-pub type MergedFit = (Vec<u32>, Vec<u32>, Vec<u32>, Arc<dyn Classifier>, f64);
-
 #[allow(clippy::doc_markdown)]
 pub fn fit_merged(
     data: &Dataset,
@@ -231,15 +231,13 @@ mod tests {
             0.1,
         );
         let v = leaf(vec![128, 129], vec![128], vec![129], 0.0);
-        let (_, _, _, model, _) =
-            fit_merged(&d, &DecisionTreeLearner::new(), &u, &v, Some(64.0));
+        let (_, _, _, model, _) = fit_merged(&d, &DecisionTreeLearner::new(), &u, &v, Some(64.0));
         assert!(
             Arc::ptr_eq(&model, &u.model),
             "64x imbalance must reuse the large cluster's model"
         );
         // Below the ratio a fresh model is trained.
-        let (_, _, _, model2, _) =
-            fit_merged(&d, &DecisionTreeLearner::new(), &u, &v, Some(65.0));
+        let (_, _, _, model2, _) = fit_merged(&d, &DecisionTreeLearner::new(), &u, &v, Some(65.0));
         assert!(!Arc::ptr_eq(&model2, &u.model));
     }
 

@@ -8,15 +8,23 @@
 //! on the union of the test halves; the candidate with the smallest ΔQ is
 //! merged first. Candidate fits are cached so the winning merger reuses
 //! the already-trained model instead of training it twice.
+//!
+//! The expensive stages — the per-block holdout fits and the initial
+//! candidate fits for every adjacent pair — run on a [`hom_parallel::Pool`]
+//! as order-preserving parallel maps; the two fresh candidates created by
+//! each merge run as a [`Pool::join`]. Every block's holdout split draws
+//! from its own RNG seeded by `derive_seed(seed, block_index)`, so results
+//! are bit-identical for any thread count (see `ARCHITECTURE.md`).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use hom_classifiers::validate::holdout_fit;
 use hom_classifiers::{Classifier, Learner};
-use std::sync::Arc;
-use hom_data::rng::seeded;
+use hom_data::rng::{derive_seed, seeded};
 use hom_data::Dataset;
+use hom_parallel::Pool;
+use std::sync::Arc;
 
 use crate::dendrogram::Dendrogram;
 use crate::node::{err_star_merged, fit_merged, ClusterNode};
@@ -79,24 +87,26 @@ pub(crate) fn block_ranges(n: usize, block_size: usize) -> Vec<(usize, usize)> {
     ranges
 }
 
-/// Run step 1 over `data`.
+/// Run step 1 over `data`, training on `pool`.
 pub fn run(
     data: &Dataset,
     learner: &dyn Learner,
     params: &ClusterParams,
     seed: u64,
+    pool: Pool,
 ) -> Step1Result {
-    let mut rng = seeded(seed);
     let ranges = block_ranges(data.len(), params.block_size);
     let n_blocks = ranges.len();
 
     // Initial nodes: one per block, each with its own holdout fit
-    // (Algorithm 1, lines 2–7).
-    let mut nodes: Vec<ClusterNode> = Vec::with_capacity(2 * n_blocks);
-    for &(start, end) in &ranges {
+    // (Algorithm 1, lines 2–7). Each block's split uses an RNG derived
+    // from its index, so the fits can run in any order on any number of
+    // threads and still come out identical.
+    let mut nodes: Vec<ClusterNode> = pool.map_slice(&ranges, |block, &(start, end)| {
         let idx: Vec<u32> = (start as u32..end as u32).collect();
+        let mut rng = seeded(derive_seed(seed, block as u64));
         let fit = holdout_fit(learner, data, &idx, &mut rng);
-        nodes.push(ClusterNode {
+        ClusterNode {
             idx,
             train_idx: fit.train_idx,
             test_idx: fit.test_idx,
@@ -106,8 +116,9 @@ pub fn run(
             children: None,
             alive: true,
             preds: Vec::new(),
-        });
-    }
+        }
+    });
+    nodes.reserve(n_blocks);
 
     // Chain adjacency: left/right neighbor of each arena node.
     let mut left: Vec<Option<u32>> = (0..n_blocks)
@@ -126,10 +137,21 @@ pub fn run(
     let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
     let mut cache: HashMap<(u32, u32), CandidateFit> = HashMap::new();
 
-    // Seed the heap with every adjacent pair.
-    for u in 0..n_blocks.saturating_sub(1) as u32 {
-        let v = u + 1;
-        let dq = push_candidate(data, learner, &nodes, u, v, &mut cache, params.reuse_ratio);
+    // Seed the heap with every adjacent pair; candidate fits are
+    // independent (fit_merged uses no RNG), so they parallelize freely.
+    let seeds = pool.map_range(n_blocks.saturating_sub(1), |u| {
+        fit_candidate(
+            data,
+            learner,
+            &nodes,
+            u as u32,
+            u as u32 + 1,
+            params.reuse_ratio,
+        )
+    });
+    for (u, (dq, fit)) in seeds.into_iter().enumerate() {
+        let (u, v) = (u as u32, u as u32 + 1);
+        cache.insert((u, v), fit);
         heap.push(Reverse(Key(dq, u, v)));
     }
 
@@ -193,16 +215,18 @@ pub fn run(
                 .as_ref()
                 .is_some_and(|rule| rule.frozen(&nodes[id as usize]))
         };
-        if let Some(l) = lw {
-            if !frozen(l) {
-                let dq = push_candidate(data, learner, &nodes, l, w, &mut cache, params.reuse_ratio);
-                heap.push(Reverse(Key(dq, l, w)));
-            }
-        }
-        if let Some(r) = rw {
-            if !frozen(r) {
-                let dq = push_candidate(data, learner, &nodes, w, r, &mut cache, params.reuse_ratio);
-                heap.push(Reverse(Key(dq, w, r)));
+        // The merged cluster has at most two fresh candidates (its new
+        // left and right neighbors); fit them concurrently.
+        let left_pair = lw.filter(|&l| !frozen(l)).map(|l| (l, w));
+        let right_pair = rw.filter(|&r| !frozen(r)).map(|r| (w, r));
+        let fit_pair = |p: Option<(u32, u32)>| {
+            p.map(|(a, b)| fit_candidate(data, learner, &nodes, a, b, params.reuse_ratio))
+        };
+        let (lf, rf) = pool.join(|| fit_pair(left_pair), || fit_pair(right_pair));
+        for (pair, fitted) in [(left_pair, lf), (right_pair, rf)] {
+            if let (Some((a, b)), Some((dq, fit))) = (pair, fitted) {
+                cache.insert((a, b), fit);
+                heap.push(Reverse(Key(dq, a, b)));
             }
         }
     }
@@ -243,23 +267,29 @@ pub fn run(
     }
 }
 
-/// Fit the candidate merger `(u, v)`, cache it, and return its ΔQ (Eq. 2).
-fn push_candidate(
+/// Fit the candidate merger `(u, v)` and return its ΔQ (Eq. 2) with the
+/// fitted cluster. Pure in `(data, nodes, u, v)` — no RNG, no shared
+/// state — so candidate fits can run concurrently.
+fn fit_candidate(
     data: &Dataset,
     learner: &dyn Learner,
     nodes: &[ClusterNode],
     u: u32,
     v: u32,
-    cache: &mut HashMap<(u32, u32), CandidateFit>,
     reuse_ratio: Option<f64>,
-) -> f64 {
-    let (idx, train_idx, test_idx, model, err) =
-        fit_merged(data, learner, &nodes[u as usize], &nodes[v as usize], reuse_ratio);
+) -> (f64, CandidateFit) {
+    let (idx, train_idx, test_idx, model, err) = fit_merged(
+        data,
+        learner,
+        &nodes[u as usize],
+        &nodes[v as usize],
+        reuse_ratio,
+    );
     let dq = idx.len() as f64 * err
         - nodes[u as usize].weighted_err()
         - nodes[v as usize].weighted_err();
-    cache.insert(
-        (u, v),
+    (
+        dq,
         CandidateFit {
             idx,
             train_idx,
@@ -267,8 +297,7 @@ fn push_candidate(
             model,
             err,
         },
-    );
-    dq
+    )
 }
 
 #[cfg(test)]
@@ -313,6 +342,7 @@ mod tests {
                 ..Default::default()
             },
             7,
+            Pool::default(),
         );
         assert!(
             result.chunks.len() >= 2,
@@ -354,6 +384,7 @@ mod tests {
                 ..Default::default()
             },
             11,
+            Pool::default(),
         );
         assert_eq!(result.chunks.len(), 1, "bounds = {:?}", result.bounds);
         assert_eq!(result.bounds, vec![(0, 120)]);

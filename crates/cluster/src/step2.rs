@@ -16,6 +16,11 @@
 //! first `min(|Dᵤᵗᵉˢᵗ|,|Dᵥᵗᵉˢᵗ|)` entries (§II-C.1). A merged cluster does
 //! get a real fitted model (needed for `Err` and the dendrogram cut), but
 //! only O(n) such fits are ever performed.
+//!
+//! The O(n·|L|) prediction caching and the O(n²) pairwise distances run on
+//! a [`hom_parallel::Pool`]; distances live in a lower-triangular
+//! [`DistanceBuffer`] that gains one row per merger (the new cluster
+//! against every older one), so no pair is ever measured twice.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -23,6 +28,7 @@ use std::collections::BinaryHeap;
 use hom_classifiers::Learner;
 use hom_data::rng::seeded;
 use hom_data::Dataset;
+use hom_parallel::Pool;
 use rand::seq::SliceRandom;
 
 use crate::dendrogram::Dendrogram;
@@ -70,14 +76,53 @@ fn distance(u: &ClusterNode, v: &ClusterNode) -> f64 {
     (u.size() + v.size()) as f64 * (1.0 - similarity(u, v))
 }
 
-/// Fill `node.preds` with its model's predictions on `sample[0..k]`,
-/// `k = min(|test|, |sample|)`.
-fn cache_predictions(data: &Dataset, sample: &[u32], node: &mut ClusterNode) {
+/// The model's predictions on `sample[0..k]`, `k = min(|test|, |sample|)`
+/// — cached into `node.preds` by the caller.
+fn predictions(data: &Dataset, sample: &[u32], node: &ClusterNode) -> Vec<u32> {
     let k = node.test_idx.len().min(sample.len());
-    node.preds = sample[..k]
+    sample[..k]
         .iter()
         .map(|&i| node.model.predict(data.row(i as usize)))
-        .collect();
+        .collect()
+}
+
+/// Lower-triangular cache of every pairwise distance measured so far:
+/// `rows[v][u]` holds `dist(u, v)` for `u < v`. Node ids index the step-2
+/// arena, so the buffer grows by one (parallel-computed) row per merger
+/// and no distance is ever computed twice.
+pub struct DistanceBuffer {
+    rows: Vec<Vec<f64>>,
+}
+
+impl DistanceBuffer {
+    /// Measure all initial pairs, one row per node, rows in parallel.
+    fn initial(nodes: &[ClusterNode], pool: Pool) -> Self {
+        let rows = pool.map_range(nodes.len(), |v| {
+            (0..v).map(|u| distance(&nodes[u], &nodes[v])).collect()
+        });
+        DistanceBuffer { rows }
+    }
+
+    /// Append the row for a freshly merged node `w == rows.len()`:
+    /// distances to every alive older node (dead slots get ∞, which the
+    /// heap never sees).
+    fn push_row(&mut self, nodes: &[ClusterNode], pool: Pool) {
+        let w = self.rows.len();
+        let row = pool.map_range(w, |x| {
+            if nodes[x].alive {
+                distance(&nodes[x], &nodes[w])
+            } else {
+                f64::INFINITY
+            }
+        });
+        self.rows.push(row);
+    }
+
+    /// The cached distance between nodes `u` and `v` (`u != v`).
+    pub fn get(&self, u: u32, v: u32) -> f64 {
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        self.rows[hi as usize][lo as usize]
+    }
 }
 
 /// Run step 2 over the chunks of step 1, producing the final concepts.
@@ -87,6 +132,7 @@ pub fn run(
     params: &ClusterParams,
     step1: Step1Result,
     seed: u64,
+    pool: Pool,
 ) -> ClusteringResult {
     let mut rng = seeded(seed);
     let n_chunks = step1.chunks.len();
@@ -109,18 +155,21 @@ pub fn run(
         node.children = None;
         node.alive = true;
         node.err_star = node.err; // leaves of the new dendrogram
-        cache_predictions(data, &sample, node);
+    }
+    // Cache every chunk model's predictions on the shared sample, in
+    // parallel (each is an independent O(|L|) scoring pass).
+    let preds = pool.map_slice(&nodes, |_, node| predictions(data, &sample, node));
+    for (node, p) in nodes.iter_mut().zip(preds) {
+        node.preds = p;
     }
 
-    // Seed the heap with every pair (complete graph).
+    // Measure the complete initial graph into the triangular buffer and
+    // seed the heap from it.
+    let mut distances = DistanceBuffer::initial(&nodes, pool);
     let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
     for u in 0..n_chunks as u32 {
         for v in (u + 1)..n_chunks as u32 {
-            heap.push(Reverse(Key(
-                distance(&nodes[u as usize], &nodes[v as usize]),
-                u,
-                v,
-            )));
+            heap.push(Reverse(Key(distances.get(u, v), u, v)));
         }
     }
 
@@ -129,8 +178,13 @@ pub fn run(
         if !nodes[u as usize].alive || !nodes[v as usize].alive {
             continue; // stale entry
         }
-        let (idx, train_idx, test_idx, model, err) =
-            fit_merged(data, learner, &nodes[u as usize], &nodes[v as usize], params.reuse_ratio);
+        let (idx, train_idx, test_idx, model, err) = fit_merged(
+            data,
+            learner,
+            &nodes[u as usize],
+            &nodes[v as usize],
+            params.reuse_ratio,
+        );
         let err_star = err_star_merged(err, &nodes[u as usize], &nodes[v as usize]);
         let w = nodes.len() as u32;
         nodes[u as usize].alive = false;
@@ -146,9 +200,13 @@ pub fn run(
             alive: true,
             preds: Vec::new(),
         };
-        cache_predictions(data, &sample, &mut node);
+        node.preds = predictions(data, &sample, &node);
         nodes.push(node);
         mergers += 1;
+
+        // Extend the triangular buffer with the merged cluster's row —
+        // its distance to every alive older cluster, in parallel.
+        distances.push_row(&nodes, pool);
 
         // Early termination (§II-D).
         let w_frozen = params
@@ -168,11 +226,7 @@ pub fn run(
                 if frozen {
                     continue;
                 }
-                heap.push(Reverse(Key(
-                    distance(&nodes[x as usize], &nodes[w as usize]),
-                    x,
-                    w,
-                )));
+                heap.push(Reverse(Key(distances.get(x, w), x, w)));
             }
         }
     }
@@ -286,9 +340,16 @@ mod tests {
             block_size: 10,
             ..Default::default()
         };
-        let s1 = crate::step1::run(&d, &DecisionTreeLearner::new(), &params, 5);
+        let s1 = crate::step1::run(&d, &DecisionTreeLearner::new(), &params, 5, Pool::default());
         assert!(s1.chunks.len() >= 2);
-        let result = run(&d, &DecisionTreeLearner::new(), &params, s1, 6);
+        let result = run(
+            &d,
+            &DecisionTreeLearner::new(),
+            &params,
+            s1,
+            6,
+            Pool::default(),
+        );
         assert_eq!(
             result.concepts.len(),
             2,
@@ -327,9 +388,16 @@ mod tests {
             block_size: 10,
             ..Default::default()
         };
-        let s1 = crate::step1::run(&d, &DecisionTreeLearner::new(), &params, 1);
+        let s1 = crate::step1::run(&d, &DecisionTreeLearner::new(), &params, 1, Pool::default());
         let n_chunks = s1.chunks.len();
-        let result = run(&d, &DecisionTreeLearner::new(), &params, s1, 2);
+        let result = run(
+            &d,
+            &DecisionTreeLearner::new(),
+            &params,
+            s1,
+            2,
+            Pool::default(),
+        );
         assert_eq!(result.concepts.len(), 1);
         assert_eq!(result.concepts[0].chunks.len(), n_chunks);
         assert_eq!(result.concepts[0].indices.len(), 60);

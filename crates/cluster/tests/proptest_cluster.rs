@@ -34,9 +34,9 @@ fn synth_stream(
             let b = rand_bit();
             // Distinct deterministic boolean concepts over (a, b).
             let label = match concept % n_concepts {
-                0 => a as u32,                        // y = a
-                1 => 1 - a as u32,                    // y = !a
-                _ => u32::from(a == b),               // y = (a == b)
+                0 => a as u32,          // y = a
+                1 => 1 - a as u32,      // y = !a
+                _ => u32::from(a == b), // y = (a == b)
             };
             d.push(&[a, b], label);
         }

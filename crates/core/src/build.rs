@@ -4,8 +4,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hom_classifiers::Learner;
-use hom_cluster::{cluster_concepts, ClusterParams};
+use hom_cluster::{cluster_concepts_pooled, ClusterParams};
 use hom_data::{Dataset, IndexView, Schema};
+use hom_parallel::Pool;
 
 use crate::concept::Concept;
 use crate::transition::TransitionStats;
@@ -47,6 +48,17 @@ impl BuildParams {
     }
 }
 
+/// Execution options of the offline build — *how* to build, as opposed to
+/// [`BuildParams`]' *what*. Options never change the resulting model:
+/// [`build_with`] is bit-identical for every thread count.
+#[derive(Debug, Clone, Default)]
+pub struct BuildOptions {
+    /// Worker threads for the parallel build stages (block fits, candidate
+    /// fits, pairwise distances, concept retraining). `None` uses one
+    /// worker per available core; `Some(1)` is the serial reference path.
+    pub threads: Option<usize>,
+}
+
 /// The mined high-order model: concepts, their classifiers, and the
 /// concept-change statistics. Immutable once built; share it via
 /// [`Arc`] across any number of [`crate::OnlinePredictor`]s.
@@ -65,11 +77,7 @@ impl HighOrderModel {
     /// # Panics
     /// Panics if there are no concepts or the statistics disagree with the
     /// concept count.
-    pub fn from_parts(
-        schema: Arc<Schema>,
-        concepts: Vec<Concept>,
-        stats: TransitionStats,
-    ) -> Self {
+    pub fn from_parts(schema: Arc<Schema>, concepts: Vec<Concept>, stats: TransitionStats) -> Self {
         assert!(!concepts.is_empty(), "a model needs at least one concept");
         assert_eq!(
             concepts.len(),
@@ -120,7 +128,8 @@ pub struct BuildReport {
     pub occurrences: Vec<(usize, usize)>,
 }
 
-/// Mine a high-order model from a historical labeled dataset.
+/// Mine a high-order model from a historical labeled dataset, using one
+/// worker thread per available core.
 ///
 /// # Panics
 /// Propagates the clustering preconditions: at least two blocks of data.
@@ -129,8 +138,24 @@ pub fn build(
     learner: &dyn Learner,
     params: &BuildParams,
 ) -> (HighOrderModel, BuildReport) {
+    build_with(data, learner, params, &BuildOptions::default())
+}
+
+/// [`build`] with explicit execution options. The returned model is
+/// bit-identical for every `options.threads` value; only wall-clock time
+/// changes.
+///
+/// # Panics
+/// Propagates the clustering preconditions: at least two blocks of data.
+pub fn build_with(
+    data: &Dataset,
+    learner: &dyn Learner,
+    params: &BuildParams,
+    options: &BuildOptions,
+) -> (HighOrderModel, BuildReport) {
     let start = Instant::now();
-    let mut clustering = cluster_concepts(data, learner, &params.cluster);
+    let pool = Pool::new(options.threads);
+    let mut clustering = cluster_concepts_pooled(data, learner, &params.cluster, pool);
     absorb_small_concepts(data, &mut clustering, params.min_support());
 
     // Coalesce adjacent same-concept chunks into occurrences: a concept
@@ -148,29 +173,23 @@ pub fn build(
     let n_concepts = clustering.concepts.len();
     let stats = TransitionStats::from_occurrences(n_concepts, &occurrences);
 
-    let concepts: Vec<Concept> = clustering
-        .concepts
-        .into_iter()
-        .enumerate()
-        .map(|(id, c)| {
-            let n_occurrences = occurrences
-                .iter()
-                .filter(|&&(oc, _)| oc == id)
-                .count();
-            let model = if params.retrain() {
-                Arc::from(learner.fit(&IndexView::new(data, &c.indices)))
-            } else {
-                c.model
-            };
-            Concept {
-                id,
-                model,
-                err: c.err.clamp(ERR_CLAMP.0, ERR_CLAMP.1),
-                n_records: c.indices.len(),
-                n_occurrences,
-            }
-        })
-        .collect();
+    // Retraining each concept on its full record set is an independent
+    // per-concept fit — the build's last parallel stage.
+    let concepts: Vec<Concept> = pool.map_slice(&clustering.concepts, |id, c| {
+        let n_occurrences = occurrences.iter().filter(|&&(oc, _)| oc == id).count();
+        let model = if params.retrain() {
+            Arc::from(learner.fit(&IndexView::new(data, &c.indices)))
+        } else {
+            Arc::clone(&c.model)
+        };
+        Concept {
+            id,
+            model,
+            err: c.err.clamp(ERR_CLAMP.0, ERR_CLAMP.1),
+            n_records: c.indices.len(),
+            n_occurrences,
+        }
+    });
 
     let report = BuildReport {
         build_time: start.elapsed(),
@@ -227,8 +246,7 @@ fn absorb_small_concepts(
                         .iter()
                         .filter(|&&i| {
                             let row = data.row(i as usize);
-                            clustering.concepts[j].model.predict(row)
-                                == small_model.predict(row)
+                            clustering.concepts[j].model.predict(row) == small_model.predict(row)
                         })
                         .count()
                 };

@@ -21,13 +21,15 @@
 //! extension: offline smoothing of the concept sequence with a Viterbi
 //! pass over the same HMM.
 
+#![warn(missing_docs)]
+
 pub mod build;
 pub mod concept;
 pub mod online;
 pub mod transition;
 pub mod viterbi;
 
-pub use build::{build, BuildParams, BuildReport, HighOrderModel};
+pub use build::{build, build_with, BuildOptions, BuildParams, BuildReport, HighOrderModel};
 pub use concept::Concept;
 pub use online::OnlinePredictor;
 pub use transition::TransitionStats;

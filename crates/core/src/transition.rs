@@ -56,10 +56,7 @@ impl TransitionStats {
             .zip(&records)
             .map(|(&c, &r)| if c > 0 { r as f64 / c as f64 } else { 1.0 })
             .collect();
-        let freq: Vec<f64> = count
-            .iter()
-            .map(|&c| c as f64 / total_occ as f64)
-            .collect();
+        let freq: Vec<f64> = count.iter().map(|&c| c as f64 / total_occ as f64).collect();
 
         let mut chi = vec![0.0; n_concepts * n_concepts];
         if n_concepts == 1 {
@@ -83,7 +80,12 @@ impl TransitionStats {
             }
         }
 
-        TransitionStats { n: n_concepts, len, freq, chi }
+        TransitionStats {
+            n: n_concepts,
+            len,
+            freq,
+            chi,
+        }
     }
 
     /// Number of concepts.

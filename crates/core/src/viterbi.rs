@@ -90,8 +90,8 @@ mod tests {
     use crate::transition::TransitionStats;
     use crate::Concept;
     use hom_classifiers::MajorityClassifier;
-    use std::sync::Arc;
     use hom_data::{Attribute, Schema};
+    use std::sync::Arc;
 
     fn toy_model() -> HighOrderModel {
         let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
@@ -126,9 +126,7 @@ mod tests {
         let model = toy_model();
         let x = [0.0f64];
         // 10 records of class a, then 10 of class b
-        let records: Vec<(&[f64], u32)> = (0..20)
-            .map(|t| (&x[..], u32::from(t >= 10)))
-            .collect();
+        let records: Vec<(&[f64], u32)> = (0..20).map(|t| (&x[..], u32::from(t >= 10))).collect();
         let path = most_likely_path(&model, &records);
         assert_eq!(&path[..10], &[0; 10]);
         assert_eq!(&path[10..], &[1; 10]);
@@ -141,8 +139,7 @@ mod tests {
         // one noisy 'b' in the middle of an 'a' run: with Len = 50 the
         // switch penalty outweighs one misclassified record
         let labels = [0u32, 0, 0, 0, 1, 0, 0, 0, 0];
-        let records: Vec<(&[f64], u32)> =
-            labels.iter().map(|&y| (&x[..], y)).collect();
+        let records: Vec<(&[f64], u32)> = labels.iter().map(|&y| (&x[..], y)).collect();
         let path = most_likely_path(&model, &records);
         assert_eq!(path, vec![0; 9]);
     }
@@ -152,8 +149,7 @@ mod tests {
         let model = toy_model();
         let x = [0.0f64];
         let labels = [0u32, 0, 0, 1, 1, 1, 1, 1, 1];
-        let records: Vec<(&[f64], u32)> =
-            labels.iter().map(|&y| (&x[..], y)).collect();
+        let records: Vec<(&[f64], u32)> = labels.iter().map(|&y| (&x[..], y)).collect();
         let path = most_likely_path(&model, &records);
         assert_eq!(path[0], 0);
         assert_eq!(path[8], 1);

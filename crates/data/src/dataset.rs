@@ -88,9 +88,7 @@ impl Dataset {
     /// Iterate `(row, label)` pairs in record order.
     pub fn iter(&self) -> impl Iterator<Item = (&[f64], ClassId)> + '_ {
         let w = self.schema.n_attrs();
-        self.values
-            .chunks_exact(w)
-            .zip(self.labels.iter().copied())
+        self.values.chunks_exact(w).zip(self.labels.iter().copied())
     }
 
     /// Append every record of `other`.

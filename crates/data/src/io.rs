@@ -71,7 +71,11 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "I/O error: {e}"),
-            CsvError::FieldCount { line, got, expected } => {
+            CsvError::FieldCount {
+                line,
+                got,
+                expected,
+            } => {
                 write!(f, "line {line}: {got} fields, expected {expected}")
             }
             CsvError::Empty => write!(f, "no data records in input"),
@@ -205,10 +209,7 @@ pub fn read_csv<R: Read>(reader: R, options: &CsvOptions) -> Result<Dataset, Csv
     Ok(data)
 }
 
-fn split_fields<'a>(
-    line: &'a str,
-    options: &'a CsvOptions,
-) -> impl Iterator<Item = &'a str> + 'a {
+fn split_fields<'a>(line: &'a str, options: &'a CsvOptions) -> impl Iterator<Item = &'a str> + 'a {
     line.split(options.delimiter)
         .map(move |f| f.trim_matches(|ch| options.trim_chars.contains(&ch)))
 }
@@ -321,7 +322,14 @@ mod tests {
     fn rejects_ragged_rows() {
         let text = "1,a,0\n2,b\n";
         let err = read_csv(text.as_bytes(), &CsvOptions::default()).unwrap_err();
-        assert!(matches!(err, CsvError::FieldCount { line: 2, got: 2, expected: 3 }));
+        assert!(matches!(
+            err,
+            CsvError::FieldCount {
+                line: 2,
+                got: 2,
+                expected: 3
+            }
+        ));
     }
 
     #[test]

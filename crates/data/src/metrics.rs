@@ -14,11 +14,7 @@ pub fn error_rate(predicted: &[ClassId], actual: &[ClassId]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    let wrong = predicted
-        .iter()
-        .zip(actual)
-        .filter(|(p, a)| p != a)
-        .count();
+    let wrong = predicted.iter().zip(actual).filter(|(p, a)| p != a).count();
     wrong as f64 / predicted.len() as f64
 }
 

@@ -249,7 +249,10 @@ mod tests {
         let s = schema();
         assert!(matches!(
             s.validate_row(&[1.0]),
-            Err(SchemaError::WrongWidth { expected: 2, got: 1 })
+            Err(SchemaError::WrongWidth {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -280,7 +283,10 @@ mod tests {
         let s = schema();
         assert!(matches!(
             s.validate_label(2),
-            Err(SchemaError::BadLabel { label: 2, n_classes: 2 })
+            Err(SchemaError::BadLabel {
+                label: 2,
+                n_classes: 2
+            })
         ));
     }
 

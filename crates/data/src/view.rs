@@ -149,10 +149,7 @@ mod tests {
     use crate::schema::{Attribute, Schema};
 
     fn sample() -> Dataset {
-        let schema = Schema::new(
-            vec![Attribute::numeric("x")],
-            ["a", "b", "c"],
-        );
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b", "c"]);
         let mut d = Dataset::new(schema);
         d.push(&[0.0], 0);
         d.push(&[1.0], 1);

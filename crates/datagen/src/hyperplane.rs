@@ -102,9 +102,7 @@ impl HyperplaneSource {
             .collect();
         let active = concept_weights[0].clone();
         let schedule = match params.period {
-            Some(p) => {
-                SwitchSchedule::periodic(params.n_concepts, p, derive_seed(params.seed, 1))
-            }
+            Some(p) => SwitchSchedule::periodic(params.n_concepts, p, derive_seed(params.seed, 1)),
             None => SwitchSchedule::new(
                 params.n_concepts,
                 params.lambda,
@@ -192,10 +190,7 @@ mod tests {
             lambda: 0.0,
             ..Default::default()
         });
-        let pos = (0..20_000)
-            .filter(|_| s.next_record().y == 1)
-            .count() as f64
-            / 20_000.0;
+        let pos = (0..20_000).filter(|_| s.next_record().y == 1).count() as f64 / 20_000.0;
         assert!((pos - 0.5).abs() < 0.05, "positive fraction = {pos}");
     }
 

@@ -84,9 +84,7 @@ impl SeaSource {
             "noise must be a probability"
         );
         let schedule = match params.period {
-            Some(p) => {
-                SwitchSchedule::periodic(THRESHOLDS.len(), p, derive_seed(params.seed, 0))
-            }
+            Some(p) => SwitchSchedule::periodic(THRESHOLDS.len(), p, derive_seed(params.seed, 0)),
             None => SwitchSchedule::new(
                 THRESHOLDS.len(),
                 params.lambda,

@@ -170,10 +170,7 @@ mod tests {
             assert!(a.schema().validate_row(&ra.x).is_ok());
             assert!(ra.concept < 3);
             assert!(!ra.drifting);
-            assert_eq!(
-                ra.y,
-                stagger_label(ra.concept, ra.x[0], ra.x[1], ra.x[2])
-            );
+            assert_eq!(ra.y, stagger_label(ra.concept, ra.x[0], ra.x[1], ra.x[2]));
         }
     }
 

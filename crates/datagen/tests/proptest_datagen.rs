@@ -13,7 +13,11 @@ fn check_valid(src: &mut dyn StreamSource, n: usize) -> Vec<StreamRecord> {
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let r = src.next_record();
-        assert!(src.schema().validate_row(&r.x).is_ok(), "invalid row {:?}", r.x);
+        assert!(
+            src.schema().validate_row(&r.x).is_ok(),
+            "invalid row {:?}",
+            r.x
+        );
         assert!(src.schema().validate_label(r.y).is_ok());
         if let Some(k) = src.n_concepts() {
             assert!(r.concept < k);

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use hom_baselines::{Dwm, DwmParams, RePro, ReProParams, StaticModel, Wce, WceParams};
 use hom_classifiers::Learner;
 use hom_cluster::ClusterParams;
-use hom_core::{build, BuildParams, OnlinePredictor};
+use hom_core::{build_with, BuildOptions, BuildParams, OnlinePredictor};
 use hom_data::{ClassId, Dataset};
 
 /// The protocol every experiment drives: per timestamp, `predict` the
@@ -65,6 +65,17 @@ pub struct AlgoConfig {
     pub wce: WceParams,
     /// DWM parameters (Kolter & Maloof defaults).
     pub dwm: DwmParams,
+    /// Worker threads for the high-order offline build (`None` = one per
+    /// core). Never changes the built model, only wall-clock time.
+    pub threads: Option<usize>,
+}
+
+impl AlgoConfig {
+    fn build_options(&self) -> BuildOptions {
+        BuildOptions {
+            threads: self.threads,
+        }
+    }
 }
 
 /// An algorithm plus its offline-build diagnostics.
@@ -85,13 +96,14 @@ pub fn build_high_order(
     config: &AlgoConfig,
 ) -> (HighOrderAlgo, Duration, usize) {
     let start = Instant::now();
-    let (model, report) = build(
+    let (model, report) = build_with(
         historical,
         learner.as_ref(),
         &BuildParams {
             cluster: config.cluster.clone(),
             ..Default::default()
         },
+        &config.build_options(),
     );
     (
         HighOrderAlgo {
@@ -112,13 +124,14 @@ pub fn build_algo(
     let start = Instant::now();
     match kind {
         AlgoKind::HighOrder => {
-            let (model, report) = build(
+            let (model, report) = build_with(
                 historical,
                 learner.as_ref(),
                 &BuildParams {
                     cluster: config.cluster.clone(),
                     ..Default::default()
                 },
+                &config.build_options(),
             );
             BuiltAlgo {
                 algo: Box::new(HighOrderAlgo {

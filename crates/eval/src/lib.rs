@@ -13,10 +13,12 @@
 //! * [`report`] — fixed-width table / CSV-series printing so each bench
 //!   target emits the same rows or series the paper reports.
 //!
-//! Every experiment honours three environment variables:
+//! Every experiment honours four environment variables:
 //! `HOM_SCALE` (fraction of the paper's stream sizes, default 0.05),
-//! `HOM_RUNS` (repetitions averaged, default 3) and `HOM_SEED`
-//! (master seed, default 20080407 — the ICDE'08 conference date).
+//! `HOM_RUNS` (repetitions averaged, default 3), `HOM_SEED`
+//! (master seed, default 20080407 — the ICDE'08 conference date) and
+//! `HOM_THREADS` (build worker threads, default: one per core — never
+//! changes results, only wall-clock time).
 
 pub mod algo;
 pub mod curves;
@@ -34,6 +36,9 @@ pub struct EvalConfig {
     pub runs: usize,
     /// Master seed; run `r` derives its seeds from `(seed, r)`.
     pub seed: u64,
+    /// Worker threads for the offline builds (`None` = one per core).
+    /// Purely an execution knob: results are bit-identical either way.
+    pub threads: Option<usize>,
 }
 
 impl Default for EvalConfig {
@@ -42,6 +47,7 @@ impl Default for EvalConfig {
             scale: 0.05,
             runs: 3,
             seed: 20_080_407,
+            threads: None,
         }
     }
 }
@@ -63,14 +69,24 @@ impl EvalConfig {
                 .and_then(|v| v.parse().ok())
                 .filter(|&r| r >= 1)
                 .unwrap_or(d.runs),
-            seed: get("HOM_SEED").and_then(|v| v.parse().ok()).unwrap_or(d.seed),
+            seed: get("HOM_SEED")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d.seed),
+            threads: get("HOM_THREADS")
+                .and_then(|v| v.parse().ok())
+                .filter(|&t| t >= 1),
         }
     }
 
     /// Human-readable banner echoed at the top of every bench.
     pub fn banner(&self) -> String {
+        let threads = match self.threads {
+            Some(t) => t.to_string(),
+            None => format!("{} (all cores)", hom_parallel::available_threads()),
+        };
         format!(
-            "config: scale={} runs={} seed={} (override via HOM_SCALE / HOM_RUNS / HOM_SEED)",
+            "config: scale={} runs={} seed={} threads={threads} \
+             (override via HOM_SCALE / HOM_RUNS / HOM_SEED / HOM_THREADS)",
             self.scale, self.runs, self.seed
         )
     }

@@ -62,12 +62,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 
 /// Render a figure's data as CSV: an `x` column plus one column per
 /// series.
-pub fn render_series(
-    title: &str,
-    x_label: &str,
-    xs: &[f64],
-    columns: &[(&str, &[f64])],
-) -> String {
+pub fn render_series(title: &str, x_label: &str, xs: &[f64], columns: &[(&str, &[f64])]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
     let mut header = x_label.to_string();

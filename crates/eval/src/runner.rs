@@ -68,6 +68,8 @@ pub fn default_learner() -> Arc<dyn Learner> {
 
 /// Algorithm configuration derived from a workload (block size flows into
 /// the clustering parameters; everything else stays at paper defaults).
+/// The build's worker-thread count comes from `HOM_THREADS` (default: one
+/// per core) — an execution knob that never changes the results.
 pub fn config_for(workload: &Workload, seed: u64) -> AlgoConfig {
     AlgoConfig {
         cluster: ClusterParams {
@@ -75,6 +77,7 @@ pub fn config_for(workload: &Workload, seed: u64) -> AlgoConfig {
             seed,
             ..Default::default()
         },
+        threads: crate::EvalConfig::from_env().threads,
         ..Default::default()
     }
 }
@@ -89,8 +92,11 @@ pub fn run_workload(workload: &Workload, kinds: &[AlgoKind], seed: u64) -> Vec<R
             // Each algorithm sees an identical stream: same workload seed.
             let (historical, _, mut test_source) = workload.split(seed);
             let mut built = build_algo(kind, &historical, &learner, &config);
-            let (error_rate, test_time) =
-                run_stream(built.algo.as_mut(), test_source.as_mut(), workload.test_size);
+            let (error_rate, test_time) = run_stream(
+                built.algo.as_mut(),
+                test_source.as_mut(),
+                workload.test_size,
+            );
             RunResult {
                 algo: kind.name(),
                 error_rate,
@@ -174,11 +180,7 @@ mod tests {
 
     #[test]
     fn high_order_beats_wce_on_stagger() {
-        let results = run_workload(
-            &tiny_stagger(),
-            &[AlgoKind::HighOrder, AlgoKind::Wce],
-            42,
-        );
+        let results = run_workload(&tiny_stagger(), &[AlgoKind::HighOrder, AlgoKind::Wce], 42);
         let high = &results[0];
         let wce = &results[1];
         assert_eq!(high.algo, "High-order");

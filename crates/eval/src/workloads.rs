@@ -142,10 +142,7 @@ impl Workload {
 
 /// Load the first `limit` records of a KDDCUP'99-format CSV file as a
 /// replay stream.
-fn load_kdd(
-    path: &str,
-    limit: usize,
-) -> Result<Box<dyn StreamSource>, Box<dyn std::error::Error>> {
+fn load_kdd(path: &str, limit: usize) -> Result<Box<dyn StreamSource>, Box<dyn std::error::Error>> {
     let file = std::fs::File::open(path)?;
     let data = hom_data::read_csv(
         file,

@@ -1,0 +1,222 @@
+//! Deterministic scoped-thread parallelism for the offline build pipeline.
+//!
+//! The offline phase of the high-order model — per-block classifier
+//! training, candidate-merger fits, pairwise concept distances, per-concept
+//! retraining, cross-validation folds — is embarrassingly parallel across
+//! items, and the paper-scale workloads (KDDCUP'99 is ~4.9M records) make
+//! it the scalability bottleneck. This crate supplies the one primitive
+//! those call sites need: an **order-preserving parallel map** over an
+//! index range, built on [`std::thread::scope`] (the environment cannot
+//! fetch `rayon`; this is the in-repo equivalent of its
+//! `par_iter().map().collect()` on the API subset the workspace uses —
+//! see `ARCHITECTURE.md`).
+//!
+//! # Determinism contract
+//!
+//! Every entry point guarantees **bit-identical results for any thread
+//! count**, provided the per-item closure is itself deterministic in
+//! `(index, item)`:
+//!
+//! * results are collected **in item order**, regardless of which worker
+//!   computed them or when it finished;
+//! * the closure receives the item **index**, so callers can derive
+//!   per-item RNG seeds (e.g. `hom_data::rng::derive_seed(seed, index)`)
+//!   instead of sharing one sequential RNG stream across items;
+//! * no reduction reorders floating-point accumulation: the caller folds
+//!   the returned `Vec` sequentially.
+//!
+//! The build path threads a [`Pool`] through `BuildOptions { threads }`:
+//! `None` means one worker per available core, `Some(1)` is the serial
+//! reference path (no threads are spawned at all).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of workers a [`Pool`] with `threads: None` will use: one per
+/// available core (1 if the runtime cannot tell).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A fixed degree of parallelism for the offline build.
+///
+/// Cheap to copy; carries no OS resources. Threads are spawned per call
+/// via [`std::thread::scope`], so a `Pool` can be embedded in plain
+/// parameter structs and shared freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    /// One worker per available core.
+    fn default() -> Self {
+        Pool::new(None)
+    }
+}
+
+impl Pool {
+    /// A pool with the given worker count; `None` uses one worker per
+    /// available core, and a count of 0 is clamped to 1.
+    pub fn new(threads: Option<usize>) -> Self {
+        let threads = threads.unwrap_or_else(available_threads).max(1);
+        Pool { threads }
+    }
+
+    /// The serial pool (1 worker, never spawns).
+    pub fn serial() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Map `f` over `0..n` in parallel, returning results **in index
+    /// order** (the determinism contract above).
+    ///
+    /// Work is distributed dynamically: workers claim indices from a
+    /// shared atomic counter, so uneven per-item costs (a big candidate
+    /// fit next to a tiny one) do not idle workers. With 1 worker or
+    /// `n <= 1` the map runs inline on the caller's thread.
+    pub fn map_range<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                return local;
+                            }
+                            local.push((i, f(i)));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("parallel map worker panicked"));
+            }
+        });
+
+        // Reassemble in index order: placement is by index, so the result
+        // is independent of which worker computed what.
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in parts.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "index {i} computed twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index computed exactly once"))
+            .collect()
+    }
+
+    /// Map `f` over a slice in parallel, returning results in item order.
+    /// The closure receives `(index, &item)`.
+    pub fn map_slice<'a, T, R, F>(&self, items: &'a [T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &'a T) -> R + Sync,
+    {
+        self.map_range(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Run two closures, in parallel when this pool has more than one
+    /// worker, and return both results.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        if self.threads == 1 {
+            return (a(), b());
+        }
+        std::thread::scope(|scope| {
+            let hb = scope.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("join worker panicked"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_range_preserves_order() {
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(Some(threads));
+            let out = pool.map_range(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // A deliberately uneven workload with per-item "randomness"
+        // derived from the index: all pools must agree bit-for-bit.
+        let work = |i: usize| {
+            let mut acc = i as f64;
+            for k in 0..(i % 7) * 1000 {
+                acc += (k as f64).sin();
+            }
+            acc
+        };
+        let serial = Pool::serial().map_range(50, work);
+        for threads in [2, 3, 8] {
+            let parallel = Pool::new(Some(threads)).map_range(50, work);
+            assert!(serial
+                .iter()
+                .zip(&parallel)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn map_slice_passes_items() {
+        let items = vec!["a", "bb", "ccc"];
+        let lens = Pool::new(Some(2)).map_slice(&items, |i, s| s.len() + i);
+        assert_eq!(lens, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        for pool in [Pool::serial(), Pool::new(Some(4))] {
+            let (a, b) = pool.join(|| 1 + 1, || "x".to_string() + "y");
+            assert_eq!(a, 2);
+            assert_eq!(b, "xy");
+        }
+    }
+
+    #[test]
+    fn empty_and_unit_ranges() {
+        let pool = Pool::new(Some(4));
+        assert!(pool.map_range(0, |i| i).is_empty());
+        assert_eq!(pool.map_range(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Pool::new(Some(0)).threads(), 1);
+        assert!(Pool::new(None).threads() >= 1);
+    }
+}

@@ -39,8 +39,11 @@ fn main() {
         let (historical, _, mut test_source) = workload.split(seed);
         eprintln!("building {} …", kind.name());
         let mut built = build_algo(kind, &historical, &learner, &config);
-        let (err, test_time) =
-            run_stream(built.algo.as_mut(), test_source.as_mut(), workload.test_size);
+        let (err, test_time) = run_stream(
+            built.algo.as_mut(),
+            test_source.as_mut(),
+            workload.test_size,
+        );
         rows.push(vec![
             kind.name().to_string(),
             fmt_err(err),

@@ -30,11 +30,7 @@ fn main() {
     println!(
         "  found {} stable concepts from {} chunks in {:.2?} \
          ({} + {} mergers)",
-        report.n_concepts,
-        report.n_chunks,
-        report.build_time,
-        report.mergers.0,
-        report.mergers.1,
+        report.n_concepts, report.n_chunks, report.build_time, report.mergers.0, report.mergers.1,
     );
     for c in model.concepts() {
         println!(

@@ -135,8 +135,9 @@ fn main() {
     // ---- Retrospective Viterbi segmentation of an archived window. ----
     println!("\nretrospective segmentation (Viterbi over the mined HMM):");
     let (archive, truth) = collect(&mut source, 5_000);
-    let records: Vec<(&[f64], ClassId)> =
-        (0..archive.len()).map(|i| (archive.row(i), archive.label(i))).collect();
+    let records: Vec<(&[f64], ClassId)> = (0..archive.len())
+        .map(|i| (archive.row(i), archive.label(i)))
+        .collect();
     let path = most_likely_path(&model, &records);
 
     // Compress the path into episodes and compare against ground truth.

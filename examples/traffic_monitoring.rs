@@ -80,7 +80,7 @@ impl TrafficSource {
             FREE_FLOW => speed < 80.0,
             RUSH_HOUR => speed < 45.0 || occupancy > 65.0,
             _ => speed > 35.0, // during an incident, *fast* lanes mean the
-            // blockage is elsewhere and reroutes are delayed
+                               // blockage is elsewhere and reroutes are delayed
         };
         ClassId::from(delayed)
     }
@@ -152,11 +152,7 @@ fn main() {
             counts[truth[i]] += 1;
         }
         let total: usize = counts.iter().sum::<usize>().max(1);
-        let (best, n) = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)
-            .unwrap();
+        let (best, n) = counts.iter().enumerate().max_by_key(|&(_, &c)| c).unwrap();
         println!(
             "  mined regime {} ≈ {} ({:.0}% pure, {} occurrences, runs {}–{} records)",
             c.id,

@@ -1,0 +1,82 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// An inclusive-exclusive length range for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for a `Vec` whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut rng = case_rng("collection_tests", 1);
+        let s = vec(0u32..5, 2..6);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let fixed = vec(0u32..5, 3usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 3);
+    }
+}

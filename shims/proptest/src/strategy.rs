@@ -1,0 +1,158 @@
+//! Value-generation strategies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange};
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike the real crate there is no value tree and no shrinking: a
+/// strategy simply draws a value from the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f` (the real crate's
+    /// `prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generate a value, then use it to build a second strategy and draw
+    /// from that (the real crate's `prop_flat_map`, for dependent
+    /// inputs).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    std::ops::Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    std::ops::RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = case_rng("strategy_tests", 1);
+        for _ in 0..200 {
+            let v = (0usize..10).generate(&mut rng);
+            assert!(v < 10);
+            let (a, b, c) = (0.0f64..1.0, 0u32..3, 5u32..=6).generate(&mut rng);
+            assert!((0.0..1.0).contains(&a));
+            assert!(b < 3);
+            assert!(a < 1.0 && (5..=6).contains(&c));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = case_rng("strategy_tests", 2);
+        let doubled = (1usize..5).prop_map(|v| v * 2);
+        for _ in 0..50 {
+            let v = doubled.generate(&mut rng);
+            assert!(v % 2 == 0 && (2..10).contains(&v));
+        }
+        let dependent = (1usize..4).prop_flat_map(|n| (0usize..n).prop_map(move |k| (n, k)));
+        for _ in 0..50 {
+            let (n, k) = dependent.generate(&mut rng);
+            assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn just_clones() {
+        let mut rng = case_rng("strategy_tests", 3);
+        assert_eq!(Just(vec![1, 2]).generate(&mut rng), vec![1, 2]);
+    }
+}

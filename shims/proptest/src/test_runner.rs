@@ -1,0 +1,81 @@
+//! Test-execution plumbing: configuration, case outcomes, per-case RNGs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (the subset of the real crate's knobs the
+/// workspace uses).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: discard the case without counting it.
+    Reject(String),
+    /// `prop_assert*!` failed: the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure outcome.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection outcome.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The deterministic RNG of one test case: seeded from the test's module
+/// path + name (FNV-1a) and the case number, so every run of the suite
+/// generates the same inputs and failures reproduce without a
+/// regressions file.
+pub fn case_rng(test_path: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn case_rng_is_deterministic_and_distinct() {
+        assert_eq!(
+            case_rng("a::b", 1).next_u64(),
+            case_rng("a::b", 1).next_u64()
+        );
+        assert_ne!(
+            case_rng("a::b", 1).next_u64(),
+            case_rng("a::b", 2).next_u64()
+        );
+        assert_ne!(
+            case_rng("a::b", 1).next_u64(),
+            case_rng("a::c", 1).next_u64()
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment cannot fetch external crates, so this shim
+//! supplies the one capability the workspace uses: a [`Serialize`] trait
+//! that the `serde_json` shim can render as JSON. There is no
+//! deserialization and no `#[derive(Serialize)]` — values are built from
+//! the provided impls (numbers, strings, options, sequences, tuples),
+//! which covers every dump site in the workspace.
+
+/// A value that can be written as JSON.
+///
+/// The single method appends the value's JSON encoding to `out`;
+/// `indent` is the current pretty-printing depth (two spaces per level),
+/// used by containers when laying out multi-line output.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out` at the given indent
+    /// depth.
+    fn write_json(&self, out: &mut String, indent: usize);
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Append a JSON string literal (with escaping) to `out`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! serialize_display_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String, _indent: usize) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+serialize_display_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String, _indent: usize) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no Inf/NaN; null is serde_json's lossy choice too.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        (**self).write_json(out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        match self {
+            Some(v) => v.write_json(out, indent),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_seq<T: Serialize>(items: &[T], out: &mut String, indent: usize) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push_str("[\n");
+    for (i, item) in items.iter().enumerate() {
+        push_indent(out, indent + 1);
+        item.write_json(out, indent + 1);
+        if i + 1 < items.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    push_indent(out, indent);
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        write_seq(self, out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        write_seq(self, out, indent);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        write_seq(self, out, indent);
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn write_json(&self, out: &mut String, indent: usize) {
+                out.push_str("[\n");
+                let parts: Vec<String> = vec![$({
+                    let mut s = String::new();
+                    self.$idx.write_json(&mut s, indent + 1);
+                    s
+                }),+];
+                for (i, p) in parts.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    out.push_str(p);
+                    if i + 1 < parts.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s, 0);
+        s
+    }
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(to_json(&3u32), "3");
+        assert_eq!(to_json(&-4i64), "-4");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&f64::NAN), "null");
+        assert_eq!(to_json(&"a\"b"), "\"a\\\"b\"");
+        assert_eq!(to_json(&Option::<u32>::None), "null");
+        assert_eq!(to_json(&Some(7u32)), "7");
+    }
+
+    #[test]
+    fn containers_render() {
+        assert_eq!(to_json(&Vec::<u32>::new()), "[]");
+        assert_eq!(to_json(&vec![1u32, 2]), "[\n  1,\n  2\n]");
+        assert_eq!(to_json(&("x", 1u32)), "[\n  \"x\",\n  1\n]");
+    }
+}

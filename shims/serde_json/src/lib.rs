@@ -1,0 +1,43 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
+//! pretty JSON rendering of any [`serde::Serialize`] value. Serialization
+//! is infallible here, but the `Result` signatures mirror the real crate
+//! so call sites are source-compatible.
+
+use std::fmt;
+
+/// Error type kept for signature compatibility; never constructed.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out, 0);
+    Ok(out)
+}
+
+/// Render `value` as compact-ish JSON. The shim reuses the pretty writer;
+/// output is valid JSON either way.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_prints_nested() {
+        let v = vec![("a", 1u32), ("b", 2u32)];
+        let s = super::to_string_pretty(&v).unwrap();
+        assert!(s.starts_with('['));
+        assert!(s.contains("\"a\""));
+        assert!(s.ends_with(']'));
+    }
+}

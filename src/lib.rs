@@ -77,11 +77,14 @@ pub mod prelude {
         Classifier, DecisionTreeLearner, Learner, MajorityLearner, NaiveBayesLearner,
     };
     pub use hom_cluster::{cluster_concepts, ClusterParams};
-    pub use hom_core::{build, BuildParams, HighOrderModel, OnlinePredictor, TransitionStats};
+    pub use hom_core::{
+        build, build_with, BuildOptions, BuildParams, HighOrderModel, OnlinePredictor,
+        TransitionStats,
+    };
     pub use hom_data::stream::{collect, ReplaySource};
     pub use hom_data::{Attribute, ClassId, Dataset, Instances, Schema, StreamSource};
     pub use hom_datagen::{
-        HyperplaneParams, HyperplaneSource, IntrusionParams, IntrusionSource, SeaParams,
-        SeaSource, StaggerParams, StaggerSource,
+        HyperplaneParams, HyperplaneSource, IntrusionParams, IntrusionSource, SeaParams, SeaSource,
+        StaggerParams, StaggerSource,
     };
 }

@@ -26,11 +26,7 @@ fn scripted(period: usize, seed: u64) -> StaggerSource {
 #[test]
 fn repro_reuses_recurring_concepts() {
     let mut src = scripted(600, 3);
-    let mut repro = RePro::new(
-        src.schema().clone(),
-        learner(),
-        ReProParams::default(),
-    );
+    let mut repro = RePro::new(src.schema().clone(), learner(), ReProParams::default());
     // Count errors per 600-record segment. Stagger cycles A,B,C,A,B,C …
     let mut seg_errors = Vec::new();
     for _seg in 0..6 {
@@ -140,5 +136,7 @@ fn high_order_beats_both_on_recurrence() {
 }
 
 fn stagger_schema_for_test() -> Arc<Schema> {
-    StaggerSource::new(StaggerParams::default()).schema().clone()
+    StaggerSource::new(StaggerParams::default())
+        .schema()
+        .clone()
 }

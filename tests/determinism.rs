@@ -1,0 +1,111 @@
+//! The parallel build's central contract: `BuildOptions { threads }` is an
+//! execution knob, never a modelling knob. Building the same historical
+//! data with 1, 2 and 8 worker threads must produce *identical* models —
+//! same concepts, same occurrence sequence, same transition statistics and
+//! behaviorally identical classifiers — because every parallel stage
+//! derives its randomness from `(seed, item index)` rather than from a
+//! shared sequential RNG (see `hom_parallel`'s determinism contract).
+
+use high_order_models::prelude::*;
+
+/// Everything observable about a built model, in comparable form.
+struct Fingerprint {
+    n_concepts: usize,
+    concept_shape: Vec<(f64, usize, usize)>,
+    occurrences: Vec<(usize, usize)>,
+    mergers: (usize, usize),
+    stats: TransitionStats,
+    /// Each concept model's predictions over a probe grid — catches any
+    /// divergence inside the trained classifiers themselves.
+    probe_predictions: Vec<Vec<u32>>,
+}
+
+fn fingerprint(data: &Dataset, threads: usize, block_size: usize) -> Fingerprint {
+    let (model, report) = build_with(
+        data,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size,
+                seed: 11,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        &BuildOptions {
+            threads: Some(threads),
+        },
+    );
+    let probe_predictions = model
+        .concepts()
+        .iter()
+        .map(|c| {
+            (0..data.len())
+                .map(|i| c.model.predict(data.row(i)))
+                .collect()
+        })
+        .collect();
+    Fingerprint {
+        n_concepts: model.n_concepts(),
+        concept_shape: model
+            .concepts()
+            .iter()
+            .map(|c| (c.err, c.n_records, c.n_occurrences))
+            .collect(),
+        occurrences: report.occurrences,
+        mergers: report.mergers,
+        stats: model.stats().clone(),
+        probe_predictions,
+    }
+}
+
+fn assert_identical(data: &Dataset, block_size: usize) {
+    let reference = fingerprint(data, 1, block_size);
+    for threads in [2usize, 8] {
+        let candidate = fingerprint(data, threads, block_size);
+        assert_eq!(
+            reference.n_concepts, candidate.n_concepts,
+            "concept count differs at threads={threads}"
+        );
+        assert_eq!(
+            reference.concept_shape, candidate.concept_shape,
+            "concept err/size/occurrences differ at threads={threads}"
+        );
+        assert_eq!(
+            reference.occurrences, candidate.occurrences,
+            "occurrence sequence differs at threads={threads}"
+        );
+        assert_eq!(
+            reference.mergers, candidate.mergers,
+            "merger counts differ at threads={threads}"
+        );
+        assert_eq!(
+            reference.stats, candidate.stats,
+            "transition statistics differ at threads={threads}"
+        );
+        assert_eq!(
+            reference.probe_predictions, candidate.probe_predictions,
+            "classifier predictions differ at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn stagger_build_is_identical_across_thread_counts() {
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda: 0.01,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, 4_000);
+    assert_identical(&data, 10);
+}
+
+#[test]
+fn hyperplane_build_is_identical_across_thread_counts() {
+    let mut src = HyperplaneSource::new(HyperplaneParams {
+        lambda: 0.002,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, 5_000);
+    assert_identical(&data, 25);
+}
