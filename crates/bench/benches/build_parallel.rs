@@ -8,10 +8,16 @@
 //! on a single-core machine the expected "speedup" is ~1.0× minus a small
 //! scheduling overhead.
 //!
+//! Each build runs with an in-memory [`hom_obs::Recorder`] attached, so
+//! the per-stage wall times (block fits, candidate fits, distance matrix,
+//! merge loops, retraining) come from the pipeline's own spans rather
+//! than external stopwatches.
+//!
 //! With `HOM_JSON_DIR` set, a `BENCH_build_parallel.json` snapshot is
 //! written there (the checked-in snapshot at the repository root was
 //! produced this way).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hom_classifiers::DecisionTreeLearner;
@@ -22,15 +28,34 @@ use hom_data::Dataset;
 use hom_datagen::{StaggerParams, StaggerSource};
 use hom_eval::report::{fmt_duration, print_table};
 use hom_eval::EvalConfig;
+use hom_obs::{Obs, Recorder};
 
 const HISTORICAL: usize = 100_000;
 const BLOCK_SIZE: usize = 100;
 
-fn timed_build(
-    data: &Dataset,
-    seed: u64,
+/// The stages whose span durations the snapshot reports, in pipeline
+/// order. Keys are the span names the build emits.
+const STAGES: &[&str] = &[
+    "step1.block_fits",
+    "step1.seed_candidates",
+    "step1.merge_loop",
+    "step2.pred_cache",
+    "step2.distance_matrix",
+    "step2.merge_loop",
+    "build.retrain",
+];
+
+struct Run {
     threads: usize,
-) -> (HighOrderModel, BuildReport, Duration) {
+    build_secs: f64,
+    n_concepts: usize,
+    n_chunks: usize,
+    /// `(span name, total seconds)` per stage, pipeline order.
+    spans: Vec<(&'static str, f64)>,
+}
+
+fn timed_build(data: &Dataset, seed: u64, threads: usize) -> (HighOrderModel, BuildReport, Run) {
+    let recorder = Arc::new(Recorder::new());
     let start = Instant::now();
     let (model, report) = build_with(
         data,
@@ -45,21 +70,46 @@ fn timed_build(
         },
         &BuildOptions {
             threads: Some(threads),
+            sink: Obs::new(Arc::clone(&recorder)),
         },
     );
-    (model, report, start.elapsed())
+    let elapsed = start.elapsed();
+    let spans = STAGES
+        .iter()
+        .map(|&name| {
+            let total_us: u64 = recorder.spans(name).iter().map(|&(_, dur)| dur).sum();
+            (name, total_us as f64 / 1e6)
+        })
+        .collect();
+    let run = Run {
+        threads,
+        build_secs: elapsed.as_secs_f64(),
+        n_concepts: report.n_concepts,
+        n_chunks: report.n_chunks,
+        spans,
+    };
+    (model, report, run)
 }
 
-/// `(threads, build_secs, n_concepts, n_chunks)` per run, as a JSON object
-/// with named fields. The serde shim has no derive, so the object layout is
-/// written by hand here.
-fn snapshot_json(cores: usize, rows: &[(usize, f64, usize, usize)]) -> String {
-    let rows_json: Vec<String> = rows
+/// One JSON object per run, with a nested `"spans"` stage breakdown. The
+/// serde shim has no derive, so the object layout is written by hand here.
+fn snapshot_json(cores: usize, runs: &[Run]) -> String {
+    let rows_json: Vec<String> = runs
         .iter()
-        .map(|&(threads, secs, concepts, chunks)| {
+        .map(|run| {
+            let spans: Vec<String> = run
+                .spans
+                .iter()
+                .map(|(name, secs)| format!("\"{name}\": {secs:.3}"))
+                .collect();
             format!(
-                "    {{ \"threads\": {threads}, \"build_secs\": {secs:.3}, \
-                 \"n_concepts\": {concepts}, \"n_chunks\": {chunks} }}"
+                "    {{ \"threads\": {}, \"build_secs\": {:.3}, \
+                 \"n_concepts\": {}, \"n_chunks\": {},\n      \"spans\": {{ {} }} }}",
+                run.threads,
+                run.build_secs,
+                run.n_concepts,
+                run.n_chunks,
+                spans.join(", ")
             )
         })
         .collect();
@@ -86,19 +136,19 @@ fn main() {
     counts.sort_unstable();
     counts.dedup();
 
-    let mut rows: Vec<(usize, f64, usize, usize)> = Vec::new();
+    let mut runs: Vec<Run> = Vec::new();
     let mut table = Vec::new();
     let mut reference: Option<(usize, Vec<(usize, usize)>)> = None;
     let mut serial_secs = 0.0;
     for &threads in &counts {
-        let (model, report, elapsed) = timed_build(&data, config.seed, threads);
+        let (model, report, run) = timed_build(&data, config.seed, threads);
         // Thread count must never change the model: spot-check the parts
         // that are cheap to compare (the determinism integration test does
         // the exhaustive comparison).
         let shape = (model.n_concepts(), report.occurrences.clone());
         match &reference {
             None => {
-                serial_secs = elapsed.as_secs_f64();
+                serial_secs = run.build_secs;
                 reference = Some(shape);
             }
             Some(r) => assert!(
@@ -106,30 +156,39 @@ fn main() {
                 "threads={threads} changed the model — determinism violated"
             ),
         }
+        // The dominant stage, from the build's own spans.
+        let (hot_name, hot_secs) = run
+            .spans
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("stage list is non-empty");
         table.push(vec![
             threads.to_string(),
-            fmt_duration(elapsed),
-            format!("{:.2}x", serial_secs / elapsed.as_secs_f64()),
+            fmt_duration(Duration::from_secs_f64(run.build_secs)),
+            format!("{:.2}x", serial_secs / run.build_secs),
             report.n_concepts.to_string(),
+            format!("{hot_name} ({hot_secs:.2}s)"),
         ]);
-        rows.push((
-            threads,
-            elapsed.as_secs_f64(),
-            report.n_concepts,
-            report.n_chunks,
-        ));
+        runs.push(run);
         eprintln!("  done: threads={threads}");
     }
 
     print_table(
         &format!("Parallel build: {HISTORICAL} Stagger records, {cores}-core machine"),
-        &["Threads", "Build Time (sec)", "Speedup", "# of Concepts"],
+        &[
+            "Threads",
+            "Build Time (sec)",
+            "Speedup",
+            "# of Concepts",
+            "Hottest Stage",
+        ],
         &table,
     );
     println!("(speedup is relative to threads=1; models are identical by construction)");
     if let Ok(dir) = std::env::var("HOM_JSON_DIR") {
         let path = std::path::Path::new(&dir).join("BENCH_build_parallel.json");
         let _ = std::fs::create_dir_all(&dir);
-        let _ = std::fs::write(path, snapshot_json(cores, &rows));
+        let _ = std::fs::write(path, snapshot_json(cores, &runs));
     }
 }

@@ -92,7 +92,7 @@ pub fn kfold_error(
     k: usize,
     rng: &mut StdRng,
 ) -> f64 {
-    kfold_error_pooled(learner, data, idx, k, rng, Pool::default())
+    kfold_error_pooled(learner, data, idx, k, rng, &Pool::default())
 }
 
 /// [`kfold_error`] with an explicit degree of parallelism. The single
@@ -108,7 +108,7 @@ pub fn kfold_error_pooled(
     idx: &[u32],
     k: usize,
     rng: &mut StdRng,
-    pool: Pool,
+    pool: &Pool,
 ) -> f64 {
     assert!(k >= 2, "k-fold needs k >= 2");
     assert!(idx.len() >= k, "need at least one record per fold");

@@ -119,10 +119,11 @@ pub fn cluster_concepts(
     learner: &dyn Learner,
     params: &ClusterParams,
 ) -> ClusteringResult {
-    cluster_concepts_pooled(data, learner, params, Pool::default())
+    cluster_concepts_pooled(data, learner, params, &Pool::default())
 }
 
-/// [`cluster_concepts`] with an explicit degree of parallelism.
+/// [`cluster_concepts`] with an explicit degree of parallelism (and,
+/// via [`Pool::with_obs`], an observability sink both steps emit to).
 ///
 /// # Panics
 /// Panics if `data` has fewer than `2 * block_size` records (there must be
@@ -131,7 +132,7 @@ pub fn cluster_concepts_pooled(
     data: &Dataset,
     learner: &dyn Learner,
     params: &ClusterParams,
-    pool: Pool,
+    pool: &Pool,
 ) -> ClusteringResult {
     assert!(params.block_size >= 2, "blocks need >= 2 records");
     assert!(

@@ -93,15 +93,19 @@ pub fn run(
     learner: &dyn Learner,
     params: &ClusterParams,
     seed: u64,
-    pool: Pool,
+    pool: &Pool,
 ) -> Step1Result {
+    let obs = pool.obs().clone();
+    let _step1 = obs.span("step1");
     let ranges = block_ranges(data.len(), params.block_size);
     let n_blocks = ranges.len();
+    obs.count("step1.blocks", n_blocks as u64);
 
     // Initial nodes: one per block, each with its own holdout fit
     // (Algorithm 1, lines 2–7). Each block's split uses an RNG derived
     // from its index, so the fits can run in any order on any number of
     // threads and still come out identical.
+    let block_span = obs.span("step1.block_fits");
     let mut nodes: Vec<ClusterNode> = pool.map_slice(&ranges, |block, &(start, end)| {
         let idx: Vec<u32> = (start as u32..end as u32).collect();
         let mut rng = seeded(derive_seed(seed, block as u64));
@@ -118,7 +122,16 @@ pub fn run(
             preds: Vec::new(),
         }
     });
+    drop(block_span);
     nodes.reserve(n_blocks);
+
+    // Running clustering objective Q(P) = Σ |Dᵢ|·Errᵢ (Eq. 1), tracked
+    // incrementally across mergers when observed.
+    let mut running_q = if obs.enabled() {
+        nodes.iter().map(ClusterNode::weighted_err).sum::<f64>()
+    } else {
+        0.0
+    };
 
     // Chain adjacency: left/right neighbor of each arena node.
     let mut left: Vec<Option<u32>> = (0..n_blocks)
@@ -139,6 +152,7 @@ pub fn run(
 
     // Seed the heap with every adjacent pair; candidate fits are
     // independent (fit_merged uses no RNG), so they parallelize freely.
+    let seed_span = obs.span("step1.seed_candidates");
     let seeds = pool.map_range(n_blocks.saturating_sub(1), |u| {
         fit_candidate(
             data,
@@ -149,23 +163,29 @@ pub fn run(
             params.reuse_ratio,
         )
     });
+    obs.count("step1.candidate_fits", n_blocks.saturating_sub(1) as u64);
     for (u, (dq, fit)) in seeds.into_iter().enumerate() {
         let (u, v) = (u as u32, u as u32 + 1);
         cache.insert((u, v), fit);
         heap.push(Reverse(Key(dq, u, v)));
     }
+    drop(seed_span);
 
+    let merge_span = obs.span("step1.merge_loop");
     let mut mergers = 0usize;
-    while let Some(Reverse(Key(_, u, v))) = heap.pop() {
+    while let Some(Reverse(Key(dq, u, v))) = heap.pop() {
         // Lazy invalidation: the entry is valid only if both clusters are
         // alive, still adjacent, and the cached fit was not dropped.
         if !nodes[u as usize].alive || !nodes[v as usize].alive {
+            obs.count("step1.stale_skips", 1);
             continue;
         }
         if right[u as usize] != Some(v) {
+            obs.count("step1.stale_skips", 1);
             continue;
         }
         let Some(fit) = cache.remove(&(u, v)) else {
+            obs.count("step1.stale_skips", 1);
             continue;
         };
 
@@ -186,6 +206,11 @@ pub fn run(
             preds: Vec::new(),
         });
         mergers += 1;
+        if obs.enabled() {
+            // ΔQ (Eq. 2) is exactly the merger's effect on Q (Eq. 1).
+            running_q += dq;
+            obs.gauge("step1.q", running_q);
+        }
 
         // Rewire the chain: w replaces the span [u, v].
         let lw = left[u as usize];
@@ -223,6 +248,10 @@ pub fn run(
             p.map(|(a, b)| fit_candidate(data, learner, &nodes, a, b, params.reuse_ratio))
         };
         let (lf, rf) = pool.join(|| fit_pair(left_pair), || fit_pair(right_pair));
+        obs.count(
+            "step1.candidate_fits",
+            (left_pair.is_some() as u64) + (right_pair.is_some() as u64),
+        );
         for (pair, fitted) in [(left_pair, lf), (right_pair, rf)] {
             if let (Some((a, b)), Some((dq, fit))) = (pair, fitted) {
                 cache.insert((a, b), fit);
@@ -230,6 +259,8 @@ pub fn run(
             }
         }
     }
+    obs.count("step1.mergers", mergers as u64);
+    drop(merge_span);
 
     let roots: Vec<u32> = (0..nodes.len() as u32)
         .filter(|&i| nodes[i as usize].alive)
@@ -240,6 +271,11 @@ pub fn run(
         mergers,
     };
     let cut = dendro.cut(params.cut_slack_z);
+    if obs.enabled() {
+        obs.count("step1.chunks", cut.len() as u64);
+        // Objective value of the dendrogram cut actually kept (§II-C.2).
+        obs.gauge("step1.cut_q", dendro.q_of(&cut));
+    }
 
     // Extract the cut clusters, ordered by stream position.
     let mut order: Vec<u32> = cut;
@@ -342,7 +378,7 @@ mod tests {
                 ..Default::default()
             },
             7,
-            Pool::default(),
+            &Pool::default(),
         );
         assert!(
             result.chunks.len() >= 2,
@@ -384,7 +420,7 @@ mod tests {
                 ..Default::default()
             },
             11,
-            Pool::default(),
+            &Pool::default(),
         );
         assert_eq!(result.chunks.len(), 1, "bounds = {:?}", result.bounds);
         assert_eq!(result.bounds, vec![(0, 120)]);

@@ -96,7 +96,7 @@ pub struct DistanceBuffer {
 
 impl DistanceBuffer {
     /// Measure all initial pairs, one row per node, rows in parallel.
-    fn initial(nodes: &[ClusterNode], pool: Pool) -> Self {
+    fn initial(nodes: &[ClusterNode], pool: &Pool) -> Self {
         let rows = pool.map_range(nodes.len(), |v| {
             (0..v).map(|u| distance(&nodes[u], &nodes[v])).collect()
         });
@@ -106,7 +106,7 @@ impl DistanceBuffer {
     /// Append the row for a freshly merged node `w == rows.len()`:
     /// distances to every alive older node (dead slots get ∞, which the
     /// heap never sees).
-    fn push_row(&mut self, nodes: &[ClusterNode], pool: Pool) {
+    fn push_row(&mut self, nodes: &[ClusterNode], pool: &Pool) {
         let w = self.rows.len();
         let row = pool.map_range(w, |x| {
             if nodes[x].alive {
@@ -116,6 +116,11 @@ impl DistanceBuffer {
             }
         });
         self.rows.push(row);
+    }
+
+    /// Total distance entries cached so far (the triangle's area).
+    fn entries(&self) -> u64 {
+        self.rows.iter().map(|r| r.len() as u64).sum()
     }
 
     /// The cached distance between nodes `u` and `v` (`u != v`).
@@ -132,8 +137,10 @@ pub fn run(
     params: &ClusterParams,
     step1: Step1Result,
     seed: u64,
-    pool: Pool,
+    pool: &Pool,
 ) -> ClusteringResult {
+    let obs = pool.obs().clone();
+    let _step2 = obs.span("step2");
     let mut rng = seeded(seed);
     let n_chunks = step1.chunks.len();
     let chunk_bounds = step1.bounds;
@@ -158,13 +165,16 @@ pub fn run(
     }
     // Cache every chunk model's predictions on the shared sample, in
     // parallel (each is an independent O(|L|) scoring pass).
+    let pred_span = obs.span("step2.pred_cache");
     let preds = pool.map_slice(&nodes, |_, node| predictions(data, &sample, node));
     for (node, p) in nodes.iter_mut().zip(preds) {
         node.preds = p;
     }
+    drop(pred_span);
 
     // Measure the complete initial graph into the triangular buffer and
     // seed the heap from it.
+    let dist_span = obs.span("step2.distance_matrix");
     let mut distances = DistanceBuffer::initial(&nodes, pool);
     let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
     for u in 0..n_chunks as u32 {
@@ -172,10 +182,21 @@ pub fn run(
             heap.push(Reverse(Key(distances.get(u, v), u, v)));
         }
     }
+    drop(dist_span);
 
+    // Running clustering objective Q(P) (Eq. 1) over the alive clusters,
+    // tracked incrementally across mergers when observed.
+    let mut running_q = if obs.enabled() {
+        nodes.iter().map(ClusterNode::weighted_err).sum::<f64>()
+    } else {
+        0.0
+    };
+
+    let merge_span = obs.span("step2.merge_loop");
     let mut mergers = 0usize;
     while let Some(Reverse(Key(_, u, v))) = heap.pop() {
         if !nodes[u as usize].alive || !nodes[v as usize].alive {
+            obs.count("step2.stale_skips", 1);
             continue; // stale entry
         }
         let (idx, train_idx, test_idx, model, err) = fit_merged(
@@ -186,6 +207,15 @@ pub fn run(
             params.reuse_ratio,
         );
         let err_star = err_star_merged(err, &nodes[u as usize], &nodes[v as usize]);
+        if obs.enabled() {
+            // Unlike step 1, merge *order* here follows model distance
+            // (Eq. 3), but the merger still moves Q (Eq. 1) by the usual
+            // ΔQ — worth watching, since it is what the cut optimizes.
+            running_q += idx.len() as f64 * err
+                - nodes[u as usize].weighted_err()
+                - nodes[v as usize].weighted_err();
+            obs.gauge("step2.q", running_q);
+        }
         let w = nodes.len() as u32;
         nodes[u as usize].alive = false;
         nodes[v as usize].alive = false;
@@ -207,6 +237,7 @@ pub fn run(
         // Extend the triangular buffer with the merged cluster's row —
         // its distance to every alive older cluster, in parallel.
         distances.push_row(&nodes, pool);
+        obs.count("step2.distance_rows", 1);
 
         // Early termination (§II-D).
         let w_frozen = params
@@ -231,6 +262,9 @@ pub fn run(
         }
     }
 
+    obs.count("step2.mergers", mergers as u64);
+    drop(merge_span);
+
     let roots: Vec<u32> = (0..nodes.len() as u32)
         .filter(|&i| nodes[i as usize].alive)
         .collect();
@@ -240,6 +274,11 @@ pub fn run(
         mergers,
     };
     let cut = dendro.cut(params.cut_slack_z);
+    if obs.enabled() {
+        obs.count("step2.concepts", cut.len() as u64);
+        obs.count("step2.distances", distances.entries());
+        obs.gauge("step2.cut_q", dendro.q_of(&cut));
+    }
 
     // Assign chunks to concepts and extract the concept clusters.
     let mut chunk_concept = vec![usize::MAX; n_chunks];
@@ -340,7 +379,13 @@ mod tests {
             block_size: 10,
             ..Default::default()
         };
-        let s1 = crate::step1::run(&d, &DecisionTreeLearner::new(), &params, 5, Pool::default());
+        let s1 = crate::step1::run(
+            &d,
+            &DecisionTreeLearner::new(),
+            &params,
+            5,
+            &Pool::default(),
+        );
         assert!(s1.chunks.len() >= 2);
         let result = run(
             &d,
@@ -348,7 +393,7 @@ mod tests {
             &params,
             s1,
             6,
-            Pool::default(),
+            &Pool::default(),
         );
         assert_eq!(
             result.concepts.len(),
@@ -388,7 +433,13 @@ mod tests {
             block_size: 10,
             ..Default::default()
         };
-        let s1 = crate::step1::run(&d, &DecisionTreeLearner::new(), &params, 1, Pool::default());
+        let s1 = crate::step1::run(
+            &d,
+            &DecisionTreeLearner::new(),
+            &params,
+            1,
+            &Pool::default(),
+        );
         let n_chunks = s1.chunks.len();
         let result = run(
             &d,
@@ -396,7 +447,7 @@ mod tests {
             &params,
             s1,
             2,
-            Pool::default(),
+            &Pool::default(),
         );
         assert_eq!(result.concepts.len(), 1);
         assert_eq!(result.concepts[0].chunks.len(), n_chunks);

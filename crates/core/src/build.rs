@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 use hom_classifiers::Learner;
 use hom_cluster::{cluster_concepts_pooled, ClusterParams};
 use hom_data::{Dataset, IndexView, Schema};
+use hom_obs::Obs;
 use hom_parallel::Pool;
 
 use crate::concept::Concept;
@@ -50,13 +51,27 @@ impl BuildParams {
 
 /// Execution options of the offline build — *how* to build, as opposed to
 /// [`BuildParams`]' *what*. Options never change the resulting model:
-/// [`build_with`] is bit-identical for every thread count.
-#[derive(Debug, Clone, Default)]
+/// [`build_with`] is bit-identical for every thread count and for any
+/// sink (observability only measures).
+#[derive(Debug, Clone)]
 pub struct BuildOptions {
     /// Worker threads for the parallel build stages (block fits, candidate
     /// fits, pairwise distances, concept retraining). `None` uses one
     /// worker per available core; `Some(1)` is the serial reference path.
     pub threads: Option<usize>,
+    /// Observability sink the build (and the clustering it runs) emits
+    /// spans, counters and gauges to. The default comes from
+    /// [`Obs::from_env`]: disabled unless `HOM_TRACE=path.jsonl` is set.
+    pub sink: Obs,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            threads: None,
+            sink: Obs::from_env(),
+        }
+    }
 }
 
 /// The mined high-order model: concepts, their classifiers, and the
@@ -154,10 +169,25 @@ pub fn build_with(
     options: &BuildOptions,
 ) -> (HighOrderModel, BuildReport) {
     let start = Instant::now();
-    let pool = Pool::new(options.threads);
-    let mut clustering = cluster_concepts_pooled(data, learner, &params.cluster, pool);
-    absorb_small_concepts(data, &mut clustering, params.min_support());
+    let obs = options.sink.clone();
+    let build_span = obs.span("build");
+    obs.count("build.records", data.len() as u64);
+    let pool = Pool::with_obs(options.threads, obs.clone());
 
+    let cluster_span = obs.span("build.cluster");
+    let mut clustering = cluster_concepts_pooled(data, learner, &params.cluster, &pool);
+    drop(cluster_span);
+
+    let absorb_span = obs.span("build.absorb");
+    let concepts_before_absorb = clustering.concepts.len();
+    absorb_small_concepts(data, &mut clustering, params.min_support());
+    obs.count(
+        "build.concepts_absorbed",
+        (concepts_before_absorb - clustering.concepts.len()) as u64,
+    );
+    drop(absorb_span);
+
+    let stats_span = obs.span("build.stats");
     // Coalesce adjacent same-concept chunks into occurrences: a concept
     // occurrence is a maximal run of records of one concept (§II-A), and
     // step 1 may legitimately split one occurrence into several chunks.
@@ -172,9 +202,20 @@ pub fn build_with(
 
     let n_concepts = clustering.concepts.len();
     let stats = TransitionStats::from_occurrences(n_concepts, &occurrences);
+    obs.count("build.occurrences", occurrences.len() as u64);
+    if obs.enabled() {
+        // One row of the transition kernel χ (Eq. 6) per concept, so a
+        // trace carries the full matrix the online filter will run on.
+        for c in 0..n_concepts {
+            let row: Vec<f64> = (0..n_concepts).map(|d| stats.chi(c, d)).collect();
+            obs.series("build.transition_row", c as u64, &row);
+        }
+    }
+    drop(stats_span);
 
     // Retraining each concept on its full record set is an independent
     // per-concept fit — the build's last parallel stage.
+    let retrain_span = obs.span("build.retrain");
     let concepts: Vec<Concept> = pool.map_slice(&clustering.concepts, |id, c| {
         let n_occurrences = occurrences.iter().filter(|&&(oc, _)| oc == id).count();
         let model = if params.retrain() {
@@ -190,6 +231,16 @@ pub fn build_with(
             n_occurrences,
         }
     });
+    obs.count(
+        "build.concepts_retrained",
+        if params.retrain() {
+            n_concepts as u64
+        } else {
+            0
+        },
+    );
+    drop(retrain_span);
+    drop(build_span);
 
     let report = BuildReport {
         build_time: start.elapsed(),

@@ -31,5 +31,5 @@ pub mod viterbi;
 
 pub use build::{build, build_with, BuildOptions, BuildParams, BuildReport, HighOrderModel};
 pub use concept::Concept;
-pub use online::OnlinePredictor;
+pub use online::{OnlineOptions, OnlinePredictor};
 pub use transition::TransitionStats;

@@ -15,11 +15,33 @@
 //! where every record is both predicted and then revealed.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use hom_classifiers::argmax;
 use hom_data::ClassId;
+use hom_obs::{Histogram, Obs};
 
 use crate::build::HighOrderModel;
+
+/// Execution options of the online filter. Like
+/// [`crate::build::BuildOptions`], options never change a prediction —
+/// observability only measures.
+#[derive(Debug, Clone)]
+pub struct OnlineOptions {
+    /// Observability sink the predictor emits its per-record metrics to
+    /// (posterior trace, prediction-latency histogram, prune events,
+    /// label-agreement counters). The default comes from
+    /// [`Obs::from_env`]: disabled unless `HOM_TRACE=path.jsonl` is set.
+    pub sink: Obs,
+}
+
+impl Default for OnlineOptions {
+    fn default() -> Self {
+        OnlineOptions {
+            sink: Obs::from_env(),
+        }
+    }
+}
 
 /// The online state: a probability distribution over concepts.
 pub struct OnlinePredictor {
@@ -35,12 +57,31 @@ pub struct OnlinePredictor {
     scratch: Vec<f64>,
     /// Scratch buffer in concept space for the χ advance.
     scratch_c: Vec<f64>,
+    /// Scratch buffer for ψ(c, yₜ) — each entry costs one classifier
+    /// prediction, so [`Self::observe`] computes it exactly once.
+    psi: Vec<f64>,
+    /// Observability handle; disabled by default (one branch per record).
+    obs: Obs,
+    /// Metrics accumulated locally while observed, emitted by
+    /// [`Self::flush_trace`]. Latency of [`Self::step`] in nanoseconds.
+    latency: Histogram,
+    observed: u64,
+    predicted: u64,
+    consulted: u64,
+    pruned_records: u64,
+    map_agree: u64,
 }
 
 impl OnlinePredictor {
     /// Start a predictor with the uniform initial distribution
-    /// `P₁(c) = 1/N` (§III-B).
+    /// `P₁(c) = 1/N` (§III-B), with default [`OnlineOptions`] (tracing
+    /// via the `HOM_TRACE` hook only).
     pub fn new(model: Arc<HighOrderModel>) -> Self {
+        Self::with_options(model, &OnlineOptions::default())
+    }
+
+    /// [`OnlinePredictor::new`] with explicit execution options.
+    pub fn with_options(model: Arc<HighOrderModel>, options: &OnlineOptions) -> Self {
         let n = model.n_concepts();
         assert!(n > 0, "model has no concepts");
         let uniform = vec![1.0 / n as f64; n];
@@ -52,6 +93,14 @@ impl OnlinePredictor {
             order: (0..n as u32).collect(),
             scratch: vec![0.0; n_classes],
             scratch_c: vec![0.0; n],
+            psi: vec![0.0; n],
+            obs: options.sink.clone(),
+            latency: Histogram::new(),
+            observed: 0,
+            predicted: 0,
+            consulted: 0,
+            pruned_records: 0,
+            map_agree: 0,
         }
     }
 
@@ -91,9 +140,15 @@ impl OnlinePredictor {
     /// prior · ψ(c, yₜ), normalized (Eqs. 7–9), then advance to the next
     /// timestamp's prior.
     pub fn observe(&mut self, x: &[f64], y: ClassId) {
+        // ψ(c, yₜ) once per concept — each entry costs a full classifier
+        // prediction, so it is computed into the scratch buffer and reused
+        // by both the normalizer and the posterior update.
+        for (c, slot) in self.model.concepts().iter().zip(self.psi.iter_mut()) {
+            *slot = c.psi(x, y);
+        }
         let mut sum = 0.0;
-        for (c, p) in self.model.concepts().iter().zip(self.prior.iter()) {
-            sum += p * c.psi(x, y);
+        for (p, psi) in self.prior.iter().zip(self.psi.iter()) {
+            sum += p * psi;
         }
         if sum <= 0.0 {
             // All concepts had zero probability mass (cannot happen with
@@ -101,14 +156,26 @@ impl OnlinePredictor {
             let n = self.posterior.len() as f64;
             self.posterior.fill(1.0 / n);
         } else {
-            for ((q, p), c) in self
+            for ((q, p), psi) in self
                 .posterior
                 .iter_mut()
                 .zip(self.prior.iter())
-                .zip(self.model.concepts())
+                .zip(self.psi.iter())
             {
-                *q = p * c.psi(x, y) / sum;
+                *q = p * psi / sum;
             }
+        }
+        if self.obs.enabled() {
+            self.observed += 1;
+            // Did the most probable concept's model agree with the label?
+            // ψ returns `1 − Err` exactly when it did (Eq. 8).
+            let map = argmax(&self.prior);
+            if self.psi[map] == 1.0 - self.model.concepts()[map].err {
+                self.map_agree += 1;
+            }
+            // Posterior trace P_t(c) — the paper's Fig. 6 timeline.
+            self.obs
+                .series("online.posterior", self.observed, &self.posterior);
         }
         // Pre-compute the next timestamp's prior.
         self.model
@@ -163,11 +230,29 @@ impl OnlinePredictor {
     /// probability mass cannot change the argmax. In the usual case of a
     /// clearly-identified current concept, exactly one classifier runs.
     pub fn predict_pruned(&mut self, x: &[f64]) -> ClassId {
+        let (pred, consulted) = self.predict_pruned_counted(x);
+        if self.obs.enabled() {
+            self.predicted += 1;
+            self.consulted += consulted as u64;
+            let skipped = self.model.n_concepts() - consulted;
+            if skipped > 0 {
+                self.pruned_records += 1;
+                // One event per early-terminated prediction: the remaining
+                // posteriors were too small to change the argmax (§III-C).
+                self.obs.count("online.prune", skipped as u64);
+            }
+        }
+        pred
+    }
+
+    /// The §III-C enumeration; returns the prediction and how many concept
+    /// classifiers were consulted before the margin test terminated it.
+    fn predict_pruned_counted(&mut self, x: &[f64]) -> (ClassId, usize) {
         let n_classes = self.model.schema().n_classes();
         let mut scores = vec![0.0; n_classes];
         // Remaining probability mass after each prefix of the enumeration.
         let mut remaining: f64 = self.prior.iter().sum();
-        for &ci in &self.order {
+        for (rank, &ci) in self.order.iter().enumerate() {
             let p = self.prior[ci as usize];
             remaining -= p;
             if p > 0.0 {
@@ -190,10 +275,10 @@ impl OnlinePredictor {
                 .map(|(_, &v)| v)
                 .fold(f64::NEG_INFINITY, f64::max);
             if best_v - runner_up > remaining {
-                return best as ClassId;
+                return (best as ClassId, rank + 1);
             }
         }
-        argmax(&scores) as ClassId
+        (argmax(&scores) as ClassId, self.order.len())
     }
 
     /// Predict the unlabeled record of timestamp `t`, then absorb its
@@ -201,9 +286,47 @@ impl OnlinePredictor {
     /// never sees `yₜ`, matching the paper's protocol where `xₜ` is
     /// predicted with labels `y₁ … y_{t−1}`).
     pub fn step(&mut self, x: &[f64], y: ClassId) -> ClassId {
+        if !self.obs.enabled() {
+            let pred = self.predict_pruned(x);
+            self.observe(x, y);
+            return pred;
+        }
+        let t0 = Instant::now();
         let pred = self.predict_pruned(x);
         self.observe(x, y);
+        self.latency.record(t0.elapsed().as_nanos() as f64);
         pred
+    }
+
+    /// Emit the metrics accumulated since the last flush — the latency
+    /// histogram, record/consultation/prune counters and the
+    /// label-agreement count — and reset them. A no-op when unobserved or
+    /// nothing accumulated; called automatically on drop, so short-lived
+    /// predictors still land in the trace.
+    pub fn flush_trace(&mut self) {
+        if !self.obs.enabled() || (self.observed == 0 && self.predicted == 0) {
+            return;
+        }
+        if self.latency.count() > 0 {
+            self.obs.hist("online.latency_ns", &self.latency);
+        }
+        self.obs.count("online.records_predicted", self.predicted);
+        self.obs.count("online.records_observed", self.observed);
+        self.obs.count("online.concepts_consulted", self.consulted);
+        self.obs.count("online.pruned_records", self.pruned_records);
+        self.obs.count("online.label_agree", self.map_agree);
+        self.latency = Histogram::new();
+        self.observed = 0;
+        self.predicted = 0;
+        self.consulted = 0;
+        self.pruned_records = 0;
+        self.map_agree = 0;
+    }
+}
+
+impl Drop for OnlinePredictor {
+    fn drop(&mut self) {
+        self.flush_trace();
     }
 }
 

@@ -1,0 +1,200 @@
+//! Observability of the online filter's early-terminated prediction
+//! (§III-C): prune events must fire exactly when the posterior mass
+//! outside the consulted prefix is too small to change the argmax — and
+//! pruning must never change a prediction.
+
+use std::sync::Arc;
+
+use hom_classifiers::MajorityClassifier;
+use hom_core::{Concept, HighOrderModel, OnlineOptions, OnlinePredictor, TransitionStats};
+use hom_data::{Attribute, Schema};
+use hom_obs::{Obs, OwnedEvent, Recorder};
+
+/// Four concepts, each always predicting a distinct class with error 0.1.
+/// With one-hot concept predictions the pruned enumeration's margin test
+/// depends only on the sorted active probabilities, so the expected
+/// consultation count can be mirrored exactly from `concept_probs()`.
+fn four_concept_model() -> Arc<HighOrderModel> {
+    let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b", "c", "d"]);
+    let concepts = (0..4)
+        .map(|id| {
+            let mut counts = [0usize; 4];
+            counts[id] = 10;
+            Concept {
+                id,
+                model: Arc::new(MajorityClassifier::from_counts(&counts)),
+                err: 0.1,
+                n_records: 100,
+                n_occurrences: 1,
+            }
+        })
+        .collect();
+    let stats = TransitionStats::from_occurrences(4, &[(0, 100), (1, 100), (2, 100), (3, 100)]);
+    Arc::new(HighOrderModel::from_parts(schema, concepts, stats))
+}
+
+/// Mirror of the §III-C margin rule for one-hot concepts: how many
+/// concepts the enumeration consults, given the active probabilities.
+/// `None` when a margin comparison is too close to call (float slack
+/// between this mirror and the incremental bookkeeping inside the
+/// predictor could then legitimately disagree).
+fn expected_consulted(priors: &[f64]) -> Option<usize> {
+    let mut p: Vec<f64> = priors.to_vec();
+    p.sort_by(|a, b| b.total_cmp(a));
+    let total: f64 = p.iter().sum();
+    let mut consulted = 0.0;
+    for (k, &pk) in p.iter().enumerate().take(p.len() - 1) {
+        consulted += pk;
+        let remaining = total - consulted;
+        // Scores after k+1 one-hot concepts: p[0..=k] on distinct
+        // classes, zero elsewhere.
+        let margin = if k == 0 { p[0] } else { p[0] - p[1] };
+        if (margin - remaining).abs() < 1e-9 {
+            return None;
+        }
+        if margin > remaining {
+            return Some(k + 1);
+        }
+    }
+    // Reaching the last concept is a full enumeration whether or not the
+    // final (remaining == 0) margin test fires: nothing is skipped.
+    Some(p.len())
+}
+
+fn prune_events(recorder: &Recorder) -> Vec<u64> {
+    recorder
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            OwnedEvent::Count { name, n, .. } if name == "online.prune" => Some(*n),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn prune_events_fire_exactly_on_early_termination() {
+    let model = four_concept_model();
+    let recorder = Arc::new(Recorder::new());
+    let mut traced = OnlinePredictor::with_options(
+        Arc::clone(&model),
+        &OnlineOptions {
+            sink: Obs::new(Arc::clone(&recorder)),
+        },
+    );
+    let mut plain =
+        OnlinePredictor::with_options(Arc::clone(&model), &OnlineOptions { sink: Obs::none() });
+
+    // Three regimes: uniform start (no pruning possible), concentration
+    // on concept 1, then a switch to concept 3 — covering prune-on and
+    // prune-off records.
+    let labels: Vec<u32> = std::iter::repeat_n(1, 30)
+        .chain(std::iter::repeat_n(3, 30))
+        .collect();
+    let x = [0.0];
+    let mut checked_pruned = 0usize;
+    let mut checked_unpruned = 0usize;
+    for &y in &labels {
+        let expected = expected_consulted(traced.concept_probs());
+        let before = prune_events(&recorder).len();
+        let pred = traced.predict_pruned(&x);
+        // Pruning must never change the prediction (full ensemble, Eq. 10).
+        assert_eq!(pred, plain.predict(&x), "pruned prediction diverged");
+        let events = prune_events(&recorder);
+        match expected {
+            Some(k) if k < 4 => {
+                assert_eq!(
+                    events.len(),
+                    before + 1,
+                    "early termination at {k} consults must emit one prune event"
+                );
+                assert_eq!(
+                    events[before],
+                    (4 - k) as u64,
+                    "prune event must carry the number of skipped concepts"
+                );
+                checked_pruned += 1;
+            }
+            Some(_) => {
+                assert_eq!(
+                    events.len(),
+                    before,
+                    "full enumeration must not emit a prune event"
+                );
+                checked_unpruned += 1;
+            }
+            None => {} // margin within float slack of the threshold
+        }
+        traced.observe(&x, y);
+        plain.observe(&x, y);
+    }
+    // The regimes above must actually exercise both behaviors.
+    assert!(checked_pruned > 0, "no record ever pruned");
+    assert!(checked_unpruned > 0, "no record ran the full enumeration");
+
+    // Flushed totals agree with the per-record events.
+    let n_prunes = prune_events(&recorder).len() as u64;
+    traced.flush_trace();
+    assert_eq!(
+        recorder.counter_total("online.records_predicted"),
+        labels.len() as u64
+    );
+    assert_eq!(
+        recorder.counter_total("online.records_observed"),
+        labels.len() as u64
+    );
+    assert_eq!(recorder.counter_total("online.pruned_records"), n_prunes);
+    let consulted = recorder.counter_total("online.concepts_consulted");
+    assert!(
+        (labels.len() as u64..=4 * labels.len() as u64).contains(&consulted),
+        "consulted = {consulted}"
+    );
+
+    // The posterior trace has one sample per observed record, each a
+    // normalized distribution over the four concepts.
+    let trace = recorder.series("online.posterior");
+    assert_eq!(trace.len(), labels.len());
+    for (_, posterior) in &trace {
+        assert_eq!(posterior.len(), 4);
+        let sum: f64 = posterior.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn step_records_latency_and_flushes_on_drop() {
+    let model = four_concept_model();
+    let recorder = Arc::new(Recorder::new());
+    {
+        let mut p = OnlinePredictor::with_options(
+            model,
+            &OnlineOptions {
+                sink: Obs::new(Arc::clone(&recorder)),
+            },
+        );
+        for t in 0..25u32 {
+            p.step(&[0.0], t % 4);
+        }
+        // No explicit flush: drop must emit the accumulated metrics.
+    }
+    let latency = recorder.merged_hist("online.latency_ns");
+    assert_eq!(latency.count(), 25);
+    assert!(latency.max() >= latency.min());
+    assert_eq!(recorder.counter_total("online.records_predicted"), 25);
+    assert_eq!(recorder.counter_total("online.records_observed"), 25);
+}
+
+#[test]
+fn unobserved_predictor_emits_nothing() {
+    let model = four_concept_model();
+    let recorder = Arc::new(Recorder::new());
+    {
+        // A recorder exists but the predictor is not wired to it.
+        let mut p = OnlinePredictor::with_options(model, &OnlineOptions { sink: Obs::none() });
+        for t in 0..10u32 {
+            p.step(&[0.0], t % 4);
+        }
+        p.flush_trace();
+    }
+    assert!(recorder.is_empty());
+}

@@ -74,6 +74,7 @@ impl AlgoConfig {
     fn build_options(&self) -> BuildOptions {
         BuildOptions {
             threads: self.threads,
+            ..Default::default()
         }
     }
 }

@@ -1,0 +1,229 @@
+//! A fixed-bucket, mergeable histogram.
+//!
+//! The online filter records one latency sample per prediction and the
+//! parallel build records per-task durations from many worker threads at
+//! once, so the histogram must be cheap to record into (no allocation, no
+//! search) and cheap to combine (worker-local histograms merged at the
+//! end). Both follow from a **fixed** bucket layout: power-of-two bucket
+//! boundaries shared by every instance, so [`Histogram::merge`] is a plain
+//! element-wise sum and never has to reconcile differing layouts.
+
+/// Number of buckets. Bucket `0` holds values in `[0, 1)`; bucket `b > 0`
+/// holds values in `[2^(b-1), 2^b)`; the last bucket absorbs everything
+/// larger. 64 buckets cover nanosecond latencies up to ~292 years.
+pub const N_BUCKETS: usize = 64;
+
+/// A histogram over non-negative samples with power-of-two buckets.
+///
+/// Tracks exact `count`, `sum`, `min` and `max` alongside the bucket
+/// counts, so means are exact and only quantiles are bucket-resolution
+/// approximations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: [u64; N_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// The bucket a sample falls into (negative and NaN samples clamp to 0).
+fn bucket_of(value: f64) -> usize {
+    if value.is_nan() || value < 1.0 {
+        return 0;
+    }
+    // floor(log2(value)) via the exponent bits: exact for every finite
+    // value, no float log in the hot path.
+    let exp = ((value.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+    ((exp + 1).max(1) as usize).min(N_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            counts: [0; N_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: f64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one. Because the bucket layout is
+    /// fixed, merging worker-local histograms is exactly equivalent to
+    /// having recorded all their samples into one instance (bucket counts
+    /// and `count` are integer-exact; `sum` can differ by float rounding).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample (∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The per-bucket counts (see [`N_BUCKETS`] for the layout).
+    pub fn bucket_counts(&self) -> &[u64; N_BUCKETS] {
+        &self.counts
+    }
+
+    /// Reassemble a histogram from sparse `(bucket, count)` pairs and the
+    /// exact `sum` / `min` / `max` — the inverse of serializing the
+    /// non-zero entries of [`Self::bucket_counts`]. Out-of-range bucket
+    /// indices are clamped to the last bucket; the total count is the sum
+    /// of the bucket counts (every recorded sample lands in exactly one
+    /// bucket).
+    pub fn from_parts(buckets: &[(usize, u64)], sum: f64, min: f64, max: f64) -> Self {
+        let mut h = Histogram::new();
+        for &(b, c) in buckets {
+            h.counts[b.min(N_BUCKETS - 1)] += c;
+            h.count += c;
+        }
+        h.sum = sum;
+        if h.count > 0 {
+            h.min = min;
+            h.max = max;
+        }
+        h
+    }
+
+    /// Upper boundary of bucket `b` (its values are `< upper_bound(b)`).
+    pub fn upper_bound(b: usize) -> f64 {
+        if b == 0 {
+            1.0
+        } else {
+            (1u64 << b.min(62)) as f64
+        }
+    }
+
+    /// Bucket-resolution quantile estimate: the upper bound of the first
+    /// bucket at which the cumulative count reaches `q · count`, clamped
+    /// to the observed `[min, max]`. `q` is clamped to `[0, 1]`; returns
+    /// 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::upper_bound(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_follow_powers_of_two() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(0.99), 0);
+        assert_eq!(bucket_of(1.0), 1);
+        assert_eq!(bucket_of(1.99), 1);
+        assert_eq!(bucket_of(2.0), 2);
+        assert_eq!(bucket_of(3.0), 2);
+        assert_eq!(bucket_of(4.0), 3);
+        assert_eq!(bucket_of(1024.0), 11);
+        assert_eq!(bucket_of(-5.0), 0);
+        assert_eq!(bucket_of(f64::NAN), 0);
+        assert_eq!(bucket_of(f64::INFINITY), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn count_sum_min_max_are_exact() {
+        let mut h = Histogram::new();
+        for v in [3.0, 1.0, 10.0, 0.5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 14.5);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 10.0);
+        assert_eq!(h.mean(), 14.5 / 4.0);
+    }
+
+    #[test]
+    fn merge_equals_single_recording() {
+        let samples = [0.1, 1.0, 2.5, 7.0, 100.0, 4096.0];
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_resolution() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10.0); // bucket [8, 16)
+        }
+        for _ in 0..10 {
+            h.record(1000.0); // bucket [512, 1024)
+        }
+        assert_eq!(h.quantile(0.5), 16.0);
+        assert_eq!(h.quantile(0.99), 1000.0); // clamped to max
+        assert_eq!(h.quantile(0.0), 16.0);
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+    }
+}

@@ -1,0 +1,402 @@
+//! `hom-obs` — structured tracing, metrics and introspection for the
+//! high-order-model pipeline.
+//!
+//! The paper's machinery is all *internal* state: concept posteriors
+//! `P(c)` (Eqs. 5–9), the clustering objective `Q` and its dendrogram
+//! cut, the early-termination pruning of the online ensemble, the stage
+//! times of the (parallel) offline build. This crate makes those
+//! quantities observable without changing any result:
+//!
+//! * [`Obs`] — a cheap, cloneable handle threaded through the pipeline
+//!   (`BuildOptions { sink }`, `OnlineOptions { sink }`, the worker
+//!   [`Pool`](../hom_parallel/struct.Pool.html)). The default handle is
+//!   **disabled** and every instrumentation point short-circuits on one
+//!   pointer check — no timestamps are taken, no events are built.
+//! * [`Span`] — hierarchical wall-clock timing with monotonic clocks.
+//!   Spans nest automatically through a thread-local stack, so crates
+//!   don't pass parent ids around.
+//! * [`Histogram`] — fixed-bucket, mergeable (across worker threads)
+//!   sample distributions, e.g. per-record prediction latency.
+//! * [`Sink`] — where events go: [`NullSink`] (nowhere), [`Recorder`]
+//!   (in-memory, for tests and harnesses), [`JsonlSink`] (streamed
+//!   JSON lines; `examples/trace_report.rs` turns a trace back into a
+//!   human summary).
+//!
+//! # The `HOM_TRACE` hook
+//!
+//! [`Obs::from_env`] returns a [`JsonlSink`]-backed handle appending to
+//! `$HOM_TRACE` when that variable is set, and a disabled handle
+//! otherwise. `BuildOptions::default()` and `OnlineOptions::default()`
+//! call it, so *any* existing program — the examples, the benches —
+//! gains a structured trace with:
+//!
+//! ```sh
+//! HOM_TRACE=trace.jsonl cargo run --release --example quickstart
+//! cargo run --release --example trace_report trace.jsonl
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod hist;
+pub mod jsonl;
+pub mod sink;
+
+pub use event::{Event, OwnedEvent};
+pub use hist::Histogram;
+pub use sink::{JsonlSink, NullSink, Recorder, Sink};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The environment variable [`Obs::from_env`] reads: a path to append
+/// JSONL trace events to.
+pub const TRACE_ENV: &str = "HOM_TRACE";
+
+struct Shared {
+    sink: Box<dyn Sink>,
+    epoch: Instant,
+    next_span: AtomicU64,
+}
+
+thread_local! {
+    /// The stack of open span ids on this thread; the top is the parent
+    /// of any event emitted here. Worker threads spawned mid-span start
+    /// with an empty stack, so their events carry span 0 — the span tree
+    /// stays a per-thread structure, which is exactly what stage timing
+    /// needs.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A handle to an observability sink, or a disabled no-op.
+///
+/// `Obs` is the one type the rest of the workspace talks to. It is
+/// `Clone` (an `Option<Arc>`) and every emitting method first checks
+/// enablement, so a disabled handle costs a single branch per
+/// instrumentation point — the "zero-cost when off" contract that lets
+/// the online filter keep its nanosecond-scale hot path.
+#[derive(Clone, Default)]
+pub struct Obs {
+    shared: Option<Arc<Shared>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// The disabled handle (every emit is a no-op).
+    pub fn none() -> Self {
+        Obs { shared: None }
+    }
+
+    /// A handle delivering events to `sink`. To keep a query handle to a
+    /// [`Recorder`], wrap it in an [`Arc`] and pass a clone:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use hom_obs::{Obs, Recorder};
+    /// let recorder = Arc::new(Recorder::new());
+    /// let obs = Obs::new(Arc::clone(&recorder));
+    /// obs.count("demo", 1);
+    /// assert_eq!(recorder.counter_total("demo"), 1);
+    /// ```
+    pub fn new(sink: impl Sink + 'static) -> Self {
+        Obs {
+            shared: Some(Arc::new(Shared {
+                sink: Box::new(sink),
+                epoch: Instant::now(),
+                next_span: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// The `HOM_TRACE` hook: a [`JsonlSink`] appending to the file named
+    /// by `$HOM_TRACE` when set (and openable), else [`Obs::none`].
+    pub fn from_env() -> Self {
+        match std::env::var(TRACE_ENV) {
+            Ok(path) if !path.is_empty() => match JsonlSink::append(&path) {
+                Ok(sink) => Obs::new(sink),
+                Err(e) => {
+                    eprintln!("hom-obs: cannot open {TRACE_ENV}={path}: {e}; tracing disabled");
+                    Obs::none()
+                }
+            },
+            _ => Obs::none(),
+        }
+    }
+
+    /// Whether events are being delivered. Instrumentation points gate
+    /// any non-trivial measurement (clock reads, vector copies) on this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Microseconds since this handle was created (0 when disabled).
+    pub fn now_us(&self) -> u64 {
+        match &self.shared {
+            Some(s) => s.epoch.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// The id of the innermost open span on this thread (0 = none).
+    pub fn current_span(&self) -> u64 {
+        if self.shared.is_none() {
+            return 0;
+        }
+        SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+    }
+
+    /// Open a span: emits `span_start` now and `span_end` when the
+    /// returned guard drops. Spans opened while the guard is live (on the
+    /// same thread) become its children. Disabled handles return an inert
+    /// guard.
+    ///
+    /// Guards must drop in LIFO order on the thread that opened them —
+    /// the natural shape of scoped `let _span = obs.span(...)` usage.
+    pub fn span(&self, name: &'static str) -> Span {
+        let Some(shared) = &self.shared else {
+            return Span { state: None };
+        };
+        let id = shared.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let parent = stack.last().copied().unwrap_or(0);
+            stack.push(id);
+            parent
+        });
+        let start = Instant::now();
+        shared.sink.record(&Event::SpanStart {
+            id,
+            parent,
+            name,
+            t_us: shared.epoch.elapsed().as_micros() as u64,
+        });
+        Span {
+            state: Some(SpanState {
+                obs: self.clone(),
+                id,
+                parent,
+                name,
+                start,
+            }),
+        }
+    }
+
+    /// Emit a counter increment (`n` new occurrences of `name`).
+    #[inline]
+    pub fn count(&self, name: &'static str, n: u64) {
+        if let Some(shared) = &self.shared {
+            shared.sink.record(&Event::Count {
+                span: self.current_span(),
+                name,
+                n,
+                t_us: shared.epoch.elapsed().as_micros() as u64,
+            });
+        }
+    }
+
+    /// Emit a point-in-time scalar measurement.
+    #[inline]
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if let Some(shared) = &self.shared {
+            shared.sink.record(&Event::Gauge {
+                span: self.current_span(),
+                name,
+                value,
+                t_us: shared.epoch.elapsed().as_micros() as u64,
+            });
+        }
+    }
+
+    /// Emit one indexed vector sample of a named series.
+    #[inline]
+    pub fn series(&self, name: &'static str, index: u64, values: &[f64]) {
+        if let Some(shared) = &self.shared {
+            shared.sink.record(&Event::Series {
+                span: self.current_span(),
+                name,
+                index,
+                values,
+                t_us: shared.epoch.elapsed().as_micros() as u64,
+            });
+        }
+    }
+
+    /// Emit a histogram snapshot.
+    #[inline]
+    pub fn hist(&self, name: &'static str, hist: &Histogram) {
+        if let Some(shared) = &self.shared {
+            shared.sink.record(&Event::Hist {
+                span: self.current_span(),
+                name,
+                hist,
+                t_us: shared.epoch.elapsed().as_micros() as u64,
+            });
+        }
+    }
+}
+
+struct SpanState {
+    obs: Obs,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start: Instant,
+}
+
+/// An open span; emits `span_end` (with its monotonic duration) when
+/// dropped. Obtain via [`Obs::span`].
+#[must_use = "a span measures the scope it is bound to; binding it to _ drops it immediately"]
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+impl Span {
+    /// This span's id (0 for an inert span from a disabled handle).
+    pub fn id(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else {
+            return;
+        };
+        let Some(shared) = &state.obs.shared else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            debug_assert_eq!(
+                stack.last().copied(),
+                Some(state.id),
+                "spans must close in LIFO order on their opening thread"
+            );
+            if stack.last() == Some(&state.id) {
+                stack.pop();
+            }
+        });
+        shared.sink.record(&Event::SpanEnd {
+            id: state.id,
+            parent: state.parent,
+            name: state.name,
+            t_us: shared.epoch.elapsed().as_micros() as u64,
+            dur_us: state.start.elapsed().as_micros() as u64,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_emits_nothing_and_is_cheap() {
+        let obs = Obs::none();
+        assert!(!obs.enabled());
+        assert_eq!(obs.now_us(), 0);
+        let span = obs.span("x");
+        assert_eq!(span.id(), 0);
+        obs.count("c", 1);
+        obs.gauge("g", 1.0);
+        obs.series("s", 0, &[1.0]);
+        obs.hist("h", &Histogram::new());
+        drop(span);
+    }
+
+    #[test]
+    fn spans_nest_through_the_thread_local_stack() {
+        let rec = Arc::new(Recorder::new());
+        let obs = Obs::new(Arc::clone(&rec));
+        {
+            let outer = obs.span("outer");
+            assert_eq!(obs.current_span(), outer.id());
+            {
+                let inner = obs.span("inner");
+                assert_eq!(obs.current_span(), inner.id());
+                obs.count("tick", 1);
+            }
+            assert_eq!(obs.current_span(), outer.id());
+        }
+        assert_eq!(obs.current_span(), 0);
+
+        let events = rec.events();
+        // start(outer), start(inner), count, end(inner), end(outer)
+        assert_eq!(events.len(), 5);
+        let (outer_id, inner_id) = match (&events[0], &events[1]) {
+            (
+                OwnedEvent::SpanStart {
+                    id: o, parent: 0, ..
+                },
+                OwnedEvent::SpanStart { id: i, parent, .. },
+            ) => {
+                assert_eq!(parent, o, "inner's parent is outer");
+                (*o, *i)
+            }
+            other => panic!("unexpected head events {other:?}"),
+        };
+        match &events[2] {
+            OwnedEvent::Count { span, name, .. } => {
+                assert_eq!(*span, inner_id);
+                assert_eq!(name, "tick");
+            }
+            other => panic!("expected count, got {other:?}"),
+        }
+        match (&events[3], &events[4]) {
+            (OwnedEvent::SpanEnd { id: a, .. }, OwnedEvent::SpanEnd { id: b, .. }) => {
+                assert_eq!(*a, inner_id);
+                assert_eq!(*b, outer_id);
+            }
+            other => panic!("unexpected tail events {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_durations_are_monotonic() {
+        let rec = Arc::new(Recorder::new());
+        let obs = Obs::new(Arc::clone(&rec));
+        {
+            let _s = obs.span("work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let spans = rec.spans("work");
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].1 >= 2_000, "dur_us = {}", spans[0].1);
+    }
+
+    #[test]
+    fn sinks_are_shared_across_threads() {
+        let rec = Arc::new(Recorder::new());
+        let obs = Obs::new(Arc::clone(&rec));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        obs.count("par", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counter_total("par"), 400);
+    }
+
+    #[test]
+    fn from_env_without_variable_is_disabled() {
+        // The test runner does not set HOM_TRACE; if a developer runs
+        // tests with it set, tracing being enabled is the correct result.
+        if std::env::var(TRACE_ENV).is_err() {
+            assert!(!Obs::from_env().enabled());
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Where events go: the [`Sink`] trait and its three implementations.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::event::{Event, OwnedEvent};
+use crate::hist::Histogram;
+use crate::jsonl;
+
+/// A destination for observability events.
+///
+/// Sinks are shared across the build's worker threads (`&self`, `Send +
+/// Sync`) and must never panic or block the pipeline on failure: a sink
+/// that cannot deliver an event drops it.
+pub trait Sink: Send + Sync {
+    /// Deliver one event.
+    fn record(&self, event: &Event<'_>);
+}
+
+/// Delegation so an `Arc<Recorder>` can be handed to [`crate::Obs::new`]
+/// while the caller keeps a handle for querying.
+impl<S: Sink + ?Sized> Sink for std::sync::Arc<S> {
+    fn record(&self, event: &Event<'_>) {
+        (**self).record(event);
+    }
+}
+
+/// The do-nothing sink. [`crate::Obs::none`] short-circuits before any
+/// event is even constructed, so this type exists for call sites that
+/// need a `Sink` *value* (e.g. a sink chosen at runtime from config).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &Event<'_>) {}
+}
+
+/// An in-memory sink for tests and for harnesses (like the bench
+/// snapshotter) that inspect a run's events programmatically.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    events: Mutex<Vec<OwnedEvent>>,
+}
+
+impl Recorder {
+    /// An empty recorder. Wrap it in an [`std::sync::Arc`] and pass a
+    /// clone to [`crate::Obs::new`] to keep a query handle.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// All events recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<OwnedEvent> {
+        self.events.lock().expect("recorder poisoned").clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("recorder poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of all `count` events with this name.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.events
+            .lock()
+            .expect("recorder poisoned")
+            .iter()
+            .filter_map(|e| match e {
+                OwnedEvent::Count { name: n, n: v, .. } if n == name => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// All `gauge` values with this name, in arrival order.
+    pub fn gauges(&self, name: &str) -> Vec<f64> {
+        self.events
+            .lock()
+            .expect("recorder poisoned")
+            .iter()
+            .filter_map(|e| match e {
+                OwnedEvent::Gauge { name: n, value, .. } if n == name => Some(*value),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All `(index, values)` samples of this series, in arrival order.
+    pub fn series(&self, name: &str) -> Vec<(u64, Vec<f64>)> {
+        self.events
+            .lock()
+            .expect("recorder poisoned")
+            .iter()
+            .filter_map(|e| match e {
+                OwnedEvent::Series {
+                    name: n,
+                    index,
+                    values,
+                    ..
+                } if n == name => Some((*index, values.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Completed spans with this name as `(t_us, dur_us)` pairs, in
+    /// completion order.
+    pub fn spans(&self, name: &str) -> Vec<(u64, u64)> {
+        self.events
+            .lock()
+            .expect("recorder poisoned")
+            .iter()
+            .filter_map(|e| match e {
+                OwnedEvent::SpanEnd {
+                    name: n,
+                    t_us,
+                    dur_us,
+                    ..
+                } if n == name => Some((*t_us, *dur_us)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All histogram snapshots with this name, merged into one.
+    pub fn merged_hist(&self, name: &str) -> Histogram {
+        let mut out = Histogram::new();
+        for e in self.events.lock().expect("recorder poisoned").iter() {
+            if let OwnedEvent::Hist { name: n, hist, .. } = e {
+                if n == name {
+                    out.merge(hist);
+                }
+            }
+        }
+        out
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().expect("recorder poisoned").clear();
+    }
+}
+
+impl Sink for Recorder {
+    fn record(&self, event: &Event<'_>) {
+        self.events
+            .lock()
+            .expect("recorder poisoned")
+            .push(event.to_owned());
+    }
+}
+
+/// A sink that streams events as JSON lines to a writer (see
+/// [`crate::jsonl`] for the format).
+///
+/// Every event is serialized outside the lock and written with a single
+/// `write_all`, so lines from concurrent workers — or from several
+/// `JsonlSink`s appending to the same file, as the `HOM_TRACE` hook does
+/// for the build and online phases of one process — never interleave
+/// within a line. Write errors drop the event (a broken trace must not
+/// take the pipeline down with it).
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Stream events to an arbitrary writer.
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        JsonlSink {
+            out: Mutex::new(Box::new(writer)),
+        }
+    }
+
+    /// Create (truncate) `path` and stream events to it.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(Self::new(std::fs::File::create(path)?))
+    }
+
+    /// Append events to `path`, creating it if missing. This is the mode
+    /// the `HOM_TRACE` hook uses, so that one process's build and online
+    /// phases land in a single trace file.
+    pub fn append(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(Self::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?,
+        ))
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event<'_>) {
+        let mut line = jsonl::to_line(event);
+        line.push('\n');
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.write_all(line.as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recorder_aggregates_by_name() {
+        let r = Recorder::new();
+        r.record(&Event::Count {
+            span: 0,
+            name: "m",
+            n: 2,
+            t_us: 0,
+        });
+        r.record(&Event::Count {
+            span: 0,
+            name: "m",
+            n: 3,
+            t_us: 1,
+        });
+        r.record(&Event::Count {
+            span: 0,
+            name: "other",
+            n: 100,
+            t_us: 2,
+        });
+        r.record(&Event::Gauge {
+            span: 0,
+            name: "q",
+            value: 1.5,
+            t_us: 3,
+        });
+        assert_eq!(r.counter_total("m"), 5);
+        assert_eq!(r.counter_total("missing"), 0);
+        assert_eq!(r.gauges("q"), vec![1.5]);
+        assert_eq!(r.len(), 4);
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Shared(Arc::clone(&buf)));
+        sink.record(&Event::Count {
+            span: 1,
+            name: "x",
+            n: 7,
+            t_us: 5,
+        });
+        sink.record(&Event::Gauge {
+            span: 0,
+            name: "y",
+            value: 0.5,
+            t_us: 6,
+        });
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            jsonl::parse_line(line).unwrap();
+        }
+    }
+}

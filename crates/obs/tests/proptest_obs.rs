@@ -1,0 +1,72 @@
+//! Property tests of the observability primitives.
+//!
+//! The load-bearing property is histogram mergeability: the parallel
+//! build records into worker-local histograms and merges them at the
+//! end, so a merge must be indistinguishable from having recorded every
+//! sample into a single histogram.
+
+use hom_obs::{jsonl, Histogram, OwnedEvent};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Splitting a sample stream across N worker-local histograms and
+    /// merging them equals one histogram fed every sample: bucket counts,
+    /// count, min and max are integer/order exact; sum up to float
+    /// associativity.
+    #[test]
+    fn merge_equals_single_histogram(
+        samples in proptest::collection::vec(0.0f64..1e12, 0..400),
+        n_workers in 1usize..8,
+    ) {
+        let mut whole = Histogram::new();
+        let mut parts = vec![Histogram::new(); n_workers];
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            parts[i % n_workers].record(v);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.bucket_counts(), whole.bucket_counts());
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min().to_bits(), whole.min().to_bits());
+        prop_assert_eq!(merged.max().to_bits(), whole.max().to_bits());
+        let scale = whole.sum().abs().max(1.0);
+        prop_assert!(
+            (merged.sum() - whole.sum()).abs() / scale < 1e-9,
+            "sum diverged: {} vs {}", merged.sum(), whole.sum()
+        );
+    }
+
+    /// Quantiles respect bucket ordering and the observed range.
+    #[test]
+    fn quantiles_are_ordered_and_in_range(
+        samples in proptest::collection::vec(0.0f64..1e9, 1..200),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let (q50, q90, q99) = (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99));
+        prop_assert!(q50 <= q90 && q90 <= q99);
+        prop_assert!(q50 >= h.min() && q99 <= h.max());
+    }
+
+    /// Histogram events round-trip through the JSONL trace format.
+    #[test]
+    fn hist_event_round_trips_jsonl(
+        samples in proptest::collection::vec(0.0f64..1e12, 0..100),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let ev = OwnedEvent::Hist { span: 3, name: "h".into(), hist: Box::new(h), t_us: 17 };
+        let line = jsonl::to_line(&ev.as_event());
+        let back = jsonl::parse_line(&line).unwrap();
+        prop_assert_eq!(back, ev);
+    }
+}

@@ -25,11 +25,18 @@
 //! * no reduction reorders floating-point accumulation: the caller folds
 //!   the returned `Vec` sequentially.
 //!
-//! The build path threads a [`Pool`] through `BuildOptions { threads }`:
-//! `None` means one worker per available core, `Some(1)` is the serial
-//! reference path (no threads are spawned at all).
+//! Observability (an [`hom_obs::Obs`] attached via [`Pool::with_obs`])
+//! never weakens the contract: it only *measures* — which worker ran how
+//! many tasks for how long — and results are placed by index either way.
+//!
+//! The build path threads a [`Pool`] through `BuildOptions { threads,
+//! sink }`: `None` means one worker per available core, `Some(1)` is the
+//! serial reference path (no threads are spawned at all).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use hom_obs::Obs;
 
 /// Number of workers a [`Pool`] with `threads: None` will use: one per
 /// available core (1 if the runtime cannot tell).
@@ -39,20 +46,42 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// A fixed degree of parallelism for the offline build.
+/// A fixed degree of parallelism for the offline build, with an optional
+/// observability handle.
 ///
-/// Cheap to copy; carries no OS resources. Threads are spawned per call
+/// Cheap to clone; carries no OS resources. Threads are spawned per call
 /// via [`std::thread::scope`], so a `Pool` can be embedded in plain
 /// parameter structs and shared freely.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Pool {
     threads: usize,
+    obs: Obs,
 }
 
 impl Default for Pool {
-    /// One worker per available core.
+    /// One worker per available core, no observability.
     fn default() -> Self {
         Pool::new(None)
+    }
+}
+
+/// How one parallel map distributed its work: per-worker task counts and
+/// busy time (time spent inside the caller's closure, excluding queue
+/// contention). Returned by [`Pool::map_range_stats`] and emitted as the
+/// `pool.worker_tasks` / `pool.worker_busy_us` series when the pool
+/// carries an enabled [`Obs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks executed by each worker (`tasks.len()` = workers used).
+    pub tasks: Vec<u64>,
+    /// Time each worker spent executing tasks.
+    pub busy: Vec<Duration>,
+}
+
+impl PoolStats {
+    /// Total tasks across all workers.
+    pub fn total_tasks(&self) -> u64 {
+        self.tasks.iter().sum()
     }
 }
 
@@ -60,18 +89,33 @@ impl Pool {
     /// A pool with the given worker count; `None` uses one worker per
     /// available core, and a count of 0 is clamped to 1.
     pub fn new(threads: Option<usize>) -> Self {
+        Pool::with_obs(threads, Obs::none())
+    }
+
+    /// [`Pool::new`] with an observability handle: each parallel map
+    /// emits its work distribution (see [`PoolStats`]) to `obs`.
+    pub fn with_obs(threads: Option<usize>, obs: Obs) -> Self {
         let threads = threads.unwrap_or_else(available_threads).max(1);
-        Pool { threads }
+        Pool { threads, obs }
     }
 
     /// The serial pool (1 worker, never spawns).
     pub fn serial() -> Self {
-        Pool { threads: 1 }
+        Pool {
+            threads: 1,
+            obs: Obs::none(),
+        }
     }
 
     /// Worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The observability handle this pool (and the pipeline stages it
+    /// runs) emit to. Disabled unless set via [`Pool::with_obs`].
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Map `f` over `0..n` in parallel, returning results **in index
@@ -86,30 +130,95 @@ impl Pool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        let measure = self.obs.enabled();
+        let (out, stats) = self.map_range_impl(n, f, measure);
+        if let Some(stats) = stats {
+            self.emit_stats(n, &stats);
+        }
+        out
+    }
+
+    /// [`Pool::map_range`], additionally returning how the work was
+    /// distributed across workers. Always measures (and still emits to
+    /// the pool's [`Obs`] when one is attached).
+    pub fn map_range_stats<R, F>(&self, n: usize, f: F) -> (Vec<R>, PoolStats)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let (out, stats) = self.map_range_impl(n, f, true);
+        let stats = stats.expect("measuring map returns stats");
+        if self.obs.enabled() {
+            self.emit_stats(n, &stats);
+        }
+        (out, stats)
+    }
+
+    fn emit_stats(&self, n: usize, stats: &PoolStats) {
+        let tasks: Vec<f64> = stats.tasks.iter().map(|&t| t as f64).collect();
+        let busy: Vec<f64> = stats.busy.iter().map(|d| d.as_micros() as f64).collect();
+        // The series index is the map's item count, so a trace
+        // distinguishes the big maps (block fits) from the tiny ones.
+        self.obs.series("pool.worker_tasks", n as u64, &tasks);
+        self.obs.series("pool.worker_busy_us", n as u64, &busy);
+    }
+
+    fn map_range_impl<R, F>(&self, n: usize, f: F, measure: bool) -> (Vec<R>, Option<PoolStats>)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
         if self.threads == 1 || n <= 1 {
-            return (0..n).map(f).collect();
+            if !measure {
+                return ((0..n).map(f).collect(), None);
+            }
+            let start = Instant::now();
+            let out: Vec<R> = (0..n).map(f).collect();
+            return (
+                out,
+                Some(PoolStats {
+                    tasks: vec![n as u64],
+                    busy: vec![start.elapsed()],
+                }),
+            );
         }
 
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(n);
         let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        let mut stats = measure.then(|| PoolStats {
+            tasks: Vec::with_capacity(workers),
+            busy: Vec::with_capacity(workers),
+        });
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut local: Vec<(usize, R)> = Vec::new();
+                        let mut busy = Duration::ZERO;
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
-                                return local;
+                                return (local, busy);
                             }
-                            local.push((i, f(i)));
+                            if measure {
+                                let t0 = Instant::now();
+                                local.push((i, f(i)));
+                                busy += t0.elapsed();
+                            } else {
+                                local.push((i, f(i)));
+                            }
                         }
                     })
                 })
                 .collect();
             for h in handles {
-                parts.push(h.join().expect("parallel map worker panicked"));
+                let (local, busy) = h.join().expect("parallel map worker panicked");
+                if let Some(stats) = &mut stats {
+                    stats.tasks.push(local.len() as u64);
+                    stats.busy.push(busy);
+                }
+                parts.push(local);
             }
         });
 
@@ -120,10 +229,11 @@ impl Pool {
             debug_assert!(slots[i].is_none(), "index {i} computed twice");
             slots[i] = Some(r);
         }
-        slots
+        let out = slots
             .into_iter()
             .map(|s| s.expect("every index computed exactly once"))
-            .collect()
+            .collect();
+        (out, stats)
     }
 
     /// Map `f` over a slice in parallel, returning results in item order.
@@ -160,6 +270,8 @@ impl Pool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hom_obs::Recorder;
+    use std::sync::Arc;
 
     #[test]
     fn map_range_preserves_order() {
@@ -218,5 +330,51 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         assert_eq!(Pool::new(Some(0)).threads(), 1);
         assert!(Pool::new(None).threads() >= 1);
+    }
+
+    #[test]
+    fn stats_account_for_every_task() {
+        for threads in [1usize, 2, 8] {
+            let pool = Pool::new(Some(threads));
+            let (out, stats) = pool.map_range_stats(37, |i| i + 1);
+            assert_eq!(out.len(), 37);
+            assert_eq!(stats.total_tasks(), 37, "threads = {threads}");
+            assert_eq!(stats.tasks.len(), stats.busy.len());
+            assert!(stats.tasks.len() <= threads.max(1));
+        }
+    }
+
+    #[test]
+    fn stats_for_inline_paths() {
+        let pool = Pool::new(Some(4));
+        let (_, stats) = pool.map_range_stats(1, |i| i);
+        assert_eq!(stats.tasks, vec![1]);
+        let (_, stats) = pool.map_range_stats(0, |i| i);
+        assert_eq!(stats.tasks, vec![0]);
+        let (_, stats) = Pool::serial().map_range_stats(5, |i| i);
+        assert_eq!(stats.tasks, vec![5]);
+    }
+
+    #[test]
+    fn observed_pool_emits_work_distribution() {
+        let rec = Arc::new(Recorder::new());
+        let pool = Pool::with_obs(Some(4), hom_obs::Obs::new(Arc::clone(&rec)));
+        let out = pool.map_range(64, |i| i);
+        assert_eq!(out.len(), 64);
+        let tasks = rec.series("pool.worker_tasks");
+        let busy = rec.series("pool.worker_busy_us");
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(busy.len(), 1);
+        let (index, values) = &tasks[0];
+        assert_eq!(*index, 64, "series index is the map's item count");
+        assert_eq!(values.iter().sum::<f64>(), 64.0);
+        assert!(values.len() <= 4);
+    }
+
+    #[test]
+    fn unobserved_pool_emits_nothing() {
+        let pool = Pool::new(Some(4));
+        assert!(!pool.obs().enabled());
+        pool.map_range(16, |i| i); // must not panic or emit
     }
 }

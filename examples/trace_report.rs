@@ -1,0 +1,332 @@
+//! Turn a `HOM_TRACE` JSONL trace back into a human summary.
+//!
+//! ```sh
+//! HOM_TRACE=trace.jsonl cargo run --release --example quickstart
+//! cargo run --release --example trace_report trace.jsonl
+//! ```
+//!
+//! The report covers the three things the trace observes:
+//!
+//! * the **offline build**: a span tree with wall time per stage, plus
+//!   the clustering counters (blocks, candidate fits, mergers, pruned
+//!   stale heap entries) and the objective `Q` at the dendrogram cuts;
+//! * the **online filter**: the concept-posterior timeline (the paper's
+//!   Fig. 6, as a per-concept sparkline), the prediction-latency
+//!   histogram and the early-termination statistics of §III-C;
+//! * the **worker pools**: how the parallel maps distributed work.
+//!
+//! Exits non-zero on unreadable input or malformed trace lines, so CI can
+//! use it to verify the trace format end to end.
+
+use std::collections::BTreeMap;
+
+use high_order_models::obs::jsonl;
+use high_order_models::obs::{Histogram, OwnedEvent};
+
+/// Aggregated view of one span name: call count and total duration.
+#[derive(Default)]
+struct SpanAgg {
+    calls: u64,
+    total_us: u64,
+    /// Parent span *name* (via ids), for tree printing.
+    parent: Option<String>,
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var(high_order_models::obs::TRACE_ENV).ok());
+    let Some(path) = path else {
+        eprintln!("usage: trace_report <trace.jsonl>  (or set HOM_TRACE)");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trace_report: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut events: Vec<OwnedEvent> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match jsonl::parse_line(line) {
+            Ok(ev) => events.push(ev),
+            Err(e) => {
+                eprintln!("trace_report: {path}:{}: bad trace line: {e}", lineno + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    if events.is_empty() {
+        eprintln!("trace_report: {path} holds no events");
+        std::process::exit(1);
+    }
+    println!("trace: {path} ({} events)", events.len());
+
+    report_spans(&events);
+    report_counters(&events);
+    report_gauges(&events);
+    report_pools(&events);
+    report_online(&events);
+}
+
+/// Span tree: name, calls, total wall time — children indented under the
+/// name of their parent span.
+fn report_spans(events: &[OwnedEvent]) {
+    // Map span ids to names so `parent` ids resolve to a tree of *names*.
+    let mut name_of: BTreeMap<u64, String> = BTreeMap::new();
+    for e in events {
+        if let OwnedEvent::SpanStart { id, name, .. } = e {
+            name_of.insert(*id, name.clone());
+        }
+    }
+    let mut aggs: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new(); // first-seen order
+    for e in events {
+        if let OwnedEvent::SpanEnd {
+            name,
+            parent,
+            dur_us,
+            ..
+        } = e
+        {
+            let agg = aggs.entry(name.clone()).or_insert_with(|| {
+                order.push(name.clone());
+                SpanAgg {
+                    parent: name_of.get(parent).cloned(),
+                    ..SpanAgg::default()
+                }
+            });
+            agg.calls += 1;
+            agg.total_us += dur_us;
+        }
+    }
+    if aggs.is_empty() {
+        return;
+    }
+    println!("\n== stage wall time (from spans) ==");
+    // Print roots first, then children under them, preserving first-seen
+    // order within each level.
+    fn print_level(
+        order: &[String],
+        aggs: &BTreeMap<String, SpanAgg>,
+        parent: Option<&str>,
+        depth: usize,
+    ) {
+        for name in order {
+            let agg = &aggs[name];
+            let is_child = match (&agg.parent, parent) {
+                (Some(p), Some(q)) => p == q && aggs.contains_key(p),
+                (Some(p), None) => !aggs.contains_key(p),
+                (None, None) => true,
+                (None, Some(_)) => false,
+            };
+            if !is_child {
+                continue;
+            }
+            println!(
+                "  {:indent$}{name:<width$} {:>9}  x{}",
+                "",
+                fmt_us(agg.total_us),
+                agg.calls,
+                indent = depth * 2,
+                width = 28usize.saturating_sub(depth * 2),
+            );
+            print_level(order, aggs, Some(name), depth + 1);
+        }
+    }
+    print_level(&order, &aggs, None, 0);
+}
+
+fn report_counters(events: &[OwnedEvent]) {
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in events {
+        if let OwnedEvent::Count { name, n, .. } = e {
+            *totals.entry(name).or_default() += n;
+        }
+    }
+    // `online.prune` is one event per pruned record; its per-record detail
+    // is summarized in the online section instead.
+    if totals.is_empty() {
+        return;
+    }
+    println!("\n== counters ==");
+    for (name, total) in &totals {
+        println!("  {name:<28} {total}");
+    }
+}
+
+fn report_gauges(events: &[OwnedEvent]) {
+    // Q trajectories: show first → last plus the cut value when present.
+    for step in ["step1", "step2"] {
+        let q: Vec<f64> = events
+            .iter()
+            .filter_map(|e| match e {
+                OwnedEvent::Gauge { name, value, .. } if name == &format!("{step}.q") => {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .collect();
+        let cut: Option<f64> = events.iter().rev().find_map(|e| match e {
+            OwnedEvent::Gauge { name, value, .. } if name == &format!("{step}.cut_q") => {
+                Some(*value)
+            }
+            _ => None,
+        });
+        if q.is_empty() && cut.is_none() {
+            continue;
+        }
+        print!("\n== {step} objective Q (Eq. 1) ==\n  ");
+        if let (Some(first), Some(last)) = (q.first(), q.last()) {
+            print!("{} mergers: Q {first:.1} -> {last:.1}", q.len());
+        }
+        if let Some(cut) = cut {
+            print!("  (cut kept Q = {cut:.1})");
+        }
+        println!();
+    }
+}
+
+fn report_pools(events: &[OwnedEvent]) {
+    let mut maps = 0u64;
+    let mut tasks = 0.0f64;
+    let mut busy_us = 0.0f64;
+    let mut widest = 0usize;
+    for e in events {
+        if let OwnedEvent::Series { name, values, .. } = e {
+            match name.as_str() {
+                "pool.worker_tasks" => {
+                    maps += 1;
+                    tasks += values.iter().sum::<f64>();
+                    widest = widest.max(values.len());
+                }
+                "pool.worker_busy_us" => busy_us += values.iter().sum::<f64>(),
+                _ => {}
+            }
+        }
+    }
+    if maps == 0 {
+        return;
+    }
+    println!("\n== worker pools ==");
+    println!("  parallel maps               {maps}");
+    println!("  tasks executed              {tasks:.0}");
+    println!("  widest distribution         {widest} worker(s)");
+    println!("  total worker busy time      {}", fmt_us(busy_us as u64));
+}
+
+fn report_online(events: &[OwnedEvent]) {
+    // Posterior timeline (Fig. 6): one sparkline per concept.
+    let posterior: Vec<&Vec<f64>> = events
+        .iter()
+        .filter_map(|e| match e {
+            OwnedEvent::Series { name, values, .. } if name == "online.posterior" => Some(values),
+            _ => None,
+        })
+        .collect();
+    if let Some(first) = posterior.first() {
+        let n_concepts = first.len();
+        println!(
+            "\n== concept posterior timeline ({} records, {} concepts) ==",
+            posterior.len(),
+            n_concepts
+        );
+        for c in 0..n_concepts {
+            let series: Vec<f64> = posterior
+                .iter()
+                .map(|p| p.get(c).copied().unwrap_or(0.0))
+                .collect();
+            let mean = series.iter().sum::<f64>() / series.len() as f64;
+            println!(
+                "  concept {c}: {}  (mean P = {mean:.2})",
+                sparkline(&series, 64)
+            );
+        }
+    }
+
+    // Prediction latency.
+    let mut latency = Histogram::new();
+    for e in events {
+        if let OwnedEvent::Hist { name, hist, .. } = e {
+            if name == "online.latency_ns" {
+                latency.merge(hist);
+            }
+        }
+    }
+    if latency.count() > 0 {
+        println!("\n== online prediction latency (per step, ns) ==");
+        println!(
+            "  n = {}   mean = {:.0}   p50 <= {:.0}   p90 <= {:.0}   p99 <= {:.0}   max = {:.0}",
+            latency.count(),
+            latency.mean(),
+            latency.quantile(0.5),
+            latency.quantile(0.9),
+            latency.quantile(0.99),
+            latency.max(),
+        );
+    }
+
+    // Early-termination statistics (§III-C).
+    let total = |key: &str| -> u64 {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                OwnedEvent::Count { name, n, .. } if name == key => Some(*n),
+                _ => None,
+            })
+            .sum()
+    };
+    let predicted = total("online.records_predicted");
+    if predicted > 0 {
+        let pruned = total("online.pruned_records");
+        let consulted = total("online.concepts_consulted");
+        let skipped = total("online.prune");
+        let observed = total("online.records_observed");
+        let agree = total("online.label_agree");
+        println!("\n== online early termination (sec. III-C) ==");
+        println!(
+            "  records predicted           {predicted} ({pruned} early-terminated, {:.1}%)",
+            100.0 * pruned as f64 / predicted as f64
+        );
+        println!(
+            "  classifiers consulted       {consulted} ({:.2} per record, {skipped} skipped)",
+            consulted as f64 / predicted as f64
+        );
+        if observed > 0 {
+            println!(
+                "  MAP concept agreed with y   {agree}/{observed} labeled records ({:.1}%)",
+                100.0 * agree as f64 / observed as f64
+            );
+        }
+    }
+}
+
+/// Downsample `series` to at most `cols` buckets (bucket mean) and render
+/// each as one of eight block glyphs, 0.0 → lowest, 1.0 → highest.
+fn sparkline(series: &[f64], cols: usize) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let per = series.len().div_ceil(cols).max(1);
+    series
+        .chunks(per)
+        .map(|chunk| {
+            let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            let level = (mean.clamp(0.0, 1.0) * 7.0).round() as usize;
+            GLYPHS[level]
+        })
+        .collect()
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}

@@ -69,6 +69,7 @@ pub use hom_core as core;
 pub use hom_data as data;
 pub use hom_datagen as datagen;
 pub use hom_eval as eval;
+pub use hom_obs as obs;
 
 /// The most common imports in one line.
 pub mod prelude {
@@ -78,8 +79,8 @@ pub mod prelude {
     };
     pub use hom_cluster::{cluster_concepts, ClusterParams};
     pub use hom_core::{
-        build, build_with, BuildOptions, BuildParams, HighOrderModel, OnlinePredictor,
-        TransitionStats,
+        build, build_with, BuildOptions, BuildParams, HighOrderModel, OnlineOptions,
+        OnlinePredictor, TransitionStats,
     };
     pub use hom_data::stream::{collect, ReplaySource};
     pub use hom_data::{Attribute, ClassId, Dataset, Instances, Schema, StreamSource};
@@ -87,4 +88,5 @@ pub mod prelude {
         HyperplaneParams, HyperplaneSource, IntrusionParams, IntrusionSource, SeaParams, SeaSource,
         StaggerParams, StaggerSource,
     };
+    pub use hom_obs::{JsonlSink, NullSink, Obs, Recorder};
 }

@@ -34,6 +34,7 @@ fn fingerprint(data: &Dataset, threads: usize, block_size: usize) -> Fingerprint
         },
         &BuildOptions {
             threads: Some(threads),
+            sink: Obs::none(),
         },
     );
     let probe_predictions = model
@@ -108,4 +109,78 @@ fn hyperplane_build_is_identical_across_thread_counts() {
     });
     let (data, _) = collect(&mut src, 5_000);
     assert_identical(&data, 25);
+}
+
+/// An observed multi-threaded build reports how its parallel maps
+/// distributed work: the `pool.worker_tasks` series must be present, use
+/// more than one worker slot on the big stages, and account for a
+/// non-zero amount of work — while the built model stays identical to the
+/// unobserved one (observability only measures).
+#[test]
+fn observed_build_reports_worker_distribution() {
+    use std::sync::Arc;
+
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda: 0.01,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, 4_000);
+    let params = BuildParams {
+        cluster: ClusterParams {
+            block_size: 10,
+            seed: 11,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let recorder = Arc::new(Recorder::new());
+    let (observed, _) = build_with(
+        &data,
+        &DecisionTreeLearner::new(),
+        &params,
+        &BuildOptions {
+            threads: Some(4),
+            sink: Obs::new(Arc::clone(&recorder)),
+        },
+    );
+    let distributions = recorder.series("pool.worker_tasks");
+    assert!(
+        !distributions.is_empty(),
+        "an observed build must emit pool.worker_tasks"
+    );
+    let total_tasks: f64 = distributions
+        .iter()
+        .flat_map(|(_, workers)| workers.iter())
+        .sum();
+    assert!(total_tasks > 0.0, "worker task counts are all zero");
+    // The 400-block fit stage must actually fan out. Every worker getting
+    // work is not guaranteed (a 1-core CI machine clamps the pool), but
+    // the distribution vector must match the pool the stage ran on.
+    let widest = distributions
+        .iter()
+        .map(|(_, workers)| workers.len())
+        .max()
+        .unwrap();
+    assert!(
+        (1..=4).contains(&widest),
+        "worker distribution has {widest} slots for a 4-thread pool"
+    );
+    assert!(
+        recorder.spans("build").len() == 1
+            && recorder.spans("step1").len() == 1
+            && recorder.spans("step2").len() == 1,
+        "build/step1/step2 spans missing from the trace"
+    );
+
+    // Observability must not have changed the result.
+    let reference = fingerprint(&data, 4, 10);
+    assert_eq!(observed.n_concepts(), reference.n_concepts);
+    assert_eq!(
+        observed
+            .concepts()
+            .iter()
+            .map(|c| (c.err, c.n_records, c.n_occurrences))
+            .collect::<Vec<_>>(),
+        reference.concept_shape
+    );
 }
