@@ -1,0 +1,198 @@
+//! Serving-engine throughput — predictions/sec across the stream-count ×
+//! thread-count grid.
+//!
+//! Mines one high-order model from a Stagger stream, then drives batched
+//! `Step` requests (predict + observe, the full serving path) through a
+//! [`hom_serve::ServeEngine`] for every combination of
+//! streams ∈ {1, 1 000, 100 000} and threads ∈ {1, 2, all cores}.
+//! Requests round-robin over the stream ids, so the 1-stream column
+//! measures the serialized single-shard floor and the 100k-stream column
+//! measures cold-start plus sharded fan-out.
+//!
+//! The engine's determinism contract makes the grid honest: every cell
+//! computes the exact same per-stream results, so the only thing that
+//! varies is wall-clock time. The bench asserts this cheaply by comparing
+//! each cell's aggregate prediction histogram against the first cell with
+//! the same stream count.
+//!
+//! With `HOM_JSON_DIR` set, a `BENCH_serve.json` snapshot is written
+//! there (the checked-in snapshot at the repository root was produced
+//! this way).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hom_classifiers::DecisionTreeLearner;
+use hom_cluster::ClusterParams;
+use hom_core::{build, BuildParams, HighOrderModel};
+use hom_data::stream::collect;
+use hom_data::{StreamRecord, StreamSource};
+use hom_datagen::{StaggerParams, StaggerSource};
+use hom_eval::report::print_table;
+use hom_eval::EvalConfig;
+use hom_serve::{Request, ServeEngine, ServeOptions};
+
+const HISTORICAL: usize = 20_000;
+const BLOCK_SIZE: usize = 100;
+/// Requests per grid cell; batches of `BATCH` are submitted at a time.
+const REQUESTS: usize = 200_000;
+const BATCH: usize = 2_048;
+
+struct Cell {
+    streams: usize,
+    threads: usize,
+    wall_secs: f64,
+    preds_per_sec: f64,
+}
+
+fn mine_model(seed: u64) -> (Arc<HighOrderModel>, Vec<StreamRecord>) {
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda: 0.002,
+        seed,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, HISTORICAL);
+    let (model, _) = build(
+        &data,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: BLOCK_SIZE,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let test: Vec<StreamRecord> = (0..4096).map(|_| src.next_record()).collect();
+    (Arc::new(model), test)
+}
+
+/// Drive one grid cell: `REQUESTS` Step requests round-robinning over
+/// `streams` ids. Returns the cell plus a class histogram of all
+/// predictions (the cross-cell determinism check).
+fn run_cell(
+    model: &Arc<HighOrderModel>,
+    test: &[StreamRecord],
+    streams: usize,
+    threads: usize,
+) -> (Cell, Vec<u64>) {
+    let engine = ServeEngine::with_options(
+        Arc::clone(model),
+        &ServeOptions {
+            shards: Some(64),
+            threads: Some(threads),
+            ..Default::default()
+        },
+    );
+    let n_classes = model.schema().n_classes();
+    let mut histogram = vec![0u64; n_classes];
+    let start = Instant::now();
+    let mut sent = 0usize;
+    while sent < REQUESTS {
+        let n = BATCH.min(REQUESTS - sent);
+        let batch: Vec<Request> = (0..n)
+            .map(|i| {
+                let at = sent + i;
+                let r = &test[at % test.len()];
+                Request::Step {
+                    stream: (at % streams) as u64,
+                    x: r.x.to_vec(),
+                    y: r.y,
+                }
+            })
+            .collect();
+        for resp in engine.submit(&batch) {
+            histogram[resp.prediction.expect("Step always predicts") as usize] += 1;
+        }
+        sent += n;
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    let cell = Cell {
+        streams,
+        threads,
+        wall_secs,
+        preds_per_sec: REQUESTS as f64 / wall_secs,
+    };
+    (cell, histogram)
+}
+
+/// The serde shim has no derive, so the snapshot layout is written by
+/// hand, mirroring `BENCH_build_parallel.json`.
+fn snapshot_json(cores: usize, cells: &[Cell]) -> String {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{ \"streams\": {}, \"threads\": {}, \"wall_secs\": {:.3}, \
+                 \"preds_per_sec\": {:.0} }}",
+                c.streams, c.threads, c.wall_secs, c.preds_per_sec
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"stream\": \"Stagger\",\n  \"historical_records\": {HISTORICAL},\n  \
+         \"requests_per_cell\": {REQUESTS},\n  \"batch_size\": {BATCH},\n  \
+         \"machine_cores\": {cores},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    )
+}
+
+fn main() {
+    let config = EvalConfig::from_env();
+    println!("{}", config.banner());
+
+    let (model, test) = mine_model(config.seed);
+    eprintln!(
+        "  mined {} concepts from {HISTORICAL} Stagger records",
+        model.n_concepts()
+    );
+
+    let cores = hom_parallel::available_threads();
+    // The literal 3×3 grid: threads ∈ {1, 2, cores}, even when the core
+    // count collapses onto 1 or 2 (the duplicate row is then an honest
+    // re-measurement on that machine).
+    let thread_counts = [1usize, 2, cores];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut table = Vec::new();
+    for &streams in &[1usize, 1_000, 100_000] {
+        let mut reference: Option<Vec<u64>> = None;
+        let mut serial = 0.0;
+        for &threads in &thread_counts {
+            let (cell, histogram) = run_cell(&model, &test, streams, threads);
+            // Thread count must never change the predictions.
+            match &reference {
+                None => {
+                    serial = cell.preds_per_sec;
+                    reference = Some(histogram);
+                }
+                Some(r) => assert!(
+                    *r == histogram,
+                    "streams={streams} threads={threads} changed predictions — \
+                     determinism violated"
+                ),
+            }
+            table.push(vec![
+                streams.to_string(),
+                threads.to_string(),
+                format!("{:.0}", cell.preds_per_sec),
+                format!("{:.2}x", cell.preds_per_sec / serial),
+            ]);
+            eprintln!("  done: streams={streams} threads={threads}");
+            cells.push(cell);
+        }
+    }
+
+    print_table(
+        &format!("Serving throughput: {REQUESTS} Step requests/cell, {cores}-core machine"),
+        &["Streams", "Threads", "Preds/sec", "Speedup"],
+        &table,
+    );
+    println!("(speedup is relative to threads=1 at the same stream count)");
+    if let Ok(dir) = std::env::var("HOM_JSON_DIR") {
+        let path = std::path::Path::new(&dir).join("BENCH_serve.json");
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(path, snapshot_json(cores, &cells));
+    }
+}

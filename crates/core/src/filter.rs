@@ -1,0 +1,364 @@
+//! The per-stream state of the online Bayesian filter (paper §III).
+//!
+//! [`FilterState`] is everything that changes as one stream's labels
+//! arrive — the posterior/prior over concepts, the prune order and the
+//! scratch buffers — with the immutable [`HighOrderModel`] factored out.
+//! The split is what makes the model servable: one `Arc<HighOrderModel>`
+//! can back any number of independent streams, each a compact, cloneable
+//! `FilterState` (see the `hom-serve` crate, which multiplexes millions
+//! of them over a sharded table).
+//!
+//! Every method takes the model by reference and is bit-identical to the
+//! corresponding [`crate::OnlinePredictor`] operation — the predictor is
+//! now a thin wrapper that adds observability around this state. A state
+//! must only ever be used with the model it was created (or restored)
+//! for; methods assert the concept count matches.
+//!
+//! States can be serialized to a small versioned binary snapshot and
+//! restored bit-identically later ([`FilterState::snapshot`] /
+//! [`FilterState::restore`] in [`crate::snapshot`]) — the mechanism the
+//! serving layer uses to evict idle streams and resume them without any
+//! drift.
+
+use hom_classifiers::argmax;
+use hom_data::ClassId;
+
+use crate::build::HighOrderModel;
+
+/// The mutable per-stream state of the online filter: a probability
+/// distribution over concepts plus the scratch the update equations need.
+///
+/// Cheap to clone (a handful of `n_concepts`-sized vectors, no model) and
+/// independent of every other stream's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterState {
+    /// Posterior `P_{t-1}(c)` after the last observed label.
+    pub(crate) posterior: Vec<f64>,
+    /// Prior `Pₜ⁻(c)` for the current timestamp (derived from
+    /// `posterior`), the distribution predictions use.
+    pub(crate) prior: Vec<f64>,
+    /// Concept order sorted by descending prior (for pruned prediction).
+    pub(crate) order: Vec<u32>,
+    /// Scratch buffer for per-concept class distributions.
+    scratch: Vec<f64>,
+    /// Scratch buffer in concept space for the χ advance.
+    scratch_c: Vec<f64>,
+    /// Scratch buffer for ψ(c, yₜ) — each entry costs one classifier
+    /// prediction, so [`Self::absorb`] computes it exactly once.
+    pub(crate) psi: Vec<f64>,
+}
+
+impl FilterState {
+    /// The uniform initial state `P₁(c) = 1/N` (§III-B) for `model`.
+    ///
+    /// # Panics
+    /// Panics if the model has no concepts.
+    pub fn new(model: &HighOrderModel) -> Self {
+        let n = model.n_concepts();
+        assert!(n > 0, "model has no concepts");
+        let uniform = vec![1.0 / n as f64; n];
+        let n_classes = model.schema().n_classes();
+        FilterState {
+            posterior: uniform.clone(),
+            prior: uniform,
+            order: (0..n as u32).collect(),
+            scratch: vec![0.0; n_classes],
+            scratch_c: vec![0.0; n],
+            psi: vec![0.0; n],
+        }
+    }
+
+    /// Rebuild a state from its distribution parts (the snapshot codec's
+    /// entry point). `order` must already be the descending-prior
+    /// permutation the state was saved with — re-sorting here could break
+    /// bit-identical resumption on tied priors.
+    pub(crate) fn from_parts(
+        model: &HighOrderModel,
+        posterior: Vec<f64>,
+        prior: Vec<f64>,
+        order: Vec<u32>,
+    ) -> Self {
+        let n = model.n_concepts();
+        debug_assert_eq!(posterior.len(), n);
+        FilterState {
+            posterior,
+            prior,
+            order,
+            scratch: vec![0.0; model.schema().n_classes()],
+            scratch_c: vec![0.0; n],
+            psi: vec![0.0; n],
+        }
+    }
+
+    #[inline]
+    fn check(&self, model: &HighOrderModel) {
+        assert_eq!(
+            self.posterior.len(),
+            model.n_concepts(),
+            "FilterState used with a different model than it was created for"
+        );
+    }
+
+    /// Number of concepts this state tracks.
+    pub fn n_concepts(&self) -> usize {
+        self.posterior.len()
+    }
+
+    /// The active probabilities used for prediction at the current
+    /// timestamp (`Pₜ⁻`).
+    pub fn prior(&self) -> &[f64] {
+        &self.prior
+    }
+
+    /// The posterior `P_{t-1}(c)` after the last observed label.
+    pub fn posterior(&self) -> &[f64] {
+        &self.posterior
+    }
+
+    /// Concept ids in descending order of active probability (the §III-C
+    /// enumeration order).
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// The most likely current concept.
+    pub fn current_concept(&self) -> usize {
+        argmax(&self.prior)
+    }
+
+    /// Advance one timestamp without a label: posterior → prior through χ
+    /// (Eq. 5), with the posterior defaulting to the prior until a label
+    /// arrives.
+    pub fn advance(&mut self, model: &HighOrderModel) {
+        self.check(model);
+        model.stats().advance(&self.posterior, &mut self.scratch_c);
+        self.prior.copy_from_slice(&self.scratch_c);
+        // Posterior defaults to the prior until a label arrives.
+        self.posterior.copy_from_slice(&self.scratch_c);
+        self.resort();
+    }
+
+    /// Advance `k` timestamps at once (the variable-rate adaptation of
+    /// §III-B).
+    pub fn advance_by(&mut self, model: &HighOrderModel, k: usize) {
+        for _ in 0..k {
+            self.advance(model);
+        }
+    }
+
+    /// Absorb the labeled record of the current timestamp: posterior ∝
+    /// prior · ψ(c, yₜ), normalized (Eqs. 7–9). Does **not** advance to
+    /// the next timestamp — callers that need the full lifecycle use
+    /// [`Self::observe`]; the split exists so the predictor can read the
+    /// fresh posterior (and ψ) for its metrics before the prior rolls.
+    pub fn absorb(&mut self, model: &HighOrderModel, x: &[f64], y: ClassId) {
+        self.check(model);
+        // ψ(c, yₜ) once per concept — each entry costs a full classifier
+        // prediction, so it is computed into the scratch buffer and reused
+        // by both the normalizer and the posterior update.
+        for (c, slot) in model.concepts().iter().zip(self.psi.iter_mut()) {
+            *slot = c.psi(x, y);
+        }
+        let mut sum = 0.0;
+        for (p, psi) in self.prior.iter().zip(self.psi.iter()) {
+            sum += p * psi;
+        }
+        if sum <= 0.0 {
+            // All concepts had zero probability mass (cannot happen with
+            // clamped errors, but stay safe): reset to uniform.
+            let n = self.posterior.len() as f64;
+            self.posterior.fill(1.0 / n);
+        } else {
+            for ((q, p), psi) in self
+                .posterior
+                .iter_mut()
+                .zip(self.prior.iter())
+                .zip(self.psi.iter())
+            {
+                *q = p * psi / sum;
+            }
+        }
+    }
+
+    /// Pre-compute the next timestamp's prior from the posterior (the
+    /// tail of Eq. 5 after an observation) and refresh the prune order.
+    pub fn roll_prior(&mut self, model: &HighOrderModel) {
+        self.check(model);
+        model.stats().advance(&self.posterior, &mut self.scratch_c);
+        self.prior.copy_from_slice(&self.scratch_c);
+        self.resort();
+    }
+
+    /// The full labeled-record lifecycle: [`Self::absorb`] then
+    /// [`Self::roll_prior`].
+    pub fn observe(&mut self, model: &HighOrderModel, x: &[f64], y: ClassId) {
+        self.absorb(model, x, y);
+        self.roll_prior(model);
+    }
+
+    fn resort(&mut self) {
+        let prior = &self.prior;
+        self.order
+            .sort_unstable_by(|&a, &b| prior[b as usize].total_cmp(&prior[a as usize]));
+    }
+
+    /// Class-probability prediction for an unlabeled record (Eq. 10):
+    /// `Highorder(l|x) = Σ_c Pₜ⁻(c)·M_c(l|x)`.
+    pub fn predict_proba(&mut self, model: &HighOrderModel, x: &[f64], out: &mut [f64]) {
+        self.check(model);
+        out.fill(0.0);
+        for (c, &p) in model.concepts().iter().zip(self.prior.iter()) {
+            if p == 0.0 {
+                continue;
+            }
+            c.model.predict_proba(x, &mut self.scratch);
+            for (o, &v) in out.iter_mut().zip(self.scratch.iter()) {
+                *o += p * v;
+            }
+        }
+    }
+
+    /// Unique-class prediction (Eq. 11): the argmax of Eq. 10.
+    pub fn predict(&mut self, model: &HighOrderModel, x: &[f64]) -> ClassId {
+        let mut out = vec![0.0; model.schema().n_classes()];
+        self.predict_proba(model, x, &mut out);
+        argmax(&out) as ClassId
+    }
+
+    /// The §III-C early-terminated enumeration; returns the prediction and
+    /// how many concept classifiers were consulted before the margin test
+    /// terminated it. Identical to [`Self::predict`] in result, usually
+    /// much cheaper: in the common case of a clearly-identified current
+    /// concept exactly one classifier runs.
+    pub fn predict_pruned(&mut self, model: &HighOrderModel, x: &[f64]) -> (ClassId, usize) {
+        self.check(model);
+        let n_classes = model.schema().n_classes();
+        let mut scores = vec![0.0; n_classes];
+        // Remaining probability mass after each prefix of the enumeration.
+        let mut remaining: f64 = self.prior.iter().sum();
+        for (rank, &ci) in self.order.iter().enumerate() {
+            let p = self.prior[ci as usize];
+            remaining -= p;
+            if p > 0.0 {
+                model.concepts()[ci as usize]
+                    .model
+                    .predict_proba(x, &mut self.scratch);
+                for (s, &v) in scores.iter_mut().zip(self.scratch.iter()) {
+                    *s += p * v;
+                }
+            }
+            // A remaining concept can add at most `remaining` to any one
+            // class; if the leader's margin exceeds that, the answer is
+            // decided (§III-C).
+            let best = argmax(&scores);
+            let best_v = scores[best];
+            let runner_up = scores
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != best)
+                .map(|(_, &v)| v)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if best_v - runner_up > remaining {
+                return (best as ClassId, rank + 1);
+            }
+        }
+        (argmax(&scores) as ClassId, self.order.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transition::TransitionStats;
+    use crate::Concept;
+    use hom_classifiers::MajorityClassifier;
+    use hom_data::{Attribute, Schema};
+    use std::sync::Arc;
+
+    fn toy_model() -> HighOrderModel {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let concepts = vec![
+            Concept {
+                id: 0,
+                model: Arc::new(MajorityClassifier::from_counts(&[10, 0])),
+                err: 0.1,
+                n_records: 100,
+                n_occurrences: 1,
+            },
+            Concept {
+                id: 1,
+                model: Arc::new(MajorityClassifier::from_counts(&[0, 10])),
+                err: 0.1,
+                n_records: 100,
+                n_occurrences: 1,
+            },
+        ];
+        let stats = TransitionStats::from_occurrences(2, &[(0, 100), (1, 100)]);
+        HighOrderModel::from_parts(schema, concepts, stats)
+    }
+
+    #[test]
+    fn starts_uniform_and_concentrates() {
+        let m = toy_model();
+        let mut s = FilterState::new(&m);
+        assert_eq!(s.prior(), &[0.5, 0.5]);
+        for _ in 0..20 {
+            s.observe(&m, &[0.0], 1);
+        }
+        assert_eq!(s.current_concept(), 1);
+        assert!(s.posterior()[1] > 0.9);
+        assert_eq!(s.predict(&m, &[0.0]), 1);
+        assert_eq!(s.predict_pruned(&m, &[0.0]).0, 1);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let m = toy_model();
+        let mut a = FilterState::new(&m);
+        for _ in 0..5 {
+            a.observe(&m, &[0.0], 0);
+        }
+        let mut b = a.clone();
+        b.observe(&m, &[0.0], 1);
+        // the original is untouched by the clone's update
+        assert_ne!(a.posterior()[0].to_bits(), b.posterior()[0].to_bits());
+        let sum: f64 = a.posterior().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_then_roll_equals_observe() {
+        let m = toy_model();
+        let mut a = FilterState::new(&m);
+        let mut b = FilterState::new(&m);
+        for t in 0..30u32 {
+            let y = t % 2;
+            a.observe(&m, &[0.0], y);
+            b.absorb(&m, &[0.0], y);
+            b.roll_prior(&m);
+            assert_eq!(a.posterior(), b.posterior());
+            assert_eq!(a.prior(), b.prior());
+            assert_eq!(a.order(), b.order());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different model")]
+    fn rejects_wrong_model() {
+        let m = toy_model();
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let one = HighOrderModel::from_parts(
+            schema,
+            vec![Concept {
+                id: 0,
+                model: Arc::new(MajorityClassifier::from_counts(&[1, 0])),
+                err: 0.1,
+                n_records: 1,
+                n_occurrences: 1,
+            }],
+            TransitionStats::from_occurrences(1, &[(0, 10)]),
+        );
+        let mut s = FilterState::new(&m);
+        s.advance(&one);
+    }
+}

@@ -25,11 +25,15 @@
 
 pub mod build;
 pub mod concept;
+pub mod filter;
 pub mod online;
+pub mod snapshot;
 pub mod transition;
 pub mod viterbi;
 
 pub use build::{build, build_with, BuildOptions, BuildParams, BuildReport, HighOrderModel};
 pub use concept::Concept;
+pub use filter::FilterState;
 pub use online::{OnlineOptions, OnlinePredictor};
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use transition::TransitionStats;

@@ -13,6 +13,12 @@
 //!
 //! [`OnlinePredictor::step`] performs 1–3 for the common benchmark loop
 //! where every record is both predicted and then revealed.
+//!
+//! All of the filter math lives in [`FilterState`] (the cloneable
+//! per-stream state, shared with the `hom-serve` engine); the predictor
+//! owns one state, pins it to one `Arc<HighOrderModel>`, and layers the
+//! observability — a prediction-latency histogram, posterior traces,
+//! §III-C prune events and label-agreement counters — on top.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -22,6 +28,7 @@ use hom_data::ClassId;
 use hom_obs::{Histogram, Obs};
 
 use crate::build::HighOrderModel;
+use crate::filter::FilterState;
 
 /// Execution options of the online filter. Like
 /// [`crate::build::BuildOptions`], options never change a prediction —
@@ -43,23 +50,12 @@ impl Default for OnlineOptions {
     }
 }
 
-/// The online state: a probability distribution over concepts.
+/// One stream's online filter: a [`FilterState`] bound to its model, plus
+/// batched observability.
 pub struct OnlinePredictor {
     model: Arc<HighOrderModel>,
-    /// Posterior `P_{t-1}(c)` after the last observed label.
-    posterior: Vec<f64>,
-    /// Prior `Pₜ⁻(c)` for the current timestamp (derived from
-    /// `posterior`), the distribution predictions use.
-    prior: Vec<f64>,
-    /// Concept order sorted by descending prior (for pruned prediction).
-    order: Vec<u32>,
-    /// Scratch buffer for per-concept class distributions.
-    scratch: Vec<f64>,
-    /// Scratch buffer in concept space for the χ advance.
-    scratch_c: Vec<f64>,
-    /// Scratch buffer for ψ(c, yₜ) — each entry costs one classifier
-    /// prediction, so [`Self::observe`] computes it exactly once.
-    psi: Vec<f64>,
+    /// The per-stream state (posterior, prior, prune order, scratch).
+    state: FilterState,
     /// Observability handle; disabled by default (one branch per record).
     obs: Obs,
     /// Metrics accumulated locally while observed, emitted by
@@ -82,18 +78,29 @@ impl OnlinePredictor {
 
     /// [`OnlinePredictor::new`] with explicit execution options.
     pub fn with_options(model: Arc<HighOrderModel>, options: &OnlineOptions) -> Self {
-        let n = model.n_concepts();
-        assert!(n > 0, "model has no concepts");
-        let uniform = vec![1.0 / n as f64; n];
-        let n_classes = model.schema().n_classes();
+        let state = FilterState::new(&model);
+        Self::from_state(model, state, options)
+    }
+
+    /// Resume a predictor from an existing state — e.g. one restored from
+    /// a [`FilterState::restore`] snapshot. The continued run is
+    /// bit-identical to never having stopped.
+    ///
+    /// # Panics
+    /// Panics if `state` does not match the model's concept count.
+    pub fn from_state(
+        model: Arc<HighOrderModel>,
+        state: FilterState,
+        options: &OnlineOptions,
+    ) -> Self {
+        assert_eq!(
+            state.n_concepts(),
+            model.n_concepts(),
+            "state does not match the model"
+        );
         OnlinePredictor {
             model,
-            posterior: uniform.clone(),
-            prior: uniform,
-            order: (0..n as u32).collect(),
-            scratch: vec![0.0; n_classes],
-            scratch_c: vec![0.0; n],
-            psi: vec![0.0; n],
+            state,
             obs: options.sink.clone(),
             latency: Histogram::new(),
             observed: 0,
@@ -109,15 +116,28 @@ impl OnlinePredictor {
         &self.model
     }
 
+    /// The per-stream filter state (read-only; the predictor's methods
+    /// are the mutation surface).
+    pub fn state(&self) -> &FilterState {
+        &self.state
+    }
+
+    /// Give up the predictor, keeping its state — the handoff direction
+    /// of [`Self::from_state`] (flushes any batched metrics first).
+    pub fn into_state(mut self) -> FilterState {
+        self.flush_trace();
+        self.state.clone()
+    }
+
     /// The active probabilities used for prediction at the current
     /// timestamp (`Pₜ⁻`).
     pub fn concept_probs(&self) -> &[f64] {
-        &self.prior
+        self.state.prior()
     }
 
     /// The most likely current concept.
     pub fn current_concept(&self) -> usize {
-        argmax(&self.prior)
+        self.state.current_concept()
     }
 
     /// Advance one timestamp: posterior → prior through χ (Eq. 5).
@@ -127,62 +147,28 @@ impl OnlinePredictor {
     /// — e.g. a variable-rate stream where `k` unlabeled records arrive
     /// between labels (§III-B notes the equations adapt to variable rate).
     pub fn advance(&mut self) {
-        self.model
-            .stats()
-            .advance(&self.posterior, &mut self.scratch_c);
-        self.prior.copy_from_slice(&self.scratch_c);
-        // Posterior defaults to the prior until a label arrives.
-        self.posterior.copy_from_slice(&self.scratch_c);
-        self.resort();
+        self.state.advance(&self.model);
     }
 
     /// Absorb the labeled record of the current timestamp: posterior ∝
     /// prior · ψ(c, yₜ), normalized (Eqs. 7–9), then advance to the next
     /// timestamp's prior.
     pub fn observe(&mut self, x: &[f64], y: ClassId) {
-        // ψ(c, yₜ) once per concept — each entry costs a full classifier
-        // prediction, so it is computed into the scratch buffer and reused
-        // by both the normalizer and the posterior update.
-        for (c, slot) in self.model.concepts().iter().zip(self.psi.iter_mut()) {
-            *slot = c.psi(x, y);
-        }
-        let mut sum = 0.0;
-        for (p, psi) in self.prior.iter().zip(self.psi.iter()) {
-            sum += p * psi;
-        }
-        if sum <= 0.0 {
-            // All concepts had zero probability mass (cannot happen with
-            // clamped errors, but stay safe): reset to uniform.
-            let n = self.posterior.len() as f64;
-            self.posterior.fill(1.0 / n);
-        } else {
-            for ((q, p), psi) in self
-                .posterior
-                .iter_mut()
-                .zip(self.prior.iter())
-                .zip(self.psi.iter())
-            {
-                *q = p * psi / sum;
-            }
-        }
+        self.state.absorb(&self.model, x, y);
         if self.obs.enabled() {
             self.observed += 1;
             // Did the most probable concept's model agree with the label?
             // ψ returns `1 − Err` exactly when it did (Eq. 8).
-            let map = argmax(&self.prior);
-            if self.psi[map] == 1.0 - self.model.concepts()[map].err {
+            let map = argmax(self.state.prior());
+            if self.state.psi[map] == 1.0 - self.model.concepts()[map].err {
                 self.map_agree += 1;
             }
             // Posterior trace P_t(c) — the paper's Fig. 6 timeline.
             self.obs
-                .series("online.posterior", self.observed, &self.posterior);
+                .series("online.posterior", self.observed, self.state.posterior());
         }
         // Pre-compute the next timestamp's prior.
-        self.model
-            .stats()
-            .advance(&self.posterior, &mut self.scratch_c);
-        self.prior.copy_from_slice(&self.scratch_c);
-        self.resort();
+        self.state.roll_prior(&self.model);
     }
 
     /// Advance `k` timestamps at once — the variable-rate adaptation the
@@ -191,37 +177,18 @@ impl OnlinePredictor {
     /// records passed between two labeled ones, the prior must diffuse
     /// through χ once per elapsed timestamp.
     pub fn advance_by(&mut self, k: usize) {
-        for _ in 0..k {
-            self.advance();
-        }
-    }
-
-    fn resort(&mut self) {
-        let prior = &self.prior;
-        self.order
-            .sort_unstable_by(|&a, &b| prior[b as usize].total_cmp(&prior[a as usize]));
+        self.state.advance_by(&self.model, k);
     }
 
     /// Class-probability prediction for an unlabeled record (Eq. 10):
     /// `Highorder(l|x) = Σ_c Pₜ⁻(c)·M_c(l|x)`.
     pub fn predict_proba(&mut self, x: &[f64], out: &mut [f64]) {
-        out.fill(0.0);
-        for (c, &p) in self.model.concepts().iter().zip(self.prior.iter()) {
-            if p == 0.0 {
-                continue;
-            }
-            c.model.predict_proba(x, &mut self.scratch);
-            for (o, &v) in out.iter_mut().zip(self.scratch.iter()) {
-                *o += p * v;
-            }
-        }
+        self.state.predict_proba(&self.model, x, out);
     }
 
     /// Unique-class prediction (Eq. 11): the argmax of Eq. 10.
     pub fn predict(&mut self, x: &[f64]) -> ClassId {
-        let mut out = vec![0.0; self.model.schema().n_classes()];
-        self.predict_proba(x, &mut out);
-        argmax(&out) as ClassId
+        self.state.predict(&self.model, x)
     }
 
     /// Unique-class prediction with the early-terminated enumeration of
@@ -230,7 +197,7 @@ impl OnlinePredictor {
     /// probability mass cannot change the argmax. In the usual case of a
     /// clearly-identified current concept, exactly one classifier runs.
     pub fn predict_pruned(&mut self, x: &[f64]) -> ClassId {
-        let (pred, consulted) = self.predict_pruned_counted(x);
+        let (pred, consulted) = self.state.predict_pruned(&self.model, x);
         if self.obs.enabled() {
             self.predicted += 1;
             self.consulted += consulted as u64;
@@ -243,42 +210,6 @@ impl OnlinePredictor {
             }
         }
         pred
-    }
-
-    /// The §III-C enumeration; returns the prediction and how many concept
-    /// classifiers were consulted before the margin test terminated it.
-    fn predict_pruned_counted(&mut self, x: &[f64]) -> (ClassId, usize) {
-        let n_classes = self.model.schema().n_classes();
-        let mut scores = vec![0.0; n_classes];
-        // Remaining probability mass after each prefix of the enumeration.
-        let mut remaining: f64 = self.prior.iter().sum();
-        for (rank, &ci) in self.order.iter().enumerate() {
-            let p = self.prior[ci as usize];
-            remaining -= p;
-            if p > 0.0 {
-                self.model.concepts()[ci as usize]
-                    .model
-                    .predict_proba(x, &mut self.scratch);
-                for (s, &v) in scores.iter_mut().zip(self.scratch.iter()) {
-                    *s += p * v;
-                }
-            }
-            // A remaining concept can add at most `remaining` to any one
-            // class; if the leader's margin exceeds that, the answer is
-            // decided (§III-C).
-            let best = argmax(&scores);
-            let best_v = scores[best];
-            let runner_up = scores
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| i != best)
-                .map(|(_, &v)| v)
-                .fold(f64::NEG_INFINITY, f64::max);
-            if best_v - runner_up > remaining {
-                return (best as ClassId, rank + 1);
-            }
-        }
-        (argmax(&scores) as ClassId, self.order.len())
     }
 
     /// Predict the unlabeled record of timestamp `t`, then absorb its
@@ -302,7 +233,8 @@ impl OnlinePredictor {
     /// histogram, record/consultation/prune counters and the
     /// label-agreement count — and reset them. A no-op when unobserved or
     /// nothing accumulated; called automatically on drop, so short-lived
-    /// predictors still land in the trace.
+    /// predictors still land in the trace (and a drop after an explicit
+    /// flush emits nothing twice).
     pub fn flush_trace(&mut self) {
         if !self.obs.enabled() || (self.observed == 0 && self.predicted == 0) {
             return;
@@ -544,5 +476,42 @@ mod tests {
             }
         }
         assert!(wrong <= 6, "wrong = {wrong}/200");
+    }
+
+    #[test]
+    fn predictor_and_bare_state_agree_exactly() {
+        let model = toy_model();
+        let mut p = OnlinePredictor::new(Arc::clone(&model));
+        let mut s = FilterState::new(&model);
+        for t in 0..60u32 {
+            let x = [f64::from(t % 3)];
+            let y = u32::from(t % 5 == 0);
+            assert_eq!(p.predict_pruned(&x), s.predict_pruned(&model, &x).0);
+            p.observe(&x, y);
+            s.observe(&model, &x, y);
+            let pb: Vec<u64> = p.state().posterior().iter().map(|v| v.to_bits()).collect();
+            let sb: Vec<u64> = s.posterior().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(pb, sb, "posterior diverged at t = {t}");
+        }
+    }
+
+    #[test]
+    fn state_handoff_resumes_bit_identically() {
+        let model = toy_model();
+        let mut a = OnlinePredictor::new(Arc::clone(&model));
+        let mut b = OnlinePredictor::new(Arc::clone(&model));
+        for t in 0..25u32 {
+            a.step(&[0.0], t % 2);
+            b.step(&[0.0], t % 2);
+        }
+        // hand b's state to a fresh predictor mid-stream
+        let state = b.into_state();
+        let mut b = OnlinePredictor::from_state(model, state, &OnlineOptions::default());
+        for t in 0..25u32 {
+            assert_eq!(a.step(&[0.0], t % 3), b.step(&[0.0], t % 3));
+        }
+        let ab: Vec<u64> = a.concept_probs().iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u64> = b.concept_probs().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb);
     }
 }

@@ -1,0 +1,162 @@
+//! Regression tests for the online filter's trace-flush path: an
+//! observed predictor that is dropped without an explicit
+//! [`OnlinePredictor::flush_trace`] must emit its batched metrics
+//! **exactly once** — and an explicit flush followed by the drop must
+//! not emit them a second time.
+
+use std::sync::Arc;
+
+use hom_classifiers::MajorityClassifier;
+use hom_core::{Concept, HighOrderModel, OnlineOptions, OnlinePredictor, TransitionStats};
+use hom_data::{Attribute, Schema};
+use hom_obs::{Obs, OwnedEvent, Recorder};
+
+fn tiny_model() -> Arc<HighOrderModel> {
+    let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+    let concepts = (0..2)
+        .map(|id| Concept {
+            id,
+            model: Arc::new(MajorityClassifier::from_counts(if id == 0 {
+                &[5, 1]
+            } else {
+                &[1, 5]
+            })),
+            err: 0.2,
+            n_records: 50,
+            n_occurrences: 1,
+        })
+        .collect();
+    let stats = TransitionStats::from_occurrences(2, &[(0, 40), (1, 40)]);
+    Arc::new(HighOrderModel::from_parts(schema, concepts, stats))
+}
+
+/// How many separate `Count` events the recorder holds for `name` —
+/// distinct from `counter_total`, which sums them and so cannot tell
+/// "emitted once" from "emitted twice with a zero".
+fn count_events(recorder: &Recorder, name: &str) -> usize {
+    recorder
+        .events()
+        .iter()
+        .filter(|e| matches!(e, OwnedEvent::Count { name: n, .. } if n == name))
+        .count()
+}
+
+fn traced(model: &Arc<HighOrderModel>, recorder: &Arc<Recorder>) -> OnlinePredictor {
+    OnlinePredictor::with_options(
+        Arc::clone(model),
+        &OnlineOptions {
+            sink: Obs::new(Arc::clone(recorder)),
+        },
+    )
+}
+
+#[test]
+fn drop_without_explicit_flush_emits_batched_metrics_exactly_once() {
+    let model = tiny_model();
+    let recorder = Arc::new(Recorder::new());
+    {
+        let mut p = traced(&model, &recorder);
+        for t in 0..30u32 {
+            p.step(&[0.4], t % 2);
+        }
+        // No flush_trace() here: the Drop impl is the only flush.
+    }
+    for name in [
+        "online.records_predicted",
+        "online.records_observed",
+        "online.concepts_consulted",
+    ] {
+        assert_eq!(count_events(&recorder, name), 1, "{name} events");
+    }
+    assert_eq!(recorder.counter_total("online.records_predicted"), 30);
+    assert_eq!(recorder.counter_total("online.records_observed"), 30);
+    assert_eq!(recorder.merged_hist("online.latency_ns").count(), 30);
+}
+
+#[test]
+fn explicit_flush_then_drop_does_not_double_emit() {
+    let model = tiny_model();
+    let recorder = Arc::new(Recorder::new());
+    {
+        let mut p = traced(&model, &recorder);
+        for t in 0..20u32 {
+            p.step(&[0.4], t % 2);
+        }
+        p.flush_trace();
+        // Drop happens right after: the batch is already empty.
+    }
+    for name in ["online.records_predicted", "online.records_observed"] {
+        assert_eq!(
+            count_events(&recorder, name),
+            1,
+            "{name} must not be re-emitted by Drop after flush_trace()"
+        );
+    }
+    assert_eq!(recorder.counter_total("online.records_predicted"), 20);
+    assert_eq!(recorder.counter_total("online.records_observed"), 20);
+}
+
+#[test]
+fn flush_mid_stream_batches_twice_with_correct_totals() {
+    let model = tiny_model();
+    let recorder = Arc::new(Recorder::new());
+    {
+        let mut p = traced(&model, &recorder);
+        for t in 0..10u32 {
+            p.step(&[0.4], t % 2);
+        }
+        p.flush_trace();
+        for t in 0..15u32 {
+            p.step(&[0.4], t % 2);
+        }
+        // Second batch flushed by Drop.
+    }
+    assert_eq!(count_events(&recorder, "online.records_predicted"), 2);
+    assert_eq!(recorder.counter_total("online.records_predicted"), 25);
+    assert_eq!(recorder.counter_total("online.records_observed"), 25);
+    assert_eq!(recorder.merged_hist("online.latency_ns").count(), 25);
+}
+
+#[test]
+fn idle_predictor_flushes_nothing_on_drop() {
+    let model = tiny_model();
+    let recorder = Arc::new(Recorder::new());
+    {
+        // Constructed, never used: Drop must not emit empty batches.
+        let _p = traced(&model, &recorder);
+    }
+    assert!(recorder.is_empty(), "idle predictor emitted events on drop");
+}
+
+#[test]
+fn state_handoff_flushes_the_donor_exactly_once() {
+    let model = tiny_model();
+    let recorder = Arc::new(Recorder::new());
+    let state = {
+        let mut p = traced(&model, &recorder);
+        for t in 0..12u32 {
+            p.step(&[0.4], t % 2);
+        }
+        // into_state() flushes before surrendering the filter state…
+        p.into_state()
+    };
+    // …and the Drop that follows must not flush again.
+    assert_eq!(count_events(&recorder, "online.records_predicted"), 1);
+    assert_eq!(recorder.counter_total("online.records_predicted"), 12);
+
+    // The successor starts a fresh batch of its own.
+    {
+        let mut p = OnlinePredictor::from_state(
+            Arc::clone(&model),
+            state,
+            &OnlineOptions {
+                sink: Obs::new(Arc::clone(&recorder)),
+            },
+        );
+        for t in 0..5u32 {
+            p.step(&[0.4], t % 2);
+        }
+    }
+    assert_eq!(count_events(&recorder, "online.records_predicted"), 2);
+    assert_eq!(recorder.counter_total("online.records_predicted"), 17);
+}

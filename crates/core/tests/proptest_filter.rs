@@ -1,0 +1,133 @@
+//! Property-based tests of the bare [`FilterState`] filter: on random
+//! models and label sequences, the posterior stays a valid probability
+//! distribution after **every** transition, and §III-C pruned prediction
+//! never changes the predicted class.
+
+use std::sync::Arc;
+
+use hom_classifiers::MajorityClassifier;
+use hom_core::{Concept, FilterState, HighOrderModel, TransitionStats};
+use hom_data::{Attribute, Schema};
+use proptest::prelude::*;
+
+/// Arbitrary occurrence sequences over up to 6 concepts, every concept
+/// appearing at least once — the raw material for a random χ.
+fn occurrences_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..=6).prop_flat_map(|n| {
+        proptest::collection::vec((0usize..n, 1usize..400), n..40).prop_map(move |mut occ| {
+            for c in 0..n {
+                if !occ.iter().any(|&(oc, _)| oc == c) {
+                    occ.push((c, 7));
+                }
+            }
+            (n, occ)
+        })
+    })
+}
+
+/// A random high-order model: random χ plus concepts whose base
+/// classifiers and error rates are drawn from the inputs.
+fn random_model(n: usize, occ: &[(usize, usize)], errs: &[f64]) -> Arc<HighOrderModel> {
+    let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+    let concepts: Vec<Concept> = (0..n)
+        .map(|id| Concept {
+            id,
+            model: Arc::new(MajorityClassifier::from_counts(if id % 2 == 0 {
+                &[3, 1]
+            } else {
+                &[1, 3]
+            })),
+            err: errs[id],
+            n_records: 10,
+            n_occurrences: 1,
+        })
+        .collect();
+    let stats = TransitionStats::from_occurrences(n, occ);
+    Arc::new(HighOrderModel::from_parts(schema, concepts, stats))
+}
+
+fn assert_valid_distribution(p: &[f64], what: &str) -> Result<(), TestCaseError> {
+    for (i, &v) in p.iter().enumerate() {
+        prop_assert!(v.is_finite() && v >= 0.0, "{what}[{i}] = {v}");
+    }
+    let sum: f64 = p.iter().sum();
+    prop_assert!((sum - 1.0).abs() < 1e-9, "{what} sums to {sum}");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Both the prior and the posterior remain valid distributions after
+    /// every advance and every observe, for any label sequence.
+    #[test]
+    fn posterior_is_always_a_distribution(
+        (n, occ) in occurrences_strategy(),
+        errs in proptest::collection::vec(0.01f64..0.49, 6),
+        steps in proptest::collection::vec((0.0f64..1.0, 0u32..2, 0usize..4), 1..120),
+    ) {
+        let model = random_model(n, &occ, &errs);
+        let mut state = FilterState::new(&model);
+        assert_valid_distribution(state.prior(), "initial prior")?;
+        assert_valid_distribution(state.posterior(), "initial posterior")?;
+        for (x, y, skip) in steps {
+            // unobserved gaps exercise the pure χ advance
+            state.advance_by(&model, skip);
+            assert_valid_distribution(state.prior(), "prior after advance")?;
+            assert_valid_distribution(state.posterior(), "posterior after advance")?;
+            state.observe(&model, &[x], y);
+            assert_valid_distribution(state.prior(), "prior after observe")?;
+            assert_valid_distribution(state.posterior(), "posterior after observe")?;
+            prop_assert!(state.current_concept() < n);
+        }
+    }
+
+    /// §III-C pruning is exact: at every reachable filter state the
+    /// pruned prediction equals the full-ensemble prediction, and it
+    /// never consults more concepts than exist.
+    #[test]
+    fn pruning_never_changes_the_argmax(
+        (n, occ) in occurrences_strategy(),
+        errs in proptest::collection::vec(0.01f64..0.49, 6),
+        evidence in proptest::collection::vec((0.0f64..1.0, 0u32..2), 1..80),
+    ) {
+        let model = random_model(n, &occ, &errs);
+        let mut full = FilterState::new(&model);
+        let mut pruned = FilterState::new(&model);
+        for (x, y) in evidence {
+            let want = full.predict(&model, &[x]);
+            let (got, consulted) = pruned.predict_pruned(&model, &[x]);
+            prop_assert_eq!(got, want, "pruned argmax diverged");
+            prop_assert!(consulted >= 1 && consulted <= n, "consulted {consulted} of {n}");
+            full.observe(&model, &[x], y);
+            pruned.observe(&model, &[x], y);
+            // both replicas walked the same evidence: identical state
+            prop_assert_eq!(full.posterior(), pruned.posterior());
+        }
+    }
+
+    /// The prune order is a permutation of the concepts sorted by
+    /// descending prior, after any history.
+    #[test]
+    fn prune_order_is_a_descending_permutation(
+        (n, occ) in occurrences_strategy(),
+        errs in proptest::collection::vec(0.01f64..0.49, 6),
+        evidence in proptest::collection::vec((0.0f64..1.0, 0u32..2), 0..60),
+    ) {
+        let model = random_model(n, &occ, &errs);
+        let mut state = FilterState::new(&model);
+        for (x, y) in evidence {
+            state.observe(&model, &[x], y);
+        }
+        let order = state.order().to_vec();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>(), "not a permutation");
+        for w in order.windows(2) {
+            prop_assert!(
+                state.prior()[w[0] as usize] >= state.prior()[w[1] as usize],
+                "order not descending by prior"
+            );
+        }
+    }
+}

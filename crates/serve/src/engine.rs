@@ -1,0 +1,537 @@
+//! The serving engine: one shared model, many independent streams.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use hom_core::{FilterState, HighOrderModel, SnapshotError};
+use hom_data::ClassId;
+use hom_obs::{Histogram, Obs};
+use hom_parallel::Pool;
+
+use crate::request::{Request, Response, StreamId};
+use crate::shard::{shard_of, Entry, Shard};
+
+/// The environment variable [`ServeOptions::default`] reads for the
+/// shard count of the stream table (rounded up to a power of two).
+pub const SHARDS_ENV: &str = "HOM_SERVE_SHARDS";
+
+/// The worker-thread environment variable shared with the offline build
+/// (`hom-eval` reads the same knob).
+pub const THREADS_ENV: &str = "HOM_THREADS";
+
+/// Shard count used when neither [`ServeOptions::shards`] nor
+/// `HOM_SERVE_SHARDS` says otherwise.
+const DEFAULT_SHARDS: usize = 16;
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+}
+
+/// Execution options of a [`ServeEngine`]. Like the build and online
+/// options, nothing here changes a prediction: shard count, thread
+/// count, eviction policy and observability only affect wall-clock time
+/// and memory (eviction hibernates a stream bit-identically).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Shards of the stream table (rounded up to a power of two).
+    /// `None` reads `HOM_SERVE_SHARDS`, defaulting to 16. More shards
+    /// mean less lock contention between unrelated streams.
+    pub shards: Option<usize>,
+    /// Worker threads for [`ServeEngine::submit`] batches. `None` reads
+    /// `HOM_THREADS`, defaulting to one per available core.
+    pub threads: Option<usize>,
+    /// Serve predictions through the §III-C early-terminated enumeration
+    /// (default). `false` always runs the full ensemble of Eq. 10 — the
+    /// two are bit-identical in output; pruned is usually much cheaper.
+    pub prune: bool,
+    /// Maximum live streams per shard. When an insert exceeds it, the
+    /// shard's least-recently-used stream is parked (snapshotted and
+    /// dropped from memory). `None` means unbounded.
+    pub capacity: Option<usize>,
+    /// Idle age, in engine-clock ticks (one tick per request), beyond
+    /// which [`ServeEngine::sweep`] parks a stream. `None` disables
+    /// TTL sweeping.
+    pub ttl: Option<u64>,
+    /// Observability sink (batch-latency histogram, request/eviction
+    /// counters, per-shard occupancy). The default comes from
+    /// [`Obs::from_env`]: disabled unless `HOM_TRACE=path.jsonl` is set.
+    pub sink: Obs,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            shards: None,
+            threads: None,
+            prune: true,
+            capacity: None,
+            ttl: None,
+            sink: Obs::from_env(),
+        }
+    }
+}
+
+/// Request/eviction counters, accumulated while observed and emitted by
+/// [`ServeEngine::flush_trace`]. Plain atomics: the engine has no `&mut
+/// self` methods.
+#[derive(Default)]
+struct Counters {
+    predicted: AtomicU64,
+    observed: AtomicU64,
+    batches: AtomicU64,
+    evictions: AtomicU64,
+    unparks: AtomicU64,
+    flushes: AtomicU64,
+}
+
+/// A concurrent multi-stream serving engine over one shared, immutable
+/// [`HighOrderModel`].
+///
+/// The model is mined offline once and referenced by every stream; the
+/// only mutable state is each stream's compact [`FilterState`], kept in
+/// a sharded table with one lock per shard. Requests for different
+/// shards never contend, and the model itself is never locked — the
+/// deployment shape of the paper's §III: *"the online component is
+/// efficient enough to serve heavy traffic"*.
+///
+/// # Determinism
+///
+/// Per stream, the engine is bit-identical to driving a dedicated
+/// [`hom_core::OnlinePredictor`] with the same records: same
+/// predictions, same posteriors, for any shard count, thread count or
+/// eviction policy (eviction hibernates streams through the lossless
+/// snapshot codec). The differential test suite proves this.
+pub struct ServeEngine {
+    model: Arc<HighOrderModel>,
+    shards: Vec<Mutex<Shard>>,
+    /// `log2(shards.len())` — the table size is a power of two.
+    shard_bits: u32,
+    pool: Pool,
+    prune: bool,
+    capacity: Option<usize>,
+    ttl: Option<u64>,
+    /// Logical clock: one tick per request, the LRU/TTL ordering key.
+    clock: AtomicU64,
+    obs: Obs,
+    counters: Counters,
+    batch_latency: Mutex<Histogram>,
+}
+
+impl ServeEngine {
+    /// An engine with default [`ServeOptions`] (env-driven shard/thread
+    /// counts, pruned predictions, no eviction).
+    pub fn new(model: Arc<HighOrderModel>) -> Self {
+        Self::with_options(model, &ServeOptions::default())
+    }
+
+    /// [`ServeEngine::new`] with explicit options.
+    ///
+    /// # Panics
+    /// Panics if the model has no concepts (a [`FilterState`]
+    /// precondition).
+    pub fn with_options(model: Arc<HighOrderModel>, options: &ServeOptions) -> Self {
+        assert!(model.n_concepts() > 0, "model has no concepts");
+        let shards = options
+            .shards
+            .or_else(|| env_usize(SHARDS_ENV))
+            .unwrap_or(DEFAULT_SHARDS)
+            .max(1)
+            .next_power_of_two();
+        let shard_bits = shards.trailing_zeros();
+        let threads = options.threads.or_else(|| env_usize(THREADS_ENV));
+        ServeEngine {
+            model,
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_bits,
+            // The pool carries no Obs on purpose: per-batch worker-stats
+            // series would swamp a trace at serving rates. The engine
+            // emits its own aggregated metrics instead.
+            pool: Pool::new(threads),
+            prune: options.prune,
+            capacity: options.capacity.map(|c| c.max(1)),
+            ttl: options.ttl,
+            clock: AtomicU64::new(0),
+            obs: options.sink.clone(),
+            counters: Counters::default(),
+            batch_latency: Mutex::new(Histogram::new()),
+        }
+    }
+
+    /// The shared model every stream predicts with.
+    pub fn model(&self) -> &Arc<HighOrderModel> {
+        &self.model
+    }
+
+    /// Number of shards in the stream table.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker threads [`Self::submit`] distributes shards over.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Streams currently live (in-memory state) across all shards.
+    pub fn live_streams(&self) -> usize {
+        self.shards.iter().map(|s| self.lock(s).live.len()).sum()
+    }
+
+    /// Streams currently parked (hibernated snapshots) across all shards.
+    pub fn parked_streams(&self) -> usize {
+        self.shards.iter().map(|s| self.lock(s).parked.len()).sum()
+    }
+
+    fn lock<'a>(&self, shard: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+        // A poisoned shard means a classifier panicked mid-request on
+        // another thread; the table itself (HashMaps + value types) is
+        // still structurally sound, so serving continues.
+        shard.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn shard_index(&self, stream: StreamId) -> usize {
+        shard_of(stream, self.shard_bits)
+    }
+
+    /// Get-or-create the live entry for `stream` in `shard`, bumping its
+    /// LRU tick. Parked streams are restored (bit-identically); brand-new
+    /// streams start at the uniform prior. Enforces the per-shard
+    /// capacity by parking the least-recently-used other stream.
+    fn touch<'a>(&self, shard: &'a mut Shard, stream: StreamId) -> &'a mut FilterState {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        if let Some(entry) = shard.live.get_mut(&stream) {
+            entry.last_used = now;
+        } else {
+            let state = match shard.parked.remove(&stream) {
+                Some(bytes) => {
+                    self.counters.unparks.fetch_add(1, Ordering::Relaxed);
+                    FilterState::restore(&self.model, &bytes)
+                        .expect("engine-written snapshots are always valid")
+                }
+                None => FilterState::new(&self.model),
+            };
+            shard.live.insert(
+                stream,
+                Entry {
+                    state,
+                    last_used: now,
+                },
+            );
+            if let Some(cap) = self.capacity {
+                if shard.live.len() > cap {
+                    if let Some(victim) = shard.lru_victim(stream) {
+                        let entry = shard.live.remove(&victim).expect("victim is live");
+                        shard.parked.insert(victim, entry.state.snapshot());
+                        self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        &mut shard.live.get_mut(&stream).expect("just inserted").state
+    }
+
+    /// Apply one request against an already-locked shard.
+    fn process(&self, shard: &mut Shard, request: &Request) -> Response {
+        let measure = self.obs.enabled();
+        match request {
+            Request::Predict { stream, x } => {
+                let state = self.touch(shard, *stream);
+                let pred = if self.prune {
+                    state.predict_pruned(&self.model, x).0
+                } else {
+                    state.predict(&self.model, x)
+                };
+                if measure {
+                    self.counters.predicted.fetch_add(1, Ordering::Relaxed);
+                }
+                Response {
+                    stream: *stream,
+                    prediction: Some(pred),
+                }
+            }
+            Request::Observe { stream, x, y } => {
+                let state = self.touch(shard, *stream);
+                state.observe(&self.model, x, *y);
+                if measure {
+                    self.counters.observed.fetch_add(1, Ordering::Relaxed);
+                }
+                Response {
+                    stream: *stream,
+                    prediction: None,
+                }
+            }
+            Request::Step { stream, x, y } => {
+                let state = self.touch(shard, *stream);
+                let pred = if self.prune {
+                    state.predict_pruned(&self.model, x).0
+                } else {
+                    state.predict(&self.model, x)
+                };
+                state.observe(&self.model, x, *y);
+                if measure {
+                    self.counters.predicted.fetch_add(1, Ordering::Relaxed);
+                    self.counters.observed.fetch_add(1, Ordering::Relaxed);
+                }
+                Response {
+                    stream: *stream,
+                    prediction: Some(pred),
+                }
+            }
+            Request::Advance { stream, k } => {
+                let state = self.touch(shard, *stream);
+                state.advance_by(&self.model, *k);
+                Response {
+                    stream: *stream,
+                    prediction: None,
+                }
+            }
+        }
+    }
+
+    /// Apply a batch of requests, returning one response per request in
+    /// the same order.
+    ///
+    /// Requests are grouped by shard; each shard's group is processed
+    /// sequentially (preserving per-stream order — a stream always lives
+    /// on one shard) and distinct shards run concurrently on the
+    /// engine's worker pool. Throughput therefore scales with threads as
+    /// long as the batch touches several shards, and the result is
+    /// independent of both the thread count and the grouping.
+    pub fn submit(&self, requests: &[Request]) -> Vec<Response> {
+        let measure = self.obs.enabled();
+        let t0 = measure.then(Instant::now);
+
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, r) in requests.iter().enumerate() {
+            groups[self.shard_index(r.stream())].push(i);
+        }
+        let nonempty: Vec<usize> = (0..groups.len())
+            .filter(|&s| !groups[s].is_empty())
+            .collect();
+
+        let parts = self.pool.map_slice(&nonempty, |_, &s| {
+            let mut shard = self.lock(&self.shards[s]);
+            groups[s]
+                .iter()
+                .map(|&i| self.process(&mut shard, &requests[i]))
+                .collect::<Vec<Response>>()
+        });
+
+        let mut out: Vec<Option<Response>> = vec![None; requests.len()];
+        for (&s, responses) in nonempty.iter().zip(parts) {
+            for (&i, r) in groups[s].iter().zip(responses) {
+                out[i] = Some(r);
+            }
+        }
+
+        if let Some(t0) = t0 {
+            self.counters.batches.fetch_add(1, Ordering::Relaxed);
+            let mut hist = self.batch_latency.lock().unwrap_or_else(|e| e.into_inner());
+            hist.record(t0.elapsed().as_nanos() as f64);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request processed exactly once"))
+            .collect()
+    }
+
+    /// Classify an unlabeled record on `stream` (Eq. 10, pruned per the
+    /// engine's options). Creates the stream at the uniform prior if it
+    /// does not exist.
+    pub fn predict(&self, stream: StreamId, x: &[f64]) -> ClassId {
+        self.one(Request::Predict {
+            stream,
+            x: x.to_vec(),
+        })
+        .prediction
+        .expect("predict returns a prediction")
+    }
+
+    /// Absorb a labeled record into `stream` (Eqs. 5, 7–9).
+    pub fn observe(&self, stream: StreamId, x: &[f64], y: ClassId) {
+        self.one(Request::Observe {
+            stream,
+            x: x.to_vec(),
+            y,
+        });
+    }
+
+    /// Predict then absorb one record on `stream` — the
+    /// `OnlinePredictor::step` lifecycle.
+    pub fn step(&self, stream: StreamId, x: &[f64], y: ClassId) -> ClassId {
+        self.one(Request::Step {
+            stream,
+            x: x.to_vec(),
+            y,
+        })
+        .prediction
+        .expect("step returns a prediction")
+    }
+
+    /// Advance `stream` by `k` unlabeled timestamps (§III-B).
+    pub fn advance(&self, stream: StreamId, k: usize) {
+        self.one(Request::Advance { stream, k });
+    }
+
+    fn one(&self, request: Request) -> Response {
+        let s = self.shard_index(request.stream());
+        let mut shard = self.lock(&self.shards[s]);
+        self.process(&mut shard, &request)
+    }
+
+    /// Read-only view of a stream's filter state (live or parked);
+    /// `None` if the engine has never seen the stream. Never changes any
+    /// state — peeking at a parked stream decodes its snapshot without
+    /// unparking it.
+    pub fn peek<R>(&self, stream: StreamId, f: impl FnOnce(&FilterState) -> R) -> Option<R> {
+        let shard = self.lock(&self.shards[self.shard_index(stream)]);
+        if let Some(entry) = shard.live.get(&stream) {
+            return Some(f(&entry.state));
+        }
+        let bytes = shard.parked.get(&stream)?;
+        let state =
+            FilterState::restore(&self.model, bytes).expect("engine-written snapshots are valid");
+        Some(f(&state))
+    }
+
+    /// The stream's current posterior `P_t(c)`, if the stream exists.
+    pub fn posterior(&self, stream: StreamId) -> Option<Vec<f64>> {
+        self.peek(stream, |s| s.posterior().to_vec())
+    }
+
+    /// Serialize a stream's state with the versioned snapshot codec —
+    /// restorable bit-identically into this or any engine over an
+    /// equivalent model. `None` if the stream does not exist.
+    pub fn snapshot(&self, stream: StreamId) -> Option<Vec<u8>> {
+        let shard = self.lock(&self.shards[self.shard_index(stream)]);
+        if let Some(entry) = shard.live.get(&stream) {
+            return Some(entry.state.snapshot());
+        }
+        shard.parked.get(&stream).cloned()
+    }
+
+    /// Install a snapshotted state as `stream`, validating the bytes
+    /// first (corrupt or truncated input is an error, never a panic).
+    /// Replaces any existing state of that stream.
+    pub fn restore(&self, stream: StreamId, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let state = FilterState::restore(&self.model, bytes)?;
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.lock(&self.shards[self.shard_index(stream)]);
+        shard.parked.remove(&stream);
+        shard.live.insert(
+            stream,
+            Entry {
+                state,
+                last_used: now,
+            },
+        );
+        Ok(())
+    }
+
+    /// Hibernate a live stream now (snapshot it and free its state).
+    /// Returns `false` if the stream is not live. The stream transparently
+    /// resumes — bit-identically — on its next request.
+    pub fn park(&self, stream: StreamId) -> bool {
+        let mut shard = self.lock(&self.shards[self.shard_index(stream)]);
+        match shard.live.remove(&stream) {
+            Some(entry) => {
+                shard.parked.insert(stream, entry.state.snapshot());
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Forget a stream entirely (live or parked). Returns whether it
+    /// existed. A later request for the id starts a fresh stream at the
+    /// uniform prior.
+    pub fn remove(&self, stream: StreamId) -> bool {
+        let mut shard = self.lock(&self.shards[self.shard_index(stream)]);
+        let was_live = shard.live.remove(&stream).is_some();
+        shard.parked.remove(&stream).is_some() || was_live
+    }
+
+    /// Park every live stream idle for more than the configured
+    /// [`ServeOptions::ttl`] engine ticks. Returns the number parked
+    /// (always 0 when no TTL is configured).
+    pub fn sweep(&self) -> usize {
+        let Some(ttl) = self.ttl else { return 0 };
+        let now = self.clock.load(Ordering::Relaxed);
+        let mut parked = 0;
+        for shard in &self.shards {
+            let mut shard = self.lock(shard);
+            let idle: Vec<StreamId> = shard
+                .live
+                .iter()
+                .filter(|&(_, e)| now.saturating_sub(e.last_used) > ttl)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in idle {
+                let entry = shard.live.remove(&id).expect("listed as live");
+                shard.parked.insert(id, entry.state.snapshot());
+                parked += 1;
+            }
+        }
+        if parked > 0 {
+            self.counters.evictions.fetch_add(parked, Ordering::Relaxed);
+        }
+        parked as usize
+    }
+
+    /// Emit the metrics accumulated since the last flush — request and
+    /// eviction counters, the batch-latency histogram, and per-shard
+    /// occupancy series — then reset them. A no-op when unobserved;
+    /// called automatically on drop.
+    pub fn flush_trace(&self) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let predicted = self.counters.predicted.swap(0, Ordering::Relaxed);
+        let observed = self.counters.observed.swap(0, Ordering::Relaxed);
+        let batches = self.counters.batches.swap(0, Ordering::Relaxed);
+        let evictions = self.counters.evictions.swap(0, Ordering::Relaxed);
+        let unparks = self.counters.unparks.swap(0, Ordering::Relaxed);
+        if predicted + observed + batches + evictions + unparks == 0 {
+            return;
+        }
+        self.obs.count("serve.records_predicted", predicted);
+        self.obs.count("serve.records_observed", observed);
+        self.obs.count("serve.batches", batches);
+        self.obs.count("serve.evictions", evictions);
+        self.obs.count("serve.unparks", unparks);
+
+        let hist = {
+            let mut guard = self.batch_latency.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::replace(&mut *guard, Histogram::new())
+        };
+        if hist.count() > 0 {
+            self.obs.hist("serve.batch_latency_ns", &hist);
+        }
+
+        // Per-shard occupancy: one series sample per flush, indexed by
+        // flush sequence, one value per shard.
+        let flush = self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        let (live, parked): (Vec<f64>, Vec<f64>) = self
+            .shards
+            .iter()
+            .map(|s| {
+                let shard = self.lock(s);
+                (shard.live.len() as f64, shard.parked.len() as f64)
+            })
+            .unzip();
+        self.obs.series("serve.shard_live", flush, &live);
+        self.obs.series("serve.shard_parked", flush, &parked);
+        self.obs.gauge("serve.live_streams", live.iter().sum());
+        self.obs.gauge("serve.parked_streams", parked.iter().sum());
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.flush_trace();
+    }
+}

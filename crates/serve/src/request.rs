@@ -1,0 +1,75 @@
+//! The serving engine's wire-level types: stream identities, requests
+//! and responses.
+
+use hom_data::ClassId;
+
+/// Caller-chosen identity of one independent stream. Any `u64` is valid;
+/// the engine hashes it onto a shard, so ids need not be dense or small.
+pub type StreamId = u64;
+
+/// One unit of work for [`crate::ServeEngine::submit`]. Requests against
+/// the **same** stream are always applied in submission order; requests
+/// against different streams are independent and may run concurrently.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Classify an unlabeled record with the stream's current prior
+    /// (Eq. 10 / §III-C) without touching any state.
+    Predict {
+        /// The stream whose filter state weighs the ensemble.
+        stream: StreamId,
+        /// Attribute values of the record.
+        x: Vec<f64>,
+    },
+    /// Absorb a labeled record into the stream's posterior (Eqs. 7–9)
+    /// and roll the prior to the next timestamp (Eq. 5).
+    Observe {
+        /// The stream to update.
+        stream: StreamId,
+        /// Attribute values of the record.
+        x: Vec<f64>,
+        /// The revealed label.
+        y: ClassId,
+    },
+    /// [`Request::Predict`] then [`Request::Observe`] of the same record
+    /// — the benchmark lifecycle of `OnlinePredictor::step` (the
+    /// prediction never sees `y`).
+    Step {
+        /// The stream to predict on and update.
+        stream: StreamId,
+        /// Attribute values of the record.
+        x: Vec<f64>,
+        /// The revealed label (absorbed after the prediction is made).
+        y: ClassId,
+    },
+    /// Advance the stream `k` timestamps without labels (variable-rate
+    /// streams, §III-B).
+    Advance {
+        /// The stream to advance.
+        stream: StreamId,
+        /// Number of label-less timestamps that elapsed.
+        k: usize,
+    },
+}
+
+impl Request {
+    /// The stream this request addresses.
+    pub fn stream(&self) -> StreamId {
+        match *self {
+            Request::Predict { stream, .. }
+            | Request::Observe { stream, .. }
+            | Request::Step { stream, .. }
+            | Request::Advance { stream, .. } => stream,
+        }
+    }
+}
+
+/// The outcome of one [`Request`], in the same position as its request
+/// in the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The stream the request addressed.
+    pub stream: StreamId,
+    /// The class prediction for `Predict` and `Step` requests; `None`
+    /// for `Observe` and `Advance`.
+    pub prediction: Option<ClassId>,
+}

@@ -1,0 +1,75 @@
+//! The sharded stream table: live filter states plus parked (hibernated)
+//! snapshots, one lock per shard.
+
+use std::collections::HashMap;
+
+use hom_core::FilterState;
+
+use crate::request::StreamId;
+
+/// A live stream: its filter state and the engine-clock tick of its last
+/// use (the LRU/TTL ordering key).
+pub(crate) struct Entry {
+    pub state: FilterState,
+    pub last_used: u64,
+}
+
+/// One shard of the stream table. A stream id always hashes to the same
+/// shard, so per-stream request order is preserved by processing each
+/// shard's requests sequentially — and two requests for different shards
+/// never contend.
+#[derive(Default)]
+pub(crate) struct Shard {
+    /// Streams with an in-memory filter state.
+    pub live: HashMap<StreamId, Entry>,
+    /// Evicted streams, hibernated as snapshot bytes (`FilterState`'s
+    /// versioned codec). Restoring one continues the stream
+    /// bit-identically, so eviction is invisible to predictions.
+    pub parked: HashMap<StreamId, Vec<u8>>,
+}
+
+impl Shard {
+    /// The least-recently-used live stream, excluding `keep` (the stream
+    /// being served right now). `None` when there is no other stream.
+    pub fn lru_victim(&self, keep: StreamId) -> Option<StreamId> {
+        self.live
+            .iter()
+            .filter(|&(&id, _)| id != keep)
+            .min_by_key(|&(_, e)| e.last_used)
+            .map(|(&id, _)| id)
+    }
+}
+
+/// Multiplicative (Fibonacci) hash of a stream id onto `2^bits` shards —
+/// cheap, and spreads dense ids (0, 1, 2, …) evenly.
+pub(crate) fn shard_of(stream: StreamId, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    (stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - bits)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_ids_spread_over_shards() {
+        let bits = 4; // 16 shards
+        let mut counts = [0usize; 16];
+        for id in 0..1600u64 {
+            counts[shard_of(id, bits)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!((50..=200).contains(&c), "shard {s} got {c} of 1600");
+        }
+    }
+
+    #[test]
+    fn shard_is_stable() {
+        for id in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(shard_of(id, 6), shard_of(id, 6));
+        }
+        assert_eq!(shard_of(123, 0), 0);
+    }
+}

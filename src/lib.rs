@@ -56,6 +56,7 @@
 //! | [`datagen`] | Stagger, Hyperplane and synthetic Intrusion generators |
 //! | [`cluster`] | the two-step agglomerative concept clustering (§II) |
 //! | [`core`] | the high-order model: offline build + online filter (§III) |
+//! | [`serve`] | concurrent multi-stream serving engine over one shared model |
 //! | [`baselines`] | RePro (KDD'05) and WCE (KDD'03) re-implementations |
 //! | [`eval`] | the experiment harness behind every table and figure |
 //!
@@ -70,6 +71,7 @@ pub use hom_data as data;
 pub use hom_datagen as datagen;
 pub use hom_eval as eval;
 pub use hom_obs as obs;
+pub use hom_serve as serve;
 
 /// The most common imports in one line.
 pub mod prelude {
@@ -79,7 +81,7 @@ pub mod prelude {
     };
     pub use hom_cluster::{cluster_concepts, ClusterParams};
     pub use hom_core::{
-        build, build_with, BuildOptions, BuildParams, HighOrderModel, OnlineOptions,
+        build, build_with, BuildOptions, BuildParams, FilterState, HighOrderModel, OnlineOptions,
         OnlinePredictor, TransitionStats,
     };
     pub use hom_data::stream::{collect, ReplaySource};
@@ -89,4 +91,5 @@ pub mod prelude {
         StaggerParams, StaggerSource,
     };
     pub use hom_obs::{JsonlSink, NullSink, Obs, Recorder};
+    pub use hom_serve::{Request, Response, ServeEngine, ServeOptions, StreamId};
 }
