@@ -1,0 +1,203 @@
+//! The windowed novelty detector over the filter's own evidence.
+
+use std::collections::VecDeque;
+
+use crate::AdaptOptions;
+
+/// Sliding-window means of the filter's two novelty signals: the
+/// marginal likelihood of each absorbed label (the Eq. 7 normalizer,
+/// [`hom_core::FilterState::last_likelihood`]) and the normalized
+/// posterior entropy ([`hom_core::FilterState::posterior_entropy`]).
+///
+/// The detector holds no opinion about *when* to act — it only answers
+/// [`Self::off_model`]: are both windowed means across their thresholds
+/// with a full window of evidence? The [`crate::AdaptivePredictor`]
+/// turns that into trigger/recover transitions. Purely deterministic:
+/// same evidence sequence, same answers, no RNG, no clock.
+#[derive(Debug, Clone)]
+pub struct NoveltyDetector {
+    window: usize,
+    lik: VecDeque<f64>,
+    ent: VecDeque<f64>,
+    lik_sum: f64,
+    ent_sum: f64,
+}
+
+impl NoveltyDetector {
+    /// An empty detector with the given window (records).
+    ///
+    /// # Panics
+    /// Panics if `window` is zero (rejected earlier by
+    /// [`AdaptOptions::validate`]).
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be nonzero");
+        NoveltyDetector {
+            window,
+            lik: VecDeque::with_capacity(window),
+            ent: VecDeque::with_capacity(window),
+            lik_sum: 0.0,
+            ent_sum: 0.0,
+        }
+    }
+
+    /// Absorb one labeled record's evidence.
+    pub fn push(&mut self, likelihood: f64, entropy: f64) {
+        if self.lik.len() == self.window {
+            self.lik_sum -= self.lik.pop_front().expect("window nonempty");
+            self.ent_sum -= self.ent.pop_front().expect("window nonempty");
+        }
+        self.lik.push_back(likelihood);
+        self.ent.push_back(entropy);
+        self.lik_sum += likelihood;
+        self.ent_sum += entropy;
+    }
+
+    /// Whether a full window of evidence has accumulated. Until then the
+    /// detector never fires — a half-empty window after a reset would
+    /// otherwise make a handful of noisy labels look sustained.
+    pub fn full(&self) -> bool {
+        self.lik.len() == self.window
+    }
+
+    /// Windowed mean of the marginal likelihood (1.0 when empty).
+    pub fn mean_likelihood(&self) -> f64 {
+        if self.lik.is_empty() {
+            return 1.0;
+        }
+        self.lik_sum / self.lik.len() as f64
+    }
+
+    /// Windowed mean of the normalized posterior entropy (0.0 when
+    /// empty).
+    pub fn mean_entropy(&self) -> f64 {
+        if self.ent.is_empty() {
+            return 0.0;
+        }
+        self.ent_sum / self.ent.len() as f64
+    }
+
+    /// The off-model verdict: a full window whose mean likelihood has
+    /// collapsed below the threshold **and** whose mean entropy has
+    /// saturated above it. Both at once — see
+    /// [`AdaptOptions::entropy_threshold`] for why either alone is not
+    /// enough.
+    pub fn off_model(&self, opts: &AdaptOptions) -> bool {
+        self.full()
+            && self.mean_likelihood() < opts.likelihood_threshold
+            && self.mean_entropy() > opts.entropy_threshold
+    }
+
+    /// The recovery verdict: a full window whose mean likelihood is back
+    /// **at or above** the threshold — the model explains the labels
+    /// again. Deliberately *not* the negation of [`Self::off_model`]: in
+    /// an off-model regime the posterior eventually concentrates on the
+    /// least-bad mined concept, which lowers the entropy below its
+    /// threshold without the model fitting any better. Entropy settling
+    /// alone must therefore never count as recovery; only the likelihood
+    /// can clear the stream.
+    pub fn back_on_model(&self, opts: &AdaptOptions) -> bool {
+        self.full() && self.mean_likelihood() >= opts.likelihood_threshold
+    }
+
+    /// Drop all evidence (called after a model swap: the old means mix
+    /// generations).
+    pub fn reset(&mut self) {
+        self.lik.clear();
+        self.ent.clear();
+        self.lik_sum = 0.0;
+        self.ent_sum = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> AdaptOptions {
+        AdaptOptions {
+            window: 4,
+            likelihood_threshold: 0.7,
+            entropy_threshold: 0.25,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn never_fires_before_the_window_fills() {
+        let o = opts();
+        let mut d = NoveltyDetector::new(o.window);
+        for _ in 0..3 {
+            d.push(0.1, 0.9); // maximally alarming evidence
+            assert!(!d.off_model(&o), "partial window must not fire");
+        }
+        d.push(0.1, 0.9);
+        assert!(d.off_model(&o));
+    }
+
+    #[test]
+    fn needs_both_signals() {
+        let o = opts();
+        // likelihood collapsed, entropy fine (label noise shape)
+        let mut d = NoveltyDetector::new(o.window);
+        for _ in 0..4 {
+            d.push(0.1, 0.1);
+        }
+        assert!(!d.off_model(&o));
+        // entropy saturated, likelihood fine (slow-switch shape)
+        let mut d = NoveltyDetector::new(o.window);
+        for _ in 0..4 {
+            d.push(0.9, 0.9);
+        }
+        assert!(!d.off_model(&o));
+    }
+
+    #[test]
+    fn window_slides_and_recovers() {
+        let o = opts();
+        let mut d = NoveltyDetector::new(o.window);
+        for _ in 0..4 {
+            d.push(0.2, 0.8);
+        }
+        assert!(d.off_model(&o));
+        // healthy evidence pushes the bad window out
+        for _ in 0..4 {
+            d.push(0.95, 0.05);
+        }
+        assert!(!d.off_model(&o));
+        assert!((d.mean_likelihood() - 0.95).abs() < 1e-12);
+        assert!((d.mean_entropy() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn settled_entropy_alone_is_not_recovery() {
+        let o = opts();
+        let mut d = NoveltyDetector::new(o.window);
+        // Likelihood collapsed but the posterior concentrated on the
+        // least-bad concept: no longer off-model (entropy low), yet not
+        // recovered either.
+        for _ in 0..4 {
+            d.push(0.5, 0.1);
+        }
+        assert!(!d.off_model(&o));
+        assert!(!d.back_on_model(&o));
+        // Only a healthy likelihood clears the stream.
+        for _ in 0..4 {
+            d.push(0.9, 0.1);
+        }
+        assert!(d.back_on_model(&o));
+    }
+
+    #[test]
+    fn reset_empties_the_window() {
+        let o = opts();
+        let mut d = NoveltyDetector::new(o.window);
+        for _ in 0..4 {
+            d.push(0.1, 0.9);
+        }
+        d.reset();
+        assert!(!d.full());
+        assert!(!d.off_model(&o));
+        assert_eq!(d.mean_likelihood(), 1.0);
+        assert_eq!(d.mean_entropy(), 0.0);
+    }
+}

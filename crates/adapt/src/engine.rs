@@ -1,0 +1,279 @@
+//! The serving-side wiring: one monitored stream drives live model
+//! maintenance for a whole [`ServeEngine`].
+
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use hom_core::HighOrderModel;
+use hom_data::ClassId;
+use hom_obs::Obs;
+use hom_serve::{ConfigError, ServeEngine, ServeOptions};
+
+use crate::predictor::{AdaptEvent, AdaptivePredictor, Mode};
+use crate::{AdaptConfigError, AdaptOptions};
+
+/// A rejected [`AdaptiveEngine`] configuration: either side's typed
+/// error, never a silent clamp.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineConfigError {
+    /// The serving options were invalid (see [`ConfigError`]).
+    Serve(ConfigError),
+    /// The adaptation options were invalid (see [`AdaptConfigError`]).
+    Adapt(AdaptConfigError),
+}
+
+impl fmt::Display for EngineConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineConfigError::Serve(e) => write!(f, "serve configuration: {e}"),
+            EngineConfigError::Adapt(e) => write!(f, "adapt configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineConfigError {}
+
+impl From<ConfigError> for EngineConfigError {
+    fn from(e: ConfigError) -> Self {
+        EngineConfigError::Serve(e)
+    }
+}
+
+impl From<AdaptConfigError> for EngineConfigError {
+    fn from(e: AdaptConfigError) -> Self {
+        EngineConfigError::Adapt(e)
+    }
+}
+
+/// A [`ServeEngine`] plus the maintenance loop: labeled records from one
+/// designated **monitor stream** (the stream with ground-truth labels —
+/// in a deployment, the audited or delayed-label feed) flow through an
+/// [`AdaptivePredictor`]; when it admits a segment, the extended model is
+/// hot-swapped into the serving engine for **every** stream via
+/// [`ServeEngine::swap_model`], migrating all live and parked filter
+/// states.
+///
+/// ```text
+///   monitor labels ──▶ AdaptivePredictor ──(Admitted)──▶ swap_model
+///                                                            │
+///   all other streams ──▶ ServeEngine  ◀─────────────────────┘
+///                         (requests keep flowing; the swap drains
+///                          in-flight batches, then migrates states)
+/// ```
+///
+/// The unlabeled request path is untouched: [`Self::serve`] exposes the
+/// inner engine for `submit`/`predict`/`park`/… exactly as without
+/// adaptation. Only the monitor stream's labeled records go through
+/// [`Self::step_monitor`].
+pub struct AdaptiveEngine {
+    serve: ServeEngine,
+    monitor: Mutex<AdaptivePredictor>,
+    obs: Obs,
+}
+
+impl AdaptiveEngine {
+    /// An adaptive engine over `model`, validating both option sets.
+    pub fn try_new(
+        model: Arc<HighOrderModel>,
+        serve: &ServeOptions,
+        adapt: AdaptOptions,
+    ) -> Result<Self, EngineConfigError> {
+        let obs = adapt.sink.clone();
+        let monitor = AdaptivePredictor::new(Arc::clone(&model), adapt)?;
+        let serve = ServeEngine::try_with_options(model, serve)?;
+        Ok(AdaptiveEngine {
+            serve,
+            monitor: Mutex::new(monitor),
+            obs,
+        })
+    }
+
+    /// [`Self::try_new`] with default serving options.
+    ///
+    /// # Panics
+    /// Panics with the typed error's message if either option set is
+    /// invalid; use [`Self::try_new`] to handle it.
+    pub fn new(model: Arc<HighOrderModel>, adapt: AdaptOptions) -> Self {
+        match Self::try_new(model, &ServeOptions::default(), adapt) {
+            Ok(engine) => engine,
+            Err(e) => panic!("invalid adaptive engine configuration: {e}"),
+        }
+    }
+
+    /// The inner serving engine — the full request path
+    /// (`submit`/`predict`/`snapshot`/`park`/…) for all streams.
+    pub fn serve(&self) -> &ServeEngine {
+        &self.serve
+    }
+
+    /// The model currently being served (grows across admissions).
+    pub fn model(&self) -> Arc<HighOrderModel> {
+        self.serve.model()
+    }
+
+    /// The monitor predictor's lifecycle mode right now.
+    pub fn mode(&self) -> Mode {
+        self.lock_monitor().mode()
+    }
+
+    /// One labeled record from the monitor stream: predict (filter
+    /// on-model, fallback learner off-model), absorb, and — when a
+    /// segment is admitted — hot-swap the extended model into the
+    /// serving engine for every stream. Returns the prediction and the
+    /// lifecycle transition, if this record caused one.
+    pub fn step_monitor(&self, x: &[f64], y: ClassId) -> (ClassId, Option<AdaptEvent>) {
+        let mut monitor = self.lock_monitor();
+        let (pred, event) = monitor.step(x, y);
+        if let Some(AdaptEvent::Admitted { model, .. }) = &event {
+            // The swap cannot fail by construction: the admitted model is
+            // the served model grown by one concept (or its stats
+            // updated) over the same schema. Hold the monitor lock across
+            // it so a second monitor record cannot race the swap.
+            match self.serve.swap_model(Arc::clone(model)) {
+                Ok(report) => {
+                    if self.obs.enabled() {
+                        self.obs.count("adapt.swaps", 1);
+                        self.obs.gauge("adapt.swap_epoch", f64::from(report.epoch));
+                    }
+                }
+                Err(e) => {
+                    // Unreachable unless the serving model was swapped
+                    // behind our back; surface it, never panic the
+                    // request path.
+                    if self.obs.enabled() {
+                        self.obs.count("adapt.swap_failures", 1);
+                    }
+                    debug_assert!(false, "admission swap rejected: {e}");
+                }
+            }
+        }
+        (pred, event)
+    }
+
+    /// Classify an unlabeled record with the monitor predictor (fallback
+    /// learner while off-model, filter otherwise).
+    pub fn predict_monitor(&self, x: &[f64]) -> ClassId {
+        self.lock_monitor().predict(x)
+    }
+
+    fn lock_monitor(&self) -> MutexGuard<'_, AdaptivePredictor> {
+        // Poisoning means a classifier panicked mid-step on another
+        // thread; the predictor's data structures are all plain values,
+        // so continuing is safe (same policy as the serve shards).
+        self.monitor.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_classifiers::MajorityClassifier;
+    use hom_core::{Concept, TransitionStats};
+    use hom_data::{Attribute, Schema};
+    use hom_serve::Request;
+
+    fn toy_model() -> Arc<HighOrderModel> {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let concepts = vec![
+            Concept {
+                id: 0,
+                model: Arc::new(MajorityClassifier::from_counts(&[10, 0])),
+                err: 0.05,
+                n_records: 100,
+                n_occurrences: 1,
+            },
+            Concept {
+                id: 1,
+                model: Arc::new(MajorityClassifier::from_counts(&[0, 10])),
+                err: 0.05,
+                n_records: 100,
+                n_occurrences: 1,
+            },
+        ];
+        let stats = TransitionStats::from_occurrences(2, &[(0, 100), (1, 100)]);
+        Arc::new(HighOrderModel::from_parts(schema, concepts, stats))
+    }
+
+    fn opts() -> AdaptOptions {
+        AdaptOptions {
+            window: 20,
+            min_segment: 60,
+            max_segment: 200,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn invalid_options_surface_as_typed_errors() {
+        let err = AdaptiveEngine::try_new(
+            toy_model(),
+            &ServeOptions {
+                shards: Some(3),
+                ..Default::default()
+            },
+            opts(),
+        )
+        .err()
+        .expect("3 shards must be rejected");
+        assert!(matches!(err, EngineConfigError::Serve(_)), "{err}");
+
+        let err = AdaptiveEngine::try_new(
+            toy_model(),
+            &ServeOptions::default(),
+            AdaptOptions {
+                window: 0,
+                ..opts()
+            },
+        )
+        .err()
+        .expect("zero window must be rejected");
+        assert_eq!(
+            err,
+            EngineConfigError::Adapt(AdaptConfigError::ZeroCount("window"))
+        );
+    }
+
+    /// An admission on the monitor stream swaps the model for *other*
+    /// streams too: their states migrate and the epoch bumps.
+    #[test]
+    fn admission_swaps_the_serving_model_for_all_streams() {
+        let engine = AdaptiveEngine::new(toy_model(), opts());
+        // A bystander stream living in the serve engine.
+        for _ in 0..20 {
+            engine.serve().step(7, &[0.0], 1);
+        }
+        assert_eq!(engine.serve().epoch(), 0);
+        let before = engine.serve().posterior(7).expect("stream 7 lives");
+        assert_eq!(before.len(), 2);
+
+        // Monitor settles, then enters a regime no concept explains.
+        for _ in 0..50 {
+            engine.step_monitor(&[0.0], 1);
+        }
+        let mut admitted = false;
+        for t in 0..400u32 {
+            let (_, event) = engine.step_monitor(&[f64::from(t % 2)], t % 2);
+            if let Some(AdaptEvent::Admitted { novel, .. }) = event {
+                assert!(novel);
+                admitted = true;
+                break;
+            }
+        }
+        assert!(admitted, "monitor must admit the novel regime");
+        assert_eq!(engine.model().n_concepts(), 3);
+        assert_eq!(engine.serve().epoch(), 1);
+        // The bystander's posterior was migrated to the grown space.
+        let after = engine.serve().posterior(7).expect("stream 7 survived");
+        assert_eq!(after.len(), 3);
+        let sum: f64 = after.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // And the engine keeps serving it — on the new model — without
+        // panicking.
+        let r = engine.serve().submit(&[Request::Step {
+            stream: 7,
+            x: vec![0.0],
+            y: 1,
+        }]);
+        assert!(r[0].prediction.is_some());
+    }
+}

@@ -1,0 +1,254 @@
+//! End-to-end acceptance: a model mined on classic Stagger history meets
+//! a stream that enters the **held-out** fourth concept
+//! (`hom_datagen::stagger::NOVEL_CONCEPT`, "positive iff color = blue"),
+//! which the historical stream provably never produced. The detector
+//! must fire within a bounded number of labeled records, the fallback
+//! learner must serve (no worse than a standalone Hoeffding tree on the
+//! same span), the segment must be admitted as a novel concept with a
+//! valid re-normalized transition kernel, and the whole lifecycle must
+//! be bit-identical at every thread count.
+
+use std::sync::Arc;
+
+use hom_adapt::{AdaptEvent, AdaptOptions, AdaptiveEngine, AdaptivePredictor, Mode};
+use hom_classifiers::{Classifier, DecisionTreeLearner, HoeffdingParams, HoeffdingTree};
+use hom_core::{build, BuildParams, HighOrderModel};
+use hom_data::stream::collect;
+use hom_data::{StreamRecord, StreamSource};
+use hom_datagen::stagger::{stagger_label, NOVEL_CONCEPT};
+use hom_datagen::{StaggerParams, StaggerSource};
+use hom_serve::{Request, ServeOptions};
+
+fn bits(p: &[f64]) -> Vec<u64> {
+    p.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Mine a model on classic Stagger history (concepts A/B/C only), and
+/// return test traffic: 300 on-model records followed by 900 records
+/// relabeled by the held-out novel concept.
+fn fixture() -> (Arc<HighOrderModel>, Vec<StreamRecord>, Vec<StreamRecord>) {
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda: 0.01,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, 3000);
+    let (model, _) = build(
+        &data,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: hom_cluster::ClusterParams {
+                block_size: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let on_model: Vec<StreamRecord> = (0..300).map(|_| src.next_record()).collect();
+    let novel: Vec<StreamRecord> = (0..900)
+        .map(|_| {
+            let mut r = src.next_record();
+            r.y = stagger_label(NOVEL_CONCEPT, r.x[0], r.x[1], r.x[2]);
+            r.concept = NOVEL_CONCEPT;
+            r
+        })
+        .collect();
+    (Arc::new(model), on_model, novel)
+}
+
+fn opts() -> AdaptOptions {
+    AdaptOptions {
+        window: 40,
+        // Long enough for the Hoeffding fallback to converge on the
+        // novel rule: "blue" sits between the green/red codes, so the
+        // tree needs two threshold splits (~110 records each at δ=1e-6)
+        // before its segment classifier is worth admitting.
+        min_segment: 300,
+        max_segment: 700,
+        ..Default::default()
+    }
+}
+
+/// The full lifecycle on mined Stagger: detect within a bounded number
+/// of labeled records, degrade no worse than a standalone Hoeffding
+/// tree, admit a novel concept with a valid re-normalized kernel, and
+/// predict the new regime accurately afterwards.
+#[test]
+fn novel_concept_lifecycle_on_stagger() {
+    let (model, on_model, novel) = fixture();
+    let n_mined = model.n_concepts();
+    let mut p = AdaptivePredictor::new(Arc::clone(&model), opts()).unwrap();
+
+    // Phase 1: on-model traffic. Brief excursions (concept switches) may
+    // trigger and recover, but nothing here is novel — a *novel*
+    // admission of historical concepts would be a false positive.
+    for r in &on_model {
+        if let (_, Some(AdaptEvent::Admitted { novel, .. })) = p.step(&r.x, r.y) {
+            assert!(!novel, "on-model traffic admitted as a novel concept");
+        }
+    }
+
+    // Phase 2: the stream enters the held-out concept.
+    let mut triggered_at = None;
+    let mut admitted = None;
+    let mut fallback_errors = 0usize;
+    let mut fallback_records = Vec::new();
+    let mut records_to_admission = 0usize;
+    for (t, r) in novel.iter().enumerate() {
+        let was_fallback = p.mode() == Mode::Fallback;
+        let (pred, event) = p.step(&r.x, r.y);
+        if was_fallback {
+            fallback_errors += usize::from(pred != r.y);
+            fallback_records.push(t);
+        }
+        records_to_admission = t + 1;
+        match event {
+            Some(AdaptEvent::Triggered) if triggered_at.is_none() => triggered_at = Some(t),
+            Some(AdaptEvent::Admitted {
+                model,
+                concept,
+                novel,
+                latency,
+                best_similarity,
+            }) => {
+                assert!(
+                    novel,
+                    "held-out concept must be admitted as novel \
+                     (best Eq. 4 similarity {best_similarity})"
+                );
+                assert!(best_similarity < 0.9);
+                assert_eq!(concept, n_mined);
+                assert_eq!(model.n_concepts(), n_mined + 1);
+                assert!(latency <= opts().max_segment);
+                admitted = Some(model);
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    // Detection latency is bounded: within a few evidence windows.
+    let triggered_at = triggered_at.expect("detector must fire on the held-out concept");
+    assert!(
+        triggered_at < 4 * opts().window,
+        "detection latency {triggered_at} records (window {})",
+        opts().window
+    );
+
+    // Degradation bound: on the off-model segment, the served
+    // predictions are never worse than a standalone Hoeffding tree with
+    // the same parameters trained prequentially on that same segment —
+    // the VFDT baseline the paper's introduction measures against.
+    let mut standalone = HoeffdingTree::new(
+        Arc::clone(model.schema()),
+        HoeffdingParams {
+            grace_period: opts().window,
+            ..HoeffdingParams::default()
+        },
+    );
+    let mut standalone_errors = 0usize;
+    for &t in &fallback_records {
+        let r = &novel[t];
+        standalone_errors += usize::from(standalone.predict(&r.x) != r.y);
+        standalone.update(&r.x, r.y);
+    }
+    assert!(
+        fallback_errors <= standalone_errors,
+        "fallback made {fallback_errors} errors, the standalone VFDT baseline \
+         {standalone_errors}, over {} off-model records",
+        fallback_records.len()
+    );
+
+    // The admitted model's kernel is a valid re-normalized χ (Eq. 6).
+    let grown = admitted.expect("segment must be admitted");
+    for i in 0..grown.n_concepts() {
+        let sum: f64 = (0..grown.n_concepts())
+            .map(|j| grown.stats().chi(i, j))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9, "χ row {i} sums to {sum}");
+        for j in 0..grown.n_concepts() {
+            if i != j {
+                assert!(grown.stats().chi(i, j) > 0.0, "χ({i},{j}) = 0");
+            }
+        }
+    }
+
+    // Repair pays off: back on-model, the grown model explains the novel
+    // regime accurately.
+    assert_eq!(p.mode(), Mode::OnModel);
+    let rest = &novel[records_to_admission..];
+    assert!(rest.len() >= 300, "need post-admission traffic to score");
+    let correct = rest
+        .iter()
+        .filter(|r| {
+            let (pred, _) = p.step(&r.x, r.y);
+            pred == r.y
+        })
+        .count();
+    let accuracy = correct as f64 / rest.len() as f64;
+    assert!(
+        accuracy >= 0.9,
+        "post-admission accuracy {accuracy:.3} over {} records",
+        rest.len()
+    );
+}
+
+/// The serving-side contract: the same traffic through [`AdaptiveEngine`]s
+/// configured with 1 and 8 worker threads produces bit-identical
+/// posteriors, the same admission, and the same epoch — the swap is pure
+/// execution policy, like everything else in the serving layer.
+#[test]
+fn admission_is_thread_count_invariant() {
+    let (model, on_model, novel) = fixture();
+    let engines: Vec<AdaptiveEngine> = [1usize, 8]
+        .iter()
+        .map(|&threads| {
+            AdaptiveEngine::try_new(
+                Arc::clone(&model),
+                &ServeOptions {
+                    shards: Some(8),
+                    threads: Some(threads),
+                    ..Default::default()
+                },
+                opts(),
+            )
+            .expect("valid configuration")
+        })
+        .collect();
+
+    let traffic = |engine: &AdaptiveEngine| {
+        let mut monitor_preds = Vec::new();
+        for r in on_model.iter().chain(&novel) {
+            // bystander streams ride the ordinary batch path
+            let batch: Vec<Request> = (0..6u64)
+                .map(|stream| Request::Step {
+                    stream,
+                    x: r.x.to_vec(),
+                    y: r.y,
+                })
+                .collect();
+            engine.serve().submit(&batch);
+            // the monitor stream drives adaptation
+            monitor_preds.push(engine.step_monitor(&r.x, r.y).0);
+        }
+        monitor_preds
+    };
+
+    let preds: Vec<Vec<u32>> = engines.iter().map(traffic).collect();
+    assert_eq!(preds[0], preds[1], "monitor predictions diverged");
+    assert_eq!(engines[0].serve().epoch(), engines[1].serve().epoch());
+    assert!(
+        engines[0].serve().epoch() >= 1,
+        "the novel regime must cause at least one hot-swap"
+    );
+    assert_eq!(
+        engines[0].model().n_concepts(),
+        engines[1].model().n_concepts()
+    );
+    assert_eq!(engines[0].model().n_concepts(), model.n_concepts() + 1);
+    for stream in 0..6u64 {
+        let a = engines[0].serve().posterior(stream).expect("stream exists");
+        let b = engines[1].serve().posterior(stream).expect("stream exists");
+        assert_eq!(bits(&a), bits(&b), "stream {stream} posterior diverged");
+    }
+}

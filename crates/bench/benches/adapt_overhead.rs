@@ -1,0 +1,184 @@
+//! Cost of the adaptation layer.
+//!
+//! Two questions an operator deciding whether to wrap their serving
+//! stack in `hom-adapt` will ask:
+//!
+//! 1. **Monitoring overhead** — what does the novelty detector add to
+//!    each labeled record on *on-model* traffic (the common case)? The
+//!    [`hom_adapt::AdaptivePredictor`] runs the same Bayesian filter as
+//!    [`hom_core::OnlinePredictor`] plus the evidence reads (Eq. 7
+//!    likelihood, posterior entropy) and two windowed means; both are
+//!    timed over identical records.
+//! 2. **Swap pause** — how long does [`hom_serve::ServeEngine`]'s
+//!    `swap_model` hold the world while it migrates every resident
+//!    stream onto a grown model? Measured against engines pre-loaded
+//!    with 1 / 1 000 / 100 000 live streams.
+//!
+//! With `HOM_JSON_DIR` set, a `BENCH_adapt.json` snapshot is written
+//! there.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hom_adapt::{AdaptOptions, AdaptivePredictor};
+use hom_classifiers::DecisionTreeLearner;
+use hom_cluster::ClusterParams;
+use hom_core::{build, BuildParams, HighOrderModel, OnlinePredictor};
+use hom_data::stream::collect;
+use hom_data::{StreamRecord, StreamSource};
+use hom_datagen::{StaggerParams, StaggerSource};
+use hom_eval::report::print_table;
+use hom_eval::EvalConfig;
+use hom_serve::{Request, ServeEngine, ServeOptions};
+
+const HISTORICAL: usize = 20_000;
+const BLOCK_SIZE: usize = 100;
+/// Labeled records timed per monitoring cell.
+const RECORDS: usize = 200_000;
+
+fn mine_model(seed: u64) -> (Arc<HighOrderModel>, Vec<StreamRecord>) {
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda: 0.002,
+        seed,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, HISTORICAL);
+    let (model, _) = build(
+        &data,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: BLOCK_SIZE,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let test: Vec<StreamRecord> = (0..4096).map(|_| src.next_record()).collect();
+    (Arc::new(model), test)
+}
+
+/// ns/record of the bare online filter over `RECORDS` on-model records.
+fn time_bare(model: &Arc<HighOrderModel>, test: &[StreamRecord]) -> (f64, u64) {
+    let mut p = OnlinePredictor::new(Arc::clone(model));
+    let mut hist = 0u64;
+    let start = Instant::now();
+    for i in 0..RECORDS {
+        let r = &test[i % test.len()];
+        hist = hist.wrapping_add(u64::from(p.step(&r.x, r.y)));
+    }
+    (start.elapsed().as_nanos() as f64 / RECORDS as f64, hist)
+}
+
+/// ns/record of the adaptive predictor over the same records.
+fn time_adaptive(model: &Arc<HighOrderModel>, test: &[StreamRecord]) -> (f64, u64) {
+    let mut p = AdaptivePredictor::new(Arc::clone(model), AdaptOptions::default())
+        .expect("default options are valid");
+    let mut hist = 0u64;
+    let start = Instant::now();
+    for i in 0..RECORDS {
+        let r = &test[i % test.len()];
+        hist = hist.wrapping_add(u64::from(p.step(&r.x, r.y).0));
+    }
+    (start.elapsed().as_nanos() as f64 / RECORDS as f64, hist)
+}
+
+/// Wall-clock of one `swap_model` onto a one-concept-larger model, with
+/// `streams` live filter states resident in the engine.
+fn time_swap(model: &Arc<HighOrderModel>, test: &[StreamRecord], streams: usize) -> f64 {
+    let engine = ServeEngine::with_options(
+        Arc::clone(model),
+        &ServeOptions {
+            shards: Some(64),
+            ..Default::default()
+        },
+    );
+    // Touch every stream once so its state is resident and must migrate.
+    for chunk in (0..streams).collect::<Vec<_>>().chunks(4096) {
+        let batch: Vec<Request> = chunk
+            .iter()
+            .map(|&s| {
+                let r = &test[s % test.len()];
+                Request::Step {
+                    stream: s as u64,
+                    x: r.x.to_vec(),
+                    y: r.y,
+                }
+            })
+            .collect();
+        engine.submit(&batch);
+    }
+    // The grown model: the admission path's output, one concept larger.
+    let grown = Arc::new(model.admit_concept(Arc::clone(&model.concepts()[0].model), 0.05, 1_000));
+    let start = Instant::now();
+    let report = engine.swap_model(grown).expect("grown model swaps");
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(report.live_migrated, streams);
+    secs
+}
+
+fn main() {
+    let config = EvalConfig::from_env();
+    println!("{}", config.banner());
+
+    let (model, test) = mine_model(config.seed);
+    eprintln!(
+        "  mined {} concepts from {HISTORICAL} Stagger records",
+        model.n_concepts()
+    );
+
+    let (bare_ns, bare_hist) = time_bare(&model, &test);
+    let (adaptive_ns, adaptive_hist) = time_adaptive(&model, &test);
+    // On on-model traffic the detector must be a pure observer.
+    assert_eq!(
+        bare_hist, adaptive_hist,
+        "adaptive predictor changed on-model predictions"
+    );
+    print_table(
+        &format!("Monitoring overhead: {RECORDS} on-model labeled records"),
+        &["Predictor", "ns/record", "Overhead"],
+        &[
+            vec![
+                "OnlinePredictor".into(),
+                format!("{bare_ns:.0}"),
+                "—".into(),
+            ],
+            vec![
+                "AdaptivePredictor".into(),
+                format!("{adaptive_ns:.0}"),
+                format!("{:+.1}%", (adaptive_ns / bare_ns - 1.0) * 100.0),
+            ],
+        ],
+    );
+
+    let mut swap_rows = Vec::new();
+    let mut swaps = Vec::new();
+    for &streams in &[1usize, 1_000, 100_000] {
+        let secs = time_swap(&model, &test, streams);
+        swap_rows.push(vec![streams.to_string(), format!("{:.3}", secs * 1e3)]);
+        swaps.push((streams, secs));
+        eprintln!("  done: swap with {streams} resident streams");
+    }
+    print_table(
+        "Hot-swap pause vs resident streams",
+        &["Streams", "Swap (ms)"],
+        &swap_rows,
+    );
+
+    if let Ok(dir) = std::env::var("HOM_JSON_DIR") {
+        let rows: Vec<String> = swaps
+            .iter()
+            .map(|(s, secs)| format!("    {{ \"streams\": {s}, \"swap_ms\": {:.3} }}", secs * 1e3))
+            .collect();
+        let json = format!(
+            "{{\n  \"stream\": \"Stagger\",\n  \"historical_records\": {HISTORICAL},\n  \
+             \"records_per_cell\": {RECORDS},\n  \"bare_ns_per_record\": {bare_ns:.0},\n  \
+             \"adaptive_ns_per_record\": {adaptive_ns:.0},\n  \"swap_rows\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        );
+        let path = std::path::Path::new(&dir).join("BENCH_adapt.json");
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(path, json);
+    }
+}

@@ -36,6 +36,7 @@ use hom_parallel::Pool;
 
 pub use dendrogram::Dendrogram;
 pub use node::{ClusterNode, EarlyStopRule};
+pub use step2::model_similarity;
 
 /// Parameters of the two-step clustering.
 #[derive(Debug, Clone)]

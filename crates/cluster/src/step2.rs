@@ -76,6 +76,40 @@ fn distance(u: &ClusterNode, v: &ClusterNode) -> f64 {
     (u.size() + v.size()) as f64 * (1.0 - similarity(u, v))
 }
 
+/// Model similarity of Eq. 4 on an explicit sample: the fraction of
+/// `sample` rows on which the two classifiers predict the same class;
+/// `0.0` for an empty sample (no evidence of agreement).
+///
+/// This is the same agreement measure step 2 uses to order chunk mergers
+/// (there, evaluated on cached predictions over the shared holdout
+/// sample), exposed for **incremental admission**: when a freshly
+/// observed stream segment is clustered against an already-mined model,
+/// the segment's classifier is compared to each mined concept's
+/// classifier on the segment's own records, and the best agreement
+/// decides between "recurring occurrence of a known concept" and "novel
+/// concept" (see the `hom-adapt` crate).
+pub fn model_similarity<'a, I>(
+    u: &dyn hom_classifiers::Classifier,
+    v: &dyn hom_classifiers::Classifier,
+    sample: I,
+) -> f64
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for x in sample {
+        total += 1;
+        if u.predict(x) == v.predict(x) {
+            agree += 1;
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    agree as f64 / total as f64
+}
+
 /// The model's predictions on `sample[0..k]`, `k = min(|test|, |sample|)`
 /// — cached into `node.preds` by the caller.
 fn predictions(data: &Dataset, sample: &[u32], node: &ClusterNode) -> Vec<u32> {
@@ -356,6 +390,18 @@ mod tests {
         let v = mk_node(vec![1], vec![1], vec![0]);
         assert_eq!(similarity(&u, &v), 0.0);
         assert_eq!(distance(&u, &v), 2.0);
+    }
+
+    #[test]
+    fn model_similarity_measures_agreement_fraction() {
+        let always0 = MajorityClassifier::from_counts(&[9, 1]);
+        let always1 = MajorityClassifier::from_counts(&[1, 9]);
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![f64::from(i)]).collect();
+        let sample = || rows.iter().map(Vec::as_slice);
+        assert_eq!(model_similarity(&always0, &always0, sample()), 1.0);
+        assert_eq!(model_similarity(&always0, &always1, sample()), 0.0);
+        // empty sample: no evidence of agreement
+        assert_eq!(model_similarity(&always0, &always1, []), 0.0);
     }
 
     /// An alternating-concept stream: step 1 finds the four chunks; step 2

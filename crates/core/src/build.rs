@@ -15,7 +15,7 @@ use crate::transition::TransitionStats;
 /// `Err_c` is clamped to this range before use in `ψ` (Eq. 8) so a concept
 /// with a perfect holdout score cannot annihilate the others' probability
 /// on a single record, and vice versa.
-const ERR_CLAMP: (f64, f64) = (0.005, 0.995);
+pub(crate) const ERR_CLAMP: (f64, f64) = (0.005, 0.995);
 
 /// Parameters of the offline build.
 #[derive(Debug, Clone, Default)]
@@ -78,9 +78,9 @@ impl Default for BuildOptions {
 /// concept-change statistics. Immutable once built; share it via
 /// [`Arc`] across any number of [`crate::OnlinePredictor`]s.
 pub struct HighOrderModel {
-    schema: Arc<Schema>,
-    concepts: Vec<Concept>,
-    stats: TransitionStats,
+    pub(crate) schema: Arc<Schema>,
+    pub(crate) concepts: Vec<Concept>,
+    pub(crate) stats: TransitionStats,
 }
 
 impl HighOrderModel {

@@ -6,6 +6,12 @@ use hom_classifiers::Classifier;
 
 /// One stable concept of the high-order model: its classifier and the
 /// statistics the online filter needs.
+///
+/// Cloning is cheap: the classifier is shared behind an [`Arc`], so the
+/// incremental model-extension path ([`crate::HighOrderModel::admit_concept`]
+/// / [`crate::HighOrderModel::record_occurrence`]) can assemble a new
+/// model without retraining or copying any classifier.
+#[derive(Clone)]
 pub struct Concept {
     /// Dense id (index into [`crate::HighOrderModel`]'s concept list).
     pub id: usize,

@@ -1,0 +1,213 @@
+//! Incremental extension of a mined [`HighOrderModel`].
+//!
+//! The paper mines the model once and assumes the concept set is
+//! complete; §III's filter then silently degrades when the stream enters
+//! a concept the historical data never contained. The maintenance layer
+//! (`hom-adapt`) closes that gap, and this module supplies the model
+//! side of it: *pure* extension operations that take an existing model
+//! and produce a **new immutable model** — the original is never touched,
+//! so serving layers can keep predicting on the old `Arc` until the new
+//! one is hot-swapped in.
+//!
+//! Two operations cover both outcomes of clustering a freshly observed
+//! segment against the mined concepts (the Eq. 3–4 model-similarity
+//! match performed by `hom-adapt`):
+//!
+//! * [`HighOrderModel::record_occurrence`] — the segment *matched* a
+//!   known concept: the concept set is unchanged, but the concept's
+//!   `Len_i`/`Freq_i` totals gain one occurrence and the transition
+//!   kernel χ (Eq. 6) is re-derived from the updated totals.
+//! * [`HighOrderModel::admit_concept`] — the segment is a *novel*
+//!   concept: it is appended (with the classifier trained on the
+//!   segment) and χ re-normalized over the grown concept space. Every
+//!   existing concept id keeps its position, which is what makes
+//!   per-stream [`crate::FilterState`] migration well-defined (see
+//!   [`crate::FilterState::migrate`]).
+//!
+//! Both re-derivations use [`TransitionStats::from_totals`]: `Len` and
+//! `Freq` only depend on per-concept occurrence/record totals, which the
+//! model retains in each [`Concept`], so no occurrence sequence needs to
+//! be stored.
+
+use std::sync::Arc;
+
+use hom_classifiers::Classifier;
+
+use crate::build::{HighOrderModel, ERR_CLAMP};
+use crate::concept::Concept;
+use crate::transition::TransitionStats;
+
+impl HighOrderModel {
+    /// Re-derive [`TransitionStats`] from the concepts' occurrence and
+    /// record totals.
+    fn stats_from_concepts(concepts: &[Concept]) -> TransitionStats {
+        let count: Vec<usize> = concepts.iter().map(|c| c.n_occurrences).collect();
+        let records: Vec<usize> = concepts.iter().map(|c| c.n_records).collect();
+        TransitionStats::from_totals(&count, &records)
+    }
+
+    /// A new model equal to `self` plus one **novel concept** appended at
+    /// id [`Self::n_concepts`]: its classifier is `model` (typically the
+    /// incremental fallback learner trained on the buffered segment), its
+    /// error estimate `err` (clamped like the offline build's, so ψ can
+    /// never annihilate a concept on one record), and one occurrence
+    /// spanning `n_records` records. The transition kernel χ is
+    /// re-normalized over the grown concept space from the updated
+    /// totals (Eq. 6); existing concepts keep their ids, classifiers and
+    /// error estimates, so old [`crate::FilterState`]s migrate by
+    /// extension ([`crate::FilterState::migrate`]).
+    ///
+    /// # Panics
+    /// Panics if `n_records` is zero or the classifier's class count
+    /// disagrees with the schema.
+    pub fn admit_concept(
+        &self,
+        model: Arc<dyn Classifier>,
+        err: f64,
+        n_records: usize,
+    ) -> HighOrderModel {
+        assert!(n_records > 0, "an occurrence spans at least one record");
+        assert_eq!(
+            model.n_classes(),
+            self.schema.n_classes(),
+            "admitted classifier must match the schema's class count"
+        );
+        let mut concepts = self.concepts.clone();
+        concepts.push(Concept {
+            id: concepts.len(),
+            model,
+            err: err.clamp(ERR_CLAMP.0, ERR_CLAMP.1),
+            n_records,
+            n_occurrences: 1,
+        });
+        let stats = Self::stats_from_concepts(&concepts);
+        HighOrderModel {
+            schema: Arc::clone(&self.schema),
+            concepts,
+            stats,
+        }
+    }
+
+    /// A new model equal to `self` with one more historical **occurrence**
+    /// of the known concept `concept`, spanning `n_records` records: the
+    /// concept set is unchanged, but `Len_i`, `Freq_i` and the kernel χ
+    /// are re-derived from the updated totals. This is the "segment
+    /// matched a mined concept" outcome of incremental admission.
+    ///
+    /// # Panics
+    /// Panics if `concept` is out of range or `n_records` is zero.
+    pub fn record_occurrence(&self, concept: usize, n_records: usize) -> HighOrderModel {
+        assert!(n_records > 0, "an occurrence spans at least one record");
+        assert!(
+            concept < self.concepts.len(),
+            "occurrence of unknown concept {concept}"
+        );
+        let mut concepts = self.concepts.clone();
+        concepts[concept].n_occurrences += 1;
+        concepts[concept].n_records += n_records;
+        let stats = Self::stats_from_concepts(&concepts);
+        HighOrderModel {
+            schema: Arc::clone(&self.schema),
+            concepts,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hom_classifiers::MajorityClassifier;
+    use hom_data::{Attribute, Schema};
+
+    fn model() -> HighOrderModel {
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let concepts = vec![
+            Concept {
+                id: 0,
+                model: Arc::new(MajorityClassifier::from_counts(&[10, 0])),
+                err: 0.1,
+                n_records: 200,
+                n_occurrences: 2,
+            },
+            Concept {
+                id: 1,
+                model: Arc::new(MajorityClassifier::from_counts(&[0, 10])),
+                err: 0.1,
+                n_records: 100,
+                n_occurrences: 1,
+            },
+        ];
+        let stats = TransitionStats::from_totals(&[2, 1], &[200, 100]);
+        HighOrderModel::from_parts(schema, concepts, stats)
+    }
+
+    #[test]
+    fn admit_appends_and_renormalizes() {
+        let old = model();
+        let new = old.admit_concept(Arc::new(MajorityClassifier::from_counts(&[5, 5])), 0.2, 150);
+        // the original is untouched
+        assert_eq!(old.n_concepts(), 2);
+        assert_eq!(new.n_concepts(), 3);
+        assert_eq!(new.concepts()[2].id, 2);
+        assert_eq!(new.concepts()[2].n_occurrences, 1);
+        assert_eq!(new.concepts()[2].n_records, 150);
+        // existing concepts keep their position and data
+        for i in 0..2 {
+            assert_eq!(new.concepts()[i].id, old.concepts()[i].id);
+            assert_eq!(new.concepts()[i].n_records, old.concepts()[i].n_records);
+        }
+        // χ is a valid re-normalized kernel over the grown space
+        assert_eq!(new.stats().n_concepts(), 3);
+        assert_eq!(new.stats().freq(2), 0.25); // 1 of 4 occurrences
+        assert_eq!(new.stats().len(2), 150.0);
+        for i in 0..3 {
+            let sum: f64 = (0..3).map(|j| new.stats().chi(i, j)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {i} sums to {sum}");
+            for j in 0..3 {
+                if i != j {
+                    assert!(new.stats().chi(i, j) > 0.0, "χ({i},{j}) = 0");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn admit_clamps_error() {
+        let new =
+            model().admit_concept(Arc::new(MajorityClassifier::from_counts(&[5, 5])), 0.0, 10);
+        assert_eq!(new.concepts()[2].err, ERR_CLAMP.0);
+        let new =
+            model().admit_concept(Arc::new(MajorityClassifier::from_counts(&[5, 5])), 1.0, 10);
+        assert_eq!(new.concepts()[2].err, ERR_CLAMP.1);
+    }
+
+    #[test]
+    fn record_occurrence_updates_totals_only() {
+        let old = model();
+        let new = old.record_occurrence(1, 300);
+        assert_eq!(new.n_concepts(), 2);
+        assert_eq!(new.concepts()[1].n_occurrences, 2);
+        assert_eq!(new.concepts()[1].n_records, 400);
+        // Len_1 = 400/2, Freq_1 = 2/4
+        assert_eq!(new.stats().len(1), 200.0);
+        assert_eq!(new.stats().freq(1), 0.5);
+        // the untouched concept's totals survive
+        assert_eq!(new.concepts()[0].n_records, 200);
+        assert_eq!(new.stats().len(0), 100.0);
+        // the original model still has the old kernel
+        assert_eq!(old.stats().freq(1), 1.0 / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown concept")]
+    fn record_occurrence_rejects_bad_id() {
+        model().record_occurrence(7, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn admit_rejects_empty_segment() {
+        model().admit_concept(Arc::new(MajorityClassifier::from_counts(&[5, 5])), 0.2, 0);
+    }
+}

@@ -46,6 +46,10 @@ pub struct FilterState {
     /// Scratch buffer for ψ(c, yₜ) — each entry costs one classifier
     /// prediction, so [`Self::absorb`] computes it exactly once.
     pub(crate) psi: Vec<f64>,
+    /// The marginal likelihood `Σ_c Pₜ⁻(c)·ψ(c, yₜ)` of the last absorbed
+    /// label — the Eq. 7 normalizer, exported as novelty evidence
+    /// ([`Self::last_likelihood`]). `1.0` until a label is absorbed.
+    last_likelihood: f64,
 }
 
 impl FilterState {
@@ -65,6 +69,7 @@ impl FilterState {
             scratch: vec![0.0; n_classes],
             scratch_c: vec![0.0; n],
             psi: vec![0.0; n],
+            last_likelihood: 1.0,
         }
     }
 
@@ -87,6 +92,7 @@ impl FilterState {
             scratch: vec![0.0; model.schema().n_classes()],
             scratch_c: vec![0.0; n],
             psi: vec![0.0; n],
+            last_likelihood: 1.0,
         }
     }
 
@@ -126,6 +132,62 @@ impl FilterState {
         argmax(&self.prior)
     }
 
+    /// The marginal likelihood `Σ_c Pₜ⁻(c)·ψ(c, yₜ)` of the **last
+    /// absorbed label** — the normalizer of Eq. 7, and the filter's
+    /// native measure of how well *any* mined concept explains the
+    /// stream. On-model it hovers near `1 − Err` of the active concept;
+    /// on a concept the history never contained it collapses toward the
+    /// concepts' error rates. `1.0` until the first label is absorbed.
+    /// The novelty detector of `hom-adapt` windows this value.
+    pub fn last_likelihood(&self) -> f64 {
+        self.last_likelihood
+    }
+
+    /// ψ(c, yₜ) per concept for the last absorbed label (Eqs. 7–8).
+    /// All-zero until the first label is absorbed.
+    pub fn last_psi(&self) -> &[f64] {
+        &self.psi
+    }
+
+    /// Shannon entropy of the posterior, normalized by `ln N` to `[0, 1]`
+    /// (0 = one concept certain, 1 = uniform confusion). Saturating
+    /// entropy is the second novelty signal: when no mined concept
+    /// explains the labels, the posterior keeps being pulled between
+    /// concepts and never settles. `0` for a single-concept model.
+    pub fn posterior_entropy(&self) -> f64 {
+        let n = self.posterior.len();
+        if n <= 1 {
+            return 0.0;
+        }
+        let h: f64 = self
+            .posterior
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum();
+        h / (n as f64).ln()
+    }
+
+    /// Carry this state over to `model`, a model that contains every
+    /// concept of the state's original model at the same id (plus,
+    /// possibly, newly admitted ones) — the per-stream migration a
+    /// serving engine performs when it hot-swaps an extended model in.
+    ///
+    /// Newly admitted concepts receive their **stationary frequency**
+    /// `Freq_j` as posterior/prior mass (the model's own estimate of the
+    /// probability an arbitrary record belongs to them), existing
+    /// concepts keep their relative weights scaled by the remaining
+    /// mass, and both distributions are re-normalized. With an unchanged
+    /// concept count (a stats-only rebuild after a matched occurrence)
+    /// migration preserves the distributions bit-identically.
+    ///
+    /// # Panics
+    /// Panics if `model` has fewer concepts than the state (shrinking
+    /// never happens through the extension API; a serving layer rejects
+    /// it before migrating — see `hom-serve`'s `SwapError`).
+    pub fn migrate(&self, model: &HighOrderModel) -> FilterState {
+        migrate_parts(model, &self.posterior, &self.prior, &self.order)
+    }
     /// Advance one timestamp without a label: posterior → prior through χ
     /// (Eq. 5), with the posterior defaulting to the prior until a label
     /// arrives.
@@ -163,6 +225,7 @@ impl FilterState {
         for (p, psi) in self.prior.iter().zip(self.psi.iter()) {
             sum += p * psi;
         }
+        self.last_likelihood = sum.max(0.0);
         if sum <= 0.0 {
             // All concepts had zero probability mass (cannot happen with
             // clamped errors, but stay safe): reset to uniform.
@@ -266,6 +329,52 @@ impl FilterState {
     }
 }
 
+/// The distribution-level core of [`FilterState::migrate`], shared with
+/// the snapshot codec's migration-aware restore (which has parts but no
+/// old-model `FilterState` to call the method on).
+pub(crate) fn migrate_parts(
+    model: &HighOrderModel,
+    posterior: &[f64],
+    prior: &[f64],
+    order: &[u32],
+) -> FilterState {
+    let n_old = posterior.len();
+    let n_new = model.n_concepts();
+    assert!(
+        n_new >= n_old,
+        "cannot migrate a {n_old}-concept state into a {n_new}-concept model"
+    );
+    if n_new == n_old {
+        return FilterState::from_parts(model, posterior.to_vec(), prior.to_vec(), order.to_vec());
+    }
+    let added: f64 = (n_old..n_new).map(|j| model.stats().freq(j)).sum();
+    // Admitted concepts always have at least one occurrence, so
+    // `added` is in (0, 1) and the old concepts keep positive mass.
+    let keep = (1.0 - added).max(0.0);
+    let extend = |p: &[f64]| -> Vec<f64> {
+        let mut out: Vec<f64> = p.iter().map(|&v| v * keep).collect();
+        out.extend((n_old..n_new).map(|j| model.stats().freq(j)));
+        let sum: f64 = out.iter().sum();
+        if sum > 0.0 {
+            for v in &mut out {
+                *v /= sum;
+            }
+        }
+        out
+    };
+    let posterior = extend(posterior);
+    let prior = extend(prior);
+    // Rebuild the §III-C enumeration order over the grown space with
+    // a deterministic tie-break (descending prior, then id).
+    let mut order: Vec<u32> = (0..n_new as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        prior[b as usize]
+            .total_cmp(&prior[a as usize])
+            .then(a.cmp(&b))
+    });
+    FilterState::from_parts(model, posterior, prior, order)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +449,97 @@ mod tests {
             assert_eq!(a.prior(), b.prior());
             assert_eq!(a.order(), b.order());
         }
+    }
+
+    #[test]
+    fn evidence_tracks_model_fit() {
+        let m = toy_model();
+        let mut s = FilterState::new(&m);
+        assert_eq!(s.last_likelihood(), 1.0, "no label absorbed yet");
+        // Labels concept 1's model explains: likelihood near 1 − err,
+        // entropy collapsing toward 0.
+        for _ in 0..20 {
+            s.observe(&m, &[0.0], 1);
+        }
+        assert!(s.last_likelihood() > 0.85, "lik = {}", s.last_likelihood());
+        assert!(s.posterior_entropy() < 0.1, "H = {}", s.posterior_entropy());
+        assert_eq!(s.last_psi(), &[0.1, 0.9]);
+        // A label neither constant classifier can track for long: the
+        // likelihood of each single surprise collapses to ~err.
+        s.observe(&m, &[0.0], 0);
+        assert!(s.last_likelihood() < 0.3, "lik = {}", s.last_likelihood());
+    }
+
+    #[test]
+    fn migrate_same_size_preserves_bits() {
+        let m = toy_model();
+        let mut s = FilterState::new(&m);
+        for t in 0..15u32 {
+            s.observe(&m, &[0.0], t % 2);
+        }
+        // a stats-only rebuild: same concepts, new occurrence totals
+        let rebuilt = m.record_occurrence(0, 50);
+        let migrated = s.migrate(&rebuilt);
+        let bits = |p: &[f64]| p.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(migrated.posterior()), bits(s.posterior()));
+        assert_eq!(bits(migrated.prior()), bits(s.prior()));
+        assert_eq!(migrated.order(), s.order());
+    }
+
+    #[test]
+    fn migrate_extends_with_stationary_frequency() {
+        use hom_classifiers::MajorityClassifier;
+        let m = toy_model();
+        let mut s = FilterState::new(&m);
+        for _ in 0..20 {
+            s.observe(&m, &[0.0], 1);
+        }
+        let grown = m.admit_concept(Arc::new(MajorityClassifier::from_counts(&[5, 5])), 0.2, 100);
+        let migrated = s.migrate(&grown);
+        assert_eq!(migrated.n_concepts(), 3);
+        // freq_2 = 1/3 of occurrences: the new concept gets that mass
+        let f = grown.stats().freq(2);
+        assert!((migrated.posterior()[2] - f).abs() < 1e-12);
+        // old concepts keep their relative weights
+        let old_ratio = s.posterior()[1] / s.posterior()[0];
+        let new_ratio = migrated.posterior()[1] / migrated.posterior()[0];
+        assert!((old_ratio - new_ratio).abs() < 1e-6);
+        // both distributions are normalized and the order is a
+        // descending-prior permutation
+        for p in [migrated.posterior(), migrated.prior()] {
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+        for w in migrated.order().windows(2) {
+            assert!(
+                migrated.prior()[w[0] as usize] >= migrated.prior()[w[1] as usize],
+                "order not descending"
+            );
+        }
+        // and the migrated state is usable against the new model
+        let mut migrated = migrated;
+        migrated.observe(&grown, &[0.0], 1);
+        let sum: f64 = migrated.posterior().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot migrate")]
+    fn migrate_rejects_shrinking() {
+        let m = toy_model();
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let one = HighOrderModel::from_parts(
+            schema,
+            vec![Concept {
+                id: 0,
+                model: Arc::new(MajorityClassifier::from_counts(&[1, 0])),
+                err: 0.1,
+                n_records: 1,
+                n_occurrences: 1,
+            }],
+            TransitionStats::from_occurrences(1, &[(0, 10)]),
+        );
+        FilterState::new(&m).migrate(&one);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 pub mod build;
 pub mod concept;
+pub mod extend;
 pub mod filter;
 pub mod online;
 pub mod snapshot;
@@ -35,5 +36,5 @@ pub use build::{build, build_with, BuildOptions, BuildParams, BuildReport, HighO
 pub use concept::Concept;
 pub use filter::FilterState;
 pub use online::{OnlineOptions, OnlinePredictor};
-pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{snapshot_epoch, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use transition::TransitionStats;

@@ -7,36 +7,48 @@
 //! have produced. Scratch buffers are derivable from the model and are
 //! not stored.
 //!
-//! # Wire format (version 1, all little-endian)
+//! # Wire format (all little-endian)
 //!
 //! ```text
 //! offset  size   field
 //! 0       4      magic  "HOMF"
-//! 4       2      version (u16) = 1
+//! 4       2      version (u16) = 2
 //! 6       4      n_concepts (u32)
-//! 10      8·n    posterior (f64 × n)
-//! 10+8n   8·n    prior (f64 × n)
-//! 10+16n  4·n    order (u32 × n, a permutation of 0..n)
+//! 10      4      epoch (u32)                      — version ≥ 2 only
+//! 14      8·n    posterior (f64 × n)
+//! 14+8n   8·n    prior (f64 × n)
+//! 14+16n  4·n    order (u32 × n, a permutation of 0..n)
 //! …       8      FNV-1a checksum (u64) over all preceding bytes
 //! ```
+//!
+//! Version 1 (what every snapshot before model maintenance existed was
+//! written as) is the same layout without the `epoch` field; it is still
+//! read. `epoch` records the serving engine's model generation at save
+//! time, so a snapshot parked across a hot-swap can tell how stale it is
+//! ([`snapshot_epoch`]). Version-1 bytes report epoch 0.
 //!
 //! [`FilterState::restore`] validates everything — length, magic,
 //! version, checksum, model compatibility, that the distributions are
 //! finite/non-negative/normalized and the order a permutation — and
 //! returns a [`SnapshotError`] instead of panicking, so corrupt or
 //! truncated bytes from disk or the network can never take a serving
-//! process down.
+//! process down. [`FilterState::restore_migrating`] additionally accepts
+//! snapshots taken against an **older, smaller** model (fewer concepts
+//! than the restoring one) and migrates them forward with
+//! [`FilterState::migrate`]'s extension rule — the path a serving engine
+//! takes for streams parked across a model hot-swap.
 
 use std::fmt;
 
 use crate::build::HighOrderModel;
-use crate::filter::FilterState;
+use crate::filter::{migrate_parts, FilterState};
 
 /// First four bytes of every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"HOMF";
 
-/// The (only, so far) supported snapshot format version.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// The newest snapshot format version this build writes. Versions
+/// `1..=SNAPSHOT_VERSION` are all readable.
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 /// Why a snapshot failed to restore. Every variant is a rejected input,
 /// never a panic.
@@ -53,8 +65,11 @@ pub enum SnapshotError {
     BadMagic,
     /// A version this build does not know how to read.
     UnsupportedVersion(u16),
-    /// The snapshot was taken against a model with a different concept
-    /// count than the one it is being restored into.
+    /// The snapshot's concept count is incompatible with the model it is
+    /// being restored into: different under [`FilterState::restore`],
+    /// *larger* under [`FilterState::restore_migrating`] (a state can be
+    /// migrated forward into a grown model, never backward into a
+    /// smaller one).
     ModelMismatch {
         /// Concept count recorded in the snapshot.
         snapshot: usize,
@@ -77,7 +92,7 @@ impl fmt::Display for SnapshotError {
             SnapshotError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported snapshot version {v} (supported: {SNAPSHOT_VERSION})"
+                    "unsupported snapshot version {v} (supported: 1..={SNAPSHOT_VERSION})"
                 )
             }
             SnapshotError::ModelMismatch { snapshot, model } => write!(
@@ -118,11 +133,33 @@ fn read_f64(bytes: &[u8], at: usize) -> f64 {
     f64::from_le_bytes(bytes[at..at + 8].try_into().expect("bounds checked"))
 }
 
-/// Header bytes before the variable-size payload.
-const HEADER: usize = 4 + 2 + 4;
+/// Header bytes before the variable-size payload, per format version.
+fn header_len(version: u16) -> usize {
+    match version {
+        1 => 4 + 2 + 4,
+        _ => 4 + 2 + 4 + 4,
+    }
+}
 
-fn payload_len(n: usize) -> usize {
-    HEADER + 8 * n + 8 * n + 4 * n
+/// Total snapshot size (header + payload + checksum) for `n` concepts.
+fn total_len(version: u16, n: usize) -> usize {
+    header_len(version) + 8 * n + 8 * n + 4 * n + 8
+}
+
+/// The model epoch recorded in a snapshot, without restoring it. Returns
+/// `None` for bytes that are not (a prefix of) a structurally plausible
+/// snapshot header; version-1 snapshots (which predate the field) report
+/// `Some(0)`. Only the header is inspected — a `Some` says nothing about
+/// the payload's integrity.
+pub fn snapshot_epoch(bytes: &[u8]) -> Option<u32> {
+    if bytes.len() < header_len(1) || bytes[..4] != SNAPSHOT_MAGIC {
+        return None;
+    }
+    match read_u16(bytes, 4) {
+        1 => Some(0),
+        2 if bytes.len() >= header_len(2) => Some(read_u32(bytes, 10)),
+        _ => None,
+    }
 }
 
 /// Check one serialized distribution: finite, non-negative, normalized.
@@ -144,14 +181,108 @@ fn check_distribution(
     Ok(())
 }
 
+/// The validated content of a snapshot, before any model is involved.
+struct Parsed {
+    n: usize,
+    posterior: Vec<f64>,
+    prior: Vec<f64>,
+    order: Vec<u32>,
+}
+
+/// Parse and validate everything that does not need a model: framing,
+/// checksum, distribution and permutation invariants.
+fn parse(bytes: &[u8]) -> Result<Parsed, SnapshotError> {
+    if bytes.len() < header_len(1) {
+        return Err(SnapshotError::Truncated {
+            needed: header_len(1),
+            got: bytes.len(),
+        });
+    }
+    if bytes[..4] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = read_u16(bytes, 4);
+    if version == 0 || version > SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let n = read_u32(bytes, 6) as usize;
+    let total = total_len(version, n);
+    if bytes.len() < total {
+        return Err(SnapshotError::Truncated {
+            needed: total,
+            got: bytes.len(),
+        });
+    }
+    if bytes.len() > total {
+        return Err(SnapshotError::Corrupt("trailing bytes after checksum"));
+    }
+    let declared = read_u64(bytes, total - 8);
+    if fnv1a(&bytes[..total - 8]) != declared {
+        return Err(SnapshotError::Corrupt("checksum mismatch"));
+    }
+
+    let mut at = header_len(version);
+    let mut posterior = Vec::with_capacity(n);
+    for _ in 0..n {
+        posterior.push(read_f64(bytes, at));
+        at += 8;
+    }
+    let mut prior = Vec::with_capacity(n);
+    for _ in 0..n {
+        prior.push(read_f64(bytes, at));
+        at += 8;
+    }
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        order.push(read_u32(bytes, at));
+        at += 4;
+    }
+
+    check_distribution(
+        &posterior,
+        "posterior entry not a probability",
+        "posterior does not sum to 1",
+    )?;
+    check_distribution(
+        &prior,
+        "prior entry not a probability",
+        "prior does not sum to 1",
+    )?;
+    let mut seen = vec![false; n];
+    for &c in &order {
+        if (c as usize) >= n || seen[c as usize] {
+            return Err(SnapshotError::Corrupt("order is not a permutation"));
+        }
+        seen[c as usize] = true;
+    }
+
+    Ok(Parsed {
+        n,
+        posterior,
+        prior,
+        order,
+    })
+}
+
 impl FilterState {
-    /// Serialize this state to the version-1 wire format above.
+    /// Serialize this state to the current wire format with epoch 0.
+    /// Equivalent to [`Self::snapshot_with_epoch`]`(0)` — standalone
+    /// callers that never hot-swap models don't care about epochs.
     pub fn snapshot(&self) -> Vec<u8> {
+        self.snapshot_with_epoch(0)
+    }
+
+    /// Serialize this state to the current (version-2) wire format,
+    /// stamping `epoch` — the serving engine's model generation — into
+    /// the header so a snapshot parked across a model hot-swap knows
+    /// which model it was taken against ([`snapshot_epoch`]).
+    pub fn snapshot_with_epoch(&self, epoch: u32) -> Vec<u8> {
         let n = self.n_concepts();
-        let mut out = Vec::with_capacity(payload_len(n) + 8);
+        let mut out = Vec::with_capacity(total_len(SNAPSHOT_VERSION, n));
         out.extend_from_slice(&SNAPSHOT_MAGIC);
         out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
         out.extend_from_slice(&(n as u32).to_le_bytes());
+        out.extend_from_slice(&epoch.to_le_bytes());
         for &v in self.posterior() {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -166,83 +297,57 @@ impl FilterState {
         out
     }
 
-    /// Deserialize a snapshot taken with [`FilterState::snapshot`],
-    /// validating it against `model`. On success the returned state
-    /// continues the stream bit-identically; on any defect the bytes are
-    /// rejected with a [`SnapshotError`] — this function never panics on
-    /// untrusted input.
+    /// Deserialize a snapshot taken with [`FilterState::snapshot`]
+    /// (any supported version), validating it against `model`. On
+    /// success the returned state continues the stream bit-identically;
+    /// on any defect the bytes are rejected with a [`SnapshotError`] —
+    /// this function never panics on untrusted input.
     pub fn restore(model: &HighOrderModel, bytes: &[u8]) -> Result<FilterState, SnapshotError> {
-        if bytes.len() < HEADER {
-            return Err(SnapshotError::Truncated {
-                needed: HEADER,
-                got: bytes.len(),
-            });
-        }
-        if bytes[..4] != SNAPSHOT_MAGIC {
-            return Err(SnapshotError::BadMagic);
-        }
-        let version = read_u16(bytes, 4);
-        if version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::UnsupportedVersion(version));
-        }
-        let n = read_u32(bytes, 6) as usize;
-        let total = payload_len(n) + 8;
-        if bytes.len() < total {
-            return Err(SnapshotError::Truncated {
-                needed: total,
-                got: bytes.len(),
-            });
-        }
-        if bytes.len() > total {
-            return Err(SnapshotError::Corrupt("trailing bytes after checksum"));
-        }
-        let declared = read_u64(bytes, total - 8);
-        if fnv1a(&bytes[..total - 8]) != declared {
-            return Err(SnapshotError::Corrupt("checksum mismatch"));
-        }
-        if n != model.n_concepts() {
+        let p = parse(bytes)?;
+        if p.n != model.n_concepts() {
             return Err(SnapshotError::ModelMismatch {
-                snapshot: n,
+                snapshot: p.n,
                 model: model.n_concepts(),
             });
         }
+        Ok(FilterState::from_parts(
+            model,
+            p.posterior,
+            p.prior,
+            p.order,
+        ))
+    }
 
-        let mut at = HEADER;
-        let mut posterior = Vec::with_capacity(n);
-        for _ in 0..n {
-            posterior.push(read_f64(bytes, at));
-            at += 8;
+    /// Like [`Self::restore`], but a snapshot taken against an older
+    /// model with **fewer** concepts is accepted and migrated forward
+    /// with the [`Self::migrate`] extension rule (new concepts get their
+    /// stationary `Freq_j` mass, distributions re-normalized). Returns
+    /// the state and whether migration happened (`false` = plain
+    /// bit-identical restore). A snapshot with *more* concepts than
+    /// `model` is still a [`SnapshotError::ModelMismatch`] — states
+    /// never migrate backward.
+    ///
+    /// This is the restore path a serving engine uses after a model
+    /// hot-swap, when parked streams hold snapshots of the previous
+    /// generation.
+    pub fn restore_migrating(
+        model: &HighOrderModel,
+        bytes: &[u8],
+    ) -> Result<(FilterState, bool), SnapshotError> {
+        let p = parse(bytes)?;
+        if p.n > model.n_concepts() {
+            return Err(SnapshotError::ModelMismatch {
+                snapshot: p.n,
+                model: model.n_concepts(),
+            });
         }
-        let mut prior = Vec::with_capacity(n);
-        for _ in 0..n {
-            prior.push(read_f64(bytes, at));
-            at += 8;
+        if p.n == model.n_concepts() {
+            return Ok((
+                FilterState::from_parts(model, p.posterior, p.prior, p.order),
+                false,
+            ));
         }
-        let mut order = Vec::with_capacity(n);
-        for _ in 0..n {
-            order.push(read_u32(bytes, at));
-            at += 4;
-        }
-
-        check_distribution(
-            &posterior,
-            "posterior entry not a probability",
-            "posterior does not sum to 1",
-        )?;
-        check_distribution(
-            &prior,
-            "prior entry not a probability",
-            "prior does not sum to 1",
-        )?;
-        let mut seen = vec![false; n];
-        for &c in &order {
-            if (c as usize) >= n || seen[c as usize] {
-                return Err(SnapshotError::Corrupt("order is not a permutation"));
-            }
-            seen[c as usize] = true;
-        }
-
-        Ok(FilterState::from_parts(model, posterior, prior, order))
+        Ok((migrate_parts(model, &p.posterior, &p.prior, &p.order), true))
     }
 }
 
@@ -279,6 +384,27 @@ mod tests {
         p.iter().map(|v| v.to_bits()).collect()
     }
 
+    /// Write `s` in the legacy version-1 format (no epoch field), as
+    /// every pre-maintenance build did.
+    fn snapshot_v1(s: &FilterState) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&(s.n_concepts() as u32).to_le_bytes());
+        for &v in s.posterior() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in s.prior() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &c in s.order() {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
     #[test]
     fn round_trip_is_bit_identical() {
         let m = model(3);
@@ -304,21 +430,96 @@ mod tests {
     }
 
     #[test]
+    fn version_1_snapshots_still_restore() {
+        let m = model(3);
+        let mut s = FilterState::new(&m);
+        for t in 0..23u32 {
+            s.observe(&m, &[0.0], t % 2);
+        }
+        let legacy = snapshot_v1(&s);
+        let r = FilterState::restore(&m, &legacy).expect("v1 restore");
+        assert_eq!(bits(s.posterior()), bits(r.posterior()));
+        assert_eq!(bits(s.prior()), bits(r.prior()));
+        assert_eq!(s.order(), r.order());
+        assert_eq!(snapshot_epoch(&legacy), Some(0));
+    }
+
+    #[test]
+    fn epoch_round_trips() {
+        let m = model(2);
+        let s = FilterState::new(&m);
+        let bytes = s.snapshot_with_epoch(7);
+        assert_eq!(snapshot_epoch(&bytes), Some(7));
+        assert_eq!(snapshot_epoch(&s.snapshot()), Some(0));
+        assert_eq!(snapshot_epoch(b"nope"), None);
+        // the epoch is covered by the checksum
+        let mut bad = bytes.clone();
+        bad[10] ^= 1;
+        assert!(FilterState::restore(&m, &bad).is_err());
+        // but a clean snapshot restores regardless of its epoch
+        assert!(FilterState::restore(&m, &bytes).is_ok());
+    }
+
+    #[test]
+    fn restore_migrating_extends_older_snapshots() {
+        let m2 = model(2);
+        let mut s = FilterState::new(&m2);
+        for _ in 0..20 {
+            s.observe(&m2, &[0.0], 1);
+        }
+        let bytes = s.snapshot();
+        // the model gains a concept after the snapshot was parked
+        let m3 = m2.admit_concept(Arc::new(MajorityClassifier::from_counts(&[5, 5])), 0.2, 60);
+        let (r, migrated) = FilterState::restore_migrating(&m3, &bytes).expect("migrate");
+        assert!(migrated);
+        assert_eq!(r.n_concepts(), 3);
+        // identical to the in-memory migration path
+        let direct = s.migrate(&m3);
+        assert_eq!(bits(r.posterior()), bits(direct.posterior()));
+        assert_eq!(bits(r.prior()), bits(direct.prior()));
+        assert_eq!(r.order(), direct.order());
+        // same-size restore reports no migration and stays bit-identical
+        let (same, migrated) = FilterState::restore_migrating(&m2, &bytes).expect("restore");
+        assert!(!migrated);
+        assert_eq!(bits(same.posterior()), bits(s.posterior()));
+        // v1 bytes migrate just as well
+        let (r1, migrated) =
+            FilterState::restore_migrating(&m3, &snapshot_v1(&s)).expect("v1 migrate");
+        assert!(migrated);
+        assert_eq!(bits(r1.posterior()), bits(direct.posterior()));
+    }
+
+    #[test]
+    fn restore_migrating_never_shrinks() {
+        let m3 = model(3);
+        let m2 = model(2);
+        let bytes = FilterState::new(&m3).snapshot();
+        assert_eq!(
+            FilterState::restore_migrating(&m2, &bytes),
+            Err(SnapshotError::ModelMismatch {
+                snapshot: 3,
+                model: 2
+            })
+        );
+    }
+
+    #[test]
     fn every_truncation_is_rejected() {
         let m = model(4);
         let mut s = FilterState::new(&m);
         s.observe(&m, &[0.0], 1);
-        let bytes = s.snapshot();
-        for len in 0..bytes.len() {
-            let err = FilterState::restore(&m, &bytes[..len])
-                .expect_err("truncated snapshot must be rejected");
-            assert!(
-                matches!(
-                    err,
-                    SnapshotError::Truncated { .. } | SnapshotError::Corrupt(_)
-                ),
-                "len {len}: unexpected error {err:?}"
-            );
+        for bytes in [s.snapshot(), snapshot_v1(&s)] {
+            for len in 0..bytes.len() {
+                let err = FilterState::restore(&m, &bytes[..len])
+                    .expect_err("truncated snapshot must be rejected");
+                assert!(
+                    matches!(
+                        err,
+                        SnapshotError::Truncated { .. } | SnapshotError::Corrupt(_)
+                    ),
+                    "len {len}: unexpected error {err:?}"
+                );
+            }
         }
     }
 
@@ -327,14 +528,15 @@ mod tests {
         let m = model(3);
         let mut s = FilterState::new(&m);
         s.observe(&m, &[0.0], 0);
-        let bytes = s.snapshot();
-        for i in 0..bytes.len() {
-            let mut bad = bytes.clone();
-            bad[i] ^= 0x40;
-            assert!(
-                FilterState::restore(&m, &bad).is_err(),
-                "flip at byte {i} was accepted"
-            );
+        for bytes in [s.snapshot(), snapshot_v1(&s)] {
+            for i in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[i] ^= 0x40;
+                assert!(
+                    FilterState::restore(&m, &bad).is_err(),
+                    "flip at byte {i} was accepted"
+                );
+            }
         }
     }
 
@@ -362,6 +564,10 @@ mod tests {
                       // first — both are rejections, never panics.
         let err = FilterState::restore(&m, &bytes).expect_err("version");
         assert_eq!(err, SnapshotError::UnsupportedVersion(9));
+        // version 0 never existed
+        bytes[4] = 0;
+        let err = FilterState::restore(&m, &bytes).expect_err("version");
+        assert_eq!(err, SnapshotError::UnsupportedVersion(0));
     }
 
     #[test]

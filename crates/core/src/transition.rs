@@ -46,14 +46,41 @@ impl TransitionStats {
             count[c] += 1;
             records[c] += len;
         }
+        Self::from_totals(&count, &records)
+    }
+
+    /// Build the statistics from per-concept totals: `count[c]` historical
+    /// occurrences of concept `c` spanning `records[c]` records in all.
+    /// This is the sufficient statistic of [`Self::from_occurrences`]
+    /// (`Len` and `Freq` only depend on the totals, not the order), and it
+    /// is what the incremental model-maintenance path has once the
+    /// occurrence sequence itself is no longer retained: a mined model
+    /// stores each concept's `n_occurrences`/`n_records`, so admitting a
+    /// new concept or recording a new occurrence of a known one
+    /// re-derives an exactly re-normalized kernel χ from the updated
+    /// totals (see `HighOrderModel::admit_concept`).
+    ///
+    /// # Panics
+    /// Panics if the slices disagree in length, no concept has an
+    /// occurrence, or some concept has occurrences but no records.
+    pub fn from_totals(count: &[usize], records: &[usize]) -> Self {
+        assert_eq!(count.len(), records.len(), "totals must align");
+        let n_concepts = count.len();
+        for (c, (&k, &r)) in count.iter().zip(records).enumerate() {
+            assert!(
+                k == 0 || r >= k,
+                "concept {c}: {k} occurrences need at least {k} records, got {r}"
+            );
+        }
 
         let total_occ: usize = count.iter().sum();
+        assert!(total_occ > 0, "need at least one occurrence");
         // A concept that never occurs (possible only if the caller passes
         // a larger n_concepts than the data supports) gets Len 1 and
         // Freq 0, making it immediately exited and never entered.
         let len: Vec<f64> = count
             .iter()
-            .zip(&records)
+            .zip(records)
             .map(|(&c, &r)| if c > 0 { r as f64 / c as f64 } else { 1.0 })
             .collect();
         let freq: Vec<f64> = count.iter().map(|&c| c as f64 / total_occ as f64).collect();
@@ -205,6 +232,39 @@ mod tests {
         // nobody transitions into concept 2
         assert_eq!(s.chi(0, 2), 0.0);
         assert_eq!(s.chi(1, 2), 0.0);
+    }
+
+    #[test]
+    fn totals_are_a_sufficient_statistic() {
+        // Same totals as `stats()` (A B A C): the kernel must be
+        // bit-identical whether built from the sequence or the totals.
+        let a = stats();
+        let b = TransitionStats::from_totals(&[2, 1, 1], &[200, 50, 50]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn totals_extended_by_one_concept_renormalize() {
+        let s = TransitionStats::from_totals(&[2, 1, 1, 1], &[200, 50, 50, 120]);
+        assert_eq!(s.n_concepts(), 4);
+        assert_eq!(s.freq(3), 0.2);
+        assert_eq!(s.len(3), 120.0);
+        for i in 0..4 {
+            let sum: f64 = (0..4).map(|j| s.chi(i, j)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {i} sums to {sum}");
+            // every concept is now reachable from every other
+            for j in 0..4 {
+                if i != j {
+                    assert!(s.chi(i, j) > 0.0, "χ({i},{j}) = 0");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one occurrence")]
+    fn rejects_all_zero_totals() {
+        TransitionStats::from_totals(&[0, 0], &[0, 0]);
     }
 
     #[test]

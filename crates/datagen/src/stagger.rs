@@ -7,6 +7,13 @@
 //! * **A**: positive iff color = red ∧ size = small
 //! * **B**: positive iff color = green ∨ shape = circle
 //! * **C**: positive iff size = medium ∨ size = large
+//!
+//! A fourth, **held-out** concept exists for novelty experiments
+//! ([`NOVEL_CONCEPT`]: positive iff color = blue). [`StaggerSource`]
+//! never generates it — it cycles the three classic concepts only — so a
+//! model mined on any Stagger history has provably never seen it; feed
+//! records labeled by [`stagger_label`]`(NOVEL_CONCEPT, …)` to exercise
+//! novel-concept detection and admission (the `hom-adapt` crate).
 
 use std::sync::Arc;
 
@@ -36,8 +43,14 @@ pub const MEDIUM: f64 = 1.0;
 /// See [`SMALL`].
 pub const LARGE: f64 = 2.0;
 
-/// Number of stable Stagger concepts.
+/// Number of stable Stagger concepts the stream cycles through.
 pub const N_CONCEPTS: usize = 3;
+
+/// Id of the held-out novel concept ("positive iff color = blue"), never
+/// produced by [`StaggerSource`]. Understood by [`stagger_label`] so
+/// novelty experiments can label records with a concept the mined model
+/// cannot contain.
+pub const NOVEL_CONCEPT: usize = 3;
 
 /// Generator parameters.
 #[derive(Debug, Clone)]
@@ -84,13 +97,15 @@ pub fn stagger_schema() -> Arc<Schema> {
     )
 }
 
-/// Ground-truth label of `(color, shape, size)` under concept `concept`.
+/// Ground-truth label of `(color, shape, size)` under concept `concept`
+/// (including the held-out [`NOVEL_CONCEPT`]).
 pub fn stagger_label(concept: usize, color: f64, shape: f64, size: f64) -> u32 {
     let positive = match concept {
         0 => color == RED && size == SMALL,
         1 => color == GREEN || shape == CIRCLE,
         2 => size == MEDIUM || size == LARGE,
-        _ => panic!("stagger has exactly 3 concepts"),
+        3 => color == BLUE,
+        _ => panic!("stagger has exactly 3 stable concepts plus the held-out novel one"),
     };
     u32::from(positive)
 }
@@ -157,6 +172,22 @@ mod tests {
         assert_eq!(stagger_label(2, BLUE, TRIANGLE, MEDIUM), 1);
         assert_eq!(stagger_label(2, BLUE, TRIANGLE, LARGE), 1);
         assert_eq!(stagger_label(2, RED, CIRCLE, SMALL), 0);
+        // held-out novel concept: blue
+        assert_eq!(stagger_label(NOVEL_CONCEPT, BLUE, TRIANGLE, SMALL), 1);
+        assert_eq!(stagger_label(NOVEL_CONCEPT, BLUE, CIRCLE, LARGE), 1);
+        assert_eq!(stagger_label(NOVEL_CONCEPT, RED, CIRCLE, SMALL), 0);
+        assert_eq!(stagger_label(NOVEL_CONCEPT, GREEN, TRIANGLE, MEDIUM), 0);
+    }
+
+    #[test]
+    fn novel_concept_is_never_generated() {
+        let mut s = StaggerSource::new(StaggerParams {
+            lambda: 0.05,
+            ..Default::default()
+        });
+        for _ in 0..2000 {
+            assert!(s.next_record().concept < N_CONCEPTS);
+        }
     }
 
     #[test]

@@ -34,6 +34,20 @@
 //! HOM_TRACE=trace.jsonl cargo run --release --example quickstart
 //! cargo run --release --example trace_report trace.jsonl
 //! ```
+//!
+//! # Event name registry
+//!
+//! Names are dot-separated, prefixed by the emitting subsystem. The
+//! families currently emitted (see `ARCHITECTURE.md` §Observability for
+//! the per-event semantics):
+//!
+//! | prefix | emitter | events |
+//! |---|---|---|
+//! | `build.*`, `step1.*`, `step2.*` | offline build (`hom-core`, `hom-cluster`) | stage spans, `step1.q` / `step2.cut_q` gauges, candidate/fit counters, `build.transition_row` series |
+//! | `online.*` | the online filter (`hom-core`) | `online.posterior` series, `online.prune` counter, `online.latency_ns` histogram |
+//! | `pool.*` | the worker pool (`hom-parallel`) | `pool.worker_tasks` per-worker series |
+//! | `serve.*` | the serving engine (`hom-serve`) | request/eviction/unpark counters, batch-latency histogram, shard-occupancy series; hot-swap: `serve.swaps`, `serve.model_epoch`, `serve.swap_live_migrated`, `serve.swap_parked_migrated` |
+//! | `adapt.*` | novelty & maintenance (`hom-adapt`) | `adapt.evidence` series (windowed mean likelihood + entropy, one sample per window); lifecycle counters/gauges: `adapt.triggers` + `adapt.trigger_likelihood`, `adapt.recoveries` + `adapt.recovery_latency`, `adapt.admissions_novel` / `adapt.admissions_matched` + `adapt.admission_latency` / `adapt.admission_similarity`, `adapt.swaps` + `adapt.swap_epoch`, `adapt.swap_failures` |
 
 #![warn(missing_docs)]
 

@@ -33,6 +33,8 @@
 //! sink }`: `None` means one worker per available core, `Some(1)` is the
 //! serial reference path (no threads are spawned at all).
 
+#![warn(missing_docs)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 

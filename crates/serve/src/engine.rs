@@ -1,7 +1,8 @@
 //! The serving engine: one shared model, many independent streams.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
 use hom_core::{FilterState, HighOrderModel, SnapshotError};
@@ -13,7 +14,7 @@ use crate::request::{Request, Response, StreamId};
 use crate::shard::{shard_of, Entry, Shard};
 
 /// The environment variable [`ServeOptions::default`] reads for the
-/// shard count of the stream table (rounded up to a power of two).
+/// shard count of the stream table (must be a nonzero power of two).
 pub const SHARDS_ENV: &str = "HOM_SERVE_SHARDS";
 
 /// The worker-thread environment variable shared with the offline build
@@ -31,15 +32,111 @@ fn env_usize(name: &str) -> Option<usize> {
         .filter(|&v| v >= 1)
 }
 
+/// A rejected [`ServeOptions`] value. The engine refuses to start with a
+/// configuration it would previously have silently "fixed" — a clamped
+/// shard count changes stream→shard placement, which operators reading
+/// per-shard metrics must be able to predict from what they configured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The shard count is zero or not a power of two. `from_env` says
+    /// whether the value came from `HOM_SERVE_SHARDS` rather than
+    /// [`ServeOptions::shards`].
+    InvalidShards {
+        /// The rejected value.
+        got: usize,
+        /// `true` when the value was read from [`SHARDS_ENV`].
+        from_env: bool,
+    },
+    /// [`ServeOptions::capacity`] is `Some(0)`: a table that can hold no
+    /// live stream at all cannot serve (use `None` for "unbounded").
+    ZeroCapacity,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidShards { got, from_env } => {
+                let source = if *from_env {
+                    SHARDS_ENV
+                } else {
+                    "ServeOptions::shards"
+                };
+                write!(
+                    f,
+                    "shard count must be a nonzero power of two, got {got} (from {source})"
+                )
+            }
+            ConfigError::ZeroCapacity => {
+                write!(
+                    f,
+                    "capacity 0 can hold no live stream (use None for unbounded)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Why [`ServeEngine::swap_model`] refused a replacement model. Every
+/// variant is a rejected input; the engine keeps serving the current
+/// model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwapError {
+    /// The replacement has fewer concepts than the serving model: live
+    /// states can be migrated forward into a grown concept space, never
+    /// backward ([`FilterState::migrate`]).
+    FewerConcepts {
+        /// Concepts in the serving model.
+        current: usize,
+        /// Concepts in the rejected replacement.
+        new: usize,
+    },
+    /// The replacement's schema differs from the serving model's —
+    /// streams would suddenly see different attributes or classes.
+    SchemaMismatch,
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::FewerConcepts { current, new } => write!(
+                f,
+                "cannot swap a {new}-concept model under a {current}-concept one \
+                 (states only migrate forward)"
+            ),
+            SwapError::SchemaMismatch => {
+                write!(f, "replacement model's schema differs from the serving one")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+/// What a successful [`ServeEngine::swap_model`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapReport {
+    /// The engine's model generation after the swap (starts at 0; each
+    /// swap increments it).
+    pub epoch: u32,
+    /// Live streams whose [`FilterState`] was migrated in place.
+    pub live_migrated: usize,
+    /// Parked streams whose snapshot was decoded, migrated and
+    /// re-encoded against the new model.
+    pub parked_migrated: usize,
+}
+
 /// Execution options of a [`ServeEngine`]. Like the build and online
 /// options, nothing here changes a prediction: shard count, thread
 /// count, eviction policy and observability only affect wall-clock time
 /// and memory (eviction hibernates a stream bit-identically).
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Shards of the stream table (rounded up to a power of two).
-    /// `None` reads `HOM_SERVE_SHARDS`, defaulting to 16. More shards
-    /// mean less lock contention between unrelated streams.
+    /// Shards of the stream table — a nonzero power of two, or the
+    /// engine refuses to start ([`ConfigError::InvalidShards`]). `None`
+    /// reads `HOM_SERVE_SHARDS` (same constraint), defaulting to 16.
+    /// More shards mean less lock contention between unrelated streams.
     pub shards: Option<usize>,
     /// Worker threads for [`ServeEngine::submit`] batches. `None` reads
     /// `HOM_THREADS`, defaulting to one per available core.
@@ -48,7 +145,8 @@ pub struct ServeOptions {
     /// (default). `false` always runs the full ensemble of Eq. 10 — the
     /// two are bit-identical in output; pruned is usually much cheaper.
     pub prune: bool,
-    /// Maximum live streams per shard. When an insert exceeds it, the
+    /// Maximum live streams per shard (nonzero, or
+    /// [`ConfigError::ZeroCapacity`]). When an insert exceeds it, the
     /// shard's least-recently-used stream is parked (snapshotted and
     /// dropped from memory). `None` means unbounded.
     pub capacity: Option<usize>,
@@ -94,9 +192,21 @@ struct Counters {
 /// The model is mined offline once and referenced by every stream; the
 /// only mutable state is each stream's compact [`FilterState`], kept in
 /// a sharded table with one lock per shard. Requests for different
-/// shards never contend, and the model itself is never locked — the
-/// deployment shape of the paper's §III: *"the online component is
-/// efficient enough to serve heavy traffic"*.
+/// shards never contend, and the model is only ever locked for the
+/// instant of a [`Self::swap_model`] — the deployment shape of the
+/// paper's §III: *"the online component is efficient enough to serve
+/// heavy traffic"*.
+///
+/// # Model maintenance
+///
+/// The serving model can be **hot-swapped** for an extended one (same
+/// concepts plus newly admitted ones, as produced by
+/// `HighOrderModel::admit_concept` / `record_occurrence`) without
+/// stopping traffic: [`Self::swap_model`] atomically replaces the
+/// `Arc`, migrates every live and parked stream's state forward
+/// ([`FilterState::migrate`]), and bumps the engine's
+/// [`Self::epoch`]. In-flight batches finish against the model they
+/// started with; requests arriving after the swap see the new one.
 ///
 /// # Determinism
 ///
@@ -106,7 +216,14 @@ struct Counters {
 /// eviction policy (eviction hibernates streams through the lossless
 /// snapshot codec). The differential test suite proves this.
 pub struct ServeEngine {
-    model: Arc<HighOrderModel>,
+    /// The serving model. Read-locked for the duration of each batch;
+    /// write-locked only by [`Self::swap_model`] (which therefore waits
+    /// for in-flight batches to drain, and blocks new ones while states
+    /// migrate).
+    model: RwLock<Arc<HighOrderModel>>,
+    /// Model generation: 0 at construction, +1 per successful swap.
+    /// Stamped into engine-written snapshots.
+    epoch: AtomicU32,
     shards: Vec<Mutex<Shard>>,
     /// `log2(shards.len())` — the table size is a power of two.
     shard_bits: u32,
@@ -124,6 +241,10 @@ pub struct ServeEngine {
 impl ServeEngine {
     /// An engine with default [`ServeOptions`] (env-driven shard/thread
     /// counts, pruned predictions, no eviction).
+    ///
+    /// # Panics
+    /// Panics if the model has no concepts, or the environment carries
+    /// an invalid `HOM_SERVE_SHARDS` (see [`Self::try_with_options`]).
     pub fn new(model: Arc<HighOrderModel>) -> Self {
         Self::with_options(model, &ServeOptions::default())
     }
@@ -131,20 +252,52 @@ impl ServeEngine {
     /// [`ServeEngine::new`] with explicit options.
     ///
     /// # Panics
-    /// Panics if the model has no concepts (a [`FilterState`]
-    /// precondition).
+    /// Panics on an invalid configuration — the message is the
+    /// [`ConfigError`]'s. Servers that would rather surface the error
+    /// use [`Self::try_with_options`].
     pub fn with_options(model: Arc<HighOrderModel>, options: &ServeOptions) -> Self {
+        match Self::try_with_options(model, options) {
+            Ok(engine) => engine,
+            Err(e) => panic!("invalid serve configuration: {e}"),
+        }
+    }
+
+    /// [`ServeEngine::with_options`], rejecting invalid configuration
+    /// with a typed [`ConfigError`] instead of panicking: a zero or
+    /// non-power-of-two shard count (whether from
+    /// [`ServeOptions::shards`] or `HOM_SERVE_SHARDS`) and a zero
+    /// [`ServeOptions::capacity`] are errors, **not** silently clamped —
+    /// a rounded shard count would quietly change stream placement.
+    ///
+    /// # Panics
+    /// Panics if the model has no concepts (a [`FilterState`]
+    /// precondition — a model bug, not a configuration one).
+    pub fn try_with_options(
+        model: Arc<HighOrderModel>,
+        options: &ServeOptions,
+    ) -> Result<Self, ConfigError> {
         assert!(model.n_concepts() > 0, "model has no concepts");
-        let shards = options
-            .shards
-            .or_else(|| env_usize(SHARDS_ENV))
-            .unwrap_or(DEFAULT_SHARDS)
-            .max(1)
-            .next_power_of_two();
+        let (shards, from_env) = match options.shards {
+            Some(s) => (s, false),
+            None => match env_usize(SHARDS_ENV) {
+                Some(s) => (s, true),
+                None => (DEFAULT_SHARDS, false),
+            },
+        };
+        if shards == 0 || !shards.is_power_of_two() {
+            return Err(ConfigError::InvalidShards {
+                got: shards,
+                from_env,
+            });
+        }
+        if options.capacity == Some(0) {
+            return Err(ConfigError::ZeroCapacity);
+        }
         let shard_bits = shards.trailing_zeros();
         let threads = options.threads.or_else(|| env_usize(THREADS_ENV));
-        ServeEngine {
-            model,
+        Ok(ServeEngine {
+            model: RwLock::new(model),
+            epoch: AtomicU32::new(0),
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             shard_bits,
             // The pool carries no Obs on purpose: per-batch worker-stats
@@ -152,18 +305,102 @@ impl ServeEngine {
             // emits its own aggregated metrics instead.
             pool: Pool::new(threads),
             prune: options.prune,
-            capacity: options.capacity.map(|c| c.max(1)),
+            capacity: options.capacity,
             ttl: options.ttl,
             clock: AtomicU64::new(0),
             obs: options.sink.clone(),
             counters: Counters::default(),
             batch_latency: Mutex::new(Histogram::new()),
-        }
+        })
     }
 
-    /// The shared model every stream predicts with.
-    pub fn model(&self) -> &Arc<HighOrderModel> {
-        &self.model
+    fn model_guard(&self) -> RwLockReadGuard<'_, Arc<HighOrderModel>> {
+        // Poisoning can only come from a panic inside swap_model's
+        // migration; the swapped-in Arc is still coherent.
+        self.model.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The model every stream currently predicts with. The returned
+    /// `Arc` is a point-in-time handle: after a [`Self::swap_model`] it
+    /// keeps the then-serving model alive but no longer reflects the
+    /// engine.
+    pub fn model(&self) -> Arc<HighOrderModel> {
+        Arc::clone(&self.model_guard())
+    }
+
+    /// The engine's model generation: 0 until the first successful
+    /// [`Self::swap_model`], then the number of swaps so far.
+    pub fn epoch(&self) -> u32 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Replace the serving model with `new` — typically the current
+    /// model extended by `HighOrderModel::admit_concept` or
+    /// `record_occurrence` after a novel segment was admitted — while
+    /// traffic keeps flowing.
+    ///
+    /// The swap takes the model write lock (waiting for in-flight
+    /// batches, which hold the read lock, to drain), then migrates
+    /// **every** stream forward under it: live states via
+    /// [`FilterState::migrate`], parked snapshots by decode → migrate →
+    /// re-encode (stamped with the new [`Self::epoch`]). Streams never
+    /// observe a torn state: a request either runs entirely against the
+    /// old model or entirely against the new one.
+    ///
+    /// `new` must have the same schema and at least as many concepts as
+    /// the serving model, with existing concepts at unchanged ids (the
+    /// extension API guarantees this) — otherwise a typed [`SwapError`]
+    /// is returned and nothing changes.
+    pub fn swap_model(&self, new: Arc<HighOrderModel>) -> Result<SwapReport, SwapError> {
+        let mut guard = self.model.write().unwrap_or_else(|e| e.into_inner());
+        let old = Arc::clone(&guard);
+        if new.n_concepts() < old.n_concepts() {
+            return Err(SwapError::FewerConcepts {
+                current: old.n_concepts(),
+                new: new.n_concepts(),
+            });
+        }
+        if new.schema() != old.schema() {
+            return Err(SwapError::SchemaMismatch);
+        }
+
+        let epoch = self.epoch.load(Ordering::Acquire) + 1;
+        let mut live_migrated = 0usize;
+        let mut parked_migrated = 0usize;
+        let grown = new.n_concepts() > old.n_concepts();
+        for shard in &self.shards {
+            let mut shard = self.lock(shard);
+            if grown {
+                for entry in shard.live.values_mut() {
+                    entry.state = entry.state.migrate(&new);
+                    live_migrated += 1;
+                }
+            } else {
+                live_migrated += shard.live.len();
+            }
+            for bytes in shard.parked.values_mut() {
+                let (state, _) = FilterState::restore_migrating(&new, bytes)
+                    .expect("engine-written snapshots are always valid");
+                *bytes = state.snapshot_with_epoch(epoch);
+                parked_migrated += 1;
+            }
+        }
+
+        *guard = new;
+        self.epoch.store(epoch, Ordering::Release);
+        if self.obs.enabled() {
+            self.obs.count("serve.swaps", 1);
+            self.obs.gauge("serve.model_epoch", f64::from(epoch));
+            self.obs
+                .count("serve.swap_live_migrated", live_migrated as u64);
+            self.obs
+                .count("serve.swap_parked_migrated", parked_migrated as u64);
+        }
+        Ok(SwapReport {
+            epoch,
+            live_migrated,
+            parked_migrated,
+        })
     }
 
     /// Number of shards in the stream table.
@@ -201,7 +438,12 @@ impl ServeEngine {
     /// LRU tick. Parked streams are restored (bit-identically); brand-new
     /// streams start at the uniform prior. Enforces the per-shard
     /// capacity by parking the least-recently-used other stream.
-    fn touch<'a>(&self, shard: &'a mut Shard, stream: StreamId) -> &'a mut FilterState {
+    fn touch<'a>(
+        &self,
+        model: &HighOrderModel,
+        shard: &'a mut Shard,
+        stream: StreamId,
+    ) -> &'a mut FilterState {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
         if let Some(entry) = shard.live.get_mut(&stream) {
             entry.last_used = now;
@@ -209,10 +451,10 @@ impl ServeEngine {
             let state = match shard.parked.remove(&stream) {
                 Some(bytes) => {
                     self.counters.unparks.fetch_add(1, Ordering::Relaxed);
-                    FilterState::restore(&self.model, &bytes)
+                    FilterState::restore(model, &bytes)
                         .expect("engine-written snapshots are always valid")
                 }
-                None => FilterState::new(&self.model),
+                None => FilterState::new(model),
             };
             shard.live.insert(
                 stream,
@@ -225,7 +467,9 @@ impl ServeEngine {
                 if shard.live.len() > cap {
                     if let Some(victim) = shard.lru_victim(stream) {
                         let entry = shard.live.remove(&victim).expect("victim is live");
-                        shard.parked.insert(victim, entry.state.snapshot());
+                        shard
+                            .parked
+                            .insert(victim, self.snapshot_bytes(&entry.state));
                         self.counters.evictions.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -234,16 +478,21 @@ impl ServeEngine {
         &mut shard.live.get_mut(&stream).expect("just inserted").state
     }
 
+    /// Serialize a state the engine's way: current-epoch stamp.
+    fn snapshot_bytes(&self, state: &FilterState) -> Vec<u8> {
+        state.snapshot_with_epoch(self.epoch.load(Ordering::Acquire))
+    }
+
     /// Apply one request against an already-locked shard.
-    fn process(&self, shard: &mut Shard, request: &Request) -> Response {
+    fn process(&self, model: &HighOrderModel, shard: &mut Shard, request: &Request) -> Response {
         let measure = self.obs.enabled();
         match request {
             Request::Predict { stream, x } => {
-                let state = self.touch(shard, *stream);
+                let state = self.touch(model, shard, *stream);
                 let pred = if self.prune {
-                    state.predict_pruned(&self.model, x).0
+                    state.predict_pruned(model, x).0
                 } else {
-                    state.predict(&self.model, x)
+                    state.predict(model, x)
                 };
                 if measure {
                     self.counters.predicted.fetch_add(1, Ordering::Relaxed);
@@ -254,8 +503,8 @@ impl ServeEngine {
                 }
             }
             Request::Observe { stream, x, y } => {
-                let state = self.touch(shard, *stream);
-                state.observe(&self.model, x, *y);
+                let state = self.touch(model, shard, *stream);
+                state.observe(model, x, *y);
                 if measure {
                     self.counters.observed.fetch_add(1, Ordering::Relaxed);
                 }
@@ -265,13 +514,13 @@ impl ServeEngine {
                 }
             }
             Request::Step { stream, x, y } => {
-                let state = self.touch(shard, *stream);
+                let state = self.touch(model, shard, *stream);
                 let pred = if self.prune {
-                    state.predict_pruned(&self.model, x).0
+                    state.predict_pruned(model, x).0
                 } else {
-                    state.predict(&self.model, x)
+                    state.predict(model, x)
                 };
-                state.observe(&self.model, x, *y);
+                state.observe(model, x, *y);
                 if measure {
                     self.counters.predicted.fetch_add(1, Ordering::Relaxed);
                     self.counters.observed.fetch_add(1, Ordering::Relaxed);
@@ -282,8 +531,8 @@ impl ServeEngine {
                 }
             }
             Request::Advance { stream, k } => {
-                let state = self.touch(shard, *stream);
-                state.advance_by(&self.model, *k);
+                let state = self.touch(model, shard, *stream);
+                state.advance_by(model, *k);
                 Response {
                     stream: *stream,
                     prediction: None,
@@ -300,10 +549,13 @@ impl ServeEngine {
     /// on one shard) and distinct shards run concurrently on the
     /// engine's worker pool. Throughput therefore scales with threads as
     /// long as the batch touches several shards, and the result is
-    /// independent of both the thread count and the grouping.
+    /// independent of both the thread count and the grouping. The whole
+    /// batch runs against one model generation: a concurrent
+    /// [`Self::swap_model`] waits for it.
     pub fn submit(&self, requests: &[Request]) -> Vec<Response> {
         let measure = self.obs.enabled();
         let t0 = measure.then(Instant::now);
+        let model = self.model_guard();
 
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, r) in requests.iter().enumerate() {
@@ -317,7 +569,7 @@ impl ServeEngine {
             let mut shard = self.lock(&self.shards[s]);
             groups[s]
                 .iter()
-                .map(|&i| self.process(&mut shard, &requests[i]))
+                .map(|&i| self.process(&model, &mut shard, &requests[i]))
                 .collect::<Vec<Response>>()
         });
 
@@ -377,9 +629,10 @@ impl ServeEngine {
     }
 
     fn one(&self, request: Request) -> Response {
+        let model = self.model_guard();
         let s = self.shard_index(request.stream());
         let mut shard = self.lock(&self.shards[s]);
-        self.process(&mut shard, &request)
+        self.process(&model, &mut shard, &request)
     }
 
     /// Read-only view of a stream's filter state (live or parked);
@@ -387,13 +640,14 @@ impl ServeEngine {
     /// state — peeking at a parked stream decodes its snapshot without
     /// unparking it.
     pub fn peek<R>(&self, stream: StreamId, f: impl FnOnce(&FilterState) -> R) -> Option<R> {
+        let model = self.model_guard();
         let shard = self.lock(&self.shards[self.shard_index(stream)]);
         if let Some(entry) = shard.live.get(&stream) {
             return Some(f(&entry.state));
         }
         let bytes = shard.parked.get(&stream)?;
         let state =
-            FilterState::restore(&self.model, bytes).expect("engine-written snapshots are valid");
+            FilterState::restore(&model, bytes).expect("engine-written snapshots are valid");
         Some(f(&state))
     }
 
@@ -408,7 +662,7 @@ impl ServeEngine {
     pub fn snapshot(&self, stream: StreamId) -> Option<Vec<u8>> {
         let shard = self.lock(&self.shards[self.shard_index(stream)]);
         if let Some(entry) = shard.live.get(&stream) {
-            return Some(entry.state.snapshot());
+            return Some(self.snapshot_bytes(&entry.state));
         }
         shard.parked.get(&stream).cloned()
     }
@@ -416,8 +670,16 @@ impl ServeEngine {
     /// Install a snapshotted state as `stream`, validating the bytes
     /// first (corrupt or truncated input is an error, never a panic).
     /// Replaces any existing state of that stream.
+    ///
+    /// Snapshots taken against an **older generation** of the engine's
+    /// model — fewer concepts, e.g. saved before a [`Self::swap_model`]
+    /// admitted one — are accepted and migrated forward on the way in
+    /// ([`FilterState::restore_migrating`]); a snapshot with *more*
+    /// concepts than the serving model is rejected with
+    /// [`SnapshotError::ModelMismatch`].
     pub fn restore(&self, stream: StreamId, bytes: &[u8]) -> Result<(), SnapshotError> {
-        let state = FilterState::restore(&self.model, bytes)?;
+        let model = self.model_guard();
+        let (state, _migrated) = FilterState::restore_migrating(&model, bytes)?;
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.lock(&self.shards[self.shard_index(stream)]);
         shard.parked.remove(&stream);
@@ -438,7 +700,9 @@ impl ServeEngine {
         let mut shard = self.lock(&self.shards[self.shard_index(stream)]);
         match shard.live.remove(&stream) {
             Some(entry) => {
-                shard.parked.insert(stream, entry.state.snapshot());
+                shard
+                    .parked
+                    .insert(stream, self.snapshot_bytes(&entry.state));
                 self.counters.evictions.fetch_add(1, Ordering::Relaxed);
                 true
             }
@@ -472,7 +736,7 @@ impl ServeEngine {
                 .collect();
             for id in idle {
                 let entry = shard.live.remove(&id).expect("listed as live");
-                shard.parked.insert(id, entry.state.snapshot());
+                shard.parked.insert(id, self.snapshot_bytes(&entry.state));
                 parked += 1;
             }
         }

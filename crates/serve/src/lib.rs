@@ -73,7 +73,9 @@ pub mod engine;
 pub mod request;
 mod shard;
 
-pub use engine::{ServeEngine, ServeOptions, SHARDS_ENV, THREADS_ENV};
+pub use engine::{
+    ConfigError, ServeEngine, ServeOptions, SwapError, SwapReport, SHARDS_ENV, THREADS_ENV,
+};
 pub use request::{Request, Response, StreamId};
 
 #[cfg(test)]
@@ -85,7 +87,7 @@ mod tests {
     use hom_data::{Attribute, Schema};
     use hom_obs::{Obs, Recorder};
 
-    use crate::{Request, ServeEngine, ServeOptions};
+    use crate::{ConfigError, Request, ServeEngine, ServeOptions};
 
     /// Two concepts with opposite constant predictions.
     fn toy_model() -> Arc<HighOrderModel> {
@@ -285,7 +287,7 @@ mod tests {
         // restore the saved snapshot as a different stream id
         engine.restore(77, &snap).expect("valid snapshot");
         let restored = engine.posterior(77).unwrap();
-        let mut reference = OnlinePredictor::new(Arc::clone(engine.model()));
+        let mut reference = OnlinePredictor::new(engine.model());
         for _ in 0..10 {
             reference.observe(&[0.0], 1);
         }
@@ -354,14 +356,61 @@ mod tests {
     }
 
     #[test]
-    fn shard_count_rounds_up_to_power_of_two() {
-        let engine = ServeEngine::with_options(
+    fn invalid_shard_count_is_a_typed_error_not_a_clamp() {
+        for bad in [0usize, 9, 48] {
+            let err = ServeEngine::try_with_options(
+                toy_model(),
+                &ServeOptions {
+                    shards: Some(bad),
+                    ..Default::default()
+                },
+            )
+            .err()
+            .unwrap_or_else(|| panic!("shards = {bad} must be rejected"));
+            assert_eq!(
+                err,
+                ConfigError::InvalidShards {
+                    got: bad,
+                    from_env: false
+                }
+            );
+            assert!(err.to_string().contains("power of two"), "{err}");
+        }
+        // valid powers of two still construct, exactly as configured
+        let engine = ServeEngine::try_with_options(
             toy_model(),
             &ServeOptions {
-                shards: Some(9),
+                shards: Some(8),
+                ..Default::default()
+            },
+        )
+        .expect("8 is a power of two");
+        assert_eq!(engine.n_shards(), 8);
+    }
+
+    #[test]
+    fn zero_capacity_is_a_typed_error() {
+        let err = ServeEngine::try_with_options(
+            toy_model(),
+            &ServeOptions {
+                capacity: Some(0),
+                ..Default::default()
+            },
+        )
+        .err()
+        .expect("capacity 0 must be rejected");
+        assert_eq!(err, ConfigError::ZeroCapacity);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn with_options_panics_with_the_typed_message() {
+        ServeEngine::with_options(
+            toy_model(),
+            &ServeOptions {
+                shards: Some(6),
                 ..Default::default()
             },
         );
-        assert_eq!(engine.n_shards(), 16);
     }
 }

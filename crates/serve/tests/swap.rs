@@ -1,0 +1,273 @@
+//! Model hot-swap under load: an extended model replaces the serving one
+//! mid-traffic, every live and parked stream migrates forward, old
+//! (version-bumped, pre-swap) snapshots still restore, and a shrinking
+//! swap is a typed error — never a panic.
+
+use std::sync::Arc;
+
+use hom_classifiers::{Classifier, DecisionTreeLearner, MajorityClassifier};
+use hom_core::{build, BuildParams, FilterState, HighOrderModel, SnapshotError};
+use hom_data::stream::collect;
+use hom_data::{StreamRecord, StreamSource};
+use hom_datagen::{StaggerParams, StaggerSource};
+use hom_serve::{Request, ServeEngine, ServeOptions, SwapError};
+
+fn bits(p: &[f64]) -> Vec<u64> {
+    p.iter().map(|v| v.to_bits()).collect()
+}
+
+fn fixture() -> (Arc<HighOrderModel>, Vec<StreamRecord>) {
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda: 0.01,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, 3000);
+    let (model, _) = build(
+        &data,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: hom_cluster::ClusterParams {
+                block_size: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let test: Vec<StreamRecord> = (0..600).map(|_| src.next_record()).collect();
+    (Arc::new(model), test)
+}
+
+/// A classifier the mined model cannot contain, standing in for the
+/// fallback learner's segment model during admission.
+fn novel_classifier(model: &HighOrderModel) -> Arc<dyn Classifier> {
+    let n = model.schema().n_classes();
+    let counts: Vec<usize> = (0..n).map(|c| usize::from(c == 1)).collect();
+    Arc::new(MajorityClassifier::from_counts(&counts))
+}
+
+/// The satellite regression: snapshots taken **before** a hot-swap (old
+/// model generation, fewer concepts) restore correctly afterwards via
+/// migration — or are rejected with a typed error when they could never
+/// fit — and never panic.
+#[test]
+fn pre_swap_snapshots_survive_the_swap() {
+    let (model, test) = fixture();
+    let engine = ServeEngine::new(Arc::clone(&model));
+    for (t, r) in test.iter().take(300).enumerate() {
+        engine.step(5, &r.x, r.y);
+        engine.step(9, &r.x, u32::from(t % 2 == 0));
+    }
+    let old_snapshot = engine.snapshot(5).expect("stream 5 exists");
+    assert_eq!(hom_core::snapshot_epoch(&old_snapshot), Some(0));
+
+    let extended = Arc::new(model.admit_concept(novel_classifier(&model), 0.2, 120));
+    let report = engine
+        .swap_model(Arc::clone(&extended))
+        .expect("valid swap");
+    assert_eq!(report.epoch, 1);
+    assert_eq!(engine.epoch(), 1);
+    assert_eq!(engine.model().n_concepts(), model.n_concepts() + 1);
+
+    // The pre-swap snapshot restores into the swapped engine, migrated
+    // exactly as the in-memory extension rule dictates.
+    let (expected, migrated) =
+        FilterState::restore_migrating(&extended, &old_snapshot).expect("migrating restore");
+    assert!(migrated);
+    engine
+        .restore(42, &old_snapshot)
+        .expect("old-generation snapshot restores after the swap");
+    assert_eq!(
+        bits(&engine.posterior(42).unwrap()),
+        bits(expected.posterior())
+    );
+    // and the restored stream keeps serving without panicking
+    for r in test.iter().skip(300) {
+        engine.step(42, &r.x, r.y);
+    }
+    let sum: f64 = engine.posterior(42).unwrap().iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+
+    // A snapshot of the *new* generation cannot be restored by an engine
+    // still serving the old model: typed error, no panic.
+    let post_snapshot = engine.snapshot(42).unwrap();
+    assert_eq!(hom_core::snapshot_epoch(&post_snapshot), Some(1));
+    let old_engine = ServeEngine::new(Arc::clone(&model));
+    match old_engine.restore(42, &post_snapshot) {
+        Err(SnapshotError::ModelMismatch { snapshot, model: m }) => {
+            assert_eq!(snapshot, model.n_concepts() + 1);
+            assert_eq!(m, model.n_concepts());
+        }
+        other => panic!("expected ModelMismatch, got {other:?}"),
+    }
+}
+
+/// Live and parked streams both migrate at swap time; parked streams
+/// unpark against the new model without error.
+#[test]
+fn swap_migrates_live_and_parked_streams() {
+    let (model, test) = fixture();
+    let engine = ServeEngine::with_options(
+        Arc::clone(&model),
+        &ServeOptions {
+            shards: Some(4),
+            threads: Some(2),
+            ..Default::default()
+        },
+    );
+    for r in test.iter().take(200) {
+        for stream in 0..6u64 {
+            engine.step(stream, &r.x, r.y);
+        }
+    }
+    assert!(engine.park(3), "park one stream explicitly");
+    assert_eq!(engine.parked_streams(), 1);
+    let live_before = engine.live_streams();
+
+    let extended = Arc::new(model.admit_concept(novel_classifier(&model), 0.25, 90));
+    let report = engine.swap_model(Arc::clone(&extended)).expect("swap");
+    assert_eq!(report.live_migrated, live_before);
+    assert_eq!(report.parked_migrated, 1);
+
+    // Every stream — including the parked one — now serves the extended
+    // model; posteriors are over the grown concept space.
+    for stream in 0..6u64 {
+        let posterior = engine.posterior(stream).expect("stream exists");
+        assert_eq!(posterior.len(), extended.n_concepts());
+        let sum: f64 = posterior.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "stream {stream}: sum {sum}");
+    }
+    // Parked stream 3 resumes through the migrated snapshot.
+    for r in test.iter().skip(200) {
+        engine.step(3, &r.x, r.y);
+    }
+    assert_eq!(engine.parked_streams(), 0);
+}
+
+/// Swapping is deterministic and equivalent to the core migration path:
+/// an engine that swaps mid-run matches, stream for stream and bit for
+/// bit, states migrated by hand at the same point.
+#[test]
+fn swap_matches_manual_migration_bit_for_bit() {
+    let (model, test) = fixture();
+    let extended = Arc::new(model.admit_concept(novel_classifier(&model), 0.2, 150));
+
+    let engine = ServeEngine::with_options(
+        Arc::clone(&model),
+        &ServeOptions {
+            shards: Some(8),
+            threads: Some(4),
+            ..Default::default()
+        },
+    );
+    let mut references: Vec<FilterState> = (0..5).map(|_| FilterState::new(&model)).collect();
+    for r in test.iter().take(250) {
+        let batch: Vec<Request> = (0..5u64)
+            .map(|stream| Request::Step {
+                stream,
+                x: r.x.to_vec(),
+                y: r.y,
+            })
+            .collect();
+        engine.submit(&batch);
+        for state in &mut references {
+            state.observe(&model, &r.x, r.y);
+        }
+    }
+
+    engine.swap_model(Arc::clone(&extended)).expect("swap");
+    let mut references: Vec<FilterState> =
+        references.iter().map(|s| s.migrate(&extended)).collect();
+
+    for r in test.iter().skip(250) {
+        let batch: Vec<Request> = (0..5u64)
+            .map(|stream| Request::Step {
+                stream,
+                x: r.x.to_vec(),
+                y: r.y,
+            })
+            .collect();
+        let responses = engine.submit(&batch);
+        for (stream, state) in references.iter_mut().enumerate() {
+            let expected = state.predict_pruned(&extended, &r.x).0;
+            assert_eq!(
+                responses[stream].prediction,
+                Some(expected),
+                "stream {stream} diverged after the swap"
+            );
+            state.observe(&extended, &r.x, r.y);
+        }
+    }
+    for (stream, state) in references.iter().enumerate() {
+        assert_eq!(
+            bits(&engine.posterior(stream as u64).unwrap()),
+            bits(state.posterior()),
+            "stream {stream} posterior"
+        );
+    }
+}
+
+/// A replacement with fewer concepts or another schema is refused with a
+/// typed error and the engine keeps serving the current model.
+#[test]
+fn invalid_swaps_are_typed_errors() {
+    let (model, test) = fixture();
+    let extended = Arc::new(model.admit_concept(novel_classifier(&model), 0.2, 100));
+    let engine = ServeEngine::new(Arc::clone(&extended));
+    for r in test.iter().take(50) {
+        engine.step(1, &r.x, r.y);
+    }
+
+    // fewer concepts: states never migrate backward
+    assert_eq!(
+        engine.swap_model(Arc::clone(&model)),
+        Err(SwapError::FewerConcepts {
+            current: extended.n_concepts(),
+            new: model.n_concepts(),
+        })
+    );
+
+    // different schema
+    let other_schema = {
+        let schema = hom_data::Schema::new(vec![hom_data::Attribute::numeric("z")], ["a", "b"]);
+        let concepts: Vec<hom_core::Concept> = (0..extended.n_concepts())
+            .map(|id| hom_core::Concept {
+                id,
+                model: Arc::new(MajorityClassifier::from_counts(&[1, 1])),
+                err: 0.1,
+                n_records: 10,
+                n_occurrences: 1,
+            })
+            .collect();
+        let occ: Vec<(usize, usize)> = (0..extended.n_concepts()).map(|c| (c, 10)).collect();
+        let stats = hom_core::TransitionStats::from_occurrences(extended.n_concepts(), &occ);
+        Arc::new(HighOrderModel::from_parts(schema, concepts, stats))
+    };
+    assert_eq!(
+        engine.swap_model(other_schema),
+        Err(SwapError::SchemaMismatch)
+    );
+
+    // the engine still serves the original model untouched
+    assert_eq!(engine.epoch(), 0);
+    assert_eq!(engine.model().n_concepts(), extended.n_concepts());
+    for r in test.iter().skip(50) {
+        engine.step(1, &r.x, r.y);
+    }
+}
+
+/// An identical-concept-count swap (a stats-only rebuild after a matched
+/// occurrence) leaves every posterior bit-identical.
+#[test]
+fn stats_only_swap_preserves_states() {
+    let (model, test) = fixture();
+    let engine = ServeEngine::new(Arc::clone(&model));
+    for r in test.iter().take(100) {
+        engine.step(2, &r.x, r.y);
+    }
+    let before = engine.posterior(2).unwrap();
+    let rebuilt = Arc::new(model.record_occurrence(0, 75));
+    let report = engine.swap_model(rebuilt).expect("same-size swap");
+    assert_eq!(report.epoch, 1);
+    assert_eq!(bits(&engine.posterior(2).unwrap()), bits(&before));
+}

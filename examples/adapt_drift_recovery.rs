@@ -1,0 +1,138 @@
+//! Drift-recovery experiment behind the `EXPERIMENTS.md` entry: a model
+//! mined on classic Stagger history meets a stream that enters the
+//! **held-out** fourth concept (`NOVEL_CONCEPT`, "positive iff color =
+//! blue"), which the historical stream provably never produced. Reports
+//!
+//! * **detection latency** — labeled novel records until the windowed
+//!   likelihood/entropy detector fires,
+//! * **fallback error vs. oracle** — prequential error of the served
+//!   fallback over the span it actually served, against a Hoeffding tree
+//!   started at the *true* change point (an oracle: it knows the change
+//!   time the detector has to discover, so it has a head start of
+//!   exactly the detection latency),
+//! * **post-admission error vs. oracle** — the grown high-order model
+//!   against the same oracle tree over the remaining stream.
+//!
+//! ```sh
+//! cargo run --release --example adapt_drift_recovery
+//! ```
+
+use std::sync::Arc;
+
+use high_order_models::adapt::Mode;
+use high_order_models::classifiers::{HoeffdingParams, HoeffdingTree};
+use high_order_models::datagen::stagger::{stagger_label, NOVEL_CONCEPT};
+use high_order_models::prelude::*;
+
+const ON_MODEL: usize = 400;
+const NOVEL: usize = 1_900;
+
+fn main() {
+    let mut source = StaggerSource::new(StaggerParams {
+        lambda: 0.01,
+        ..Default::default()
+    });
+    let (historical, _) = collect(&mut source, 3_000);
+    let (model, report) = build(
+        &historical,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let model = Arc::new(model);
+    println!(
+        "mined {} concepts from 3,000 historical records; injecting held-out concept {}",
+        report.n_concepts, NOVEL_CONCEPT
+    );
+
+    let opts = AdaptOptions {
+        window: 40,
+        min_segment: 300,
+        max_segment: 700,
+        ..AdaptOptions::default()
+    };
+    let window = opts.window;
+    let mut p = AdaptivePredictor::new(Arc::clone(&model), opts).unwrap();
+
+    // The oracle starts learning at the true change point — it is told
+    // the change time the detector has to discover from evidence.
+    let mut oracle = HoeffdingTree::new(
+        Arc::clone(model.schema()),
+        HoeffdingParams {
+            grace_period: window,
+            ..HoeffdingParams::default()
+        },
+    );
+
+    let mut triggered_at = None;
+    let mut admitted_at = None;
+    let mut fallback_records = 0usize;
+    let mut fallback_errors = 0usize;
+    let mut fallback_oracle_errors = 0usize;
+    let mut post_records = 0usize;
+    let mut post_errors = 0usize;
+    let mut post_oracle_errors = 0usize;
+    for t in 0..ON_MODEL + NOVEL {
+        let mut r = source.next_record();
+        if t >= ON_MODEL {
+            r.y = stagger_label(NOVEL_CONCEPT, r.x[0], r.x[1], r.x[2]);
+        }
+        let oracle_pred = (t >= ON_MODEL).then(|| {
+            let pred = oracle.predict(&r.x);
+            oracle.update(&r.x, r.y);
+            pred
+        });
+        let was_fallback = p.mode() == Mode::Fallback;
+        let (pred, event) = p.step(&r.x, r.y);
+        match event {
+            Some(AdaptEvent::Triggered) if t >= ON_MODEL && triggered_at.is_none() => {
+                triggered_at = Some(t - ON_MODEL);
+            }
+            Some(AdaptEvent::Admitted { novel, .. }) if t >= ON_MODEL => {
+                assert!(novel, "held-out concept must be admitted as novel");
+                admitted_at = Some(t - ON_MODEL);
+            }
+            _ => {}
+        }
+        if was_fallback && t >= ON_MODEL {
+            fallback_records += 1;
+            fallback_errors += usize::from(pred != r.y);
+            fallback_oracle_errors += usize::from(oracle_pred != Some(r.y));
+        } else if admitted_at.is_some() && t >= ON_MODEL {
+            post_records += 1;
+            post_errors += usize::from(pred != r.y);
+            post_oracle_errors += usize::from(oracle_pred != Some(r.y));
+        }
+    }
+
+    let triggered_at = triggered_at.expect("detector never fired on the novel regime");
+    let admitted_at = admitted_at.expect("novel segment was never admitted");
+    let rate = |e: usize, n: usize| e as f64 / n.max(1) as f64;
+    println!();
+    println!("| quantity | value |");
+    println!("|---|---|");
+    println!("| detection latency | {triggered_at} labeled records |");
+    println!("| admission latency | {admitted_at} labeled records |");
+    println!(
+        "| fallback error (span it served, {fallback_records} records) | {:.4} |",
+        rate(fallback_errors, fallback_records)
+    );
+    println!(
+        "| oracle error on that span | {:.4} |",
+        rate(fallback_oracle_errors, fallback_records)
+    );
+    println!(
+        "| post-admission error ({post_records} records) | {:.4} |",
+        rate(post_errors, post_records)
+    );
+    println!(
+        "| oracle error on that span | {:.4} |",
+        rate(post_oracle_errors, post_records)
+    );
+}

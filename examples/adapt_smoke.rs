@@ -1,0 +1,133 @@
+//! Adaptation smoke test: a Stagger stream entering the **held-out**
+//! fourth concept (never present in the mined history) is pushed through
+//! an [`AdaptiveEngine`] while bystander streams ride the ordinary
+//! serving path. Asserts the full lifecycle — trigger, fallback service,
+//! novel admission, hot-swap, recovery — and panics (non-zero exit) on
+//! any violation. CI runs this under `HOM_THREADS=1` and `HOM_THREADS=8`
+//! and compares the printed digest: the lifecycle must be bit-identical
+//! at every thread count.
+//!
+//! ```sh
+//! HOM_THREADS=8 cargo run --release --example adapt_smoke
+//! ```
+
+use std::sync::Arc;
+
+use high_order_models::adapt::Mode;
+use high_order_models::datagen::stagger::{stagger_label, NOVEL_CONCEPT};
+use high_order_models::prelude::*;
+
+const BYSTANDERS: u64 = 32;
+const ON_MODEL: usize = 400;
+const NOVEL: usize = 1_500;
+
+fn main() {
+    let mut source = StaggerSource::new(StaggerParams {
+        lambda: 0.01,
+        ..Default::default()
+    });
+    println!("mining a model from 3,000 historical records …");
+    let (historical, _) = collect(&mut source, 3_000);
+    let (model, report) = build(
+        &historical,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    println!(
+        "  {} concepts (held-out concept absent by construction)",
+        report.n_concepts
+    );
+    let model = Arc::new(model);
+
+    let opts = AdaptOptions {
+        window: 40,
+        min_segment: 300,
+        max_segment: 700,
+        ..AdaptOptions::from_env()
+    };
+    let engine = AdaptiveEngine::try_new(Arc::clone(&model), &ServeOptions::default(), opts)
+        .expect("valid configuration");
+    println!(
+        "serving with {} worker threads, {} shards",
+        engine.serve().threads(),
+        engine.serve().n_shards()
+    );
+
+    let mut digest = 0xcbf29ce484222325u64; // FNV-1a over the lifecycle
+    let mut fnv = |v: u64| {
+        digest ^= v;
+        digest = digest.wrapping_mul(0x100000001b3);
+    };
+
+    let mut triggered_at = None;
+    let mut admitted_at = None;
+    let mut post_errors = 0usize;
+    let mut post_records = 0usize;
+    for t in 0..ON_MODEL + NOVEL {
+        let mut r = source.next_record();
+        if t >= ON_MODEL {
+            r.y = stagger_label(NOVEL_CONCEPT, r.x[0], r.x[1], r.x[2]);
+        }
+        // bystanders ride the batch path of the inner ServeEngine
+        let batch: Vec<Request> = (0..BYSTANDERS)
+            .map(|stream| Request::Step {
+                stream,
+                x: r.x.to_vec(),
+                y: r.y,
+            })
+            .collect();
+        for resp in engine.serve().submit(&batch) {
+            assert!(resp.prediction.is_some(), "bystander prediction missing");
+        }
+        // the monitor stream drives adaptation
+        let (pred, event) = engine.step_monitor(&r.x, r.y);
+        fnv(u64::from(pred));
+        match event {
+            Some(AdaptEvent::Triggered) if t >= ON_MODEL && triggered_at.is_none() => {
+                triggered_at = Some(t - ON_MODEL);
+            }
+            Some(AdaptEvent::Admitted { novel, latency, .. }) if t >= ON_MODEL => {
+                assert!(novel, "held-out concept must be admitted as novel");
+                admitted_at = Some(t - ON_MODEL);
+                fnv(latency as u64);
+            }
+            _ => {}
+        }
+        if admitted_at.is_some() {
+            post_records += 1;
+            post_errors += usize::from(pred != r.y);
+        }
+    }
+
+    let triggered_at = triggered_at.expect("detector never fired on the novel regime");
+    let admitted_at = admitted_at.expect("novel segment was never admitted");
+    assert_eq!(engine.serve().epoch(), 1, "exactly one hot-swap");
+    assert_eq!(engine.model().n_concepts(), model.n_concepts() + 1);
+    assert_eq!(engine.mode(), Mode::OnModel, "recovered after admission");
+    let post_error = post_errors as f64 / post_records as f64;
+    assert!(
+        post_error < 0.1,
+        "post-admission error {post_error:.3} — the admitted concept must explain the regime"
+    );
+    // every bystander migrated onto the grown model
+    for stream in 0..BYSTANDERS {
+        let posterior = engine.serve().posterior(stream).expect("stream exists");
+        assert_eq!(posterior.len(), model.n_concepts() + 1);
+        for v in &posterior {
+            fnv(v.to_bits());
+        }
+    }
+
+    println!(
+        "  ok: trigger after {triggered_at} novel records, admission after {admitted_at}, \
+         post-admission error {post_error:.3} over {post_records} records"
+    );
+    println!("digest: {digest:#018x}");
+}

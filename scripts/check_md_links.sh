@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the top-level docs points
+# at a file that exists in the repository. External (http/https/mailto)
+# links are not fetched — CI must pass without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md ARCHITECTURE.md DESIGN.md EXPERIMENTS.md; do
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:*) continue ;;
+    esac
+    path="${target%%#*}" # intra-document anchors point at headings, not files
+    [ -z "$path" ] && continue
+    if [ ! -e "$path" ]; then
+      echo "$doc: broken link -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "all relative links resolve"

@@ -57,12 +57,14 @@
 //! | [`cluster`] | the two-step agglomerative concept clustering (§II) |
 //! | [`core`] | the high-order model: offline build + online filter (§III) |
 //! | [`serve`] | concurrent multi-stream serving engine over one shared model |
+//! | [`adapt`] | novel-concept detection, fallback serving, live model maintenance |
 //! | [`baselines`] | RePro (KDD'05) and WCE (KDD'03) re-implementations |
 //! | [`eval`] | the experiment harness behind every table and figure |
 //!
 //! See `DESIGN.md` for the full system inventory and the experiment
 //! index, and `EXPERIMENTS.md` for paper-vs-measured results.
 
+pub use hom_adapt as adapt;
 pub use hom_baselines as baselines;
 pub use hom_classifiers as classifiers;
 pub use hom_cluster as cluster;
@@ -75,6 +77,7 @@ pub use hom_serve as serve;
 
 /// The most common imports in one line.
 pub mod prelude {
+    pub use hom_adapt::{AdaptEvent, AdaptOptions, AdaptiveEngine, AdaptivePredictor};
     pub use hom_baselines::{RePro, ReProParams, Wce, WceParams};
     pub use hom_classifiers::{
         Classifier, DecisionTreeLearner, Learner, MajorityLearner, NaiveBayesLearner,
