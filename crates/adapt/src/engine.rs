@@ -2,11 +2,13 @@
 //! maintenance for a whole [`ServeEngine`].
 
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use hom_core::HighOrderModel;
 use hom_data::ClassId;
-use hom_obs::Obs;
+use hom_obs::{FlightRecorder, Obs};
 use hom_serve::{ConfigError, ServeEngine, ServeOptions};
 
 use crate::predictor::{AdaptEvent, AdaptivePredictor, Mode};
@@ -69,6 +71,42 @@ pub struct AdaptiveEngine {
     serve: ServeEngine,
     monitor: Mutex<AdaptivePredictor>,
     obs: Obs,
+    incident: Mutex<Option<IncidentDump>>,
+    incident_seq: AtomicU64,
+}
+
+/// Where novelty-trigger incident reports go: which
+/// [`FlightRecorder`]'s ring to dump and the directory to write into.
+///
+/// Wire the recorder into the engine's sinks (a
+/// [`hom_obs::Fanout`] child, or `hom-serve`'s `ServeTelemetry`
+/// bundle) so it retains the events *leading up to* a trigger; when the
+/// [`crate::NoveltyDetector`] fires, [`AdaptiveEngine::step_monitor`]
+/// dumps the ring as JSONL — every drift trigger ships its own incident
+/// report, containing the trigger window's `adapt.evidence` samples and
+/// the serving traffic around them.
+#[derive(Debug, Clone)]
+pub struct IncidentDump {
+    flight: Arc<FlightRecorder>,
+    dir: PathBuf,
+}
+
+impl IncidentDump {
+    /// Dump `flight`'s ring into `dir` (created if missing) on every
+    /// novelty trigger.
+    pub fn new(flight: Arc<FlightRecorder>, dir: impl Into<PathBuf>) -> Self {
+        IncidentDump {
+            flight,
+            dir: dir.into(),
+        }
+    }
+
+    /// The file the `seq`-th trigger (0-based) dumps to:
+    /// `<dir>/trigger-<seq>.jsonl`. Deterministic — no clocks in names —
+    /// so tests and operators can predict where an incident landed.
+    pub fn path_for(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("trigger-{seq:04}.jsonl"))
+    }
 }
 
 impl AdaptiveEngine {
@@ -85,7 +123,52 @@ impl AdaptiveEngine {
             serve,
             monitor: Mutex::new(monitor),
             obs,
+            incident: Mutex::new(None),
+            incident_seq: AtomicU64::new(0),
         })
+    }
+
+    /// Arm the trigger-dump hook: from now on, every novelty trigger on
+    /// the monitor stream writes `dump`'s flight-recorder ring to
+    /// `dump.path_for(seq)` (seq counts triggers from 0). Returns the
+    /// previous hook, if any was armed.
+    pub fn set_incident_dump(&self, dump: IncidentDump) -> Option<IncidentDump> {
+        self.lock_incident().replace(dump)
+    }
+
+    /// Disarm the trigger-dump hook.
+    pub fn clear_incident_dump(&self) -> Option<IncidentDump> {
+        self.lock_incident().take()
+    }
+
+    /// Number of incident reports written so far.
+    pub fn incident_dumps(&self) -> u64 {
+        self.incident_seq.load(Ordering::Acquire)
+    }
+
+    /// Write one incident report (see [`Self::set_incident_dump`]).
+    /// Failures are counted (`adapt.flight_dump_failures`), never
+    /// panicked on: incident reporting must not take the monitor down.
+    fn dump_incident(&self) {
+        let guard = self.lock_incident();
+        let Some(dump) = guard.as_ref() else { return };
+        let seq = self.incident_seq.fetch_add(1, Ordering::AcqRel);
+        let path = dump.path_for(seq);
+        let ok =
+            std::fs::create_dir_all(&dump.dir).is_ok() && dump.flight.write_jsonl(&path).is_ok();
+        if self.obs.enabled() {
+            if ok {
+                self.obs.count("adapt.flight_dumps", 1);
+            } else {
+                self.obs.count("adapt.flight_dump_failures", 1);
+            }
+        }
+    }
+
+    fn lock_incident(&self) -> MutexGuard<'_, Option<IncidentDump>> {
+        // Same poisoning policy as the monitor lock below: the dump
+        // config is plain data, continuing is safe.
+        self.incident.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// [`Self::try_new`] with default serving options.
@@ -124,6 +207,11 @@ impl AdaptiveEngine {
     pub fn step_monitor(&self, x: &[f64], y: ClassId) -> (ClassId, Option<AdaptEvent>) {
         let mut monitor = self.lock_monitor();
         let (pred, event) = monitor.step(x, y);
+        if matches!(event, Some(AdaptEvent::Triggered)) {
+            // Ship the incident report while the flight ring still holds
+            // the window that caused the trigger.
+            self.dump_incident();
+        }
         if let Some(AdaptEvent::Admitted { model, .. }) = &event {
             // The swap cannot fail by construction: the admitted model is
             // the served model grown by one concept (or its stats
@@ -275,5 +363,55 @@ mod tests {
             y: 1,
         }]);
         assert!(r[0].prediction.is_some());
+    }
+
+    /// An armed incident dump writes the flight ring — including the
+    /// trigger window's `adapt.evidence` samples — to a predictable
+    /// JSONL file the moment the detector fires.
+    #[test]
+    fn novelty_trigger_dumps_the_flight_recorder() {
+        let flight = Arc::new(hom_obs::FlightRecorder::default());
+        let obs = Obs::new(Arc::clone(&flight));
+        let engine = AdaptiveEngine::try_new(
+            toy_model(),
+            &ServeOptions {
+                sink: obs,
+                ..Default::default()
+            },
+            AdaptOptions {
+                sink: Obs::new(Arc::clone(&flight)),
+                ..opts()
+            },
+        )
+        .expect("valid configuration");
+        let dir = std::env::temp_dir().join(format!("hom-incident-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dump = IncidentDump::new(Arc::clone(&flight), &dir);
+        let path = dump.path_for(0);
+        engine.set_incident_dump(dump);
+
+        // Settle on-model, then an unexplained regime until the trigger.
+        for _ in 0..50 {
+            engine.step_monitor(&[0.0], 1);
+        }
+        let mut triggered = false;
+        for t in 0..400u32 {
+            let (_, event) = engine.step_monitor(&[f64::from(t % 2)], t % 2);
+            if matches!(event, Some(AdaptEvent::Triggered)) {
+                triggered = true;
+                break;
+            }
+        }
+        assert!(triggered, "the alternating regime must trigger");
+        assert_eq!(engine.incident_dumps(), 1);
+        let dumped = std::fs::read_to_string(&path).expect("incident report written");
+        assert!(
+            dumped.lines().any(|l| l.contains("adapt.evidence")),
+            "incident report holds the trigger window's evidence"
+        );
+        for line in dumped.lines() {
+            hom_obs::jsonl::parse_line(line).expect("every incident line parses");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

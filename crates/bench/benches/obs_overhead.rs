@@ -1,0 +1,248 @@
+//! Cost of live telemetry on the serving hot path.
+//!
+//! The question an operator flipping on the metrics endpoint will ask:
+//! what does recording into the aggregation sink — and additionally
+//! into the flight recorder's ring — add to each served record, at one
+//! thread and at full fan-out? Every cell drives the same batched
+//! `Step` workload through a [`hom_serve::ServeEngine`] over the grid
+//!
+//!   sink ∈ { off, AggSink, AggSink + FlightRecorder } × threads ∈ { 1, cores }
+//!
+//! Telemetry must be free of observable effect, so the bench asserts
+//! that every cell's prediction digest is bit-identical to the
+//! telemetry-off cell's — the same invariant `examples/serve_smoke.rs`
+//! and CI hold the engine to.
+//!
+//! With `HOM_JSON_DIR` set, a `BENCH_obs.json` snapshot is written
+//! there (the checked-in snapshot at the repository root was produced
+//! this way).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hom_classifiers::DecisionTreeLearner;
+use hom_cluster::ClusterParams;
+use hom_core::{build, BuildParams, HighOrderModel};
+use hom_data::stream::collect;
+use hom_data::{StreamRecord, StreamSource};
+use hom_datagen::{StaggerParams, StaggerSource};
+use hom_eval::report::print_table;
+use hom_eval::EvalConfig;
+use hom_obs::{AggSink, Fanout, FlightRecorder, Obs};
+use hom_serve::{Request, ServeEngine, ServeOptions};
+
+const HISTORICAL: usize = 20_000;
+const BLOCK_SIZE: usize = 100;
+/// Step requests timed per grid cell, batched `BATCH` at a time.
+const REQUESTS: usize = 200_000;
+const BATCH: usize = 2_048;
+/// Streams the requests round-robin over — enough to spread across
+/// shards without cold-start dominating.
+const STREAMS: usize = 1_000;
+
+/// The telemetry wired into a cell's engine.
+#[derive(Clone, Copy, PartialEq)]
+enum SinkKind {
+    Off,
+    Agg,
+    AggFlight,
+}
+
+impl SinkKind {
+    fn label(self) -> &'static str {
+        match self {
+            SinkKind::Off => "off",
+            SinkKind::Agg => "AggSink",
+            SinkKind::AggFlight => "AggSink + flight",
+        }
+    }
+
+    fn obs(self) -> Obs {
+        match self {
+            SinkKind::Off => Obs::none(),
+            SinkKind::Agg => Obs::new(Arc::new(AggSink::new())),
+            SinkKind::AggFlight => Obs::new(
+                Fanout::new()
+                    .with(Arc::new(AggSink::new()))
+                    .with(Arc::new(FlightRecorder::default())),
+            ),
+        }
+    }
+}
+
+struct Cell {
+    sink: SinkKind,
+    threads: usize,
+    ns_per_record: f64,
+    preds_per_sec: f64,
+}
+
+fn mine_model(seed: u64) -> (Arc<HighOrderModel>, Vec<StreamRecord>) {
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda: 0.002,
+        seed,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, HISTORICAL);
+    let (model, _) = build(
+        &data,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: BLOCK_SIZE,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let test: Vec<StreamRecord> = (0..4096).map(|_| src.next_record()).collect();
+    (Arc::new(model), test)
+}
+
+/// Drive one grid cell; returns the cell plus the FNV-1a digest of all
+/// predictions in request order (the cross-cell determinism check).
+fn run_cell(
+    model: &Arc<HighOrderModel>,
+    test: &[StreamRecord],
+    sink: SinkKind,
+    threads: usize,
+) -> (Cell, u64) {
+    let engine = ServeEngine::with_options(
+        Arc::clone(model),
+        &ServeOptions {
+            shards: Some(64),
+            threads: Some(threads),
+            sink: sink.obs(),
+            ..Default::default()
+        },
+    );
+    let mut digest = 0xcbf29ce484222325u64;
+    let start = Instant::now();
+    let mut sent = 0usize;
+    while sent < REQUESTS {
+        let n = BATCH.min(REQUESTS - sent);
+        let batch: Vec<Request> = (0..n)
+            .map(|i| {
+                let at = sent + i;
+                let r = &test[at % test.len()];
+                Request::Step {
+                    stream: (at % STREAMS) as u64,
+                    x: r.x.to_vec(),
+                    y: r.y,
+                }
+            })
+            .collect();
+        for resp in engine.submit(&batch) {
+            digest ^= u64::from(resp.prediction.expect("Step always predicts"));
+            digest = digest.wrapping_mul(0x100000001b3);
+        }
+        sent += n;
+    }
+    // What an exporter does between scrapes: fold the engine's counters
+    // into the sink so the aggregation cost is part of the cell.
+    engine.flush_trace();
+    let wall_secs = start.elapsed().as_secs_f64();
+    let cell = Cell {
+        sink,
+        threads,
+        ns_per_record: wall_secs * 1e9 / REQUESTS as f64,
+        preds_per_sec: REQUESTS as f64 / wall_secs,
+    };
+    (cell, digest)
+}
+
+fn main() {
+    let config = EvalConfig::from_env();
+    println!("{}", config.banner());
+
+    let (model, test) = mine_model(config.seed);
+    eprintln!(
+        "  mined {} concepts from {HISTORICAL} Stagger records",
+        model.n_concepts()
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut thread_grid = vec![1usize];
+    // On a one-core box, oversubscribe instead so the concurrent
+    // recording path (striped sinks under real contention) is still on
+    // the grid.
+    thread_grid.push(if cores > 1 { cores } else { 8 });
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut baseline_digest = None;
+    let mut baseline_ns = std::collections::BTreeMap::new();
+    for &threads in &thread_grid {
+        for sink in [SinkKind::Off, SinkKind::Agg, SinkKind::AggFlight] {
+            let (cell, digest) = run_cell(&model, &test, sink, threads);
+            // Telemetry must never change a prediction, at any thread
+            // count: every cell reproduces the first cell bit-for-bit.
+            match baseline_digest {
+                None => baseline_digest = Some(digest),
+                Some(want) => assert_eq!(
+                    digest,
+                    want,
+                    "sink {} at {threads} threads changed predictions",
+                    sink.label()
+                ),
+            }
+            if sink == SinkKind::Off {
+                baseline_ns.insert(threads, cell.ns_per_record);
+            }
+            eprintln!(
+                "  done: sink {:<16} threads {threads:<2} ({:.0} ns/record)",
+                sink.label(),
+                cell.ns_per_record
+            );
+            cells.push(cell);
+        }
+    }
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let base = baseline_ns[&c.threads];
+            vec![
+                c.sink.label().into(),
+                c.threads.to_string(),
+                format!("{:.0}", c.ns_per_record),
+                format!("{:.2}M", c.preds_per_sec / 1e6),
+                if c.sink == SinkKind::Off {
+                    "—".into()
+                } else {
+                    format!("{:+.1}%", (c.ns_per_record / base - 1.0) * 100.0)
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Telemetry overhead: {REQUESTS} Step requests over {STREAMS} streams"),
+        &["Sink", "Threads", "ns/record", "preds/s", "Overhead"],
+        &rows,
+    );
+
+    if let Ok(dir) = std::env::var("HOM_JSON_DIR") {
+        let json_rows: Vec<String> = cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{ \"sink\": \"{}\", \"threads\": {}, \"ns_per_record\": {:.0}, \
+                     \"preds_per_sec\": {:.0} }}",
+                    c.sink.label(),
+                    c.threads,
+                    c.ns_per_record,
+                    c.preds_per_sec
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"stream\": \"Stagger\",\n  \"historical_records\": {HISTORICAL},\n  \
+             \"requests_per_cell\": {REQUESTS},\n  \"streams\": {STREAMS},\n  \
+             \"cells\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        let path = std::path::Path::new(&dir).join("BENCH_obs.json");
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(path, json);
+    }
+}

@@ -168,6 +168,22 @@ impl FilterState {
         h / (n as f64).ln()
     }
 
+    /// An owned, self-describing snapshot of the observable filter
+    /// quantities — what a live introspection endpoint (the `/streams/…`
+    /// route of `hom-serve`'s metrics listener) serves without holding
+    /// any lock on the stream. Values are copied bit-for-bit from the
+    /// state; taking a snapshot never mutates anything.
+    pub fn introspect(&self) -> FilterIntrospection {
+        FilterIntrospection {
+            posterior: self.posterior.clone(),
+            prior: self.prior.clone(),
+            order: self.order.clone(),
+            current_concept: self.current_concept(),
+            last_likelihood: self.last_likelihood,
+            posterior_entropy: self.posterior_entropy(),
+        }
+    }
+
     /// Carry this state over to `model`, a model that contains every
     /// concept of the state's original model at the same id (plus,
     /// possibly, newly admitted ones) — the per-stream migration a
@@ -327,6 +343,30 @@ impl FilterState {
         }
         (argmax(&scores) as ClassId, self.order.len())
     }
+}
+
+/// A point-in-time copy of one stream's observable filter quantities —
+/// the payload of [`FilterState::introspect`]. Everything the paper
+/// treats as the filter's running evidence in one owned struct: the
+/// Eq. 7–9 distributions, the §III-C prune order, and the novelty
+/// signals `hom-adapt` windows (marginal likelihood, normalized
+/// posterior entropy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterIntrospection {
+    /// Posterior `P_{t-1}(c)` after the last observed label.
+    pub posterior: Vec<f64>,
+    /// Prior `Pₜ⁻(c)` for the current timestamp.
+    pub prior: Vec<f64>,
+    /// Concept ids in descending order of active probability (the
+    /// §III-C pruned-prediction enumeration order).
+    pub order: Vec<u32>,
+    /// The most likely current concept (argmax of the prior).
+    pub current_concept: usize,
+    /// Marginal likelihood of the last absorbed label (Eq. 7
+    /// normalizer); `1.0` until a label is absorbed.
+    pub last_likelihood: f64,
+    /// Posterior Shannon entropy normalized to `[0, 1]`.
+    pub posterior_entropy: f64,
 }
 
 /// The distribution-level core of [`FilterState::migrate`], shared with

@@ -34,7 +34,7 @@ pub mod viterbi;
 
 pub use build::{build, build_with, BuildOptions, BuildParams, BuildReport, HighOrderModel};
 pub use concept::Concept;
-pub use filter::FilterState;
+pub use filter::{FilterIntrospection, FilterState};
 pub use online::{OnlineOptions, OnlinePredictor};
 pub use snapshot::{snapshot_epoch, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use transition::TransitionStats;

@@ -1,0 +1,330 @@
+//! The concurrent aggregation sink: live totals instead of an event log.
+//!
+//! [`crate::Recorder`] keeps *every* event, which is what tests want and
+//! exactly what a serving engine fielding millions of requests cannot
+//! afford — neither the memory nor the single mutex every worker thread
+//! would fight over. [`AggSink`] keeps only the **aggregates** a live
+//! `/metrics` endpoint needs — counter totals, last-written gauge
+//! values, merged histograms, span-duration histograms — in a set of
+//! thread-striped shards:
+//!
+//! * a recording thread touches only *its own* stripe (chosen by a hash
+//!   of its thread id), so instrumentation from concurrent workers never
+//!   takes a global lock and almost never contends at all;
+//! * a reader ([`AggSink::snapshot`]) locks each stripe in turn and
+//!   merges them — counters sum, histograms merge bucket-wise
+//!   ([`Histogram::merge`]), and gauges resolve by a global write
+//!   sequence so "last write wins" holds across threads.
+//!
+//! Aggregation is exact for everything it keeps: feeding N threads'
+//! events through an `AggSink` and merging yields the same counter
+//! totals, gauge values and histogram buckets as feeding the same events
+//! serially into a [`crate::Recorder`] (the property test in
+//! `tests/proptest_agg.rs` proves it). What it deliberately drops is the
+//! per-event timeline: `series` samples and span start/end pairs are not
+//! retained individually (span *durations* are folded into a histogram
+//! per span name; series are counted). For a retained tail of raw
+//! events, pair the sink with a [`crate::FlightRecorder`] through
+//! [`crate::Fanout`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::hist::Histogram;
+use crate::sink::Sink;
+
+/// Number of stripes. A power of two a little above typical core counts:
+/// two concurrent recording threads only contend when their thread-id
+/// hashes collide modulo this.
+const STRIPES: usize = 32;
+
+/// The stripe the current thread records into. Computed once per thread
+/// (the hash of [`std::thread::ThreadId`] is stable for the thread's
+/// lifetime) and cached in a thread-local.
+pub(crate) fn thread_stripe(n: usize) -> usize {
+    use std::cell::Cell;
+    use std::hash::{Hash, Hasher};
+    thread_local! {
+        static STRIPE_SEED: Cell<u64> = const { Cell::new(0) };
+    }
+    STRIPE_SEED.with(|seed| {
+        let mut s = seed.get();
+        if s == 0 {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut hasher);
+            // Fibonacci-mix so dense hasher outputs spread; never 0 so
+            // the "uninitialized" sentinel stays unambiguous.
+            s = hasher.finish().wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            seed.set(s);
+        }
+        (s % n as u64) as usize
+    })
+}
+
+/// One stripe's aggregates. Keys are owned: event names are borrowed
+/// `&str` in flight, and an aggregate outlives the event that created
+/// it. Lookups still run on `&str` (no allocation unless the name is
+/// new).
+#[derive(Default)]
+struct Stripe {
+    counters: HashMap<String, u64>,
+    /// Gauge value plus the global write sequence that produced it —
+    /// merging keeps the value with the highest sequence, which is the
+    /// chronologically last write even across stripes.
+    gauges: HashMap<String, (u64, f64)>,
+    hists: HashMap<String, Histogram>,
+    /// Span durations (µs) folded into a histogram per span name.
+    spans: HashMap<String, Histogram>,
+    /// `series` samples seen per name (the vectors themselves are not
+    /// retained — aggregation keeps totals, the flight recorder keeps
+    /// tails).
+    series_seen: HashMap<String, u64>,
+}
+
+/// A merged, point-in-time view of an [`AggSink`] — what the Prometheus
+/// exposition ([`crate::export::to_prometheus`]) renders. All maps are
+/// ordered so the rendered output is stable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AggSnapshot {
+    /// Counter totals by name (sum of all `count` events).
+    pub counters: std::collections::BTreeMap<String, u64>,
+    /// Last-written gauge value by name (last write wins, across
+    /// threads, by global write sequence).
+    pub gauges: std::collections::BTreeMap<String, f64>,
+    /// All histogram snapshots of one name merged into one.
+    pub hists: std::collections::BTreeMap<String, Histogram>,
+    /// Span durations in microseconds, one histogram per span name.
+    pub spans: std::collections::BTreeMap<String, Histogram>,
+    /// Number of `series` samples seen per name.
+    pub series_seen: std::collections::BTreeMap<String, u64>,
+}
+
+impl AggSnapshot {
+    /// Counter total by name (0 when never counted).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Last gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Merged histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+}
+
+/// The concurrent aggregation sink (see the [module docs](self)).
+///
+/// Cheap enough for serving-rate instrumentation: a `record` hashes the
+/// thread id (cached thread-locally), locks its own stripe — uncontended
+/// unless 33+ threads collide or a snapshot is in progress — and bumps a
+/// hash-map entry. Observing a run through an `AggSink` never changes
+/// the run's results (the sink only ever *receives*).
+pub struct AggSink {
+    stripes: Vec<Mutex<Stripe>>,
+    /// Global gauge-write sequence, so "last write wins" is well defined
+    /// across stripes.
+    gauge_seq: AtomicU64,
+}
+
+impl Default for AggSink {
+    fn default() -> Self {
+        AggSink::new()
+    }
+}
+
+impl std::fmt::Debug for AggSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AggSink")
+            .field("stripes", &self.stripes.len())
+            .finish()
+    }
+}
+
+impl AggSink {
+    /// An empty aggregation sink. Wrap it in an [`std::sync::Arc`] and
+    /// pass a clone to [`crate::Obs::new`] (or a [`crate::Fanout`]) to
+    /// keep a query handle for [`Self::snapshot`].
+    pub fn new() -> Self {
+        AggSink {
+            stripes: (0..STRIPES)
+                .map(|_| Mutex::new(Stripe::default()))
+                .collect(),
+            gauge_seq: AtomicU64::new(1),
+        }
+    }
+
+    fn stripe(&self) -> std::sync::MutexGuard<'_, Stripe> {
+        let i = thread_stripe(self.stripes.len());
+        // Poisoning cannot corrupt plain counters; keep aggregating.
+        self.stripes[i].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Merge every stripe into one ordered snapshot. This is the *read*
+    /// side: it takes each stripe lock in turn (briefly blocking at most
+    /// the recording threads mapped to that stripe) and never blocks the
+    /// whole sink at once.
+    pub fn snapshot(&self) -> AggSnapshot {
+        let mut snap = AggSnapshot::default();
+        // Gauge resolution needs the sequence, tracked alongside.
+        let mut gauge_seq: HashMap<String, u64> = HashMap::new();
+        for stripe in &self.stripes {
+            let stripe = stripe.lock().unwrap_or_else(|e| e.into_inner());
+            for (name, &n) in &stripe.counters {
+                *snap.counters.entry(name.clone()).or_insert(0) += n;
+            }
+            for (name, &(seq, value)) in &stripe.gauges {
+                let best = gauge_seq.entry(name.clone()).or_insert(0);
+                if seq >= *best {
+                    *best = seq;
+                    snap.gauges.insert(name.clone(), value);
+                }
+            }
+            for (name, hist) in &stripe.hists {
+                snap.hists
+                    .entry(name.clone())
+                    .or_insert_with(Histogram::new)
+                    .merge(hist);
+            }
+            for (name, hist) in &stripe.spans {
+                snap.spans
+                    .entry(name.clone())
+                    .or_insert_with(Histogram::new)
+                    .merge(hist);
+            }
+            for (name, &n) in &stripe.series_seen {
+                *snap.series_seen.entry(name.clone()).or_insert(0) += n;
+            }
+        }
+        snap
+    }
+}
+
+/// Mutates the entry for a borrowed name in a `HashMap<String, V>`,
+/// allocating the owned key only when the name is new.
+fn upsert<V>(
+    map: &mut HashMap<String, V>,
+    name: &str,
+    init: impl FnOnce() -> V,
+    f: impl FnOnce(&mut V),
+) {
+    if let Some(v) = map.get_mut(name) {
+        f(v);
+    } else {
+        let mut v = init();
+        f(&mut v);
+        map.insert(name.to_string(), v);
+    }
+}
+
+impl Sink for AggSink {
+    fn record(&self, event: &Event<'_>) {
+        match *event {
+            Event::Count { name, n, .. } => {
+                let mut stripe = self.stripe();
+                upsert(&mut stripe.counters, name, || 0, |c| *c += n);
+            }
+            Event::Gauge { name, value, .. } => {
+                let seq = self.gauge_seq.fetch_add(1, Ordering::Relaxed);
+                let mut stripe = self.stripe();
+                upsert(&mut stripe.gauges, name, || (0, 0.0), |g| *g = (seq, value));
+            }
+            Event::Hist { name, hist, .. } => {
+                let mut stripe = self.stripe();
+                upsert(&mut stripe.hists, name, Histogram::new, |h| h.merge(hist));
+            }
+            Event::SpanEnd { name, dur_us, .. } => {
+                let mut stripe = self.stripe();
+                upsert(&mut stripe.spans, name, Histogram::new, |h| {
+                    h.record(dur_us as f64)
+                });
+            }
+            Event::Series { name, .. } => {
+                let mut stripe = self.stripe();
+                upsert(&mut stripe.series_seen, name, || 0, |c| *c += 1);
+            }
+            Event::SpanStart { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+    use std::sync::Arc;
+
+    #[test]
+    fn aggregates_counters_gauges_hists() {
+        let agg = Arc::new(AggSink::new());
+        let obs = Obs::new(Arc::clone(&agg));
+        obs.count("c", 2);
+        obs.count("c", 3);
+        obs.gauge("g", 1.0);
+        obs.gauge("g", 2.5);
+        let mut h = Histogram::new();
+        h.record(10.0);
+        obs.hist("h", &h);
+        obs.hist("h", &h);
+        obs.series("s", 0, &[1.0, 2.0]);
+
+        let snap = agg.snapshot();
+        assert_eq!(snap.counter("c"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("g"), Some(2.5));
+        assert_eq!(snap.hist("h").map(Histogram::count), Some(2));
+        assert_eq!(snap.series_seen.get("s"), Some(&1));
+    }
+
+    #[test]
+    fn span_durations_fold_into_a_histogram() {
+        let agg = Arc::new(AggSink::new());
+        let obs = Obs::new(Arc::clone(&agg));
+        {
+            let _a = obs.span("work");
+        }
+        {
+            let _b = obs.span("work");
+        }
+        let snap = agg.snapshot();
+        assert_eq!(snap.spans.get("work").map(Histogram::count), Some(2));
+    }
+
+    #[test]
+    fn concurrent_counters_sum_exactly() {
+        let agg = Arc::new(AggSink::new());
+        let obs = Obs::new(Arc::clone(&agg));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        obs.count("par", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(agg.snapshot().counter("par"), 8000);
+    }
+
+    #[test]
+    fn gauge_last_write_wins_by_sequence() {
+        // The first write lands in a spawned thread's stripe, the second
+        // (chronologically after the join) in the main thread's stripe:
+        // the later write must win regardless of stripe order.
+        let agg = Arc::new(AggSink::new());
+        let obs = Obs::new(Arc::clone(&agg));
+        let handle = {
+            let obs = obs.clone();
+            std::thread::spawn(move || obs.gauge("g", 1.0))
+        };
+        handle.join().unwrap();
+        obs.gauge("g", 2.0);
+        assert_eq!(agg.snapshot().gauge("g"), Some(2.0));
+    }
+}

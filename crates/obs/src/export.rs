@@ -1,0 +1,243 @@
+//! Prometheus text exposition for [`AggSnapshot`]s.
+//!
+//! Renders a merged [`crate::AggSink`] snapshot in the Prometheus text
+//! format (version 0.0.4) — the format every scraper speaks — without
+//! pulling in a client library: the format is lines of
+//! `# HELP` / `# TYPE` comments and `name{labels} value` samples, which
+//! a few string pushes produce exactly.
+//!
+//! Name mapping: event names are dot-separated (`serve.batch_latency_ns`)
+//! while Prometheus names are `[a-zA-Z_:][a-zA-Z0-9_:]*`; every exported
+//! metric is prefixed `hom_` and has its dots (and any other invalid
+//! character) replaced by `_`. Counters additionally get the
+//! conventional `_total` suffix, and span-duration histograms a
+//! `_span_us` suffix:
+//!
+//! | event | exported as | type |
+//! |---|---|---|
+//! | `count` `serve.evictions` | `hom_serve_evictions_total` | counter |
+//! | `gauge` `serve.live_streams` | `hom_serve_live_streams` | gauge |
+//! | `hist` `serve.batch_latency_ns` | `hom_serve_batch_latency_ns` | histogram |
+//! | span `build.cluster` | `hom_build_cluster_span_us` | histogram |
+//! | `series` `adapt.evidence` | `hom_adapt_evidence_samples_total` | counter |
+//!
+//! Histogram buckets are cumulative `_bucket{le="..."}` samples on the
+//! fixed power-of-two boundaries of [`crate::Histogram`], truncated
+//! after the last non-empty bucket (the `+Inf` bucket is always
+//! present), plus exact `_sum` and `_count`.
+
+use crate::agg::AggSnapshot;
+use crate::hist::{Histogram, N_BUCKETS};
+
+/// A Prometheus metric name from an event name: `hom_` prefix, invalid
+/// characters replaced by `_`.
+pub fn prom_name(event_name: &str) -> String {
+    let mut out = String::with_capacity(event_name.len() + 4);
+    out.push_str("hom_");
+    for c in event_name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// A float in Prometheus text syntax (`NaN`, `+Inf`, `-Inf`, otherwise
+/// Rust's shortest round-trip decimal).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn push_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+fn push_histogram(out: &mut String, name: &str, help: &str, hist: &Histogram) {
+    push_header(out, name, "histogram", help);
+    let counts = hist.bucket_counts();
+    let last_nonzero = counts.iter().rposition(|&c| c > 0);
+    let mut cumulative = 0u64;
+    if let Some(last) = last_nonzero {
+        for (b, &c) in counts.iter().enumerate().take(last + 1) {
+            cumulative += c;
+            // The final fixed bucket absorbs everything larger, so its
+            // finite upper bound would lie; fold it into +Inf below.
+            if b == N_BUCKETS - 1 {
+                break;
+            }
+            out.push_str(name);
+            out.push_str("_bucket{le=\"");
+            out.push_str(&prom_f64(Histogram::upper_bound(b)));
+            out.push_str("\"} ");
+            out.push_str(&cumulative.to_string());
+            out.push('\n');
+        }
+    }
+    out.push_str(name);
+    out.push_str("_bucket{le=\"+Inf\"} ");
+    out.push_str(&hist.count().to_string());
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_sum ");
+    out.push_str(&prom_f64(hist.sum()));
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_count ");
+    out.push_str(&hist.count().to_string());
+    out.push('\n');
+}
+
+/// Render a snapshot in Prometheus text format 0.0.4.
+///
+/// Output is deterministic for a given snapshot (maps are ordered) and
+/// ends with a newline, as the format requires.
+pub fn to_prometheus(snap: &AggSnapshot) -> String {
+    let mut out = String::new();
+    for (name, &total) in &snap.counters {
+        let pname = prom_name(name) + "_total";
+        push_header(&mut out, &pname, "counter", "event counter (hom-obs)");
+        out.push_str(&pname);
+        out.push(' ');
+        out.push_str(&total.to_string());
+        out.push('\n');
+    }
+    for (name, &value) in &snap.gauges {
+        let pname = prom_name(name);
+        push_header(&mut out, &pname, "gauge", "last observed value (hom-obs)");
+        out.push_str(&pname);
+        out.push(' ');
+        out.push_str(&prom_f64(value));
+        out.push('\n');
+    }
+    for (name, hist) in &snap.hists {
+        push_histogram(
+            &mut out,
+            &prom_name(name),
+            "sample distribution (hom-obs)",
+            hist,
+        );
+    }
+    for (name, hist) in &snap.spans {
+        push_histogram(
+            &mut out,
+            &(prom_name(name) + "_span_us"),
+            "span duration in microseconds (hom-obs)",
+            hist,
+        );
+    }
+    for (name, &seen) in &snap.series_seen {
+        let pname = prom_name(name) + "_samples_total";
+        push_header(
+            &mut out,
+            &pname,
+            "counter",
+            "series samples observed (hom-obs)",
+        );
+        out.push_str(&pname);
+        out.push(' ');
+        out.push_str(&seen.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggSink, Obs};
+    use std::sync::Arc;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(
+            prom_name("serve.batch_latency_ns"),
+            "hom_serve_batch_latency_ns"
+        );
+        assert_eq!(prom_name("weird-name 1"), "hom_weird_name_1");
+    }
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let agg = Arc::new(AggSink::new());
+        let obs = Obs::new(Arc::clone(&agg));
+        obs.count("serve.evictions", 3);
+        obs.gauge("serve.live_streams", 42.0);
+        let mut h = Histogram::new();
+        h.record(100.0);
+        h.record(3000.0);
+        obs.hist("serve.batch_latency_ns", &h);
+        obs.series("adapt.evidence", 0, &[0.5, 0.1]);
+        {
+            let _s = obs.span("build.cluster");
+        }
+
+        let text = to_prometheus(&agg.snapshot());
+        assert!(text.contains("# TYPE hom_serve_evictions_total counter"));
+        assert!(text.contains("hom_serve_evictions_total 3\n"));
+        assert!(text.contains("# TYPE hom_serve_live_streams gauge"));
+        assert!(text.contains("hom_serve_live_streams 42\n"));
+        assert!(text.contains("# TYPE hom_serve_batch_latency_ns histogram"));
+        assert!(text.contains("hom_serve_batch_latency_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("hom_serve_batch_latency_ns_count 2\n"));
+        assert!(text.contains("hom_serve_batch_latency_ns_sum 3100\n"));
+        assert!(text.contains("# TYPE hom_adapt_evidence_samples_total counter"));
+        assert!(text.contains("# TYPE hom_build_cluster_span_us histogram"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_increasing() {
+        let mut h = Histogram::new();
+        for v in [0.5, 1.5, 1.5, 300.0] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        push_histogram(&mut out, "hom_x", "h", &h);
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_cum = 0u64;
+        let mut saw_inf = false;
+        for line in out.lines() {
+            let Some(rest) = line.strip_prefix("hom_x_bucket{le=\"") else {
+                continue;
+            };
+            let (le, val) = rest.split_once("\"} ").unwrap();
+            let cum: u64 = val.parse().unwrap();
+            let le = if le == "+Inf" {
+                saw_inf = true;
+                f64::INFINITY
+            } else {
+                le.parse().unwrap()
+            };
+            assert!(le > last_le, "le strictly increasing");
+            assert!(cum >= last_cum, "cumulative counts non-decreasing");
+            last_le = le;
+            last_cum = cum;
+        }
+        assert!(saw_inf, "+Inf bucket always present");
+        assert_eq!(last_cum, 4, "+Inf bucket equals count");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(to_prometheus(&AggSnapshot::default()), "");
+    }
+}

@@ -1,0 +1,222 @@
+//! The flight recorder: a bounded ring of the most recent events.
+//!
+//! Aggregation ([`crate::AggSink`]) answers "how much, how fast"; a
+//! drift incident needs "what *exactly* happened just before the
+//! trigger". [`FlightRecorder`] keeps the last N events — verbatim, as
+//! [`OwnedEvent`]s — in fixed-capacity per-stripe ring buffers, striped
+//! by recording thread exactly like the aggregation sink so the write
+//! path never takes a global lock. When something interesting happens
+//! (a novelty trigger in `hom-adapt`, a `/flight` request against the
+//! serve listener) the rings are merged, ordered by event timestamp and
+//! dumped as JSONL — the same format `HOM_TRACE` writes, so
+//! `examples/trace_report.rs` renders an incident dump like any trace.
+//!
+//! Memory is bounded by construction: each stripe holds at most
+//! `capacity / stripes` events and evicts its oldest on overflow.
+//! Because eviction is per-stripe, a dump retains *roughly* the last
+//! `capacity` events overall (a chatty thread can only evict within its
+//! own stripe, never another thread's tail).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::agg::thread_stripe;
+use crate::event::{Event, OwnedEvent};
+use crate::jsonl;
+use crate::sink::Sink;
+
+/// Stripe count; see `agg.rs` for the rationale.
+const STRIPES: usize = 32;
+
+/// A fixed-capacity, thread-striped ring buffer sink (see the
+/// [module docs](self)).
+pub struct FlightRecorder {
+    rings: Vec<Mutex<VecDeque<OwnedEvent>>>,
+    per_stripe: usize,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &(self.per_stripe * self.rings.len()))
+            .finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Default total capacity: enough to hold several `hom-adapt`
+    /// evidence windows plus the serving traffic around them.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A recorder retaining (approximately) the last `capacity` events.
+    /// The capacity is split evenly across the internal stripes, with a
+    /// minimum of one event per stripe.
+    pub fn new(capacity: usize) -> Self {
+        let per_stripe = capacity.div_ceil(STRIPES).max(1);
+        FlightRecorder {
+            rings: (0..STRIPES)
+                .map(|_| Mutex::new(VecDeque::with_capacity(per_stripe)))
+                .collect(),
+            per_stripe,
+        }
+    }
+
+    /// Total event capacity (rounded up to a multiple of the stripe
+    /// count).
+    pub fn capacity(&self) -> usize {
+        self.per_stripe * self.rings.len()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.rings
+            .iter()
+            .map(|r| r.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merge every stripe's ring into one list ordered by event
+    /// timestamp (`t_us`; stable, so same-timestamp events keep their
+    /// per-stripe arrival order).
+    pub fn dump(&self) -> Vec<OwnedEvent> {
+        let mut events: Vec<OwnedEvent> = Vec::new();
+        for ring in &self.rings {
+            let ring = ring.lock().unwrap_or_else(|e| e.into_inner());
+            events.extend(ring.iter().cloned());
+        }
+        events.sort_by_key(t_us_of);
+        events
+    }
+
+    /// The dump rendered as JSONL — one [`crate::jsonl`] line per event,
+    /// each `\n`-terminated. Parseable back with
+    /// [`crate::jsonl::parse_line`] and renderable by
+    /// `examples/trace_report.rs`.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.dump() {
+            out.push_str(&jsonl::to_line(&event.as_event()));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the JSONL dump to `path` (created or truncated).
+    pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.dump_jsonl())
+    }
+
+    /// Drop all retained events.
+    pub fn clear(&self) {
+        for ring in &self.rings {
+            ring.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+}
+
+fn t_us_of(event: &OwnedEvent) -> u64 {
+    match *event {
+        OwnedEvent::SpanStart { t_us, .. }
+        | OwnedEvent::SpanEnd { t_us, .. }
+        | OwnedEvent::Count { t_us, .. }
+        | OwnedEvent::Gauge { t_us, .. }
+        | OwnedEvent::Series { t_us, .. }
+        | OwnedEvent::Hist { t_us, .. } => t_us,
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn record(&self, event: &Event<'_>) {
+        let i = thread_stripe(self.rings.len());
+        let mut ring = self.rings[i].lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.per_stripe {
+            ring.pop_front();
+        }
+        ring.push_back(event.to_owned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+    use std::sync::Arc;
+
+    #[test]
+    fn retains_the_most_recent_events() {
+        // One recording thread → one stripe → exact ring semantics.
+        let rec = Arc::new(FlightRecorder::new(STRIPES * 4));
+        let obs = Obs::new(Arc::clone(&rec));
+        for i in 0..100u64 {
+            obs.count("tick", i);
+        }
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 4, "per-stripe capacity holds the tail");
+        let ns: Vec<u64> = dump
+            .iter()
+            .map(|e| match e {
+                OwnedEvent::Count { n, .. } => *n,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ns, vec![96, 97, 98, 99]);
+    }
+
+    #[test]
+    fn dump_is_ordered_and_jsonl_parses() {
+        let rec = Arc::new(FlightRecorder::new(1024));
+        let obs = Obs::new(Arc::clone(&rec));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        obs.count("par", i);
+                        obs.gauge("g", i as f64);
+                    }
+                });
+            }
+        });
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 80);
+        let mut last = 0u64;
+        for e in &dump {
+            let t = t_us_of(e);
+            assert!(t >= last, "dump ordered by t_us");
+            last = t;
+        }
+        for line in rec.dump_jsonl().lines() {
+            jsonl::parse_line(line).expect("every dumped line parses");
+        }
+    }
+
+    #[test]
+    fn capacity_is_bounded_under_concurrency() {
+        let rec = Arc::new(FlightRecorder::new(64));
+        let obs = Obs::new(Arc::clone(&rec));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        obs.count("spam", 1);
+                    }
+                });
+            }
+        });
+        assert!(rec.len() <= rec.capacity());
+        rec.clear();
+        assert!(rec.is_empty());
+    }
+}

@@ -121,6 +121,19 @@ pub fn to_line(event: &Event<'_>) -> String {
 }
 
 /// JSON string escaping (control characters, quote, backslash).
+/// Append `s` to `out` as a JSON string literal (quoted and escaped) —
+/// shared with the hand-rolled JSON writers of the introspection API.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    push_json_str(out, s);
+}
+
+/// Append `v` to `out` as a JSON number: Rust's shortest round-trip
+/// decimal (so an `f64` survives a serialize → parse cycle bit-for-bit);
+/// non-finite values become `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    push_json_f64(out, v);
+}
+
 fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {

@@ -20,7 +20,10 @@
 //! * [`Sink`] — where events go: [`NullSink`] (nowhere), [`Recorder`]
 //!   (in-memory, for tests and harnesses), [`JsonlSink`] (streamed
 //!   JSON lines; `examples/trace_report.rs` turns a trace back into a
-//!   human summary).
+//!   human summary), [`AggSink`] (live thread-striped aggregates for
+//!   the `/metrics` exposition, see [`export`]), [`FlightRecorder`]
+//!   (bounded ring of the most recent events for incident dumps), and
+//!   [`Fanout`] (one handle feeding several of the above).
 //!
 //! # The `HOM_TRACE` hook
 //!
@@ -35,6 +38,10 @@
 //! cargo run --release --example trace_report trace.jsonl
 //! ```
 //!
+//! A set-but-unusable `HOM_TRACE` (unopenable path) is a configuration
+//! **error**, not a silent fallback: [`Obs::from_env`] panics with the
+//! typed [`TraceConfigError`] that [`Obs::try_from_env`] returns.
+//!
 //! # Event name registry
 //!
 //! Names are dot-separated, prefixed by the emitting subsystem. The
@@ -46,19 +53,25 @@
 //! | `build.*`, `step1.*`, `step2.*` | offline build (`hom-core`, `hom-cluster`) | stage spans, `step1.q` / `step2.cut_q` gauges, candidate/fit counters, `build.transition_row` series |
 //! | `online.*` | the online filter (`hom-core`) | `online.posterior` series, `online.prune` counter, `online.latency_ns` histogram |
 //! | `pool.*` | the worker pool (`hom-parallel`) | `pool.worker_tasks` per-worker series |
-//! | `serve.*` | the serving engine (`hom-serve`) | request/eviction/unpark counters, batch-latency histogram, shard-occupancy series; hot-swap: `serve.swaps`, `serve.model_epoch`, `serve.swap_live_migrated`, `serve.swap_parked_migrated` |
-//! | `adapt.*` | novelty & maintenance (`hom-adapt`) | `adapt.evidence` series (windowed mean likelihood + entropy, one sample per window); lifecycle counters/gauges: `adapt.triggers` + `adapt.trigger_likelihood`, `adapt.recoveries` + `adapt.recovery_latency`, `adapt.admissions_novel` / `adapt.admissions_matched` + `adapt.admission_latency` / `adapt.admission_similarity`, `adapt.swaps` + `adapt.swap_epoch`, `adapt.swap_failures` |
+//! | `serve.*` | the serving engine (`hom-serve`) | request/eviction/unpark counters, batch-latency histogram, shard-occupancy series; hot-swap: `serve.swaps`, `serve.model_epoch`, `serve.swap_live_migrated`, `serve.swap_parked_migrated`, `serve.swap_pause_ns` (stop-the-world migration pause histogram) |
+//! | `adapt.*` | novelty & maintenance (`hom-adapt`) | `adapt.evidence` series (windowed mean likelihood + entropy, one sample per window); lifecycle counters/gauges: `adapt.triggers` + `adapt.trigger_likelihood`, `adapt.recoveries` + `adapt.recovery_latency`, `adapt.admissions_novel` / `adapt.admissions_matched` + `adapt.admission_latency` / `adapt.admission_similarity`, `adapt.swaps` + `adapt.swap_epoch`, `adapt.swap_failures`; incident reporting: `adapt.flight_dumps`, `adapt.flight_dump_failures` |
 
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod event;
+pub mod export;
+pub mod flight;
 pub mod hist;
 pub mod jsonl;
 pub mod sink;
 
+pub use agg::{AggSink, AggSnapshot};
 pub use event::{Event, OwnedEvent};
+pub use export::to_prometheus;
+pub use flight::FlightRecorder;
 pub use hist::Histogram;
-pub use sink::{JsonlSink, NullSink, Recorder, Sink};
+pub use sink::{Fanout, JsonlSink, NullSink, Recorder, Sink};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,6 +81,34 @@ use std::time::Instant;
 /// The environment variable [`Obs::from_env`] reads: a path to append
 /// JSONL trace events to.
 pub const TRACE_ENV: &str = "HOM_TRACE";
+
+/// `HOM_TRACE` was set but unusable — returned by [`Obs::try_from_env`]
+/// and the panic payload of [`Obs::from_env`]. Part of the workspace's
+/// no-silent-fallback convention for environment knobs: a value the
+/// operator set deliberately must never be quietly ignored.
+#[derive(Debug)]
+pub struct TraceConfigError {
+    /// The offending `HOM_TRACE` value.
+    pub path: String,
+    /// Why the trace file could not be opened for append.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for TraceConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {TRACE_ENV}={}: cannot open for append: {}",
+            self.path, self.source
+        )
+    }
+}
+
+impl std::error::Error for TraceConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 struct Shared {
     sink: Box<dyn Sink>,
@@ -132,17 +173,26 @@ impl Obs {
     }
 
     /// The `HOM_TRACE` hook: a [`JsonlSink`] appending to the file named
-    /// by `$HOM_TRACE` when set (and openable), else [`Obs::none`].
+    /// by `$HOM_TRACE` when set, else [`Obs::none`].
+    ///
+    /// # Panics
+    ///
+    /// On a set-but-unusable `HOM_TRACE` (see [`Obs::try_from_env`]):
+    /// misconfiguration must surface, not silently disable tracing.
     pub fn from_env() -> Self {
+        Obs::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Obs::from_env`]. Unset or empty `HOM_TRACE` is
+    /// *not* an error (tracing is simply off); a path that cannot be
+    /// opened for append is.
+    pub fn try_from_env() -> Result<Self, TraceConfigError> {
         match std::env::var(TRACE_ENV) {
             Ok(path) if !path.is_empty() => match JsonlSink::append(&path) {
-                Ok(sink) => Obs::new(sink),
-                Err(e) => {
-                    eprintln!("hom-obs: cannot open {TRACE_ENV}={path}: {e}; tracing disabled");
-                    Obs::none()
-                }
+                Ok(sink) => Ok(Obs::new(sink)),
+                Err(source) => Err(TraceConfigError { path, source }),
             },
-            _ => Obs::none(),
+            _ => Ok(Obs::none()),
         }
     }
 

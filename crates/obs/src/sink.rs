@@ -25,6 +25,66 @@ impl<S: Sink + ?Sized> Sink for std::sync::Arc<S> {
     }
 }
 
+/// A sink that delivers every event to each of its children in order.
+///
+/// This is how one [`crate::Obs`] handle feeds live telemetry *and* an
+/// incident buffer at once — e.g. an [`crate::AggSink`] (for `/metrics`)
+/// fanned out with a [`crate::FlightRecorder`] (for `/flight` dumps):
+///
+/// ```
+/// use std::sync::Arc;
+/// use hom_obs::{AggSink, Fanout, FlightRecorder, Obs};
+/// let agg = Arc::new(AggSink::new());
+/// let flight = Arc::new(FlightRecorder::default());
+/// let obs = Obs::new(Fanout::new().with(Arc::clone(&agg)).with(Arc::clone(&flight)));
+/// obs.count("demo", 1);
+/// assert_eq!(agg.snapshot().counter("demo"), 1);
+/// assert_eq!(flight.len(), 1);
+/// ```
+#[derive(Default)]
+pub struct Fanout {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl std::fmt::Debug for Fanout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fanout")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Fanout {
+    /// An empty fan-out (drops everything until children are added).
+    pub fn new() -> Self {
+        Fanout::default()
+    }
+
+    /// Add a child sink (builder style).
+    pub fn with(mut self, sink: impl Sink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Number of child sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether there are no children.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl Sink for Fanout {
+    fn record(&self, event: &Event<'_>) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+}
+
 /// The do-nothing sink. [`crate::Obs::none`] short-circuits before any
 /// event is even constructed, so this type exists for call sites that
 /// need a `Sink` *value* (e.g. a sink chosen at runtime from config).

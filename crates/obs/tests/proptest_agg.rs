@@ -1,0 +1,168 @@
+//! Property test of the concurrent aggregation sink.
+//!
+//! The live-telemetry contract: N threads recording into one
+//! [`AggSink`], merged on read, must report **exactly** what one serial
+//! [`Recorder`] fed the same events reports — counter totals and
+//! histogram buckets are integer-exact, gauges resolve to the
+//! chronologically last write, span durations fold losslessly into a
+//! per-name histogram, and series samples are counted one-for-one.
+//! Aggregation never loses or invents an event, no matter how the
+//! events were striped across threads.
+
+use std::sync::Arc;
+
+use hom_obs::{AggSink, Event, Histogram, Recorder, Sink};
+use proptest::prelude::*;
+
+/// One generated instrumentation op: `(kind, name_idx, value)`.
+/// Kind 0 = count, 1 = gauge, 2 = hist, 3 = span end, 4 = series.
+type Op = (usize, usize, u64);
+
+/// The borrowed event an op denotes, delivered to any sink. `t_us` is
+/// the op's position, so "chronologically last" is well defined; the
+/// gauge name carries the writing thread so last-write-wins is a
+/// meaningful cross-sink comparison (per name, one writer — across
+/// names, all threads interleave freely).
+fn deliver(sink: &dyn Sink, op: &Op, pos: usize, thread: usize, scratch: &mut Histogram) {
+    let (kind, name_idx, value) = *op;
+    let t_us = pos as u64;
+    match kind {
+        0 => sink.record(&Event::Count {
+            span: 0,
+            name: ["c.a", "c.b", "c.c"][name_idx % 3],
+            n: value,
+            t_us,
+        }),
+        1 => sink.record(&Event::Gauge {
+            span: 0,
+            name: ["g.t0", "g.t1", "g.t2", "g.t3", "g.t4", "g.t5"][thread],
+            value: value as f64 * 0.5,
+            t_us,
+        }),
+        2 => {
+            scratch.reset_to_one_sample(value as f64);
+            sink.record(&Event::Hist {
+                span: 0,
+                name: ["h.a", "h.b"][name_idx % 2],
+                hist: scratch,
+                t_us,
+            });
+        }
+        3 => sink.record(&Event::SpanEnd {
+            id: 1 + pos as u64,
+            parent: 0,
+            name: ["s.a", "s.b"][name_idx % 2],
+            t_us,
+            dur_us: value,
+        }),
+        _ => sink.record(&Event::Series {
+            span: 0,
+            name: ["z.a", "z.b"][name_idx % 2],
+            index: pos as u64,
+            values: &[value as f64],
+            t_us,
+        }),
+    }
+}
+
+/// A one-sample histogram without reallocating per op.
+trait ResetToOne {
+    fn reset_to_one_sample(&mut self, v: f64);
+}
+
+impl ResetToOne for Histogram {
+    fn reset_to_one_sample(&mut self, v: f64) {
+        *self = Histogram::new();
+        self.record(v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// N threads → AggSink ≡ one serial Recorder, for every metric kind.
+    #[test]
+    fn concurrent_agg_equals_serial_recorder(
+        ops in proptest::collection::vec((0usize..5, 0usize..3, 0u64..100_000), 0..400),
+        n_threads in 1usize..6,
+    ) {
+        // Serial reference: every op in order into one Recorder.
+        let recorder = Recorder::new();
+        let mut scratch = Histogram::new();
+        for (pos, op) in ops.iter().enumerate() {
+            // Thread assignment must match the concurrent run so gauge
+            // names (one writer per name) line up.
+            deliver(&recorder, op, pos, pos % n_threads, &mut scratch);
+        }
+
+        // Concurrent run: thread i records ops[i], ops[i + n], … — its
+        // ops in order, all threads interleaving into one AggSink.
+        let agg = Arc::new(AggSink::new());
+        std::thread::scope(|scope| {
+            for thread in 0..n_threads {
+                let agg = Arc::clone(&agg);
+                let ops = &ops;
+                scope.spawn(move || {
+                    let mut scratch = Histogram::new();
+                    for (pos, op) in ops.iter().enumerate() {
+                        if pos % n_threads == thread {
+                            deliver(&agg, op, pos, thread, &mut scratch);
+                        }
+                    }
+                });
+            }
+        });
+        let snap = agg.snapshot();
+
+        // Counters: integer-exact totals per name.
+        for name in ["c.a", "c.b", "c.c"] {
+            prop_assert_eq!(snap.counter(name), recorder.counter_total(name));
+        }
+
+        // Gauges: last write wins, bit-for-bit. Each name has a single
+        // writing thread, which preserves its op order, so the serial
+        // recorder's last value for the name is the ground truth.
+        for thread in 0..n_threads {
+            let name = ["g.t0", "g.t1", "g.t2", "g.t3", "g.t4", "g.t5"][thread];
+            let want = recorder.gauges(name).last().copied();
+            prop_assert_eq!(
+                snap.gauge(name).map(f64::to_bits),
+                want.map(f64::to_bits)
+            );
+        }
+
+        // Histograms: merged buckets equal the serial merge exactly.
+        for name in ["h.a", "h.b"] {
+            let want = recorder.merged_hist(name);
+            match snap.hist(name) {
+                Some(got) => {
+                    prop_assert_eq!(got.bucket_counts(), want.bucket_counts());
+                    prop_assert_eq!(got.count(), want.count());
+                }
+                None => prop_assert_eq!(want.count(), 0),
+            }
+        }
+
+        // Span durations: folded per name into a histogram that equals
+        // folding the serial recorder's (t_us, dur_us) pairs.
+        for name in ["s.a", "s.b"] {
+            let mut want = Histogram::new();
+            for (_, dur_us) in recorder.spans(name) {
+                want.record(dur_us as f64);
+            }
+            match snap.spans.get(name) {
+                Some(got) => {
+                    prop_assert_eq!(got.bucket_counts(), want.bucket_counts());
+                    prop_assert_eq!(got.count(), want.count());
+                }
+                None => prop_assert_eq!(want.count(), 0),
+            }
+        }
+
+        // Series: samples are counted one-for-one.
+        for name in ["z.a", "z.b"] {
+            let want = recorder.series(name).len() as u64;
+            prop_assert_eq!(snap.series_seen.get(name).copied().unwrap_or(0), want);
+        }
+    }
+}

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
-use hom_core::{FilterState, HighOrderModel, SnapshotError};
+use hom_core::{FilterIntrospection, FilterState, HighOrderModel, SnapshotError};
 use hom_data::ClassId;
 use hom_obs::{Histogram, Obs};
 use hom_parallel::Pool;
@@ -186,6 +186,22 @@ struct Counters {
     flushes: AtomicU64,
 }
 
+/// One stream's live operational state, as served by the introspection
+/// API (`/streams/<id>` on the metrics listener) — the engine-level
+/// wrapper around [`FilterIntrospection`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamInfo {
+    /// `true` when the stream's state is resident in memory; `false`
+    /// when it is parked (a hibernated snapshot — introspected here by
+    /// decoding without unparking).
+    pub live: bool,
+    /// The engine's model generation at the time of the query
+    /// ([`ServeEngine::epoch`]).
+    pub epoch: u32,
+    /// The filter quantities themselves, copied bit-for-bit.
+    pub introspection: FilterIntrospection,
+}
+
 /// A concurrent multi-stream serving engine over one shared, immutable
 /// [`HighOrderModel`].
 ///
@@ -352,6 +368,7 @@ impl ServeEngine {
     /// extension API guarantees this) — otherwise a typed [`SwapError`]
     /// is returned and nothing changes.
     pub fn swap_model(&self, new: Arc<HighOrderModel>) -> Result<SwapReport, SwapError> {
+        let pause_start = Instant::now();
         let mut guard = self.model.write().unwrap_or_else(|e| e.into_inner());
         let old = Arc::clone(&guard);
         if new.n_concepts() < old.n_concepts() {
@@ -395,6 +412,11 @@ impl ServeEngine {
                 .count("serve.swap_live_migrated", live_migrated as u64);
             self.obs
                 .count("serve.swap_parked_migrated", parked_migrated as u64);
+            // The pause the swap imposed on traffic: write-lock wait
+            // (draining in-flight batches) plus the migration itself.
+            let mut pause = Histogram::new();
+            pause.record(pause_start.elapsed().as_nanos() as f64);
+            self.obs.hist("serve.swap_pause_ns", &pause);
         }
         Ok(SwapReport {
             epoch,
@@ -654,6 +676,44 @@ impl ServeEngine {
     /// The stream's current posterior `P_t(c)`, if the stream exists.
     pub fn posterior(&self, stream: StreamId) -> Option<Vec<f64>> {
         self.peek(stream, |s| s.posterior().to_vec())
+    }
+
+    /// A stream's full introspection snapshot — the payload of the
+    /// `/streams/<id>` route. Like [`Self::peek`] this never mutates
+    /// anything: a parked stream is decoded without being unparked.
+    /// `None` if the engine has never seen the stream.
+    pub fn stream_info(&self, stream: StreamId) -> Option<StreamInfo> {
+        let model = self.model_guard();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let shard = self.lock(&self.shards[self.shard_index(stream)]);
+        if let Some(entry) = shard.live.get(&stream) {
+            return Some(StreamInfo {
+                live: true,
+                epoch,
+                introspection: entry.state.introspect(),
+            });
+        }
+        let bytes = shard.parked.get(&stream)?;
+        let state =
+            FilterState::restore(&model, bytes).expect("engine-written snapshots are valid");
+        Some(StreamInfo {
+            live: false,
+            epoch,
+            introspection: state.introspect(),
+        })
+    }
+
+    /// Per-shard `(live, parked)` stream counts, in shard order — the
+    /// payload of the `/shards` route and the same numbers the
+    /// `serve.shard_live` / `serve.shard_parked` trace series report.
+    pub fn shard_occupancy(&self) -> Vec<(usize, usize)> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = self.lock(s);
+                (shard.live.len(), shard.parked.len())
+            })
+            .collect()
     }
 
     /// Serialize a stream's state with the versioned snapshot codec —

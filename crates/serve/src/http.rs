@@ -1,0 +1,463 @@
+//! The live introspection listener: Prometheus `/metrics` plus a JSON
+//! API over a running [`ServeEngine`].
+//!
+//! Deliberately dependency-free — a blocking [`std::net::TcpListener`]
+//! accept loop on one spawned thread, HTTP/1.1 with `Content-Length`
+//! and `Connection: close`, one request per connection. That is all a
+//! Prometheus scraper or a `curl` needs, and it keeps the workspace's
+//! no-new-dependencies stance intact.
+//!
+//! | route | payload |
+//! |---|---|
+//! | `/metrics` | Prometheus text 0.0.4 rendered from the engine's [`ServeTelemetry`] aggregates ([`hom_obs::export`]) |
+//! | `/healthz` | JSON liveness: model epoch, shard/thread counts, live/parked totals |
+//! | `/shards` | JSON per-shard `(live, parked)` occupancy |
+//! | `/streams/<id>` | JSON introspection of one stream — posterior, prior, prune order, likelihood/entropy evidence, parked/live, model epoch ([`ServeEngine::stream_info`]) |
+//! | `/flight` | the flight recorder's ring as JSONL (same format as `HOM_TRACE`) |
+//!
+//! Floats are rendered with Rust's shortest round-trip decimal
+//! ([`hom_obs::jsonl::push_f64`]), so a scraped posterior parses back
+//! **bit-for-bit** equal to the engine's in-memory `FilterState` — the
+//! property `examples/serve_smoke.rs` asserts end-to-end.
+//!
+//! Serving introspection never changes a prediction: every route reads
+//! through the engine's non-mutating accessors ([`ServeEngine::peek`]
+//! semantics), and `/metrics` only flushes already-accumulated trace
+//! counters into the aggregation sink.
+//!
+//! # The `HOM_METRICS_ADDR` knob
+//!
+//! [`MetricsServer::from_env`] binds to `$HOM_METRICS_ADDR` (an
+//! `ip:port` socket address, e.g. `127.0.0.1:9464`; port `0` picks a
+//! free port, see [`MetricsServer::addr`]). Unset or empty means no
+//! listener; a set-but-malformed value is a typed
+//! [`MetricsConfigError`], never silently ignored — the same
+//! no-silent-fallback convention as `HOM_SERVE_SHARDS` and `HOM_TRACE`.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use hom_obs::jsonl::push_f64;
+use hom_obs::{export, AggSink, Fanout, FlightRecorder, Obs};
+
+use crate::engine::ServeEngine;
+use crate::request::StreamId;
+
+/// The environment variable [`MetricsServer::from_env`] reads: the
+/// `ip:port` to serve the metrics/introspection API on.
+pub const METRICS_ADDR_ENV: &str = "HOM_METRICS_ADDR";
+
+/// A rejected metrics-listener configuration. Like
+/// [`crate::ConfigError`], a value the operator set deliberately is
+/// never silently ignored.
+#[derive(Debug)]
+pub enum MetricsConfigError {
+    /// The address does not parse as an `ip:port` socket address.
+    /// `from_env` says whether it came from [`METRICS_ADDR_ENV`].
+    InvalidAddr {
+        /// The rejected value.
+        got: String,
+        /// `true` when the value was read from [`METRICS_ADDR_ENV`].
+        from_env: bool,
+        /// The parser's complaint.
+        source: std::net::AddrParseError,
+    },
+    /// The address parsed but could not be bound (port in use,
+    /// unroutable interface, insufficient privileges …).
+    Bind {
+        /// The address that failed to bind.
+        addr: SocketAddr,
+        /// The OS error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for MetricsConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsConfigError::InvalidAddr {
+                got,
+                from_env,
+                source,
+            } => {
+                let origin = if *from_env {
+                    METRICS_ADDR_ENV
+                } else {
+                    "metrics address"
+                };
+                write!(
+                    f,
+                    "invalid {origin}={got}: expected ip:port (e.g. 127.0.0.1:9464): {source}"
+                )
+            }
+            MetricsConfigError::Bind { addr, source } => {
+                write!(f, "cannot bind metrics listener on {addr}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricsConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MetricsConfigError::InvalidAddr { source, .. } => Some(source),
+            MetricsConfigError::Bind { source, .. } => Some(source),
+        }
+    }
+}
+
+/// The telemetry bundle a served engine records into: an
+/// [`AggSink`] (live aggregates for `/metrics`) fanned out with a
+/// [`FlightRecorder`] (bounded raw-event tail for `/flight` and
+/// trigger dumps), behind one [`Obs`] handle.
+///
+/// Build one, hand [`Self::obs`] to `ServeOptions { sink }` (and
+/// `AdaptOptions { sink }` if adapting), and give the bundle itself to
+/// [`MetricsServer::bind`]:
+///
+/// ```no_run
+/// # use std::sync::Arc;
+/// # use hom_serve::{MetricsServer, ServeEngine, ServeOptions, ServeTelemetry};
+/// # fn model() -> Arc<hom_core::HighOrderModel> { unimplemented!() }
+/// let telemetry = ServeTelemetry::new();
+/// let engine = Arc::new(ServeEngine::with_options(
+///     model(),
+///     &ServeOptions { sink: telemetry.obs(), ..Default::default() },
+/// ));
+/// let server = MetricsServer::bind(engine, telemetry, "127.0.0.1:0").unwrap();
+/// println!("metrics on http://{}/metrics", server.addr());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeTelemetry {
+    agg: Arc<AggSink>,
+    flight: Arc<FlightRecorder>,
+    obs: Obs,
+}
+
+impl Default for ServeTelemetry {
+    fn default() -> Self {
+        ServeTelemetry::new()
+    }
+}
+
+impl ServeTelemetry {
+    /// A bundle with the default flight-recorder capacity
+    /// ([`FlightRecorder::DEFAULT_CAPACITY`]).
+    pub fn new() -> Self {
+        Self::with_flight_capacity(FlightRecorder::DEFAULT_CAPACITY)
+    }
+
+    /// A bundle whose flight recorder retains (approximately) the last
+    /// `capacity` events.
+    pub fn with_flight_capacity(capacity: usize) -> Self {
+        let agg = Arc::new(AggSink::new());
+        let flight = Arc::new(FlightRecorder::new(capacity));
+        let obs = Obs::new(
+            Fanout::new()
+                .with(Arc::clone(&agg))
+                .with(Arc::clone(&flight)),
+        );
+        ServeTelemetry { agg, flight, obs }
+    }
+
+    /// The handle to record through — pass to `ServeOptions { sink }` /
+    /// `AdaptOptions { sink }`.
+    pub fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+
+    /// The live aggregates (what `/metrics` renders).
+    pub fn agg(&self) -> &Arc<AggSink> {
+        &self.agg
+    }
+
+    /// The flight recorder (what `/flight` dumps).
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+}
+
+/// The blocking HTTP listener (see the [module docs](self)). Binding
+/// spawns one accept-loop thread; dropping the server (or calling
+/// [`Self::shutdown`]) stops the loop and joins it.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl MetricsServer {
+    /// Bind `addr` (an `ip:port`; port `0` picks a free one — read it
+    /// back with [`Self::addr`]) and start serving the engine's
+    /// introspection API on a background thread.
+    pub fn bind(
+        engine: Arc<ServeEngine>,
+        telemetry: ServeTelemetry,
+        addr: &str,
+    ) -> Result<Self, MetricsConfigError> {
+        Self::bind_inner(engine, telemetry, addr, false)
+    }
+
+    /// Bind to `$HOM_METRICS_ADDR` when set: `Ok(None)` when unset or
+    /// empty (no listener — the common non-operational case), a typed
+    /// [`MetricsConfigError`] when set but malformed or unbindable.
+    pub fn from_env(
+        engine: Arc<ServeEngine>,
+        telemetry: ServeTelemetry,
+    ) -> Result<Option<Self>, MetricsConfigError> {
+        match std::env::var(METRICS_ADDR_ENV) {
+            Ok(addr) if !addr.is_empty() => {
+                Self::bind_inner(engine, telemetry, &addr, true).map(Some)
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn bind_inner(
+        engine: Arc<ServeEngine>,
+        telemetry: ServeTelemetry,
+        addr: &str,
+        from_env: bool,
+    ) -> Result<Self, MetricsConfigError> {
+        let addr: SocketAddr = addr
+            .parse()
+            .map_err(|source| MetricsConfigError::InvalidAddr {
+                got: addr.to_string(),
+                from_env,
+                source,
+            })?;
+        let listener =
+            TcpListener::bind(addr).map_err(|source| MetricsConfigError::Bind { addr, source })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|source| MetricsConfigError::Bind { addr, source })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("hom-metrics".into())
+            .spawn(move || accept_loop(listener, engine, telemetry, loop_stop))
+            .expect("spawning the metrics thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound — what to scrape, and where the
+    /// OS-chosen port of a `:0` bind shows up.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, join the listener thread. Equivalent to dropping
+    /// the server, but explicit at call sites that care about ordering.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    engine: Arc<ServeEngine>,
+    telemetry: ServeTelemetry,
+    stop: Arc<AtomicBool>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(mut conn) = conn else { continue };
+        // One request per connection; any I/O error just drops the
+        // connection — introspection must never take serving down.
+        let _ = handle_connection(&mut conn, &engine, &telemetry);
+    }
+}
+
+fn handle_connection(
+    conn: &mut TcpStream,
+    engine: &ServeEngine,
+    telemetry: &ServeTelemetry,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers so well-behaved clients see a clean close.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => return respond(conn, "400 Bad Request", "text/plain", "bad request\n"),
+    };
+    if method != "GET" {
+        return respond(
+            conn,
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is served\n",
+        );
+    }
+    let path = target.split('?').next().unwrap_or(target);
+
+    match path {
+        "/metrics" => {
+            // Move the engine's accumulated counters/histograms into the
+            // aggregation sink so the scrape reflects the latest traffic.
+            engine.flush_trace();
+            let body = export::to_prometheus(&telemetry.agg().snapshot());
+            respond(
+                conn,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/healthz" => respond(conn, "200 OK", "application/json", &healthz_json(engine)),
+        "/shards" => respond(conn, "200 OK", "application/json", &shards_json(engine)),
+        "/flight" => respond(
+            conn,
+            "200 OK",
+            "application/x-ndjson",
+            &telemetry.flight().dump_jsonl(),
+        ),
+        _ => {
+            if let Some(id) = path.strip_prefix("/streams/") {
+                return match id
+                    .parse::<StreamId>()
+                    .ok()
+                    .and_then(|id| engine.stream_info(id).map(|info| stream_json(id, &info)))
+                {
+                    Some(body) => respond(conn, "200 OK", "application/json", &body),
+                    None => respond(conn, "404 Not Found", "text/plain", "no such stream\n"),
+                };
+            }
+            respond(conn, "404 Not Found", "text/plain", "no such route\n")
+        }
+    }
+}
+
+fn respond(
+    conn: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        conn,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    conn.write_all(body.as_bytes())?;
+    conn.flush()
+}
+
+fn healthz_json(engine: &ServeEngine) -> String {
+    let mut out = String::with_capacity(160);
+    out.push_str("{\"status\":\"ok\",\"model_epoch\":");
+    out.push_str(&engine.epoch().to_string());
+    out.push_str(",\"shards\":");
+    out.push_str(&engine.n_shards().to_string());
+    out.push_str(",\"threads\":");
+    out.push_str(&engine.threads().to_string());
+    out.push_str(",\"live_streams\":");
+    out.push_str(&engine.live_streams().to_string());
+    out.push_str(",\"parked_streams\":");
+    out.push_str(&engine.parked_streams().to_string());
+    out.push_str("}\n");
+    out
+}
+
+fn shards_json(engine: &ServeEngine) -> String {
+    let mut out = String::from("{\"shards\":[");
+    for (i, (live, parked)) in engine.shard_occupancy().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"shard\":");
+        out.push_str(&i.to_string());
+        out.push_str(",\"live\":");
+        out.push_str(&live.to_string());
+        out.push_str(",\"parked\":");
+        out.push_str(&parked.to_string());
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn push_f64_array(out: &mut String, values: &[f64]) {
+    out.push('[');
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, v);
+    }
+    out.push(']');
+}
+
+fn stream_json(id: StreamId, info: &crate::engine::StreamInfo) -> String {
+    let intro = &info.introspection;
+    let mut out = String::with_capacity(96 + 20 * intro.posterior.len());
+    out.push_str("{\"stream\":");
+    out.push_str(&id.to_string());
+    out.push_str(",\"live\":");
+    out.push_str(if info.live { "true" } else { "false" });
+    out.push_str(",\"model_epoch\":");
+    out.push_str(&info.epoch.to_string());
+    out.push_str(",\"current_concept\":");
+    out.push_str(&intro.current_concept.to_string());
+    out.push_str(",\"last_likelihood\":");
+    push_f64(&mut out, intro.last_likelihood);
+    out.push_str(",\"posterior_entropy\":");
+    push_f64(&mut out, intro.posterior_entropy);
+    out.push_str(",\"posterior\":");
+    push_f64_array(&mut out, &intro.posterior);
+    out.push_str(",\"prior\":");
+    push_f64_array(&mut out, &intro.prior);
+    out.push_str(",\"order\":[");
+    for (i, &c) in intro.order.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&c.to_string());
+    }
+    out.push_str("]}\n");
+    out
+}

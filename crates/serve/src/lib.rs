@@ -30,6 +30,12 @@
 //! * With an [`hom_obs::Obs`] sink attached, the engine reports request
 //!   and eviction counters, a batch-latency histogram and per-shard
 //!   occupancy series; disabled observability costs one branch.
+//! * A running engine is **live-inspectable**: bundle a
+//!   [`ServeTelemetry`] into the sink and bind a [`MetricsServer`]
+//!   (`HOM_METRICS_ADDR`) to get Prometheus `/metrics`, JSON
+//!   `/healthz` / `/shards` / `/streams/<id>` introspection and
+//!   `/flight` incident dumps — none of which changes a prediction
+//!   (see the [`http`] module).
 //!
 //! Per stream, the engine is proven (differential tests) bit-identical
 //! to a dedicated [`hom_core::OnlinePredictor`] — sharding, batching,
@@ -70,12 +76,15 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod http;
 pub mod request;
 mod shard;
 
 pub use engine::{
-    ConfigError, ServeEngine, ServeOptions, SwapError, SwapReport, SHARDS_ENV, THREADS_ENV,
+    ConfigError, ServeEngine, ServeOptions, StreamInfo, SwapError, SwapReport, SHARDS_ENV,
+    THREADS_ENV,
 };
+pub use http::{MetricsConfigError, MetricsServer, ServeTelemetry, METRICS_ADDR_ENV};
 pub use request::{Request, Response, StreamId};
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! cargo run --release --example trace_report trace.jsonl
 //! ```
 //!
-//! The report covers the three things the trace observes:
+//! The report covers everything the trace observes:
 //!
 //! * the **offline build**: a span tree with wall time per stage, plus
 //!   the clustering counters (blocks, candidate fits, mergers, pruned
@@ -13,15 +13,110 @@
 //! * the **online filter**: the concept-posterior timeline (the paper's
 //!   Fig. 6, as a per-concept sparkline), the prediction-latency
 //!   histogram and the early-termination statistics of §III-C;
-//! * the **worker pools**: how the parallel maps distributed work.
+//! * the **worker pools**: how the parallel maps distributed work;
+//! * the **serving engine**: request/eviction/unpark totals, batch
+//!   latency, per-shard occupancy and hot-swap pauses;
+//! * the **adaptation loop**: the evidence windows (mean likelihood and
+//!   entropy sparklines), trigger → recovery → admission lifecycle
+//!   counts and flight-recorder incident dumps.
 //!
-//! Exits non-zero on unreadable input or malformed trace lines, so CI can
-//! use it to verify the trace format end to end.
+//! Works on `HOM_TRACE` files and on flight-recorder dumps (`/flight`,
+//! trigger incident reports) alike — they share the JSONL format.
+//!
+//! Exits non-zero on unreadable input, malformed trace lines, **or event
+//! names this report does not know**, so CI verifies both the trace
+//! format and the event-name registry end to end: an instrumentation
+//! point added without teaching the report (and the registry in
+//! `hom-obs`'s crate docs) about it fails the build instead of being
+//! silently dropped from reports.
 
 use std::collections::BTreeMap;
 
 use high_order_models::obs::jsonl;
 use high_order_models::obs::{Histogram, OwnedEvent};
+
+/// Every event name the instrumented pipeline emits — the executable
+/// form of the registry in `hom-obs`'s crate docs. `main` rejects names
+/// outside this list.
+const KNOWN_EVENTS: &[&str] = &[
+    // offline build (hom-core, hom-cluster)
+    "build",
+    "build.absorb",
+    "build.cluster",
+    "build.concepts_absorbed",
+    "build.concepts_retrained",
+    "build.occurrences",
+    "build.records",
+    "build.retrain",
+    "build.stats",
+    "build.transition_row",
+    "step1",
+    "step1.block_fits",
+    "step1.blocks",
+    "step1.candidate_fits",
+    "step1.chunks",
+    "step1.cut_q",
+    "step1.merge_loop",
+    "step1.mergers",
+    "step1.q",
+    "step1.seed_candidates",
+    "step1.stale_skips",
+    "step2",
+    "step2.concepts",
+    "step2.cut_q",
+    "step2.distance_matrix",
+    "step2.distance_rows",
+    "step2.distances",
+    "step2.merge_loop",
+    "step2.mergers",
+    "step2.pred_cache",
+    "step2.q",
+    "step2.stale_skips",
+    // online filter (hom-core)
+    "online.concepts_consulted",
+    "online.label_agree",
+    "online.latency_ns",
+    "online.posterior",
+    "online.predict_ns",
+    "online.prune",
+    "online.pruned_records",
+    "online.records_observed",
+    "online.records_predicted",
+    // worker pool (hom-parallel)
+    "pool.worker_busy_us",
+    "pool.worker_tasks",
+    // serving engine (hom-serve)
+    "serve.batch_latency_ns",
+    "serve.batches",
+    "serve.evictions",
+    "serve.live_streams",
+    "serve.model_epoch",
+    "serve.parked_streams",
+    "serve.records_observed",
+    "serve.records_predicted",
+    "serve.shard_live",
+    "serve.shard_parked",
+    "serve.swap_live_migrated",
+    "serve.swap_parked_migrated",
+    "serve.swap_pause_ns",
+    "serve.swaps",
+    "serve.unparks",
+    // novelty & maintenance (hom-adapt)
+    "adapt.admission_latency",
+    "adapt.admission_similarity",
+    "adapt.admissions_matched",
+    "adapt.admissions_novel",
+    "adapt.evidence",
+    "adapt.flight_dump_failures",
+    "adapt.flight_dumps",
+    "adapt.recoveries",
+    "adapt.recovery_latency",
+    "adapt.swap_epoch",
+    "adapt.swap_failures",
+    "adapt.swaps",
+    "adapt.trigger_likelihood",
+    "adapt.triggers",
+];
 
 /// Aggregated view of one span name: call count and total duration.
 #[derive(Default)]
@@ -65,6 +160,26 @@ fn main() {
         eprintln!("trace_report: {path} holds no events");
         std::process::exit(1);
     }
+
+    // Unknown names fail the report: an event this binary cannot render
+    // is either a typo at the instrumentation point or a new event that
+    // must be added to KNOWN_EVENTS (and the hom-obs registry docs).
+    let mut unknown: Vec<&str> = events
+        .iter()
+        .map(OwnedEvent::name)
+        .filter(|name| !KNOWN_EVENTS.contains(name))
+        .collect();
+    unknown.sort_unstable();
+    unknown.dedup();
+    if !unknown.is_empty() {
+        eprintln!(
+            "trace_report: {path} holds {} unknown event name(s): {}",
+            unknown.len(),
+            unknown.join(", ")
+        );
+        eprintln!("  (new instrumentation? teach examples/trace_report.rs and the hom-obs registry about it)");
+        std::process::exit(1);
+    }
     println!("trace: {path} ({} events)", events.len());
 
     report_spans(&events);
@@ -72,6 +187,8 @@ fn main() {
     report_gauges(&events);
     report_pools(&events);
     report_online(&events);
+    report_serving(&events);
+    report_adapt(&events);
 }
 
 /// Span tree: name, calls, total wall time — children indented under the
@@ -301,6 +418,173 @@ fn report_online(events: &[OwnedEvent]) {
             println!(
                 "  MAP concept agreed with y   {agree}/{observed} labeled records ({:.1}%)",
                 100.0 * agree as f64 / observed as f64
+            );
+        }
+    }
+}
+
+/// Sum of all `count` events named `key`.
+fn counter_total(events: &[OwnedEvent], key: &str) -> u64 {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            OwnedEvent::Count { name, n, .. } if name == key => Some(*n),
+            _ => None,
+        })
+        .sum()
+}
+
+/// All `hist` events named `key`, merged.
+fn merged_hist(events: &[OwnedEvent], key: &str) -> Histogram {
+    let mut out = Histogram::new();
+    for e in events {
+        if let OwnedEvent::Hist { name, hist, .. } = e {
+            if name == key {
+                out.merge(hist);
+            }
+        }
+    }
+    out
+}
+
+fn report_serving(events: &[OwnedEvent]) {
+    let predicted = counter_total(events, "serve.records_predicted");
+    let observed = counter_total(events, "serve.records_observed");
+    if predicted + observed == 0 {
+        return;
+    }
+    println!("\n== serving engine ==");
+    println!(
+        "  records served              {} predicted, {observed} observed in {} batches",
+        predicted,
+        counter_total(events, "serve.batches"),
+    );
+    println!(
+        "  evictions / unparks         {} / {}",
+        counter_total(events, "serve.evictions"),
+        counter_total(events, "serve.unparks"),
+    );
+    let latency = merged_hist(events, "serve.batch_latency_ns");
+    if latency.count() > 0 {
+        println!(
+            "  batch latency (ns)          n = {}   mean = {:.0}   p50 <= {:.0}   p99 <= {:.0}",
+            latency.count(),
+            latency.mean(),
+            latency.quantile(0.5),
+            latency.quantile(0.99),
+        );
+    }
+
+    // Shard occupancy: the last flushed per-shard series is the final
+    // state of the stream table; render live streams per shard.
+    for (name, label) in [
+        ("serve.shard_live", "live streams per shard"),
+        ("serve.shard_parked", "parked streams per shard"),
+    ] {
+        let last: Option<&Vec<f64>> = events.iter().rev().find_map(|e| match e {
+            OwnedEvent::Series {
+                name: n, values, ..
+            } if n == name => Some(values),
+            _ => None,
+        });
+        let Some(values) = last else { continue };
+        let total: f64 = values.iter().sum();
+        if total == 0.0 {
+            continue;
+        }
+        let peak = values.iter().cloned().fold(0.0f64, f64::max);
+        let normalized: Vec<f64> = values.iter().map(|&v| v / peak.max(1.0)).collect();
+        println!(
+            "  {label:<27} {}  ({:.0} across {} shards, max {:.0})",
+            sparkline(&normalized, 32),
+            total,
+            values.len(),
+            peak,
+        );
+    }
+
+    // Hot swaps: how many, the epoch reached, and how long traffic was
+    // paused (write-lock wait + full state migration).
+    let swaps = counter_total(events, "serve.swaps");
+    if swaps > 0 {
+        let epoch: Option<f64> = events.iter().rev().find_map(|e| match e {
+            OwnedEvent::Gauge { name, value, .. } if name == "serve.model_epoch" => Some(*value),
+            _ => None,
+        });
+        let pause = merged_hist(events, "serve.swap_pause_ns");
+        print!(
+            "  hot swaps                   {swaps} (epoch {:.0}, {} live + {} parked states migrated)",
+            epoch.unwrap_or(0.0),
+            counter_total(events, "serve.swap_live_migrated"),
+            counter_total(events, "serve.swap_parked_migrated"),
+        );
+        if pause.count() > 0 {
+            print!(
+                "\n  swap pause                  mean = {}   max = {}",
+                fmt_us((pause.mean() / 1e3) as u64),
+                fmt_us((pause.max() / 1e3) as u64),
+            );
+        }
+        println!();
+    }
+}
+
+fn report_adapt(events: &[OwnedEvent]) {
+    // Evidence windows: one sample per detector window — (mean
+    // likelihood, mean entropy). A trigger shows as likelihood
+    // collapsing while entropy saturates.
+    let evidence: Vec<&Vec<f64>> = events
+        .iter()
+        .filter_map(|e| match e {
+            OwnedEvent::Series { name, values, .. } if name == "adapt.evidence" => Some(values),
+            _ => None,
+        })
+        .collect();
+    let triggers = counter_total(events, "adapt.triggers");
+    if evidence.is_empty() && triggers == 0 {
+        return;
+    }
+    println!("\n== adaptation (novelty detection & maintenance) ==");
+    if !evidence.is_empty() {
+        let likelihood: Vec<f64> = evidence.iter().map(|v| v[0]).collect();
+        let entropy: Vec<f64> = evidence
+            .iter()
+            .map(|v| v.get(1).copied().unwrap_or(0.0))
+            .collect();
+        println!(
+            "  evidence windows            {} (one per detector window)",
+            evidence.len()
+        );
+        println!(
+            "  mean likelihood (Eq. 7)     {}",
+            sparkline(&likelihood, 64)
+        );
+        println!("  mean entropy  (H/ln N)      {}", sparkline(&entropy, 64));
+    }
+    if triggers > 0 {
+        println!(
+            "  triggers / recoveries       {triggers} / {}",
+            counter_total(events, "adapt.recoveries")
+        );
+        let novel = counter_total(events, "adapt.admissions_novel");
+        let matched = counter_total(events, "adapt.admissions_matched");
+        if novel + matched > 0 {
+            println!("  admissions                  {novel} novel, {matched} recurrences");
+        }
+        let dumps = counter_total(events, "adapt.flight_dumps");
+        let failed = counter_total(events, "adapt.flight_dump_failures");
+        if dumps + failed > 0 {
+            println!("  incident dumps              {dumps} written, {failed} failed");
+        }
+        let swaps = counter_total(events, "adapt.swaps");
+        if swaps > 0 {
+            let epoch: Option<f64> = events.iter().rev().find_map(|e| match e {
+                OwnedEvent::Gauge { name, value, .. } if name == "adapt.swap_epoch" => Some(*value),
+                _ => None,
+            });
+            println!(
+                "  model swaps                 {swaps} (serving epoch now {:.0})",
+                epoch.unwrap_or(0.0)
             );
         }
     }

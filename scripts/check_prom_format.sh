@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Validate a Prometheus text-format 0.0.4 exposition (what /metrics
+# serves) using nothing but bash + awk — the workspace ships no
+# dependencies, and neither does its CI.
+#
+#   bash scripts/check_prom_format.sh metrics.txt
+#
+# Checks, per the exposition-format spec:
+#   * every line is a comment (# HELP / # TYPE), blank, or a sample
+#     `name[{labels}] value` with a legal metric name and numeric value;
+#   * each family's # HELP precedes its # TYPE, which precedes its
+#     samples, and no family is declared twice;
+#   * every sample belongs to a declared family (histogram samples
+#     `<base>_bucket/_sum/_count` resolve to the `<base>` family);
+#   * counter sample values are non-negative;
+#   * every histogram has a `+Inf` bucket, cumulative (non-decreasing)
+#     bucket counts, and a `_count` equal to its `+Inf` bucket.
+#
+# Exits non-zero naming the first offending line.
+
+set -euo pipefail
+
+if [[ $# -ne 1 ]]; then
+    echo "usage: $0 <metrics-file>" >&2
+    exit 2
+fi
+file="$1"
+if [[ ! -s "$file" ]]; then
+    echo "check_prom_format: $file is missing or empty" >&2
+    exit 1
+fi
+
+awk '
+function fail(msg) {
+    printf "check_prom_format: %s:%d: %s\n  %s\n", FILENAME, NR, msg, $0 > "/dev/stderr"
+    failed = 1
+    exit 1
+}
+# The family a sample name belongs to: histogram series fold onto their
+# base name when the base was declared as a histogram.
+function family(name,    base) {
+    if (name in type) return name
+    base = name
+    sub(/_(bucket|sum|count)$/, "", base)
+    if ((base in type) && type[base] == "histogram") return base
+    return name
+}
+/^$/ { next }
+/^# HELP / {
+    if (split($0, h, " ") < 4) fail("HELP without a docstring")
+    if (h[3] in help) fail("family " h[3] " HELP declared twice")
+    help[h[3]] = 1
+    next
+}
+/^# TYPE / {
+    n = split($0, t, " ")
+    if (n != 4) fail("TYPE line must be \"# TYPE <name> <kind>\"")
+    if (!(t[4] ~ /^(counter|gauge|histogram|summary|untyped)$/))
+        fail("unknown metric kind \"" t[4] "\"")
+    if (t[3] in type) fail("family " t[3] " TYPE declared twice")
+    if (!(t[3] in help)) fail("family " t[3] " has TYPE before HELP")
+    type[t[3]] = t[4]
+    next
+}
+/^#/ { next }  # other comments are legal
+{
+    # A sample: name[{labels}] value
+    if (!match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/)) fail("illegal metric name")
+    name = substr($0, 1, RLENGTH)
+    rest = substr($0, RLENGTH + 1)
+    labels = ""
+    if (rest ~ /^\{/) {
+        if (!match(rest, /^\{[^}]*\}/)) fail("unclosed label set")
+        labels = substr(rest, 2, RLENGTH - 2)
+        rest = substr(rest, RLENGTH + 1)
+    }
+    sub(/^[ \t]+/, "", rest)
+    value = rest
+    sub(/[ \t].*$/, "", value)  # a trailing timestamp is legal
+    if (!(value ~ /^[+-]?([0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?|Inf|NaN)$/))
+        fail("sample value \"" value "\" is not a number")
+
+    fam = family(name)
+    if (!(fam in type)) fail("sample " name " has no # TYPE declaration")
+    kind = type[fam]
+    if (kind == "counter" && value + 0 < 0)
+        fail("counter " name " has negative value " value)
+
+    if (kind == "histogram" && name == fam "_bucket") {
+        if (!match(labels, /le="[^"]*"/)) fail("histogram bucket without le label")
+        le = substr(labels, RSTART + 4, RLENGTH - 5)
+        if (le == "+Inf") { inf_bucket[fam] = value + 0 }
+        if (fam in last_bucket && value + 0 < last_bucket[fam])
+            fail("histogram " fam " buckets are not cumulative")
+        last_bucket[fam] = value + 0
+    }
+    if (kind == "histogram" && name == fam "_count") hist_count[fam] = value + 0
+    if (kind == "histogram" && name == fam "_sum") hist_sum[fam] = 1
+    seen[fam] = 1
+    nsamples++
+}
+END {
+    if (failed) exit 1  # awk runs END even after exit; keep one message
+    for (fam in type) {
+        if (type[fam] != "histogram") continue
+        if (!(fam in seen)) continue
+        if (!(fam in inf_bucket)) {
+            printf "check_prom_format: histogram %s has no +Inf bucket\n", fam > "/dev/stderr"
+            exit 1
+        }
+        if (!(fam in hist_sum)) {
+            printf "check_prom_format: histogram %s has no _sum\n", fam > "/dev/stderr"
+            exit 1
+        }
+        if (!(fam in hist_count) || hist_count[fam] != inf_bucket[fam]) {
+            printf "check_prom_format: histogram %s _count != +Inf bucket\n", fam > "/dev/stderr"
+            exit 1
+        }
+    }
+    if (nsamples == 0) {
+        print "check_prom_format: no samples in exposition" > "/dev/stderr"
+        exit 1
+    }
+}
+' "$file"
+
+echo "check_prom_format: $file ok ($(grep -cv '^#\|^$' "$file") samples, $(grep -c '^# TYPE' "$file") families)"

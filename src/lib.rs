@@ -77,7 +77,9 @@ pub use hom_serve as serve;
 
 /// The most common imports in one line.
 pub mod prelude {
-    pub use hom_adapt::{AdaptEvent, AdaptOptions, AdaptiveEngine, AdaptivePredictor};
+    pub use hom_adapt::{
+        AdaptEvent, AdaptOptions, AdaptiveEngine, AdaptivePredictor, IncidentDump,
+    };
     pub use hom_baselines::{RePro, ReProParams, Wce, WceParams};
     pub use hom_classifiers::{
         Classifier, DecisionTreeLearner, Learner, MajorityLearner, NaiveBayesLearner,
@@ -93,6 +95,9 @@ pub mod prelude {
         HyperplaneParams, HyperplaneSource, IntrusionParams, IntrusionSource, SeaParams, SeaSource,
         StaggerParams, StaggerSource,
     };
-    pub use hom_obs::{JsonlSink, NullSink, Obs, Recorder};
-    pub use hom_serve::{Request, Response, ServeEngine, ServeOptions, StreamId};
+    pub use hom_obs::{AggSink, Fanout, FlightRecorder, JsonlSink, NullSink, Obs, Recorder};
+    pub use hom_serve::{
+        MetricsConfigError, MetricsServer, Request, Response, ServeEngine, ServeOptions,
+        ServeTelemetry, StreamId,
+    };
 }
