@@ -2,6 +2,8 @@
 
 use hom_data::{ClassId, Instances};
 
+use crate::flat::FlatTree;
+
 /// A trained classification model.
 ///
 /// Implementations must be `Send + Sync` because trained models are shared
@@ -23,6 +25,18 @@ pub trait Classifier: Send + Sync {
     /// Approximate number of nodes/parameters, for complexity reporting.
     fn complexity(&self) -> usize {
         1
+    }
+
+    /// An exact structure-of-arrays re-layout of this model for the batch
+    /// hot path, or `None` when the model has no flat form (the batch
+    /// kernel then falls back to dynamic dispatch).
+    ///
+    /// Contract for implementations: the returned [`FlatTree`] must be
+    /// **bit-identical** to `self` — same `predict` class and same
+    /// `predict_proba` f64 bits for every input, including fallback paths
+    /// for out-of-vocabulary categorical codes.
+    fn flatten(&self) -> Option<FlatTree> {
+        None
     }
 }
 

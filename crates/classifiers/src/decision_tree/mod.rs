@@ -174,6 +174,10 @@ impl Classifier for DecisionTree {
     fn complexity(&self) -> usize {
         self.nodes.len()
     }
+
+    fn flatten(&self) -> Option<crate::flat::FlatTree> {
+        Some(crate::flat::FlatTree::from_decision_tree(self))
+    }
 }
 
 /// Learner producing [`DecisionTree`]s.

@@ -24,6 +24,7 @@
 
 pub mod api;
 pub mod decision_tree;
+pub mod flat;
 pub mod hoeffding;
 pub mod incremental;
 pub mod majority;
@@ -32,6 +33,7 @@ pub mod validate;
 
 pub use api::{argmax, Classifier, Learner};
 pub use decision_tree::{DecisionTree, DecisionTreeLearner, DecisionTreeParams};
+pub use flat::FlatTree;
 pub use hoeffding::{HoeffdingLearner, HoeffdingParams, HoeffdingTree};
 pub use incremental::OnlineNaiveBayes;
 pub use majority::{MajorityClassifier, MajorityLearner};

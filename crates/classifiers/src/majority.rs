@@ -43,6 +43,15 @@ impl Classifier for MajorityClassifier {
     fn predict_proba(&self, _x: &[f64], out: &mut [f64]) {
         out.copy_from_slice(&self.proba);
     }
+
+    fn flatten(&self) -> Option<crate::flat::FlatTree> {
+        // The stored proba values are copied verbatim, so the single-leaf
+        // flat form reproduces `predict_proba` to the bit.
+        Some(crate::flat::FlatTree::leaf(
+            self.majority,
+            self.proba.clone(),
+        ))
+    }
 }
 
 /// Learner producing [`MajorityClassifier`]s.

@@ -1,0 +1,713 @@
+//! The batch-vectorized filter hot path: a [`CompiledModel`] plus the
+//! shared-record kernel it evaluates batches with.
+//!
+//! # Why a compiled form exists
+//!
+//! The scalar path re-walks the same [`HighOrderModel`] for every record
+//! of every stream: each `ψ(c, yₜ)` (Eq. 8) is a virtual call into a
+//! pointer-chasing tree, and each `M_c(l|x)` row (Eq. 10) is a Laplace
+//! computation repeated per call. When a serving engine drives thousands
+//! of streams over the *same* few distinct records per batch, almost all
+//! of that work is redundant. Compiling the mined model once per model
+//! epoch fixes both costs:
+//!
+//! * every tree classifier is flattened to a structure-of-arrays
+//!   [`FlatTree`] (contiguous node arrays, branchless numeric descent,
+//!   precomputed probability rows — see `hom_classifiers::flat`);
+//! * the per-concept ψ outcomes `1 − Err_c` / `Err_c` (Eq. 8, with the
+//!   build-time clamp already applied to `Err_c`) are laid out in two
+//!   linear arrays indexed by concept;
+//! * the transition kernel χ (Eq. 6) is carried as its row-major matrix,
+//!   scanned linearly by the Eq. 5 advance.
+//!
+//! A batch then makes **one pass over the concept set**: for each
+//! concept, every *distinct* record in the batch is pushed through the
+//! flat tree exactly once ([`CompiledModel::evaluate`]), and the
+//! per-stream updates afterwards are pure array arithmetic against the
+//! resulting [`BatchTable`] — no classifier runs per stream.
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel operation produces **bit-identical** `f64` state to its
+//! scalar [`FilterState`](crate::FilterState) counterpart, because the
+//! floating-point cores are the *same code*: all updates run through a
+//! [`FilterView`] — the layout-independent borrow of one stream's
+//! distributions — so [`CompiledModel::absorb`] fills ψ from its tables
+//! and then calls the same `FilterView::absorb_psi` the scalar path ends
+//! in; [`CompiledModel::roll_prior`] and [`CompiledModel::advance`] run
+//! the view's χ-advance core against a clone of the model's
+//! [`TransitionStats`]; and the prediction loops accumulate the same
+//! per-concept rows in the same order. That is what lets `hom-serve`
+//! switch the kernel on or off (and vary batch size, shard count, or
+//! thread count) without changing a single output bit — the differential
+//! suite in `hom-serve/tests` enforces this.
+//!
+//! Classifiers with no flat form (e.g. naive Bayes) fall back to dynamic
+//! dispatch inside the same kernel, still amortized per distinct record.
+
+use std::sync::Arc;
+
+use hom_classifiers::{argmax, Classifier, FlatTree};
+use hom_data::ClassId;
+
+use crate::build::HighOrderModel;
+use crate::filter::FilterView;
+use crate::transition::TransitionStats;
+
+/// How one concept's classifier is evaluated by the kernel.
+enum ConceptEval {
+    /// Flattened to a structure-of-arrays tree: branchless descent,
+    /// probability rows read straight out of the node arena.
+    Flat(FlatTree),
+    /// No flat form; the kernel calls the trained model through the
+    /// trait object (still once per distinct record, not per stream).
+    Dyn(Arc<dyn Classifier>),
+}
+
+/// A [`HighOrderModel`] compiled into its flattened evaluation form.
+///
+/// Built once per model epoch ([`CompiledModel::compile`]) and shared
+/// read-only by every serving thread; a hot-swap to a new model simply
+/// compiles the new model and drops this one. Holds no per-stream state.
+pub struct CompiledModel {
+    n_concepts: usize,
+    n_classes: usize,
+    /// Per-concept evaluators, indexed by concept id.
+    evals: Vec<ConceptEval>,
+    /// `ψ(c, yₜ)` when concept `c`'s classifier predicts `yₜ` correctly:
+    /// `1 − Err_c` (Eq. 8), precomputed per concept.
+    hit: Vec<f64>,
+    /// `ψ(c, yₜ)` on a miss: `Err_c` (Eq. 8).
+    miss: Vec<f64>,
+    /// The transition kernel χ (Eq. 6), row-major — a clone of the
+    /// model's stats, so the Eq. 5 advance runs the identical matrix.
+    stats: TransitionStats,
+    /// How many concepts compiled to flat form (the rest are `Dyn`).
+    n_flat: usize,
+}
+
+impl CompiledModel {
+    /// Flatten `model` into its batch-evaluation form. Classifiers that
+    /// support it ([`Classifier::flatten`]) become structure-of-arrays
+    /// trees; the rest keep their trait object.
+    pub fn compile(model: &HighOrderModel) -> Self {
+        let n_concepts = model.n_concepts();
+        let n_classes = model.schema().n_classes();
+        let mut evals = Vec::with_capacity(n_concepts);
+        let mut hit = Vec::with_capacity(n_concepts);
+        let mut miss = Vec::with_capacity(n_concepts);
+        let mut n_flat = 0;
+        for concept in model.concepts() {
+            evals.push(match concept.model.flatten() {
+                Some(flat) => {
+                    n_flat += 1;
+                    ConceptEval::Flat(flat)
+                }
+                None => ConceptEval::Dyn(Arc::clone(&concept.model)),
+            });
+            // The same `1.0 - err` / `err` expressions `Concept::psi`
+            // evaluates per record (Eq. 8), hoisted to compile time.
+            hit.push(1.0 - concept.err);
+            miss.push(concept.err);
+        }
+        CompiledModel {
+            n_concepts,
+            n_classes,
+            evals,
+            hit,
+            miss,
+            stats: model.stats().clone(),
+            n_flat,
+        }
+    }
+
+    /// Number of concepts in the compiled model.
+    pub fn n_concepts(&self) -> usize {
+        self.n_concepts
+    }
+
+    /// Number of classes the concept classifiers predict over.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// How many concepts compiled to a flat tree (the remainder run
+    /// through dynamic dispatch inside the kernel).
+    pub fn n_flattened(&self) -> usize {
+        self.n_flat
+    }
+
+    /// The concept-outer evaluation pass: push every distinct record of
+    /// the batch through every concept's classifier exactly once,
+    /// filling the table's `(record, concept)` node/class entries. This
+    /// is where ψ's classifier work (Eq. 8) and the tree descents behind
+    /// `M_c(l|x)` (Eq. 10) are amortized across all streams that share a
+    /// record.
+    pub fn evaluate(&self, table: &mut BatchTable<'_>) {
+        let n = self.n_concepts;
+        let n_records = table.xs.len();
+        table.node.clear();
+        table.node.resize(n_records * n, u32::MAX);
+        table.class.clear();
+        table.class.resize(n_records * n, u32::MAX);
+        for (c, eval) in self.evals.iter().enumerate() {
+            match eval {
+                ConceptEval::Flat(tree) => {
+                    for (r, &x) in table.xs.iter().enumerate() {
+                        let node = tree.descend(x);
+                        table.node[r * n + c] = node;
+                        table.class[r * n + c] = tree.node_class(node);
+                    }
+                }
+                ConceptEval::Dyn(model) => {
+                    // A dyn predict is as costly as the scalar path's, so
+                    // only records some request will absorb (ψ needs the
+                    // predicted class) pay for it; prediction rows are
+                    // computed lazily at use.
+                    for (r, &x) in table.xs.iter().enumerate() {
+                        if table.need_class[r] {
+                            table.class[r * n + c] = model.predict(x);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Concept `c`'s class-probability row `M_c(l|x)` (Eq. 10) for the
+    /// interned record `rec` — a borrow from the flat tree's arena, or a
+    /// lazy dyn evaluation into `dyn_row`.
+    #[inline]
+    fn row<'r>(
+        &'r self,
+        table: &'r BatchTable<'_>,
+        rec: u32,
+        c: usize,
+        dyn_row: &'r mut [f64],
+    ) -> &'r [f64] {
+        match &self.evals[c] {
+            ConceptEval::Flat(tree) => {
+                tree.proba_row(table.node[rec as usize * self.n_concepts + c])
+            }
+            ConceptEval::Dyn(model) => {
+                model.predict_proba(table.xs[rec as usize], dyn_row);
+                dyn_row
+            }
+        }
+    }
+
+    #[inline]
+    fn check(&self, f: &FilterView<'_>) {
+        assert_eq!(
+            f.posterior.len(),
+            self.n_concepts,
+            "FilterState used with a different model than it was created for"
+        );
+    }
+
+    /// The full-ensemble prediction (Eqs. 10–11):
+    /// `argmax_l Σ_c Pₜ⁻(c)·M_c(l|x)`, accumulated per concept id in the
+    /// same order as the scalar `FilterView::predict`.
+    pub fn predict(
+        &self,
+        f: &FilterView<'_>,
+        table: &BatchTable<'_>,
+        rec: u32,
+        scratch: &mut KernelScratch,
+    ) -> ClassId {
+        self.check(f);
+        let KernelScratch {
+            scores, dyn_row, ..
+        } = scratch;
+        scores.clear();
+        scores.resize(self.n_classes, 0.0);
+        for (c, &p) in f.prior.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let row = self.row(table, rec, c, dyn_row);
+            for (s, &v) in scores.iter_mut().zip(row.iter()) {
+                *s += p * v;
+            }
+        }
+        argmax(scores) as ClassId
+    }
+
+    /// The §III-C early-terminated prediction: enumerate concepts in
+    /// descending prior order, stop once the leader's margin exceeds the
+    /// remaining probability mass. Returns the prediction and how many
+    /// concepts were consulted — the same pair, bit for bit, as the
+    /// scalar `FilterView::predict_pruned`.
+    pub fn predict_pruned(
+        &self,
+        f: &FilterView<'_>,
+        table: &BatchTable<'_>,
+        rec: u32,
+        scratch: &mut KernelScratch,
+    ) -> (ClassId, usize) {
+        self.check(f);
+        let KernelScratch {
+            scores, dyn_row, ..
+        } = scratch;
+        scores.clear();
+        scores.resize(self.n_classes, 0.0);
+        let prior = &*f.prior;
+        // Remaining probability mass after each prefix of the enumeration.
+        let mut remaining: f64 = prior.iter().sum();
+        let order = &*f.order;
+        for (rank, &ci) in order.iter().enumerate() {
+            let p = prior[ci as usize];
+            remaining -= p;
+            if p > 0.0 {
+                let row = self.row(table, rec, ci as usize, dyn_row);
+                for (s, &v) in scores.iter_mut().zip(row.iter()) {
+                    *s += p * v;
+                }
+            }
+            // A remaining concept can add at most `remaining` to any one
+            // class; if the leader's margin exceeds that, the answer is
+            // decided (§III-C). The fused scan is shared with the scalar
+            // path (`filter::leader_and_runner_up`) so both stay
+            // bit-identical by construction.
+            let (best, best_v, runner_up) = crate::filter::leader_and_runner_up(scores);
+            if best_v - runner_up > remaining {
+                return (best as ClassId, rank + 1);
+            }
+        }
+        (argmax(scores) as ClassId, order.len())
+    }
+
+    /// Absorb a labeled record (Eqs. 7–9): fill ψ from the precomputed
+    /// hit/miss tables — `ψ(c, yₜ) = 1 − Err_c` when the table's
+    /// predicted class for `(rec, c)` equals `y`, else `Err_c` (Eq. 8) —
+    /// then run the shared posterior-normalization core
+    /// (`FilterView::absorb_psi`).
+    pub fn absorb(
+        &self,
+        f: &mut FilterView<'_>,
+        table: &BatchTable<'_>,
+        rec: u32,
+        y: ClassId,
+        scratch: &mut KernelScratch,
+    ) {
+        self.check(f);
+        debug_assert!(
+            table.need_class[rec as usize],
+            "record was interned without need_class but is being absorbed"
+        );
+        let base = rec as usize * self.n_concepts;
+        let classes = &table.class[base..base + self.n_concepts];
+        for ((slot, &class), (&hit, &miss)) in scratch
+            .psi
+            .iter_mut()
+            .zip(classes)
+            .zip(self.hit.iter().zip(self.miss.iter()))
+        {
+            *slot = if class == y { hit } else { miss };
+        }
+        f.absorb_psi(&scratch.psi);
+    }
+
+    /// Roll the prior to the next timestamp after an absorb (the tail of
+    /// Eq. 5) and refresh the §III-C prune order — the shared χ-advance
+    /// core against the compiled kernel's χ clone.
+    pub fn roll_prior(&self, f: &mut FilterView<'_>) {
+        self.check(f);
+        f.roll_prior_with(&self.stats);
+    }
+
+    /// Advance one timestamp without a label (Eq. 5), posterior
+    /// defaulting to the prior — the batched form of
+    /// `FilterView::advance`.
+    pub fn advance(&self, f: &mut FilterView<'_>) {
+        self.check(f);
+        f.advance_with(&self.stats);
+    }
+
+    /// Advance `k` timestamps at once (the variable-rate adaptation of
+    /// §III-B).
+    pub fn advance_by(&self, f: &mut FilterView<'_>, k: usize) {
+        for _ in 0..k {
+            self.advance(f);
+        }
+    }
+
+    /// The full labeled-record lifecycle against the table:
+    /// [`Self::absorb`] then [`Self::roll_prior`] — the batched form of
+    /// `FilterView::observe`.
+    pub fn observe(
+        &self,
+        f: &mut FilterView<'_>,
+        table: &BatchTable<'_>,
+        rec: u32,
+        y: ClassId,
+        scratch: &mut KernelScratch,
+    ) {
+        self.absorb(f, table, rec, y, scratch);
+        self.roll_prior(f);
+    }
+}
+
+/// The per-batch table of distinct records and their per-concept
+/// evaluation results.
+///
+/// Callers intern each request's record ([`BatchTable::intern`] —
+/// duplicates collapse onto one slot), run one
+/// [`CompiledModel::evaluate`] pass, then apply per-stream updates that
+/// read the table. Borrows the records, so a table lives only as long as
+/// the batch it was built from.
+pub struct BatchTable<'a> {
+    /// Distinct records, in first-appearance order.
+    xs: Vec<&'a [f64]>,
+    /// Whether any request absorbs this record (ψ needs its predicted
+    /// class; predict-only records skip eager dyn predicts).
+    need_class: Vec<bool>,
+    /// [`hash_record`] value per distinct record (kept for rehashing on
+    /// growth).
+    hashes: Vec<u64>,
+    /// Open-addressing dedup slots: `(hash, record_index)`,
+    /// `u32::MAX` = empty. Power-of-two capacity, grown at 50% load.
+    slots: Vec<(u64, u32)>,
+    /// `slots.len() - 1`, the probe mask.
+    mask: usize,
+    /// Flat-tree node reached per `(record, concept)`, row-major by
+    /// record; `u32::MAX` for dyn concepts. Filled by `evaluate`.
+    node: Vec<u32>,
+    /// Predicted class per `(record, concept)`; `u32::MAX` where it was
+    /// not needed. Filled by `evaluate`.
+    class: Vec<u32>,
+}
+
+/// Word-at-a-time multiplicative mix over the record's f64 bit patterns
+/// (one rotate–xor–multiply per attribute, in the style of FxHash) —
+/// deterministic, seedless, and collision-checked against the stored
+/// record before dedup, so a collision can never merge two different
+/// records. Hash quality only affects probe length, never correctness.
+fn hash_record(x: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in x {
+        h = (h.rotate_left(5) ^ v.to_bits()).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    h
+}
+
+impl<'a> BatchTable<'a> {
+    /// A table expecting up to `expected` interns (more still work: the
+    /// probe table rehashes into double the capacity whenever it reaches
+    /// 50% load).
+    pub fn with_capacity(expected: usize) -> Self {
+        let slots = (2 * expected.max(1)).next_power_of_two();
+        BatchTable {
+            xs: Vec::with_capacity(expected),
+            need_class: Vec::with_capacity(expected),
+            hashes: Vec::with_capacity(expected),
+            slots: vec![(0, u32::MAX); slots],
+            mask: slots - 1,
+            node: Vec::new(),
+            class: Vec::new(),
+        }
+    }
+
+    /// Intern `x`, returning its record index: a previous index if an
+    /// identical record (same length, same f64 bits) was already
+    /// interned, a fresh one otherwise. `need_class` is OR-ed into the
+    /// record's flag.
+    pub fn intern(&mut self, x: &'a [f64], need_class: bool) -> u32 {
+        if 2 * self.xs.len() >= self.slots.len() {
+            self.grow();
+        }
+        let hash = hash_record(x);
+        let mut at = hash as usize & self.mask;
+        loop {
+            let (slot_hash, rec) = self.slots[at];
+            if rec == u32::MAX {
+                let rec = self.xs.len() as u32;
+                self.slots[at] = (hash, rec);
+                self.xs.push(x);
+                self.need_class.push(need_class);
+                self.hashes.push(hash);
+                return rec;
+            }
+            // Equal hash alone is not enough: compare the records
+            // bitwise. A true collision keeps probing and gets its own
+            // slot — dedup is an optimization, never a correctness risk.
+            if slot_hash == hash && bits_equal(self.xs[rec as usize], x) {
+                self.need_class[rec as usize] |= need_class;
+                return rec;
+            }
+            at = (at + 1) & self.mask;
+        }
+    }
+
+    /// Double the probe table and re-seat every record.
+    fn grow(&mut self) {
+        let slots = self.slots.len() * 2;
+        self.slots = vec![(0, u32::MAX); slots];
+        self.mask = slots - 1;
+        for (rec, &hash) in self.hashes.iter().enumerate() {
+            let mut at = hash as usize & self.mask;
+            while self.slots[at].1 != u32::MAX {
+                at = (at + 1) & self.mask;
+            }
+            self.slots[at] = (hash, rec as u32);
+        }
+    }
+
+    /// Number of distinct records interned so far.
+    pub fn n_records(&self) -> usize {
+        self.xs.len()
+    }
+}
+
+/// Exact f64-bit equality of two records (NaN-safe: two NaNs with equal
+/// bits compare equal, which is precisely what dedup wants).
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Reusable per-worker scratch for the kernel — the score accumulator of
+/// Eqs. 10–11, a row buffer for concepts that evaluate through dynamic
+/// dispatch, and the concept-sized ψ buffer the posterior update borrows
+/// (a [`FilterView`] owns no scratch of its own).
+pub struct KernelScratch {
+    /// Per-class score accumulator.
+    scores: Vec<f64>,
+    /// Row buffer for `Dyn` concept evaluations.
+    dyn_row: Vec<f64>,
+    /// ψ(c, yₜ) per concept for the record being absorbed (Eq. 8).
+    psi: Vec<f64>,
+}
+
+impl KernelScratch {
+    /// Scratch sized for `model`'s concept and class counts.
+    pub fn new(model: &CompiledModel) -> Self {
+        KernelScratch {
+            scores: Vec::with_capacity(model.n_classes),
+            dyn_row: vec![0.0; model.n_classes],
+            psi: vec![0.0; model.n_concepts],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build, BuildParams};
+    use crate::filter::FilterState;
+    use hom_classifiers::DecisionTreeLearner;
+    use hom_cluster::ClusterParams;
+    use hom_data::stream::collect;
+    use hom_data::{Attribute, Schema, StreamSource};
+    use hom_datagen::{StaggerParams, StaggerSource};
+
+    fn bits(p: &[f64]) -> Vec<u64> {
+        p.iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn stagger_model() -> (HighOrderModel, Vec<hom_data::StreamRecord>) {
+        let mut src = StaggerSource::new(StaggerParams {
+            lambda: 0.01,
+            ..Default::default()
+        });
+        let (data, _) = collect(&mut src, 2000);
+        let (model, _) = build(
+            &data,
+            &DecisionTreeLearner::new(),
+            &BuildParams {
+                cluster: ClusterParams {
+                    block_size: 10,
+                    seed: 5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let test = (0..400).map(|_| src.next_record()).collect();
+        (model, test)
+    }
+
+    /// Drive one stream through the scalar FilterState and the compiled
+    /// kernel in lockstep: every posterior, prior, prediction and consult
+    /// count must match to the bit.
+    #[test]
+    fn kernel_matches_scalar_filter_bit_for_bit() {
+        let (model, test) = stagger_model();
+        let compiled = CompiledModel::compile(&model);
+        assert_eq!(compiled.n_flattened(), compiled.n_concepts());
+        let mut scalar = FilterState::new(&model);
+        let mut batched = FilterState::new(&model);
+        let mut scratch = KernelScratch::new(&compiled);
+        for (t, r) in test.iter().enumerate() {
+            let mut table = BatchTable::with_capacity(1);
+            let rec = table.intern(&r.x, true);
+            compiled.evaluate(&mut table);
+
+            let want_full = scalar.predict(&model, &r.x);
+            let got_full = compiled.predict(&batched.as_view(), &table, rec, &mut scratch);
+            assert_eq!(got_full, want_full, "full predict diverged at t = {t}");
+
+            let want = scalar.predict_pruned(&model, &r.x);
+            let got = compiled.predict_pruned(&batched.as_view(), &table, rec, &mut scratch);
+            assert_eq!(got, want, "pruned predict diverged at t = {t}");
+
+            scalar.observe(&model, &r.x, r.y);
+            compiled.observe(&mut batched.as_view(), &table, rec, r.y, &mut scratch);
+            assert_eq!(
+                bits(scalar.posterior()),
+                bits(batched.posterior()),
+                "posterior diverged at t = {t}"
+            );
+            assert_eq!(bits(scalar.prior()), bits(batched.prior()));
+            assert_eq!(scalar.order(), batched.order());
+            assert_eq!(
+                scalar.last_likelihood().to_bits(),
+                batched.last_likelihood().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn advance_matches_scalar() {
+        let (model, test) = stagger_model();
+        let compiled = CompiledModel::compile(&model);
+        let mut scalar = FilterState::new(&model);
+        let mut batched = FilterState::new(&model);
+        let mut scratch = KernelScratch::new(&compiled);
+        let mut table = BatchTable::with_capacity(1);
+        let rec = table.intern(&test[0].x, true);
+        compiled.evaluate(&mut table);
+        scalar.observe(&model, &test[0].x, test[0].y);
+        compiled.observe(&mut batched.as_view(), &table, rec, test[0].y, &mut scratch);
+        scalar.advance_by(&model, 3);
+        compiled.advance_by(&mut batched.as_view(), 3);
+        assert_eq!(bits(scalar.posterior()), bits(batched.posterior()));
+        assert_eq!(bits(scalar.prior()), bits(batched.prior()));
+        assert_eq!(scalar.order(), batched.order());
+    }
+
+    #[test]
+    fn interning_dedups_identical_records() {
+        let mut table = BatchTable::with_capacity(4);
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 2.0, 4.0];
+        let a2 = a.clone();
+        let r0 = table.intern(&a, false);
+        let r1 = table.intern(&b, true);
+        let r2 = table.intern(&a2, true);
+        assert_eq!(r0, r2, "identical records share a slot");
+        assert_ne!(r0, r1);
+        assert_eq!(table.n_records(), 2);
+        // the dup's need_class OR-ed into the original
+        assert!(table.need_class[r0 as usize]);
+    }
+
+    #[test]
+    fn interning_distinguishes_negative_zero() {
+        // -0.0 == 0.0 under f64 comparison but differs in bits; dedup is
+        // bitwise so the records stay distinct (classifiers could in
+        // principle route them differently — never merge).
+        let mut table = BatchTable::with_capacity(2);
+        let pos = vec![0.0];
+        let neg = vec![-0.0];
+        assert_ne!(table.intern(&pos, false), table.intern(&neg, false));
+    }
+
+    /// A classifier that refuses to flatten, to force the kernel's dyn
+    /// fallback path.
+    struct Opaque(hom_classifiers::MajorityClassifier);
+    impl Classifier for Opaque {
+        fn n_classes(&self) -> usize {
+            self.0.n_classes()
+        }
+        fn predict(&self, x: &[f64]) -> ClassId {
+            self.0.predict(x)
+        }
+        fn predict_proba(&self, x: &[f64], out: &mut [f64]) {
+            self.0.predict_proba(x, out);
+        }
+    }
+
+    #[test]
+    fn dyn_fallback_matches_scalar() {
+        use crate::concept::Concept;
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let concepts = vec![
+            Concept {
+                id: 0,
+                model: Arc::new(Opaque(hom_classifiers::MajorityClassifier::from_counts(&[
+                    8, 2,
+                ]))),
+                err: 0.2,
+                n_records: 10,
+                n_occurrences: 1,
+            },
+            Concept {
+                id: 1,
+                model: Arc::new(hom_classifiers::MajorityClassifier::from_counts(&[1, 9])),
+                err: 0.1,
+                n_records: 10,
+                n_occurrences: 1,
+            },
+        ];
+        let stats = TransitionStats::from_occurrences(2, &[(0, 50), (1, 50)]);
+        let model = HighOrderModel::from_parts(schema, concepts, stats);
+        let compiled = CompiledModel::compile(&model);
+        assert_eq!(compiled.n_flattened(), 1, "one concept must stay dyn");
+        let mut scalar = FilterState::new(&model);
+        let mut batched = FilterState::new(&model);
+        let mut scratch = KernelScratch::new(&compiled);
+        for t in 0..40u32 {
+            let x = vec![t as f64];
+            let y = t % 2;
+            let mut table = BatchTable::with_capacity(1);
+            let rec = table.intern(&x, true);
+            compiled.evaluate(&mut table);
+            assert_eq!(
+                compiled.predict_pruned(&batched.as_view(), &table, rec, &mut scratch),
+                scalar.predict_pruned(&model, &x)
+            );
+            scalar.observe(&model, &x, y);
+            compiled.observe(&mut batched.as_view(), &table, rec, y, &mut scratch);
+            assert_eq!(bits(scalar.posterior()), bits(batched.posterior()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different model")]
+    fn rejects_mismatched_state() {
+        let (model, _) = stagger_model();
+        let compiled = CompiledModel::compile(&model);
+        let schema = Schema::new(vec![Attribute::numeric("x")], ["a", "b"]);
+        let other = HighOrderModel::from_parts(
+            schema,
+            vec![crate::concept::Concept {
+                id: 0,
+                model: Arc::new(hom_classifiers::MajorityClassifier::from_counts(&[1, 1])),
+                err: 0.1,
+                n_records: 2,
+                n_occurrences: 1,
+            }],
+            TransitionStats::from_occurrences(1, &[(0, 10)]),
+        );
+        let mut state = FilterState::new(&other);
+        if state.n_concepts() == compiled.n_concepts() {
+            // the toy model happening to match sizes would defeat the test
+            panic!("different model sizes expected");
+        }
+        compiled.advance(&mut state.as_view());
+    }
+
+    /// Interning far more records than the expected capacity must still
+    /// be correct: the probe table rehashes as it fills.
+    #[test]
+    fn overflowing_expected_capacity_stays_correct() {
+        let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 * 0.5]).collect();
+        let mut table = BatchTable::with_capacity(2);
+        let seen: Vec<u32> = xs.iter().map(|x| table.intern(x, false)).collect();
+        // all distinct, and re-interning finds the same ids
+        assert_eq!(table.n_records(), 64);
+        for (x, &want) in xs.iter().zip(&seen) {
+            assert_eq!(table.intern(x, false), want);
+        }
+    }
+}

@@ -24,6 +24,7 @@ use hom_classifiers::argmax;
 use hom_data::ClassId;
 
 use crate::build::HighOrderModel;
+use crate::transition::TransitionStats;
 
 /// The mutable per-stream state of the online filter: a probability
 /// distribution over concepts plus the scratch the update equations need.
@@ -41,8 +42,6 @@ pub struct FilterState {
     pub(crate) order: Vec<u32>,
     /// Scratch buffer for per-concept class distributions.
     scratch: Vec<f64>,
-    /// Scratch buffer in concept space for the χ advance.
-    scratch_c: Vec<f64>,
     /// Scratch buffer for ψ(c, yₜ) — each entry costs one classifier
     /// prediction, so [`Self::absorb`] computes it exactly once.
     pub(crate) psi: Vec<f64>,
@@ -67,7 +66,6 @@ impl FilterState {
             prior: uniform,
             order: (0..n as u32).collect(),
             scratch: vec![0.0; n_classes],
-            scratch_c: vec![0.0; n],
             psi: vec![0.0; n],
             last_likelihood: 1.0,
         }
@@ -90,10 +88,27 @@ impl FilterState {
             prior,
             order,
             scratch: vec![0.0; model.schema().n_classes()],
-            scratch_c: vec![0.0; n],
             psi: vec![0.0; n],
             last_likelihood: 1.0,
         }
+    }
+
+    /// Assemble a state from distributions stored elsewhere — the way a
+    /// serving layer's structure-of-arrays stream table materializes one
+    /// of its rows into an owned state (for introspection, snapshots or
+    /// migration). `order` must be the descending-prior permutation the
+    /// row was maintained with, and `last_likelihood` the row's Eq. 7
+    /// normalizer; all values are copied bit-for-bit.
+    pub fn assemble(
+        model: &HighOrderModel,
+        posterior: Vec<f64>,
+        prior: Vec<f64>,
+        order: Vec<u32>,
+        last_likelihood: f64,
+    ) -> Self {
+        let mut state = FilterState::from_parts(model, posterior, prior, order);
+        state.last_likelihood = last_likelihood;
+        state
     }
 
     #[inline]
@@ -204,16 +219,42 @@ impl FilterState {
     pub fn migrate(&self, model: &HighOrderModel) -> FilterState {
         migrate_parts(model, &self.posterior, &self.prior, &self.order)
     }
+    /// Borrow the distributions as a [`FilterView`] — the form the batch
+    /// kernel ([`crate::compiled`]) operates on. Updates made through the
+    /// view are updates of this state.
+    pub fn as_view(&mut self) -> FilterView<'_> {
+        FilterView {
+            posterior: &mut self.posterior,
+            prior: &mut self.prior,
+            order: &mut self.order,
+            last_likelihood: &mut self.last_likelihood,
+        }
+    }
+
+    /// Disjoint borrows of the distribution fields (as a [`FilterView`])
+    /// and the two scratch fields (concept-space ψ, class-space rows) —
+    /// the delegation plumbing that routes every update through the same
+    /// view core regardless of where the distributions are stored.
+    fn split(&mut self) -> (FilterView<'_>, &mut [f64], &mut [f64]) {
+        (
+            FilterView {
+                posterior: &mut self.posterior,
+                prior: &mut self.prior,
+                order: &mut self.order,
+                last_likelihood: &mut self.last_likelihood,
+            },
+            &mut self.psi,
+            &mut self.scratch,
+        )
+    }
+
     /// Advance one timestamp without a label: posterior → prior through χ
     /// (Eq. 5), with the posterior defaulting to the prior until a label
     /// arrives.
     pub fn advance(&mut self, model: &HighOrderModel) {
         self.check(model);
-        model.stats().advance(&self.posterior, &mut self.scratch_c);
-        self.prior.copy_from_slice(&self.scratch_c);
-        // Posterior defaults to the prior until a label arrives.
-        self.posterior.copy_from_slice(&self.scratch_c);
-        self.resort();
+        let (mut view, _, _) = self.split();
+        view.advance_with(model.stats());
     }
 
     /// Advance `k` timestamps at once (the variable-rate adaptation of
@@ -231,41 +272,16 @@ impl FilterState {
     /// fresh posterior (and ψ) for its metrics before the prior rolls.
     pub fn absorb(&mut self, model: &HighOrderModel, x: &[f64], y: ClassId) {
         self.check(model);
-        // ψ(c, yₜ) once per concept — each entry costs a full classifier
-        // prediction, so it is computed into the scratch buffer and reused
-        // by both the normalizer and the posterior update.
-        for (c, slot) in model.concepts().iter().zip(self.psi.iter_mut()) {
-            *slot = c.psi(x, y);
-        }
-        let mut sum = 0.0;
-        for (p, psi) in self.prior.iter().zip(self.psi.iter()) {
-            sum += p * psi;
-        }
-        self.last_likelihood = sum.max(0.0);
-        if sum <= 0.0 {
-            // All concepts had zero probability mass (cannot happen with
-            // clamped errors, but stay safe): reset to uniform.
-            let n = self.posterior.len() as f64;
-            self.posterior.fill(1.0 / n);
-        } else {
-            for ((q, p), psi) in self
-                .posterior
-                .iter_mut()
-                .zip(self.prior.iter())
-                .zip(self.psi.iter())
-            {
-                *q = p * psi / sum;
-            }
-        }
+        let (mut view, psi, _) = self.split();
+        view.absorb(model, x, y, psi);
     }
 
     /// Pre-compute the next timestamp's prior from the posterior (the
     /// tail of Eq. 5 after an observation) and refresh the prune order.
     pub fn roll_prior(&mut self, model: &HighOrderModel) {
         self.check(model);
-        model.stats().advance(&self.posterior, &mut self.scratch_c);
-        self.prior.copy_from_slice(&self.scratch_c);
-        self.resort();
+        let (mut view, _, _) = self.split();
+        view.roll_prior_with(model.stats());
     }
 
     /// The full labeled-record lifecycle: [`Self::absorb`] then
@@ -275,26 +291,12 @@ impl FilterState {
         self.roll_prior(model);
     }
 
-    fn resort(&mut self) {
-        let prior = &self.prior;
-        self.order
-            .sort_unstable_by(|&a, &b| prior[b as usize].total_cmp(&prior[a as usize]));
-    }
-
     /// Class-probability prediction for an unlabeled record (Eq. 10):
     /// `Highorder(l|x) = Σ_c Pₜ⁻(c)·M_c(l|x)`.
     pub fn predict_proba(&mut self, model: &HighOrderModel, x: &[f64], out: &mut [f64]) {
         self.check(model);
-        out.fill(0.0);
-        for (c, &p) in model.concepts().iter().zip(self.prior.iter()) {
-            if p == 0.0 {
-                continue;
-            }
-            c.model.predict_proba(x, &mut self.scratch);
-            for (o, &v) in out.iter_mut().zip(self.scratch.iter()) {
-                *o += p * v;
-            }
-        }
+        let (view, _, classes) = self.split();
+        view.predict_proba(model, x, out, classes);
     }
 
     /// Unique-class prediction (Eq. 11): the argmax of Eq. 10.
@@ -311,6 +313,178 @@ impl FilterState {
     /// concept exactly one classifier runs.
     pub fn predict_pruned(&mut self, model: &HighOrderModel, x: &[f64]) -> (ClassId, usize) {
         self.check(model);
+        let (view, _, classes) = self.split();
+        view.predict_pruned(model, x, classes)
+    }
+}
+
+/// A mutable borrow of one stream's filter distributions, wherever they
+/// live — a [`FilterState`]'s own vectors, or one row of a serving
+/// layer's structure-of-arrays stream table.
+///
+/// Every update equation of §III runs through this view, which is what
+/// makes the storage layout irrelevant to results: the scalar
+/// [`FilterState`] methods and the batch kernel of [`crate::compiled`]
+/// both borrow their operands as a `FilterView` and execute the *same*
+/// floating-point code, so a posterior is bit-identical no matter which
+/// path — or which memory layout — produced it.
+///
+/// Scratch buffers are passed in explicitly (a view owns nothing): ψ is
+/// concept-sized, the class scratch is class-sized. Callers reuse them
+/// across streams; a [`FilterState`] passes its own.
+pub struct FilterView<'a> {
+    /// Posterior `P_{t-1}(c)` after the last observed label.
+    pub posterior: &'a mut [f64],
+    /// Prior `Pₜ⁻(c)` for the current timestamp.
+    pub prior: &'a mut [f64],
+    /// Concept ids sorted by descending prior (the §III-C enumeration).
+    pub order: &'a mut [u32],
+    /// Marginal likelihood of the last absorbed label (Eq. 7 normalizer).
+    pub last_likelihood: &'a mut f64,
+}
+
+impl FilterView<'_> {
+    #[inline]
+    fn check(&self, model: &HighOrderModel) {
+        assert_eq!(
+            self.posterior.len(),
+            model.n_concepts(),
+            "FilterState used with a different model than it was created for"
+        );
+    }
+
+    /// The χ-advance core (Eq. 5) shared by the scalar path and the batch
+    /// kernel: both run this exact code, so an advance is bit-identical
+    /// no matter which path executed it. The prior is the Eq. 5 output
+    /// buffer directly (it never aliases the posterior), so the advance
+    /// needs no scratch.
+    pub fn advance_with(&mut self, stats: &TransitionStats) {
+        stats.advance(self.posterior, self.prior);
+        // Posterior defaults to the prior until a label arrives.
+        self.posterior.copy_from_slice(self.prior);
+        self.resort();
+    }
+
+    /// Advance one timestamp without a label (Eq. 5 against `model`'s χ).
+    pub fn advance(&mut self, model: &HighOrderModel) {
+        self.check(model);
+        self.advance_with(model.stats());
+    }
+
+    /// Advance `k` timestamps at once (the variable-rate adaptation of
+    /// §III-B).
+    pub fn advance_by(&mut self, model: &HighOrderModel, k: usize) {
+        for _ in 0..k {
+            self.advance(model);
+        }
+    }
+
+    /// Absorb a labeled record the scalar way: ψ(c, yₜ) once per concept
+    /// (Eq. 8, one classifier prediction each) into the `psi` scratch,
+    /// then the shared Eq. 7–9 core ([`Self::absorb_psi`]).
+    pub fn absorb(&mut self, model: &HighOrderModel, x: &[f64], y: ClassId, psi: &mut [f64]) {
+        self.check(model);
+        // ψ(c, yₜ) once per concept — each entry costs a full classifier
+        // prediction, so it is computed into the scratch buffer and reused
+        // by both the normalizer and the posterior update.
+        for (c, slot) in model.concepts().iter().zip(psi.iter_mut()) {
+            *slot = c.psi(x, y);
+        }
+        self.absorb_psi(psi);
+    }
+
+    /// The Eq. 7–9 posterior update given an already-filled ψ buffer:
+    /// normalizer, likelihood export, and `posterior ∝ prior · ψ`. The
+    /// scalar [`Self::absorb`] and the batch kernel (which fills ψ from
+    /// its precomputed hit/miss tables) both end here, which is what
+    /// makes their posteriors bit-identical.
+    pub fn absorb_psi(&mut self, psi: &[f64]) {
+        let mut sum = 0.0;
+        for (p, psi) in self.prior.iter().zip(psi.iter()) {
+            sum += p * psi;
+        }
+        *self.last_likelihood = sum.max(0.0);
+        if sum <= 0.0 {
+            // All concepts had zero probability mass (cannot happen with
+            // clamped errors, but stay safe): reset to uniform.
+            let n = self.posterior.len() as f64;
+            self.posterior.fill(1.0 / n);
+        } else {
+            for ((q, p), psi) in self
+                .posterior
+                .iter_mut()
+                .zip(self.prior.iter())
+                .zip(psi.iter())
+            {
+                *q = p * psi / sum;
+            }
+        }
+    }
+
+    /// The prior-roll core (the tail of Eq. 5 after an observation) plus
+    /// the prune-order refresh, shared with the batch kernel. As in
+    /// [`Self::advance_with`], the prior is Eq. 5's output buffer.
+    pub fn roll_prior_with(&mut self, stats: &TransitionStats) {
+        stats.advance(self.posterior, self.prior);
+        self.resort();
+    }
+
+    /// The full labeled-record lifecycle: [`Self::absorb`] then the
+    /// prior roll against `model`'s χ.
+    pub fn observe(&mut self, model: &HighOrderModel, x: &[f64], y: ClassId, psi: &mut [f64]) {
+        self.absorb(model, x, y, psi);
+        self.check(model);
+        self.roll_prior_with(model.stats());
+    }
+
+    /// Re-sort the §III-C enumeration order by descending prior.
+    pub fn resort(&mut self) {
+        let prior = &self.prior;
+        self.order
+            .sort_unstable_by(|&a, &b| prior[b as usize].total_cmp(&prior[a as usize]));
+    }
+
+    /// Class-probability prediction for an unlabeled record (Eq. 10):
+    /// `Highorder(l|x) = Σ_c Pₜ⁻(c)·M_c(l|x)`. `classes` is class-sized
+    /// scratch for the per-concept rows.
+    pub fn predict_proba(
+        &self,
+        model: &HighOrderModel,
+        x: &[f64],
+        out: &mut [f64],
+        classes: &mut [f64],
+    ) {
+        self.check(model);
+        out.fill(0.0);
+        for (c, &p) in model.concepts().iter().zip(self.prior.iter()) {
+            if p == 0.0 {
+                continue;
+            }
+            c.model.predict_proba(x, classes);
+            for (o, &v) in out.iter_mut().zip(classes.iter()) {
+                *o += p * v;
+            }
+        }
+    }
+
+    /// Unique-class prediction (Eq. 11): the argmax of Eq. 10.
+    pub fn predict(&self, model: &HighOrderModel, x: &[f64], classes: &mut [f64]) -> ClassId {
+        let mut out = vec![0.0; model.schema().n_classes()];
+        self.predict_proba(model, x, &mut out, classes);
+        argmax(&out) as ClassId
+    }
+
+    /// The §III-C early-terminated enumeration; returns the prediction and
+    /// how many concept classifiers were consulted before the margin test
+    /// terminated it. Identical to [`Self::predict`] in result, usually
+    /// much cheaper.
+    pub fn predict_pruned(
+        &self,
+        model: &HighOrderModel,
+        x: &[f64],
+        classes: &mut [f64],
+    ) -> (ClassId, usize) {
+        self.check(model);
         let n_classes = model.schema().n_classes();
         let mut scores = vec![0.0; n_classes];
         // Remaining probability mass after each prefix of the enumeration.
@@ -321,28 +495,47 @@ impl FilterState {
             if p > 0.0 {
                 model.concepts()[ci as usize]
                     .model
-                    .predict_proba(x, &mut self.scratch);
-                for (s, &v) in scores.iter_mut().zip(self.scratch.iter()) {
+                    .predict_proba(x, classes);
+                for (s, &v) in scores.iter_mut().zip(classes.iter()) {
                     *s += p * v;
                 }
             }
             // A remaining concept can add at most `remaining` to any one
             // class; if the leader's margin exceeds that, the answer is
             // decided (§III-C).
-            let best = argmax(&scores);
-            let best_v = scores[best];
-            let runner_up = scores
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| i != best)
-                .map(|(_, &v)| v)
-                .fold(f64::NEG_INFINITY, f64::max);
+            let (best, best_v, runner_up) = leader_and_runner_up(&scores);
             if best_v - runner_up > remaining {
                 return (best as ClassId, rank + 1);
             }
         }
         (argmax(&scores) as ClassId, self.order.len())
     }
+}
+
+/// The §III-C margin-test operands in one pass over the score vector:
+/// the leading class (same index as [`argmax`] — strict `>`, ties toward
+/// the lower index), its score, and the best score among the *other*
+/// classes. Equivalent to `argmax` followed by a max over the remaining
+/// entries — it runs once per enumerated concept, so the fused form
+/// matters on the serving hot path.
+#[inline]
+pub(crate) fn leader_and_runner_up(scores: &[f64]) -> (usize, f64, f64) {
+    let mut best = 0usize;
+    let mut best_v = f64::NEG_INFINITY;
+    let mut runner_up = f64::NEG_INFINITY;
+    for (i, &v) in scores.iter().enumerate() {
+        if v > best_v {
+            runner_up = best_v;
+            best_v = v;
+            best = i;
+        } else if v > runner_up {
+            // Covers ties with the leader too: a score equal to `best_v`
+            // at a higher index is one of the "other" classes and is
+            // exactly what the runner-up max would have picked.
+            runner_up = v;
+        }
+    }
+    (best, best_v, runner_up)
 }
 
 /// A point-in-time copy of one stream's observable filter quantities —

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod compiled;
 pub mod concept;
 pub mod extend;
 pub mod filter;
@@ -33,8 +34,9 @@ pub mod transition;
 pub mod viterbi;
 
 pub use build::{build, build_with, BuildOptions, BuildParams, BuildReport, HighOrderModel};
+pub use compiled::{BatchTable, CompiledModel, KernelScratch};
 pub use concept::Concept;
-pub use filter::{FilterIntrospection, FilterState};
+pub use filter::{FilterIntrospection, FilterState, FilterView};
 pub use online::{OnlineOptions, OnlinePredictor};
 pub use snapshot::{snapshot_epoch, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use transition::TransitionStats;

@@ -5,13 +5,16 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
-use hom_core::{FilterIntrospection, FilterState, HighOrderModel, SnapshotError};
+use hom_core::{
+    BatchTable, CompiledModel, FilterIntrospection, FilterState, HighOrderModel, KernelScratch,
+    SnapshotError,
+};
 use hom_data::ClassId;
 use hom_obs::{Histogram, Obs};
 use hom_parallel::Pool;
 
 use crate::request::{Request, Response, StreamId};
-use crate::shard::{shard_of, Entry, Shard};
+use crate::shard::{shard_of, Shard};
 
 /// The environment variable [`ServeOptions::default`] reads for the
 /// shard count of the stream table (must be a nonzero power of two).
@@ -21,9 +24,29 @@ pub const SHARDS_ENV: &str = "HOM_SERVE_SHARDS";
 /// (`hom-eval` reads the same knob).
 pub const THREADS_ENV: &str = "HOM_THREADS";
 
+/// The compiled-kernel escape hatch: `HOM_COMPILED=0` serves every
+/// batch through the scalar [`FilterState`] path, any other value (or
+/// unset) uses the batch-vectorized [`CompiledModel`] kernel. The two
+/// are bit-identical in output; the knob exists for A/B measurement and
+/// as an operational fallback. [`ServeOptions::compiled`] overrides it.
+pub const COMPILED_ENV: &str = "HOM_COMPILED";
+
+/// The environment variable behind [`ServeOptions::fanout`]: minimum
+/// requests per worker task before [`ServeEngine::submit`] fans a batch
+/// out to the pool.
+pub const FANOUT_ENV: &str = "HOM_SERVE_FANOUT";
+
 /// Shard count used when neither [`ServeOptions::shards`] nor
 /// `HOM_SERVE_SHARDS` says otherwise.
 const DEFAULT_SHARDS: usize = 16;
+
+/// Default minimum requests per worker task. Fanning a batch out costs
+/// a pool dispatch (the pool spawns scoped workers per call), which only
+/// pays for itself once each task carries a few thousand requests —
+/// below that, inline processing on the submitting thread is faster *and*
+/// was measured to be what fixed multi-thread submit being slower than
+/// single-thread on small batches.
+const DEFAULT_FANOUT: usize = 4096;
 
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name)
@@ -50,6 +73,9 @@ pub enum ConfigError {
     /// [`ServeOptions::capacity`] is `Some(0)`: a table that can hold no
     /// live stream at all cannot serve (use `None` for "unbounded").
     ZeroCapacity,
+    /// [`ServeOptions::fanout`] is `Some(0)`: every task needs at least
+    /// one request (use `None` for the default granularity).
+    ZeroFanout,
 }
 
 impl fmt::Display for ConfigError {
@@ -70,6 +96,12 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "capacity 0 can hold no live stream (use None for unbounded)"
+                )
+            }
+            ConfigError::ZeroFanout => {
+                write!(
+                    f,
+                    "fanout 0 would make worker tasks with no requests (use None for the default)"
                 )
             }
         }
@@ -154,6 +186,23 @@ pub struct ServeOptions {
     /// which [`ServeEngine::sweep`] parks a stream. `None` disables
     /// TTL sweeping.
     pub ttl: Option<u64>,
+    /// Serve batches through the compiled batch kernel
+    /// ([`CompiledModel`], default) or the scalar per-request
+    /// [`FilterState`] path — bit-identical outputs either way; the
+    /// kernel is the fast one. `None` reads `HOM_COMPILED`
+    /// ([`COMPILED_ENV`]): `0` disables, anything else (or unset)
+    /// enables. Tests pass an explicit value rather than the env var,
+    /// which is process-global and racy under a parallel test runner.
+    pub compiled: Option<bool>,
+    /// Minimum requests per worker task before [`ServeEngine::submit`]
+    /// fans out to the thread pool (nonzero, or
+    /// [`ConfigError::ZeroFanout`]). Small batches run inline on the
+    /// submitting thread no matter how many threads are configured —
+    /// dispatching the pool costs more than it buys below a few thousand
+    /// requests per task. `None` reads `HOM_SERVE_FANOUT`
+    /// ([`FANOUT_ENV`]), defaulting to 4096. Like every other option,
+    /// this changes wall-clock behavior only, never an output bit.
+    pub fanout: Option<usize>,
     /// Observability sink (batch-latency histogram, request/eviction
     /// counters, per-shard occupancy). The default comes from
     /// [`Obs::from_env`]: disabled unless `HOM_TRACE=path.jsonl` is set.
@@ -168,6 +217,8 @@ impl Default for ServeOptions {
             prune: true,
             capacity: None,
             ttl: None,
+            compiled: None,
+            fanout: None,
             sink: Obs::from_env(),
         }
     }
@@ -202,6 +253,77 @@ pub struct StreamInfo {
     pub introspection: FilterIntrospection,
 }
 
+/// What the engine serves with: the mined model plus, when the compiled
+/// kernel is enabled, its flattened evaluation form. The two always
+/// describe the same model epoch and are swapped together under the one
+/// write lock, so a batch can never see a model/kernel mismatch.
+struct Serving {
+    model: Arc<HighOrderModel>,
+    compiled: Option<Arc<CompiledModel>>,
+}
+
+/// Per-task scratch of the scalar path — the buffers the filter-view
+/// equations borrow (ψ is concept-sized, `classes` class-sized). One per
+/// worker task, reused across every stream the task serves; the compiled
+/// path's counterpart is [`KernelScratch`].
+struct ScalarScratch {
+    psi: Vec<f64>,
+    classes: Vec<f64>,
+}
+
+impl ScalarScratch {
+    fn new(model: &HighOrderModel) -> Self {
+        ScalarScratch {
+            psi: vec![0.0; model.n_concepts()],
+            classes: vec![0.0; model.schema().n_classes()],
+        }
+    }
+}
+
+/// A batch's requests grouped by shard, in one flat CSR layout: group
+/// `s` is `idx[offsets[s] .. offsets[s+1]]`, holding request indices in
+/// batch order. Built with a counting sort — two passes over the batch,
+/// two allocations — where a `Vec<Vec<usize>>` would cost an allocation
+/// per occupied shard per submit on the hot path.
+struct ShardGroups {
+    /// Group boundaries, `shards + 1` entries.
+    offsets: Vec<u32>,
+    /// Request indices, grouped by shard, batch order within a group.
+    idx: Vec<u32>,
+}
+
+impl ShardGroups {
+    fn build(requests: &[Request], shards: usize, shard_bits: u32) -> Self {
+        let mut offsets = vec![0u32; shards + 1];
+        for r in requests {
+            offsets[shard_of(r.stream(), shard_bits) + 1] += 1;
+        }
+        for s in 0..shards {
+            offsets[s + 1] += offsets[s];
+        }
+        let mut cursor = offsets.clone();
+        let mut idx = vec![0u32; requests.len()];
+        for (i, r) in requests.iter().enumerate() {
+            let s = shard_of(r.stream(), shard_bits);
+            idx[cursor[s] as usize] = i as u32;
+            cursor[s] += 1;
+        }
+        ShardGroups { offsets, idx }
+    }
+
+    /// Request indices of shard `s`, in batch order.
+    #[inline]
+    fn group(&self, s: usize) -> &[u32] {
+        &self.idx[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+
+    /// Number of requests on shard `s`.
+    #[inline]
+    fn len(&self, s: usize) -> usize {
+        (self.offsets[s + 1] - self.offsets[s]) as usize
+    }
+}
+
 /// A concurrent multi-stream serving engine over one shared, immutable
 /// [`HighOrderModel`].
 ///
@@ -232,11 +354,12 @@ pub struct StreamInfo {
 /// eviction policy (eviction hibernates streams through the lossless
 /// snapshot codec). The differential test suite proves this.
 pub struct ServeEngine {
-    /// The serving model. Read-locked for the duration of each batch;
+    /// The serving model and its compiled evaluation form, swapped as
+    /// one unit. Read-locked for the duration of each batch;
     /// write-locked only by [`Self::swap_model`] (which therefore waits
     /// for in-flight batches to drain, and blocks new ones while states
-    /// migrate).
-    model: RwLock<Arc<HighOrderModel>>,
+    /// migrate and the replacement compiles).
+    serving: RwLock<Serving>,
     /// Model generation: 0 at construction, +1 per successful swap.
     /// Stamped into engine-written snapshots.
     epoch: AtomicU32,
@@ -247,6 +370,16 @@ pub struct ServeEngine {
     prune: bool,
     capacity: Option<usize>,
     ttl: Option<u64>,
+    /// Whether batches run through the compiled kernel (fixed at
+    /// construction; a model swap recompiles accordingly).
+    compiled: bool,
+    /// Minimum requests per worker task (see [`ServeOptions::fanout`]).
+    fanout: usize,
+    /// Whether any eviction policy (capacity or TTL) is configured.
+    /// When neither is, the hot path skips the global clock tick — a
+    /// shared-cacheline atomic increment per request that worker threads
+    /// would otherwise contend on for a value nothing ever reads.
+    track_lru: bool,
     /// Logical clock: one tick per request, the LRU/TTL ordering key.
     clock: AtomicU64,
     obs: Obs,
@@ -309,12 +442,26 @@ impl ServeEngine {
         if options.capacity == Some(0) {
             return Err(ConfigError::ZeroCapacity);
         }
+        let fanout = match options.fanout {
+            Some(0) => return Err(ConfigError::ZeroFanout),
+            Some(f) => f,
+            None => env_usize(FANOUT_ENV).unwrap_or(DEFAULT_FANOUT),
+        };
+        let compiled = options
+            .compiled
+            .unwrap_or_else(|| std::env::var(COMPILED_ENV).map_or(true, |v| v != "0"));
         let shard_bits = shards.trailing_zeros();
         let threads = options.threads.or_else(|| env_usize(THREADS_ENV));
+        let n_concepts = model.n_concepts();
         Ok(ServeEngine {
-            model: RwLock::new(model),
+            serving: RwLock::new(Serving {
+                compiled: compiled.then(|| Arc::new(CompiledModel::compile(&model))),
+                model,
+            }),
             epoch: AtomicU32::new(0),
-            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(n_concepts)))
+                .collect(),
             shard_bits,
             // The pool carries no Obs on purpose: per-batch worker-stats
             // series would swamp a trace at serving rates. The engine
@@ -323,6 +470,9 @@ impl ServeEngine {
             prune: options.prune,
             capacity: options.capacity,
             ttl: options.ttl,
+            compiled,
+            fanout,
+            track_lru: options.capacity.is_some() || options.ttl.is_some(),
             clock: AtomicU64::new(0),
             obs: options.sink.clone(),
             counters: Counters::default(),
@@ -330,10 +480,10 @@ impl ServeEngine {
         })
     }
 
-    fn model_guard(&self) -> RwLockReadGuard<'_, Arc<HighOrderModel>> {
+    fn serving_guard(&self) -> RwLockReadGuard<'_, Serving> {
         // Poisoning can only come from a panic inside swap_model's
-        // migration; the swapped-in Arc is still coherent.
-        self.model.read().unwrap_or_else(|e| e.into_inner())
+        // migration; the swapped-in state is still coherent.
+        self.serving.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The model every stream currently predicts with. The returned
@@ -341,7 +491,13 @@ impl ServeEngine {
     /// keeps the then-serving model alive but no longer reflects the
     /// engine.
     pub fn model(&self) -> Arc<HighOrderModel> {
-        Arc::clone(&self.model_guard())
+        Arc::clone(&self.serving_guard().model)
+    }
+
+    /// Whether batches run through the compiled batch kernel (fixed at
+    /// construction from [`ServeOptions::compiled`] / `HOM_COMPILED`).
+    pub fn compiled(&self) -> bool {
+        self.compiled
     }
 
     /// The engine's model generation: 0 until the first successful
@@ -369,8 +525,8 @@ impl ServeEngine {
     /// is returned and nothing changes.
     pub fn swap_model(&self, new: Arc<HighOrderModel>) -> Result<SwapReport, SwapError> {
         let pause_start = Instant::now();
-        let mut guard = self.model.write().unwrap_or_else(|e| e.into_inner());
-        let old = Arc::clone(&guard);
+        let mut guard = self.serving.write().unwrap_or_else(|e| e.into_inner());
+        let old = Arc::clone(&guard.model);
         if new.n_concepts() < old.n_concepts() {
             return Err(SwapError::FewerConcepts {
                 current: old.n_concepts(),
@@ -388,12 +544,13 @@ impl ServeEngine {
         for shard in &self.shards {
             let mut shard = self.lock(shard);
             if grown {
-                for entry in shard.live.values_mut() {
-                    entry.state = entry.state.migrate(&new);
-                    live_migrated += 1;
-                }
+                // The state table is sized by concept count, so growth
+                // rebuilds it: each live row is materialized against the
+                // old model, migrated, and re-inserted (keeping its LRU
+                // tick) into a table of the new width.
+                live_migrated += shard.migrate_live(&old, &new);
             } else {
-                live_migrated += shard.live.len();
+                live_migrated += shard.table.len();
             }
             for bytes in shard.parked.values_mut() {
                 let (state, _) = FilterState::restore_migrating(&new, bytes)
@@ -403,7 +560,14 @@ impl ServeEngine {
             }
         }
 
-        *guard = new;
+        // Recompile before publishing: the compiled form is part of the
+        // serving unit, rebuilt once per model epoch under the same
+        // write lock (a batch never pairs an old kernel with a new
+        // model, or vice versa).
+        guard.compiled = self
+            .compiled
+            .then(|| Arc::new(CompiledModel::compile(&new)));
+        guard.model = new;
         self.epoch.store(epoch, Ordering::Release);
         if self.obs.enabled() {
             self.obs.count("serve.swaps", 1);
@@ -437,7 +601,7 @@ impl ServeEngine {
 
     /// Streams currently live (in-memory state) across all shards.
     pub fn live_streams(&self) -> usize {
-        self.shards.iter().map(|s| self.lock(s).live.len()).sum()
+        self.shards.iter().map(|s| self.lock(s).table.len()).sum()
     }
 
     /// Streams currently parked (hibernated snapshots) across all shards.
@@ -456,48 +620,53 @@ impl ServeEngine {
         shard_of(stream, self.shard_bits)
     }
 
-    /// Get-or-create the live entry for `stream` in `shard`, bumping its
+    /// Get-or-create the live slot for `stream` in `shard`, bumping its
     /// LRU tick. Parked streams are restored (bit-identically); brand-new
     /// streams start at the uniform prior. Enforces the per-shard
     /// capacity by parking the least-recently-used other stream.
-    fn touch<'a>(
-        &self,
-        model: &HighOrderModel,
-        shard: &'a mut Shard,
-        stream: StreamId,
-    ) -> &'a mut FilterState {
-        let now = self.clock.fetch_add(1, Ordering::Relaxed);
-        if let Some(entry) = shard.live.get_mut(&stream) {
-            entry.last_used = now;
+    fn touch(&self, model: &HighOrderModel, shard: &mut Shard, stream: StreamId) -> u32 {
+        // The LRU tick is only maintained when an eviction policy can
+        // read it: without capacity or TTL, ticking would be a per-request
+        // atomic increment on a cacheline shared by every worker thread.
+        let now = if self.track_lru {
+            self.clock.fetch_add(1, Ordering::Relaxed)
         } else {
-            let state = match shard.parked.remove(&stream) {
-                Some(bytes) => {
-                    self.counters.unparks.fetch_add(1, Ordering::Relaxed);
-                    FilterState::restore(model, &bytes)
-                        .expect("engine-written snapshots are always valid")
-                }
-                None => FilterState::new(model),
-            };
-            shard.live.insert(
-                stream,
-                Entry {
-                    state,
-                    last_used: now,
-                },
-            );
-            if let Some(cap) = self.capacity {
-                if shard.live.len() > cap {
-                    if let Some(victim) = shard.lru_victim(stream) {
-                        let entry = shard.live.remove(&victim).expect("victim is live");
-                        shard
-                            .parked
-                            .insert(victim, self.snapshot_bytes(&entry.state));
-                        self.counters.evictions.fetch_add(1, Ordering::Relaxed);
-                    }
+            0
+        };
+        // The hot path — the stream is already live — is one index probe
+        // and a tick store into the slot's row.
+        if let Some(slot) = shard.index.get(stream) {
+            if self.track_lru {
+                shard.table.touch(slot, now);
+            }
+            return slot;
+        }
+        // This request inserts. Parking the LRU stream *before* the
+        // insert admits the same victim set as parking after it: the
+        // incoming stream is not yet in the table, so it can never be
+        // its own victim.
+        if let Some(cap) = self.capacity {
+            if shard.table.len() >= cap {
+                if let Some((victim, vslot)) = shard.lru_victim(stream) {
+                    let state = shard.table.materialize(model, vslot);
+                    shard.table.remove(vslot);
+                    shard.index.remove(victim);
+                    shard.parked.insert(victim, self.snapshot_bytes(&state));
+                    self.counters.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
-        &mut shard.live.get_mut(&stream).expect("just inserted").state
+        let slot = match shard.parked.remove(&stream) {
+            Some(bytes) => {
+                self.counters.unparks.fetch_add(1, Ordering::Relaxed);
+                let state = FilterState::restore(model, &bytes)
+                    .expect("engine-written snapshots are always valid");
+                shard.table.insert_state(stream, &state, now)
+            }
+            None => shard.table.insert_uniform(stream, now),
+        };
+        shard.index.insert(stream, slot);
+        slot
     }
 
     /// Serialize a state the engine's way: current-epoch stamp.
@@ -505,16 +674,25 @@ impl ServeEngine {
         state.snapshot_with_epoch(self.epoch.load(Ordering::Acquire))
     }
 
-    /// Apply one request against an already-locked shard.
-    fn process(&self, model: &HighOrderModel, shard: &mut Shard, request: &Request) -> Response {
+    /// Apply one request against an already-locked shard (the scalar
+    /// path): touch the stream's slot, borrow its row as a [`FilterView`]
+    /// and run the update equations on it with the task's scratch.
+    fn process(
+        &self,
+        model: &HighOrderModel,
+        shard: &mut Shard,
+        request: &Request,
+        scratch: &mut ScalarScratch,
+    ) -> Response {
         let measure = self.obs.enabled();
         match request {
             Request::Predict { stream, x } => {
-                let state = self.touch(model, shard, *stream);
+                let slot = self.touch(model, shard, *stream);
+                let view = shard.table.view(slot);
                 let pred = if self.prune {
-                    state.predict_pruned(model, x).0
+                    view.predict_pruned(model, x, &mut scratch.classes).0
                 } else {
-                    state.predict(model, x)
+                    view.predict(model, x, &mut scratch.classes)
                 };
                 if measure {
                     self.counters.predicted.fetch_add(1, Ordering::Relaxed);
@@ -525,8 +703,9 @@ impl ServeEngine {
                 }
             }
             Request::Observe { stream, x, y } => {
-                let state = self.touch(model, shard, *stream);
-                state.observe(model, x, *y);
+                let slot = self.touch(model, shard, *stream);
+                let mut view = shard.table.view(slot);
+                view.observe(model, x, *y, &mut scratch.psi);
                 if measure {
                     self.counters.observed.fetch_add(1, Ordering::Relaxed);
                 }
@@ -536,13 +715,14 @@ impl ServeEngine {
                 }
             }
             Request::Step { stream, x, y } => {
-                let state = self.touch(model, shard, *stream);
+                let slot = self.touch(model, shard, *stream);
+                let mut view = shard.table.view(slot);
                 let pred = if self.prune {
-                    state.predict_pruned(model, x).0
+                    view.predict_pruned(model, x, &mut scratch.classes).0
                 } else {
-                    state.predict(model, x)
+                    view.predict(model, x, &mut scratch.classes)
                 };
-                state.observe(model, x, *y);
+                view.observe(model, x, *y, &mut scratch.psi);
                 if measure {
                     self.counters.predicted.fetch_add(1, Ordering::Relaxed);
                     self.counters.observed.fetch_add(1, Ordering::Relaxed);
@@ -553,8 +733,9 @@ impl ServeEngine {
                 }
             }
             Request::Advance { stream, k } => {
-                let state = self.touch(model, shard, *stream);
-                state.advance_by(model, *k);
+                let slot = self.touch(model, shard, *stream);
+                let mut view = shard.table.view(slot);
+                view.advance_by(model, *k);
                 Response {
                     stream: *stream,
                     prediction: None,
@@ -568,37 +749,61 @@ impl ServeEngine {
     ///
     /// Requests are grouped by shard; each shard's group is processed
     /// sequentially (preserving per-stream order — a stream always lives
-    /// on one shard) and distinct shards run concurrently on the
-    /// engine's worker pool. Throughput therefore scales with threads as
-    /// long as the batch touches several shards, and the result is
-    /// independent of both the thread count and the grouping. The whole
-    /// batch runs against one model generation: a concurrent
-    /// [`Self::swap_model`] waits for it.
+    /// on one shard). Shard groups are then packed into worker tasks
+    /// whose granularity follows the batch: at least
+    /// [`ServeOptions::fanout`] requests per task, never more tasks than
+    /// threads or occupied shards, and a batch that only fills one task
+    /// runs **inline** on the submitting thread (no pool dispatch at
+    /// all) — which is why multi-thread engines are never slower than
+    /// single-thread ones on small batches. With the compiled kernel
+    /// enabled, each task makes one [`CompiledModel::evaluate`] pass
+    /// over its distinct records before applying per-stream updates.
+    ///
+    /// None of that granularity is observable in the responses: the
+    /// result is independent of thread count, task packing and kernel
+    /// choice. The whole batch runs against one model generation: a
+    /// concurrent [`Self::swap_model`] waits for it.
     pub fn submit(&self, requests: &[Request]) -> Vec<Response> {
         let measure = self.obs.enabled();
         let t0 = measure.then(Instant::now);
-        let model = self.model_guard();
+        let serving = self.serving_guard();
 
-        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        for (i, r) in requests.iter().enumerate() {
-            groups[self.shard_index(r.stream())].push(i);
-        }
-        let nonempty: Vec<usize> = (0..groups.len())
-            .filter(|&s| !groups[s].is_empty())
+        let groups = ShardGroups::build(requests, self.shards.len(), self.shard_bits);
+        let nonempty: Vec<usize> = (0..self.shards.len())
+            .filter(|&s| groups.len(s) > 0)
             .collect();
 
-        let parts = self.pool.map_slice(&nonempty, |_, &s| {
-            let mut shard = self.lock(&self.shards[s]);
-            groups[s]
-                .iter()
-                .map(|&i| self.process(&model, &mut shard, &requests[i]))
-                .collect::<Vec<Response>>()
-        });
+        let tasks = (requests.len() / self.fanout)
+            .min(self.pool.threads())
+            .min(nonempty.len())
+            .max(1);
 
-        let mut out: Vec<Option<Response>> = vec![None; requests.len()];
-        for (&s, responses) in nonempty.iter().zip(parts) {
-            for (&i, r) in groups[s].iter().zip(responses) {
-                out[i] = Some(r);
+        // Every slot is written exactly once (each request index appears
+        // in exactly one shard group); the placeholder never survives.
+        let mut out: Vec<Response> = vec![
+            Response {
+                stream: 0,
+                prediction: None,
+            };
+            requests.len()
+        ];
+        if tasks <= 1 {
+            self.run_task(&serving, &groups, &nonempty, requests, &mut |i, r| {
+                out[i] = r;
+            });
+        } else {
+            let chunks = partition_shards(&nonempty, &groups, tasks, requests.len());
+            let parts = self.pool.map_slice(&chunks, |_, chunk| {
+                let mut collected = Vec::new();
+                self.run_task(&serving, &groups, chunk, requests, &mut |i, r| {
+                    collected.push((i, r));
+                });
+                collected
+            });
+            for part in parts {
+                for (i, r) in part {
+                    out[i] = r;
+                }
             }
         }
 
@@ -607,9 +812,213 @@ impl ServeEngine {
             let mut hist = self.batch_latency.lock().unwrap_or_else(|e| e.into_inner());
             hist.record(t0.elapsed().as_nanos() as f64);
         }
-        out.into_iter()
-            .map(|r| r.expect("every request processed exactly once"))
-            .collect()
+        out
+    }
+
+    /// Process one worker task: the given shards, in order, each locked
+    /// once. With the compiled kernel, the task's records are interned
+    /// (duplicates collapse), evaluated in one concept-outer pass, and
+    /// the per-request work becomes table lookups; without it, each
+    /// request runs the scalar path. Identical responses either way.
+    fn run_task(
+        &self,
+        serving: &Serving,
+        groups: &ShardGroups,
+        shard_ids: &[usize],
+        requests: &[Request],
+        emit: &mut dyn FnMut(usize, Response),
+    ) {
+        match &serving.compiled {
+            Some(cm) => {
+                let n_requests: usize = shard_ids.iter().map(|&s| groups.len(s)).sum();
+                let mut table = BatchTable::with_capacity(n_requests);
+                // Record index per request, in task iteration order
+                // (u32::MAX for Advance requests, which carry none).
+                let mut recs: Vec<u32> = Vec::with_capacity(n_requests);
+                for &s in shard_ids {
+                    for &i in groups.group(s) {
+                        recs.push(match &requests[i as usize] {
+                            Request::Predict { x, .. } => table.intern(x, false),
+                            Request::Observe { x, .. } | Request::Step { x, .. } => {
+                                table.intern(x, true)
+                            }
+                            Request::Advance { .. } => u32::MAX,
+                        });
+                    }
+                }
+                cm.evaluate(&mut table);
+                let mut scratch = KernelScratch::new(cm);
+                // Lookahead distance of the software prefetches below:
+                // far enough ahead to overlap a memory round-trip with
+                // useful work, near enough that the lines are still
+                // resident when their request comes up.
+                const PREFETCH: usize = 8;
+                let mut slots: Vec<u32> = Vec::new();
+                let mut at = 0;
+                for &s in shard_ids {
+                    let mut shard = self.lock(&self.shards[s]);
+                    let group = groups.group(s);
+                    if self.capacity.is_none() {
+                        // Staged processing. With no eviction configured
+                        // a resolved slot can never be invalidated later
+                        // in the group, so the group splits into two
+                        // passes: resolve every stream's slot (with the
+                        // index probes prefetched ahead — at 100k live
+                        // streams each probe is otherwise a cache miss),
+                        // then run the kernel (with each stream's state
+                        // rows prefetched ahead). Purely a wall-clock
+                        // reordering: streams are independent, so
+                        // per-stream request order — the only order that
+                        // matters — is unchanged.
+                        for &i in group.iter().take(PREFETCH) {
+                            shard.index.prefetch(requests[i as usize].stream());
+                        }
+                        slots.clear();
+                        for (k, &i) in group.iter().enumerate() {
+                            if let Some(&j) = group.get(k + PREFETCH) {
+                                shard.index.prefetch(requests[j as usize].stream());
+                            }
+                            slots.push(self.touch(
+                                &serving.model,
+                                &mut shard,
+                                requests[i as usize].stream(),
+                            ));
+                        }
+                        for &slot in slots.iter().take(PREFETCH) {
+                            shard.table.prefetch(slot);
+                        }
+                        for (k, &i) in group.iter().enumerate() {
+                            if let Some(&next) = slots.get(k + PREFETCH) {
+                                shard.table.prefetch(next);
+                            }
+                            emit(
+                                i as usize,
+                                self.process_compiled(
+                                    cm,
+                                    &table,
+                                    &mut shard,
+                                    &requests[i as usize],
+                                    recs[at + k],
+                                    slots[k],
+                                    &mut scratch,
+                                ),
+                            );
+                        }
+                    } else {
+                        // Eviction may repack slots on any insert:
+                        // resolve and process one request at a time.
+                        for (k, &i) in group.iter().enumerate() {
+                            let slot = self.touch(
+                                &serving.model,
+                                &mut shard,
+                                requests[i as usize].stream(),
+                            );
+                            emit(
+                                i as usize,
+                                self.process_compiled(
+                                    cm,
+                                    &table,
+                                    &mut shard,
+                                    &requests[i as usize],
+                                    recs[at + k],
+                                    slot,
+                                    &mut scratch,
+                                ),
+                            );
+                        }
+                    }
+                    at += group.len();
+                }
+            }
+            None => {
+                let mut scratch = ScalarScratch::new(&serving.model);
+                for &s in shard_ids {
+                    let mut shard = self.lock(&self.shards[s]);
+                    for &i in groups.group(s) {
+                        emit(
+                            i as usize,
+                            self.process(
+                                &serving.model,
+                                &mut shard,
+                                &requests[i as usize],
+                                &mut scratch,
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`Self::process`] against the batch kernel: same lifecycle, same
+    /// counters, with classifier work replaced by [`BatchTable`] reads.
+    /// `slot` is the stream's already-touched slot (resolved by the
+    /// caller so the staged path can prefetch it ahead of time).
+    #[allow(clippy::too_many_arguments)]
+    fn process_compiled(
+        &self,
+        cm: &CompiledModel,
+        table: &BatchTable<'_>,
+        shard: &mut Shard,
+        request: &Request,
+        rec: u32,
+        slot: u32,
+        scratch: &mut KernelScratch,
+    ) -> Response {
+        let measure = self.obs.enabled();
+        match request {
+            Request::Predict { stream, .. } => {
+                let view = shard.table.view(slot);
+                let pred = if self.prune {
+                    cm.predict_pruned(&view, table, rec, scratch).0
+                } else {
+                    cm.predict(&view, table, rec, scratch)
+                };
+                if measure {
+                    self.counters.predicted.fetch_add(1, Ordering::Relaxed);
+                }
+                Response {
+                    stream: *stream,
+                    prediction: Some(pred),
+                }
+            }
+            Request::Observe { stream, y, .. } => {
+                let mut view = shard.table.view(slot);
+                cm.observe(&mut view, table, rec, *y, scratch);
+                if measure {
+                    self.counters.observed.fetch_add(1, Ordering::Relaxed);
+                }
+                Response {
+                    stream: *stream,
+                    prediction: None,
+                }
+            }
+            Request::Step { stream, y, .. } => {
+                let mut view = shard.table.view(slot);
+                let pred = if self.prune {
+                    cm.predict_pruned(&view, table, rec, scratch).0
+                } else {
+                    cm.predict(&view, table, rec, scratch)
+                };
+                cm.observe(&mut view, table, rec, *y, scratch);
+                if measure {
+                    self.counters.predicted.fetch_add(1, Ordering::Relaxed);
+                    self.counters.observed.fetch_add(1, Ordering::Relaxed);
+                }
+                Response {
+                    stream: *stream,
+                    prediction: Some(pred),
+                }
+            }
+            Request::Advance { stream, k } => {
+                let mut view = shard.table.view(slot);
+                cm.advance_by(&mut view, *k);
+                Response {
+                    stream: *stream,
+                    prediction: None,
+                }
+            }
+        }
     }
 
     /// Classify an unlabeled record on `stream` (Eq. 10, pruned per the
@@ -651,10 +1060,14 @@ impl ServeEngine {
     }
 
     fn one(&self, request: Request) -> Response {
-        let model = self.model_guard();
+        // Single requests take the scalar path directly: building a
+        // one-record batch table costs more than it amortizes, and the
+        // two paths are bit-identical anyway.
+        let serving = self.serving_guard();
+        let mut scratch = ScalarScratch::new(&serving.model);
         let s = self.shard_index(request.stream());
         let mut shard = self.lock(&self.shards[s]);
-        self.process(&model, &mut shard, &request)
+        self.process(&serving.model, &mut shard, &request, &mut scratch)
     }
 
     /// Read-only view of a stream's filter state (live or parked);
@@ -662,14 +1075,14 @@ impl ServeEngine {
     /// state — peeking at a parked stream decodes its snapshot without
     /// unparking it.
     pub fn peek<R>(&self, stream: StreamId, f: impl FnOnce(&FilterState) -> R) -> Option<R> {
-        let model = self.model_guard();
+        let serving = self.serving_guard();
         let shard = self.lock(&self.shards[self.shard_index(stream)]);
-        if let Some(entry) = shard.live.get(&stream) {
-            return Some(f(&entry.state));
+        if let Some(slot) = shard.index.get(stream) {
+            return Some(f(&shard.table.materialize(&serving.model, slot)));
         }
         let bytes = shard.parked.get(&stream)?;
-        let state =
-            FilterState::restore(&model, bytes).expect("engine-written snapshots are valid");
+        let state = FilterState::restore(&serving.model, bytes)
+            .expect("engine-written snapshots are valid");
         Some(f(&state))
     }
 
@@ -683,19 +1096,19 @@ impl ServeEngine {
     /// anything: a parked stream is decoded without being unparked.
     /// `None` if the engine has never seen the stream.
     pub fn stream_info(&self, stream: StreamId) -> Option<StreamInfo> {
-        let model = self.model_guard();
+        let serving = self.serving_guard();
         let epoch = self.epoch.load(Ordering::Acquire);
         let shard = self.lock(&self.shards[self.shard_index(stream)]);
-        if let Some(entry) = shard.live.get(&stream) {
+        if let Some(slot) = shard.index.get(stream) {
             return Some(StreamInfo {
                 live: true,
                 epoch,
-                introspection: entry.state.introspect(),
+                introspection: shard.table.materialize(&serving.model, slot).introspect(),
             });
         }
         let bytes = shard.parked.get(&stream)?;
-        let state =
-            FilterState::restore(&model, bytes).expect("engine-written snapshots are valid");
+        let state = FilterState::restore(&serving.model, bytes)
+            .expect("engine-written snapshots are valid");
         Some(StreamInfo {
             live: false,
             epoch,
@@ -711,7 +1124,7 @@ impl ServeEngine {
             .iter()
             .map(|s| {
                 let shard = self.lock(s);
-                (shard.live.len(), shard.parked.len())
+                (shard.table.len(), shard.parked.len())
             })
             .collect()
     }
@@ -720,9 +1133,10 @@ impl ServeEngine {
     /// restorable bit-identically into this or any engine over an
     /// equivalent model. `None` if the stream does not exist.
     pub fn snapshot(&self, stream: StreamId) -> Option<Vec<u8>> {
+        let serving = self.serving_guard();
         let shard = self.lock(&self.shards[self.shard_index(stream)]);
-        if let Some(entry) = shard.live.get(&stream) {
-            return Some(self.snapshot_bytes(&entry.state));
+        if let Some(slot) = shard.index.get(stream) {
+            return Some(self.snapshot_bytes(&shard.table.materialize(&serving.model, slot)));
         }
         shard.parked.get(&stream).cloned()
     }
@@ -738,18 +1152,16 @@ impl ServeEngine {
     /// concepts than the serving model is rejected with
     /// [`SnapshotError::ModelMismatch`].
     pub fn restore(&self, stream: StreamId, bytes: &[u8]) -> Result<(), SnapshotError> {
-        let model = self.model_guard();
-        let (state, _migrated) = FilterState::restore_migrating(&model, bytes)?;
+        let serving = self.serving_guard();
+        let (state, _migrated) = FilterState::restore_migrating(&serving.model, bytes)?;
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.lock(&self.shards[self.shard_index(stream)]);
         shard.parked.remove(&stream);
-        shard.live.insert(
-            stream,
-            Entry {
-                state,
-                last_used: now,
-            },
-        );
+        if let Some(slot) = shard.index.remove(stream) {
+            shard.table.remove(slot);
+        }
+        let slot = shard.table.insert_state(stream, &state, now);
+        shard.index.insert(stream, slot);
         Ok(())
     }
 
@@ -757,12 +1169,13 @@ impl ServeEngine {
     /// Returns `false` if the stream is not live. The stream transparently
     /// resumes — bit-identically — on its next request.
     pub fn park(&self, stream: StreamId) -> bool {
+        let serving = self.serving_guard();
         let mut shard = self.lock(&self.shards[self.shard_index(stream)]);
-        match shard.live.remove(&stream) {
-            Some(entry) => {
-                shard
-                    .parked
-                    .insert(stream, self.snapshot_bytes(&entry.state));
+        match shard.index.remove(stream) {
+            Some(slot) => {
+                let state = shard.table.materialize(&serving.model, slot);
+                shard.table.remove(slot);
+                shard.parked.insert(stream, self.snapshot_bytes(&state));
                 self.counters.evictions.fetch_add(1, Ordering::Relaxed);
                 true
             }
@@ -775,7 +1188,13 @@ impl ServeEngine {
     /// uniform prior.
     pub fn remove(&self, stream: StreamId) -> bool {
         let mut shard = self.lock(&self.shards[self.shard_index(stream)]);
-        let was_live = shard.live.remove(&stream).is_some();
+        let was_live = match shard.index.remove(stream) {
+            Some(slot) => {
+                shard.table.remove(slot);
+                true
+            }
+            None => false,
+        };
         shard.parked.remove(&stream).is_some() || was_live
     }
 
@@ -784,19 +1203,22 @@ impl ServeEngine {
     /// (always 0 when no TTL is configured).
     pub fn sweep(&self) -> usize {
         let Some(ttl) = self.ttl else { return 0 };
+        let serving = self.serving_guard();
         let now = self.clock.load(Ordering::Relaxed);
         let mut parked = 0;
         for shard in &self.shards {
             let mut shard = self.lock(shard);
-            let idle: Vec<StreamId> = shard
-                .live
+            let idle: Vec<(StreamId, u32)> = shard
+                .table
                 .iter()
-                .filter(|&(_, e)| now.saturating_sub(e.last_used) > ttl)
-                .map(|(&id, _)| id)
+                .filter(|&(_, _, last_used)| now.saturating_sub(last_used) > ttl)
+                .map(|(id, slot, _)| (id, slot))
                 .collect();
-            for id in idle {
-                let entry = shard.live.remove(&id).expect("listed as live");
-                shard.parked.insert(id, self.snapshot_bytes(&entry.state));
+            for (id, slot) in idle {
+                let state = shard.table.materialize(&serving.model, slot);
+                shard.table.remove(slot);
+                shard.index.remove(id);
+                shard.parked.insert(id, self.snapshot_bytes(&state));
                 parked += 1;
             }
         }
@@ -844,7 +1266,7 @@ impl ServeEngine {
             .iter()
             .map(|s| {
                 let shard = self.lock(s);
-                (shard.live.len() as f64, shard.parked.len() as f64)
+                (shard.table.len() as f64, shard.parked.len() as f64)
             })
             .unzip();
         self.obs.series("serve.shard_live", flush, &live);
@@ -858,4 +1280,35 @@ impl Drop for ServeEngine {
     fn drop(&mut self) {
         self.flush_trace();
     }
+}
+
+/// Pack the nonempty shards into `tasks` contiguous chunks of roughly
+/// equal request count (greedy: close a chunk once it reaches the even
+/// share, keeping enough shards back for the remaining chunks). Only
+/// wall-clock placement — per-stream order is preserved because a
+/// shard, and therefore a stream, is never split across chunks.
+fn partition_shards(
+    nonempty: &[usize],
+    groups: &ShardGroups,
+    tasks: usize,
+    total: usize,
+) -> Vec<Vec<usize>> {
+    let target = total.div_ceil(tasks);
+    let mut chunks: Vec<Vec<usize>> = Vec::with_capacity(tasks);
+    let mut current: Vec<usize> = Vec::new();
+    let mut load = 0usize;
+    for (at, &s) in nonempty.iter().enumerate() {
+        current.push(s);
+        load += groups.len(s);
+        let chunks_left = tasks - chunks.len() - 1;
+        let shards_left = nonempty.len() - at - 1;
+        if load >= target && chunks_left > 0 && shards_left >= chunks_left {
+            chunks.push(std::mem::take(&mut current));
+            load = 0;
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
 }

@@ -81,8 +81,8 @@ pub mod request;
 mod shard;
 
 pub use engine::{
-    ConfigError, ServeEngine, ServeOptions, StreamInfo, SwapError, SwapReport, SHARDS_ENV,
-    THREADS_ENV,
+    ConfigError, ServeEngine, ServeOptions, StreamInfo, SwapError, SwapReport, COMPILED_ENV,
+    FANOUT_ENV, SHARDS_ENV, THREADS_ENV,
 };
 pub use http::{MetricsConfigError, MetricsServer, ServeTelemetry, METRICS_ADDR_ENV};
 pub use request::{Request, Response, StreamId};

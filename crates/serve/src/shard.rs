@@ -2,41 +2,471 @@
 //! snapshots, one lock per shard.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
-use hom_core::FilterState;
+use hom_core::{FilterState, FilterView, HighOrderModel};
 
 use crate::request::StreamId;
 
-/// A live stream: its filter state and the engine-clock tick of its last
-/// use (the LRU/TTL ordering key).
-pub(crate) struct Entry {
-    pub state: FilterState,
-    pub last_used: u64,
+/// Multiplicative hasher for the `u64` stream-id keys of the shard maps.
+///
+/// The default SipHash — designed to resist adversarial collisions on
+/// attacker-controlled byte strings — costs ~10× more than the `u64`
+/// lookup it protects. One odd-constant multiply spreads dense ids
+/// (0, 1, 2, …) over all 64 bits, is deterministic across runs (no
+/// `RandomState` seed), and is two instructions on the hot path.
+///
+/// The constant deliberately differs from the Fibonacci multiplier in
+/// [`shard_of`]: every stream in a shard shares that product's high
+/// bits, so reusing it here would hand the table near-constant control
+/// tags (hashbrown tags on the hash's top bits) and degrade probing to
+/// full key compares.
+#[derive(Default)]
+pub(crate) struct StreamIdHasher(u64);
+
+impl Hasher for StreamIdHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed; this path exists to satisfy the
+        // trait.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, id: u64) {
+        self.0 = id.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The shard maps' hasher: stateless, so every map costs nothing to set
+/// up and identical keys probe identical slots across runs.
+pub(crate) type StreamIdBuildHasher = BuildHasherDefault<StreamIdHasher>;
+
+/// Slot-state sentinel of [`StreamIndex`]: the bucket has never held an
+/// entry, so a probe chain can stop here.
+const EMPTY: u32 = u32::MAX;
+/// Slot-state sentinel of [`StreamIndex`]: the bucket's entry was
+/// removed; probe chains pass through, inserts may reclaim it.
+const TOMBSTONE: u32 = u32::MAX - 1;
+
+/// Open-addressed `stream → slot` map with linear probing — the hot-path
+/// index of a shard's [`StateTable`].
+///
+/// A `std` `HashMap` would be correct here, but its buckets are opaque:
+/// the engine's batch loop wants to *prefetch* the next few streams'
+/// index probes while processing the current one (at 100k live streams
+/// every probe is a cache miss, and those misses — not arithmetic — were
+/// the dominant serving cost). Owning the layout makes
+/// [`Self::prefetch`] a two-instruction hint. Buckets are
+/// `(stream, slot)` pairs, 16 bytes, four per cache line; the slot field
+/// doubles as the bucket state (live / [`EMPTY`] / [`TOMBSTONE`]), which
+/// caps usable slots at `u32::MAX - 2` streams per shard — far beyond
+/// the table's reach.
+///
+/// The multiplier deliberately differs from [`shard_of`]'s Fibonacci
+/// constant: every stream in a shard shares that product's high bits, so
+/// reusing it here would collapse all buckets (the index takes the high
+/// bits too) into a handful of probe chains.
+pub(crate) struct StreamIndex {
+    /// `(stream, slot)` buckets; `slot` is [`EMPTY`]/[`TOMBSTONE`] when
+    /// the bucket holds no live entry.
+    buckets: Vec<(StreamId, u32)>,
+    /// `buckets.len() - 1` (capacity is a power of two).
+    mask: usize,
+    /// `64 - log2(capacity)`: the multiplicative hash keeps the high bits.
+    shift: u32,
+    /// Live entries.
+    len: usize,
+    /// Removed-but-not-yet-reclaimed buckets (probe chains pass through).
+    tombstones: usize,
+}
+
+impl StreamIndex {
+    const MIN_CAPACITY: usize = 16;
+
+    pub fn new() -> Self {
+        StreamIndex {
+            buckets: vec![(0, EMPTY); Self::MIN_CAPACITY],
+            mask: Self::MIN_CAPACITY - 1,
+            shift: 64 - Self::MIN_CAPACITY.trailing_zeros(),
+            len: 0,
+            tombstones: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, stream: StreamId) -> usize {
+        (stream.wrapping_mul(0xff51_afd7_ed55_8ccd) >> self.shift) as usize
+    }
+
+    /// Hint the CPU to pull `stream`'s probe bucket into cache — issued a
+    /// few requests ahead of the actual [`Self::get`] so the miss
+    /// overlaps useful work. Purely a timing hint; never changes state.
+    #[inline]
+    pub fn prefetch(&self, stream: StreamId) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `bucket` is always in range (mask arithmetic), and
+        // prefetch has no architectural effect beyond the cache.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(
+                self.buckets.as_ptr().add(self.bucket(stream)) as *const i8,
+                _MM_HINT_T0,
+            );
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, stream: StreamId) -> Option<u32> {
+        let mut at = self.bucket(stream);
+        loop {
+            let (s, slot) = self.buckets[at];
+            if slot == EMPTY {
+                return None;
+            }
+            if slot != TOMBSTONE && s == stream {
+                return Some(slot);
+            }
+            at = (at + 1) & self.mask;
+        }
+    }
+
+    /// Insert or update `stream`'s slot.
+    pub fn insert(&mut self, stream: StreamId, slot: u32) {
+        debug_assert!(slot < TOMBSTONE);
+        // Keep load factor (live + tombstones) under 7/8 so probe chains
+        // stay short and always terminate at an EMPTY bucket.
+        if 8 * (self.len + self.tombstones + 1) > 7 * self.buckets.len() {
+            self.grow();
+        }
+        let mut at = self.bucket(stream);
+        let mut reuse: Option<usize> = None;
+        loop {
+            let (s, sl) = self.buckets[at];
+            if sl == EMPTY {
+                let target = reuse.unwrap_or(at);
+                if self.buckets[target].1 == TOMBSTONE {
+                    self.tombstones -= 1;
+                }
+                self.buckets[target] = (stream, slot);
+                self.len += 1;
+                return;
+            }
+            if sl == TOMBSTONE {
+                reuse.get_or_insert(at);
+            } else if s == stream {
+                self.buckets[at].1 = slot;
+                return;
+            }
+            at = (at + 1) & self.mask;
+        }
+    }
+
+    /// Remove `stream`, returning its slot if it was present.
+    pub fn remove(&mut self, stream: StreamId) -> Option<u32> {
+        let mut at = self.bucket(stream);
+        loop {
+            let (s, slot) = self.buckets[at];
+            if slot == EMPTY {
+                return None;
+            }
+            if slot != TOMBSTONE && s == stream {
+                self.buckets[at].1 = TOMBSTONE;
+                self.len -= 1;
+                self.tombstones += 1;
+                return Some(slot);
+            }
+            at = (at + 1) & self.mask;
+        }
+    }
+
+    /// Rehash into a table sized for the live entries (doubling while
+    /// they dominate, merely dropping tombstones when they do).
+    fn grow(&mut self) {
+        let capacity = (4 * (self.len + 1))
+            .next_power_of_two()
+            .max(Self::MIN_CAPACITY);
+        let old = std::mem::replace(&mut self.buckets, vec![(0, EMPTY); capacity]);
+        self.mask = capacity - 1;
+        self.shift = 64 - capacity.trailing_zeros();
+        self.len = 0;
+        self.tombstones = 0;
+        for (stream, slot) in old {
+            if slot != EMPTY && slot != TOMBSTONE {
+                self.insert(stream, slot);
+            }
+        }
+    }
 }
 
 /// One shard of the stream table. A stream id always hashes to the same
 /// shard, so per-stream request order is preserved by processing each
 /// shard's requests sequentially — and two requests for different shards
 /// never contend.
-#[derive(Default)]
 pub(crate) struct Shard {
-    /// Streams with an in-memory filter state.
-    pub live: HashMap<StreamId, Entry>,
+    /// Slot of each live stream in [`Self::table`].
+    pub index: StreamIndex,
+    /// The live streams' filter state, structure-of-arrays.
+    pub table: StateTable,
     /// Evicted streams, hibernated as snapshot bytes (`FilterState`'s
     /// versioned codec). Restoring one continues the stream
     /// bit-identically, so eviction is invisible to predictions.
-    pub parked: HashMap<StreamId, Vec<u8>>,
+    pub parked: HashMap<StreamId, Vec<u8>, StreamIdBuildHasher>,
 }
 
 impl Shard {
+    pub fn new(n_concepts: usize) -> Self {
+        Shard {
+            index: StreamIndex::new(),
+            table: StateTable::new(n_concepts),
+            parked: HashMap::default(),
+        }
+    }
+
+    /// Rebuild the live table against a grown model: every row is
+    /// materialized against `old`, migrated forward
+    /// (`FilterState::migrate`) and re-inserted — keeping its LRU tick —
+    /// into a fresh table of `new`'s concept width. Returns the number
+    /// of streams migrated. Cold path: runs once per model hot-swap.
+    pub fn migrate_live(&mut self, old: &HighOrderModel, new: &HighOrderModel) -> usize {
+        let rows: Vec<(StreamId, u32, u64)> = self.table.iter().collect();
+        let mut table = StateTable::new(new.n_concepts());
+        let mut index = StreamIndex::new();
+        for &(id, slot, last_used) in &rows {
+            let migrated = self.table.materialize(old, slot).migrate(new);
+            index.insert(id, table.insert_state(id, &migrated, last_used));
+        }
+        self.table = table;
+        self.index = index;
+        rows.len()
+    }
+
     /// The least-recently-used live stream, excluding `keep` (the stream
     /// being served right now). `None` when there is no other stream.
-    pub fn lru_victim(&self, keep: StreamId) -> Option<StreamId> {
-        self.live
+    /// Unique regardless of scan order: last-used ticks come from the
+    /// engine's global clock, so no two streams share one.
+    pub fn lru_victim(&self, keep: StreamId) -> Option<(StreamId, u32)> {
+        self.table
             .iter()
-            .filter(|&(&id, _)| id != keep)
-            .min_by_key(|&(_, e)| e.last_used)
-            .map(|(&id, _)| id)
+            .filter(|&(id, _, _)| id != keep)
+            .min_by_key(|&(_, _, last_used)| last_used)
+            .map(|(id, slot, _)| (id, slot))
+    }
+}
+
+/// Per-slot bookkeeping only the lookup, LRU and eviction paths read —
+/// deliberately *not* part of the per-request row block, so steady-state
+/// traffic (no eviction clock) never touches this array.
+struct SlotMeta {
+    /// Engine-clock tick of last use (LRU/TTL key).
+    last_used: u64,
+    /// Owning stream (meaningful only while occupied).
+    id: StreamId,
+    /// Whether the slot currently holds a live stream.
+    occupied: bool,
+}
+
+/// Live filter states in structure-of-arrays layout: one contiguous
+/// block per stream holding everything a request reads —
+/// `[posterior(n) | prior(n) | last_likelihood | §III-C order]` —
+/// indexed by slot.
+///
+/// This is the serving hot path's memory layout. Per-stream `FilterState`
+/// allocations scatter each stream's few distributions across six small
+/// heap blocks — at 100k live streams the pointer chases and cache
+/// misses of the table walk were the dominant serving cost. Here a
+/// stream's entire mutable state lives at `slot * stride` inside one big
+/// array (the prune order rides in the block's tail, its `u32`s packed
+/// into `f64` storage): creating a stream is an amortized append (no
+/// allocation), a request touches exactly one ~72-byte span (two cache
+/// lines) instead of six heap blocks or three parallel arrays, and one
+/// [`Self::prefetch`] pair covers all of it. Updates borrow a block as a
+/// [`FilterView`], running the exact same floating-point core as
+/// `FilterState` — layout changes wall-clock time, never an output bit.
+///
+/// Slots of removed streams go on a free list and are reused by the next
+/// insert.
+pub(crate) struct StateTable {
+    /// Concepts per row.
+    n: usize,
+    /// `f64` slots per stream block: `2n` distributions, 1 likelihood,
+    /// `ceil(n/2)` slots of `u32` prune order.
+    stride: usize,
+    /// `[posterior(n) | prior(n) | last_likelihood | order]` per stream.
+    rows: Vec<f64>,
+    /// Per-slot bookkeeping (LRU tick, owner) — cold-path only.
+    meta: Vec<SlotMeta>,
+    /// Slots returned by [`Self::remove`], reused before growing.
+    free: Vec<u32>,
+    /// Occupied-slot count.
+    live: usize,
+}
+
+/// Reinterpret a block's tail `f64` slots as the `n`-entry `u32` prune
+/// order stored there. The order is plain indices (no float semantics);
+/// packing it into the row block keeps a request inside one span.
+#[inline]
+fn order_in_tail(tail: &mut [f64], n: usize) -> &mut [u32] {
+    debug_assert!(tail.len() * 2 >= n);
+    // SAFETY: `tail` holds `ceil(n/2)` f64s = at least `4n` bytes, f64's
+    // 8-byte alignment satisfies u32's, and the borrow is exclusive for
+    // the returned lifetime.
+    unsafe { std::slice::from_raw_parts_mut(tail.as_mut_ptr().cast::<u32>(), n) }
+}
+
+impl StateTable {
+    pub fn new(n_concepts: usize) -> Self {
+        StateTable {
+            n: n_concepts,
+            stride: 2 * n_concepts + 1 + n_concepts.div_ceil(2),
+            rows: Vec::new(),
+            meta: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live streams in the table.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Claim a slot (reusing a freed one if any), leaving the row
+    /// contents to the caller.
+    fn alloc(&mut self, stream: StreamId, now: u64) -> u32 {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let m = &mut self.meta[slot as usize];
+            m.id = stream;
+            m.occupied = true;
+            m.last_used = now;
+            slot
+        } else {
+            let slot = self.meta.len() as u32;
+            self.rows.resize(self.rows.len() + self.stride, 0.0);
+            self.meta.push(SlotMeta {
+                last_used: now,
+                id: stream,
+                occupied: true,
+            });
+            slot
+        }
+    }
+
+    /// Insert a brand-new stream at the uniform initial state
+    /// `P₁(c) = 1/N` (§III-B) — bit-identical to `FilterState::new`,
+    /// without its allocations.
+    pub fn insert_uniform(&mut self, stream: StreamId, now: u64) -> u32 {
+        let slot = self.alloc(stream, now);
+        let (n, s) = (self.n, slot as usize);
+        let block = &mut self.rows[s * self.stride..(s + 1) * self.stride];
+        let (dist, tail) = block.split_at_mut(2 * n);
+        dist.fill(1.0 / n as f64);
+        let (ll, order) = tail.split_at_mut(1);
+        ll[0] = 1.0;
+        for (i, o) in order_in_tail(order, n).iter_mut().enumerate() {
+            *o = i as u32;
+        }
+        slot
+    }
+
+    /// Insert a stream from an owned state (an unparked snapshot or a
+    /// migrated row), copying every value bit-for-bit.
+    pub fn insert_state(&mut self, stream: StreamId, state: &FilterState, now: u64) -> u32 {
+        let slot = self.alloc(stream, now);
+        let (n, s) = (self.n, slot as usize);
+        let block = &mut self.rows[s * self.stride..(s + 1) * self.stride];
+        block[..n].copy_from_slice(state.posterior());
+        block[n..2 * n].copy_from_slice(state.prior());
+        block[2 * n] = state.last_likelihood();
+        order_in_tail(&mut block[2 * n + 1..], n).copy_from_slice(state.order());
+        slot
+    }
+
+    /// Bump a live slot's LRU tick.
+    #[inline]
+    pub fn touch(&mut self, slot: u32, now: u64) {
+        self.meta[slot as usize].last_used = now;
+    }
+
+    /// Hint the CPU to pull `slot`'s block into cache — issued a few
+    /// requests ahead of [`Self::view`] so the misses overlap the
+    /// current request's work. Purely a timing hint; never changes state.
+    #[inline]
+    pub fn prefetch(&self, slot: u32) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: every address is inside a live allocation (slot blocks
+        // are in range), and prefetch has no architectural effect
+        // beyond the cache.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let block = self.rows.as_ptr().add(slot as usize * self.stride);
+            _mm_prefetch(block as *const i8, _MM_HINT_T0);
+            // The block may straddle a cache-line boundary; touch its
+            // tail. Head + tail cover the whole span (stride ≤ 2 lines
+            // for the paper-scale concept counts this serves).
+            _mm_prefetch(block.add(self.stride - 1) as *const i8, _MM_HINT_T0);
+        }
+    }
+
+    /// Borrow one block as the layout-independent filter view the update
+    /// equations run on.
+    #[inline]
+    pub fn view(&mut self, slot: u32) -> FilterView<'_> {
+        let (n, s) = (self.n, slot as usize);
+        let block = &mut self.rows[s * self.stride..(s + 1) * self.stride];
+        let (dist, tail) = block.split_at_mut(2 * n);
+        let (posterior, prior) = dist.split_at_mut(n);
+        let (ll, order) = tail.split_at_mut(1);
+        FilterView {
+            posterior,
+            prior,
+            order: order_in_tail(order, n),
+            last_likelihood: &mut ll[0],
+        }
+    }
+
+    /// Copy one block out into an owned `FilterState` (introspection,
+    /// snapshot and migration all work on owned states; these are cold
+    /// paths).
+    pub fn materialize(&self, model: &HighOrderModel, slot: u32) -> FilterState {
+        let (n, s) = (self.n, slot as usize);
+        let block = &self.rows[s * self.stride..(s + 1) * self.stride];
+        // SAFETY: same layout argument as [`order_in_tail`], shared
+        // borrow this time.
+        let order =
+            unsafe { std::slice::from_raw_parts(block[2 * n + 1..].as_ptr().cast::<u32>(), n) };
+        FilterState::assemble(
+            model,
+            block[..n].to_vec(),
+            block[n..2 * n].to_vec(),
+            order.to_vec(),
+            block[2 * n],
+        )
+    }
+
+    /// Free a slot (the stream was evicted or removed).
+    pub fn remove(&mut self, slot: u32) {
+        debug_assert!(self.meta[slot as usize].occupied);
+        self.meta[slot as usize].occupied = false;
+        self.free.push(slot);
+        self.live -= 1;
+    }
+
+    /// Iterate the live streams as `(stream, slot, last_used)`.
+    pub fn iter(&self) -> impl Iterator<Item = (StreamId, u32, u64)> + '_ {
+        self.meta
+            .iter()
+            .enumerate()
+            .filter(|&(_, m)| m.occupied)
+            .map(|(s, m)| (m.id, s as u32, m.last_used))
     }
 }
 
@@ -71,5 +501,54 @@ mod tests {
             assert_eq!(shard_of(id, 6), shard_of(id, 6));
         }
         assert_eq!(shard_of(123, 0), 0);
+    }
+
+    #[test]
+    fn index_insert_get_remove() {
+        let mut idx = StreamIndex::new();
+        assert_eq!(idx.get(0), None);
+        for id in 0..1000u64 {
+            idx.insert(id, id as u32 * 2);
+        }
+        for id in 0..1000u64 {
+            assert_eq!(idx.get(id), Some(id as u32 * 2));
+        }
+        assert_eq!(idx.get(1000), None);
+        // update in place
+        idx.insert(7, 99);
+        assert_eq!(idx.get(7), Some(99));
+        // removal leaves the rest reachable (tombstones keep probe
+        // chains intact)
+        for id in (0..1000u64).step_by(2) {
+            assert_eq!(
+                idx.remove(id),
+                Some(if id == 7 { 99 } else { id as u32 * 2 })
+            );
+        }
+        for id in 0..1000u64 {
+            let expect = (id % 2 == 1).then(|| if id == 7 { 99 } else { id as u32 * 2 });
+            assert_eq!(idx.get(id), expect);
+        }
+        assert_eq!(idx.remove(4), None);
+    }
+
+    #[test]
+    fn index_survives_churn() {
+        // Insert/remove cycles accumulate tombstones; the rehash must
+        // keep every live entry reachable.
+        let mut idx = StreamIndex::new();
+        for round in 0..50u64 {
+            for id in 0..200u64 {
+                idx.insert(round * 1_000_003 + id, (round + id) as u32);
+            }
+            for id in 0..200u64 {
+                assert_eq!(
+                    idx.remove(round * 1_000_003 + id),
+                    Some((round + id) as u32)
+                );
+            }
+        }
+        idx.insert(42, 1);
+        assert_eq!(idx.get(42), Some(1));
     }
 }
