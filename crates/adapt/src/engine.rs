@@ -73,6 +73,10 @@ pub struct AdaptiveEngine {
     obs: Obs,
     incident: Mutex<Option<IncidentDump>>,
     incident_seq: AtomicU64,
+    /// Last `(likelihood_sum, absorbed)` read from the serving engine's
+    /// cumulative fleet evidence — [`Self::ingest_fleet_evidence`]
+    /// differences against it so each ingest sees only new records.
+    fleet_watermark: Mutex<(f64, u64)>,
 }
 
 /// Where novelty-trigger incident reports go: which
@@ -125,6 +129,7 @@ impl AdaptiveEngine {
             obs,
             incident: Mutex::new(None),
             incident_seq: AtomicU64::new(0),
+            fleet_watermark: Mutex::new((0.0, 0)),
         })
     }
 
@@ -242,6 +247,60 @@ impl AdaptiveEngine {
     /// learner while off-model, filter otherwise).
     pub fn predict_monitor(&self, x: &[f64]) -> ClassId {
         self.lock_monitor().predict(x)
+    }
+
+    /// Pool the serving fleet's evidence into the maintenance loop: read
+    /// the engine's cumulative `(Σ Eq. 7 likelihood, records absorbed)`
+    /// ([`ServeEngine::fleet_evidence`]), difference it against the last
+    /// ingest's watermark, and push the interval's mean likelihood (plus
+    /// the fleet's point-in-time mean posterior entropy) through the
+    /// monitor's novelty detector via
+    /// [`AdaptivePredictor::push_evidence`].
+    ///
+    /// Call it on whatever cadence fits the deployment (per batch, per
+    /// scrape — it is cheap: two lock grabs and one shard fold). A
+    /// no-op returning `None` when no labeled record was absorbed since
+    /// the last ingest, and when the serving engine is unobserved (an
+    /// unobserved engine accumulates no fleet evidence). Each ingest
+    /// emits one `adapt.fleet_evidence` series sample indexed by the
+    /// cumulative absorbed count; a trigger dumps the armed incident
+    /// report exactly like a monitor-stream trigger.
+    pub fn ingest_fleet_evidence(&self) -> Option<AdaptEvent> {
+        let (lik_sum, absorbed) = self.serve.fleet_evidence();
+        let mean_likelihood = {
+            let mut watermark = self.lock_watermark();
+            let (prev_sum, prev_absorbed) = *watermark;
+            if absorbed <= prev_absorbed {
+                return None;
+            }
+            let mean = (lik_sum - prev_sum) / (absorbed - prev_absorbed) as f64;
+            *watermark = (lik_sum, absorbed);
+            mean
+        };
+        let mean_entropy = self.serve.concept_analytics().mean_entropy;
+        if self.obs.enabled() {
+            self.obs.series(
+                "adapt.fleet_evidence",
+                absorbed,
+                &[mean_likelihood, mean_entropy],
+            );
+        }
+        let event = self
+            .lock_monitor()
+            .push_evidence(mean_likelihood, mean_entropy);
+        if matches!(event, Some(AdaptEvent::Triggered)) {
+            // Same urgency as a monitor-stream trigger: ship the report
+            // while the flight ring still holds the collapsing window.
+            self.dump_incident();
+        }
+        event
+    }
+
+    fn lock_watermark(&self) -> MutexGuard<'_, (f64, u64)> {
+        // Plain data; same poisoning policy as the other locks here.
+        self.fleet_watermark
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
     }
 
     fn lock_monitor(&self) -> MutexGuard<'_, AdaptivePredictor> {
@@ -363,6 +422,58 @@ mod tests {
             y: 1,
         }]);
         assert!(r[0].prediction.is_some());
+    }
+
+    /// Fleet-wide evidence alone — no labeled record ever reaching the
+    /// monitor stream — fires the novelty detector through
+    /// [`AdaptiveEngine::ingest_fleet_evidence`].
+    #[test]
+    fn fleet_evidence_reaches_the_maintenance_loop() {
+        let recorder = Arc::new(hom_obs::Recorder::new());
+        let engine = AdaptiveEngine::try_new(
+            toy_model(),
+            &ServeOptions {
+                shards: Some(4),
+                threads: Some(1),
+                sink: Obs::new(Arc::clone(&recorder)),
+                ..Default::default()
+            },
+            AdaptOptions {
+                sink: Obs::new(Arc::clone(&recorder)),
+                ..opts()
+            },
+        )
+        .expect("valid configuration");
+
+        // Nothing absorbed yet: nothing to ingest.
+        assert!(engine.ingest_fleet_evidence().is_none());
+
+        // Four fleet streams flip labels every round — a regime neither
+        // constant concept explains — while the monitor sees no records.
+        let mut triggered = false;
+        for round in 0..60u32 {
+            let y = round % 2;
+            let batch: Vec<Request> = (0..4u64)
+                .map(|stream| Request::Step {
+                    stream,
+                    x: vec![f64::from(y)],
+                    y,
+                })
+                .collect();
+            engine.serve().submit(&batch);
+            if let Some(AdaptEvent::Triggered) = engine.ingest_fleet_evidence() {
+                triggered = true;
+                break;
+            }
+        }
+        assert!(triggered, "pooled fleet evidence must fire the detector");
+        assert_eq!(engine.mode(), Mode::Fallback);
+        assert!(
+            !recorder.series("adapt.fleet_evidence").is_empty(),
+            "every ingest emits one fleet-evidence sample"
+        );
+        // No new absorbed records since the trigger: a no-op.
+        assert!(engine.ingest_fleet_evidence().is_none());
     }
 
     /// An armed incident dump writes the flight ring — including the

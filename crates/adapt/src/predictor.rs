@@ -171,13 +171,36 @@ impl AdaptivePredictor {
         }
 
         let event = match self.mode {
-            Mode::OnModel => self.step_on_model(x, y),
+            Mode::OnModel => self.check_trigger(),
             Mode::Fallback => self.step_fallback(x, y, pred),
         };
         (pred, event)
     }
 
-    fn step_on_model(&mut self, _x: &[f64], _y: ClassId) -> Option<AdaptEvent> {
+    /// Absorb one evidence observation that did **not** come from a
+    /// record of this stream — fleet-wide mean likelihood and entropy
+    /// aggregated by a serving engine — and run the trigger check.
+    ///
+    /// This is how fleet-level drift reaches the maintenance loop: the
+    /// monitored stream may still look healthy while the serving fleet's
+    /// pooled Eq. 7 likelihood collapses. The evidence goes through the
+    /// same [`NoveltyDetector`] window as per-record evidence, so a
+    /// trigger still demands a full window of sustained degradation,
+    /// and a fleet-triggered fallback then buffers the monitor stream's
+    /// own labeled records exactly like a locally-triggered one. Only
+    /// meaningful on-model; while in fallback the evidence still slides
+    /// the window (recovery reads it) but cannot re-trigger.
+    pub fn push_evidence(&mut self, likelihood: f64, entropy: f64) -> Option<AdaptEvent> {
+        self.detector.push(likelihood, entropy);
+        match self.mode {
+            Mode::OnModel => self.check_trigger(),
+            Mode::Fallback => None,
+        }
+    }
+
+    /// The on-model → fallback transition, shared by [`Self::step`] and
+    /// [`Self::push_evidence`].
+    fn check_trigger(&mut self) -> Option<AdaptEvent> {
         if !self.detector.off_model(&self.opts) {
             return None;
         }

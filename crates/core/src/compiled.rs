@@ -376,6 +376,10 @@ pub struct BatchTable<'a> {
     /// Predicted class per `(record, concept)`; `u32::MAX` where it was
     /// not needed. Filled by `evaluate`.
     class: Vec<u32>,
+    /// Total [`BatchTable::intern`] calls (including duplicates) — the
+    /// numerator of the batch's dedup ratio; [`Self::n_records`] is the
+    /// denominator.
+    interned: u64,
 }
 
 /// Word-at-a-time multiplicative mix over the record's f64 bit patterns
@@ -405,6 +409,7 @@ impl<'a> BatchTable<'a> {
             mask: slots - 1,
             node: Vec::new(),
             class: Vec::new(),
+            interned: 0,
         }
     }
 
@@ -413,6 +418,7 @@ impl<'a> BatchTable<'a> {
     /// interned, a fresh one otherwise. `need_class` is OR-ed into the
     /// record's flag.
     pub fn intern(&mut self, x: &'a [f64], need_class: bool) -> u32 {
+        self.interned += 1;
         if 2 * self.xs.len() >= self.slots.len() {
             self.grow();
         }
@@ -457,6 +463,13 @@ impl<'a> BatchTable<'a> {
     pub fn n_records(&self) -> usize {
         self.xs.len()
     }
+
+    /// Total [`Self::intern`] calls, duplicates included. The batch's
+    /// dedup ratio is `n_interned / n_records` — how many stream
+    /// requests each concept-outer evaluation was amortized across.
+    pub fn n_interned(&self) -> u64 {
+        self.interned
+    }
 }
 
 /// Exact f64-bit equality of two records (NaN-safe: two NaNs with equal
@@ -485,6 +498,99 @@ impl KernelScratch {
             scores: Vec::with_capacity(model.n_classes),
             dyn_row: vec![0.0; model.n_classes],
             psi: vec![0.0; model.n_concepts],
+        }
+    }
+}
+
+/// Batch-amortized kernel telemetry: everything one processing task
+/// learned about its slice of a batch, accumulated with plain adds and
+/// folded upward once per batch — never one clock read or atomic per
+/// stream-record.
+///
+/// The accumulator is deliberately *derivable on both kernel paths*:
+/// the scalar loop and the compiled kernel bump the same fields from
+/// the same logical events (a prediction served, a record absorbed, a
+/// §III-C early termination), so a fully-instrumented compiled run and
+/// an uninstrumented scalar run can be compared counter-for-counter —
+/// the differential property `hom-serve/tests/obs_differential.rs`
+/// enforces. Stage durations (`*_ns`) are the only fields exclusive to
+/// whoever actually timed a stage, and they are measured per *task*,
+/// so per-record costs fall out by division.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchStats {
+    /// Requests processed (every request kind).
+    pub requests: u64,
+    /// [`BatchTable::intern`] calls (compiled path; equals the number of
+    /// records the task pushed through the dedup table).
+    pub interned: u64,
+    /// Distinct records after dedup (the kernel evaluated each once).
+    pub distinct: u64,
+    /// Predictions served (`Predict` + `Step` requests).
+    pub predicted: u64,
+    /// Labeled records absorbed (`Observe` + `Step` requests).
+    pub observed: u64,
+    /// Predictions the §III-C pruning terminated early (consulted fewer
+    /// than all concepts).
+    pub pruned: u64,
+    /// Total concepts consulted across pruned predictions — the
+    /// prune-depth numerator (`consulted / predicted` = mean depth).
+    pub consulted: u64,
+    /// Σ of Eq. 7 likelihoods `P(yₜ | y₁..yₜ₋₁)` over absorbed records —
+    /// the fleet-evidence numerator (`likelihood / observed` = mean).
+    pub likelihood: f64,
+    /// Wall-clock spent interning + resolving records, per task.
+    pub intern_ns: u64,
+    /// Wall-clock spent in [`CompiledModel::evaluate`] (the
+    /// concept-outer classifier pass), per task.
+    pub evaluate_ns: u64,
+    /// Wall-clock spent applying per-stream updates (absorb / advance /
+    /// predict array passes), per task.
+    pub apply_ns: u64,
+    /// Per-concept MAP hits: after each absorb+roll, the concept with
+    /// the largest prior (the stream's current MAP concept) gets one
+    /// hit. Indexed by concept id; length is the model's concept count
+    /// (empty until the first absorb when constructed via `default`).
+    pub map_hits: Vec<u64>,
+}
+
+impl BatchStats {
+    /// An empty accumulator with `map_hits` sized for `n_concepts`.
+    pub fn new(n_concepts: usize) -> Self {
+        BatchStats {
+            map_hits: vec![0; n_concepts],
+            ..BatchStats::default()
+        }
+    }
+
+    /// Record a MAP hit for `concept`, growing `map_hits` on demand (so
+    /// a `default()`-constructed accumulator still counts correctly).
+    #[inline]
+    pub fn map_hit(&mut self, concept: usize) {
+        if self.map_hits.len() <= concept {
+            self.map_hits.resize(concept + 1, 0);
+        }
+        self.map_hits[concept] += 1;
+    }
+
+    /// Fold another task's accumulator into this one (element-wise adds;
+    /// `map_hits` grows to the longer of the two).
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.requests += other.requests;
+        self.interned += other.interned;
+        self.distinct += other.distinct;
+        self.predicted += other.predicted;
+        self.observed += other.observed;
+        self.pruned += other.pruned;
+        self.consulted += other.consulted;
+        self.likelihood += other.likelihood;
+        self.intern_ns += other.intern_ns;
+        self.evaluate_ns += other.evaluate_ns;
+        self.apply_ns += other.apply_ns;
+        if self.map_hits.len() < other.map_hits.len() {
+            self.map_hits.resize(other.map_hits.len(), 0);
+        }
+        for (a, &b) in self.map_hits.iter_mut().zip(other.map_hits.iter()) {
+            *a += b;
         }
     }
 }

@@ -34,7 +34,7 @@ pub mod transition;
 pub mod viterbi;
 
 pub use build::{build, build_with, BuildOptions, BuildParams, BuildReport, HighOrderModel};
-pub use compiled::{BatchTable, CompiledModel, KernelScratch};
+pub use compiled::{BatchStats, BatchTable, CompiledModel, KernelScratch};
 pub use concept::Concept;
 pub use filter::{FilterIntrospection, FilterState, FilterView};
 pub use online::{OnlineOptions, OnlinePredictor};

@@ -46,7 +46,7 @@ pub fn prom_name(event_name: &str) -> String {
 
 /// A float in Prometheus text syntax (`NaN`, `+Inf`, `-Inf`, otherwise
 /// Rust's shortest round-trip decimal).
-fn prom_f64(v: f64) -> String {
+pub fn prom_f64(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
     } else if v == f64::INFINITY {
@@ -58,7 +58,11 @@ fn prom_f64(v: f64) -> String {
     }
 }
 
-fn push_header(out: &mut String, name: &str, kind: &str, help: &str) {
+/// Push a `# HELP` / `# TYPE` family header. Exposed so endpoints that
+/// render labeled families outside an [`AggSnapshot`] (`/concepts`,
+/// `/slo` in `hom-serve`) produce the exact same dialect as
+/// [`to_prometheus`].
+pub fn push_header(out: &mut String, name: &str, kind: &str, help: &str) {
     out.push_str("# HELP ");
     out.push_str(name);
     out.push(' ');
@@ -71,7 +75,10 @@ fn push_header(out: &mut String, name: &str, kind: &str, help: &str) {
     out.push('\n');
 }
 
-fn push_histogram(out: &mut String, name: &str, help: &str, hist: &Histogram) {
+/// Push one full histogram family (header, cumulative `_bucket` samples
+/// truncated after the last non-empty bucket, `+Inf`, `_sum`, `_count`).
+/// Exposed for the same reason as [`push_header`].
+pub fn push_histogram(out: &mut String, name: &str, help: &str, hist: &Histogram) {
     push_header(out, name, "histogram", help);
     let counts = hist.bucket_counts();
     let last_nonzero = counts.iter().rposition(|&c| c > 0);

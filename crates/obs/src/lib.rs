@@ -53,25 +53,30 @@
 //! | `build.*`, `step1.*`, `step2.*` | offline build (`hom-core`, `hom-cluster`) | stage spans, `step1.q` / `step2.cut_q` gauges, candidate/fit counters, `build.transition_row` series |
 //! | `online.*` | the online filter (`hom-core`) | `online.posterior` series, `online.prune` counter, `online.latency_ns` histogram |
 //! | `pool.*` | the worker pool (`hom-parallel`) | `pool.worker_tasks` per-worker series |
-//! | `serve.*` | the serving engine (`hom-serve`) | request/eviction/unpark counters, batch-latency histogram, shard-occupancy series; hot-swap: `serve.swaps`, `serve.model_epoch`, `serve.swap_live_migrated`, `serve.swap_parked_migrated`, `serve.swap_pause_ns` (stop-the-world migration pause histogram) |
-//! | `adapt.*` | novelty & maintenance (`hom-adapt`) | `adapt.evidence` series (windowed mean likelihood + entropy, one sample per window); lifecycle counters/gauges: `adapt.triggers` + `adapt.trigger_likelihood`, `adapt.recoveries` + `adapt.recovery_latency`, `adapt.admissions_novel` / `adapt.admissions_matched` + `adapt.admission_latency` / `adapt.admission_similarity`, `adapt.swaps` + `adapt.swap_epoch`, `adapt.swap_failures`; incident reporting: `adapt.flight_dumps`, `adapt.flight_dump_failures` |
+//! | `serve.*` | the serving engine (`hom-serve`) | request/eviction/unpark counters, batch-latency histogram, shard-occupancy series; hot-swap: `serve.swaps`, `serve.model_epoch`, `serve.swap_live_migrated`, `serve.swap_parked_migrated`, `serve.swap_pause_ns` (stop-the-world migration pause histogram); kernel stages (batch-amortized, one sample per fan-out task): `serve.stage_intern_ns` / `serve.stage_evaluate_ns` / `serve.stage_apply_ns` histograms, `serve.batch_requests` / `serve.batch_distinct` batch-shape histograms, `serve.dedup_ratio` gauge, `serve.pruned_records` + `serve.concepts_consulted` counters |
+//! | `serve.concept_*`, `serve.fleet_*`, `serve.slo_*` | fleet concept analytics & SLO (`hom-serve`) | `serve.concept_posterior_mass` / `serve.concept_map_streams` / `serve.concept_map_hits` series (one sample per flush, indexed by concept; also rendered with labels by `/concepts`), `serve.fleet_mean_likelihood` + `serve.fleet_mean_entropy` gauges (cumulative Eq. 7 evidence over every absorbed record), `serve.slo_exemplars` counter (slow-batch exemplars captured, see [`exemplar`]) |
+//! | `adapt.*` | novelty & maintenance (`hom-adapt`) | `adapt.evidence` series (windowed mean likelihood + entropy, one sample per window); `adapt.fleet_evidence` series (fleet-wide mean likelihood + entropy ingested from the serving engine's cumulative accumulators); lifecycle counters/gauges: `adapt.triggers` + `adapt.trigger_likelihood`, `adapt.recoveries` + `adapt.recovery_latency`, `adapt.admissions_novel` / `adapt.admissions_matched` + `adapt.admission_latency` / `adapt.admission_similarity`, `adapt.swaps` + `adapt.swap_epoch`, `adapt.swap_failures`; incident reporting: `adapt.flight_dumps`, `adapt.flight_dump_failures` |
 
 #![warn(missing_docs)]
 
 pub mod agg;
 pub mod event;
+pub mod exemplar;
 pub mod export;
 pub mod flight;
 pub mod hist;
 pub mod jsonl;
 pub mod sink;
+pub mod slo;
 
 pub use agg::{AggSink, AggSnapshot};
 pub use event::{Event, OwnedEvent};
+pub use exemplar::{hash_sampled, Exemplar, ExemplarRing};
 pub use export::to_prometheus;
 pub use flight::FlightRecorder;
 pub use hist::Histogram;
 pub use sink::{Fanout, JsonlSink, NullSink, Recorder, Sink};
+pub use slo::{SloConfigError, SloPolicy, SloStatus};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};

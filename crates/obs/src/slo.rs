@@ -1,0 +1,242 @@
+//! Service-level objectives over [`Histogram`] latency distributions.
+//!
+//! An SLO here is the classic latency objective: "`target` of batches
+//! complete within `objective_ns`". Compliance and error-budget burn are
+//! derived *entirely* from the batch-latency histogram the serving
+//! engine already records — the SLO layer adds no hot-path work at all;
+//! it is pure scrape-time arithmetic over bucket counts.
+//!
+//! Because [`Histogram`] buckets are power-of-two ranges, a batch is
+//! counted as *good* only when its whole bucket lies at or below the
+//! objective ([`Histogram::upper_bound`] `<= objective_ns`). A bucket
+//! that straddles the objective counts as bad — the conservative
+//! reading, so reported compliance never overstates reality.
+//!
+//! Burn rate follows the SRE convention: the rate at which the error
+//! budget is being consumed, normalized so `1.0` means "exactly on
+//! budget". With an observed bad fraction `b` and a target `t`,
+//! `burn = b / (1 - t)` — a 99.9% target burning at `10.0` exhausts a
+//! 30-day budget in 3 days.
+
+use std::fmt;
+
+use crate::hist::{Histogram, N_BUCKETS};
+
+/// A latency objective: `target` fraction of samples at or below
+/// `objective_ns`. Construct via [`SloPolicy::new`] so the invariants
+/// (positive objective, target strictly inside `(0, 1)`) hold by
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    objective_ns: f64,
+    target: f64,
+}
+
+/// A rejected SLO configuration — returned by [`SloPolicy::new`]. Like
+/// every other knob in the workspace, a value the operator set
+/// deliberately is never silently clamped or ignored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloConfigError {
+    /// The latency objective must be a positive, finite number of
+    /// nanoseconds.
+    InvalidObjective {
+        /// The rejected objective.
+        got: f64,
+    },
+    /// The target must lie strictly between 0 and 1 (a 0% or 100%
+    /// target makes the error budget degenerate).
+    InvalidTarget {
+        /// The rejected target.
+        got: f64,
+    },
+}
+
+impl fmt::Display for SloConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SloConfigError::InvalidObjective { got } => {
+                write!(f, "SLO objective must be positive and finite, got {got}")
+            }
+            SloConfigError::InvalidTarget { got } => {
+                write!(f, "SLO target must be strictly between 0 and 1, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SloConfigError {}
+
+/// Point-in-time SLO arithmetic over a latency histogram — what the
+/// `/slo` endpoint renders. All counts are cumulative over the
+/// histogram's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloStatus {
+    /// Total samples observed.
+    pub total: u64,
+    /// Samples whose whole bucket lies at or below the objective.
+    pub good: u64,
+    /// Samples outside the objective (`total - good`).
+    pub bad: u64,
+    /// `good / total`; `1.0` when no samples have been observed (an
+    /// idle service has violated nothing).
+    pub compliance: f64,
+    /// Fraction of the error budget remaining: `1 - bad_fraction /
+    /// (1 - target)`. Negative once the budget is exhausted.
+    pub budget_remaining: f64,
+    /// Error-budget burn rate: `bad_fraction / (1 - target)`. `1.0`
+    /// means burning exactly on budget; above that the budget depletes
+    /// early.
+    pub burn_rate: f64,
+}
+
+impl SloPolicy {
+    /// A validated policy: `objective_ns` must be positive and finite,
+    /// `target` strictly inside `(0, 1)`.
+    pub fn new(objective_ns: f64, target: f64) -> Result<Self, SloConfigError> {
+        if !(objective_ns.is_finite() && objective_ns > 0.0) {
+            return Err(SloConfigError::InvalidObjective { got: objective_ns });
+        }
+        if !(target > 0.0 && target < 1.0) {
+            return Err(SloConfigError::InvalidTarget { got: target });
+        }
+        Ok(SloPolicy {
+            objective_ns,
+            target,
+        })
+    }
+
+    /// The latency objective in nanoseconds.
+    pub fn objective_ns(&self) -> f64 {
+        self.objective_ns
+    }
+
+    /// The target good fraction, e.g. `0.999`.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Evaluate the policy against a latency histogram (samples in
+    /// nanoseconds). See the [module docs](self) for the conservative
+    /// bucket-boundary reading.
+    pub fn status(&self, hist: &Histogram) -> SloStatus {
+        let counts = hist.bucket_counts();
+        let mut good = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            // The last fixed bucket absorbs everything larger, so its
+            // finite upper bound would lie — never count it as good.
+            if b == N_BUCKETS - 1 || Histogram::upper_bound(b) > self.objective_ns {
+                break;
+            }
+            good += c;
+        }
+        let total = hist.count();
+        let bad = total - good;
+        let compliance = if total == 0 {
+            1.0
+        } else {
+            good as f64 / total as f64
+        };
+        let bad_fraction = if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        };
+        let burn_rate = bad_fraction / (1.0 - self.target);
+        SloStatus {
+            total,
+            good,
+            bad,
+            compliance,
+            budget_remaining: 1.0 - burn_rate,
+            burn_rate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(objective_ns: f64, target: f64) -> SloPolicy {
+        SloPolicy::new(objective_ns, target).unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_configurations() {
+        assert!(matches!(
+            SloPolicy::new(0.0, 0.999),
+            Err(SloConfigError::InvalidObjective { .. })
+        ));
+        assert!(matches!(
+            SloPolicy::new(-5.0, 0.999),
+            Err(SloConfigError::InvalidObjective { .. })
+        ));
+        assert!(matches!(
+            SloPolicy::new(f64::INFINITY, 0.999),
+            Err(SloConfigError::InvalidObjective { .. })
+        ));
+        assert!(matches!(
+            SloPolicy::new(1e6, 0.0),
+            Err(SloConfigError::InvalidTarget { .. })
+        ));
+        assert!(matches!(
+            SloPolicy::new(1e6, 1.0),
+            Err(SloConfigError::InvalidTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_histogram_is_fully_compliant() {
+        let s = policy(1e6, 0.999).status(&Histogram::new());
+        assert_eq!(s.total, 0);
+        assert_eq!(s.good, 0);
+        assert_eq!(s.bad, 0);
+        assert_eq!(s.compliance, 1.0);
+        assert_eq!(s.burn_rate, 0.0);
+        assert_eq!(s.budget_remaining, 1.0);
+    }
+
+    #[test]
+    fn straddling_bucket_counts_as_bad() {
+        let mut h = Histogram::new();
+        h.record(100.0); // bucket [64, 128)
+        h.record(100.0);
+        // Objective inside that bucket: whole bucket counts as bad.
+        let s = policy(100.0, 0.9).status(&h);
+        assert_eq!(s.good, 0);
+        assert_eq!(s.bad, 2);
+        // Objective at the bucket's upper bound: the bucket is good.
+        let s = policy(128.0, 0.9).status(&h);
+        assert_eq!(s.good, 2);
+        assert_eq!(s.bad, 0);
+        assert_eq!(s.compliance, 1.0);
+    }
+
+    #[test]
+    fn burn_rate_is_bad_fraction_over_budget() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10.0);
+        }
+        h.record(1e9); // one slow batch out of 100
+        let s = policy(1e6, 0.99).status(&h);
+        assert_eq!(s.good, 99);
+        assert_eq!(s.bad, 1);
+        // bad fraction 0.01 over a 0.01 budget: burning exactly on budget.
+        assert!((s.burn_rate - 1.0).abs() < 1e-12, "burn = {}", s.burn_rate);
+        assert!(s.budget_remaining.abs() < 1e-12);
+
+        let tight = policy(1e6, 0.999).status(&h);
+        assert!((tight.burn_rate - 10.0).abs() < 1e-9);
+        assert!(tight.budget_remaining < 0.0, "budget exhausted");
+    }
+
+    #[test]
+    fn last_fixed_bucket_is_never_good() {
+        let mut h = Histogram::new();
+        h.record(f64::MAX); // lands in the absorbing last bucket
+        let s = policy(f64::MAX / 2.0, 0.999).status(&h);
+        assert_eq!(s.good, 0);
+        assert_eq!(s.bad, 1);
+    }
+}

@@ -6,11 +6,11 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
 use hom_core::{
-    BatchTable, CompiledModel, FilterIntrospection, FilterState, HighOrderModel, KernelScratch,
-    SnapshotError,
+    BatchStats, BatchTable, CompiledModel, FilterIntrospection, FilterState, HighOrderModel,
+    KernelScratch, SnapshotError,
 };
 use hom_data::ClassId;
-use hom_obs::{Histogram, Obs};
+use hom_obs::{hash_sampled, Exemplar, ExemplarRing, Histogram, Obs, SloPolicy};
 use hom_parallel::Pool;
 
 use crate::request::{Request, Response, StreamId};
@@ -36,6 +36,15 @@ pub const COMPILED_ENV: &str = "HOM_COMPILED";
 /// out to the pool.
 pub const FANOUT_ENV: &str = "HOM_SERVE_FANOUT";
 
+/// The environment variable behind [`ServeOptions::slo_objective_ns`]:
+/// the batch-latency objective in **microseconds** (a positive number;
+/// microseconds because that is the scale operators reason in).
+pub const SLO_BATCH_US_ENV: &str = "HOM_SLO_BATCH_US";
+
+/// The environment variable behind [`ServeOptions::slo_target`]: the
+/// SLO's target good fraction, strictly between 0 and 1 (e.g. `0.999`).
+pub const SLO_TARGET_ENV: &str = "HOM_SLO_TARGET";
+
 /// Shard count used when neither [`ServeOptions::shards`] nor
 /// `HOM_SERVE_SHARDS` says otherwise.
 const DEFAULT_SHARDS: usize = 16;
@@ -47,6 +56,25 @@ const DEFAULT_SHARDS: usize = 16;
 /// was measured to be what fixed multi-thread submit being slower than
 /// single-thread on small batches.
 const DEFAULT_FANOUT: usize = 4096;
+
+/// Default batch-latency objective: 1 ms. Generous for the compiled
+/// kernel (a 2k-record batch runs in ~300 µs), so out of the box only
+/// genuinely anomalous batches burn budget and capture exemplars.
+const DEFAULT_SLO_OBJECTIVE_NS: f64 = 1_000_000.0;
+
+/// Default SLO target: three nines of batches within the objective.
+const DEFAULT_SLO_TARGET: f64 = 0.999;
+
+/// Exemplars retained for the `/slo` endpoint (overwrite-oldest ring).
+const EXEMPLAR_CAPACITY: usize = 64;
+
+/// Deterministic exemplar sampling rate: 1 in `2^3` stream ids are
+/// exemplar-eligible ([`hash_sampled`]), so slow-batch capture cost is
+/// bounded and the same streams are chosen on every run.
+const EXEMPLAR_LOG2_RATE: u32 = 3;
+
+/// At most this many exemplars are captured per slow batch.
+const EXEMPLARS_PER_BATCH: usize = 4;
 
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name)
@@ -76,6 +104,18 @@ pub enum ConfigError {
     /// [`ServeOptions::fanout`] is `Some(0)`: every task needs at least
     /// one request (use `None` for the default granularity).
     ZeroFanout,
+    /// A rejected SLO knob: the objective must be a positive finite
+    /// duration and the target strictly inside `(0, 1)` — whether from
+    /// [`ServeOptions`] or from [`SLO_BATCH_US_ENV`] /
+    /// [`SLO_TARGET_ENV`] (a set-but-malformed env value is this error,
+    /// never a silent fallback).
+    InvalidSlo {
+        /// Which knob was rejected (`"slo_objective"` / `"slo_target"`
+        /// or the env-var name).
+        knob: &'static str,
+        /// The rejected value, verbatim.
+        got: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -102,6 +142,13 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "fanout 0 would make worker tasks with no requests (use None for the default)"
+                )
+            }
+            ConfigError::InvalidSlo { knob, got } => {
+                write!(
+                    f,
+                    "invalid SLO configuration {knob}={got}: objective must be a positive \
+                     finite duration, target strictly between 0 and 1"
                 )
             }
         }
@@ -203,6 +250,16 @@ pub struct ServeOptions {
     /// ([`FANOUT_ENV`]), defaulting to 4096. Like every other option,
     /// this changes wall-clock behavior only, never an output bit.
     pub fanout: Option<usize>,
+    /// Batch-latency SLO objective in nanoseconds (positive and finite,
+    /// or [`ConfigError::InvalidSlo`]). Batches slower than this burn
+    /// error budget and capture per-stream exemplars. `None` reads
+    /// `HOM_SLO_BATCH_US` ([`SLO_BATCH_US_ENV`], in microseconds),
+    /// defaulting to 1 ms. Pure telemetry: never changes a prediction.
+    pub slo_objective_ns: Option<f64>,
+    /// SLO target good fraction, strictly between 0 and 1 (or
+    /// [`ConfigError::InvalidSlo`]). `None` reads `HOM_SLO_TARGET`
+    /// ([`SLO_TARGET_ENV`]), defaulting to 0.999.
+    pub slo_target: Option<f64>,
     /// Observability sink (batch-latency histogram, request/eviction
     /// counters, per-shard occupancy). The default comes from
     /// [`Obs::from_env`]: disabled unless `HOM_TRACE=path.jsonl` is set.
@@ -219,6 +276,8 @@ impl Default for ServeOptions {
             ttl: None,
             compiled: None,
             fanout: None,
+            slo_objective_ns: None,
+            slo_target: None,
             sink: Obs::from_env(),
         }
     }
@@ -226,7 +285,8 @@ impl Default for ServeOptions {
 
 /// Request/eviction counters, accumulated while observed and emitted by
 /// [`ServeEngine::flush_trace`]. Plain atomics: the engine has no `&mut
-/// self` methods.
+/// self` methods. Request-level counts are folded in **once per batch**
+/// from the tasks' [`BatchStats`] — never one `fetch_add` per record.
 #[derive(Default)]
 struct Counters {
     predicted: AtomicU64,
@@ -235,6 +295,140 @@ struct Counters {
     evictions: AtomicU64,
     unparks: AtomicU64,
     flushes: AtomicU64,
+    /// Predictions the §III-C pruning terminated early.
+    pruned: AtomicU64,
+    /// Total concepts consulted across predictions (prune-depth sum).
+    consulted: AtomicU64,
+    /// Exemplars captured from batches over the SLO objective.
+    exemplars: AtomicU64,
+}
+
+/// The engine's batch-amortized accumulators, all behind the one mutex
+/// [`ServeEngine::submit`] takes once per batch (where only the
+/// batch-latency histogram used to live).
+///
+/// Two lifetimes coexist here. The histograms and the dedup tallies are
+/// **interval** state: [`ServeEngine::flush_trace`] swaps them out and
+/// emits them, so each flush reports what happened since the previous
+/// one. The evidence, MAP-hit and request totals are **cumulative** and
+/// survive every flush — they back the `/concepts` dashboard and
+/// hom-adapt's fleet-evidence watermark, both of which need monotonic
+/// totals to take deltas against.
+struct Fleet {
+    // ---- interval state (reset by flush_trace) ----
+    /// Wall-clock per [`ServeEngine::submit`] call, nanoseconds.
+    batch_latency: Histogram,
+    /// Per-task kernel stage durations, nanoseconds (see
+    /// [`BatchStats`]): record intern/slot-resolve, the concept-outer
+    /// evaluate pass, and the per-stream apply passes.
+    stage_intern_ns: Histogram,
+    stage_evaluate_ns: Histogram,
+    stage_apply_ns: Histogram,
+    /// Batch shape: requests per batch, distinct records per batch.
+    batch_requests: Histogram,
+    batch_distinct: Histogram,
+    /// Interval intern/distinct tallies behind the `serve.dedup_ratio`
+    /// gauge.
+    interned: u64,
+    distinct: u64,
+    // ---- cumulative state (never reset) ----
+    /// Σ Eq. 7 likelihoods over every absorbed record, fleet-wide.
+    likelihood_sum: f64,
+    /// Records absorbed, fleet-wide (the likelihood sum's denominator).
+    absorbed: u64,
+    /// Predictions served / §III-C early terminations / concepts
+    /// consulted, fleet-wide (prune-depth analytics for `/concepts`).
+    predicted: u64,
+    pruned: u64,
+    consulted: u64,
+    /// Per-concept MAP hits at absorb time (the stream's argmax-prior
+    /// concept after each roll).
+    map_hits: Vec<u64>,
+    /// Slow-batch exemplars for `/slo`.
+    exemplars: ExemplarRing,
+}
+
+impl Fleet {
+    fn new(n_concepts: usize) -> Self {
+        Fleet {
+            batch_latency: Histogram::new(),
+            stage_intern_ns: Histogram::new(),
+            stage_evaluate_ns: Histogram::new(),
+            stage_apply_ns: Histogram::new(),
+            batch_requests: Histogram::new(),
+            batch_distinct: Histogram::new(),
+            interned: 0,
+            distinct: 0,
+            likelihood_sum: 0.0,
+            absorbed: 0,
+            predicted: 0,
+            pruned: 0,
+            consulted: 0,
+            map_hits: vec![0; n_concepts],
+            exemplars: ExemplarRing::new(EXEMPLAR_CAPACITY),
+        }
+    }
+
+    /// Fold one task's (or one scalar request's) accumulator into the
+    /// cumulative fields.
+    fn absorb_stats(&mut self, stats: &BatchStats) {
+        self.interned += stats.interned;
+        self.distinct += stats.distinct;
+        self.likelihood_sum += stats.likelihood;
+        self.absorbed += stats.observed;
+        self.predicted += stats.predicted;
+        self.pruned += stats.pruned;
+        self.consulted += stats.consulted;
+        if self.map_hits.len() < stats.map_hits.len() {
+            self.map_hits.resize(stats.map_hits.len(), 0);
+        }
+        for (a, &b) in self.map_hits.iter_mut().zip(stats.map_hits.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Fleet-wide, per-concept operational analytics — the payload of the
+/// `/concepts` endpoint ([`ServeEngine::concept_analytics`]): the
+/// drift-pressure dashboard hom-adapt previously computed only for its
+/// single monitor stream, here aggregated over every live stream plus
+/// the engine's cumulative evidence accumulators.
+///
+/// Point-in-time quantities (`posterior_mass`, `map_streams`,
+/// `mean_entropy`, `live_streams`) are folded from the shard tables at
+/// call time — a read-only scrape-time pass that costs the hot path
+/// nothing. Cumulative quantities (`map_hits`, `absorbed`,
+/// `mean_likelihood`, prune-depth) come from the batch accumulators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConceptAnalytics {
+    /// Live streams folded into the point-in-time fields.
+    pub live_streams: u64,
+    /// Σ over live streams of `P_t(c)` per concept — where the fleet's
+    /// posterior mass sits right now.
+    pub posterior_mass: Vec<f64>,
+    /// Live streams per current MAP concept (the head of each stream's
+    /// §III-C prune order — its argmax-prior concept).
+    pub map_streams: Vec<u64>,
+    /// Cumulative absorb-time MAP hits per concept: how often each
+    /// concept was a stream's MAP concept when a labeled record landed.
+    pub map_hits: Vec<u64>,
+    /// Records absorbed fleet-wide since construction (cumulative).
+    pub absorbed: u64,
+    /// Predictions served fleet-wide since construction (cumulative).
+    pub predicted: u64,
+    /// Cumulative mean Eq. 7 likelihood `P(yₜ | y₁..yₜ₋₁)` over every
+    /// absorbed record; `1.0` before the first absorb (the same "no
+    /// evidence yet" convention as hom-adapt's novelty detector).
+    pub mean_likelihood: f64,
+    /// Mean normalized posterior entropy over live streams (0 = every
+    /// stream certain, 1 = uniform); `0.0` with no live streams.
+    pub mean_entropy: f64,
+    /// Mean §III-C prune depth (concepts consulted per prediction);
+    /// `0.0` before the first prediction.
+    pub mean_prune_depth: f64,
+    /// Fraction of predictions the pruning terminated early; `0.0`
+    /// before the first prediction.
+    pub pruned_fraction: f64,
 }
 
 /// One stream's live operational state, as served by the introspection
@@ -384,7 +578,12 @@ pub struct ServeEngine {
     clock: AtomicU64,
     obs: Obs,
     counters: Counters,
-    batch_latency: Mutex<Histogram>,
+    /// Batch-amortized accumulators (histograms, fleet evidence,
+    /// exemplars) — locked once per submitted batch.
+    fleet: Mutex<Fleet>,
+    /// The batch-latency objective `/slo` evaluates and exemplar
+    /// capture triggers on.
+    slo: SloPolicy,
 }
 
 impl ServeEngine {
@@ -450,6 +649,46 @@ impl ServeEngine {
         let compiled = options
             .compiled
             .unwrap_or_else(|| std::env::var(COMPILED_ENV).map_or(true, |v| v != "0"));
+        let objective_ns = match options.slo_objective_ns {
+            Some(ns) => ns,
+            None => match std::env::var(SLO_BATCH_US_ENV) {
+                Ok(v) if !v.is_empty() => match v.parse::<f64>() {
+                    Ok(us) => us * 1_000.0,
+                    Err(_) => {
+                        return Err(ConfigError::InvalidSlo {
+                            knob: SLO_BATCH_US_ENV,
+                            got: v,
+                        })
+                    }
+                },
+                _ => DEFAULT_SLO_OBJECTIVE_NS,
+            },
+        };
+        let target = match options.slo_target {
+            Some(t) => t,
+            None => match std::env::var(SLO_TARGET_ENV) {
+                Ok(v) if !v.is_empty() => match v.parse::<f64>() {
+                    Ok(t) => t,
+                    Err(_) => {
+                        return Err(ConfigError::InvalidSlo {
+                            knob: SLO_TARGET_ENV,
+                            got: v,
+                        })
+                    }
+                },
+                _ => DEFAULT_SLO_TARGET,
+            },
+        };
+        let slo = SloPolicy::new(objective_ns, target).map_err(|e| ConfigError::InvalidSlo {
+            knob: match e {
+                hom_obs::SloConfigError::InvalidObjective { .. } => "slo_objective",
+                hom_obs::SloConfigError::InvalidTarget { .. } => "slo_target",
+            },
+            got: match e {
+                hom_obs::SloConfigError::InvalidObjective { got } => got.to_string(),
+                hom_obs::SloConfigError::InvalidTarget { got } => got.to_string(),
+            },
+        })?;
         let shard_bits = shards.trailing_zeros();
         let threads = options.threads.or_else(|| env_usize(THREADS_ENV));
         let n_concepts = model.n_concepts();
@@ -476,7 +715,8 @@ impl ServeEngine {
             clock: AtomicU64::new(0),
             obs: options.sink.clone(),
             counters: Counters::default(),
-            batch_latency: Mutex::new(Histogram::new()),
+            fleet: Mutex::new(Fleet::new(n_concepts)),
+            slo,
         })
     }
 
@@ -677,25 +917,40 @@ impl ServeEngine {
     /// Apply one request against an already-locked shard (the scalar
     /// path): touch the stream's slot, borrow its row as a [`FilterView`]
     /// and run the update equations on it with the task's scratch.
+    ///
+    /// Telemetry lands in `stats` — cheap task-local adds (the batch
+    /// folds them into the engine once, see [`Self::submit`]) that read
+    /// only values the update just computed, so the scalar and compiled
+    /// paths derive **identical** counters from identical logical events
+    /// (`tests/obs_differential.rs` asserts the integer equality).
     fn process(
         &self,
         model: &HighOrderModel,
         shard: &mut Shard,
         request: &Request,
         scratch: &mut ScalarScratch,
+        stats: &mut BatchStats,
     ) -> Response {
         let measure = self.obs.enabled();
+        if measure {
+            stats.requests += 1;
+        }
         match request {
             Request::Predict { stream, x } => {
                 let slot = self.touch(model, shard, *stream);
                 let view = shard.table.view(slot);
-                let pred = if self.prune {
-                    view.predict_pruned(model, x, &mut scratch.classes).0
+                let (pred, consulted) = if self.prune {
+                    view.predict_pruned(model, x, &mut scratch.classes)
                 } else {
-                    view.predict(model, x, &mut scratch.classes)
+                    (
+                        view.predict(model, x, &mut scratch.classes),
+                        model.n_concepts(),
+                    )
                 };
                 if measure {
-                    self.counters.predicted.fetch_add(1, Ordering::Relaxed);
+                    stats.predicted += 1;
+                    stats.consulted += consulted as u64;
+                    stats.pruned += u64::from(consulted < model.n_concepts());
                 }
                 Response {
                     stream: *stream,
@@ -707,7 +962,9 @@ impl ServeEngine {
                 let mut view = shard.table.view(slot);
                 view.observe(model, x, *y, &mut scratch.psi);
                 if measure {
-                    self.counters.observed.fetch_add(1, Ordering::Relaxed);
+                    stats.observed += 1;
+                    stats.likelihood += *view.last_likelihood;
+                    stats.map_hit(view.order[0] as usize);
                 }
                 Response {
                     stream: *stream,
@@ -717,15 +974,22 @@ impl ServeEngine {
             Request::Step { stream, x, y } => {
                 let slot = self.touch(model, shard, *stream);
                 let mut view = shard.table.view(slot);
-                let pred = if self.prune {
-                    view.predict_pruned(model, x, &mut scratch.classes).0
+                let (pred, consulted) = if self.prune {
+                    view.predict_pruned(model, x, &mut scratch.classes)
                 } else {
-                    view.predict(model, x, &mut scratch.classes)
+                    (
+                        view.predict(model, x, &mut scratch.classes),
+                        model.n_concepts(),
+                    )
                 };
                 view.observe(model, x, *y, &mut scratch.psi);
                 if measure {
-                    self.counters.predicted.fetch_add(1, Ordering::Relaxed);
-                    self.counters.observed.fetch_add(1, Ordering::Relaxed);
+                    stats.predicted += 1;
+                    stats.consulted += consulted as u64;
+                    stats.pruned += u64::from(consulted < model.n_concepts());
+                    stats.observed += 1;
+                    stats.likelihood += *view.last_likelihood;
+                    stats.map_hit(view.order[0] as usize);
                 }
                 Response {
                     stream: *stream,
@@ -787,32 +1051,104 @@ impl ServeEngine {
             };
             requests.len()
         ];
+        // One BatchStats per task (empty when telemetry is off — the
+        // accumulation is gated inside the processing loops).
+        let mut task_stats: Vec<BatchStats>;
         if tasks <= 1 {
-            self.run_task(&serving, &groups, &nonempty, requests, &mut |i, r| {
-                out[i] = r;
-            });
+            task_stats =
+                vec![
+                    self.run_task(&serving, &groups, &nonempty, requests, &mut |i, r| {
+                        out[i] = r;
+                    }),
+                ];
         } else {
             let chunks = partition_shards(&nonempty, &groups, tasks, requests.len());
             let parts = self.pool.map_slice(&chunks, |_, chunk| {
                 let mut collected = Vec::new();
-                self.run_task(&serving, &groups, chunk, requests, &mut |i, r| {
+                let stats = self.run_task(&serving, &groups, chunk, requests, &mut |i, r| {
                     collected.push((i, r));
                 });
-                collected
+                (collected, stats)
             });
-            for part in parts {
+            task_stats = Vec::with_capacity(parts.len());
+            for (part, stats) in parts {
                 for (i, r) in part {
                     out[i] = r;
                 }
+                task_stats.push(stats);
             }
         }
 
         if let Some(t0) = t0 {
+            let elapsed_ns = t0.elapsed().as_nanos() as u64;
             self.counters.batches.fetch_add(1, Ordering::Relaxed);
-            let mut hist = self.batch_latency.lock().unwrap_or_else(|e| e.into_inner());
-            hist.record(t0.elapsed().as_nanos() as f64);
+            let mut merged = BatchStats::default();
+            for stats in &task_stats {
+                merged.merge(stats);
+            }
+            self.fold_counters(&merged);
+            let mut fleet = self.lock_fleet();
+            fleet.batch_latency.record(elapsed_ns as f64);
+            fleet.batch_requests.record(requests.len() as f64);
+            if serving.compiled.is_some() {
+                fleet.batch_distinct.record(merged.distinct as f64);
+            }
+            // One stage sample per task, so the histograms expose the
+            // fan-out shape, not just batch totals.
+            for stats in &task_stats {
+                if serving.compiled.is_some() {
+                    fleet.stage_intern_ns.record(stats.intern_ns as f64);
+                    fleet.stage_evaluate_ns.record(stats.evaluate_ns as f64);
+                }
+                fleet.stage_apply_ns.record(stats.apply_ns as f64);
+            }
+            fleet.absorb_stats(&merged);
+            // Slow batch: link it to concrete streams. Deterministic
+            // hash sampling, bounded per batch, and only on the (rare)
+            // over-objective path — never steady-state work.
+            if elapsed_ns as f64 > self.slo.objective_ns() {
+                let mut captured = 0u64;
+                for r in requests {
+                    let stream = r.stream();
+                    if hash_sampled(stream, EXEMPLAR_LOG2_RATE) {
+                        let shard = self.shard_index(stream) as u32;
+                        fleet.exemplars.push(stream, shard, elapsed_ns);
+                        captured += 1;
+                        if captured as usize >= EXEMPLARS_PER_BATCH {
+                            break;
+                        }
+                    }
+                }
+                if captured > 0 {
+                    self.counters
+                        .exemplars
+                        .fetch_add(captured, Ordering::Relaxed);
+                }
+            }
         }
         out
+    }
+
+    /// Fold a batch's merged [`BatchStats`] into the flushable counters:
+    /// a handful of `fetch_add`s per **batch**, replacing the per-record
+    /// atomic traffic the hot path used to pay.
+    fn fold_counters(&self, stats: &BatchStats) {
+        self.counters
+            .predicted
+            .fetch_add(stats.predicted, Ordering::Relaxed);
+        self.counters
+            .observed
+            .fetch_add(stats.observed, Ordering::Relaxed);
+        self.counters
+            .pruned
+            .fetch_add(stats.pruned, Ordering::Relaxed);
+        self.counters
+            .consulted
+            .fetch_add(stats.consulted, Ordering::Relaxed);
+    }
+
+    fn lock_fleet(&self) -> MutexGuard<'_, Fleet> {
+        self.fleet.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Process one worker task: the given shards, in order, each locked
@@ -827,9 +1163,15 @@ impl ServeEngine {
         shard_ids: &[usize],
         requests: &[Request],
         emit: &mut dyn FnMut(usize, Response),
-    ) {
+    ) -> BatchStats {
+        // Stage timing is per *task* — a handful of clock reads per
+        // batch, with per-record costs derived by division afterwards.
+        // The disabled-telemetry path takes none of them.
+        let measure = self.obs.enabled();
+        let mut stats = BatchStats::default();
         match &serving.compiled {
             Some(cm) => {
+                let t_stage = measure.then(Instant::now);
                 let n_requests: usize = shard_ids.iter().map(|&s| groups.len(s)).sum();
                 let mut table = BatchTable::with_capacity(n_requests);
                 // Record index per request, in task iteration order
@@ -846,7 +1188,17 @@ impl ServeEngine {
                         });
                     }
                 }
+                let t_stage = t_stage.map(|t| {
+                    stats.intern_ns = t.elapsed().as_nanos() as u64;
+                    stats.interned = table.n_interned();
+                    stats.distinct = table.n_records() as u64;
+                    Instant::now()
+                });
                 cm.evaluate(&mut table);
+                let t_stage = t_stage.map(|t| {
+                    stats.evaluate_ns = t.elapsed().as_nanos() as u64;
+                    Instant::now()
+                });
                 let mut scratch = KernelScratch::new(cm);
                 // Lookahead distance of the software prefetches below:
                 // far enough ahead to overlap a memory round-trip with
@@ -901,6 +1253,7 @@ impl ServeEngine {
                                     recs[at + k],
                                     slots[k],
                                     &mut scratch,
+                                    &mut stats,
                                 ),
                             );
                         }
@@ -923,14 +1276,19 @@ impl ServeEngine {
                                     recs[at + k],
                                     slot,
                                     &mut scratch,
+                                    &mut stats,
                                 ),
                             );
                         }
                     }
                     at += group.len();
                 }
+                if let Some(t) = t_stage {
+                    stats.apply_ns = t.elapsed().as_nanos() as u64;
+                }
             }
             None => {
+                let t_stage = measure.then(Instant::now);
                 let mut scratch = ScalarScratch::new(&serving.model);
                 for &s in shard_ids {
                     let mut shard = self.lock(&self.shards[s]);
@@ -942,12 +1300,19 @@ impl ServeEngine {
                                 &mut shard,
                                 &requests[i as usize],
                                 &mut scratch,
+                                &mut stats,
                             ),
                         );
                     }
                 }
+                // The scalar path has no intern/evaluate stages: every
+                // request is classifier work + state update, all "apply".
+                if let Some(t) = t_stage {
+                    stats.apply_ns = t.elapsed().as_nanos() as u64;
+                }
             }
         }
+        stats
     }
 
     /// [`Self::process`] against the batch kernel: same lifecycle, same
@@ -964,18 +1329,24 @@ impl ServeEngine {
         rec: u32,
         slot: u32,
         scratch: &mut KernelScratch,
+        stats: &mut BatchStats,
     ) -> Response {
         let measure = self.obs.enabled();
+        if measure {
+            stats.requests += 1;
+        }
         match request {
             Request::Predict { stream, .. } => {
                 let view = shard.table.view(slot);
-                let pred = if self.prune {
-                    cm.predict_pruned(&view, table, rec, scratch).0
+                let (pred, consulted) = if self.prune {
+                    cm.predict_pruned(&view, table, rec, scratch)
                 } else {
-                    cm.predict(&view, table, rec, scratch)
+                    (cm.predict(&view, table, rec, scratch), cm.n_concepts())
                 };
                 if measure {
-                    self.counters.predicted.fetch_add(1, Ordering::Relaxed);
+                    stats.predicted += 1;
+                    stats.consulted += consulted as u64;
+                    stats.pruned += u64::from(consulted < cm.n_concepts());
                 }
                 Response {
                     stream: *stream,
@@ -986,7 +1357,9 @@ impl ServeEngine {
                 let mut view = shard.table.view(slot);
                 cm.observe(&mut view, table, rec, *y, scratch);
                 if measure {
-                    self.counters.observed.fetch_add(1, Ordering::Relaxed);
+                    stats.observed += 1;
+                    stats.likelihood += *view.last_likelihood;
+                    stats.map_hit(view.order[0] as usize);
                 }
                 Response {
                     stream: *stream,
@@ -995,15 +1368,19 @@ impl ServeEngine {
             }
             Request::Step { stream, y, .. } => {
                 let mut view = shard.table.view(slot);
-                let pred = if self.prune {
-                    cm.predict_pruned(&view, table, rec, scratch).0
+                let (pred, consulted) = if self.prune {
+                    cm.predict_pruned(&view, table, rec, scratch)
                 } else {
-                    cm.predict(&view, table, rec, scratch)
+                    (cm.predict(&view, table, rec, scratch), cm.n_concepts())
                 };
                 cm.observe(&mut view, table, rec, *y, scratch);
                 if measure {
-                    self.counters.predicted.fetch_add(1, Ordering::Relaxed);
-                    self.counters.observed.fetch_add(1, Ordering::Relaxed);
+                    stats.predicted += 1;
+                    stats.consulted += consulted as u64;
+                    stats.pruned += u64::from(consulted < cm.n_concepts());
+                    stats.observed += 1;
+                    stats.likelihood += *view.last_likelihood;
+                    stats.map_hit(view.order[0] as usize);
                 }
                 Response {
                     stream: *stream,
@@ -1065,9 +1442,23 @@ impl ServeEngine {
         // two paths are bit-identical anyway.
         let serving = self.serving_guard();
         let mut scratch = ScalarScratch::new(&serving.model);
+        let mut stats = BatchStats::default();
         let s = self.shard_index(request.stream());
-        let mut shard = self.lock(&self.shards[s]);
-        self.process(&serving.model, &mut shard, &request, &mut scratch)
+        let response = {
+            let mut shard = self.lock(&self.shards[s]);
+            self.process(
+                &serving.model,
+                &mut shard,
+                &request,
+                &mut scratch,
+                &mut stats,
+            )
+        };
+        if self.obs.enabled() {
+            self.fold_counters(&stats);
+            self.lock_fleet().absorb_stats(&stats);
+        }
+        response
     }
 
     /// Read-only view of a stream's filter state (live or parked);
@@ -1229,9 +1620,10 @@ impl ServeEngine {
     }
 
     /// Emit the metrics accumulated since the last flush — request and
-    /// eviction counters, the batch-latency histogram, and per-shard
-    /// occupancy series — then reset them. A no-op when unobserved;
-    /// called automatically on drop.
+    /// eviction counters, the kernel-stage and batch-shape histograms,
+    /// per-shard occupancy series and the fleet concept analytics —
+    /// then reset the interval state. A no-op when unobserved; called
+    /// automatically on drop.
     pub fn flush_trace(&self) {
         if !self.obs.enabled() {
             return;
@@ -1241,6 +1633,13 @@ impl ServeEngine {
         let batches = self.counters.batches.swap(0, Ordering::Relaxed);
         let evictions = self.counters.evictions.swap(0, Ordering::Relaxed);
         let unparks = self.counters.unparks.swap(0, Ordering::Relaxed);
+        let pruned = self.counters.pruned.swap(0, Ordering::Relaxed);
+        let consulted = self.counters.consulted.swap(0, Ordering::Relaxed);
+        let exemplars = self.counters.exemplars.swap(0, Ordering::Relaxed);
+        // Pruned/consulted/exemplars are bounded by the request counters
+        // (no prediction, no prune; no batch, no exemplar), so the
+        // original quiet-engine guard still covers them: an idle flush
+        // emits nothing at all.
         if predicted + observed + batches + evictions + unparks == 0 {
             return;
         }
@@ -1249,13 +1648,49 @@ impl ServeEngine {
         self.obs.count("serve.batches", batches);
         self.obs.count("serve.evictions", evictions);
         self.obs.count("serve.unparks", unparks);
+        self.obs.count("serve.pruned_records", pruned);
+        self.obs.count("serve.concepts_consulted", consulted);
+        self.obs.count("serve.slo_exemplars", exemplars);
 
-        let hist = {
-            let mut guard = self.batch_latency.lock().unwrap_or_else(|e| e.into_inner());
-            std::mem::replace(&mut *guard, Histogram::new())
-        };
-        if hist.count() > 0 {
-            self.obs.hist("serve.batch_latency_ns", &hist);
+        // Swap out the interval accumulators under one short lock, emit
+        // after releasing it; copy the cumulative analytics out too.
+        let (latency, intern, evaluate, apply, shape_req, shape_distinct, interned, distinct);
+        let (likelihood_sum, absorbed, map_hits);
+        {
+            let mut fleet = self.lock_fleet();
+            latency = std::mem::replace(&mut fleet.batch_latency, Histogram::new());
+            intern = std::mem::replace(&mut fleet.stage_intern_ns, Histogram::new());
+            evaluate = std::mem::replace(&mut fleet.stage_evaluate_ns, Histogram::new());
+            apply = std::mem::replace(&mut fleet.stage_apply_ns, Histogram::new());
+            shape_req = std::mem::replace(&mut fleet.batch_requests, Histogram::new());
+            shape_distinct = std::mem::replace(&mut fleet.batch_distinct, Histogram::new());
+            interned = std::mem::take(&mut fleet.interned);
+            distinct = std::mem::take(&mut fleet.distinct);
+            likelihood_sum = fleet.likelihood_sum;
+            absorbed = fleet.absorbed;
+            map_hits = fleet.map_hits.clone();
+        }
+        for (name, hist) in [
+            ("serve.batch_latency_ns", &latency),
+            ("serve.stage_intern_ns", &intern),
+            ("serve.stage_evaluate_ns", &evaluate),
+            ("serve.stage_apply_ns", &apply),
+            ("serve.batch_requests", &shape_req),
+            ("serve.batch_distinct", &shape_distinct),
+        ] {
+            if hist.count() > 0 {
+                self.obs.hist(name, hist);
+            }
+        }
+        if distinct > 0 {
+            self.obs
+                .gauge("serve.dedup_ratio", interned as f64 / distinct as f64);
+        }
+        if absorbed > 0 {
+            self.obs.gauge(
+                "serve.fleet_mean_likelihood",
+                likelihood_sum / absorbed as f64,
+            );
         }
 
         // Per-shard occupancy: one series sample per flush, indexed by
@@ -1273,6 +1708,102 @@ impl ServeEngine {
         self.obs.series("serve.shard_parked", flush, &parked);
         self.obs.gauge("serve.live_streams", live.iter().sum());
         self.obs.gauge("serve.parked_streams", parked.iter().sum());
+
+        // Fleet concept analytics: point-in-time posterior mass and MAP
+        // share folded from the live tables (scrape-time cost only),
+        // plus the cumulative absorb-time MAP hits.
+        let analytics = self.concept_analytics();
+        self.obs.series(
+            "serve.concept_posterior_mass",
+            flush,
+            &analytics.posterior_mass,
+        );
+        let map_streams: Vec<f64> = analytics.map_streams.iter().map(|&v| v as f64).collect();
+        self.obs
+            .series("serve.concept_map_streams", flush, &map_streams);
+        let hits: Vec<f64> = map_hits.iter().map(|&v| v as f64).collect();
+        self.obs.series("serve.concept_map_hits", flush, &hits);
+        self.obs
+            .gauge("serve.fleet_mean_entropy", analytics.mean_entropy);
+    }
+
+    /// The engine's batch-latency SLO policy (from
+    /// [`ServeOptions::slo_objective_ns`] / [`ServeOptions::slo_target`]
+    /// or their env knobs) — what the `/slo` endpoint evaluates.
+    pub fn slo_policy(&self) -> SloPolicy {
+        self.slo
+    }
+
+    /// The retained slow-batch exemplars, oldest first, plus the total
+    /// ever captured (including since-evicted ones).
+    pub fn exemplars(&self) -> (Vec<Exemplar>, u64) {
+        let fleet = self.lock_fleet();
+        (
+            fleet.exemplars.iter_recent().copied().collect(),
+            fleet.exemplars.pushed(),
+        )
+    }
+
+    /// The engine's cumulative fleet evidence: `(Σ Eq. 7 likelihood,
+    /// records absorbed)` over the engine's lifetime. Monotonic, so a
+    /// consumer (hom-adapt's fleet-evidence ingestion) can watermark it
+    /// and compute interval means without the engine resetting anything.
+    pub fn fleet_evidence(&self) -> (f64, u64) {
+        let fleet = self.lock_fleet();
+        (fleet.likelihood_sum, fleet.absorbed)
+    }
+
+    /// Fold the fleet-wide per-concept analytics (see
+    /// [`ConceptAnalytics`]): a read-only pass over every shard's live
+    /// table plus a copy of the cumulative evidence accumulators. Scrape
+    /// time only — never on the request path.
+    pub fn concept_analytics(&self) -> ConceptAnalytics {
+        let n = {
+            let serving = self.serving_guard();
+            serving.model.n_concepts()
+        };
+        let mut posterior_mass = vec![0.0; n];
+        let mut map_streams = vec![0u64; n];
+        let mut entropy_sum = 0.0;
+        let mut live = 0usize;
+        for shard in &self.shards {
+            let shard = self.lock(shard);
+            live +=
+                shard
+                    .table
+                    .fold_concepts(&mut posterior_mass, &mut map_streams, &mut entropy_sum);
+        }
+        let fleet = self.lock_fleet();
+        let mut map_hits = fleet.map_hits.clone();
+        map_hits.resize(n.max(map_hits.len()), 0);
+        ConceptAnalytics {
+            live_streams: live as u64,
+            posterior_mass,
+            map_streams,
+            map_hits,
+            absorbed: fleet.absorbed,
+            predicted: fleet.predicted,
+            mean_likelihood: if fleet.absorbed > 0 {
+                fleet.likelihood_sum / fleet.absorbed as f64
+            } else {
+                1.0
+            },
+            mean_entropy: if live > 0 {
+                entropy_sum / live as f64
+            } else {
+                0.0
+            },
+            mean_prune_depth: if fleet.predicted > 0 {
+                fleet.consulted as f64 / fleet.predicted as f64
+            } else {
+                0.0
+            },
+            pruned_fraction: if fleet.predicted > 0 {
+                fleet.pruned as f64 / fleet.predicted as f64
+            } else {
+                0.0
+            },
+        }
     }
 }
 

@@ -14,6 +14,8 @@
 //! | `/shards` | JSON per-shard `(live, parked)` occupancy |
 //! | `/streams/<id>` | JSON introspection of one stream — posterior, prior, prune order, likelihood/entropy evidence, parked/live, model epoch ([`ServeEngine::stream_info`]) |
 //! | `/flight` | the flight recorder's ring as JSONL (same format as `HOM_TRACE`) |
+//! | `/concepts` | Prometheus text: fleet-wide per-concept posterior mass, MAP share and MAP hits (labeled by `concept`), plus mean Eq. 7 likelihood / posterior entropy / prune depth gauges ([`ServeEngine::concept_analytics`]) |
+//! | `/slo` | Prometheus text: batch-latency SLO compliance, error-budget remaining and burn rate computed from the cumulative latency histogram ([`hom_obs::SloPolicy`]), plus deterministic slow-batch exemplars labeled `stream`/`shard` |
 //!
 //! Floats are rendered with Rust's shortest round-trip decimal
 //! ([`hom_obs::jsonl::push_f64`]), so a scraped posterior parses back
@@ -41,8 +43,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use hom_obs::exemplar::push_exemplars;
 use hom_obs::jsonl::push_f64;
-use hom_obs::{export, AggSink, Fanout, FlightRecorder, Obs};
+use hom_obs::{export, AggSink, Fanout, FlightRecorder, Histogram, Obs};
 
 use crate::engine::ServeEngine;
 use crate::request::StreamId;
@@ -348,6 +351,29 @@ fn handle_connection(
                 &body,
             )
         }
+        "/concepts" => {
+            // Flush so the cumulative aggregates behind /metrics and the
+            // fold below describe the same traffic.
+            engine.flush_trace();
+            respond(
+                conn,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &concepts_prom(engine),
+            )
+        }
+        "/slo" => {
+            // Flush first: the SLO is computed over the *cumulative*
+            // batch-latency histogram in the aggregation sink, which
+            // only sees the latest interval after a flush.
+            engine.flush_trace();
+            respond(
+                conn,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &slo_prom(engine, telemetry),
+            )
+        }
         "/healthz" => respond(conn, "200 OK", "application/json", &healthz_json(engine)),
         "/shards" => respond(conn, "200 OK", "application/json", &shards_json(engine)),
         "/flight" => respond(
@@ -418,6 +444,174 @@ fn shards_json(engine: &ServeEngine) -> String {
         out.push('}');
     }
     out.push_str("]}\n");
+    out
+}
+
+/// One unlabeled Prometheus sample with its family header.
+fn push_sample(out: &mut String, name: &str, kind: &str, help: &str, value: f64) {
+    export::push_header(out, name, kind, help);
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&export::prom_f64(value));
+    out.push('\n');
+}
+
+/// One per-concept family: a gauge sample per concept index, labeled
+/// `concept="<i>"`. Obs event names are `&'static str`, so dynamic
+/// per-concept labels render here instead of through the sink.
+fn push_per_concept(out: &mut String, name: &str, help: &str, values: &[f64]) {
+    export::push_header(out, name, "gauge", help);
+    for (c, &v) in values.iter().enumerate() {
+        out.push_str(name);
+        out.push_str("{concept=\"");
+        out.push_str(&c.to_string());
+        out.push_str("\"} ");
+        out.push_str(&export::prom_f64(v));
+        out.push('\n');
+    }
+}
+
+fn concepts_prom(engine: &ServeEngine) -> String {
+    let a = engine.concept_analytics();
+    let n = a.posterior_mass.len();
+    let mut out = String::with_capacity(768 + 128 * n);
+    push_sample(
+        &mut out,
+        "hom_concept_live_streams",
+        "gauge",
+        "live streams folded into this concept snapshot (hom-serve)",
+        a.live_streams as f64,
+    );
+    push_per_concept(
+        &mut out,
+        "hom_concept_posterior_mass",
+        "fleet-wide sum of per-stream posterior probability per concept (hom-serve)",
+        &a.posterior_mass,
+    );
+    let map_streams: Vec<f64> = a.map_streams.iter().map(|&v| v as f64).collect();
+    push_per_concept(
+        &mut out,
+        "hom_concept_map_streams",
+        "live streams whose MAP (argmax-prior) concept is this one (hom-serve)",
+        &map_streams,
+    );
+    let map_hits: Vec<f64> = a.map_hits.iter().map(|&v| v as f64).collect();
+    push_per_concept(
+        &mut out,
+        "hom_concept_map_hits",
+        "cumulative absorbed records whose MAP concept was this one (hom-serve)",
+        &map_hits,
+    );
+    push_sample(
+        &mut out,
+        "hom_concept_records_absorbed_total",
+        "counter",
+        "labeled records absorbed into the fleet evidence (hom-serve)",
+        a.absorbed as f64,
+    );
+    push_sample(
+        &mut out,
+        "hom_concept_fleet_mean_likelihood",
+        "gauge",
+        "mean Eq. 7 likelihood over all absorbed records (hom-serve)",
+        a.mean_likelihood,
+    );
+    push_sample(
+        &mut out,
+        "hom_concept_fleet_mean_entropy",
+        "gauge",
+        "mean normalized posterior entropy over live streams (hom-serve)",
+        a.mean_entropy,
+    );
+    push_sample(
+        &mut out,
+        "hom_concept_mean_prune_depth",
+        "gauge",
+        "mean concepts consulted per pruned prediction (hom-serve)",
+        a.mean_prune_depth,
+    );
+    push_sample(
+        &mut out,
+        "hom_concept_pruned_fraction",
+        "gauge",
+        "fraction of predictions that early-terminated the concept scan (hom-serve)",
+        a.pruned_fraction,
+    );
+    out
+}
+
+fn slo_prom(engine: &ServeEngine, telemetry: &ServeTelemetry) -> String {
+    let policy = engine.slo_policy();
+    let snap = telemetry.agg().snapshot();
+    let empty = Histogram::new();
+    let hist = snap.hist("serve.batch_latency_ns").unwrap_or(&empty);
+    let status = policy.status(hist);
+    let (exemplars, captured) = engine.exemplars();
+    let mut out = String::with_capacity(1024 + 128 * exemplars.len());
+    push_sample(
+        &mut out,
+        "hom_slo_objective_ns",
+        "gauge",
+        "batch latency objective in nanoseconds (hom-serve)",
+        policy.objective_ns(),
+    );
+    push_sample(
+        &mut out,
+        "hom_slo_target",
+        "gauge",
+        "target fraction of batches within the objective (hom-serve)",
+        policy.target(),
+    );
+    push_sample(
+        &mut out,
+        "hom_slo_batches_total",
+        "counter",
+        "batches measured against the objective (hom-serve)",
+        status.total as f64,
+    );
+    push_sample(
+        &mut out,
+        "hom_slo_batches_good_total",
+        "counter",
+        "batches within the objective (hom-serve)",
+        status.good as f64,
+    );
+    push_sample(
+        &mut out,
+        "hom_slo_batches_bad_total",
+        "counter",
+        "batches over the objective (hom-serve)",
+        status.bad as f64,
+    );
+    push_sample(
+        &mut out,
+        "hom_slo_compliance",
+        "gauge",
+        "fraction of batches within the objective, 1 when idle (hom-serve)",
+        status.compliance,
+    );
+    push_sample(
+        &mut out,
+        "hom_slo_error_budget_remaining",
+        "gauge",
+        "fraction of the error budget left, negative when exhausted (hom-serve)",
+        status.budget_remaining,
+    );
+    push_sample(
+        &mut out,
+        "hom_slo_burn_rate",
+        "gauge",
+        "error budget burn rate, 1 burns exactly on budget (hom-serve)",
+        status.burn_rate,
+    );
+    push_sample(
+        &mut out,
+        "hom_slo_exemplars_captured_total",
+        "counter",
+        "slow-batch exemplars ever captured, including evicted (hom-serve)",
+        captured as f64,
+    );
+    push_exemplars(&mut out, "hom_slo_exemplar_batch_ns", &exemplars);
     out
 }
 

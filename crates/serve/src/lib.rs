@@ -28,14 +28,20 @@
 //!   bytes (`hom_core::snapshot`), and the next request resumes it
 //!   **bit-identically** — eviction is invisible to predictions.
 //! * With an [`hom_obs::Obs`] sink attached, the engine reports request
-//!   and eviction counters, a batch-latency histogram and per-shard
-//!   occupancy series; disabled observability costs one branch.
+//!   and eviction counters, batch-latency plus kernel-stage
+//!   (intern/evaluate/apply) histograms, dedup-ratio and batch-shape
+//!   series, per-concept fleet analytics and per-shard occupancy
+//!   series — all folded **once per batch** from a per-task
+//!   [`hom_core::BatchStats`] accumulator, never per record; disabled
+//!   observability costs one branch.
 //! * A running engine is **live-inspectable**: bundle a
 //!   [`ServeTelemetry`] into the sink and bind a [`MetricsServer`]
 //!   (`HOM_METRICS_ADDR`) to get Prometheus `/metrics`, JSON
-//!   `/healthz` / `/shards` / `/streams/<id>` introspection and
-//!   `/flight` incident dumps — none of which changes a prediction
-//!   (see the [`http`] module).
+//!   `/healthz` / `/shards` / `/streams/<id>` introspection, `/flight`
+//!   incident dumps, `/concepts` fleet concept analytics and `/slo`
+//!   batch-latency SLO compliance with deterministic slow-batch
+//!   exemplars — none of which changes a prediction (see the [`http`]
+//!   module).
 //!
 //! Per stream, the engine is proven (differential tests) bit-identical
 //! to a dedicated [`hom_core::OnlinePredictor`] — sharding, batching,
@@ -81,8 +87,8 @@ pub mod request;
 mod shard;
 
 pub use engine::{
-    ConfigError, ServeEngine, ServeOptions, StreamInfo, SwapError, SwapReport, COMPILED_ENV,
-    FANOUT_ENV, SHARDS_ENV, THREADS_ENV,
+    ConceptAnalytics, ConfigError, ServeEngine, ServeOptions, StreamInfo, SwapError, SwapReport,
+    COMPILED_ENV, FANOUT_ENV, SHARDS_ENV, SLO_BATCH_US_ENV, SLO_TARGET_ENV, THREADS_ENV,
 };
 pub use http::{MetricsConfigError, MetricsServer, ServeTelemetry, METRICS_ADDR_ENV};
 pub use request::{Request, Response, StreamId};

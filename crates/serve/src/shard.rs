@@ -460,6 +460,44 @@ impl StateTable {
         self.live -= 1;
     }
 
+    /// Fold this shard's live streams into fleet-wide concept analytics:
+    /// per-concept posterior mass and MAP-stream counts (the stream's
+    /// current concept = the head of its §III-C prune order, i.e. the
+    /// argmax-prior concept), plus the summed normalized posterior
+    /// entropy. Read-only over the row blocks — a scrape-time cold path
+    /// that never touches the hot-path layout. Returns the number of
+    /// live streams folded.
+    pub fn fold_concepts(
+        &self,
+        mass: &mut [f64],
+        map_streams: &mut [u64],
+        entropy_sum: &mut f64,
+    ) -> usize {
+        debug_assert!(mass.len() >= self.n && map_streams.len() >= self.n);
+        let n = self.n;
+        let norm = if n > 1 { (n as f64).ln() } else { 1.0 };
+        let mut folded = 0;
+        for (_, slot, _) in self.iter() {
+            let s = slot as usize;
+            let block = &self.rows[s * self.stride..(s + 1) * self.stride];
+            let posterior = &block[..n];
+            let mut h = 0.0;
+            for (c, &p) in posterior.iter().enumerate() {
+                mass[c] += p;
+                if p > 0.0 {
+                    h -= p * p.ln();
+                }
+            }
+            *entropy_sum += h / norm;
+            // SAFETY: same layout argument as [`order_in_tail`], shared
+            // borrow this time.
+            let head = unsafe { *block[2 * n + 1..].as_ptr().cast::<u32>() };
+            map_streams[head as usize] += 1;
+            folded += 1;
+        }
+        folded
+    }
+
     /// Iterate the live streams as `(stream, slot, last_used)`.
     pub fn iter(&self) -> impl Iterator<Item = (StreamId, u32, u64)> + '_ {
         self.meta

@@ -1,0 +1,245 @@
+//! Differential proof that **observing never changes results** and that
+//! the kernel's batch-amortized telemetry is exact: a fully-instrumented
+//! engine on the compiled path produces bit-identical predictions and
+//! posteriors to an uninstrumented scalar engine, and the counters it
+//! derives from per-task [`hom_core::BatchStats`] accumulators are
+//! integer-equal to both the scalar path's counters and a ground truth
+//! recomputed from dedicated per-stream filter states.
+
+use std::sync::Arc;
+
+use hom_classifiers::DecisionTreeLearner;
+use hom_cluster::ClusterParams;
+use hom_core::{build, BuildParams, FilterState, HighOrderModel};
+use hom_data::stream::collect;
+use hom_data::{StreamRecord, StreamSource};
+use hom_datagen::{StaggerParams, StaggerSource};
+use hom_obs::{Obs, Recorder};
+use hom_serve::{Request, ServeEngine, ServeOptions};
+
+const STREAMS: u64 = 16;
+const ROUNDS: usize = 96;
+const BATCH: usize = 64;
+
+fn bits(p: &[f64]) -> Vec<u64> {
+    p.iter().map(|v| v.to_bits()).collect()
+}
+
+fn fixture() -> (Arc<HighOrderModel>, Vec<StreamRecord>) {
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda: 0.01,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, 3000);
+    let (model, _) = build(
+        &data,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: 10,
+                seed: 9,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let test: Vec<StreamRecord> = (0..300).map(|_| src.next_record()).collect();
+    (Arc::new(model), test)
+}
+
+/// Streams 2k and 2k+1 share each round's record so batches carry
+/// duplicates and the kernel's dedup path is on the measured route.
+fn request_sequence(test: &[StreamRecord], rounds: usize) -> Vec<Request> {
+    let mut requests = Vec::new();
+    for t in 0..rounds {
+        for s in 0..STREAMS {
+            if t % 16 == 15 {
+                requests.push(Request::Advance { stream: s, k: 2 });
+            }
+            let r = &test[(t + (s as usize / 2)) % test.len()];
+            requests.push(Request::Step {
+                stream: s,
+                x: r.x.to_vec(),
+                y: r.y,
+            });
+        }
+    }
+    requests
+}
+
+/// What every observed engine must report for this request sequence,
+/// recomputed from dedicated scalar filter states.
+#[derive(Debug, Default, PartialEq)]
+struct GroundTruth {
+    predicted: u64,
+    observed: u64,
+    pruned: u64,
+    consulted: u64,
+}
+
+fn scalar_reference(
+    model: &Arc<HighOrderModel>,
+    requests: &[Request],
+) -> (Vec<Option<u32>>, Vec<FilterState>, GroundTruth) {
+    let mut states: Vec<FilterState> = (0..STREAMS).map(|_| FilterState::new(model)).collect();
+    let mut expected = Vec::with_capacity(requests.len());
+    let mut truth = GroundTruth::default();
+    for request in requests {
+        match request {
+            Request::Step { stream, x, y } => {
+                let state = &mut states[*stream as usize];
+                let (pred, consulted) = state.predict_pruned(model, x);
+                truth.predicted += 1;
+                truth.consulted += consulted as u64;
+                truth.pruned += u64::from(consulted < model.n_concepts());
+                state.observe(model, x, *y);
+                truth.observed += 1;
+                expected.push(Some(pred));
+            }
+            Request::Advance { stream, k } => {
+                states[*stream as usize].advance_by(model, *k);
+                expected.push(None);
+            }
+            _ => unreachable!("sequence holds only Step and Advance"),
+        }
+    }
+    (expected, states, truth)
+}
+
+fn engine(model: &Arc<HighOrderModel>, threads: usize, compiled: bool, sink: Obs) -> ServeEngine {
+    ServeEngine::with_options(
+        Arc::clone(model),
+        &ServeOptions {
+            shards: Some(8),
+            threads: Some(threads),
+            compiled: Some(compiled),
+            fanout: Some(1),
+            sink,
+            ..Default::default()
+        },
+    )
+}
+
+fn counters(recorder: &Recorder) -> GroundTruth {
+    GroundTruth {
+        predicted: recorder.counter_total("serve.records_predicted"),
+        observed: recorder.counter_total("serve.records_observed"),
+        pruned: recorder.counter_total("serve.pruned_records"),
+        consulted: recorder.counter_total("serve.concepts_consulted"),
+    }
+}
+
+fn assert_observed_kernel_exact(
+    model: &Arc<HighOrderModel>,
+    test: &[StreamRecord],
+    threads: usize,
+) {
+    let requests = request_sequence(test, ROUNDS);
+    let (expected, reference_states, truth) = scalar_reference(model, &requests);
+
+    let instrumented = Arc::new(Recorder::new());
+    let scalar_recorder = Arc::new(Recorder::new());
+    let ctx = format!("threads={threads}");
+
+    let (fleet_compiled, fleet_scalar) = {
+        // A: compiled kernel, fully instrumented.
+        let compiled = engine(model, threads, true, Obs::new(Arc::clone(&instrumented)));
+        // B: scalar path, uninstrumented — the bit-identity baseline.
+        let dark = engine(model, threads, false, Obs::none());
+        // C: scalar path, instrumented — the counter baseline.
+        let scalar = engine(
+            model,
+            threads,
+            false,
+            Obs::new(Arc::clone(&scalar_recorder)),
+        );
+        assert!(compiled.compiled() && !dark.compiled() && !scalar.compiled());
+
+        let mut at = 0;
+        for chunk in requests.chunks(BATCH) {
+            let got = compiled.submit(chunk);
+            let got_dark = dark.submit(chunk);
+            let got_scalar = scalar.submit(chunk);
+            for (i, response) in got.iter().enumerate() {
+                assert_eq!(
+                    response.prediction,
+                    expected[at + i],
+                    "{ctx}: instrumented kernel diverged at request {}",
+                    at + i
+                );
+            }
+            assert_eq!(got, got_dark, "{ctx}: telemetry changed a response");
+            assert_eq!(got, got_scalar, "{ctx}: kernel on/off disagreed observed");
+            at += chunk.len();
+        }
+
+        for s in 0..STREAMS {
+            let want = bits(reference_states[s as usize].posterior());
+            assert_eq!(
+                bits(&compiled.posterior(s).expect("stream exists")),
+                want,
+                "{ctx}: posterior of stream {s} (instrumented compiled)"
+            );
+            assert_eq!(
+                bits(&dark.posterior(s).expect("stream exists")),
+                want,
+                "{ctx}: posterior of stream {s} (uninstrumented scalar)"
+            );
+        }
+        (compiled.fleet_evidence(), scalar.fleet_evidence())
+        // engines drop here: final flush lands in the recorders
+    };
+
+    // Kernel-derived counters are integer-exact: equal to the scalar
+    // path's and to the recomputed ground truth.
+    let from_kernel = counters(&instrumented);
+    let from_scalar = counters(&scalar_recorder);
+    assert_eq!(from_kernel, truth, "{ctx}: kernel counters vs ground truth");
+    assert_eq!(from_scalar, truth, "{ctx}: scalar counters vs ground truth");
+
+    // The cumulative fleet evidence (Σ Eq. 7 likelihood, absorbed) is
+    // accumulated per task in the same shard grouping on both paths, so
+    // it matches bit-for-bit, not approximately.
+    assert_eq!(
+        fleet_compiled.0.to_bits(),
+        fleet_scalar.0.to_bits(),
+        "{ctx}: fleet likelihood sum (compiled vs scalar)"
+    );
+    assert_eq!(fleet_compiled.1, truth.observed, "{ctx}: absorbed count");
+
+    // Stage histograms are a compiled-kernel feature: the instrumented
+    // kernel run must have them, the scalar run must not.
+    assert!(
+        instrumented.merged_hist("serve.stage_intern_ns").count() > 0,
+        "{ctx}: compiled run emits intern-stage durations"
+    );
+    assert!(
+        instrumented.merged_hist("serve.stage_evaluate_ns").count() > 0,
+        "{ctx}: compiled run emits evaluate-stage durations"
+    );
+    assert!(
+        instrumented.merged_hist("serve.stage_apply_ns").count() > 0,
+        "{ctx}: compiled run emits apply-stage durations"
+    );
+    assert_eq!(
+        scalar_recorder.merged_hist("serve.stage_intern_ns").count(),
+        0,
+        "{ctx}: scalar path has no intern stage"
+    );
+    assert!(
+        scalar_recorder.merged_hist("serve.stage_apply_ns").count() > 0,
+        "{ctx}: scalar run still emits apply durations"
+    );
+}
+
+#[test]
+fn instrumented_kernel_is_bit_identical_and_counter_exact_single_thread() {
+    let (model, test) = fixture();
+    assert_observed_kernel_exact(&model, &test, 1);
+}
+
+#[test]
+fn instrumented_kernel_is_bit_identical_and_counter_exact_multi_thread() {
+    let (model, test) = fixture();
+    assert_observed_kernel_exact(&model, &test, 8);
+}

@@ -11,6 +11,11 @@
 //! * **`/metrics` is live Prometheus text** holding the request and
 //!   eviction counters and the batch-latency histogram (the body is
 //!   also written to `$HOM_SMOKE_METRICS_OUT` for CI's format check);
+//! * **`/concepts` and `/slo` answer mid-traffic** — the absorbed
+//!   counter is integer-exact against the request count, the SLO layer
+//!   counts every batch, and both bodies are valid Prometheus text
+//!   (written to `$HOM_SMOKE_CONCEPTS_OUT` / `$HOM_SMOKE_SLO_OUT` for
+//!   CI's format check);
 //! * **`/streams/<id>` returns the live posterior bit-for-bit** — the
 //!   scraped JSON floats parse back equal to the engine's in-memory
 //!   `FilterState`, to the bit;
@@ -186,9 +191,66 @@ fn main() {
     for line in flight.lines() {
         jsonl::parse_line(line).expect("flight line parses");
     }
+
+    // /concepts reports live fleet analytics: every record carried a
+    // label, so the absorbed counter equals the request count exactly,
+    // and the per-concept families carry one labeled row per concept.
+    let concepts = get(addr, "/concepts");
+    assert!(
+        concepts.contains(&format!("hom_concept_records_absorbed_total {REQUESTS}\n")),
+        "absorbed counter missing or wrong:\n{concepts}"
+    );
+    assert!(
+        counter_value(&concepts, "hom_concept_live_streams") > 0.0,
+        "{concepts}"
+    );
+    assert!(
+        concepts.contains("hom_concept_posterior_mass{concept=\"0\"}"),
+        "per-concept posterior mass missing:\n{concepts}"
+    );
+    assert!(
+        concepts.contains("hom_concept_map_streams{concept=\"0\"}"),
+        "per-concept MAP share missing:\n{concepts}"
+    );
+    let mean_likelihood = counter_value(&concepts, "hom_concept_fleet_mean_likelihood");
+    assert!(
+        mean_likelihood > 0.0 && mean_likelihood <= 1.0,
+        "fleet mean likelihood out of range:\n{concepts}"
+    );
+    if let Ok(out) = std::env::var("HOM_SMOKE_CONCEPTS_OUT") {
+        if !out.is_empty() {
+            std::fs::write(&out, &concepts).expect("writing the scraped concepts body");
+            println!("  scraped /concepts body saved to {out}");
+        }
+    }
+
+    // /slo tracks the batch-latency objective over the same cumulative
+    // histogram `/metrics` exports — every submitted batch is counted.
+    let slo = get(addr, "/slo");
+    assert!(counter_value(&slo, "hom_slo_objective_ns") > 0.0, "{slo}");
+    let slo_batches = counter_value(&slo, "hom_slo_batches_total");
+    assert_eq!(
+        slo_batches as usize,
+        REQUESTS / BATCH,
+        "SLO must count every batch:\n{slo}"
+    );
+    let compliance = counter_value(&slo, "hom_slo_compliance");
+    assert!(
+        (0.0..=1.0).contains(&compliance),
+        "compliance out of range:\n{slo}"
+    );
+    assert!(counter_value(&slo, "hom_slo_burn_rate") >= 0.0, "{slo}");
+    if let Ok(out) = std::env::var("HOM_SMOKE_SLO_OUT") {
+        if !out.is_empty() {
+            std::fs::write(&out, &slo).expect("writing the scraped SLO body");
+            println!("  scraped /slo body saved to {out}");
+        }
+    }
+
     println!(
         "  ok: /healthz, /metrics ({evictions:.0} evictions), /streams/<id> \
-         bit-for-bit, /flight ({} events)",
+         bit-for-bit, /flight ({} events), /concepts ({REQUESTS} absorbed), \
+         /slo ({slo_batches:.0} batches)",
         flight.lines().count()
     );
     server.shutdown();

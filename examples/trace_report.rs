@@ -15,10 +15,14 @@
 //!   histogram and the early-termination statistics of §III-C;
 //! * the **worker pools**: how the parallel maps distributed work;
 //! * the **serving engine**: request/eviction/unpark totals, batch
-//!   latency, per-shard occupancy and hot-swap pauses;
+//!   latency, the kernel stage durations (intern / evaluate / apply)
+//!   with dedup ratio and batch shape, fleet-wide early termination,
+//!   per-concept posterior mass and MAP share, SLO exemplar counts,
+//!   per-shard occupancy and hot-swap pauses;
 //! * the **adaptation loop**: the evidence windows (mean likelihood and
-//!   entropy sparklines), trigger → recovery → admission lifecycle
-//!   counts and flight-recorder incident dumps.
+//!   entropy sparklines, per monitor stream and fleet-wide), trigger →
+//!   recovery → admission lifecycle counts and flight-recorder incident
+//!   dumps.
 //!
 //! Works on `HOM_TRACE` files and on flight-recorder dumps (`/flight`,
 //! trigger incident reports) alike — they share the JSONL format.
@@ -86,16 +90,30 @@ const KNOWN_EVENTS: &[&str] = &[
     "pool.worker_busy_us",
     "pool.worker_tasks",
     // serving engine (hom-serve)
+    "serve.batch_distinct",
     "serve.batch_latency_ns",
+    "serve.batch_requests",
     "serve.batches",
+    "serve.concept_map_hits",
+    "serve.concept_map_streams",
+    "serve.concept_posterior_mass",
+    "serve.concepts_consulted",
+    "serve.dedup_ratio",
     "serve.evictions",
+    "serve.fleet_mean_entropy",
+    "serve.fleet_mean_likelihood",
     "serve.live_streams",
     "serve.model_epoch",
     "serve.parked_streams",
+    "serve.pruned_records",
     "serve.records_observed",
     "serve.records_predicted",
     "serve.shard_live",
     "serve.shard_parked",
+    "serve.slo_exemplars",
+    "serve.stage_apply_ns",
+    "serve.stage_evaluate_ns",
+    "serve.stage_intern_ns",
     "serve.swap_live_migrated",
     "serve.swap_parked_migrated",
     "serve.swap_pause_ns",
@@ -107,6 +125,7 @@ const KNOWN_EVENTS: &[&str] = &[
     "adapt.admissions_matched",
     "adapt.admissions_novel",
     "adapt.evidence",
+    "adapt.fleet_evidence",
     "adapt.flight_dump_failures",
     "adapt.flight_dumps",
     "adapt.recoveries",
@@ -434,6 +453,22 @@ fn counter_total(events: &[OwnedEvent], key: &str) -> u64 {
         .sum()
 }
 
+/// The most recent `gauge` event named `key`, if any.
+fn last_gauge(events: &[OwnedEvent], key: &str) -> Option<f64> {
+    events.iter().rev().find_map(|e| match e {
+        OwnedEvent::Gauge { name, value, .. } if name == key => Some(*value),
+        _ => None,
+    })
+}
+
+/// The most recent `series` event named `key`, if any.
+fn last_series<'a>(events: &'a [OwnedEvent], key: &str) -> Option<&'a Vec<f64>> {
+    events.iter().rev().find_map(|e| match e {
+        OwnedEvent::Series { name, values, .. } if name == key => Some(values),
+        _ => None,
+    })
+}
+
 /// All `hist` events named `key`, merged.
 fn merged_hist(events: &[OwnedEvent], key: &str) -> Histogram {
     let mut out = Histogram::new();
@@ -473,6 +508,87 @@ fn report_serving(events: &[OwnedEvent]) {
             latency.quantile(0.5),
             latency.quantile(0.99),
         );
+    }
+
+    // Kernel stage taxonomy: per-task durations of the compiled hot
+    // path's three stages. The scalar path only times `apply`.
+    for (name, label) in [
+        ("serve.stage_intern_ns", "stage: intern (ns/task)"),
+        ("serve.stage_evaluate_ns", "stage: evaluate (ns/task)"),
+        ("serve.stage_apply_ns", "stage: apply (ns/task)"),
+    ] {
+        let stage = merged_hist(events, name);
+        if stage.count() > 0 {
+            println!(
+                "  {label:<27} n = {}   mean = {:.0}   p99 <= {:.0}",
+                stage.count(),
+                stage.mean(),
+                stage.quantile(0.99),
+            );
+        }
+    }
+    let shape = merged_hist(events, "serve.batch_requests");
+    let distinct = merged_hist(events, "serve.batch_distinct");
+    if shape.count() > 0 {
+        print!(
+            "  batch shape                 mean {:.0} requests/batch",
+            shape.mean()
+        );
+        if distinct.count() > 0 {
+            print!(", {:.0} distinct records", distinct.mean());
+        }
+        println!();
+    }
+    if let Some(ratio) = last_gauge(events, "serve.dedup_ratio") {
+        println!("  dedup ratio                 {ratio:.2} interned per distinct record");
+    }
+
+    // Fleet-wide early termination (sec. III-C on the serving path).
+    let pruned = counter_total(events, "serve.pruned_records");
+    let consulted = counter_total(events, "serve.concepts_consulted");
+    if predicted > 0 && consulted > 0 {
+        println!(
+            "  early termination           {pruned} pruned ({:.1}%), {:.2} concepts per record",
+            100.0 * pruned as f64 / predicted as f64,
+            consulted as f64 / predicted as f64,
+        );
+    }
+
+    // Live concept analytics: the last flushed per-concept series are
+    // the fleet's current posterior mass and MAP share.
+    if let Some(mass) = last_series(events, "serve.concept_posterior_mass") {
+        let total: f64 = mass.iter().sum();
+        let normalized: Vec<f64> = mass
+            .iter()
+            .map(|&v| v / total.max(f64::MIN_POSITIVE))
+            .collect();
+        println!(
+            "  concept posterior mass      {}  ({} concepts)",
+            sparkline(&normalized, 32),
+            mass.len(),
+        );
+    }
+    if let Some(map) = last_series(events, "serve.concept_map_streams") {
+        let peak = map.iter().cloned().fold(0.0f64, f64::max);
+        let normalized: Vec<f64> = map.iter().map(|&v| v / peak.max(1.0)).collect();
+        println!(
+            "  MAP streams per concept     {}  (max {:.0})",
+            sparkline(&normalized, 32),
+            peak,
+        );
+    }
+    let lik = last_gauge(events, "serve.fleet_mean_likelihood");
+    let ent = last_gauge(events, "serve.fleet_mean_entropy");
+    if lik.is_some() || ent.is_some() {
+        println!(
+            "  fleet evidence              mean likelihood {:.3}, mean entropy {:.3}",
+            lik.unwrap_or(1.0),
+            ent.unwrap_or(0.0),
+        );
+    }
+    let exemplars = counter_total(events, "serve.slo_exemplars");
+    if exemplars > 0 {
+        println!("  SLO exemplars captured      {exemplars} slow batches sampled");
     }
 
     // Shard occupancy: the last flushed per-shard series is the final
@@ -540,8 +656,17 @@ fn report_adapt(events: &[OwnedEvent]) {
             _ => None,
         })
         .collect();
+    let fleet: Vec<&Vec<f64>> = events
+        .iter()
+        .filter_map(|e| match e {
+            OwnedEvent::Series { name, values, .. } if name == "adapt.fleet_evidence" => {
+                Some(values)
+            }
+            _ => None,
+        })
+        .collect();
     let triggers = counter_total(events, "adapt.triggers");
-    if evidence.is_empty() && triggers == 0 {
+    if evidence.is_empty() && fleet.is_empty() && triggers == 0 {
         return;
     }
     println!("\n== adaptation (novelty detection & maintenance) ==");
@@ -560,6 +685,24 @@ fn report_adapt(events: &[OwnedEvent]) {
             sparkline(&likelihood, 64)
         );
         println!("  mean entropy  (H/ln N)      {}", sparkline(&entropy, 64));
+    }
+    if !fleet.is_empty() {
+        // Fleet-wide evidence ingested from the serving engine's kernel
+        // accumulators: interval mean likelihood + fleet entropy.
+        let likelihood: Vec<f64> = fleet.iter().map(|v| v[0]).collect();
+        let entropy: Vec<f64> = fleet
+            .iter()
+            .map(|v| v.get(1).copied().unwrap_or(0.0))
+            .collect();
+        println!(
+            "  fleet evidence intervals    {} (from serving kernel telemetry)",
+            fleet.len()
+        );
+        println!(
+            "  fleet mean likelihood       {}",
+            sparkline(&likelihood, 64)
+        );
+        println!("  fleet mean entropy          {}", sparkline(&entropy, 64));
     }
     if triggers > 0 {
         println!(
