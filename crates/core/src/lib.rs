@@ -38,5 +38,5 @@ pub use compiled::{BatchStats, BatchTable, CompiledModel, KernelScratch};
 pub use concept::Concept;
 pub use filter::{FilterIntrospection, FilterState, FilterView};
 pub use online::{OnlineOptions, OnlinePredictor};
-pub use snapshot::{snapshot_epoch, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{fnv1a, snapshot_epoch, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use transition::TransitionStats;

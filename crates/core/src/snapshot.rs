@@ -107,8 +107,10 @@ impl fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {}
 
 /// FNV-1a over `bytes` — enough to reject bit flips and splices; this is
-/// an integrity check, not an authenticity one.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// an integrity check, not an authenticity one. Public because the codec
+/// framing is shared: `hom-store` seals every WAL/segment record with the
+/// same checksum that seals the snapshot payload inside it.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

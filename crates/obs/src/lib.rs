@@ -55,6 +55,7 @@
 //! | `pool.*` | the worker pool (`hom-parallel`) | `pool.worker_tasks` per-worker series |
 //! | `serve.*` | the serving engine (`hom-serve`) | request/eviction/unpark counters, batch-latency histogram, shard-occupancy series; hot-swap: `serve.swaps`, `serve.model_epoch`, `serve.swap_live_migrated`, `serve.swap_parked_migrated`, `serve.swap_pause_ns` (stop-the-world migration pause histogram); kernel stages (batch-amortized, one sample per fan-out task): `serve.stage_intern_ns` / `serve.stage_evaluate_ns` / `serve.stage_apply_ns` histograms, `serve.batch_requests` / `serve.batch_distinct` batch-shape histograms, `serve.dedup_ratio` gauge, `serve.pruned_records` + `serve.concepts_consulted` counters |
 //! | `serve.concept_*`, `serve.fleet_*`, `serve.slo_*` | fleet concept analytics & SLO (`hom-serve`) | `serve.concept_posterior_mass` / `serve.concept_map_streams` / `serve.concept_map_hits` series (one sample per flush, indexed by concept; also rendered with labels by `/concepts`), `serve.fleet_mean_likelihood` + `serve.fleet_mean_entropy` gauges (cumulative Eq. 7 evidence over every absorbed record), `serve.slo_exemplars` counter (slow-batch exemplars captured, see [`exemplar`]) |
+//! | `store.*` | the durable state tier (`hom-store`) | group-commit counters: `store.appends` / `store.append_bytes` / `store.commits` / `store.commit_records` + `store.fsync_ns` histogram; tiering: `store.unparks` (disk-tier unparks), `store.parked` / `store.pending_bytes` / `store.segments` gauges; segment lifecycle: `store.seals`, `store.compactions` + `store.reclaimed_bytes`; health: `store.io_errors`; recovery (emitted once at open): `store.recovery_ns` / `store.recovered_streams` gauges + `store.truncated_bytes` counter |
 //! | `adapt.*` | novelty & maintenance (`hom-adapt`) | `adapt.evidence` series (windowed mean likelihood + entropy, one sample per window); `adapt.fleet_evidence` series (fleet-wide mean likelihood + entropy ingested from the serving engine's cumulative accumulators); lifecycle counters/gauges: `adapt.triggers` + `adapt.trigger_likelihood`, `adapt.recoveries` + `adapt.recovery_latency`, `adapt.admissions_novel` / `adapt.admissions_matched` + `adapt.admission_latency` / `adapt.admission_similarity`, `adapt.swaps` + `adapt.swap_epoch`, `adapt.swap_failures`; incident reporting: `adapt.flight_dumps`, `adapt.flight_dump_failures` |
 
 #![warn(missing_docs)]

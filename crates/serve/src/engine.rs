@@ -12,6 +12,7 @@ use hom_core::{
 use hom_data::ClassId;
 use hom_obs::{hash_sampled, Exemplar, ExemplarRing, Histogram, Obs, SloPolicy};
 use hom_parallel::Pool;
+use hom_store::{FsIo, StreamStore, STORE_DIR_ENV};
 
 use crate::request::{Request, Response, StreamId};
 use crate::shard::{shard_of, Shard};
@@ -116,6 +117,14 @@ pub enum ConfigError {
         /// The rejected value, verbatim.
         got: String,
     },
+    /// The durable store tier could not be opened: `HOM_STORE_DIR` was
+    /// set but the directory is unreadable, its files are corrupt beyond
+    /// recovery's torn-tail tolerance, or a store env knob is malformed.
+    /// Refusing to start beats silently serving without durability.
+    Store {
+        /// The underlying `StoreError`, rendered.
+        what: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -150,6 +159,9 @@ impl fmt::Display for ConfigError {
                     "invalid SLO configuration {knob}={got}: objective must be a positive \
                      finite duration, target strictly between 0 and 1"
                 )
+            }
+            ConfigError::Store { what } => {
+                write!(f, "durable store tier failed to open: {what}")
             }
         }
     }
@@ -204,6 +216,12 @@ pub struct SwapReport {
     /// Parked streams whose snapshot was decoded, migrated and
     /// re-encoded against the new model.
     pub parked_migrated: usize,
+    /// Streams parked in the durable store tier at swap time, left at
+    /// their recorded epoch for **lazy** migration: rewriting the store
+    /// under the swap's write lock would stall traffic on disk I/O, so
+    /// each snapshot migrates on its next unpark instead
+    /// ([`FilterState::restore_migrating`]). Always 0 without a store.
+    pub parked_deferred: usize,
 }
 
 /// Execution options of a [`ServeEngine`]. Like the build and online
@@ -264,6 +282,15 @@ pub struct ServeOptions {
     /// counters, per-shard occupancy). The default comes from
     /// [`Obs::from_env`]: disabled unless `HOM_TRACE=path.jsonl` is set.
     pub sink: Obs,
+    /// The durable tier under the park/unpark path. With a store,
+    /// evicted streams go to its WAL/segment files instead of the
+    /// in-RAM parked map, so a restart resumes every group-committed
+    /// stream bit-identically. `None` reads `HOM_STORE_DIR`
+    /// ([`STORE_DIR_ENV`]): when set, the engine opens a
+    /// [`StreamStore`] there (sharing this engine's `sink`); when
+    /// unset, parking stays in RAM as before. Like every option this
+    /// changes durability and wall-clock only — never an output bit.
+    pub store: Option<Arc<StreamStore>>,
 }
 
 impl Default for ServeOptions {
@@ -279,6 +306,7 @@ impl Default for ServeOptions {
             slo_objective_ns: None,
             slo_target: None,
             sink: Obs::from_env(),
+            store: None,
         }
     }
 }
@@ -584,6 +612,10 @@ pub struct ServeEngine {
     /// The batch-latency objective `/slo` evaluates and exemplar
     /// capture triggers on.
     slo: SloPolicy,
+    /// The durable tier under the park/unpark path, when configured
+    /// ([`ServeOptions::store`] / `HOM_STORE_DIR`). With a store the
+    /// in-RAM parked maps stay empty: every parked snapshot lives here.
+    store: Option<Arc<StreamStore>>,
 }
 
 impl ServeEngine {
@@ -689,6 +721,32 @@ impl ServeEngine {
                 hom_obs::SloConfigError::InvalidTarget { got } => got.to_string(),
             },
         })?;
+        let store = match &options.store {
+            Some(store) => Some(Arc::clone(store)),
+            None => match std::env::var(STORE_DIR_ENV) {
+                Ok(dir) if !dir.is_empty() => {
+                    // The store shares the engine's sink (rather than
+                    // opening its own from the environment) so one
+                    // HOM_TRACE file never has two writers.
+                    let mut store_options =
+                        hom_store::StoreOptions::from_env().map_err(|e| ConfigError::Store {
+                            what: e.to_string(),
+                        })?;
+                    store_options.sink = options.sink.clone();
+                    let io = FsIo::open(dir.as_str()).map_err(|e| ConfigError::Store {
+                        what: format!("open {dir}: {e}"),
+                    })?;
+                    Some(Arc::new(
+                        StreamStore::open_with(Arc::new(io), store_options).map_err(|e| {
+                            ConfigError::Store {
+                                what: e.to_string(),
+                            }
+                        })?,
+                    ))
+                }
+                _ => None,
+            },
+        };
         let shard_bits = shards.trailing_zeros();
         let threads = options.threads.or_else(|| env_usize(THREADS_ENV));
         let n_concepts = model.n_concepts();
@@ -717,6 +775,7 @@ impl ServeEngine {
             counters: Counters::default(),
             fleet: Mutex::new(Fleet::new(n_concepts)),
             slo,
+            store,
         })
     }
 
@@ -799,6 +858,12 @@ impl ServeEngine {
                 parked_migrated += 1;
             }
         }
+        // Store-parked snapshots are NOT rewritten under the write lock
+        // (that would stall traffic on disk I/O for every parked
+        // stream); they migrate lazily on their next unpark, which
+        // `restore_migrating` handles from the epoch stamped in each
+        // snapshot.
+        let parked_deferred = self.store.as_ref().map_or(0, |s| s.parked_len());
 
         // Recompile before publishing: the compiled form is part of the
         // serving unit, rebuilt once per model epoch under the same
@@ -826,6 +891,7 @@ impl ServeEngine {
             epoch,
             live_migrated,
             parked_migrated,
+            parked_deferred,
         })
     }
 
@@ -844,9 +910,19 @@ impl ServeEngine {
         self.shards.iter().map(|s| self.lock(s).table.len()).sum()
     }
 
-    /// Streams currently parked (hibernated snapshots) across all shards.
+    /// Streams currently parked (hibernated snapshots) across all
+    /// shards, in whichever tier (RAM map or durable store) holds them.
     pub fn parked_streams(&self) -> usize {
-        self.shards.iter().map(|s| self.lock(s).parked.len()).sum()
+        let ram: usize = self.shards.iter().map(|s| self.lock(s).parked.len()).sum();
+        ram + self.store.as_ref().map_or(0, |s| s.parked_len())
+    }
+
+    /// The durable store under the park/unpark path, when one is
+    /// configured ([`ServeOptions::store`] / `HOM_STORE_DIR`) — for
+    /// health checks, the `/store` endpoint and explicit
+    /// commits/compactions.
+    pub fn store(&self) -> Option<&Arc<StreamStore>> {
+        self.store.as_ref()
     }
 
     fn lock<'a>(&self, shard: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
@@ -891,22 +967,62 @@ impl ServeEngine {
                     let state = shard.table.materialize(model, vslot);
                     shard.table.remove(vslot);
                     shard.index.remove(victim);
-                    shard.parked.insert(victim, self.snapshot_bytes(&state));
+                    self.park_bytes(shard, victim, self.snapshot_bytes(&state));
                     self.counters.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
-        let slot = match shard.parked.remove(&stream) {
+        let slot = match self.take_parked(shard, stream) {
             Some(bytes) => {
                 self.counters.unparks.fetch_add(1, Ordering::Relaxed);
-                let state = FilterState::restore(model, &bytes)
-                    .expect("engine-written snapshots are always valid");
-                shard.table.insert_state(stream, &state, now)
+                // `restore_migrating` because the durable tier can hold
+                // snapshots recorded before a model swap (migrated here,
+                // lazily, rather than under the swap's write lock); for
+                // current-epoch snapshots it is exactly `restore`. Bytes
+                // that cannot restore at all — a store directory carried
+                // over from an incompatible model — start the stream
+                // fresh rather than panicking the serving path.
+                match FilterState::restore_migrating(model, &bytes) {
+                    Ok((state, _)) => shard.table.insert_state(stream, &state, now),
+                    Err(_) => shard.table.insert_uniform(stream, now),
+                }
             }
             None => shard.table.insert_uniform(stream, now),
         };
         shard.index.insert(stream, slot);
         slot
+    }
+
+    /// Tier a parked snapshot: into the durable store when one is
+    /// configured, the shard's in-RAM map otherwise.
+    fn park_bytes(&self, shard: &mut Shard, stream: StreamId, bytes: Vec<u8>) {
+        match &self.store {
+            Some(store) => store.park(stream, bytes),
+            None => {
+                shard.parked.insert(stream, bytes);
+            }
+        }
+    }
+
+    /// Take `stream`'s parked snapshot from whichever tier holds it. A
+    /// store read error surfaces through the store's health/counters
+    /// (`store.io_errors`) and starts the stream fresh — degraded
+    /// durability never panics the request path.
+    fn take_parked(&self, shard: &mut Shard, stream: StreamId) -> Option<Vec<u8>> {
+        if let Some(bytes) = shard.parked.remove(&stream) {
+            return Some(bytes);
+        }
+        let store = self.store.as_ref()?;
+        store.unpark(stream).ok().flatten()
+    }
+
+    /// Give the durable tier its group-commit heartbeat: a cheap
+    /// pending/cadence check per batch, one fsync per interval. No-op
+    /// without a store; errors surface as degraded health, not here.
+    fn commit_tick(&self) {
+        if let Some(store) = &self.store {
+            let _ = store.maybe_commit();
+        }
     }
 
     /// Serialize a state the engine's way: current-epoch stamp.
@@ -1126,6 +1242,8 @@ impl ServeEngine {
                 }
             }
         }
+        // Outside the telemetry gate: durability is not observability.
+        self.commit_tick();
         out
     }
 
@@ -1458,6 +1576,7 @@ impl ServeEngine {
             self.fold_counters(&stats);
             self.lock_fleet().absorb_stats(&stats);
         }
+        self.commit_tick();
         response
     }
 
@@ -1471,10 +1590,21 @@ impl ServeEngine {
         if let Some(slot) = shard.index.get(stream) {
             return Some(f(&shard.table.materialize(&serving.model, slot)));
         }
-        let bytes = shard.parked.get(&stream)?;
-        let state = FilterState::restore(&serving.model, bytes)
-            .expect("engine-written snapshots are valid");
+        let bytes = self.parked_bytes(&shard, stream)?;
+        let (state, _) = FilterState::restore_migrating(&serving.model, &bytes).ok()?;
         Some(f(&state))
+    }
+
+    /// A parked stream's snapshot bytes from whichever tier holds it,
+    /// without unparking — the read-only introspection path. Store bytes
+    /// may be stamped with an older model epoch (lazy post-swap
+    /// migration); callers decode with
+    /// [`FilterState::restore_migrating`].
+    fn parked_bytes(&self, shard: &Shard, stream: StreamId) -> Option<Vec<u8>> {
+        if let Some(bytes) = shard.parked.get(&stream) {
+            return Some(bytes.clone());
+        }
+        self.store.as_ref()?.get(stream).ok().flatten()
     }
 
     /// The stream's current posterior `P_t(c)`, if the stream exists.
@@ -1497,9 +1627,8 @@ impl ServeEngine {
                 introspection: shard.table.materialize(&serving.model, slot).introspect(),
             });
         }
-        let bytes = shard.parked.get(&stream)?;
-        let state = FilterState::restore(&serving.model, bytes)
-            .expect("engine-written snapshots are valid");
+        let bytes = self.parked_bytes(&shard, stream)?;
+        let (state, _) = FilterState::restore_migrating(&serving.model, &bytes).ok()?;
         Some(StreamInfo {
             live: false,
             epoch,
@@ -1511,13 +1640,23 @@ impl ServeEngine {
     /// payload of the `/shards` route and the same numbers the
     /// `serve.shard_live` / `serve.shard_parked` trace series report.
     pub fn shard_occupancy(&self) -> Vec<(usize, usize)> {
-        self.shards
+        let mut occupancy: Vec<(usize, usize)> = self
+            .shards
             .iter()
             .map(|s| {
                 let shard = self.lock(s);
                 (shard.table.len(), shard.parked.len())
             })
-            .collect()
+            .collect();
+        // Store-parked streams belong to their home shard in this view:
+        // the tier is an implementation detail of parking, not a
+        // placement change.
+        if let Some(store) = &self.store {
+            for id in store.parked_ids() {
+                occupancy[self.shard_index(id)].1 += 1;
+            }
+        }
+        occupancy
     }
 
     /// Serialize a stream's state with the versioned snapshot codec —
@@ -1529,7 +1668,10 @@ impl ServeEngine {
         if let Some(slot) = shard.index.get(stream) {
             return Some(self.snapshot_bytes(&shard.table.materialize(&serving.model, slot)));
         }
-        shard.parked.get(&stream).cloned()
+        // Store-parked bytes are returned as recorded — possibly an
+        // older epoch's stamp, which `restore`/`restore_migrating`
+        // accepts like any other saved snapshot.
+        self.parked_bytes(&shard, stream)
     }
 
     /// Install a snapshotted state as `stream`, validating the bytes
@@ -1548,6 +1690,11 @@ impl ServeEngine {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.lock(&self.shards[self.shard_index(stream)]);
         shard.parked.remove(&stream);
+        // The restored state supersedes any store-parked snapshot; like
+        // an unpark, it is volatile until the stream is next parked.
+        if let Some(store) = &self.store {
+            store.mark_resident(stream);
+        }
         if let Some(slot) = shard.index.remove(stream) {
             shard.table.remove(slot);
         }
@@ -1561,17 +1708,23 @@ impl ServeEngine {
     /// resumes — bit-identically — on its next request.
     pub fn park(&self, stream: StreamId) -> bool {
         let serving = self.serving_guard();
-        let mut shard = self.lock(&self.shards[self.shard_index(stream)]);
-        match shard.index.remove(stream) {
-            Some(slot) => {
-                let state = shard.table.materialize(&serving.model, slot);
-                shard.table.remove(slot);
-                shard.parked.insert(stream, self.snapshot_bytes(&state));
-                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
-                true
+        let parked = {
+            let mut shard = self.lock(&self.shards[self.shard_index(stream)]);
+            match shard.index.remove(stream) {
+                Some(slot) => {
+                    let state = shard.table.materialize(&serving.model, slot);
+                    shard.table.remove(slot);
+                    self.park_bytes(&mut shard, stream, self.snapshot_bytes(&state));
+                    self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                None => false,
             }
-            None => false,
+        };
+        if parked {
+            self.commit_tick();
         }
+        parked
     }
 
     /// Forget a stream entirely (live or parked). Returns whether it
@@ -1586,7 +1739,11 @@ impl ServeEngine {
             }
             None => false,
         };
-        shard.parked.remove(&stream).is_some() || was_live
+        let was_parked = shard.parked.remove(&stream).is_some();
+        // The store appends a tombstone (durable at the next commit), so
+        // a restart does not resurrect the forgotten stream.
+        let was_stored = self.store.as_ref().is_some_and(|s| s.remove(stream));
+        was_live || was_parked || was_stored
     }
 
     /// Park every live stream idle for more than the configured
@@ -1609,12 +1766,13 @@ impl ServeEngine {
                 let state = shard.table.materialize(&serving.model, slot);
                 shard.table.remove(slot);
                 shard.index.remove(id);
-                shard.parked.insert(id, self.snapshot_bytes(&state));
+                self.park_bytes(&mut shard, id, self.snapshot_bytes(&state));
                 parked += 1;
             }
         }
         if parked > 0 {
             self.counters.evictions.fetch_add(parked, Ordering::Relaxed);
+            self.commit_tick();
         }
         parked as usize
     }
@@ -1696,7 +1854,7 @@ impl ServeEngine {
         // Per-shard occupancy: one series sample per flush, indexed by
         // flush sequence, one value per shard.
         let flush = self.counters.flushes.fetch_add(1, Ordering::Relaxed);
-        let (live, parked): (Vec<f64>, Vec<f64>) = self
+        let (live, mut parked): (Vec<f64>, Vec<f64>) = self
             .shards
             .iter()
             .map(|s| {
@@ -1704,6 +1862,11 @@ impl ServeEngine {
                 (shard.table.len() as f64, shard.parked.len() as f64)
             })
             .unzip();
+        if let Some(store) = &self.store {
+            for id in store.parked_ids() {
+                parked[self.shard_index(id)] += 1.0;
+            }
+        }
         self.obs.series("serve.shard_live", flush, &live);
         self.obs.series("serve.shard_parked", flush, &parked);
         self.obs.gauge("serve.live_streams", live.iter().sum());
@@ -1725,6 +1888,12 @@ impl ServeEngine {
         self.obs.series("serve.concept_map_hits", flush, &hits);
         self.obs
             .gauge("serve.fleet_mean_entropy", analytics.mean_entropy);
+
+        // Chain the durable tier's own `store.*` interval metrics onto
+        // the engine's flush cadence (the two share one sink).
+        if let Some(store) = &self.store {
+            store.flush_trace();
+        }
     }
 
     /// The engine's batch-latency SLO policy (from
@@ -1809,6 +1978,26 @@ impl ServeEngine {
 
 impl Drop for ServeEngine {
     fn drop(&mut self) {
+        // A clean shutdown is lossless: park every live stream into the
+        // durable tier (a crash preserves only states parked + committed
+        // by then — this is what distinguishes the two), then
+        // group-commit so recovery has nothing to roll back.
+        if let Some(store) = &self.store {
+            let serving = self.serving_guard();
+            for mutex in &self.shards {
+                let mut shard = self.lock(mutex);
+                let live: Vec<(StreamId, u32)> =
+                    shard.table.iter().map(|(id, slot, _)| (id, slot)).collect();
+                for (id, slot) in live {
+                    let state = shard.table.materialize(&serving.model, slot);
+                    shard.table.remove(slot);
+                    shard.index.remove(id);
+                    store.park(id, self.snapshot_bytes(&state));
+                }
+            }
+            drop(serving);
+            let _ = store.commit();
+        }
         self.flush_trace();
     }
 }

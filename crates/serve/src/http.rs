@@ -376,6 +376,15 @@ fn handle_connection(
         }
         "/healthz" => respond(conn, "200 OK", "application/json", &healthz_json(engine)),
         "/shards" => respond(conn, "200 OK", "application/json", &shards_json(engine)),
+        "/store" => match engine.store() {
+            Some(store) => respond(conn, "200 OK", "application/json", &store_json(store)),
+            None => respond(
+                conn,
+                "404 Not Found",
+                "text/plain",
+                "no durable store configured\n",
+            ),
+        },
         "/flight" => respond(
             conn,
             "200 OK",
@@ -427,6 +436,56 @@ fn healthz_json(engine: &ServeEngine) -> String {
     out.push_str(&engine.parked_streams().to_string());
     out.push_str("}\n");
     out
+}
+
+/// The durable tier's shape, counters and degraded-mode signal — the
+/// `/store` payload, everything an operator needs to answer "is my
+/// parked state actually on disk, and how much of it is garbage".
+fn store_json(store: &hom_store::StreamStore) -> String {
+    let s = store.status();
+    let health = store.health();
+    let last_error = match &health.last_error {
+        Some(e) => format!(
+            "\"{}\"",
+            e.to_string().replace('\\', "\\\\").replace('"', "\\\"")
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        concat!(
+            "{{\"parked\":{parked},\"pending_records\":{pending_records},",
+            "\"pending_bytes\":{pending_bytes},\"segments\":{segments},",
+            "\"live_bytes\":{live_bytes},\"dead_bytes\":{dead_bytes},",
+            "\"commits\":{commits},\"commit_records\":{commit_records},",
+            "\"seals\":{seals},\"compactions\":{compactions},",
+            "\"reclaimed_bytes\":{reclaimed_bytes},\"disk_unparks\":{disk_unparks},",
+            "\"io_errors\":{io_errors},\"degraded\":{degraded},",
+            "\"last_error\":{last_error},\"recovery\":{{",
+            "\"files\":{rec_files},\"records\":{rec_records},",
+            "\"streams\":{rec_streams},\"truncated_bytes\":{rec_truncated},",
+            "\"duration_ns\":{rec_ns}}}}}\n"
+        ),
+        parked = s.parked,
+        pending_records = s.pending_records,
+        pending_bytes = s.pending_bytes,
+        segments = s.segments,
+        live_bytes = s.live_bytes,
+        dead_bytes = s.dead_bytes,
+        commits = s.commits,
+        commit_records = s.commit_records,
+        seals = s.seals,
+        compactions = s.compactions,
+        reclaimed_bytes = s.reclaimed_bytes,
+        disk_unparks = s.disk_unparks,
+        io_errors = s.io_errors,
+        degraded = s.degraded,
+        last_error = last_error,
+        rec_files = s.recovery.files,
+        rec_records = s.recovery.records,
+        rec_streams = s.recovery.streams,
+        rec_truncated = s.recovery.truncated_bytes,
+        rec_ns = s.recovery.duration_ns,
+    )
 }
 
 fn shards_json(engine: &ServeEngine) -> String {

@@ -92,6 +92,13 @@ pub use engine::{
 };
 pub use http::{MetricsConfigError, MetricsServer, ServeTelemetry, METRICS_ADDR_ENV};
 pub use request::{Request, Response, StreamId};
+// The durable-tier types an engine embedder needs: construct a store for
+// [`ServeOptions::store`], read its health/status through
+// [`ServeEngine::store`]. The full API (I/O seam, codec) is `hom_store`.
+pub use hom_store::{
+    StoreError, StoreHealth, StoreOptions, StoreStatus, StreamStore, STORE_COMMIT_US_ENV,
+    STORE_DIR_ENV,
+};
 
 #[cfg(test)]
 mod tests {

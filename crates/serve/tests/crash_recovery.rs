@@ -1,0 +1,229 @@
+//! SIGKILL crash-recovery differential, process-level.
+//!
+//! The parent spawns this same test binary as a child serving process.
+//! The child runs known traffic on a set of A-streams, parks them and
+//! group-commits — the durable cut — then drops a marker file and
+//! hammers unrelated B-streams forever. The parent waits for the
+//! marker, kills the child with SIGKILL mid-traffic, restarts an
+//! engine against the same store directory, and asserts every A-stream
+//! continues **bit-identically** against an uninterrupted in-RAM
+//! reference engine. Run at one worker thread and at eight.
+//!
+//! Only streams untouched after their committed park are compared:
+//! that is the durability contract — a crash preserves exactly the
+//! parked states covered by the last group commit.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hom_classifiers::DecisionTreeLearner;
+use hom_cluster::ClusterParams;
+use hom_core::{build, BuildParams, HighOrderModel};
+use hom_data::stream::collect;
+use hom_data::{StreamRecord, StreamSource};
+use hom_datagen::{StaggerParams, StaggerSource};
+use hom_obs::Obs;
+use hom_serve::{Request, ServeEngine, ServeOptions, StreamStore};
+use hom_store::{FsIo, StoreOptions};
+
+/// Env var carrying the store directory; set only in the child.
+const CHILD_ENV: &str = "HOM_CRASH_CHILD_DIR";
+const THREADS_ENV: &str = "HOM_CRASH_CHILD_THREADS";
+const A_STREAMS: u64 = 4;
+const PHASE1: usize = 400;
+
+fn bits(p: &[f64]) -> Vec<u64> {
+    p.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Deterministic model + traffic, identical in parent and child.
+fn fixture() -> (Arc<HighOrderModel>, Vec<StreamRecord>) {
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda: 0.01,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, 3000);
+    let (model, _) = build(
+        &data,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let test: Vec<StreamRecord> = (0..1200).map(|_| src.next_record()).collect();
+    (Arc::new(model), test)
+}
+
+fn open_store(dir: &Path) -> Arc<StreamStore> {
+    let io = FsIo::open(dir).expect("store dir");
+    Arc::new(
+        StreamStore::open_with(
+            Arc::new(io),
+            StoreOptions {
+                commit_interval_us: 0,
+                sink: Obs::none(),
+                ..Default::default()
+            },
+        )
+        .expect("open store"),
+    )
+}
+
+fn engine_options(store: Arc<StreamStore>, threads: usize) -> ServeOptions {
+    ServeOptions {
+        threads: Some(threads),
+        store: Some(store),
+        ..Default::default()
+    }
+}
+
+/// Child-process body. A no-op under a normal test run; the real work
+/// happens only when the parent spawns this binary with [`CHILD_ENV`]
+/// set, and then it never returns — the parent SIGKILLs it.
+#[test]
+fn crash_child() {
+    let Some(dir) = std::env::var_os(CHILD_ENV) else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let store_dir = dir.join("store");
+    let threads: usize = std::env::var(THREADS_ENV)
+        .expect("child threads")
+        .parse()
+        .expect("child threads parse");
+    let (model, test) = fixture();
+    let engine = ServeEngine::with_options(model, &engine_options(open_store(&store_dir), threads));
+
+    // Phase 1: known traffic on the A-streams, round-robin.
+    for (t, r) in test[..PHASE1].iter().enumerate() {
+        engine.step(t as u64 % A_STREAMS, &r.x, r.y);
+    }
+    // The durable cut: park and group-commit every A-stream.
+    for s in 0..A_STREAMS {
+        assert!(engine.park(s), "A-stream {s} was live");
+    }
+    engine
+        .store()
+        .expect("store")
+        .commit()
+        .expect("durable cut");
+
+    // Signal the parent via atomic rename so it never reads a
+    // half-written marker. The marker lives beside the store directory,
+    // not inside it — recovery treats foreign files as corruption.
+    let tmp = dir.join("durable.tmp");
+    std::fs::write(&tmp, b"cut").expect("marker write");
+    std::fs::rename(&tmp, dir.join("durable")).expect("marker rename");
+
+    // Phase 2: endless churn on unrelated B-streams — every lap parks
+    // and re-unparks them, so the WAL is being appended and fsynced
+    // when the SIGKILL lands. The A-stream records all precede the
+    // committed cut, so no crash point can tear them.
+    loop {
+        for r in &test {
+            let batch: Vec<Request> = (0..4u64)
+                .map(|b| Request::Step {
+                    stream: 100 + b,
+                    x: r.x.to_vec(),
+                    y: r.y,
+                })
+                .collect();
+            engine.submit(&batch);
+            for b in 0..4u64 {
+                engine.park(100 + b);
+            }
+        }
+    }
+}
+
+fn run_crash(threads: usize, tag: &str) {
+    let dir = std::env::temp_dir().join(format!("hom-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("store")).expect("store dir");
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = Command::new(exe)
+        .args(["--exact", "crash_child", "--nocapture", "--test-threads=1"])
+        .env(CHILD_ENV, &dir)
+        .env(THREADS_ENV, threads.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serving child");
+
+    // Wait for the durable cut, then let phase-2 churn run so the kill
+    // lands mid-write.
+    let marker = dir.join("durable");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !marker.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "child never reached the durable cut"
+        );
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("child exited before the kill: {status}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap child");
+
+    // Uninterrupted reference: the same phase-1 traffic, pure RAM.
+    let (model, test) = fixture();
+    let reference = ServeEngine::with_options(
+        Arc::clone(&model),
+        &ServeOptions {
+            threads: Some(1),
+            ..Default::default()
+        },
+    );
+    for (t, r) in test[..PHASE1].iter().enumerate() {
+        reference.step(t as u64 % A_STREAMS, &r.x, r.y);
+    }
+
+    // Restart against the crashed directory: recovery must surface
+    // every committed A-stream, whatever torn B-stream tail the kill
+    // left behind.
+    let store = open_store(&dir.join("store"));
+    for s in 0..A_STREAMS {
+        assert!(store.contains(s), "A-stream {s} lost across the crash");
+    }
+    let engine = ServeEngine::with_options(Arc::clone(&model), &engine_options(store, threads));
+    for (t, r) in test[PHASE1..].iter().enumerate() {
+        let s = t as u64 % A_STREAMS;
+        assert_eq!(
+            engine.step(s, &r.x, r.y),
+            reference.step(s, &r.x, r.y),
+            "threads {threads}: post-crash prediction diverged at t = {t}"
+        );
+    }
+    for s in 0..A_STREAMS {
+        assert_eq!(
+            bits(&engine.posterior(s).expect("served")),
+            bits(&reference.posterior(s).expect("served")),
+            "threads {threads}: stream {s} final posterior diverged across the crash"
+        );
+    }
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_mid_traffic_recovers_bit_identically_threads_1() {
+    run_crash(1, "t1");
+}
+
+#[test]
+fn sigkill_mid_traffic_recovers_bit_identically_threads_8() {
+    run_crash(8, "t8");
+}

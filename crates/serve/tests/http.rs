@@ -312,3 +312,70 @@ fn concurrent_scraping_never_changes_predictions() {
     assert_eq!(quiet_preds, scraped_preds, "scraping changed a prediction");
     assert_eq!(quiet_posts, scraped_posts, "scraping changed a posterior");
 }
+
+/// The `/store` route: tier status as JSON when a durable store is
+/// configured, a clean 404 when there is none.
+#[test]
+fn store_route_reports_tier_status_and_404s_without_one() {
+    let (model, test) = fixture();
+
+    // No store configured: /store is a 404, not a panic or empty 200.
+    let telemetry = ServeTelemetry::new();
+    let plain = Arc::new(ServeEngine::with_options(
+        Arc::clone(&model),
+        &ServeOptions {
+            sink: telemetry.obs(),
+            ..Default::default()
+        },
+    ));
+    let server = MetricsServer::bind(Arc::clone(&plain), telemetry.clone(), "127.0.0.1:0")
+        .expect("port 0 binds");
+    assert_eq!(get(server.addr(), "/store").0, "HTTP/1.1 404 Not Found");
+    server.shutdown();
+
+    // Store configured: the route reports the tier's accounting.
+    let store = Arc::new(
+        hom_serve::StreamStore::open_with(
+            Arc::new(hom_store::MemIo::new()) as Arc<dyn hom_store::StoreIo>,
+            hom_store::StoreOptions {
+                commit_interval_us: 0,
+                sink: hom_obs::Obs::none(),
+                ..Default::default()
+            },
+        )
+        .expect("open store"),
+    );
+    let telemetry = ServeTelemetry::new();
+    let engine = Arc::new(ServeEngine::with_options(
+        Arc::clone(&model),
+        &ServeOptions {
+            capacity: Some(1),
+            shards: Some(4),
+            sink: telemetry.obs(),
+            store: Some(Arc::clone(&store)),
+            ..Default::default()
+        },
+    ));
+    for (i, r) in test.iter().enumerate() {
+        engine.step((i % 8) as u64, &r.x, r.y);
+    }
+    let server = MetricsServer::bind(Arc::clone(&engine), telemetry.clone(), "127.0.0.1:0")
+        .expect("port 0 binds");
+    let (status, body) = get(server.addr(), "/store");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let want = store.status();
+    assert!(
+        body.contains(&format!("\"parked\":{}", want.parked)),
+        "parked count missing from {body}"
+    );
+    assert!(
+        body.contains(&format!("\"commits\":{}", want.commits)),
+        "commit count missing from {body}"
+    );
+    assert!(body.contains("\"degraded\":false"), "healthy store: {body}");
+    assert!(
+        body.contains("\"recovery\""),
+        "recovery block missing: {body}"
+    );
+    server.shutdown();
+}

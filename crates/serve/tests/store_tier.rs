@@ -1,0 +1,297 @@
+//! The durable store tier under the serving engine, engine-level:
+//! tiering parked streams to disk changes no output bit, a restart
+//! against the same store directory resumes every committed stream
+//! bit-identically, and a failing disk degrades durability — typed
+//! signal, counted errors — while predictions stay bit-identical.
+
+use std::sync::Arc;
+
+use hom_classifiers::{Classifier, DecisionTreeLearner, MajorityClassifier};
+use hom_cluster::ClusterParams;
+use hom_core::{build, BuildParams, HighOrderModel};
+use hom_data::stream::collect;
+use hom_data::{StreamRecord, StreamSource};
+use hom_datagen::{StaggerParams, StaggerSource};
+use hom_obs::{Obs, Recorder};
+use hom_serve::{ServeEngine, ServeOptions, StoreError, StreamStore};
+use hom_store::{FaultIo, FsIo, IoOp, MemIo, StoreIo, StoreOptions};
+
+fn bits(p: &[f64]) -> Vec<u64> {
+    p.iter().map(|v| v.to_bits()).collect()
+}
+
+fn fixture() -> (Arc<HighOrderModel>, Vec<StreamRecord>) {
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda: 0.01,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, 3000);
+    let (model, _) = build(
+        &data,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let test: Vec<StreamRecord> = (0..2000).map(|_| src.next_record()).collect();
+    (Arc::new(model), test)
+}
+
+/// A store over a fresh temp directory, committing on every heartbeat
+/// so tests never wait out the cadence.
+fn disk_store(tag: &str) -> (Arc<StreamStore>, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("hom-store-tier-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let io = FsIo::open(&dir).expect("temp dir");
+    let store = StreamStore::open_with(
+        Arc::new(io),
+        StoreOptions {
+            commit_interval_us: 0,
+            sink: Obs::none(),
+            ..Default::default()
+        },
+    )
+    .expect("open store");
+    (Arc::new(store), dir)
+}
+
+fn eviction_options(store: Arc<StreamStore>) -> ServeOptions {
+    ServeOptions {
+        threads: Some(1),
+        // A capacity this tight forces constant eviction traffic: with 8
+        // round-robin streams over 4 shards, almost every request
+        // unparks its stream from the store and parks another.
+        capacity: Some(1),
+        shards: Some(4),
+        store: Some(store),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn disk_tier_changes_no_output_bit_and_survives_restart() {
+    let (model, test) = fixture();
+    let (store, dir) = disk_store("differential");
+    let streams = 8u64;
+
+    // Reference: no eviction, no store — pure in-RAM serving.
+    let reference = ServeEngine::with_options(
+        Arc::clone(&model),
+        &ServeOptions {
+            threads: Some(1),
+            ..Default::default()
+        },
+    );
+    let engine = ServeEngine::with_options(Arc::clone(&model), &eviction_options(store));
+
+    for (t, r) in test[..1000].iter().enumerate() {
+        let s = t as u64 % streams;
+        assert_eq!(
+            engine.step(s, &r.x, r.y),
+            reference.step(s, &r.x, r.y),
+            "prediction diverged at t = {t}"
+        );
+    }
+    assert!(
+        engine.parked_streams() > 0,
+        "capacity 1 must have parked streams into the store"
+    );
+    // Clean shutdown group-commits everything pending.
+    drop(engine);
+
+    // Restart: a brand-new engine over the same directory resumes every
+    // stream bit-identically mid-traffic.
+    let reopened = StreamStore::open(&dir).expect("reopen store");
+    assert_eq!(reopened.parked_len(), streams as usize);
+    let engine =
+        ServeEngine::with_options(Arc::clone(&model), &eviction_options(Arc::new(reopened)));
+    for (t, r) in test[1000..].iter().enumerate() {
+        let s = t as u64 % streams;
+        assert_eq!(
+            engine.step(s, &r.x, r.y),
+            reference.step(s, &r.x, r.y),
+            "post-restart prediction diverged at t = {t}"
+        );
+    }
+    for s in 0..streams {
+        assert_eq!(
+            bits(&engine.posterior(s).expect("stream served")),
+            bits(&reference.posterior(s).expect("stream served")),
+            "stream {s} final posterior diverged across the restart"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_reads_serve_introspection_without_unparking() {
+    let (model, test) = fixture();
+    let (store, dir) = disk_store("introspect");
+    let engine = ServeEngine::with_options(Arc::clone(&model), &eviction_options(store));
+    for r in &test[..200] {
+        engine.step(1, &r.x, r.y);
+    }
+    let before = bits(&engine.posterior(1).expect("live"));
+    assert!(engine.park(1), "stream was live");
+    // All of peek / stream_info / snapshot read the store-parked bytes
+    // without unparking the stream.
+    assert_eq!(bits(&engine.posterior(1).expect("parked peek")), before);
+    let info = engine.stream_info(1).expect("parked stream_info");
+    assert!(!info.live);
+    let snap = engine.snapshot(1).expect("parked snapshot");
+    assert_eq!(engine.parked_streams(), 1, "reads did not unpark");
+    // The exported snapshot restores into a fresh engine bit-identically.
+    let fresh = ServeEngine::new(Arc::clone(&model));
+    fresh.restore(1, &snap).expect("snapshot restores");
+    assert_eq!(bits(&fresh.posterior(1).expect("restored")), before);
+    // remove() writes a tombstone: the stream does not survive restart.
+    assert!(engine.remove(1));
+    drop(engine);
+    let reopened = StreamStore::open(&dir).expect("reopen");
+    assert_eq!(reopened.parked_len(), 0, "tombstone survived the restart");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn io_faults_degrade_durability_but_never_a_prediction() {
+    let (model, test) = fixture();
+    let fault = Arc::new(FaultIo::new(MemIo::new()));
+    let recorder = Arc::new(Recorder::new());
+    let store = Arc::new(
+        StreamStore::open_with(
+            fault.clone() as Arc<dyn StoreIo>,
+            StoreOptions {
+                commit_interval_us: 0,
+                sink: Obs::new(Arc::clone(&recorder)),
+                ..Default::default()
+            },
+        )
+        .expect("open store"),
+    );
+    let reference = ServeEngine::with_options(
+        Arc::clone(&model),
+        &ServeOptions {
+            threads: Some(1),
+            ..Default::default()
+        },
+    );
+    let engine = ServeEngine::with_options(
+        Arc::clone(&model),
+        &ServeOptions {
+            sink: Obs::new(Arc::clone(&recorder)),
+            ..eviction_options(Arc::clone(&store))
+        },
+    );
+
+    // Fail every append, then every fsync, at each stage of traffic:
+    // serving must stay bit-identical throughout, with a typed degraded
+    // signal while the disk is down.
+    let streams = 6u64;
+    for (phase, op) in [
+        (0usize, None),
+        (1, Some(IoOp::Append)),
+        (2, Some(IoOp::Sync)),
+    ] {
+        match op {
+            Some(op) => fault.fail_after(op, 0),
+            None => fault.heal(),
+        }
+        for (t, r) in test[phase * 300..(phase + 1) * 300].iter().enumerate() {
+            let s = t as u64 % streams;
+            assert_eq!(
+                engine.step(s, &r.x, r.y),
+                reference.step(s, &r.x, r.y),
+                "phase {phase}: prediction diverged at t = {t}"
+            );
+        }
+        let health = store.health();
+        if op.is_some() {
+            assert!(health.degraded, "phase {phase}: fault must degrade");
+            assert!(health.io_errors > 0);
+            assert!(matches!(health.last_error, Some(StoreError::Io { .. })));
+        }
+    }
+
+    // Healed: the next commit catches up and clears the signal, and the
+    // whole run was error-counted in the trace.
+    fault.heal();
+    for s in 0..streams {
+        engine.park(s);
+    }
+    store.commit().expect("healed commit");
+    assert!(!store.health().degraded);
+    engine.flush_trace();
+    assert!(
+        recorder.counter_total("store.io_errors") > 0,
+        "fault runs must be visible as store.io_errors"
+    );
+    for s in 0..streams {
+        assert_eq!(
+            bits(&engine.posterior(s).expect("served")),
+            bits(&reference.posterior(s).expect("served")),
+            "stream {s} diverged after the fault sequence"
+        );
+    }
+}
+
+#[test]
+fn swap_defers_store_parked_migration_until_unpark() {
+    let (model, test) = fixture();
+    let (store, dir) = disk_store("swap");
+    let engine = ServeEngine::with_options(Arc::clone(&model), &eviction_options(store));
+    // RAM twin with identical eviction but no store: eager parked
+    // migration at swap time. The two must stay bit-identical through
+    // the swap either way.
+    let twin = ServeEngine::with_options(
+        Arc::clone(&model),
+        &ServeOptions {
+            threads: Some(1),
+            capacity: Some(1),
+            shards: Some(4),
+            ..Default::default()
+        },
+    );
+    let streams = 8u64;
+    for (t, r) in test[..600].iter().enumerate() {
+        let s = t as u64 % streams;
+        assert_eq!(engine.step(s, &r.x, r.y), twin.step(s, &r.x, r.y));
+    }
+
+    let novel: Arc<dyn Classifier> = {
+        let n = model.schema().n_classes();
+        let counts: Vec<usize> = (0..n).map(|c| usize::from(c == 1)).collect();
+        Arc::new(MajorityClassifier::from_counts(&counts))
+    };
+    let grown = Arc::new(model.admit_concept(novel, 0.2, 120));
+    let report = engine.swap_model(Arc::clone(&grown)).expect("swap");
+    let twin_report = twin.swap_model(grown).expect("twin swap");
+    assert_eq!(report.parked_migrated, 0, "store mode migrates lazily");
+    assert!(report.parked_deferred > 0, "store-parked streams deferred");
+    assert_eq!(twin_report.parked_deferred, 0, "no store, nothing deferred");
+    assert!(twin_report.parked_migrated > 0, "RAM mode migrates eagerly");
+
+    // Post-swap traffic unparks + migrates each deferred snapshot on
+    // demand — still bit-identical to the eagerly migrated twin.
+    for (t, r) in test[600..1200].iter().enumerate() {
+        let s = t as u64 % streams;
+        assert_eq!(
+            engine.step(s, &r.x, r.y),
+            twin.step(s, &r.x, r.y),
+            "post-swap prediction diverged at t = {t}"
+        );
+    }
+    for s in 0..streams {
+        assert_eq!(
+            bits(&engine.posterior(s).expect("served")),
+            bits(&twin.posterior(s).expect("served")),
+            "stream {s} diverged after lazy post-swap migration"
+        );
+    }
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,250 @@
+//! Durable-store recovery smoke test, end to end and process-level:
+//! the example spawns **itself** as a serving child over a real store
+//! directory, kills it with SIGKILL mid-traffic after a known group
+//! commit, restarts against the same directory, and checks every
+//! durable stream continues **bit-identically** against an
+//! uninterrupted in-RAM reference engine. It then holds the compaction
+//! invariant: compacting the crashed-and-recovered store changes no
+//! live snapshot byte, and neither does recovery after compaction.
+//!
+//! Two grep-able lines are the CI contract:
+//!
+//! * `digest: <hex>` — FNV-1a over the final posterior bits of every
+//!   recovered stream. Bit-identical recovery means the digest is the
+//!   same at every `HOM_THREADS`, so CI compares `HOM_THREADS=1` vs
+//!   `=8` (exactly like `serve_smoke`'s digest line).
+//! * `compaction: … ok` — printed only after every parked snapshot
+//!   read back byte-identical before compaction, after compaction,
+//!   and after a further reopen.
+//!
+//! ```sh
+//! HOM_THREADS=8 cargo run --release --example store_recovery_smoke
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use high_order_models::classifiers::DecisionTreeLearner;
+use high_order_models::cluster::ClusterParams;
+use high_order_models::core::{build, fnv1a, BuildParams, HighOrderModel};
+use high_order_models::data::stream::collect;
+use high_order_models::data::{StreamRecord, StreamSource};
+use high_order_models::datagen::{StaggerParams, StaggerSource};
+use high_order_models::obs::Obs;
+use high_order_models::serve::{Request, ServeEngine, ServeOptions, StreamStore};
+use high_order_models::store::{FsIo, StoreOptions};
+
+/// Set only in the self-spawned child; carries the working directory.
+const CHILD_ENV: &str = "HOM_STORE_SMOKE_CHILD";
+/// Streams whose durable cut the parent verifies across the kill.
+const A_STREAMS: u64 = 8;
+/// Known traffic before the cut; the rest replays after the restart.
+const PHASE1: usize = 600;
+
+/// Deterministic model + traffic, identical in parent and child.
+fn fixture() -> (Arc<HighOrderModel>, Vec<StreamRecord>) {
+    let mut source = StaggerSource::new(StaggerParams {
+        lambda: 0.01,
+        ..Default::default()
+    });
+    let (historical, _) = collect(&mut source, 3_000);
+    let (model, _) = build(
+        &historical,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let test: Vec<StreamRecord> = (0..1_600).map(|_| source.next_record()).collect();
+    (Arc::new(model), test)
+}
+
+/// The store under test: commit on every heartbeat, seal small
+/// segments so the workload exercises rotation and leaves sealed files
+/// for the compaction check.
+fn open_store(dir: &Path) -> Arc<StreamStore> {
+    let io = FsIo::open(dir).expect("store directory");
+    Arc::new(
+        StreamStore::open_with(
+            Arc::new(io),
+            StoreOptions {
+                commit_interval_us: 0,
+                segment_bytes: 64 * 1024,
+                sink: Obs::from_env(),
+                ..Default::default()
+            },
+        )
+        .expect("open store"),
+    )
+}
+
+fn with_store(store: Arc<StreamStore>) -> ServeOptions {
+    ServeOptions {
+        store: Some(store),
+        ..Default::default()
+    }
+}
+
+fn digest_of(engine: &ServeEngine) -> u64 {
+    let mut bytes = Vec::new();
+    for s in 0..A_STREAMS {
+        for p in engine.posterior(s).expect("stream served") {
+            bytes.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+    }
+    fnv1a(&bytes)
+}
+
+/// Child body: serve the A-streams, park + group-commit them (the
+/// durable cut), signal the parent, then churn unrelated B-streams
+/// until the SIGKILL lands mid-write.
+fn child(dir: PathBuf) {
+    let (model, test) = fixture();
+    let engine = ServeEngine::with_options(model, &with_store(open_store(&dir.join("store"))));
+    for (t, r) in test[..PHASE1].iter().enumerate() {
+        engine.step(t as u64 % A_STREAMS, &r.x, r.y);
+    }
+    for s in 0..A_STREAMS {
+        assert!(engine.park(s), "A-stream {s} was live");
+    }
+    engine
+        .store()
+        .expect("store")
+        .commit()
+        .expect("durable cut");
+    // Atomic rename: the parent never observes a half-written marker.
+    let tmp = dir.join("durable.tmp");
+    std::fs::write(&tmp, b"cut").expect("marker write");
+    std::fs::rename(&tmp, dir.join("durable")).expect("marker rename");
+    loop {
+        for r in &test {
+            let batch: Vec<Request> = (0..4u64)
+                .map(|b| Request::Step {
+                    stream: 100 + b,
+                    x: r.x.to_vec(),
+                    y: r.y,
+                })
+                .collect();
+            engine.submit(&batch);
+            for b in 0..4u64 {
+                engine.park(100 + b);
+            }
+        }
+    }
+}
+
+fn main() {
+    if let Some(dir) = std::env::var_os(CHILD_ENV) {
+        child(PathBuf::from(dir));
+        return;
+    }
+
+    let dir = std::env::temp_dir().join(format!("hom-store-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("store")).expect("store directory");
+
+    println!("spawning a serving child over {} …", dir.display());
+    let exe = std::env::current_exe().expect("example binary path");
+    let mut serving = Command::new(exe)
+        .env(CHILD_ENV, &dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn serving child");
+
+    let marker = dir.join("durable");
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while !marker.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "child never reached the durable cut"
+        );
+        if let Some(status) = serving.try_wait().expect("try_wait") {
+            panic!("child exited before the kill: {status}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Let the post-cut churn run so the kill lands mid-write.
+    std::thread::sleep(Duration::from_millis(200));
+    serving.kill().expect("SIGKILL");
+    serving.wait().expect("reap child");
+    println!("child killed mid-traffic; restarting against the store …");
+
+    // The uninterrupted reference: the same pre-cut traffic, pure RAM.
+    let (model, test) = fixture();
+    let reference = ServeEngine::with_options(Arc::clone(&model), &ServeOptions::default());
+    for (t, r) in test[..PHASE1].iter().enumerate() {
+        reference.step(t as u64 % A_STREAMS, &r.x, r.y);
+    }
+
+    // Restart: recovery must surface every committed A-stream whatever
+    // torn B-stream tail the kill left, and serving must continue
+    // bit-identically.
+    let store = open_store(&dir.join("store"));
+    let report = store.recovery();
+    println!(
+        "recovered {} streams from {} records in {} files ({} torn bytes truncated)",
+        report.streams, report.records, report.files, report.truncated_bytes
+    );
+    for s in 0..A_STREAMS {
+        assert!(store.contains(s), "A-stream {s} lost across the crash");
+    }
+    let engine = ServeEngine::with_options(Arc::clone(&model), &with_store(store));
+    for (t, r) in test[PHASE1..].iter().enumerate() {
+        let s = t as u64 % A_STREAMS;
+        assert_eq!(
+            engine.step(s, &r.x, r.y),
+            reference.step(s, &r.x, r.y),
+            "post-crash prediction diverged at t = {t}"
+        );
+    }
+    assert_eq!(
+        digest_of(&engine),
+        digest_of(&reference),
+        "final posteriors diverged across the crash"
+    );
+    let digest = digest_of(&engine);
+
+    // Compaction invariant: every parked snapshot reads back
+    // byte-identical before compaction, after compaction, and after a
+    // further recovery over the compacted files.
+    drop(engine); // parks all live streams + group-commits
+    let store = open_store(&dir.join("store"));
+    let ids = store.parked_ids();
+    let before: Vec<(u64, Vec<u8>)> = ids
+        .iter()
+        .map(|&id| (id, store.get(id).expect("read").expect("parked")))
+        .collect();
+    let compaction = store.compact().expect("compact");
+    for (id, bytes) in &before {
+        assert_eq!(
+            store.get(*id).expect("read").as_ref(),
+            Some(bytes),
+            "compaction changed stream {id}"
+        );
+    }
+    drop(store);
+    let store = open_store(&dir.join("store"));
+    for (id, bytes) in &before {
+        assert_eq!(
+            store.get(*id).expect("read").as_ref(),
+            Some(bytes),
+            "recovery after compaction changed stream {id}"
+        );
+    }
+    println!(
+        "compaction: segments_in={} records={} reclaimed_bytes={} ok",
+        compaction.segments_in, compaction.records, compaction.reclaimed_bytes
+    );
+
+    println!("digest: {digest:016x}");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}

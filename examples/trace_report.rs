@@ -119,6 +119,23 @@ const KNOWN_EVENTS: &[&str] = &[
     "serve.swap_pause_ns",
     "serve.swaps",
     "serve.unparks",
+    // durable state tier (hom-store)
+    "store.append_bytes",
+    "store.appends",
+    "store.commit_records",
+    "store.commits",
+    "store.compactions",
+    "store.fsync_ns",
+    "store.io_errors",
+    "store.parked",
+    "store.pending_bytes",
+    "store.reclaimed_bytes",
+    "store.recovered_streams",
+    "store.recovery_ns",
+    "store.seals",
+    "store.segments",
+    "store.truncated_bytes",
+    "store.unparks",
     // novelty & maintenance (hom-adapt)
     "adapt.admission_latency",
     "adapt.admission_similarity",

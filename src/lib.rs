@@ -57,6 +57,7 @@
 //! | [`cluster`] | the two-step agglomerative concept clustering (§II) |
 //! | [`core`] | the high-order model: offline build + online filter (§III) |
 //! | [`serve`] | concurrent multi-stream serving engine over one shared model |
+//! | [`store`] | durable state tier: WAL + segment store for parked stream states |
 //! | [`adapt`] | novel-concept detection, fallback serving, live model maintenance |
 //! | [`baselines`] | RePro (KDD'05) and WCE (KDD'03) re-implementations |
 //! | [`eval`] | the experiment harness behind every table and figure |
@@ -74,6 +75,7 @@ pub use hom_datagen as datagen;
 pub use hom_eval as eval;
 pub use hom_obs as obs;
 pub use hom_serve as serve;
+pub use hom_store as store;
 
 /// The most common imports in one line.
 pub mod prelude {
