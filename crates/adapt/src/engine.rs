@@ -9,7 +9,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use hom_core::HighOrderModel;
 use hom_data::ClassId;
 use hom_obs::{FlightRecorder, Obs};
-use hom_serve::{ConfigError, ServeEngine, ServeOptions};
+use hom_serve::{ConfigError, ServeEngine, ServeOptions, SwapReport};
 
 use crate::predictor::{AdaptEvent, AdaptivePredictor, Mode};
 use crate::{AdaptConfigError, AdaptOptions};
@@ -73,11 +73,26 @@ pub struct AdaptiveEngine {
     obs: Obs,
     incident: Mutex<Option<IncidentDump>>,
     incident_seq: AtomicU64,
+    /// Cluster seam: called after every successful local hot-swap with
+    /// the admitted model and the local [`SwapReport`], so a router can
+    /// distribute the same model to every other worker
+    /// ([`Self::set_swap_propagator`]).
+    propagator: Mutex<Option<SwapPropagator>>,
     /// Last `(likelihood_sum, absorbed)` read from the serving engine's
     /// cumulative fleet evidence — [`Self::ingest_fleet_evidence`]
     /// differences against it so each ingest sees only new records.
     fleet_watermark: Mutex<(f64, u64)>,
 }
+
+/// The cluster swap-propagation hook: invoked with the admitted model
+/// and the **local** swap's report right after
+/// [`AdaptiveEngine::step_monitor`] hot-swaps it into its own serving
+/// engine. `hom-cluster-serve` installs one that wire-encodes the model
+/// (`hom-core`'s `model_codec`) and runs the two-phase cluster swap so
+/// every worker flips to the same epoch. The hook runs under the
+/// monitor lock — a second admission cannot overtake a propagation in
+/// flight — and must not call back into `step_monitor`.
+pub type SwapPropagator = Box<dyn Fn(&Arc<HighOrderModel>, &SwapReport) + Send + Sync>;
 
 /// Where novelty-trigger incident reports go: which
 /// [`FlightRecorder`]'s ring to dump and the directory to write into.
@@ -129,8 +144,27 @@ impl AdaptiveEngine {
             obs,
             incident: Mutex::new(None),
             incident_seq: AtomicU64::new(0),
+            propagator: Mutex::new(None),
             fleet_watermark: Mutex::new((0.0, 0)),
         })
+    }
+
+    /// Arm the cluster swap-propagation hook: from now on, every model
+    /// admission — after its successful local hot-swap — invokes `hook`
+    /// with the admitted model and the local [`SwapReport`]. Returns the
+    /// previous hook, if any. See [`SwapPropagator`] for the contract.
+    pub fn set_swap_propagator(&self, hook: SwapPropagator) -> Option<SwapPropagator> {
+        self.lock_propagator().replace(hook)
+    }
+
+    /// Disarm the cluster swap-propagation hook.
+    pub fn clear_swap_propagator(&self) -> Option<SwapPropagator> {
+        self.lock_propagator().take()
+    }
+
+    fn lock_propagator(&self) -> MutexGuard<'_, Option<SwapPropagator>> {
+        // Same poisoning policy as the other config locks.
+        self.propagator.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Arm the trigger-dump hook: from now on, every novelty trigger on
@@ -227,6 +261,12 @@ impl AdaptiveEngine {
                     if self.obs.enabled() {
                         self.obs.count("adapt.swaps", 1);
                         self.obs.gauge("adapt.swap_epoch", f64::from(report.epoch));
+                    }
+                    // Cluster seam: fan the admitted model out to the
+                    // rest of the fleet. Still under the monitor lock,
+                    // so admissions propagate in order.
+                    if let Some(hook) = self.lock_propagator().as_ref() {
+                        hook(model, &report);
                     }
                 }
                 Err(e) => {
@@ -422,6 +462,63 @@ mod tests {
             y: 1,
         }]);
         assert!(r[0].prediction.is_some());
+    }
+
+    /// The cluster seam: an armed swap propagator sees every admission
+    /// exactly once, with the admitted model and the local report —
+    /// and the shipped model wire-encodes/decodes to one that is
+    /// swap-compatible, which is what the router's two-phase cluster
+    /// swap relies on.
+    #[test]
+    fn swap_propagator_sees_each_admission() {
+        let engine = AdaptiveEngine::new(toy_model(), opts());
+        type Admissions = Vec<(usize, u32, Vec<u8>)>;
+        let seen: Arc<Mutex<Admissions>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        assert!(
+            engine
+                .set_swap_propagator(Box::new(move |model, report| {
+                    let bytes = hom_core::encode_model(model, report.epoch)
+                        .expect("admitted models always wire-encode");
+                    sink.lock()
+                        .unwrap()
+                        .push((model.n_concepts(), report.epoch, bytes));
+                }))
+                .is_none(),
+            "no hook was armed before"
+        );
+
+        for _ in 0..50 {
+            engine.step_monitor(&[0.0], 1);
+        }
+        let mut admitted = false;
+        for t in 0..400u32 {
+            let (_, event) = engine.step_monitor(&[f64::from(t % 2)], t % 2);
+            if matches!(event, Some(AdaptEvent::Admitted { .. })) {
+                admitted = true;
+                break;
+            }
+        }
+        assert!(admitted, "monitor must admit the novel regime");
+
+        let calls = seen.lock().unwrap();
+        assert_eq!(calls.len(), 1, "one admission, one propagation");
+        let (n_concepts, epoch, ref bytes) = calls[0];
+        assert_eq!(n_concepts, 3);
+        assert_eq!(epoch, 1);
+        // The wire round-trip of the propagated model is cluster-usable:
+        // same shape, and a fresh engine accepts it as a swap.
+        let (decoded, wire_epoch) = hom_core::decode_model(bytes).expect("decodes");
+        assert_eq!(wire_epoch, 1);
+        assert_eq!(decoded.n_concepts(), 3);
+        let worker = ServeEngine::new(toy_model());
+        worker.step(3, &[0.0], 1);
+        let report = worker.swap_model(decoded).expect("decoded model swaps in");
+        assert_eq!(report.epoch, 1);
+        drop(calls);
+
+        // Disarming returns the hook and stops further propagation.
+        assert!(engine.clear_swap_propagator().is_some());
     }
 
     /// Fleet-wide evidence alone — no labeled record ever reaching the

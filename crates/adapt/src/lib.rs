@@ -104,7 +104,7 @@ pub mod options;
 pub mod predictor;
 
 pub use detector::NoveltyDetector;
-pub use engine::{AdaptiveEngine, EngineConfigError, IncidentDump};
+pub use engine::{AdaptiveEngine, EngineConfigError, IncidentDump, SwapPropagator};
 pub use options::{
     AdaptConfigError, AdaptOptions, ENTROPY_ENV, LIKELIHOOD_ENV, MATCH_ENV, MAX_SEGMENT_ENV,
     MIN_SEGMENT_ENV, WINDOW_ENV,

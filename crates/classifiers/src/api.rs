@@ -38,6 +38,30 @@ pub trait Classifier: Send + Sync {
     fn flatten(&self) -> Option<FlatTree> {
         None
     }
+
+    /// Append this classifier's wire blob (tag + payload, see
+    /// [`crate::wire`]) to `out`, returning whether the classifier has a
+    /// wire form at all. On `false` nothing is written.
+    ///
+    /// Contract: the classifier decoded from the written bytes
+    /// ([`crate::wire::decode_classifier`]) must serve **bit-identically**
+    /// to `self` — same `predict` class and same `predict_proba` f64 bits
+    /// for every input. The default implementation rides on
+    /// [`Classifier::flatten`], whose contract guarantees exactly that;
+    /// classifiers without a flat form either override this with a
+    /// dedicated encoding (Hoeffding trees) or stay node-local (naive
+    /// Bayes returns `false`, and a model containing one is rejected by
+    /// the model codec with a typed error).
+    fn wire_encode(&self, out: &mut Vec<u8>) -> bool {
+        match self.flatten() {
+            Some(flat) => {
+                out.push(crate::wire::WIRE_TAG_FLAT);
+                flat.wire_encode_into(out);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// A learning algorithm that produces a [`Classifier`] from labeled data.

@@ -33,6 +33,7 @@ use hom_data::ClassId;
 
 use crate::api::Classifier;
 use crate::decision_tree::{DecisionTree, NodeKind};
+use crate::wire::{put_f64, put_u32, take_f64, take_u32, take_u8, ClassifierWireError};
 
 /// Discriminant of one flattened node. `u8`-sized so the kind array
 /// stays dense.
@@ -145,6 +146,138 @@ impl FlatTree {
     pub fn proba_row(&self, id: u32) -> &[f64] {
         let at = id as usize * self.n_classes;
         &self.proba[at..at + self.n_classes]
+    }
+
+    /// Append this tree's wire payload to `out` (the tag byte is the
+    /// caller's job — see [`crate::wire`]): class count, node count,
+    /// then the parallel arrays in declaration order. All integers are
+    /// little-endian; f64s are raw bits, so the decoded tree's
+    /// probability rows are bit-identical to this one's.
+    pub fn wire_encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.n_classes as u32);
+        put_u32(out, self.n_nodes() as u32);
+        for &k in &self.kind {
+            out.push(k as u8);
+        }
+        for &a in &self.attr {
+            put_u32(out, a);
+        }
+        for &t in &self.threshold {
+            put_f64(out, t);
+        }
+        for &c in &self.first_child {
+            put_u32(out, c);
+        }
+        for &n in &self.n_children {
+            put_u32(out, n);
+        }
+        for &m in &self.majority {
+            put_u32(out, m);
+        }
+        for &p in &self.proba {
+            put_f64(out, p);
+        }
+    }
+
+    /// Decode a wire payload written by [`Self::wire_encode_into`],
+    /// advancing `*at`. Validates the structure exhaustively — class
+    /// count against `n_classes`, split attributes against `n_attrs`,
+    /// and **forward-only child edges** (`first_child > id`, children in
+    /// range) so [`Self::descend`] provably terminates on any input —
+    /// and returns a typed error on anything malformed: corrupt bytes
+    /// must never panic (or hang) a serving node.
+    pub fn wire_decode(
+        bytes: &[u8],
+        at: &mut usize,
+        n_attrs: usize,
+        n_classes: usize,
+    ) -> Result<Self, ClassifierWireError> {
+        let k = take_u32(bytes, at)? as usize;
+        if k != n_classes {
+            return Err(ClassifierWireError::Corrupt("class count mismatch"));
+        }
+        let n_nodes = take_u32(bytes, at)? as usize;
+        if n_nodes == 0 {
+            return Err(ClassifierWireError::Corrupt("empty tree"));
+        }
+        let mut kind = Vec::new();
+        for _ in 0..n_nodes {
+            kind.push(match take_u8(bytes, at)? {
+                0 => FlatKind::Leaf,
+                1 => FlatKind::Num,
+                2 => FlatKind::Cat,
+                _ => return Err(ClassifierWireError::Corrupt("unknown node kind")),
+            });
+        }
+        let mut attr = Vec::new();
+        for _ in 0..n_nodes {
+            attr.push(take_u32(bytes, at)?);
+        }
+        let mut threshold = Vec::new();
+        for _ in 0..n_nodes {
+            threshold.push(take_f64(bytes, at)?);
+        }
+        let mut first_child = Vec::new();
+        for _ in 0..n_nodes {
+            first_child.push(take_u32(bytes, at)?);
+        }
+        let mut n_children = Vec::new();
+        for _ in 0..n_nodes {
+            n_children.push(take_u32(bytes, at)?);
+        }
+        let mut majority = Vec::new();
+        for _ in 0..n_nodes {
+            majority.push(take_u32(bytes, at)?);
+        }
+        let mut proba = Vec::new();
+        for _ in 0..n_nodes * n_classes {
+            proba.push(take_f64(bytes, at)?);
+        }
+        for id in 0..n_nodes {
+            let fc = first_child[id] as usize;
+            match kind[id] {
+                FlatKind::Leaf => {}
+                FlatKind::Num => {
+                    if attr[id] as usize >= n_attrs {
+                        return Err(ClassifierWireError::Corrupt("split attribute out of range"));
+                    }
+                    if fc <= id || fc + 2 > n_nodes {
+                        return Err(ClassifierWireError::Corrupt(
+                            "numeric children out of range",
+                        ));
+                    }
+                }
+                FlatKind::Cat => {
+                    if attr[id] as usize >= n_attrs {
+                        return Err(ClassifierWireError::Corrupt("split attribute out of range"));
+                    }
+                    let arity = n_children[id] as usize;
+                    if arity == 0 {
+                        return Err(ClassifierWireError::Corrupt(
+                            "categorical split with no children",
+                        ));
+                    }
+                    if fc <= id || arity > n_nodes || fc > n_nodes - arity {
+                        return Err(ClassifierWireError::Corrupt(
+                            "categorical children out of range",
+                        ));
+                    }
+                }
+            }
+            if majority[id] as usize >= n_classes {
+                return Err(ClassifierWireError::Corrupt("majority class out of range"));
+            }
+        }
+        Ok(FlatTree {
+            n_classes,
+            kind,
+            attr,
+            threshold,
+            first_child,
+            n_children,
+            majority,
+            proba,
+        })
     }
 
     /// Flatten a [`DecisionTree`] (BFS renumbering, so siblings are

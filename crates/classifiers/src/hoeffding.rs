@@ -19,6 +19,10 @@ use std::sync::Arc;
 use hom_data::{AttrKind, ClassId, Schema};
 
 use crate::api::{argmax, Classifier};
+use crate::wire::{
+    put_f64, put_u32, put_u64, take_f64, take_u32, take_u64, take_u8, ClassifierWireError,
+    WIRE_TAG_HOEFFDING,
+};
 
 /// Hyper-parameters of the Hoeffding tree.
 #[derive(Debug, Clone)]
@@ -185,6 +189,134 @@ impl HoeffdingTree {
         }
     }
 
+    /// Append this tree's **frozen** wire payload to `out` (the tag
+    /// byte is the caller's job — see [`crate::wire`]): per node the
+    /// split structure plus the `majority_counts` that
+    /// [`Classifier::predict`] / [`Classifier::predict_proba`] read.
+    /// Leaf sufficient statistics (attribute observers, grace counters)
+    /// are deliberately **not** shipped: a decoded tree serves
+    /// bit-identically but, if ever trained further, restarts its leaf
+    /// statistics from zero — cluster nodes only serve wire-distributed
+    /// models, they never grow them.
+    pub fn wire_encode_into(&self, out: &mut Vec<u8>) {
+        let n_classes = self.schema.n_classes();
+        put_u32(out, n_classes as u32);
+        put_u32(out, self.nodes.len() as u32);
+        for node in &self.nodes {
+            match &node.kind {
+                HKind::Leaf(_) => out.push(0),
+                HKind::Cat { attr, children } => {
+                    out.push(1);
+                    put_u32(out, *attr as u32);
+                    put_u32(out, children.len() as u32);
+                    for &c in children {
+                        put_u32(out, c);
+                    }
+                }
+                HKind::Num {
+                    attr,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    out.push(2);
+                    put_u32(out, *attr as u32);
+                    put_f64(out, *threshold);
+                    put_u32(out, *left);
+                    put_u32(out, *right);
+                }
+            }
+            debug_assert_eq!(node.majority_counts.len(), n_classes);
+            for &c in &node.majority_counts {
+                put_u64(out, c);
+            }
+        }
+    }
+
+    /// Decode a wire payload written by [`Self::wire_encode_into`],
+    /// advancing `*at`. Child edges must point strictly forward
+    /// (`child > parent`) — the invariant `apply_split` maintains — so
+    /// `descend` and `deepest_leaf` provably terminate on any input;
+    /// anything else is a typed [`ClassifierWireError`], never a panic
+    /// or a hang. The decoded tree carries default
+    /// [`HoeffdingParams`] and fresh leaf statistics (see
+    /// [`Self::wire_encode_into`] for why that cannot change what it
+    /// serves).
+    pub fn wire_decode(
+        bytes: &[u8],
+        at: &mut usize,
+        schema: &Arc<Schema>,
+    ) -> Result<Self, ClassifierWireError> {
+        let n_classes = take_u32(bytes, at)? as usize;
+        if n_classes != schema.n_classes() {
+            return Err(ClassifierWireError::Corrupt("class count mismatch"));
+        }
+        let n_nodes = take_u32(bytes, at)? as usize;
+        if n_nodes == 0 {
+            return Err(ClassifierWireError::Corrupt("empty tree"));
+        }
+        let n_attrs = schema.n_attrs();
+        let mut nodes = Vec::new();
+        for id in 0..n_nodes {
+            let check_child = |c: u32| -> Result<u32, ClassifierWireError> {
+                if (c as usize) <= id || (c as usize) >= n_nodes {
+                    Err(ClassifierWireError::Corrupt("child edge out of range"))
+                } else {
+                    Ok(c)
+                }
+            };
+            let kind = match take_u8(bytes, at)? {
+                0 => HKind::Leaf(LeafStats::new(schema)),
+                1 => {
+                    let attr = take_u32(bytes, at)? as usize;
+                    if attr >= n_attrs {
+                        return Err(ClassifierWireError::Corrupt("split attribute out of range"));
+                    }
+                    let arity = take_u32(bytes, at)? as usize;
+                    if arity == 0 {
+                        return Err(ClassifierWireError::Corrupt(
+                            "categorical split with no children",
+                        ));
+                    }
+                    let mut children = Vec::new();
+                    for _ in 0..arity {
+                        children.push(check_child(take_u32(bytes, at)?)?);
+                    }
+                    HKind::Cat { attr, children }
+                }
+                2 => {
+                    let attr = take_u32(bytes, at)? as usize;
+                    if attr >= n_attrs {
+                        return Err(ClassifierWireError::Corrupt("split attribute out of range"));
+                    }
+                    let threshold = take_f64(bytes, at)?;
+                    let left = check_child(take_u32(bytes, at)?)?;
+                    let right = check_child(take_u32(bytes, at)?)?;
+                    HKind::Num {
+                        attr,
+                        threshold,
+                        left,
+                        right,
+                    }
+                }
+                _ => return Err(ClassifierWireError::Corrupt("unknown node kind")),
+            };
+            let mut majority_counts = Vec::with_capacity(n_classes);
+            for _ in 0..n_classes {
+                majority_counts.push(take_u64(bytes, at)?);
+            }
+            nodes.push(HNode {
+                kind,
+                majority_counts,
+            });
+        }
+        Ok(HoeffdingTree {
+            schema: Arc::clone(schema),
+            params: HoeffdingParams::default(),
+            nodes,
+        })
+    }
+
     fn try_split(&mut self, leaf_id: u32) {
         let n_classes = self.schema.n_classes();
         let (best, second, n_total) = {
@@ -279,6 +411,16 @@ impl Classifier for HoeffdingTree {
 
     fn complexity(&self) -> usize {
         self.nodes.len()
+    }
+
+    // No `flatten` (a `FlatTree` cannot express this tree's fallback:
+    // out-of-vocabulary categorical codes walk to the deepest
+    // first-child leaf here but stop at the split node there), so the
+    // wire form is the dedicated frozen encoding instead.
+    fn wire_encode(&self, out: &mut Vec<u8>) -> bool {
+        out.push(WIRE_TAG_HOEFFDING);
+        self.wire_encode_into(out);
+        true
     }
 }
 

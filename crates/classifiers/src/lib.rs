@@ -30,6 +30,7 @@ pub mod incremental;
 pub mod majority;
 pub mod naive_bayes;
 pub mod validate;
+pub mod wire;
 
 pub use api::{argmax, Classifier, Learner};
 pub use decision_tree::{DecisionTree, DecisionTreeLearner, DecisionTreeParams};
@@ -38,3 +39,4 @@ pub use hoeffding::{HoeffdingLearner, HoeffdingParams, HoeffdingTree};
 pub use incremental::OnlineNaiveBayes;
 pub use majority::{MajorityClassifier, MajorityLearner};
 pub use naive_bayes::{NaiveBayes, NaiveBayesLearner};
+pub use wire::{decode_classifier, ClassifierWireError};

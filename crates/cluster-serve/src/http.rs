@@ -1,0 +1,357 @@
+//! The cluster's HTTP/1.1 plumbing: a blocking client with deadlines
+//! and a small threaded server, both dependency-free.
+//!
+//! Same idiom as `hom-serve`'s `MetricsServer` — a
+//! [`std::net::TcpListener`] accept loop, `Content-Length` +
+//! `Connection: close`, one request per connection — extended with the
+//! two things the router/worker protocol needs beyond a metrics scrape:
+//! **POST bodies** (request batches, snapshots, model blobs) and
+//! **deadlines** on every socket (a dead worker must surface as a typed
+//! error within the configured timeout, never hang a router thread).
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Bodies above this size are rejected by the server (64 MiB) — far
+/// above any real model blob or batch, low enough that a corrupt
+/// `Content-Length` cannot OOM a worker.
+const MAX_BODY: usize = 64 << 20;
+
+/// An HTTP exchange that failed below the protocol level. The router
+/// maps these onto `ClusterError::WorkerDown` — the cluster's
+/// "never hang, never partial" contract rides on every socket
+/// operation funneling into this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// TCP connect failed or timed out.
+    Connect(String),
+    /// The peer accepted the connection but the exchange died (reset,
+    /// read/write timeout, premature close).
+    Io(String),
+    /// The peer spoke, but not HTTP this crate understands.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Connect(what) => write!(f, "connect failed: {what}"),
+            HttpError::Io(what) => write!(f, "request failed: {what}"),
+            HttpError::Malformed(what) => write!(f, "malformed HTTP response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed inbound request: method, path, body.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path with any query string stripped.
+    pub path: String,
+    /// Raw request body (empty for bodyless requests).
+    pub body: Vec<u8>,
+}
+
+/// What a handler sends back.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status line text, e.g. `200 OK`.
+    pub status: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A `200 OK` with a text body.
+    pub fn ok(content_type: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        HttpResponse {
+            status: "200 OK",
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    /// A `404 Not Found` with a plain-text reason.
+    pub fn not_found(reason: &str) -> Self {
+        HttpResponse {
+            status: "404 Not Found",
+            content_type: "text/plain",
+            body: format!("{reason}\n").into_bytes(),
+        }
+    }
+
+    /// A `400 Bad Request` with a plain-text reason.
+    pub fn bad_request(reason: &str) -> Self {
+        HttpResponse {
+            status: "400 Bad Request",
+            content_type: "text/plain",
+            body: format!("{reason}\n").into_bytes(),
+        }
+    }
+}
+
+/// One blocking HTTP request with a deadline on every socket phase.
+/// Returns the numeric status code and the response body.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> Result<(u16, Vec<u8>), HttpError> {
+    let conn = TcpStream::connect_timeout(&addr, timeout)
+        .map_err(|e| HttpError::Connect(e.to_string()))?;
+    conn.set_read_timeout(Some(timeout))
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    conn.set_write_timeout(Some(timeout))
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    let mut writer = conn.try_clone().map_err(|e| HttpError::Io(e.to_string()))?;
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .map_err(|e| HttpError::Io(e.to_string()))?;
+    writer
+        .write_all(body)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    writer.flush().map_err(|e| HttpError::Io(e.to_string()))?;
+
+    let mut reader = BufReader::new(conn);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or(HttpError::Malformed("status line"))?;
+    let mut content_length: Option<usize> = None;
+    let mut header = String::new();
+    loop {
+        header.clear();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+        if let Some(v) = header_value(&header, "content-length") {
+            content_length = Some(
+                v.parse()
+                    .map_err(|_| HttpError::Malformed("content-length"))?,
+            );
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(len) => {
+            if len > MAX_BODY {
+                return Err(HttpError::Malformed("content-length too large"));
+            }
+            body.resize(len, 0);
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| HttpError::Io(e.to_string()))?;
+        }
+        None => {
+            // Connection: close with no length — read to EOF.
+            reader
+                .read_to_end(&mut body)
+                .map_err(|e| HttpError::Io(e.to_string()))?;
+        }
+    }
+    Ok((status, body))
+}
+
+fn header_value<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let (key, value) = line.split_once(':')?;
+    if key.trim().eq_ignore_ascii_case(name) {
+        Some(value.trim())
+    } else {
+        None
+    }
+}
+
+/// The handler a server dispatches every request to.
+pub type Handler = Arc<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
+
+/// A blocking HTTP server: one accept-loop thread, requests dispatched
+/// to a [`Handler`]. Dropping the server stops the loop and joins it —
+/// same lifecycle as `hom-serve`'s `MetricsServer`.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Bind `addr` (port `0` picks a free one; read it back with
+    /// [`Self::addr`]) and serve `handler` on a background thread named
+    /// `thread_name`.
+    pub fn bind(addr: SocketAddr, thread_name: &str, handler: Handler) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(thread_name.to_string())
+            .spawn(move || accept_loop(listener, handler, loop_stop))?;
+        Ok(HttpServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, handler: Handler, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(mut conn) = conn else { continue };
+        // One request per connection; an I/O error drops the connection
+        // — a broken client must never take the node down.
+        let _ = serve_connection(&mut conn, &handler);
+    }
+}
+
+fn serve_connection(conn: &mut TcpStream, handler: &Handler) -> std::io::Result<()> {
+    // A peer that connects and never writes must not wedge the accept
+    // loop: every inbound socket gets a generous fixed deadline.
+    conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+    conn.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+        _ => return write_response(conn, &HttpResponse::bad_request("bad request line")),
+    };
+    let mut content_length = 0usize;
+    let mut header = String::new();
+    loop {
+        header.clear();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+        if let Some(v) = header_value(&header, "content-length") {
+            match v.parse::<usize>() {
+                Ok(len) if len <= MAX_BODY => content_length = len,
+                _ => return write_response(conn, &HttpResponse::bad_request("bad content-length")),
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let request = HttpRequest {
+        method,
+        path: target.split('?').next().unwrap_or(&target).to_string(),
+        body,
+    };
+    let response = handler(&request);
+    write_response(conn, &response)
+}
+
+fn write_response(conn: &mut TcpStream, response: &HttpResponse) -> std::io::Result<()> {
+    write!(
+        conn,
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.content_type,
+        response.body.len()
+    )?;
+    conn.write_all(&response.body)?;
+    conn.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> HttpServer {
+        HttpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            "test-echo",
+            Arc::new(|req: &HttpRequest| match req.path.as_str() {
+                "/echo" => HttpResponse::ok("application/octet-stream", req.body.clone()),
+                "/hello" => HttpResponse::ok("text/plain", format!("{} ok", req.method)),
+                _ => HttpResponse::not_found("nope"),
+            }),
+        )
+        .expect("binds")
+    }
+
+    #[test]
+    fn get_and_post_round_trip() {
+        let server = echo_server();
+        let t = Duration::from_secs(5);
+        let (status, body) = http_request(server.addr(), "GET", "/hello", &[], t).unwrap();
+        assert_eq!((status, body.as_slice()), (200, b"GET ok".as_slice()));
+
+        let payload: Vec<u8> = (0..=255u8).collect();
+        let (status, body) = http_request(server.addr(), "POST", "/echo", &payload, t).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, payload, "binary body round-trips byte-exactly");
+
+        let (status, _) = http_request(server.addr(), "GET", "/missing", &[], t).unwrap();
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn dead_peer_is_a_typed_error_not_a_hang() {
+        // Bind then drop: the port is (very likely) unbound now.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = http_request(addr, "GET", "/healthz", &[], Duration::from_millis(500))
+            .expect_err("nobody listening");
+        assert!(
+            matches!(err, HttpError::Connect(_) | HttpError::Io(_)),
+            "{err}"
+        );
+    }
+}

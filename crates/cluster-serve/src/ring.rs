@@ -1,0 +1,145 @@
+//! The consistent-hash ring that places streams on workers.
+//!
+//! Placement must be **deterministic** (the differential bar compares a
+//! cluster run against a single engine, so routing may depend on
+//! nothing but the stream id and the worker count) and **stable** (when
+//! a worker joins or leaves, only the streams whose arc moved should
+//! migrate — not a full reshuffle, which is the point of consistent
+//! hashing over `stream_id % n`).
+//!
+//! Each worker contributes `vnodes` points hashed (FNV-1a, the repo's
+//! standard digest) from its index; a stream id hashes to a point on
+//! the same `u64` circle and is owned by the first worker point at or
+//! after it, wrapping at the top. More vnodes → smoother balance;
+//! the default ([`DEFAULT_VNODES`]) keeps the spread within a few
+//! percent at three workers while the ring stays a small sorted `Vec`
+//! the router binary-searches per request.
+
+use hom_core::fnv1a;
+use hom_serve::StreamId;
+
+/// Default virtual nodes per worker ([`HashRing::new`] callers that
+/// take the `HOM_CLUSTER_VNODES` knob fall back to this).
+pub const DEFAULT_VNODES: usize = 64;
+
+/// The ring: sorted `(point, worker)` pairs. Cheap to rebuild (a
+/// worker-set change rebuilds it wholesale) and cheap to query
+/// (binary search per stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    points: Vec<(u64, usize)>,
+    n_workers: usize,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// A ring over workers `0..n_workers`, each contributing `vnodes`
+    /// points.
+    ///
+    /// # Panics
+    /// Panics if either count is zero — an empty ring cannot own
+    /// anything, and the router validates its configuration before
+    /// building one.
+    pub fn new(n_workers: usize, vnodes: usize) -> Self {
+        assert!(n_workers > 0, "ring needs at least one worker");
+        assert!(vnodes > 0, "ring needs at least one vnode per worker");
+        let mut points = Vec::with_capacity(n_workers * vnodes);
+        for worker in 0..n_workers {
+            for v in 0..vnodes {
+                let mut key = [0u8; 16];
+                key[..8].copy_from_slice(&(worker as u64).to_le_bytes());
+                key[8..].copy_from_slice(&(v as u64).to_le_bytes());
+                points.push((fnv1a(&key), worker));
+            }
+        }
+        // Ties (two vnodes hashing to one point) resolve to the lower
+        // worker index, deterministically.
+        points.sort_unstable();
+        HashRing {
+            points,
+            n_workers,
+            vnodes,
+        }
+    }
+
+    /// The worker owning `stream`: the first ring point at or after the
+    /// stream's hash, wrapping past the top.
+    pub fn owner(&self, stream: StreamId) -> usize {
+        let h = fnv1a(&stream.to_le_bytes());
+        let at = self.points.partition_point(|&(p, _)| p < h);
+        let (_, worker) = self.points[at % self.points.len()];
+        worker
+    }
+
+    /// Number of workers on the ring.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Virtual nodes per worker.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_total() {
+        let a = HashRing::new(3, DEFAULT_VNODES);
+        let b = HashRing::new(3, DEFAULT_VNODES);
+        for stream in 0..1000u64 {
+            let w = a.owner(stream);
+            assert!(w < 3);
+            assert_eq!(w, b.owner(stream), "same inputs, same owner");
+        }
+    }
+
+    #[test]
+    fn balance_is_reasonable() {
+        let ring = HashRing::new(3, DEFAULT_VNODES);
+        let mut counts = [0usize; 3];
+        for stream in 0..30_000u64 {
+            counts[ring.owner(stream)] += 1;
+        }
+        for (w, &c) in counts.iter().enumerate() {
+            assert!(
+                (4_000..=16_000).contains(&c),
+                "worker {w} owns {c} of 30000 — pathological imbalance"
+            );
+        }
+    }
+
+    /// The consistent-hashing property: growing 3 → 4 workers moves
+    /// only streams that now belong to the new worker; no stream moves
+    /// *between* surviving workers.
+    #[test]
+    fn growth_only_moves_streams_to_the_new_worker() {
+        let before = HashRing::new(3, DEFAULT_VNODES);
+        let after = HashRing::new(4, DEFAULT_VNODES);
+        let mut moved = 0usize;
+        for stream in 0..10_000u64 {
+            let (b, a) = (before.owner(stream), after.owner(stream));
+            if b != a {
+                assert_eq!(
+                    a, 3,
+                    "stream {stream} moved {b} -> {a}, not to the new worker"
+                );
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the new worker must own something");
+        assert!(
+            moved < 5_000,
+            "{moved} of 10000 moved — not a consistent-hash reshuffle"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_empty_ring() {
+        HashRing::new(0, 8);
+    }
+}

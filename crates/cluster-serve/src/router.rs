@@ -1,0 +1,829 @@
+//! The router: the cluster's one smart node.
+//!
+//! A [`Router`] owns the topology — the worker address list and the
+//! [`HashRing`] placing streams on them — behind a single `RwLock`
+//! whose two lock modes are the cluster's whole consistency story:
+//!
+//! * **read lock** — traffic. [`Router::submit`] splits a batch by ring
+//!   owner, forwards each sub-batch in parallel, and merges the
+//!   responses back into request order. Any number of batches run
+//!   concurrently.
+//! * **write lock** — reconfiguration. [`Router::swap`] (cluster-wide
+//!   model flip) and [`Router::add_worker`] / [`Router::remove_worker`]
+//!   (rebalancing migration) hold it exclusively, so no batch is in
+//!   flight while ownership or the model epoch changes. That is what
+//!   makes the cluster bit-identical to one engine: a request either
+//!   runs entirely before a migration/swap or entirely after it, never
+//!   astride.
+//!
+//! # The two-phase swap
+//!
+//! `swap` distributes one `HOMM` blob (`hom_core::encode_model`) to
+//! every worker's `/swap/prepare` — each decodes, validates, and checks
+//! the blob targets its next epoch — and only when **all** workers have
+//! staged does it send `/swap/commit`. A worker that fails prepare
+//! aborts the whole swap with every worker still serving the old model;
+//! by commit time the flip is a decoded-model pointer swap per worker,
+//! done under the routing write lock, so the fleet transitions
+//! epoch N → N+1 as one atomic step. No worker ever serves a mixed
+//! epoch (the differential test drives traffic across a swap and
+//! asserts bit-identity with a single engine's
+//! [`hom_serve::ServeEngine::swap_model`]).
+//!
+//! # Rebalancing
+//!
+//! Worker join/leave recomputes the ring, takes a census of every
+//! worker's streams (`/cluster/info`), and migrates exactly the ids
+//! whose owner changed: `/migrate/out` on the source (snapshot + atomic
+//! removal) → `/migrate/in` on the target (restore; older-epoch
+//! snapshots migrate forward on arrival). The consistent-hash ring
+//! keeps that set small on join — only streams landing on the new
+//! worker move (see [`crate::ring`]).
+//!
+//! # Failure semantics
+//!
+//! Every worker exchange funnels into [`ClusterError`] — a typed,
+//! prompt error naming the worker. A batch is **all or nothing**: if
+//! any sub-batch fails, [`Router::submit`] returns the error and no
+//! partial `Vec` (the sub-batches that did land have mutated those
+//! workers' streams, which the error reports so an operator can decide
+//! between retry and recovery — the safe default is to restart the
+//! worker from its durable store and retry the batch).
+
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use hom_core::model_epoch;
+use hom_serve::{Request, Response, StreamId};
+
+use crate::http::{http_request, HttpError, HttpRequest, HttpResponse, HttpServer};
+use crate::ring::{HashRing, DEFAULT_VNODES};
+use crate::wire::{self, JsonParser};
+
+/// Comma-separated worker addresses the router serves
+/// (e.g. `127.0.0.1:7101,127.0.0.1:7102`). Read by
+/// [`ClusterConfig::from_env`]; required there — a router with no
+/// workers cannot route.
+pub const CLUSTER_WORKERS_ENV: &str = "HOM_CLUSTER_WORKERS";
+
+/// The `ip:port` a worker process binds the cluster protocol on
+/// (`examples/cluster_smoke.rs` reads it; port 0 picks a free port).
+pub const WORKER_ADDR_ENV: &str = "HOM_WORKER_ADDR";
+
+/// Virtual nodes per worker on the ring (default
+/// [`DEFAULT_VNODES`]). Placement-changing: every node of a cluster
+/// must agree on it, so it is read once by the router.
+pub const CLUSTER_VNODES_ENV: &str = "HOM_CLUSTER_VNODES";
+
+/// Per-exchange worker timeout in milliseconds (default 5000). Bounds
+/// how long a dead worker can stall a batch before it surfaces as
+/// [`ClusterError::WorkerDown`].
+pub const CLUSTER_TIMEOUT_MS_ENV: &str = "HOM_CLUSTER_TIMEOUT_MS";
+
+const DEFAULT_TIMEOUT_MS: u64 = 5000;
+
+/// A rejected cluster configuration — same convention as
+/// `hom_serve::ConfigError`: a knob the operator set deliberately is a
+/// typed error when malformed, never a silent fallback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterConfigError {
+    /// [`CLUSTER_WORKERS_ENV`] is unset or empty.
+    MissingWorkers,
+    /// An entry in [`CLUSTER_WORKERS_ENV`] is not an `ip:port` address.
+    InvalidWorkerAddr {
+        /// The rejected entry, verbatim.
+        got: String,
+    },
+    /// A numeric knob did not parse as a positive integer.
+    InvalidNumber {
+        /// The environment variable at fault.
+        env: &'static str,
+        /// The rejected value, verbatim.
+        got: String,
+    },
+}
+
+impl fmt::Display for ClusterConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterConfigError::MissingWorkers => {
+                write!(
+                    f,
+                    "{CLUSTER_WORKERS_ENV} is unset or empty; a router needs at least one \
+                     worker address (comma-separated ip:port list)"
+                )
+            }
+            ClusterConfigError::InvalidWorkerAddr { got } => {
+                write!(
+                    f,
+                    "invalid worker address {got:?} in {CLUSTER_WORKERS_ENV}: expected ip:port"
+                )
+            }
+            ClusterConfigError::InvalidNumber { env, got } => {
+                write!(f, "invalid {env}={got}: expected a positive integer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterConfigError {}
+
+/// The router's startup knobs, resolved from the environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Worker addresses, in ring index order.
+    pub workers: Vec<SocketAddr>,
+    /// Virtual nodes per worker on the [`HashRing`].
+    pub vnodes: usize,
+    /// Per-exchange worker timeout.
+    pub timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// Read [`CLUSTER_WORKERS_ENV`], [`CLUSTER_VNODES_ENV`] and
+    /// [`CLUSTER_TIMEOUT_MS_ENV`]. Missing optional knobs take their
+    /// defaults; set-but-malformed values are typed errors.
+    pub fn from_env() -> Result<Self, ClusterConfigError> {
+        let raw = std::env::var(CLUSTER_WORKERS_ENV).unwrap_or_default();
+        let mut workers = Vec::new();
+        for part in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            workers.push(
+                part.parse()
+                    .map_err(|_| ClusterConfigError::InvalidWorkerAddr {
+                        got: part.to_string(),
+                    })?,
+            );
+        }
+        if workers.is_empty() {
+            return Err(ClusterConfigError::MissingWorkers);
+        }
+        let number = |env: &'static str, default: u64| -> Result<u64, ClusterConfigError> {
+            match std::env::var(env) {
+                Ok(v) if !v.is_empty() => v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(ClusterConfigError::InvalidNumber { env, got: v }),
+                _ => Ok(default),
+            }
+        };
+        let vnodes = number(CLUSTER_VNODES_ENV, DEFAULT_VNODES as u64)? as usize;
+        let timeout = Duration::from_millis(number(CLUSTER_TIMEOUT_MS_ENV, DEFAULT_TIMEOUT_MS)?);
+        Ok(ClusterConfig {
+            workers,
+            vnodes,
+            timeout,
+        })
+    }
+}
+
+/// Why a cluster operation failed. Always prompt (sockets carry
+/// deadlines) and always total (a failed batch returns this, never a
+/// partial response `Vec`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The topology has no workers (all removed).
+    NoWorkers,
+    /// A worker could not be reached, timed out, or dropped the
+    /// connection mid-exchange.
+    WorkerDown {
+        /// Ring index of the worker.
+        worker: usize,
+        /// Its address.
+        addr: SocketAddr,
+        /// The transport-level failure.
+        what: String,
+    },
+    /// A worker answered, but with a non-200 status or a payload the
+    /// router could not parse.
+    BadResponse {
+        /// Ring index of the worker.
+        worker: usize,
+        /// What was wrong (worker's error body, or the parse failure).
+        what: String,
+    },
+    /// During a two-phase swap, a worker staged or landed on a
+    /// different epoch than the rest of the fleet — the flip was
+    /// aborted (at prepare) or must be treated as a cluster invariant
+    /// violation (at commit).
+    EpochDisagreement {
+        /// Ring index of the disagreeing worker.
+        worker: usize,
+        /// The epoch it reported.
+        got: u32,
+        /// The epoch the fleet agreed on.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoWorkers => write!(f, "cluster has no workers"),
+            ClusterError::WorkerDown { worker, addr, what } => {
+                write!(f, "worker {worker} ({addr}) is unreachable: {what}")
+            }
+            ClusterError::BadResponse { worker, what } => {
+                write!(f, "worker {worker} returned a bad response: {what}")
+            }
+            ClusterError::EpochDisagreement {
+                worker,
+                got,
+                expected,
+            } => write!(
+                f,
+                "worker {worker} is at epoch {got}, fleet expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// What a rebalance ([`Router::add_worker`] / [`Router::remove_worker`])
+/// moved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Streams migrated to a new owner.
+    pub migrated: usize,
+    /// Workers on the ring after the change.
+    pub workers: usize,
+}
+
+/// One worker's row in [`Router::cluster_status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStatus {
+    /// Ring index.
+    pub worker: usize,
+    /// Address.
+    pub addr: SocketAddr,
+    /// Whether `/healthz` answered.
+    pub healthy: bool,
+    /// The worker's model epoch (0 when unreachable).
+    pub epoch: u32,
+    /// Live streams resident on it (0 when unreachable).
+    pub live: u64,
+    /// Parked streams it holds (0 when unreachable).
+    pub parked: u64,
+}
+
+/// The worker set and its ring, swapped as one unit under the routing
+/// lock.
+struct Topology {
+    workers: Vec<SocketAddr>,
+    ring: HashRing,
+}
+
+/// The consistent-hash router over a fleet of [`crate::WorkerServer`]s.
+/// See the module docs for the locking discipline.
+pub struct Router {
+    topology: RwLock<Topology>,
+    vnodes: usize,
+    timeout: Duration,
+}
+
+impl fmt::Debug for Router {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.read();
+        f.debug_struct("Router")
+            .field("workers", &t.workers)
+            .field("vnodes", &self.vnodes)
+            .finish()
+    }
+}
+
+impl Router {
+    /// A router over `workers` (ring index = position in the slice).
+    /// Returns [`ClusterError::NoWorkers`] on an empty list.
+    pub fn new(
+        workers: Vec<SocketAddr>,
+        vnodes: usize,
+        timeout: Duration,
+    ) -> Result<Self, ClusterError> {
+        if workers.is_empty() {
+            return Err(ClusterError::NoWorkers);
+        }
+        let ring = HashRing::new(workers.len(), vnodes);
+        Ok(Router {
+            topology: RwLock::new(Topology { workers, ring }),
+            vnodes,
+            timeout,
+        })
+    }
+
+    /// A router from a resolved [`ClusterConfig`].
+    pub fn from_config(config: &ClusterConfig) -> Result<Self, ClusterError> {
+        Self::new(config.workers.clone(), config.vnodes, config.timeout)
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Topology> {
+        self.topology.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Topology> {
+        self.topology.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current worker addresses, ring index order.
+    pub fn workers(&self) -> Vec<SocketAddr> {
+        self.read().workers.clone()
+    }
+
+    /// The ring owner of `stream` under the current topology.
+    pub fn owner(&self, stream: StreamId) -> usize {
+        self.read().ring.owner(stream)
+    }
+
+    /// One POST/GET to worker `w` of `topology`, all failure modes
+    /// mapped onto [`ClusterError`]. Non-200 statuses become
+    /// [`ClusterError::BadResponse`] carrying the worker's error body.
+    fn exchange(
+        &self,
+        topology: &Topology,
+        worker: usize,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<Vec<u8>, ClusterError> {
+        let addr = topology.workers[worker];
+        let (status, payload) =
+            http_request(addr, method, path, body, self.timeout).map_err(|e: HttpError| {
+                ClusterError::WorkerDown {
+                    worker,
+                    addr,
+                    what: e.to_string(),
+                }
+            })?;
+        if status != 200 {
+            return Err(ClusterError::BadResponse {
+                worker,
+                what: format!(
+                    "{path} -> {status}: {}",
+                    String::from_utf8_lossy(&payload).trim()
+                ),
+            });
+        }
+        Ok(payload)
+    }
+
+    /// Apply a batch across the cluster: split by ring owner, forward
+    /// the sub-batches in parallel, merge responses back into request
+    /// order. All or nothing — any worker failure fails the whole batch
+    /// with a typed error (no partial `Vec`, no hang; every socket has
+    /// a deadline).
+    pub fn submit(&self, batch: &[Request]) -> Result<Vec<Response>, ClusterError> {
+        let topology = self.read();
+        if topology.workers.is_empty() {
+            return Err(ClusterError::NoWorkers);
+        }
+        // Request indices per owner, batch order within each owner —
+        // per-stream order is preserved because a stream has one owner.
+        let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); topology.workers.len()];
+        for (i, r) in batch.iter().enumerate() {
+            per_worker[topology.ring.owner(r.stream())].push(i);
+        }
+        let mut sub_batches = Vec::new();
+        for (w, idx) in per_worker.iter().enumerate() {
+            if idx.is_empty() {
+                continue;
+            }
+            let requests: Vec<Request> = idx.iter().map(|&i| batch[i].clone()).collect();
+            let body = wire::encode_requests(&requests).map_err(|e| ClusterError::BadResponse {
+                worker: w,
+                what: format!("unencodable batch: {e}"),
+            })?;
+            sub_batches.push((w, idx, body));
+        }
+        // Forward in parallel: scoped threads, one per occupied worker
+        // (bounded by the worker count, so no pool is needed).
+        let results: Vec<Result<Vec<u8>, ClusterError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = sub_batches
+                .iter()
+                .map(|(w, _, body)| {
+                    let topology = &topology;
+                    scope.spawn(move || {
+                        self.exchange(topology, *w, "POST", "/submit", body.as_bytes())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("forwarder thread never panics"))
+                .collect()
+        });
+        let mut out: Vec<Option<Response>> = vec![None; batch.len()];
+        for ((w, idx, _), result) in sub_batches.iter().zip(results) {
+            let payload = result?;
+            let text = String::from_utf8(payload).map_err(|_| ClusterError::BadResponse {
+                worker: *w,
+                what: "non-UTF-8 submit response".to_string(),
+            })?;
+            let responses =
+                wire::decode_responses(&text).map_err(|e| ClusterError::BadResponse {
+                    worker: *w,
+                    what: e.to_string(),
+                })?;
+            if responses.len() != idx.len() {
+                return Err(ClusterError::BadResponse {
+                    worker: *w,
+                    what: format!(
+                        "submit returned {} responses for {} requests",
+                        responses.len(),
+                        idx.len()
+                    ),
+                });
+            }
+            for (&i, r) in idx.iter().zip(responses) {
+                out[i] = Some(r);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every request index was assigned to exactly one worker"))
+            .collect())
+    }
+
+    /// Flip the whole fleet to the model in `blob` (a `HOMM` blob from
+    /// [`hom_core::encode_model`], stamped with the fleet's next epoch)
+    /// — two-phase, under the routing write lock, so no batch runs
+    /// against a mixed-epoch cluster. Returns the committed epoch.
+    ///
+    /// If any worker fails `prepare`, the swap aborts with every worker
+    /// still serving the old model. A failure at `commit` is reported
+    /// as-is (the fleet may be split-epoch; the error names the worker
+    /// — recover by restarting it, which re-syncs through a fresh
+    /// prepare/commit).
+    pub fn swap(&self, blob: &[u8]) -> Result<u32, ClusterError> {
+        let topology = self.write();
+        if topology.workers.is_empty() {
+            return Err(ClusterError::NoWorkers);
+        }
+        let Some(epoch) = model_epoch(blob) else {
+            return Err(ClusterError::BadResponse {
+                worker: 0,
+                what: "swap body is not a HOMM model blob".to_string(),
+            });
+        };
+        // Phase 1: every worker decodes, validates and stages the model
+        // while still serving the old epoch.
+        for w in 0..topology.workers.len() {
+            let payload = self.exchange(&topology, w, "POST", "/swap/prepare", blob)?;
+            let staged = parse_epoch(&payload).ok_or_else(|| ClusterError::BadResponse {
+                worker: w,
+                what: "prepare response carried no epoch".to_string(),
+            })?;
+            if staged != epoch {
+                return Err(ClusterError::EpochDisagreement {
+                    worker: w,
+                    got: staged,
+                    expected: epoch,
+                });
+            }
+        }
+        // Phase 2: flip. Cheap per worker (pointer swap + state
+        // migration of its streams), all under this write lock.
+        let body = format!("{{\"epoch\":{epoch}}}");
+        for w in 0..topology.workers.len() {
+            let payload = self.exchange(&topology, w, "POST", "/swap/commit", body.as_bytes())?;
+            let committed = parse_epoch(&payload).ok_or_else(|| ClusterError::BadResponse {
+                worker: w,
+                what: "commit response carried no epoch".to_string(),
+            })?;
+            if committed != epoch {
+                return Err(ClusterError::EpochDisagreement {
+                    worker: w,
+                    got: committed,
+                    expected: epoch,
+                });
+            }
+        }
+        Ok(epoch)
+    }
+
+    /// Add a worker and migrate onto it exactly the streams the grown
+    /// ring assigns to it (the consistent-hash property: no stream
+    /// moves between surviving workers).
+    pub fn add_worker(&self, addr: SocketAddr) -> Result<RebalanceReport, ClusterError> {
+        let mut topology = self.write();
+        let mut workers = topology.workers.clone();
+        workers.push(addr);
+        let ring = HashRing::new(workers.len(), self.vnodes);
+        let migrated = self.rebalance(&topology, &workers, &ring)?;
+        *topology = Topology { workers, ring };
+        Ok(RebalanceReport {
+            migrated,
+            workers: topology.workers.len(),
+        })
+    }
+
+    /// Remove the worker at ring index `index`, first migrating every
+    /// stream it holds (and any stream the shrunk ring re-homes) to the
+    /// surviving workers. The worker itself is left running and empty —
+    /// decommissioning the process is the operator's step.
+    pub fn remove_worker(&self, index: usize) -> Result<RebalanceReport, ClusterError> {
+        let mut topology = self.write();
+        if index >= topology.workers.len() {
+            return Err(ClusterError::BadResponse {
+                worker: index,
+                what: "no such worker index".to_string(),
+            });
+        }
+        if topology.workers.len() == 1 {
+            return Err(ClusterError::NoWorkers);
+        }
+        let mut workers = topology.workers.clone();
+        workers.remove(index);
+        let ring = HashRing::new(workers.len(), self.vnodes);
+        let migrated = self.rebalance(&topology, &workers, &ring)?;
+        *topology = Topology { workers, ring };
+        Ok(RebalanceReport {
+            migrated,
+            workers: topology.workers.len(),
+        })
+    }
+
+    /// Move every stream whose owner under (`new_workers`, `new_ring`)
+    /// differs from the worker currently holding it. Runs under the
+    /// caller's write lock; the old topology still routes the migration
+    /// traffic (`/migrate/out` on the holder, `/migrate/in` on the new
+    /// owner, addressed directly).
+    fn rebalance(
+        &self,
+        old: &Topology,
+        new_workers: &[SocketAddr],
+        new_ring: &HashRing,
+    ) -> Result<usize, ClusterError> {
+        let mut migrated = 0usize;
+        for (w, &addr) in old.workers.iter().enumerate() {
+            let payload = self.exchange(old, w, "GET", "/cluster/info", &[])?;
+            let streams = parse_streams(&payload).ok_or_else(|| ClusterError::BadResponse {
+                worker: w,
+                what: "unparseable /cluster/info".to_string(),
+            })?;
+            for stream in streams {
+                let target = new_workers[new_ring.owner(stream)];
+                if target == addr {
+                    continue;
+                }
+                let body = format!("{{\"stream\":{stream}}}");
+                let out = self.exchange(old, w, "POST", "/migrate/out", body.as_bytes())?;
+                let text = std::str::from_utf8(&out).unwrap_or("");
+                let snapshot = JsonParser::new(text.trim())
+                    .object()
+                    .and_then(|f| f.str_field("snapshot").map(str::to_string))
+                    .map_err(|what| ClusterError::BadResponse {
+                        worker: w,
+                        what: format!("migrate/out: {what}"),
+                    })?;
+                let in_body = format!("{{\"stream\":{stream},\"snapshot\":\"{snapshot}\"}}");
+                // Address the target directly: it may not be in `old`
+                // (a joining worker). Failures here are fatal to the
+                // rebalance but the snapshot is already tombstoned at
+                // the source — the error names the target so the
+                // operator can re-ingest from its durable store.
+                let target_idx = new_ring.owner(stream);
+                let (status, reply) = http_request(
+                    target,
+                    "POST",
+                    "/migrate/in",
+                    in_body.as_bytes(),
+                    self.timeout,
+                )
+                .map_err(|e| ClusterError::WorkerDown {
+                    worker: target_idx,
+                    addr: target,
+                    what: e.to_string(),
+                })?;
+                if status != 200 {
+                    return Err(ClusterError::BadResponse {
+                        worker: target_idx,
+                        what: format!(
+                            "migrate/in -> {status}: {}",
+                            String::from_utf8_lossy(&reply).trim()
+                        ),
+                    });
+                }
+                migrated += 1;
+            }
+        }
+        Ok(migrated)
+    }
+
+    /// Migrate one stream to the worker at ring index `to`, regardless
+    /// of ring ownership (an operator escape hatch; routed traffic
+    /// still follows the ring, so only use this for ids the ring
+    /// already sends to `to` — the rebalance entry points keep the two
+    /// consistent).
+    pub fn migrate_stream(&self, stream: StreamId, to: usize) -> Result<(), ClusterError> {
+        let topology = self.write();
+        if to >= topology.workers.len() {
+            return Err(ClusterError::BadResponse {
+                worker: to,
+                what: "no such worker index".to_string(),
+            });
+        }
+        let from = topology.ring.owner(stream);
+        let body = format!("{{\"stream\":{stream}}}");
+        let out = self.exchange(&topology, from, "POST", "/migrate/out", body.as_bytes())?;
+        let text = std::str::from_utf8(&out).unwrap_or("");
+        let snapshot = JsonParser::new(text.trim())
+            .object()
+            .and_then(|f| f.str_field("snapshot").map(str::to_string))
+            .map_err(|what| ClusterError::BadResponse {
+                worker: from,
+                what: format!("migrate/out: {what}"),
+            })?;
+        let in_body = format!("{{\"stream\":{stream},\"snapshot\":\"{snapshot}\"}}");
+        self.exchange(&topology, to, "POST", "/migrate/in", in_body.as_bytes())?;
+        Ok(())
+    }
+
+    /// Scrape `/metrics` from every worker and federate them into one
+    /// Prometheus exposition, each sample labeled `worker="<index>"`
+    /// ([`hom_obs::federate`]). Sample values pass through as raw
+    /// strings — the federated text is bit-exact per worker.
+    pub fn metrics(&self) -> Result<String, ClusterError> {
+        let topology = self.read();
+        let mut scrapes = Vec::with_capacity(topology.workers.len());
+        for w in 0..topology.workers.len() {
+            let payload = self.exchange(&topology, w, "GET", "/metrics", &[])?;
+            let text = String::from_utf8(payload).map_err(|_| ClusterError::BadResponse {
+                worker: w,
+                what: "non-UTF-8 metrics".to_string(),
+            })?;
+            scrapes.push((w.to_string(), text));
+        }
+        hom_obs::federate(&scrapes, "worker").map_err(|e| ClusterError::BadResponse {
+            worker: 0,
+            what: format!("federation failed: {e}"),
+        })
+    }
+
+    /// Per-worker health: `/healthz` scraped from every worker, with
+    /// unreachable workers reported as rows (`healthy: false`) rather
+    /// than errors — this is the observability path, it must render a
+    /// degraded cluster, not fail on it.
+    pub fn cluster_status(&self) -> Vec<WorkerStatus> {
+        let topology = self.read();
+        topology
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(w, &addr)| {
+                let health = http_request(addr, "GET", "/healthz", &[], self.timeout)
+                    .ok()
+                    .filter(|(status, _)| *status == 200)
+                    .and_then(|(_, body)| {
+                        let text = String::from_utf8(body).ok()?;
+                        let fields = JsonParser::new(text.trim()).object().ok()?;
+                        Some((
+                            fields.u64_field("epoch").ok()? as u32,
+                            fields.u64_field("live").ok()?,
+                            fields.u64_field("parked").ok()?,
+                        ))
+                    });
+                match health {
+                    Some((epoch, live, parked)) => WorkerStatus {
+                        worker: w,
+                        addr,
+                        healthy: true,
+                        epoch,
+                        live,
+                        parked,
+                    },
+                    None => WorkerStatus {
+                        worker: w,
+                        addr,
+                        healthy: false,
+                        epoch: 0,
+                        live: 0,
+                        parked: 0,
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+fn parse_epoch(payload: &[u8]) -> Option<u32> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let fields = JsonParser::new(text.trim()).object().ok()?;
+    Some(fields.u64_field("epoch").ok()? as u32)
+}
+
+fn parse_streams(payload: &[u8]) -> Option<Vec<StreamId>> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let fields = JsonParser::new(text.trim()).object().ok()?;
+    let ids = fields.f64_array_field("streams").ok()?;
+    let mut out = Vec::with_capacity(ids.len());
+    for v in ids {
+        if v < 0.0 || v.fract() != 0.0 {
+            return None;
+        }
+        out.push(v as StreamId);
+    }
+    Some(out)
+}
+
+/// The router's own HTTP face — what clients and scrapers talk to.
+///
+/// | route | method | payload |
+/// |---|---|---|
+/// | `/submit` | POST | JSONL batch in, JSONL responses out (request order) |
+/// | `/swap` | POST | raw `HOMM` blob → two-phase fleet flip → `{"epoch":N}` |
+/// | `/metrics` | GET | federated Prometheus exposition, samples labeled `worker` |
+/// | `/cluster` | GET | JSON per-worker health/epoch/stream counts |
+/// | `/healthz` | GET | router liveness + worker count |
+pub struct RouterServer {
+    server: HttpServer,
+    router: Arc<Router>,
+}
+
+impl fmt::Debug for RouterServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RouterServer")
+            .field("addr", &self.server.addr())
+            .finish()
+    }
+}
+
+impl RouterServer {
+    /// Serve `router` on `addr` (port 0 picks a free one).
+    pub fn bind(addr: SocketAddr, router: Arc<Router>) -> std::io::Result<Self> {
+        let handler_router = Arc::clone(&router);
+        let server = HttpServer::bind(
+            addr,
+            "hom-router",
+            Arc::new(move |req: &HttpRequest| route(&handler_router, req)),
+        )?;
+        Ok(RouterServer { server, router })
+    }
+
+    /// The address actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// The router behind this listener.
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+}
+
+fn route(router: &Router, req: &HttpRequest) -> HttpResponse {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/submit") => {
+            let Ok(text) = std::str::from_utf8(&req.body) else {
+                return HttpResponse::bad_request("submit body is not UTF-8");
+            };
+            let batch = match wire::decode_requests(text) {
+                Ok(b) => b,
+                Err(e) => return HttpResponse::bad_request(&e.to_string()),
+            };
+            match router.submit(&batch) {
+                Ok(responses) => {
+                    HttpResponse::ok("application/jsonl", wire::encode_responses(&responses))
+                }
+                Err(e) => bad_gateway(&e),
+            }
+        }
+        ("POST", "/swap") => match router.swap(&req.body) {
+            Ok(epoch) => HttpResponse::ok("application/json", format!("{{\"epoch\":{epoch}}}\n")),
+            Err(e) => bad_gateway(&e),
+        },
+        ("GET", "/metrics") => match router.metrics() {
+            Ok(text) => HttpResponse::ok("text/plain; version=0.0.4", text),
+            Err(e) => bad_gateway(&e),
+        },
+        ("GET", "/cluster") => {
+            let mut body = String::from("{\"workers\":[");
+            for (i, s) in router.cluster_status().iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!(
+                    "{{\"worker\":{},\"addr\":\"{}\",\"healthy\":{},\"epoch\":{},\
+                     \"live\":{},\"parked\":{}}}",
+                    s.worker, s.addr, s.healthy, s.epoch, s.live, s.parked
+                ));
+            }
+            body.push_str("]}\n");
+            HttpResponse::ok("application/json", body)
+        }
+        ("GET", "/healthz") => HttpResponse::ok(
+            "application/json",
+            format!("{{\"workers\":{}}}\n", router.workers().len()),
+        ),
+        _ => HttpResponse::not_found("unknown route"),
+    }
+}
+
+fn bad_gateway(e: &ClusterError) -> HttpResponse {
+    HttpResponse {
+        status: "502 Bad Gateway",
+        content_type: "text/plain",
+        body: format!("{e}\n").into_bytes(),
+    }
+}

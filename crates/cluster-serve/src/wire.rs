@@ -1,0 +1,622 @@
+//! The router↔worker wire format: request batches and responses as
+//! JSONL, snapshots as hex — human-readable with `curl`, parseable
+//! without a JSON dependency, and bit-exact where it matters.
+//!
+//! One request per line, `op` discriminated — mirroring
+//! `hom-serve`'s [`Request`] variants one-to-one:
+//!
+//! ```text
+//! {"op":"predict","stream":7,"x":[1,0.5]}
+//! {"op":"observe","stream":7,"x":[1,0.5],"y":1}
+//! {"op":"step","stream":9,"x":[0,0.25],"y":0}
+//! {"op":"advance","stream":9,"k":3}
+//! ```
+//!
+//! and one response per line, in request order:
+//!
+//! ```text
+//! {"stream":7,"prediction":1}
+//! {"stream":9,"prediction":null}
+//! ```
+//!
+//! Attribute values render with the shortest round-trip decimal
+//! ([`hom_obs::jsonl::push_f64`]), so a finite `f64` parses back
+//! **bit-identically** on the worker — the cluster differential bar
+//! depends on it. Non-finite attributes are unrepresentable here by
+//! design: the schema's row validation already rejects them at the
+//! engine boundary, and this codec rejects them at encode time rather
+//! than silently shipping `null`.
+//!
+//! Decoding is total: malformed lines are a typed [`WireError`] naming
+//! the line, never a panic — a router must survive any bytes a confused
+//! client POSTs at it.
+
+use std::fmt;
+
+use hom_obs::jsonl::push_f64;
+use hom_serve::{Request, Response, StreamId};
+
+/// Why a wire payload failed to encode or decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A line (1-based) did not parse as the expected JSON shape.
+    BadLine {
+        /// 1-based line number within the payload.
+        line: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// Encode-side: an attribute value was NaN or infinite — the JSONL
+    /// wire cannot carry it (and the engine would reject it anyway).
+    NonFiniteAttribute,
+    /// A hex string had a non-hex digit or odd length.
+    BadHex,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadLine { line, what } => write!(f, "wire line {line}: {what}"),
+            WireError::NonFiniteAttribute => {
+                write!(f, "non-finite attribute value cannot be encoded")
+            }
+            WireError::BadHex => write!(f, "invalid hex string"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn push_xs(out: &mut String, x: &[f64]) -> Result<(), WireError> {
+    out.push('[');
+    for (i, &v) in x.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(WireError::NonFiniteAttribute);
+        }
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, v);
+    }
+    out.push(']');
+    Ok(())
+}
+
+/// Encode a request batch as JSONL (one request per line, batch order).
+pub fn encode_requests(batch: &[Request]) -> Result<String, WireError> {
+    let mut out = String::with_capacity(batch.len() * 48);
+    for r in batch {
+        match r {
+            Request::Predict { stream, x } => {
+                out.push_str("{\"op\":\"predict\",\"stream\":");
+                out.push_str(&stream.to_string());
+                out.push_str(",\"x\":");
+                push_xs(&mut out, x)?;
+            }
+            Request::Observe { stream, x, y } => {
+                out.push_str("{\"op\":\"observe\",\"stream\":");
+                out.push_str(&stream.to_string());
+                out.push_str(",\"x\":");
+                push_xs(&mut out, x)?;
+                out.push_str(",\"y\":");
+                out.push_str(&y.to_string());
+            }
+            Request::Step { stream, x, y } => {
+                out.push_str("{\"op\":\"step\",\"stream\":");
+                out.push_str(&stream.to_string());
+                out.push_str(",\"x\":");
+                push_xs(&mut out, x)?;
+                out.push_str(",\"y\":");
+                out.push_str(&y.to_string());
+            }
+            Request::Advance { stream, k } => {
+                out.push_str("{\"op\":\"advance\",\"stream\":");
+                out.push_str(&stream.to_string());
+                out.push_str(",\"k\":");
+                out.push_str(&k.to_string());
+            }
+        }
+        out.push_str("}\n");
+    }
+    Ok(out)
+}
+
+/// Decode a JSONL request batch (the worker's `/submit` input).
+pub fn decode_requests(text: &str) -> Result<Vec<Request>, WireError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let err = |what| WireError::BadLine { line: i + 1, what };
+        let mut p = JsonParser::new(line);
+        let fields = p.object().map_err(err)?;
+        let op = fields.str_field("op").map_err(err)?;
+        let stream = fields.u64_field("stream").map_err(err)? as StreamId;
+        let request = match op {
+            "predict" => Request::Predict {
+                stream,
+                x: fields.f64_array_field("x").map_err(err)?,
+            },
+            "observe" => Request::Observe {
+                stream,
+                x: fields.f64_array_field("x").map_err(err)?,
+                y: fields.u64_field("y").map_err(err)? as u32,
+            },
+            "step" => Request::Step {
+                stream,
+                x: fields.f64_array_field("x").map_err(err)?,
+                y: fields.u64_field("y").map_err(err)? as u32,
+            },
+            "advance" => Request::Advance {
+                stream,
+                k: fields.u64_field("k").map_err(err)? as usize,
+            },
+            _ => return Err(err("unknown op")),
+        };
+        out.push(request);
+    }
+    Ok(out)
+}
+
+/// Encode responses as JSONL, one per line in batch order.
+pub fn encode_responses(responses: &[Response]) -> String {
+    let mut out = String::with_capacity(responses.len() * 32);
+    for r in responses {
+        out.push_str("{\"stream\":");
+        out.push_str(&r.stream.to_string());
+        out.push_str(",\"prediction\":");
+        match r.prediction {
+            Some(c) => out.push_str(&c.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Decode a JSONL response payload (the router's `/submit` result).
+pub fn decode_responses(text: &str) -> Result<Vec<Response>, WireError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let err = |what| WireError::BadLine { line: i + 1, what };
+        let mut p = JsonParser::new(line);
+        let fields = p.object().map_err(err)?;
+        out.push(Response {
+            stream: fields.u64_field("stream").map_err(err)?,
+            prediction: fields
+                .opt_u64_field("prediction")
+                .map_err(err)?
+                .map(|v| v as u32),
+        });
+    }
+    Ok(out)
+}
+
+/// Snapshot bytes as lowercase hex (the migration payload — snapshots
+/// are binary, JSONL lines are text).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decode [`to_hex`] output.
+pub fn from_hex(text: &str) -> Result<Vec<u8>, WireError> {
+    let text = text.trim();
+    if !text.len().is_multiple_of(2) {
+        return Err(WireError::BadHex);
+    }
+    let digit = |c: u8| -> Result<u8, WireError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(WireError::BadHex),
+        }
+    };
+    let raw = text.as_bytes();
+    let mut out = Vec::with_capacity(raw.len() / 2);
+    for pair in raw.chunks_exact(2) {
+        out.push(digit(pair[0])? << 4 | digit(pair[1])?);
+    }
+    Ok(out)
+}
+
+/// The minimal JSON value this wire speaks.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    /// A token of plain digits that fits `u64` — kept exact so stream
+    /// ids above 2^53 never round through `f64`.
+    Integer(u64),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+}
+
+/// Parsed top-level object: field name → value, preserving nothing else.
+pub(crate) struct JsonFields {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonFields {
+    fn get(&self, name: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    pub(crate) fn str_field(&self, name: &str) -> Result<&str, &'static str> {
+        match self.get(name) {
+            Some(JsonValue::String(s)) => Ok(s),
+            _ => Err("missing or non-string field"),
+        }
+    }
+
+    pub(crate) fn u64_field(&self, name: &str) -> Result<u64, &'static str> {
+        match self.get(name) {
+            // Digit-only tokens parse straight to u64 (see number()),
+            // so stream ids above 2^53 never round through f64.
+            Some(&JsonValue::Integer(v)) => Ok(v),
+            _ => Err("missing or non-integer field"),
+        }
+    }
+
+    pub(crate) fn opt_u64_field(&self, name: &str) -> Result<Option<u64>, &'static str> {
+        match self.get(name) {
+            Some(JsonValue::Null) => Ok(None),
+            Some(&JsonValue::Integer(v)) => Ok(Some(v)),
+            _ => Err("missing or non-integer field"),
+        }
+    }
+
+    pub(crate) fn f64_array_field(&self, name: &str) -> Result<Vec<f64>, &'static str> {
+        match self.get(name) {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(|v| match v {
+                    JsonValue::Number(n) => Ok(*n),
+                    // A whole-valued f64 rendered without fraction:
+                    // both conversions round the same exact decimal to
+                    // the nearest f64, so the bits round-trip.
+                    &JsonValue::Integer(n) => Ok(n as f64),
+                    _ => Err("non-numeric array element"),
+                })
+                .collect(),
+            _ => Err("missing or non-array field"),
+        }
+    }
+}
+
+/// A recursive-descent reader for the subset of JSON this wire emits:
+/// one object of string/number/null/array-of-number fields per line.
+/// (The repo's JSONL idiom — `hom_obs::jsonl` — parses trace *events*;
+/// this one parses protocol lines. Both avoid a JSON dependency.)
+pub(crate) struct JsonParser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    pub(crate) fn new(text: &'a str) -> Self {
+        JsonParser {
+            bytes: text.as_bytes(),
+            at: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), &'static str> {
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err("unexpected character")
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.at).copied()
+    }
+
+    pub(crate) fn object(&mut self) -> Result<JsonFields, &'static str> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+        } else {
+            loop {
+                let key = self.string()?;
+                self.eat(b':')?;
+                let value = self.value()?;
+                fields.push((key, value));
+                match self.peek() {
+                    Some(b',') => self.at += 1,
+                    Some(b'}') => {
+                        self.at += 1;
+                        break;
+                    }
+                    _ => return Err("expected , or } in object"),
+                }
+            }
+        }
+        self.skip_ws();
+        if self.at != self.bytes.len() {
+            return Err("trailing bytes after object");
+        }
+        Ok(JsonFields { fields })
+    }
+
+    fn value(&mut self) -> Result<JsonValue, &'static str> {
+        match self.peek().ok_or("unexpected end of line")? {
+            b'"' => Ok(JsonValue::String(self.string()?)),
+            b'[' => {
+                self.at += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.at += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b']') => {
+                            self.at += 1;
+                            break;
+                        }
+                        _ => return Err("expected , or ] in array"),
+                    }
+                }
+                Ok(JsonValue::Array(items))
+            }
+            b'n' => {
+                if self.bytes[self.at..].starts_with(b"null") {
+                    self.at += 4;
+                    Ok(JsonValue::Null)
+                } else {
+                    Err("bad literal")
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, &'static str> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.at).ok_or("unterminated string")? {
+                b'"' => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.at += 1;
+                    match self.bytes.get(self.at).ok_or("unterminated escape")? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        _ => return Err("unsupported escape"),
+                    }
+                    self.at += 1;
+                }
+                &b => {
+                    // Multi-byte UTF-8 passes through untouched: the
+                    // input is a &str, so the bytes are valid UTF-8.
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[self.at..self.at + utf8_len(b)])
+                            .map_err(|_| "invalid utf-8")?,
+                    );
+                    self.at += utf8_len(b);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, &'static str> {
+        self.skip_ws();
+        let start = self.at;
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.at += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.at]).map_err(|_| "bad number")?;
+        if raw.is_empty() {
+            return Err("expected a number");
+        }
+        // Digit-only tokens that fit u64 stay exact integers (stream
+        // ids near u64::MAX must not round through f64). Everything
+        // else — fractions, signs, and whole values too big for u64,
+        // like 1e300's 301-digit rendering — parses as f64.
+        if raw.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(v) = raw.parse::<u64>() {
+                return Ok(JsonValue::Integer(v));
+            }
+        }
+        let v: f64 = raw.parse().map_err(|_| "bad number")?;
+        Ok(JsonValue::Number(v))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_bit_exactly() {
+        let batch = vec![
+            Request::Predict {
+                stream: 7,
+                x: vec![1.0, 0.5],
+            },
+            Request::Observe {
+                stream: 8,
+                x: vec![0.1 + 0.2, f64::MIN_POSITIVE],
+                y: 1,
+            },
+            Request::Step {
+                stream: u64::from(u32::MAX),
+                x: vec![-0.0, 1e300],
+                y: 0,
+            },
+            // u64::MAX exceeds f64's exact range — the id must survive.
+            Request::Advance {
+                stream: u64::MAX,
+                k: 3,
+            },
+        ];
+        let text = encode_requests(&batch).expect("finite batch encodes");
+        let back = decode_requests(&text).expect("own encoding decodes");
+        assert_eq!(back.len(), batch.len());
+        for (a, b) in batch.iter().zip(&back) {
+            match (a, b) {
+                (
+                    Request::Predict { stream: s1, x: x1 },
+                    Request::Predict { stream: s2, x: x2 },
+                ) => {
+                    assert_eq!(s1, s2);
+                    assert_eq!(bits(x1), bits(x2));
+                }
+                (
+                    Request::Observe {
+                        stream: s1,
+                        x: x1,
+                        y: y1,
+                    },
+                    Request::Observe {
+                        stream: s2,
+                        x: x2,
+                        y: y2,
+                    },
+                )
+                | (
+                    Request::Step {
+                        stream: s1,
+                        x: x1,
+                        y: y1,
+                    },
+                    Request::Step {
+                        stream: s2,
+                        x: x2,
+                        y: y2,
+                    },
+                ) => {
+                    assert_eq!((s1, y1), (s2, y2));
+                    assert_eq!(bits(x1), bits(x2), "attribute bits diverged");
+                }
+                (
+                    Request::Advance { stream: s1, k: k1 },
+                    Request::Advance { stream: s2, k: k2 },
+                ) => assert_eq!((s1, k1), (s2, k2)),
+                other => panic!("variant mismatch: {other:?}"),
+            }
+        }
+    }
+
+    fn bits(x: &[f64]) -> Vec<u64> {
+        x.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response {
+                stream: 7,
+                prediction: Some(1),
+            },
+            Response {
+                stream: 9,
+                prediction: None,
+            },
+        ];
+        let text = encode_responses(&responses);
+        assert_eq!(
+            text,
+            "{\"stream\":7,\"prediction\":1}\n{\"stream\":9,\"prediction\":null}\n"
+        );
+        assert_eq!(decode_responses(&text).unwrap(), responses);
+    }
+
+    #[test]
+    fn non_finite_attributes_are_rejected_at_encode() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let batch = vec![Request::Predict {
+                stream: 1,
+                x: vec![bad],
+            }];
+            assert_eq!(encode_requests(&batch), Err(WireError::NonFiniteAttribute));
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        for (text, what) in [
+            (
+                "{\"op\":\"predict\",\"stream\":1}",
+                "missing or non-array field",
+            ),
+            ("{\"op\":\"dance\",\"stream\":1,\"x\":[]}", "unknown op"),
+            ("{\"stream\":1,\"x\":[1]}", "missing or non-string field"),
+            ("not json", "unexpected character"),
+            (
+                "{\"op\":\"advance\",\"stream\":1,\"k\":2} trailing",
+                "trailing bytes after object",
+            ),
+            // 20 nines overflow u64, fall back to f64 — and a rounded
+            // stream id must be rejected, not silently truncated.
+            (
+                "{\"op\":\"advance\",\"stream\":99999999999999999999,\"k\":1}",
+                "missing or non-integer field",
+            ),
+        ] {
+            let err = decode_requests(text).expect_err(text);
+            assert_eq!(err, WireError::BadLine { line: 1, what }, "{text}");
+        }
+        // Line numbers point at the offender.
+        let two = "{\"stream\":1,\"prediction\":null}\nbroken\n";
+        assert!(matches!(
+            decode_responses(two),
+            Err(WireError::BadLine { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert_eq!(from_hex("abc").unwrap_err(), WireError::BadHex);
+        assert_eq!(from_hex("zz").unwrap_err(), WireError::BadHex);
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+}

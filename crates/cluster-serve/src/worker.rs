@@ -1,0 +1,292 @@
+//! The worker node: one [`ServeEngine`] behind the cluster protocol.
+//!
+//! A worker is deliberately dumb — it owns no topology, knows no peers,
+//! and never initiates anything. The router tells it what to serve
+//! (`/submit`), which streams to hand over or adopt (`/migrate/out`,
+//! `/migrate/in`), and when to stage and flip a new model
+//! (`/swap/prepare`, `/swap/commit`). Everything stateful lives in the
+//! engine; killing a worker loses exactly what killing a single-node
+//! [`ServeEngine`] loses (nothing, with a durable store under it — see
+//! `hom-store`).
+//!
+//! | route | method | payload |
+//! |---|---|---|
+//! | `/submit` | POST | JSONL request batch in, JSONL responses out, order preserved ([`crate::wire`]) |
+//! | `/migrate/out` | POST | `{"stream":N}` → `{"stream":N,"snapshot":"<hex>"}`; the stream is atomically snapshotted and **removed** ([`ServeEngine::extract`]) |
+//! | `/migrate/in` | POST | `{"stream":N,"snapshot":"<hex>"}` → installs the state ([`ServeEngine::restore`]; older-epoch snapshots migrate forward on arrival) |
+//! | `/swap/prepare` | POST | raw `HOMM` model blob (`hom_core::model_codec`) → decoded, validated and **staged**; `{"epoch":N}` echoes the blob's target epoch |
+//! | `/swap/commit` | POST | `{"epoch":N}` → flips the staged model into the engine iff the target epoch matches; `{"epoch":N}` confirms |
+//! | `/quiesce` | POST | parks every live stream and commits the durable store → `{"parked":N}` |
+//! | `/healthz` | GET | JSON liveness: epoch, live/parked stream counts |
+//! | `/metrics` | GET | Prometheus text from the engine's [`ServeTelemetry`] aggregates — the router federates these |
+//! | `/cluster/info` | GET | JSON epoch + full stream-id census ([`ServeEngine::stream_ids`]) — the rebalancer's input |
+//! | `/posterior/<id>` | GET | the stream's posterior, shortest round-trip floats (bit-exact scrape) |
+//!
+//! The two-phase swap is what makes a cluster-wide model flip atomic:
+//! `prepare` distributes and validates the blob on every worker while
+//! traffic still flows against the old model; `commit` is then a tiny,
+//! deterministic step (the model is already decoded and resident), so
+//! the router can flip the whole fleet inside one routing write-lock
+//! hold — no worker ever serves a request against a different epoch
+//! than its peers (see `crate::router`).
+
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+
+use hom_core::{decode_model, HighOrderModel};
+use hom_obs::export::to_prometheus;
+use hom_obs::jsonl::push_f64;
+use hom_serve::{ServeEngine, ServeTelemetry, StreamId};
+
+use crate::http::{HttpRequest, HttpResponse, HttpServer};
+use crate::wire::{self, JsonParser};
+
+/// A worker's engine plus the HTTP listener speaking the cluster
+/// protocol over it. Dropping the server stops the listener; the engine
+/// (shared `Arc`) lives on.
+pub struct WorkerServer {
+    server: HttpServer,
+    engine: Arc<ServeEngine>,
+}
+
+impl fmt::Debug for WorkerServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerServer")
+            .field("addr", &self.server.addr())
+            .finish()
+    }
+}
+
+/// The model staged by `/swap/prepare`, waiting for its `/swap/commit`.
+struct Staged {
+    model: Arc<HighOrderModel>,
+    epoch: u32,
+}
+
+impl WorkerServer {
+    /// Bind the cluster protocol on `addr` (port 0 picks a free one —
+    /// read it back with [`Self::addr`]) over `engine`. `telemetry` must
+    /// be the bundle the engine's `ServeOptions::sink` records into, or
+    /// `/metrics` will scrape an empty aggregate.
+    pub fn bind(
+        addr: SocketAddr,
+        engine: Arc<ServeEngine>,
+        telemetry: Arc<ServeTelemetry>,
+    ) -> std::io::Result<Self> {
+        let handler_engine = Arc::clone(&engine);
+        let staged: Arc<Mutex<Option<Staged>>> = Arc::new(Mutex::new(None));
+        let server = HttpServer::bind(
+            addr,
+            "hom-worker",
+            Arc::new(move |req: &HttpRequest| dispatch(&handler_engine, &telemetry, &staged, req)),
+        )?;
+        Ok(WorkerServer { server, engine })
+    }
+
+    /// The address actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// The engine this worker serves.
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.engine
+    }
+}
+
+fn dispatch(
+    engine: &Arc<ServeEngine>,
+    telemetry: &Arc<ServeTelemetry>,
+    staged: &Mutex<Option<Staged>>,
+    req: &HttpRequest,
+) -> HttpResponse {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/submit") => submit(engine, &req.body),
+        ("POST", "/migrate/out") => migrate_out(engine, &req.body),
+        ("POST", "/migrate/in") => migrate_in(engine, &req.body),
+        ("POST", "/swap/prepare") => swap_prepare(engine, staged, &req.body),
+        ("POST", "/swap/commit") => swap_commit(engine, staged, &req.body),
+        ("POST", "/quiesce") => quiesce(engine),
+        ("GET", "/healthz") => healthz(engine),
+        ("GET", "/metrics") => {
+            engine.flush_trace();
+            HttpResponse::ok(
+                "text/plain; version=0.0.4",
+                to_prometheus(&telemetry.agg().snapshot()),
+            )
+        }
+        ("GET", "/cluster/info") => cluster_info(engine),
+        ("GET", path) if path.starts_with("/posterior/") => {
+            posterior(engine, &path["/posterior/".len()..])
+        }
+        _ => HttpResponse::not_found("unknown route"),
+    }
+}
+
+fn submit(engine: &ServeEngine, body: &[u8]) -> HttpResponse {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return HttpResponse::bad_request("submit body is not UTF-8");
+    };
+    let batch = match wire::decode_requests(text) {
+        Ok(batch) => batch,
+        Err(e) => return HttpResponse::bad_request(&e.to_string()),
+    };
+    let responses = engine.submit(&batch);
+    HttpResponse::ok("application/jsonl", wire::encode_responses(&responses))
+}
+
+/// Parse a one-line JSON body like `{"stream":7,...}`.
+fn body_fields(body: &[u8]) -> Result<crate::wire::JsonFields, &'static str> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8")?;
+    JsonParser::new(text.trim()).object()
+}
+
+fn migrate_out(engine: &ServeEngine, body: &[u8]) -> HttpResponse {
+    let stream = match body_fields(body).and_then(|f| f.u64_field("stream")) {
+        Ok(s) => s,
+        Err(what) => return HttpResponse::bad_request(what),
+    };
+    match engine.extract(stream) {
+        Some(bytes) => HttpResponse::ok(
+            "application/json",
+            format!(
+                "{{\"stream\":{stream},\"snapshot\":\"{}\"}}\n",
+                wire::to_hex(&bytes)
+            ),
+        ),
+        None => HttpResponse::not_found("stream not on this worker"),
+    }
+}
+
+fn migrate_in(engine: &ServeEngine, body: &[u8]) -> HttpResponse {
+    let fields = match body_fields(body) {
+        Ok(f) => f,
+        Err(what) => return HttpResponse::bad_request(what),
+    };
+    let (stream, hex) = match (fields.u64_field("stream"), fields.str_field("snapshot")) {
+        (Ok(s), Ok(h)) => (s, h),
+        (Err(what), _) | (_, Err(what)) => return HttpResponse::bad_request(what),
+    };
+    let bytes = match wire::from_hex(hex) {
+        Ok(b) => b,
+        Err(e) => return HttpResponse::bad_request(&e.to_string()),
+    };
+    match engine.restore(stream, &bytes) {
+        Ok(()) => HttpResponse::ok("application/json", format!("{{\"stream\":{stream}}}\n")),
+        Err(e) => HttpResponse::bad_request(&format!("snapshot rejected: {e}")),
+    }
+}
+
+fn swap_prepare(engine: &ServeEngine, staged: &Mutex<Option<Staged>>, body: &[u8]) -> HttpResponse {
+    let (model, epoch) = match decode_model(body) {
+        Ok(decoded) => decoded,
+        Err(e) => return HttpResponse::bad_request(&format!("model blob rejected: {e}")),
+    };
+    // Validate the flip *now*, not at commit time: a blob targeting the
+    // wrong epoch (router and worker disagree on swap count) must fail
+    // the prepare phase, while every worker still serves the old model.
+    let expected = engine.epoch() + 1;
+    if epoch != expected {
+        return HttpResponse::bad_request(&format!(
+            "blob targets epoch {epoch}, this worker's next epoch is {expected}"
+        ));
+    }
+    *staged.lock().unwrap_or_else(|e| e.into_inner()) = Some(Staged { model, epoch });
+    HttpResponse::ok("application/json", format!("{{\"epoch\":{epoch}}}\n"))
+}
+
+fn swap_commit(engine: &ServeEngine, staged: &Mutex<Option<Staged>>, body: &[u8]) -> HttpResponse {
+    let epoch = match body_fields(body).and_then(|f| f.u64_field("epoch")) {
+        Ok(e) => e as u32,
+        Err(what) => return HttpResponse::bad_request(what),
+    };
+    let mut slot = staged.lock().unwrap_or_else(|e| e.into_inner());
+    match slot.as_ref() {
+        Some(s) if s.epoch == epoch => {}
+        Some(s) => {
+            return HttpResponse::bad_request(&format!(
+                "staged model targets epoch {}, commit asked for {epoch}",
+                s.epoch
+            ))
+        }
+        None => return HttpResponse::bad_request("no staged model to commit"),
+    }
+    let model = Arc::clone(&slot.as_ref().expect("checked above").model);
+    match engine.swap_model(model) {
+        Ok(report) if report.epoch == epoch => {
+            *slot = None;
+            HttpResponse::ok("application/json", format!("{{\"epoch\":{epoch}}}\n"))
+        }
+        Ok(report) => {
+            // The engine flipped but landed on an unexpected epoch — a
+            // cluster invariant violation the router must see loudly.
+            *slot = None;
+            HttpResponse::bad_request(&format!(
+                "swap landed on epoch {}, expected {epoch}",
+                report.epoch
+            ))
+        }
+        Err(e) => HttpResponse::bad_request(&format!("swap rejected: {e}")),
+    }
+}
+
+fn quiesce(engine: &ServeEngine) -> HttpResponse {
+    let mut parked = 0usize;
+    for stream in engine.stream_ids() {
+        if engine.park(stream) {
+            parked += 1;
+        }
+    }
+    if let Some(store) = engine.store() {
+        if let Err(e) = store.commit() {
+            return HttpResponse::bad_request(&format!("store commit failed: {e}"));
+        }
+    }
+    HttpResponse::ok("application/json", format!("{{\"parked\":{parked}}}\n"))
+}
+
+fn healthz(engine: &ServeEngine) -> HttpResponse {
+    HttpResponse::ok(
+        "application/json",
+        format!(
+            "{{\"epoch\":{},\"live\":{},\"parked\":{}}}\n",
+            engine.epoch(),
+            engine.live_streams(),
+            engine.parked_streams()
+        ),
+    )
+}
+
+fn cluster_info(engine: &ServeEngine) -> HttpResponse {
+    let ids = engine.stream_ids();
+    let mut body = format!("{{\"epoch\":{},\"streams\":[", engine.epoch());
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&id.to_string());
+    }
+    body.push_str("]}\n");
+    HttpResponse::ok("application/json", body)
+}
+
+fn posterior(engine: &ServeEngine, id: &str) -> HttpResponse {
+    let Ok(stream) = id.parse::<StreamId>() else {
+        return HttpResponse::bad_request("stream id must be an integer");
+    };
+    match engine.posterior(stream) {
+        Some(p) => {
+            let mut body = format!("{{\"stream\":{stream},\"posterior\":[");
+            for (i, &v) in p.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                push_f64(&mut body, v);
+            }
+            body.push_str("]}\n");
+            HttpResponse::ok("application/json", body)
+        }
+        None => HttpResponse::not_found("no such stream"),
+    }
+}

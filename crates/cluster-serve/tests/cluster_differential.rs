@@ -1,0 +1,221 @@
+//! The cluster's differential bar: a 3-worker router/worker cluster is
+//! **bit-identical** — predictions and posteriors — to a single
+//! `ServeEngine` fed the same workload, including across a mid-traffic
+//! worker join (consistent-hash migration) and a mid-traffic
+//! cluster-wide two-phase model swap. Worker shard/thread counts are
+//! deliberately heterogeneous: distribution is pure execution policy.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hom_classifiers::{Classifier, DecisionTreeLearner, MajorityClassifier};
+use hom_cluster::ClusterParams;
+use hom_cluster_serve::{Router, WorkerServer, DEFAULT_VNODES};
+use hom_core::{build, encode_model, BuildParams, HighOrderModel};
+use hom_data::stream::collect;
+use hom_data::{StreamRecord, StreamSource};
+use hom_datagen::{StaggerParams, StaggerSource};
+use hom_serve::{Request, ServeEngine, ServeOptions, ServeTelemetry};
+
+fn bits(p: &[f64]) -> Vec<u64> {
+    p.iter().map(|v| v.to_bits()).collect()
+}
+
+fn fixture() -> (Arc<HighOrderModel>, Vec<StreamRecord>) {
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda: 0.01,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, 3000);
+    let (model, _) = build(
+        &data,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let test: Vec<StreamRecord> = (0..600).map(|_| src.next_record()).collect();
+    (Arc::new(model), test)
+}
+
+fn novel_classifier(model: &HighOrderModel) -> Arc<dyn Classifier> {
+    let n = model.schema().n_classes();
+    let counts: Vec<usize> = (0..n).map(|c| usize::from(c == 1)).collect();
+    Arc::new(MajorityClassifier::from_counts(&counts))
+}
+
+fn spawn_worker(model: &Arc<HighOrderModel>, shards: usize, threads: usize) -> WorkerServer {
+    let telemetry = Arc::new(ServeTelemetry::new());
+    let engine = Arc::new(ServeEngine::with_options(
+        Arc::clone(model),
+        &ServeOptions {
+            shards: Some(shards),
+            threads: Some(threads),
+            sink: telemetry.obs(),
+            ..Default::default()
+        },
+    ));
+    let addr: SocketAddr = "127.0.0.1:0".parse().expect("loopback");
+    WorkerServer::bind(addr, engine, telemetry).expect("worker binds")
+}
+
+#[test]
+fn cluster_is_bit_identical_to_one_engine_across_join_and_swap() {
+    let (model, test) = fixture();
+    // Scattered ids so every worker owns a healthy share.
+    let streams: Vec<u64> = (0..40u64).map(|i| i * 7919 + 3).collect();
+    let reference = ServeEngine::new(Arc::clone(&model));
+
+    // Heterogeneous workers: different shard tables, different pools.
+    let mut workers = vec![spawn_worker(&model, 4, 1), spawn_worker(&model, 16, 2)];
+    let router = Router::new(
+        workers.iter().map(|w| w.addr()).collect(),
+        DEFAULT_VNODES,
+        Duration::from_secs(10),
+    )
+    .expect("non-empty worker set");
+
+    // Drive `records` through cluster and reference in lock-step
+    // batches (10 records × all streams per batch), comparing every
+    // response vector.
+    let drive = |records: &[StreamRecord]| {
+        for chunk in records.chunks(10) {
+            let batch: Vec<Request> = chunk
+                .iter()
+                .flat_map(|r| {
+                    streams.iter().map(move |&stream| Request::Step {
+                        stream,
+                        x: r.x.to_vec(),
+                        y: r.y,
+                    })
+                })
+                .collect();
+            let got = router.submit(&batch).expect("cluster submit");
+            let want = reference.submit(&batch);
+            assert_eq!(got, want, "cluster responses diverged from one engine");
+        }
+    };
+
+    drive(&test[..150]);
+
+    // Mid-traffic join: the grown ring migrates exactly the streams the
+    // new worker now owns (`/migrate/out` → `/migrate/in` over the wire).
+    let joined = spawn_worker(&model, 8, 2);
+    let report = router.add_worker(joined.addr()).expect("rebalance");
+    workers.push(joined);
+    assert!(
+        report.migrated > 0,
+        "40 streams over a 1/3 arc: some must move to the new worker"
+    );
+    assert_eq!(report.workers, 3);
+
+    drive(&test[150..300]);
+
+    // Mid-traffic cluster-wide swap: two-phase flip of an admitted
+    // model, against the single engine's in-process swap.
+    let extended = Arc::new(model.admit_concept(novel_classifier(&model), 0.2, 120));
+    let blob = encode_model(&extended, 1).expect("admitted model encodes");
+    assert_eq!(router.swap(&blob).expect("fleet flip"), 1);
+    reference
+        .swap_model(Arc::clone(&extended))
+        .expect("reference swap");
+    for (w, worker) in workers.iter().enumerate() {
+        assert_eq!(worker.engine().epoch(), 1, "worker {w} missed the flip");
+    }
+
+    drive(&test[300..]);
+
+    // Final state: every stream's posterior is bit-identical to the
+    // single engine's, and lives exactly where the ring says.
+    for &stream in &streams {
+        let want = reference.posterior(stream).expect("reference has it");
+        let owner = router.owner(stream);
+        let got = workers[owner]
+            .engine()
+            .posterior(stream)
+            .unwrap_or_else(|| panic!("stream {stream} not on ring owner {owner}"));
+        assert_eq!(
+            bits(&got),
+            bits(&want),
+            "stream {stream} posterior diverged"
+        );
+        for (w, worker) in workers.iter().enumerate() {
+            if w != owner {
+                assert!(
+                    !worker.engine().stream_ids().contains(&stream),
+                    "stream {stream} duplicated on worker {w}"
+                );
+            }
+        }
+    }
+
+    // Fleet observability: the federated scrape carries every worker's
+    // samples under its own label and parses as one exposition.
+    let federated = router.metrics().expect("federated metrics");
+    for w in 0..workers.len() {
+        assert!(
+            federated.contains(&format!("worker=\"{w}\"")),
+            "worker {w} missing from federation"
+        );
+    }
+    let families = hom_obs::parse_prometheus(&federated).expect("federation parses");
+    assert!(
+        families
+            .iter()
+            .any(|f| f.name == "hom_serve_records_observed_total"),
+        "request counters must federate"
+    );
+    let status = router.cluster_status();
+    assert_eq!(status.len(), 3);
+    for s in &status {
+        assert!(s.healthy, "worker {} unhealthy", s.worker);
+        assert_eq!(s.epoch, 1);
+    }
+}
+
+#[test]
+fn cluster_results_are_thread_count_invariant() {
+    // The same workload on single-threaded and multi-threaded workers
+    // produces identical bytes — the cluster analogue of the engine's
+    // HOM_THREADS invariance (CI runs the smoke at 1 and 8 threads).
+    let (model, test) = fixture();
+    let streams: Vec<u64> = (0..16u64).map(|i| i * 31 + 1).collect();
+    let run = |threads: usize| -> Vec<Vec<u64>> {
+        let workers: Vec<WorkerServer> = (0..3)
+            .map(|i| spawn_worker(&model, 4 << i, threads))
+            .collect();
+        let router = Router::new(
+            workers.iter().map(|w| w.addr()).collect(),
+            DEFAULT_VNODES,
+            Duration::from_secs(10),
+        )
+        .expect("router");
+        for chunk in test[..200].chunks(20) {
+            let batch: Vec<Request> = chunk
+                .iter()
+                .flat_map(|r| {
+                    streams.iter().map(move |&stream| Request::Step {
+                        stream,
+                        x: r.x.to_vec(),
+                        y: r.y,
+                    })
+                })
+                .collect();
+            router.submit(&batch).expect("submit");
+        }
+        streams
+            .iter()
+            .map(|&s| {
+                let owner = router.owner(s);
+                bits(&workers[owner].engine().posterior(s).expect("posterior"))
+            })
+            .collect()
+    };
+    assert_eq!(run(1), run(4), "thread count changed cluster output bits");
+}

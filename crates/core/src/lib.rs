@@ -28,6 +28,7 @@ pub mod compiled;
 pub mod concept;
 pub mod extend;
 pub mod filter;
+pub mod model_codec;
 pub mod online;
 pub mod snapshot;
 pub mod transition;
@@ -37,6 +38,9 @@ pub use build::{build, build_with, BuildOptions, BuildParams, BuildReport, HighO
 pub use compiled::{BatchStats, BatchTable, CompiledModel, KernelScratch};
 pub use concept::Concept;
 pub use filter::{FilterIntrospection, FilterState, FilterView};
+pub use model_codec::{
+    decode_model, encode_model, model_epoch, ModelCodecError, MODEL_MAGIC, MODEL_VERSION,
+};
 pub use online::{OnlineOptions, OnlinePredictor};
 pub use snapshot::{fnv1a, snapshot_epoch, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use transition::TransitionStats;

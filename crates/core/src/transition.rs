@@ -135,6 +135,40 @@ impl TransitionStats {
         self.chi[i * self.n + j]
     }
 
+    /// The raw `(len, freq, chi)` vectors, for the model wire codec —
+    /// serialized as f64 bits so a decoded kernel is bit-identical to
+    /// the encoded one (`from_totals` is *not* re-run on the far side:
+    /// Eq. 6 re-derivation would be value-equal but the cluster's
+    /// differential bar demands bit equality without trusting float
+    /// expression ordering across builds).
+    pub(crate) fn raw_parts(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.len, &self.freq, &self.chi)
+    }
+
+    /// Rebuild from raw vectors (the model wire codec's decode side).
+    /// Lengths are validated; the values themselves are trusted as far
+    /// as being the paper's Eq. 6 quantities goes — the codec's FNV-1a
+    /// trailer already guards against transport corruption.
+    pub(crate) fn from_raw_parts(
+        n_concepts: usize,
+        len: Vec<f64>,
+        freq: Vec<f64>,
+        chi: Vec<f64>,
+    ) -> Result<Self, &'static str> {
+        if len.len() != n_concepts || freq.len() != n_concepts {
+            return Err("Len/Freq length mismatch");
+        }
+        if chi.len() != n_concepts * n_concepts {
+            return Err("chi is not n_concepts squared");
+        }
+        Ok(TransitionStats {
+            n: n_concepts,
+            len,
+            freq,
+            chi,
+        })
+    }
+
     /// One step of the prior update (Eq. 5): `out[c] = Σᵢ p[i]·χ(i,c)`.
     ///
     /// # Panics

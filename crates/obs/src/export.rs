@@ -167,6 +167,216 @@ pub fn to_prometheus(snap: &AggSnapshot) -> String {
     out
 }
 
+/// One parsed sample line: the metric name, the raw inner label string
+/// (what sat between `{` and `}`, empty if unlabeled) and the raw value
+/// text. The value is deliberately **not** parsed to `f64`: federation
+/// passes it through byte-for-byte, so a router's aggregated `/metrics`
+/// carries each worker's numbers bit-exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromSample {
+    /// Full sample name (`hom_x_bucket`, `hom_x_sum`, …).
+    pub name: String,
+    /// Raw label pairs without the surrounding braces; `""` if none.
+    pub labels: String,
+    /// Raw value text (`42`, `3.5`, `+Inf`, `NaN`, …).
+    pub value: String,
+}
+
+/// One metric family from a scrape: its `# HELP`/`# TYPE` header and
+/// every sample that followed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromFamily {
+    /// Family name (`hom_serve_batch_latency_ns`).
+    pub name: String,
+    /// Declared type (`counter`, `gauge`, `histogram`, `untyped`, …).
+    pub kind: String,
+    /// Help text, possibly empty.
+    pub help: String,
+    /// Samples in scrape order.
+    pub samples: Vec<PromSample>,
+}
+
+/// Why a Prometheus scrape failed to parse: the 1-based line and what
+/// was wrong with it. Used by the router's `/metrics` federation — a
+/// worker returning garbage must surface as a typed error, not a panic
+/// or a silently dropped worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for PromParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "prometheus scrape line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for PromParseError {}
+
+/// Parse a Prometheus text-format (0.0.4) scrape into its families.
+///
+/// This is the reading half of [`to_prometheus`]: the subset of the
+/// format this repo's exporters emit (HELP/TYPE headers followed by
+/// their samples) plus the laxness the real format allows — comments,
+/// blank lines, samples with no declared family (they become `untyped`
+/// families of their own). Sample values and label strings are kept as
+/// raw text (see [`PromSample`]).
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromFamily>, PromParseError> {
+    let mut families: Vec<PromFamily> = Vec::new();
+    let find = |families: &mut Vec<PromFamily>, name: &str| -> usize {
+        match families.iter().position(|f| f.name == name) {
+            Some(i) => i,
+            None => {
+                families.push(PromFamily {
+                    name: name.to_string(),
+                    kind: "untyped".to_string(),
+                    help: String::new(),
+                    samples: Vec::new(),
+                });
+                families.len() - 1
+            }
+        }
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what| PromParseError { line: i + 1, what };
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+            if name.is_empty() {
+                return Err(err("HELP with no metric name"));
+            }
+            let at = find(&mut families, name);
+            families[at].help = help.to_string();
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or(err("TYPE with no metric kind"))?;
+            if name.is_empty() || kind.is_empty() {
+                return Err(err("TYPE with no metric kind"));
+            }
+            let at = find(&mut families, name);
+            families[at].kind = kind.to_string();
+        } else if line.starts_with('#') {
+            // Any other comment is legal and ignored.
+        } else {
+            // A sample: `name{labels} value` or `name value`.
+            let (name_labels, value) = match line.find('{') {
+                Some(brace) => {
+                    let close = line[brace..]
+                        .find('}')
+                        .map(|c| brace + c)
+                        .ok_or(err("unclosed label braces"))?;
+                    let value = line[close + 1..].trim();
+                    ((&line[..brace], &line[brace + 1..close]), value)
+                }
+                None => {
+                    let (name, value) = line.split_once(' ').ok_or(err("sample with no value"))?;
+                    ((name, ""), value.trim())
+                }
+            };
+            let (name, labels) = name_labels;
+            if name.is_empty() {
+                return Err(err("sample with no name"));
+            }
+            if value.is_empty() || value.contains(' ') {
+                // A second field after the value would be a timestamp —
+                // this repo's exporters never emit one, and federation
+                // would forward it mislabeled, so reject it loudly.
+                return Err(err("sample value is not a single field"));
+            }
+            // Attach to the owning family: histogram samples carry
+            // `_bucket`/`_sum`/`_count` suffixes on the family name.
+            let base = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|s| name.strip_suffix(s))
+                .filter(|base| families.iter().any(|f| f.name == *base))
+                .unwrap_or(name);
+            let at = find(&mut families, base);
+            families[at].samples.push(PromSample {
+                name: name.to_string(),
+                labels: labels.to_string(),
+                value: value.to_string(),
+            });
+        }
+    }
+    Ok(families)
+}
+
+/// Merge scrapes from several workers into one exposition, adding a
+/// `label_name="<worker label>"` pair to every sample — the router's
+/// `/cluster`-wide `/metrics` endpoint.
+///
+/// Families keep first-seen order; each family's `# HELP`/`# TYPE`
+/// header is emitted exactly once (first declaration wins) and then the
+/// samples of every worker that reported it, in worker order, each
+/// tagged with its worker label. Values and existing labels pass
+/// through as raw text, so per-worker numbers survive bit-exactly; a
+/// sample that already carries `label_name` is rejected rather than
+/// silently double-labeled.
+pub fn federate(scrapes: &[(String, String)], label_name: &str) -> Result<String, PromParseError> {
+    let mut order: Vec<String> = Vec::new();
+    // (worker label, family) pairs, grouped later by `order`.
+    let mut parsed: Vec<(String, Vec<PromFamily>)> = Vec::new();
+    for (worker, text) in scrapes {
+        let families = parse_prometheus(text)?;
+        for f in &families {
+            if !order.contains(&f.name) {
+                order.push(f.name.clone());
+            }
+            for s in &f.samples {
+                let tagged = format!("{label_name}=");
+                if s.labels.split(',').any(|p| p.trim().starts_with(&tagged)) {
+                    return Err(PromParseError {
+                        line: 0,
+                        what: "sample already carries the federation label",
+                    });
+                }
+            }
+        }
+        parsed.push((worker.clone(), families));
+    }
+    let escape = |v: &str| v.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::new();
+    for name in &order {
+        let mut declared = false;
+        for (worker, families) in &parsed {
+            let Some(f) = families.iter().find(|f| &f.name == name) else {
+                continue;
+            };
+            if !declared {
+                let help = if f.help.is_empty() {
+                    "(federated)"
+                } else {
+                    &f.help
+                };
+                push_header(&mut out, name, &f.kind, help);
+                declared = true;
+            }
+            for s in &f.samples {
+                out.push_str(&s.name);
+                out.push('{');
+                if !s.labels.is_empty() {
+                    out.push_str(&s.labels);
+                    out.push(',');
+                }
+                out.push_str(label_name);
+                out.push_str("=\"");
+                out.push_str(&escape(worker));
+                out.push_str("\"} ");
+                out.push_str(&s.value);
+                out.push('\n');
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +456,108 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_empty() {
         assert_eq!(to_prometheus(&AggSnapshot::default()), "");
+    }
+
+    /// A real exporter scrape parses back into exactly its families,
+    /// with raw values preserved.
+    #[test]
+    fn parse_round_trips_own_exposition() {
+        let agg = Arc::new(AggSink::new());
+        let obs = Obs::new(Arc::clone(&agg));
+        obs.count("serve.evictions", 3);
+        obs.gauge("serve.live_streams", 42.5);
+        let mut h = Histogram::new();
+        h.record(100.0);
+        h.record(3000.0);
+        obs.hist("serve.batch_latency_ns", &h);
+        let text = to_prometheus(&agg.snapshot());
+
+        let families = parse_prometheus(&text).expect("own exposition parses");
+        assert_eq!(families.len(), 3);
+        let counter = &families[0];
+        assert_eq!(counter.name, "hom_serve_evictions_total");
+        assert_eq!(counter.kind, "counter");
+        assert_eq!(
+            counter.samples,
+            vec![PromSample {
+                name: "hom_serve_evictions_total".into(),
+                labels: String::new(),
+                value: "3".into(),
+            }]
+        );
+        let gauge = &families[1];
+        assert_eq!(gauge.samples[0].value, "42.5", "raw value text preserved");
+        let hist = &families[2];
+        assert_eq!(hist.kind, "histogram");
+        // Bucket/sum/count samples all attach to the histogram family.
+        assert!(hist
+            .samples
+            .iter()
+            .any(|s| s.name.ends_with("_bucket") && s.labels == "le=\"+Inf\"" && s.value == "2"));
+        assert!(hist.samples.iter().any(|s| s.name.ends_with("_sum")));
+        assert!(hist.samples.iter().any(|s| s.name.ends_with("_count")));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for (text, what) in [
+            ("hom_x{le=\"1\" 3", "unclosed label braces"),
+            ("hom_x", "sample with no value"),
+            ("hom_x 1 1699999999", "sample value is not a single field"),
+            ("# TYPE hom_x", "TYPE with no metric kind"),
+        ] {
+            let err = parse_prometheus(text).expect_err(text);
+            assert_eq!(err.what, what, "{text}");
+            assert_eq!(err.line, 1);
+        }
+        // Blank lines and stray comments are fine.
+        assert!(parse_prometheus("\n# just a comment\n").unwrap().is_empty());
+    }
+
+    /// Federation: one header per family, every sample tagged with its
+    /// worker, values bit-exact, per-worker histogram series contiguous
+    /// (so per-series bucket cumulativity survives).
+    #[test]
+    fn federate_tags_and_groups_by_family() {
+        let scrape = |evictions: u64| {
+            let agg = Arc::new(AggSink::new());
+            let obs = Obs::new(Arc::clone(&agg));
+            obs.count("serve.evictions", evictions);
+            let mut h = Histogram::new();
+            h.record(evictions as f64);
+            obs.hist("serve.batch_latency_ns", &h);
+            to_prometheus(&agg.snapshot())
+        };
+        let merged = federate(
+            &[("0".to_string(), scrape(3)), ("1".to_string(), scrape(7))],
+            "worker",
+        )
+        .expect("federates");
+
+        assert_eq!(
+            merged
+                .matches("# TYPE hom_serve_evictions_total counter")
+                .count(),
+            1,
+            "one header per family"
+        );
+        assert!(merged.contains("hom_serve_evictions_total{worker=\"0\"} 3\n"));
+        assert!(merged.contains("hom_serve_evictions_total{worker=\"1\"} 7\n"));
+        // Existing labels keep their pairs, the worker label appended.
+        assert!(merged.contains("hom_serve_batch_latency_ns_bucket{le=\"+Inf\",worker=\"0\"} 1\n"));
+        // Family grouping: both workers' counter samples precede the
+        // histogram header.
+        let hist_header = merged.find("# TYPE hom_serve_batch_latency_ns").unwrap();
+        let w1_counter = merged
+            .find("hom_serve_evictions_total{worker=\"1\"}")
+            .unwrap();
+        assert!(w1_counter < hist_header, "samples grouped by family");
+        // The merged text itself parses.
+        let families = parse_prometheus(&merged).expect("merged text parses");
+        assert_eq!(families.len(), 2);
+
+        // Double-labeling is a typed error.
+        let already = "# TYPE hom_y counter\nhom_y{worker=\"9\"} 1\n";
+        assert!(federate(&[("0".into(), already.into())], "worker").is_err());
     }
 }

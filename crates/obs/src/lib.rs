@@ -73,7 +73,9 @@ pub mod slo;
 pub use agg::{AggSink, AggSnapshot};
 pub use event::{Event, OwnedEvent};
 pub use exemplar::{hash_sampled, Exemplar, ExemplarRing};
-pub use export::to_prometheus;
+pub use export::{
+    federate, parse_prometheus, to_prometheus, PromFamily, PromParseError, PromSample,
+};
 pub use flight::FlightRecorder;
 pub use hist::Histogram;
 pub use sink::{Fanout, JsonlSink, NullSink, Recorder, Sink};

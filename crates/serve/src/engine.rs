@@ -1674,6 +1674,61 @@ impl ServeEngine {
         self.parked_bytes(&shard, stream)
     }
 
+    /// Every stream id this engine holds state for — live, RAM-parked
+    /// and store-parked — in ascending order. This is the cluster
+    /// rebalancer's census: when the worker set changes, the router
+    /// scrapes each worker's stream list, recomputes ring ownership and
+    /// migrates exactly the ids whose owner moved.
+    pub fn stream_ids(&self) -> Vec<StreamId> {
+        let mut ids = std::collections::BTreeSet::new();
+        for shard in &self.shards {
+            let shard = self.lock(shard);
+            for (id, _, _) in shard.table.iter() {
+                ids.insert(id);
+            }
+            ids.extend(shard.parked.keys().copied());
+        }
+        if let Some(store) = &self.store {
+            ids.extend(store.parked_ids());
+        }
+        ids.into_iter().collect()
+    }
+
+    /// Migrate a stream **out**: serialize its state with the snapshot
+    /// codec and remove every trace of it from this engine (live slot,
+    /// RAM-parked map, durable-store tombstone), atomically under the
+    /// stream's shard lock. `None` if the stream does not exist.
+    ///
+    /// This is the source half of cluster stream migration; the target
+    /// half is [`Self::restore`] on the receiving engine. Store-parked
+    /// bytes may carry an older model epoch (lazy post-swap migration);
+    /// `restore` migrates them forward on arrival, so a park → swap →
+    /// migrate sequence still lands bit-identical to a stream that
+    /// lived through the same swap in one engine.
+    pub fn extract(&self, stream: StreamId) -> Option<Vec<u8>> {
+        let serving = self.serving_guard();
+        let mut shard = self.lock(&self.shards[self.shard_index(stream)]);
+        let bytes = if let Some(slot) = shard.index.remove(stream) {
+            let state = shard.table.materialize(&serving.model, slot);
+            shard.table.remove(slot);
+            Some(self.snapshot_bytes(&state))
+        } else if let Some(bytes) = shard.parked.remove(&stream) {
+            Some(bytes)
+        } else {
+            self.store
+                .as_ref()
+                .and_then(|s| s.get(stream).ok().flatten())
+        };
+        if bytes.is_some() {
+            // Tombstone any store copy so a restart on this worker does
+            // not resurrect a stream that now lives elsewhere.
+            if let Some(store) = &self.store {
+                store.remove(stream);
+            }
+        }
+        bytes
+    }
+
     /// Install a snapshotted state as `stream`, validating the bytes
     /// first (corrupt or truncated input is an error, never a panic).
     /// Replaces any existing state of that stream.

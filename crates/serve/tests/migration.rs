@@ -1,0 +1,197 @@
+//! The engine-level halves of cluster stream migration: `stream_ids`
+//! (the rebalancer's census) and `extract` (snapshot + remove in one
+//! atomic step), across all three state tiers — live, RAM-parked and
+//! store-parked. A stream extracted from one engine and restored into
+//! another must continue bit-identically to one that never moved.
+
+use std::sync::Arc;
+
+use hom_classifiers::DecisionTreeLearner;
+use hom_cluster::ClusterParams;
+use hom_core::{build, BuildParams, HighOrderModel};
+use hom_data::stream::collect;
+use hom_data::{StreamRecord, StreamSource};
+use hom_datagen::{StaggerParams, StaggerSource};
+use hom_obs::Obs;
+use hom_serve::{ServeEngine, ServeOptions, StreamStore};
+use hom_store::{FsIo, StoreOptions};
+
+fn bits(p: &[f64]) -> Vec<u64> {
+    p.iter().map(|v| v.to_bits()).collect()
+}
+
+fn fixture() -> (Arc<HighOrderModel>, Vec<StreamRecord>) {
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda: 0.01,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, 3000);
+    let (model, _) = build(
+        &data,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let test: Vec<StreamRecord> = (0..1000).map(|_| src.next_record()).collect();
+    (Arc::new(model), test)
+}
+
+fn disk_store(tag: &str) -> (Arc<StreamStore>, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("hom-migration-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let io = FsIo::open(&dir).expect("temp dir");
+    let store = StreamStore::open_with(
+        Arc::new(io),
+        StoreOptions {
+            commit_interval_us: 0,
+            sink: Obs::none(),
+            ..Default::default()
+        },
+    )
+    .expect("open store");
+    (Arc::new(store), dir)
+}
+
+#[test]
+fn stream_ids_census_covers_every_tier() {
+    let (model, test) = fixture();
+    let (store, dir) = disk_store("census");
+    let engine = ServeEngine::with_options(
+        Arc::clone(&model),
+        &ServeOptions {
+            threads: Some(1),
+            shards: Some(4),
+            store: Some(store),
+            ..Default::default()
+        },
+    );
+    for r in &test[..60] {
+        for id in [3u64, 11, 42] {
+            engine.step(id, &r.x, r.y);
+        }
+    }
+    // Park one stream into the store tier; the others stay live.
+    assert!(engine.park(42));
+    assert_eq!(engine.stream_ids(), vec![3, 11, 42]);
+
+    // A RAM-parked stream (engine without a store) is also counted.
+    let ramless = ServeEngine::new(Arc::clone(&model));
+    for r in &test[..10] {
+        ramless.step(5, &r.x, r.y);
+    }
+    assert!(ramless.park(5));
+    assert_eq!(ramless.stream_ids(), vec![5]);
+
+    assert_eq!(ServeEngine::new(model).stream_ids(), Vec::<u64>::new());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn extracted_stream_continues_bit_identically_elsewhere() {
+    let (model, test) = fixture();
+    let stream = 7u64;
+
+    // Reference: the stream lives its whole life in one engine.
+    let reference = ServeEngine::new(Arc::clone(&model));
+    let mut tail = Vec::new();
+    for (t, r) in test.iter().enumerate() {
+        let p = reference.step(stream, &r.x, r.y);
+        if t >= 500 {
+            tail.push(p);
+        }
+    }
+
+    // Migrated: half the traffic on a source engine, extract, restore
+    // into a differently-sharded target, rest of the traffic there.
+    let source = ServeEngine::new(Arc::clone(&model));
+    for r in &test[..500] {
+        source.step(stream, &r.x, r.y);
+    }
+    let bytes = source.extract(stream).expect("stream exists");
+    assert_eq!(source.posterior(stream), None, "extract removed the stream");
+    assert!(!source.stream_ids().contains(&stream));
+
+    let target = ServeEngine::with_options(
+        Arc::clone(&model),
+        &ServeOptions {
+            shards: Some(8),
+            threads: Some(2),
+            ..Default::default()
+        },
+    );
+    target.restore(stream, &bytes).expect("snapshot restores");
+    let migrated_tail: Vec<u32> = test[500..]
+        .iter()
+        .map(|r| target.step(stream, &r.x, r.y))
+        .collect();
+
+    assert_eq!(migrated_tail, tail, "post-migration predictions diverged");
+    assert_eq!(
+        bits(&target.posterior(stream).unwrap()),
+        bits(&reference.posterior(stream).unwrap()),
+        "post-migration posterior diverged"
+    );
+}
+
+#[test]
+fn extract_works_from_parked_and_store_tiers() {
+    let (model, test) = fixture();
+    let (store, dir) = disk_store("extract");
+
+    for (tag, source) in [
+        ("ram", ServeEngine::new(Arc::clone(&model))),
+        (
+            "store",
+            ServeEngine::with_options(
+                Arc::clone(&model),
+                &ServeOptions {
+                    threads: Some(1),
+                    store: Some(Arc::clone(&store)),
+                    ..Default::default()
+                },
+            ),
+        ),
+    ] {
+        let reference = ServeEngine::new(Arc::clone(&model));
+        for r in &test[..300] {
+            source.step(2, &r.x, r.y);
+            reference.step(2, &r.x, r.y);
+        }
+        assert!(source.park(2), "{tag}: park");
+        let bytes = source
+            .extract(2)
+            .unwrap_or_else(|| panic!("{tag}: extract"));
+        assert_eq!(
+            source.extract(2),
+            None,
+            "{tag}: second extract finds nothing"
+        );
+
+        let target = ServeEngine::new(Arc::clone(&model));
+        target.restore(2, &bytes).expect("restores");
+        assert_eq!(
+            bits(&target.posterior(2).unwrap()),
+            bits(&reference.posterior(2).unwrap()),
+            "{tag}: posterior diverged"
+        );
+    }
+    // The store copy was tombstoned by extract: nothing to resurrect.
+    store.commit().expect("commit");
+    assert!(!store.contains(2), "store copy survived extraction");
+    assert_eq!(store.parked_len(), 0);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn extract_of_unknown_stream_is_none() {
+    let (model, _) = fixture();
+    let engine = ServeEngine::new(model);
+    assert_eq!(engine.extract(999), None);
+    assert_eq!(engine.stream_ids(), Vec::<u64>::new());
+}

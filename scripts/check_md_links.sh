@@ -6,7 +6,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fail=0
-for doc in README.md ARCHITECTURE.md DESIGN.md EXPERIMENTS.md; do
+for doc in README.md ARCHITECTURE.md DESIGN.md EXPERIMENTS.md OPERATIONS.md; do
   while IFS= read -r target; do
     case "$target" in
       http://* | https://* | mailto:*) continue ;;

@@ -13,8 +13,11 @@
 #   * every sample belongs to a declared family (histogram samples
 #     `<base>_bucket/_sum/_count` resolve to the `<base>` family);
 #   * counter sample values are non-negative;
-#   * every histogram has a `+Inf` bucket, cumulative (non-decreasing)
-#     bucket counts, and a `_count` equal to its `+Inf` bucket.
+#   * every histogram **series** (family + label set, ignoring `le`) has
+#     a `+Inf` bucket, cumulative (non-decreasing) bucket counts, and a
+#     `_count` equal to its `+Inf` bucket — label-aware, so a federated
+#     exposition with one series per worker (`worker="0"`, `worker="1"`,
+#     …) validates each worker's histogram independently.
 #
 # Exits non-zero naming the first offending line.
 
@@ -89,31 +92,42 @@ function family(name,    base) {
     if (kind == "histogram" && name == fam "_bucket") {
         if (!match(labels, /le="[^"]*"/)) fail("histogram bucket without le label")
         le = substr(labels, RSTART + 4, RLENGTH - 5)
-        if (le == "+Inf") { inf_bucket[fam] = value + 0 }
-        if (fam in last_bucket && value + 0 < last_bucket[fam])
-            fail("histogram " fam " buckets are not cumulative")
-        last_bucket[fam] = value + 0
+        # The series is the label set minus the le pair (and the comma
+        # that joined it): per-series cumulativity, so federated
+        # expositions with one series per worker stay valid.
+        series = labels
+        sub(/(^|,)le="[^"]*"/, "", series)
+        sub(/^,/, "", series)
+        key = fam SUBSEP series
+        hseries[key] = 1
+        if (le == "+Inf") { inf_bucket[key] = value + 0 }
+        if (key in last_bucket && value + 0 < last_bucket[key])
+            fail("histogram " fam "{" series "} buckets are not cumulative")
+        last_bucket[key] = value + 0
     }
-    if (kind == "histogram" && name == fam "_count") hist_count[fam] = value + 0
-    if (kind == "histogram" && name == fam "_sum") hist_sum[fam] = 1
+    if (kind == "histogram" && name == fam "_count") {
+        hseries[fam SUBSEP labels] = 1
+        hist_count[fam SUBSEP labels] = value + 0
+    }
+    if (kind == "histogram" && name == fam "_sum") hist_sum[fam SUBSEP labels] = 1
     seen[fam] = 1
     nsamples++
 }
 END {
     if (failed) exit 1  # awk runs END even after exit; keep one message
-    for (fam in type) {
-        if (type[fam] != "histogram") continue
-        if (!(fam in seen)) continue
-        if (!(fam in inf_bucket)) {
-            printf "check_prom_format: histogram %s has no +Inf bucket\n", fam > "/dev/stderr"
+    for (key in hseries) {
+        split(key, parts, SUBSEP)
+        where = parts[1] "{" parts[2] "}"
+        if (!(key in inf_bucket)) {
+            printf "check_prom_format: histogram %s has no +Inf bucket\n", where > "/dev/stderr"
             exit 1
         }
-        if (!(fam in hist_sum)) {
-            printf "check_prom_format: histogram %s has no _sum\n", fam > "/dev/stderr"
+        if (!(key in hist_sum)) {
+            printf "check_prom_format: histogram %s has no _sum\n", where > "/dev/stderr"
             exit 1
         }
-        if (!(fam in hist_count) || hist_count[fam] != inf_bucket[fam]) {
-            printf "check_prom_format: histogram %s _count != +Inf bucket\n", fam > "/dev/stderr"
+        if (!(key in hist_count) || hist_count[key] != inf_bucket[key]) {
+            printf "check_prom_format: histogram %s _count != +Inf bucket\n", where > "/dev/stderr"
             exit 1
         }
     }

@@ -57,6 +57,7 @@
 //! | [`cluster`] | the two-step agglomerative concept clustering (§II) |
 //! | [`core`] | the high-order model: offline build + online filter (§III) |
 //! | [`serve`] | concurrent multi-stream serving engine over one shared model |
+//! | [`cluster_serve`] | multi-node serving: consistent-hash router, stream migration, fleet-wide hot-swap |
 //! | [`store`] | durable state tier: WAL + segment store for parked stream states |
 //! | [`adapt`] | novel-concept detection, fallback serving, live model maintenance |
 //! | [`baselines`] | RePro (KDD'05) and WCE (KDD'03) re-implementations |
@@ -69,6 +70,7 @@ pub use hom_adapt as adapt;
 pub use hom_baselines as baselines;
 pub use hom_classifiers as classifiers;
 pub use hom_cluster as cluster;
+pub use hom_cluster_serve as cluster_serve;
 pub use hom_core as core;
 pub use hom_data as data;
 pub use hom_datagen as datagen;
@@ -87,6 +89,9 @@ pub mod prelude {
         Classifier, DecisionTreeLearner, Learner, MajorityLearner, NaiveBayesLearner,
     };
     pub use hom_cluster::{cluster_concepts, ClusterParams};
+    pub use hom_cluster_serve::{
+        ClusterConfig, ClusterConfigError, ClusterError, Router, RouterServer, WorkerServer,
+    };
     pub use hom_core::{
         build, build_with, BuildOptions, BuildParams, FilterState, HighOrderModel, OnlineOptions,
         OnlinePredictor, TransitionStats,
