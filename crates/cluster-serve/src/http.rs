@@ -4,15 +4,18 @@
 //! Same idiom as `hom-serve`'s `MetricsServer` — a
 //! [`std::net::TcpListener`] accept loop, `Content-Length` +
 //! `Connection: close`, one request per connection — extended with the
-//! two things the router/worker protocol needs beyond a metrics scrape:
-//! **POST bodies** (request batches, snapshots, model blobs) and
+//! things the router/worker protocol needs beyond a metrics scrape:
+//! **POST bodies** (request batches, snapshots, model blobs),
 //! **deadlines** on every socket (a dead worker must surface as a typed
-//! error within the configured timeout, never hang a router thread).
+//! error within the configured timeout, never hang a router thread),
+//! and **per-connection threads** on the server (a slow or idle client
+//! ties up only its own thread, bounded by the read deadline and a
+//! connection cap — never the accept loop or other requests).
 
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -21,6 +24,15 @@ use std::time::Duration;
 /// above any real model blob or batch, low enough that a corrupt
 /// `Content-Length` cannot OOM a worker.
 const MAX_BODY: usize = 64 << 20;
+
+/// The request/status line plus headers must fit this budget (16 KiB,
+/// either direction) — a peer streaming an endless header line cannot
+/// grow a line buffer unboundedly (`MAX_BODY` bounds only bodies).
+const MAX_HEAD: u64 = 16 << 10;
+
+/// Concurrent connections one server handles. Accepts beyond the cap
+/// are answered `503` immediately — shed, not queued behind slow peers.
+const MAX_CONNECTIONS: usize = 64;
 
 /// An HTTP exchange that failed below the protocol level. The router
 /// maps these onto `ClusterError::WorkerDown` — the cluster's
@@ -98,6 +110,16 @@ impl HttpResponse {
             body: format!("{reason}\n").into_bytes(),
         }
     }
+
+    /// A `503 Service Unavailable` with a plain-text reason — what the
+    /// server sheds connections with at the concurrency cap.
+    pub fn unavailable(reason: &str) -> Self {
+        HttpResponse {
+            status: "503 Service Unavailable",
+            content_type: "text/plain",
+            body: format!("{reason}\n").into_bytes(),
+        }
+    }
 }
 
 /// One blocking HTTP request with a deadline on every socket phase.
@@ -127,11 +149,13 @@ pub fn http_request(
         .map_err(|e| HttpError::Io(e.to_string()))?;
     writer.flush().map_err(|e| HttpError::Io(e.to_string()))?;
 
-    let mut reader = BufReader::new(conn);
+    let mut head = BufReader::new(conn).take(MAX_HEAD);
     let mut status_line = String::new();
-    reader
-        .read_line(&mut status_line)
+    head.read_line(&mut status_line)
         .map_err(|e| HttpError::Io(e.to_string()))?;
+    if !status_line.ends_with('\n') && head.limit() == 0 {
+        return Err(HttpError::Malformed("status line too long"));
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
@@ -141,10 +165,16 @@ pub fn http_request(
     let mut header = String::new();
     loop {
         header.clear();
-        let n = reader
+        let n = head
             .read_line(&mut header)
             .map_err(|e| HttpError::Io(e.to_string()))?;
-        if n == 0 || header == "\r\n" || header == "\n" {
+        if header == "\r\n" || header == "\n" {
+            break;
+        }
+        if (n == 0 || !header.ends_with('\n')) && head.limit() == 0 {
+            return Err(HttpError::Malformed("header section too large"));
+        }
+        if n == 0 {
             break;
         }
         if let Some(v) = header_value(&header, "content-length") {
@@ -154,6 +184,7 @@ pub fn http_request(
             );
         }
     }
+    let mut reader = head.into_inner();
     let mut body = Vec::new();
     match content_length {
         Some(len) => {
@@ -245,25 +276,59 @@ impl Drop for HttpServer {
 }
 
 fn accept_loop(listener: TcpListener, handler: Handler, stop: Arc<AtomicBool>) {
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
     for conn in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             break;
         }
         let Ok(mut conn) = conn else { continue };
-        // One request per connection; an I/O error drops the connection
-        // — a broken client must never take the node down.
-        let _ = serve_connection(&mut conn, &handler);
+        conn_threads.retain(|h| !h.is_finished());
+        // One thread per connection: a slow or idle peer ties up only
+        // its own thread (bounded by the read deadline), never the
+        // accept loop or other requests. Beyond the cap, shed promptly.
+        if active.load(Ordering::Acquire) >= MAX_CONNECTIONS {
+            let _ = write_response(&mut conn, &HttpResponse::unavailable("connection limit"));
+            continue;
+        }
+        active.fetch_add(1, Ordering::AcqRel);
+        let handler = Arc::clone(&handler);
+        let thread_active = Arc::clone(&active);
+        let spawned = std::thread::Builder::new()
+            .name("hom-http-conn".to_string())
+            .spawn(move || {
+                // An I/O error drops the connection — a broken client
+                // must never take the node down.
+                let _ = serve_connection(&mut conn, &handler);
+                thread_active.fetch_sub(1, Ordering::AcqRel);
+            });
+        match spawned {
+            Ok(handle) => conn_threads.push(handle),
+            // Spawn failure (thread exhaustion): the closure — and with
+            // it the connection — was dropped without running.
+            Err(_) => {
+                active.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+    // Dropping the server waits for in-flight requests, the same
+    // lifecycle the old inline dispatch had.
+    for handle in conn_threads {
+        let _ = handle.join();
     }
 }
 
 fn serve_connection(conn: &mut TcpStream, handler: &Handler) -> std::io::Result<()> {
-    // A peer that connects and never writes must not wedge the accept
-    // loop: every inbound socket gets a generous fixed deadline.
+    // A peer that connects and never writes must not pin its thread
+    // forever: every inbound socket gets a generous fixed deadline.
     conn.set_read_timeout(Some(Duration::from_secs(30)))?;
     conn.set_write_timeout(Some(Duration::from_secs(30)))?;
-    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut head = BufReader::new(conn.try_clone()?).take(MAX_HEAD);
     let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    head.read_line(&mut request_line)?;
+    if !request_line.ends_with('\n') && head.limit() == 0 {
+        return write_response(conn, &HttpResponse::bad_request("request line too long"));
+    }
     let mut parts = request_line.split_whitespace();
     let (method, target) = match (parts.next(), parts.next()) {
         (Some(m), Some(t)) => (m.to_string(), t.to_string()),
@@ -273,8 +338,14 @@ fn serve_connection(conn: &mut TcpStream, handler: &Handler) -> std::io::Result<
     let mut header = String::new();
     loop {
         header.clear();
-        let n = reader.read_line(&mut header)?;
-        if n == 0 || header == "\r\n" || header == "\n" {
+        let n = head.read_line(&mut header)?;
+        if header == "\r\n" || header == "\n" {
+            break;
+        }
+        if (n == 0 || !header.ends_with('\n')) && head.limit() == 0 {
+            return write_response(conn, &HttpResponse::bad_request("header section too large"));
+        }
+        if n == 0 {
             break;
         }
         if let Some(v) = header_value(&header, "content-length") {
@@ -284,6 +355,7 @@ fn serve_connection(conn: &mut TcpStream, handler: &Handler) -> std::io::Result<
             }
         }
     }
+    let mut reader = head.into_inner();
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     let request = HttpRequest {
@@ -338,6 +410,38 @@ mod tests {
 
         let (status, _) = http_request(server.addr(), "GET", "/missing", &[], t).unwrap();
         assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn a_slow_client_does_not_block_other_requests() {
+        let server = echo_server();
+        // An idle connection that never sends a request…
+        let _idle = TcpStream::connect(server.addr()).expect("connects");
+        // …must not stall a real client behind its 30s read deadline.
+        let t0 = std::time::Instant::now();
+        let (status, body) =
+            http_request(server.addr(), "GET", "/hello", &[], Duration::from_secs(5))
+                .expect("served concurrently");
+        assert_eq!((status, body.as_slice()), (200, b"GET ok".as_slice()));
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "request queued behind the idle connection"
+        );
+    }
+
+    #[test]
+    fn endless_header_line_is_rejected_not_buffered() {
+        let server = echo_server();
+        let mut conn = TcpStream::connect(server.addr()).expect("connects");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(conn, "GET /hello HTTP/1.1\r\nX-Junk: ").unwrap();
+        // Stream far more header bytes than MAX_HEAD; the server must
+        // answer 400 instead of buffering without bound. The write may
+        // error once the server responds and closes — that's fine.
+        let _ = conn.write_all(&vec![b'a'; 32 << 10]);
+        let mut status_line = String::new();
+        BufReader::new(conn).read_line(&mut status_line).unwrap();
+        assert!(status_line.contains("400"), "{status_line:?}");
     }
 
     #[test]

@@ -51,14 +51,18 @@
 //! A stream's whole serving state is its compact filter state —
 //! posterior over concepts, prune order, evidence accumulators (the
 //! quantities of Eqs. 5–9 of the paper) — which the snapshot codec
-//! serializes losslessly. Migration is therefore *park on the source,
-//! ship the bytes, unpark on the target*: `/migrate/out` atomically
-//! snapshots-and-removes ([`hom_serve::ServeEngine::extract`]),
-//! `/migrate/in` restores, and the stream continues on the new worker
-//! with the identical posterior it would have had anywhere else.
-//! Snapshots recorded before a model swap (a parked or store-tiered
-//! stream) migrate forward on arrival, so rebalancing composes with
-//! hot-swap in any order.
+//! serializes losslessly. Migration is therefore *copy the bytes,
+//! install on the target, then evict the source*, two-phase so a
+//! failure never loses state: `/migrate/snapshot` takes a
+//! non-destructive copy ([`hom_serve::ServeEngine::snapshot`]),
+//! `/migrate/in` restores it on the target, and only after that ack
+//! does `/migrate/evict` remove the source copy
+//! ([`hom_serve::ServeEngine::extract`]) — until then the source,
+//! including its durable store, stays authoritative. The stream
+//! continues on the new worker with the identical posterior it would
+//! have had anywhere else. Snapshots recorded before a model swap (a
+//! parked or store-tiered stream) migrate forward on arrival, so
+//! rebalancing composes with hot-swap in any order.
 //!
 //! # Cluster-wide hot-swap
 //!

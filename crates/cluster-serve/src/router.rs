@@ -33,12 +33,17 @@
 //! # Rebalancing
 //!
 //! Worker join/leave recomputes the ring, takes a census of every
-//! worker's streams (`/cluster/info`), and migrates exactly the ids
-//! whose owner changed: `/migrate/out` on the source (snapshot + atomic
-//! removal) → `/migrate/in` on the target (restore; older-epoch
-//! snapshots migrate forward on arrival). The consistent-hash ring
-//! keeps that set small on join — only streams landing on the new
-//! worker move (see [`crate::ring`]).
+//! worker's streams (`/cluster/info`, exact-integer ids — never rounded
+//! through `f64`), and migrates exactly the ids whose owner changed.
+//! Each move is **two-phase**: `/migrate/snapshot` on the source (a
+//! non-destructive copy) → `/migrate/in` on the target (restore;
+//! older-epoch snapshots migrate forward on arrival) → `/migrate/evict`
+//! on the source, only after the target's ack. A failure at any point
+//! before the evict leaves the authoritative copy — including its
+//! durable-store snapshot — on the source; state is never lost to a
+//! dead target. The consistent-hash ring keeps the moved set small on
+//! join — only streams landing on the new worker move (see
+//! [`crate::ring`]).
 //!
 //! # Failure semantics
 //!
@@ -347,7 +352,21 @@ impl Router {
         path: &str,
         body: &[u8],
     ) -> Result<Vec<u8>, ClusterError> {
-        let addr = topology.workers[worker];
+        self.exchange_at(worker, topology.workers[worker], method, path, body)
+    }
+
+    /// [`Self::exchange`] addressed directly — for workers not (yet) in
+    /// the current topology, such as a joining worker mid-rebalance, or
+    /// probes running outside the topology lock. `worker` is the ring
+    /// index errors are reported under.
+    fn exchange_at(
+        &self,
+        worker: usize,
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<Vec<u8>, ClusterError> {
         let (status, payload) =
             http_request(addr, method, path, body, self.timeout).map_err(|e: HttpError| {
                 ClusterError::WorkerDown {
@@ -545,10 +564,10 @@ impl Router {
     }
 
     /// Move every stream whose owner under (`new_workers`, `new_ring`)
-    /// differs from the worker currently holding it. Runs under the
-    /// caller's write lock; the old topology still routes the migration
-    /// traffic (`/migrate/out` on the holder, `/migrate/in` on the new
-    /// owner, addressed directly).
+    /// differs from the worker currently holding it, each via the
+    /// two-phase [`Self::move_stream`]. Runs under the caller's write
+    /// lock; the old topology still routes the migration traffic (the
+    /// new owner is addressed directly — it may be a joining worker).
     fn rebalance(
         &self,
         old: &Topology,
@@ -563,52 +582,52 @@ impl Router {
                 what: "unparseable /cluster/info".to_string(),
             })?;
             for stream in streams {
-                let target = new_workers[new_ring.owner(stream)];
+                let target_idx = new_ring.owner(stream);
+                // The target is addressed directly: it may not be in
+                // `old` (a joining worker).
+                let target = new_workers[target_idx];
                 if target == addr {
                     continue;
                 }
-                let body = format!("{{\"stream\":{stream}}}");
-                let out = self.exchange(old, w, "POST", "/migrate/out", body.as_bytes())?;
-                let text = std::str::from_utf8(&out).unwrap_or("");
-                let snapshot = JsonParser::new(text.trim())
-                    .object()
-                    .and_then(|f| f.str_field("snapshot").map(str::to_string))
-                    .map_err(|what| ClusterError::BadResponse {
-                        worker: w,
-                        what: format!("migrate/out: {what}"),
-                    })?;
-                let in_body = format!("{{\"stream\":{stream},\"snapshot\":\"{snapshot}\"}}");
-                // Address the target directly: it may not be in `old`
-                // (a joining worker). Failures here are fatal to the
-                // rebalance but the snapshot is already tombstoned at
-                // the source — the error names the target so the
-                // operator can re-ingest from its durable store.
-                let target_idx = new_ring.owner(stream);
-                let (status, reply) = http_request(
-                    target,
-                    "POST",
-                    "/migrate/in",
-                    in_body.as_bytes(),
-                    self.timeout,
-                )
-                .map_err(|e| ClusterError::WorkerDown {
-                    worker: target_idx,
-                    addr: target,
-                    what: e.to_string(),
-                })?;
-                if status != 200 {
-                    return Err(ClusterError::BadResponse {
-                        worker: target_idx,
-                        what: format!(
-                            "migrate/in -> {status}: {}",
-                            String::from_utf8_lossy(&reply).trim()
-                        ),
-                    });
-                }
+                self.move_stream(stream, w, addr, target_idx, target)?;
                 migrated += 1;
             }
         }
         Ok(migrated)
+    }
+
+    /// Move one stream from `from` to `to`, two-phase so a failed
+    /// migration never loses state: copy a **non-destructive** snapshot
+    /// off the source (`/migrate/snapshot`), install it on the target
+    /// (`/migrate/in`), and only after the target's ack evict the
+    /// source copy (`/migrate/evict`). A failure at any step before the
+    /// evict leaves the authoritative copy — including its durable
+    /// store snapshot — untouched on the source. A failure at the evict
+    /// itself leaves a harmless duplicate on the target: the caller
+    /// aborts its topology change, so the old ring never routes to it,
+    /// and the next successful migration's restore replaces it.
+    fn move_stream(
+        &self,
+        stream: StreamId,
+        from: usize,
+        from_addr: SocketAddr,
+        to: usize,
+        to_addr: SocketAddr,
+    ) -> Result<(), ClusterError> {
+        let body = format!("{{\"stream\":{stream}}}");
+        let out = self.exchange_at(from, from_addr, "POST", "/migrate/snapshot", body.as_bytes())?;
+        let text = std::str::from_utf8(&out).unwrap_or("");
+        let snapshot = JsonParser::new(text.trim())
+            .object()
+            .and_then(|f| f.str_field("snapshot").map(str::to_string))
+            .map_err(|what| ClusterError::BadResponse {
+                worker: from,
+                what: format!("migrate/snapshot: {what}"),
+            })?;
+        let in_body = format!("{{\"stream\":{stream},\"snapshot\":\"{snapshot}\"}}");
+        self.exchange_at(to, to_addr, "POST", "/migrate/in", in_body.as_bytes())?;
+        self.exchange_at(from, from_addr, "POST", "/migrate/evict", body.as_bytes())?;
+        Ok(())
     }
 
     /// Migrate one stream to the worker at ring index `to`, regardless
@@ -625,19 +644,7 @@ impl Router {
             });
         }
         let from = topology.ring.owner(stream);
-        let body = format!("{{\"stream\":{stream}}}");
-        let out = self.exchange(&topology, from, "POST", "/migrate/out", body.as_bytes())?;
-        let text = std::str::from_utf8(&out).unwrap_or("");
-        let snapshot = JsonParser::new(text.trim())
-            .object()
-            .and_then(|f| f.str_field("snapshot").map(str::to_string))
-            .map_err(|what| ClusterError::BadResponse {
-                worker: from,
-                what: format!("migrate/out: {what}"),
-            })?;
-        let in_body = format!("{{\"stream\":{stream},\"snapshot\":\"{snapshot}\"}}");
-        self.exchange(&topology, to, "POST", "/migrate/in", in_body.as_bytes())?;
-        Ok(())
+        self.move_stream(stream, from, topology.workers[from], to, topology.workers[to])
     }
 
     /// Scrape `/metrics` from every worker and federate them into one
@@ -645,11 +652,28 @@ impl Router {
     /// ([`hom_obs::federate`]). Sample values pass through as raw
     /// strings — the federated text is bit-exact per worker.
     pub fn metrics(&self) -> Result<String, ClusterError> {
-        let topology = self.read();
-        let mut scrapes = Vec::with_capacity(topology.workers.len());
-        for w in 0..topology.workers.len() {
-            let payload = self.exchange(&topology, w, "GET", "/metrics", &[])?;
-            let text = String::from_utf8(payload).map_err(|_| ClusterError::BadResponse {
+        // Snapshot the worker list and drop the topology lock before
+        // touching any socket: a slow worker must never hold the lock
+        // (a queued write — swap/rebalance — would stall new `/submit`
+        // readers behind it). Scrapes run in parallel, so a scrape of a
+        // degraded fleet costs one timeout, not one per dead worker.
+        let workers = self.workers();
+        let results: Vec<Result<Vec<u8>, ClusterError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .iter()
+                .enumerate()
+                .map(|(w, &addr)| {
+                    scope.spawn(move || self.exchange_at(w, addr, "GET", "/metrics", &[]))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scraper thread never panics"))
+                .collect()
+        });
+        let mut scrapes = Vec::with_capacity(workers.len());
+        for (w, result) in results.into_iter().enumerate() {
+            let text = String::from_utf8(result?).map_err(|_| ClusterError::BadResponse {
                 worker: w,
                 what: "non-UTF-8 metrics".to_string(),
             })?;
@@ -666,44 +690,54 @@ impl Router {
     /// than errors — this is the observability path, it must render a
     /// degraded cluster, not fail on it.
     pub fn cluster_status(&self) -> Vec<WorkerStatus> {
-        let topology = self.read();
-        topology
-            .workers
-            .iter()
-            .enumerate()
-            .map(|(w, &addr)| {
-                let health = http_request(addr, "GET", "/healthz", &[], self.timeout)
-                    .ok()
-                    .filter(|(status, _)| *status == 200)
-                    .and_then(|(_, body)| {
-                        let text = String::from_utf8(body).ok()?;
-                        let fields = JsonParser::new(text.trim()).object().ok()?;
-                        Some((
-                            fields.u64_field("epoch").ok()? as u32,
-                            fields.u64_field("live").ok()?,
-                            fields.u64_field("parked").ok()?,
-                        ))
-                    });
-                match health {
-                    Some((epoch, live, parked)) => WorkerStatus {
-                        worker: w,
-                        addr,
-                        healthy: true,
-                        epoch,
-                        live,
-                        parked,
-                    },
-                    None => WorkerStatus {
-                        worker: w,
-                        addr,
-                        healthy: false,
-                        epoch: 0,
-                        live: 0,
-                        parked: 0,
-                    },
-                }
-            })
-            .collect()
+        // As in [`Self::metrics`]: probe outside the topology lock and
+        // in parallel, so k unreachable workers cost one timeout — and
+        // never stall traffic behind a queued topology write.
+        let workers = self.workers();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .iter()
+                .enumerate()
+                .map(|(w, &addr)| {
+                    scope.spawn(move || {
+                        let health = http_request(addr, "GET", "/healthz", &[], self.timeout)
+                            .ok()
+                            .filter(|(status, _)| *status == 200)
+                            .and_then(|(_, body)| {
+                                let text = String::from_utf8(body).ok()?;
+                                let fields = JsonParser::new(text.trim()).object().ok()?;
+                                Some((
+                                    fields.u64_field("epoch").ok()? as u32,
+                                    fields.u64_field("live").ok()?,
+                                    fields.u64_field("parked").ok()?,
+                                ))
+                            });
+                        match health {
+                            Some((epoch, live, parked)) => WorkerStatus {
+                                worker: w,
+                                addr,
+                                healthy: true,
+                                epoch,
+                                live,
+                                parked,
+                            },
+                            None => WorkerStatus {
+                                worker: w,
+                                addr,
+                                healthy: false,
+                                epoch: 0,
+                                live: 0,
+                                parked: 0,
+                            },
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("prober thread never panics"))
+                .collect()
+        })
     }
 }
 
@@ -716,15 +750,9 @@ fn parse_epoch(payload: &[u8]) -> Option<u32> {
 fn parse_streams(payload: &[u8]) -> Option<Vec<StreamId>> {
     let text = std::str::from_utf8(payload).ok()?;
     let fields = JsonParser::new(text.trim()).object().ok()?;
-    let ids = fields.f64_array_field("streams").ok()?;
-    let mut out = Vec::with_capacity(ids.len());
-    for v in ids {
-        if v < 0.0 || v.fract() != 0.0 {
-            return None;
-        }
-        out.push(v as StreamId);
-    }
-    Some(out)
+    // Exact-integer parse: ids ≥ 2^53 must not round through f64, or
+    // the rebalancer would migrate (or 404 on) the wrong stream.
+    fields.u64_array_field("streams").ok()
 }
 
 /// The router's own HTTP face — what clients and scrapers talk to.
@@ -825,5 +853,22 @@ fn bad_gateway(e: &ClusterError) -> HttpResponse {
         status: "502 Bad Gateway",
         content_type: "text/plain",
         body: format!("{e}\n").into_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_parse_keeps_large_stream_ids_exact() {
+        // u64::MAX exceeds f64's exact range: a rounded census id would
+        // make the rebalancer migrate (or 404 on) the wrong stream.
+        let body = format!("{{\"epoch\":3,\"streams\":[1,{}]}}\n", u64::MAX);
+        assert_eq!(parse_streams(body.as_bytes()), Some(vec![1, u64::MAX]));
+        // Fractional or u64-overflowing ids fail the parse outright —
+        // a typed rebalance error, never a silently wrong id.
+        assert_eq!(parse_streams(b"{\"streams\":[1.5]}"), None);
+        assert_eq!(parse_streams(b"{\"streams\":[99999999999999999999]}"), None);
     }
 }

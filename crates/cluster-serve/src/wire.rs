@@ -274,6 +274,24 @@ impl JsonFields {
         }
     }
 
+    /// Exact unsigned-integer array — the stream-id census path. Only
+    /// integer tokens that fit `u64` are accepted: an id that arrived
+    /// fractional, negative, or too large for `u64` (and therefore
+    /// rounded through `f64`) is a typed error, never a silently wrong
+    /// stream id handed to the migration protocol.
+    pub(crate) fn u64_array_field(&self, name: &str) -> Result<Vec<u64>, &'static str> {
+        match self.get(name) {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(|v| match v {
+                    &JsonValue::Integer(n) => Ok(n),
+                    _ => Err("non-integer array element"),
+                })
+                .collect(),
+            _ => Err("missing or non-array field"),
+        }
+    }
+
     pub(crate) fn f64_array_field(&self, name: &str) -> Result<Vec<f64>, &'static str> {
         match self.get(name) {
             Some(JsonValue::Array(items)) => items
@@ -609,6 +627,29 @@ mod tests {
             decode_responses(two),
             Err(WireError::BadLine { line: 2, .. })
         ));
+    }
+
+    #[test]
+    fn u64_array_field_keeps_large_ids_exact() {
+        // u64::MAX exceeds f64's exact integer range: the census parse
+        // must keep it bit-exact, or the rebalancer migrates wrong ids.
+        let line = format!("{{\"streams\":[0,7,{}]}}", u64::MAX);
+        let fields = JsonParser::new(&line).object().unwrap();
+        assert_eq!(
+            fields.u64_array_field("streams").unwrap(),
+            vec![0, 7, u64::MAX]
+        );
+        // Fractional, negative, or u64-overflowing (rounded) elements
+        // are typed errors, never truncated ids.
+        for bad in [
+            "{\"streams\":[1.5]}",
+            "{\"streams\":[-1]}",
+            "{\"streams\":[99999999999999999999]}",
+            "{\"streams\":7}",
+        ] {
+            let fields = JsonParser::new(bad).object().unwrap();
+            assert!(fields.u64_array_field("streams").is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //!
 //! A worker is deliberately dumb — it owns no topology, knows no peers,
 //! and never initiates anything. The router tells it what to serve
-//! (`/submit`), which streams to hand over or adopt (`/migrate/out`,
-//! `/migrate/in`), and when to stage and flip a new model
-//! (`/swap/prepare`, `/swap/commit`). Everything stateful lives in the
+//! (`/submit`), which streams to hand over or adopt
+//! (`/migrate/snapshot`, `/migrate/in`, `/migrate/evict`), and when to
+//! stage and flip a new model (`/swap/prepare`, `/swap/commit`).
+//! Everything stateful lives in the
 //! engine; killing a worker loses exactly what killing a single-node
 //! [`ServeEngine`] loses (nothing, with a durable store under it — see
 //! `hom-store`).
@@ -12,8 +13,10 @@
 //! | route | method | payload |
 //! |---|---|---|
 //! | `/submit` | POST | JSONL request batch in, JSONL responses out, order preserved ([`crate::wire`]) |
-//! | `/migrate/out` | POST | `{"stream":N}` → `{"stream":N,"snapshot":"<hex>"}`; the stream is atomically snapshotted and **removed** ([`ServeEngine::extract`]) |
-//! | `/migrate/in` | POST | `{"stream":N,"snapshot":"<hex>"}` → installs the state ([`ServeEngine::restore`]; older-epoch snapshots migrate forward on arrival) |
+//! | `/migrate/snapshot` | POST | `{"stream":N}` → `{"stream":N,"snapshot":"<hex>"}`; a **non-destructive** copy ([`ServeEngine::snapshot`]) — phase 1 of the router's two-phase migration |
+//! | `/migrate/in` | POST | `{"stream":N,"snapshot":"<hex>"}` → installs the state ([`ServeEngine::restore`]; older-epoch snapshots migrate forward on arrival) — phase 2 |
+//! | `/migrate/evict` | POST | `{"stream":N}` → removes every local trace of the stream ([`ServeEngine::extract`], bytes discarded) — phase 3, sent only after the target acks `/migrate/in` |
+//! | `/migrate/out` | POST | `{"stream":N}` → `{"stream":N,"snapshot":"<hex>"}`; one-shot snapshot **and removal** ([`ServeEngine::extract`]) — an operator drain hatch, not used by the router's two-phase migration |
 //! | `/swap/prepare` | POST | raw `HOMM` model blob (`hom_core::model_codec`) → decoded, validated and **staged**; `{"epoch":N}` echoes the blob's target epoch |
 //! | `/swap/commit` | POST | `{"epoch":N}` → flips the staged model into the engine iff the target epoch matches; `{"epoch":N}` confirms |
 //! | `/quiesce` | POST | parks every live stream and commits the durable store → `{"parked":N}` |
@@ -103,8 +106,10 @@ fn dispatch(
 ) -> HttpResponse {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/submit") => submit(engine, &req.body),
+        ("POST", "/migrate/snapshot") => migrate_snapshot(engine, &req.body),
         ("POST", "/migrate/out") => migrate_out(engine, &req.body),
         ("POST", "/migrate/in") => migrate_in(engine, &req.body),
+        ("POST", "/migrate/evict") => migrate_evict(engine, &req.body),
         ("POST", "/swap/prepare") => swap_prepare(engine, staged, &req.body),
         ("POST", "/swap/commit") => swap_commit(engine, staged, &req.body),
         ("POST", "/quiesce") => quiesce(engine),
@@ -140,6 +145,43 @@ fn submit(engine: &ServeEngine, body: &[u8]) -> HttpResponse {
 fn body_fields(body: &[u8]) -> Result<crate::wire::JsonFields, &'static str> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8")?;
     JsonParser::new(text.trim()).object()
+}
+
+/// Phase 1 of the router's two-phase migration: a **non-destructive**
+/// snapshot. This worker keeps serving the stream — and keeps its
+/// durable-store copy — until the router confirms the target installed
+/// it and sends `/migrate/evict`, so a failure anywhere in between
+/// loses nothing.
+fn migrate_snapshot(engine: &ServeEngine, body: &[u8]) -> HttpResponse {
+    let stream = match body_fields(body).and_then(|f| f.u64_field("stream")) {
+        Ok(s) => s,
+        Err(what) => return HttpResponse::bad_request(what),
+    };
+    match engine.snapshot(stream) {
+        Some(bytes) => HttpResponse::ok(
+            "application/json",
+            format!(
+                "{{\"stream\":{stream},\"snapshot\":\"{}\"}}\n",
+                wire::to_hex(&bytes)
+            ),
+        ),
+        None => HttpResponse::not_found("stream not on this worker"),
+    }
+}
+
+/// Phase 3 of the two-phase migration: drop the source copy — live
+/// slot, RAM-parked bytes, durable-store tombstone — now that the
+/// target owns the stream. The extracted bytes are discarded; the
+/// authoritative copy already lives on the target.
+fn migrate_evict(engine: &ServeEngine, body: &[u8]) -> HttpResponse {
+    let stream = match body_fields(body).and_then(|f| f.u64_field("stream")) {
+        Ok(s) => s,
+        Err(what) => return HttpResponse::bad_request(what),
+    };
+    match engine.extract(stream) {
+        Some(_) => HttpResponse::ok("application/json", format!("{{\"stream\":{stream}}}\n")),
+        None => HttpResponse::not_found("stream not on this worker"),
+    }
 }
 
 fn migrate_out(engine: &ServeEngine, body: &[u8]) -> HttpResponse {

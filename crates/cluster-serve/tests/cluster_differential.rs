@@ -105,7 +105,8 @@ fn cluster_is_bit_identical_to_one_engine_across_join_and_swap() {
     drive(&test[..150]);
 
     // Mid-traffic join: the grown ring migrates exactly the streams the
-    // new worker now owns (`/migrate/out` → `/migrate/in` over the wire).
+    // new worker now owns (two-phase `/migrate/snapshot` →
+    // `/migrate/in` → `/migrate/evict` over the wire).
     let joined = spawn_worker(&model, 8, 2);
     let report = router.add_worker(joined.addr()).expect("rebalance");
     workers.push(joined);

@@ -256,6 +256,65 @@ fn parked_and_store_tiered_streams_migrate_over_the_wire() {
 }
 
 #[test]
+fn failed_migration_never_loses_stream_state() {
+    let (model, test) = fixture();
+    let source = spawn_worker(&model, None);
+    // A topology entry nobody listens on: the migration target is dead.
+    let dead_addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+        l.local_addr().expect("addr")
+    };
+    let router = Router::new(
+        vec![source.addr(), dead_addr],
+        DEFAULT_VNODES,
+        Duration::from_millis(500),
+    )
+    .expect("router");
+    let stream = stream_owned_by(&router, 0);
+
+    let reference = ServeEngine::new(Arc::clone(&model));
+    for r in &test[..100] {
+        router
+            .submit(&[Request::Step {
+                stream,
+                x: r.x.to_vec(),
+                y: r.y,
+            }])
+            .expect("submit");
+        reference.step(stream, &r.x, r.y);
+    }
+
+    let err = router.migrate_stream(stream, 1).expect_err("target is dead");
+    assert!(
+        matches!(err, ClusterError::WorkerDown { worker: 1, .. }),
+        "expected WorkerDown for the target, got {err}"
+    );
+    // Two-phase migration: the source copy is evicted only after the
+    // target acks /migrate/in, so the failed move lost nothing and the
+    // stream keeps serving bit-identically where it was.
+    assert!(
+        source.engine().stream_ids().contains(&stream),
+        "source must still hold the stream after a failed migration"
+    );
+    assert_eq!(
+        bits(&source.engine().posterior(stream).expect("still resident")),
+        bits(&reference.posterior(stream).expect("reference")),
+        "posterior diverged after failed migration"
+    );
+    for r in &test[100..150] {
+        let want = reference.step(stream, &r.x, r.y);
+        let responses = router
+            .submit(&[Request::Step {
+                stream,
+                x: r.x.to_vec(),
+                y: r.y,
+            }])
+            .expect("source still serves");
+        assert_eq!(responses[0].prediction, Some(want));
+    }
+}
+
+#[test]
 fn older_epoch_snapshot_arriving_after_swap_migrates_forward() {
     let (model, test) = fixture();
     let workers: Vec<WorkerServer> = (0..2).map(|_| spawn_worker(&model, None)).collect();
