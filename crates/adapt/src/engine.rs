@@ -201,6 +201,14 @@ impl AdaptiveEngine {
             } else {
                 self.obs.count("adapt.flight_dump_failures", 1);
             }
+            // Link the incident to the distributed trace of the traffic
+            // that fed it: the last trace id the serving engine saw. A
+            // count (u64-exact `n`) — a gauge's f64 would corrupt trace
+            // ids above 2^53.
+            let trace = self.serve.last_trace_id();
+            if trace != 0 {
+                self.obs.count("adapt.trigger_trace", trace);
+            }
         }
     }
 

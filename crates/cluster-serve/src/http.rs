@@ -34,6 +34,12 @@ const MAX_HEAD: u64 = 16 << 10;
 /// are answered `503` immediately — shed, not queued behind slow peers.
 const MAX_CONNECTIONS: usize = 64;
 
+/// The distributed-trace propagation header. The value is
+/// `hom_obs::TraceContext::to_header()` — two fixed-width lowercase hex
+/// fields, `<trace_id>-<parent_span_id>`. Absent or malformed simply
+/// means "untraced"; propagation can never fail a request.
+pub const TRACE_HEADER: &str = "X-HOM-Trace";
+
 /// An HTTP exchange that failed below the protocol level. The router
 /// maps these onto `ClusterError::WorkerDown` — the cluster's
 /// "never hang, never partial" contract rides on every socket
@@ -70,6 +76,10 @@ pub struct HttpRequest {
     pub path: String,
     /// Raw request body (empty for bodyless requests).
     pub body: Vec<u8>,
+    /// The [`TRACE_HEADER`] value, verbatim, when the client sent one.
+    /// Handlers parse it with `hom_obs::TraceContext::parse`; a value
+    /// that fails to parse is treated as absent.
+    pub trace: Option<String>,
 }
 
 /// What a handler sends back.
@@ -131,6 +141,20 @@ pub fn http_request(
     body: &[u8],
     timeout: Duration,
 ) -> Result<(u16, Vec<u8>), HttpError> {
+    http_request_traced(addr, method, path, body, timeout, None)
+}
+
+/// [`http_request`] stamping a [`TRACE_HEADER`] when `trace` is `Some` —
+/// how the router propagates a `hom_obs::TraceContext` (rendered via
+/// `to_header()`) to workers.
+pub fn http_request_traced(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+    trace: Option<&str>,
+) -> Result<(u16, Vec<u8>), HttpError> {
     let conn = TcpStream::connect_timeout(&addr, timeout)
         .map_err(|e| HttpError::Connect(e.to_string()))?;
     conn.set_read_timeout(Some(timeout))
@@ -138,9 +162,13 @@ pub fn http_request(
     conn.set_write_timeout(Some(timeout))
         .map_err(|e| HttpError::Io(e.to_string()))?;
     let mut writer = conn.try_clone().map_err(|e| HttpError::Io(e.to_string()))?;
+    let trace_line = match trace {
+        Some(value) => format!("{TRACE_HEADER}: {value}\r\n"),
+        None => String::new(),
+    };
     write!(
         writer,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n{trace_line}Connection: close\r\n\r\n",
         body.len()
     )
     .map_err(|e| HttpError::Io(e.to_string()))?;
@@ -335,6 +363,7 @@ fn serve_connection(conn: &mut TcpStream, handler: &Handler) -> std::io::Result<
         _ => return write_response(conn, &HttpResponse::bad_request("bad request line")),
     };
     let mut content_length = 0usize;
+    let mut trace: Option<String> = None;
     let mut header = String::new();
     loop {
         header.clear();
@@ -354,6 +383,9 @@ fn serve_connection(conn: &mut TcpStream, handler: &Handler) -> std::io::Result<
                 _ => return write_response(conn, &HttpResponse::bad_request("bad content-length")),
             }
         }
+        if let Some(v) = header_value(&header, "x-hom-trace") {
+            trace = Some(v.to_string());
+        }
     }
     let mut reader = head.into_inner();
     let mut body = vec![0u8; content_length];
@@ -362,6 +394,7 @@ fn serve_connection(conn: &mut TcpStream, handler: &Handler) -> std::io::Result<
         method,
         path: target.split('?').next().unwrap_or(&target).to_string(),
         body,
+        trace,
     };
     let response = handler(&request);
     write_response(conn, &response)
@@ -390,6 +423,10 @@ mod tests {
             Arc::new(|req: &HttpRequest| match req.path.as_str() {
                 "/echo" => HttpResponse::ok("application/octet-stream", req.body.clone()),
                 "/hello" => HttpResponse::ok("text/plain", format!("{} ok", req.method)),
+                "/trace-echo" => HttpResponse::ok(
+                    "text/plain",
+                    req.trace.clone().unwrap_or_else(|| "untraced".to_string()),
+                ),
                 _ => HttpResponse::not_found("nope"),
             }),
         )
@@ -410,6 +447,21 @@ mod tests {
 
         let (status, _) = http_request(server.addr(), "GET", "/missing", &[], t).unwrap();
         assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn trace_header_propagates_and_absence_means_untraced() {
+        let server = echo_server();
+        let t = Duration::from_secs(5);
+        let ctx = "00000000deadbeef-0000000000000007";
+        let (status, body) =
+            http_request_traced(server.addr(), "GET", "/trace-echo", &[], t, Some(ctx)).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, ctx.as_bytes(), "header value arrives verbatim");
+
+        let (status, body) = http_request(server.addr(), "GET", "/trace-echo", &[], t).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"untraced", "no header means None, not empty");
     }
 
     #[test]

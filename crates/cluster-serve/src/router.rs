@@ -57,13 +57,16 @@
 
 use std::fmt;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 use hom_core::model_epoch;
+use hom_obs::trace::DUMP_CAP;
+use hom_obs::{trace_sample_from_env, Obs, TraceBuffer, TraceContext};
 use hom_serve::{Request, Response, StreamId};
 
-use crate::http::{http_request, HttpError, HttpRequest, HttpResponse, HttpServer};
+use crate::http::{http_request_traced, HttpError, HttpRequest, HttpResponse, HttpServer};
 use crate::ring::{HashRing, DEFAULT_VNODES};
 use crate::wire::{self, JsonParser};
 
@@ -287,6 +290,23 @@ pub struct Router {
     topology: RwLock<Topology>,
     vnodes: usize,
     timeout: Duration,
+    /// The router's own span sink: just a [`TraceBuffer`] — the router
+    /// has no aggregates worth keeping, its spans exist to stitch the
+    /// cross-process tree together.
+    obs: Obs,
+    traces: Arc<TraceBuffer>,
+    /// Batch sequence number: the identity [`TraceContext::for_batch`]
+    /// derives trace ids from, and the counter the `HOM_TRACE_SAMPLE`
+    /// gate runs on.
+    seq: AtomicU64,
+    /// Health-probe sweep counter ([`TraceContext::for_probe`]).
+    probe_seq: AtomicU64,
+    /// Most recent trace id the router originated (0 = none yet) —
+    /// what `Router::last_trace_id` reports so a smoke test (or an
+    /// operator script) can fetch a live trace without guessing ids.
+    last_trace: AtomicU64,
+    /// Trace 1 in N batches (`HOM_TRACE_SAMPLE`, default 1 = all).
+    sample: u64,
 }
 
 impl fmt::Debug for Router {
@@ -302,6 +322,12 @@ impl fmt::Debug for Router {
 impl Router {
     /// A router over `workers` (ring index = position in the slice).
     /// Returns [`ClusterError::NoWorkers`] on an empty list.
+    ///
+    /// # Panics
+    ///
+    /// On a set-but-malformed `$HOM_TRACE_BUFFER` or `$HOM_TRACE_SAMPLE`
+    /// — the workspace's no-silent-fallback convention (as in
+    /// `Obs::from_env`).
     pub fn new(
         workers: Vec<SocketAddr>,
         vnodes: usize,
@@ -311,10 +337,18 @@ impl Router {
             return Err(ClusterError::NoWorkers);
         }
         let ring = HashRing::new(workers.len(), vnodes);
+        let traces = Arc::new(TraceBuffer::from_env().unwrap_or_else(|e| panic!("{e}")));
+        let sample = trace_sample_from_env().unwrap_or_else(|e| panic!("{e}"));
         Ok(Router {
             topology: RwLock::new(Topology { workers, ring }),
             vnodes,
             timeout,
+            obs: Obs::new(Arc::clone(&traces)),
+            traces,
+            seq: AtomicU64::new(0),
+            probe_seq: AtomicU64::new(0),
+            last_trace: AtomicU64::new(0),
+            sample,
         })
     }
 
@@ -355,6 +389,28 @@ impl Router {
         self.exchange_at(worker, topology.workers[worker], method, path, body)
     }
 
+    /// [`Self::exchange`] stamping a [`crate::http::TRACE_HEADER`] so
+    /// the worker's spans join the router's trace (`ctx.parent_span_id`
+    /// names the router span the worker's work hangs under).
+    fn exchange_traced(
+        &self,
+        topology: &Topology,
+        worker: usize,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        ctx: TraceContext,
+    ) -> Result<Vec<u8>, ClusterError> {
+        self.exchange_at_traced(
+            worker,
+            topology.workers[worker],
+            method,
+            path,
+            body,
+            Some(ctx),
+        )
+    }
+
     /// [`Self::exchange`] addressed directly — for workers not (yet) in
     /// the current topology, such as a joining worker mid-rebalance, or
     /// probes running outside the topology lock. `worker` is the ring
@@ -367,14 +423,27 @@ impl Router {
         path: &str,
         body: &[u8],
     ) -> Result<Vec<u8>, ClusterError> {
+        self.exchange_at_traced(worker, addr, method, path, body, None)
+    }
+
+    /// [`Self::exchange_at`] with an optional trace context to stamp.
+    fn exchange_at_traced(
+        &self,
+        worker: usize,
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        ctx: Option<TraceContext>,
+    ) -> Result<Vec<u8>, ClusterError> {
+        let header = ctx.filter(TraceContext::is_active).map(|c| c.to_header());
         let (status, payload) =
-            http_request(addr, method, path, body, self.timeout).map_err(|e: HttpError| {
-                ClusterError::WorkerDown {
+            http_request_traced(addr, method, path, body, self.timeout, header.as_deref())
+                .map_err(|e: HttpError| ClusterError::WorkerDown {
                     worker,
                     addr,
                     what: e.to_string(),
-                }
-            })?;
+                })?;
         if status != 200 {
             return Err(ClusterError::BadResponse {
                 worker,
@@ -397,6 +466,22 @@ impl Router {
         if topology.workers.is_empty() {
             return Err(ClusterError::NoWorkers);
         }
+        // Trace identity is derived from the batch sequence number —
+        // deterministic, so the same traffic yields the same trace ids
+        // on every run and at every thread count. The `HOM_TRACE_SAMPLE`
+        // gate picks 1 in N batches; everything below checks `traced`
+        // before opening a span, so unsampled batches skip tracing
+        // entirely (tracing on vs off is bit-identical in responses —
+        // spans never touch the payload).
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let traced = seq.is_multiple_of(self.sample);
+        let ctx = TraceContext::for_batch(seq);
+        if traced {
+            self.last_trace.store(ctx.trace_id, Ordering::Relaxed);
+        }
+        let _scope = traced.then(|| self.obs.trace_scope(ctx));
+        let route_span = traced.then(|| self.obs.span("cluster.route"));
+        let route_id = route_span.as_ref().map_or(0, |s| s.id());
         // Request indices per owner, batch order within each owner —
         // per-stream order is preserved because a stream has one owner.
         let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); topology.workers.len()];
@@ -423,7 +508,22 @@ impl Router {
                 .map(|(w, _, body)| {
                     let topology = &topology;
                     scope.spawn(move || {
-                        self.exchange(topology, *w, "POST", "/submit", body.as_bytes())
+                        // Thread-locals don't cross the spawn: install
+                        // the trace on the forwarder thread so its
+                        // `cluster.forward` span hangs under the route
+                        // span, and the worker's spans hang under the
+                        // forward span (via the wire header).
+                        let _scope = traced.then(|| self.obs.trace_scope(ctx.child(route_id)));
+                        let fwd = traced.then(|| self.obs.span("cluster.forward"));
+                        let hop = fwd.as_ref().map(|s| ctx.child(s.id()));
+                        self.exchange_at_traced(
+                            *w,
+                            topology.workers[*w],
+                            "POST",
+                            "/submit",
+                            body.as_bytes(),
+                            hop,
+                        )
                     })
                 })
                 .collect();
@@ -432,6 +532,7 @@ impl Router {
                 .map(|h| h.join().expect("forwarder thread never panics"))
                 .collect()
         });
+        let _merge_span = traced.then(|| self.obs.span("cluster.merge"));
         let mut out: Vec<Option<Response>> = vec![None; batch.len()];
         for ((w, idx, _), result) in sub_batches.iter().zip(results) {
             let payload = result?;
@@ -485,10 +586,18 @@ impl Router {
                 what: "swap body is not a HOMM model blob".to_string(),
             });
         };
+        // Swaps are reconfiguration-rate, so they are always traced
+        // (no sampling): trace id derived from the target epoch, both
+        // phases on every worker under one root span.
+        let ctx = TraceContext::for_swap(epoch as u64);
+        self.last_trace.store(ctx.trace_id, Ordering::Relaxed);
+        let _scope = self.obs.trace_scope(ctx);
+        let root = self.obs.span("cluster.swap");
+        let hop = ctx.child(root.id());
         // Phase 1: every worker decodes, validates and stages the model
         // while still serving the old epoch.
         for w in 0..topology.workers.len() {
-            let payload = self.exchange(&topology, w, "POST", "/swap/prepare", blob)?;
+            let payload = self.exchange_traced(&topology, w, "POST", "/swap/prepare", blob, hop)?;
             let staged = parse_epoch(&payload).ok_or_else(|| ClusterError::BadResponse {
                 worker: w,
                 what: "prepare response carried no epoch".to_string(),
@@ -505,7 +614,8 @@ impl Router {
         // migration of its streams), all under this write lock.
         let body = format!("{{\"epoch\":{epoch}}}");
         for w in 0..topology.workers.len() {
-            let payload = self.exchange(&topology, w, "POST", "/swap/commit", body.as_bytes())?;
+            let payload =
+                self.exchange_traced(&topology, w, "POST", "/swap/commit", body.as_bytes(), hop)?;
             let committed = parse_epoch(&payload).ok_or_else(|| ClusterError::BadResponse {
                 worker: w,
                 what: "commit response carried no epoch".to_string(),
@@ -614,8 +724,24 @@ impl Router {
         to: usize,
         to_addr: SocketAddr,
     ) -> Result<(), ClusterError> {
+        // One trace per migration, id derived from the stream id
+        // (pure: a test can predict it), all three phases — across two
+        // different workers — under one root span. Always on:
+        // migrations are reconfiguration-rate.
+        let ctx = TraceContext::for_migration(stream);
+        self.last_trace.store(ctx.trace_id, Ordering::Relaxed);
+        let _scope = self.obs.trace_scope(ctx);
+        let root = self.obs.span("cluster.migrate");
+        let hop = Some(ctx.child(root.id()));
         let body = format!("{{\"stream\":{stream}}}");
-        let out = self.exchange_at(from, from_addr, "POST", "/migrate/snapshot", body.as_bytes())?;
+        let out = self.exchange_at_traced(
+            from,
+            from_addr,
+            "POST",
+            "/migrate/snapshot",
+            body.as_bytes(),
+            hop,
+        )?;
         let text = std::str::from_utf8(&out).unwrap_or("");
         let snapshot = JsonParser::new(text.trim())
             .object()
@@ -625,8 +751,15 @@ impl Router {
                 what: format!("migrate/snapshot: {what}"),
             })?;
         let in_body = format!("{{\"stream\":{stream},\"snapshot\":\"{snapshot}\"}}");
-        self.exchange_at(to, to_addr, "POST", "/migrate/in", in_body.as_bytes())?;
-        self.exchange_at(from, from_addr, "POST", "/migrate/evict", body.as_bytes())?;
+        self.exchange_at_traced(to, to_addr, "POST", "/migrate/in", in_body.as_bytes(), hop)?;
+        self.exchange_at_traced(
+            from,
+            from_addr,
+            "POST",
+            "/migrate/evict",
+            body.as_bytes(),
+            hop,
+        )?;
         Ok(())
     }
 
@@ -644,7 +777,13 @@ impl Router {
             });
         }
         let from = topology.ring.owner(stream);
-        self.move_stream(stream, from, topology.workers[from], to, topology.workers[to])
+        self.move_stream(
+            stream,
+            from,
+            topology.workers[from],
+            to,
+            topology.workers[to],
+        )
     }
 
     /// Scrape `/metrics` from every worker and federate them into one
@@ -694,24 +833,40 @@ impl Router {
         // in parallel, so k unreachable workers cost one timeout — and
         // never stall traffic behind a queued topology write.
         let workers = self.workers();
+        // One trace per sweep (always on — probe-rate, not traffic-
+        // rate): every worker's `cluster.healthz` span hangs under this
+        // root, so a sweep's trace shows which worker was slow.
+        let round = self.probe_seq.fetch_add(1, Ordering::Relaxed);
+        let ctx = TraceContext::for_probe(round);
+        let _scope = self.obs.trace_scope(ctx);
+        let root = self.obs.span("cluster.probe");
+        let header = ctx.child(root.id()).to_header();
         std::thread::scope(|scope| {
             let handles: Vec<_> = workers
                 .iter()
                 .enumerate()
                 .map(|(w, &addr)| {
+                    let header = header.as_str();
                     scope.spawn(move || {
-                        let health = http_request(addr, "GET", "/healthz", &[], self.timeout)
-                            .ok()
-                            .filter(|(status, _)| *status == 200)
-                            .and_then(|(_, body)| {
-                                let text = String::from_utf8(body).ok()?;
-                                let fields = JsonParser::new(text.trim()).object().ok()?;
-                                Some((
-                                    fields.u64_field("epoch").ok()? as u32,
-                                    fields.u64_field("live").ok()?,
-                                    fields.u64_field("parked").ok()?,
-                                ))
-                            });
+                        let health = http_request_traced(
+                            addr,
+                            "GET",
+                            "/healthz",
+                            &[],
+                            self.timeout,
+                            Some(header),
+                        )
+                        .ok()
+                        .filter(|(status, _)| *status == 200)
+                        .and_then(|(_, body)| {
+                            let text = String::from_utf8(body).ok()?;
+                            let fields = JsonParser::new(text.trim()).object().ok()?;
+                            Some((
+                                fields.u64_field("epoch").ok()? as u32,
+                                fields.u64_field("live").ok()?,
+                                fields.u64_field("parked").ok()?,
+                            ))
+                        });
                         match health {
                             Some((epoch, live, parked)) => WorkerStatus {
                                 worker: w,
@@ -739,6 +894,88 @@ impl Router {
                 .collect()
         })
     }
+
+    /// The most recent trace id this router originated (0 = none yet).
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace.load(Ordering::Relaxed)
+    }
+
+    /// The router's own span slice of trace `id` (for callers that hold
+    /// the `Router` in process rather than scraping [`RouterServer`]).
+    pub fn traces(&self) -> &Arc<TraceBuffer> {
+        &self.traces
+    }
+
+    /// Fetch trace `id` fleet-wide: the router's own span slice plus
+    /// every worker's `/trace/<id>` slice, each line annotated with a
+    /// `node` field (`"router"` / `"w<index>"`), concatenated into one
+    /// JSONL document — the stitched cross-process span tree.
+    ///
+    /// Span ids are per-process counters, so consumers key spans by
+    /// `(node, id)`; parent links cross nodes via the trace header's
+    /// parent span id, which lives on the *sending* node. A worker that
+    /// has no spans for `id` contributes nothing (its `/trace` endpoint
+    /// answers 200 with an empty body — "no spans here" is an answer,
+    /// not an error). An unreachable worker is an error, like
+    /// [`Self::metrics`]: a stitched trace with silently missing nodes
+    /// would read as "the worker did nothing", which is worse than no
+    /// answer.
+    pub fn trace(&self, id: u64) -> Result<String, ClusterError> {
+        // As in metrics(): snapshot the workers, drop the lock, fetch
+        // in parallel.
+        let workers = self.workers();
+        let path = format!("/trace/{id:016x}");
+        let results: Vec<Result<Vec<u8>, ClusterError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .iter()
+                .enumerate()
+                .map(|(w, &addr)| {
+                    let path = path.as_str();
+                    scope.spawn(move || self.exchange_at(w, addr, "GET", path, &[]))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trace fetcher thread never panics"))
+                .collect()
+        });
+        let mut out = annotate_node(&self.traces.slice_jsonl(id, DUMP_CAP), "router");
+        for (w, result) in results.into_iter().enumerate() {
+            let text = String::from_utf8(result?).map_err(|_| ClusterError::BadResponse {
+                worker: w,
+                what: "non-UTF-8 trace slice".to_string(),
+            })?;
+            out.push_str(&annotate_node(&text, &format!("w{w}")));
+        }
+        Ok(out)
+    }
+}
+
+/// Stamp `,"node":"<node>"` into every JSONL event line (before the
+/// closing brace) — how the federated trace records which process each
+/// span came from. `hom_obs::jsonl::parse_line` tolerates unknown
+/// fields, so annotated lines still parse; node names are fixed
+/// identifiers (`router`, `w<index>`), never containing JSON-special
+/// characters.
+fn annotate_node(jsonl: &str, node: &str) -> String {
+    let mut out = String::with_capacity(jsonl.len() + 24 * jsonl.lines().count());
+    for line in jsonl.lines() {
+        match line.strip_suffix('}') {
+            Some(head) => {
+                out.push_str(head);
+                out.push_str(",\"node\":\"");
+                out.push_str(node);
+                out.push_str("\"}\n");
+            }
+            // Not an event object (defensive — never produced by
+            // slice_jsonl): pass through untouched.
+            None => {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    out
 }
 
 fn parse_epoch(payload: &[u8]) -> Option<u32> {
@@ -762,6 +999,7 @@ fn parse_streams(payload: &[u8]) -> Option<Vec<StreamId>> {
 /// | `/submit` | POST | JSONL batch in, JSONL responses out (request order) |
 /// | `/swap` | POST | raw `HOMM` blob → two-phase fleet flip → `{"epoch":N}` |
 /// | `/metrics` | GET | federated Prometheus exposition, samples labeled `worker` |
+/// | `/trace/<id>` | GET | the stitched cross-process span tree of trace `<id>` (fixed-width lowercase hex): the router's spans plus every worker's, JSONL, each line `node`-annotated ([`Router::trace`]) |
 /// | `/cluster` | GET | JSON per-worker health/epoch/stream counts |
 /// | `/healthz` | GET | router liveness + worker count |
 pub struct RouterServer {
@@ -844,6 +1082,16 @@ fn route(router: &Router, req: &HttpRequest) -> HttpResponse {
             "application/json",
             format!("{{\"workers\":{}}}\n", router.workers().len()),
         ),
+        ("GET", path) if path.starts_with("/trace/") => {
+            let hex = &path["/trace/".len()..];
+            match u64::from_str_radix(hex, 16) {
+                Ok(id) if id != 0 => match router.trace(id) {
+                    Ok(body) => HttpResponse::ok("application/x-ndjson", body),
+                    Err(e) => bad_gateway(&e),
+                },
+                _ => HttpResponse::bad_request("bad trace id"),
+            }
+        }
         _ => HttpResponse::not_found("unknown route"),
     }
 }

@@ -24,6 +24,14 @@
 //! | `/metrics` | GET | Prometheus text from the engine's [`ServeTelemetry`] aggregates — the router federates these |
 //! | `/cluster/info` | GET | JSON epoch + full stream-id census ([`ServeEngine::stream_ids`]) — the rebalancer's input |
 //! | `/posterior/<id>` | GET | the stream's posterior, shortest round-trip floats (bit-exact scrape) |
+//! | `/trace/<id>` | GET | this worker's span slice of distributed trace `<id>` (fixed-width lowercase hex) as JSONL; unknown ids answer 200 with an empty body — the router federates these into the stitched tree |
+//!
+//! Every route the router forwards carries an optional `X-HOM-Trace`
+//! header ([`crate::http::TRACE_HEADER`]); when present and
+//! well-formed, the worker's handler spans — `cluster.submit` (with
+//! `cluster.decode`/`serve.batch`/`cluster.encode` under it), the
+//! `cluster.migrate_*` phases, `cluster.swap_*`, `cluster.healthz` —
+//! join the router's trace as children of the router's forwarding span.
 //!
 //! The two-phase swap is what makes a cluster-wide model flip atomic:
 //! `prepare` distributes and validates the blob on every worker while
@@ -40,6 +48,8 @@ use std::sync::{Arc, Mutex};
 use hom_core::{decode_model, HighOrderModel};
 use hom_obs::export::to_prometheus;
 use hom_obs::jsonl::push_f64;
+use hom_obs::trace::DUMP_CAP;
+use hom_obs::TraceContext;
 use hom_serve::{ServeEngine, ServeTelemetry, StreamId};
 
 use crate::http::{HttpRequest, HttpResponse, HttpServer};
@@ -104,16 +114,49 @@ fn dispatch(
     staged: &Mutex<Option<Staged>>,
     req: &HttpRequest,
 ) -> HttpResponse {
+    // An inbound `X-HOM-Trace` header joins this request to the
+    // router's trace: the scope installs the remote parent span id, so
+    // every span opened while handling the request — including the
+    // engine's own `serve.batch` (same `Obs` handle via `telemetry`) —
+    // lands in the worker's trace buffer under the router's span.
+    // Malformed or absent headers mean "untraced": no scope, no spans,
+    // zero deviation from the untraced path.
+    let ctx = req.trace.as_deref().and_then(TraceContext::parse);
+    let obs = telemetry.obs();
+    let _scope = ctx.map(|c| obs.trace_scope(c));
+    let traced = ctx.is_some();
+    let span = |name| traced.then(|| obs.span(name));
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/submit") => submit(engine, &req.body),
-        ("POST", "/migrate/snapshot") => migrate_snapshot(engine, &req.body),
+        ("POST", "/submit") => {
+            let _s = span("cluster.submit");
+            submit(engine, &req.body, traced, &obs)
+        }
+        ("POST", "/migrate/snapshot") => {
+            let _s = span("cluster.migrate_snapshot");
+            migrate_snapshot(engine, &req.body)
+        }
         ("POST", "/migrate/out") => migrate_out(engine, &req.body),
-        ("POST", "/migrate/in") => migrate_in(engine, &req.body),
-        ("POST", "/migrate/evict") => migrate_evict(engine, &req.body),
-        ("POST", "/swap/prepare") => swap_prepare(engine, staged, &req.body),
-        ("POST", "/swap/commit") => swap_commit(engine, staged, &req.body),
+        ("POST", "/migrate/in") => {
+            let _s = span("cluster.migrate_in");
+            migrate_in(engine, &req.body)
+        }
+        ("POST", "/migrate/evict") => {
+            let _s = span("cluster.migrate_evict");
+            migrate_evict(engine, &req.body)
+        }
+        ("POST", "/swap/prepare") => {
+            let _s = span("cluster.swap_prepare");
+            swap_prepare(engine, staged, &req.body)
+        }
+        ("POST", "/swap/commit") => {
+            let _s = span("cluster.swap_commit");
+            swap_commit(engine, staged, &req.body)
+        }
         ("POST", "/quiesce") => quiesce(engine),
-        ("GET", "/healthz") => healthz(engine),
+        ("GET", "/healthz") => {
+            let _s = span("cluster.healthz");
+            healthz(engine)
+        }
         ("GET", "/metrics") => {
             engine.flush_trace();
             HttpResponse::ok(
@@ -125,19 +168,43 @@ fn dispatch(
         ("GET", path) if path.starts_with("/posterior/") => {
             posterior(engine, &path["/posterior/".len()..])
         }
+        ("GET", path) if path.starts_with("/trace/") => {
+            trace_slice(telemetry, &path["/trace/".len()..])
+        }
         _ => HttpResponse::not_found("unknown route"),
     }
 }
 
-fn submit(engine: &ServeEngine, body: &[u8]) -> HttpResponse {
-    let Ok(text) = std::str::from_utf8(body) else {
-        return HttpResponse::bad_request("submit body is not UTF-8");
+/// This worker's span slice of one distributed trace, as JSONL. An
+/// unknown id is a **200 with an empty body** — "no spans here" is a
+/// valid answer the router's federation must be able to aggregate, not
+/// an error that would fail the whole stitched fetch.
+fn trace_slice(telemetry: &ServeTelemetry, hex: &str) -> HttpResponse {
+    match u64::from_str_radix(hex, 16) {
+        Ok(id) if id != 0 => HttpResponse::ok(
+            "application/x-ndjson",
+            telemetry.traces().slice_jsonl(id, DUMP_CAP),
+        ),
+        _ => HttpResponse::bad_request("bad trace id"),
+    }
+}
+
+fn submit(engine: &ServeEngine, body: &[u8], traced: bool, obs: &hom_obs::Obs) -> HttpResponse {
+    let decoded = {
+        let _s = traced.then(|| obs.span("cluster.decode"));
+        std::str::from_utf8(body)
+            .map_err(|_| "submit body is not UTF-8".to_string())
+            .and_then(|text| wire::decode_requests(text).map_err(|e| e.to_string()))
     };
-    let batch = match wire::decode_requests(text) {
+    let batch = match decoded {
         Ok(batch) => batch,
-        Err(e) => return HttpResponse::bad_request(&e.to_string()),
+        Err(e) => return HttpResponse::bad_request(&e),
     };
+    // `engine.submit` opens its own `serve.batch` span under the active
+    // trace (the engine records into the same `Obs`), so the trace
+    // shows decode / batch / encode as siblings under `cluster.submit`.
     let responses = engine.submit(&batch);
+    let _s = traced.then(|| obs.span("cluster.encode"));
     HttpResponse::ok("application/jsonl", wire::encode_responses(&responses))
 }
 

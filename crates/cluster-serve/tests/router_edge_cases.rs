@@ -284,7 +284,9 @@ fn failed_migration_never_loses_stream_state() {
         reference.step(stream, &r.x, r.y);
     }
 
-    let err = router.migrate_stream(stream, 1).expect_err("target is dead");
+    let err = router
+        .migrate_stream(stream, 1)
+        .expect_err("target is dead");
     assert!(
         matches!(err, ClusterError::WorkerDown { worker: 1, .. }),
         "expected WorkerDown for the target, got {err}"

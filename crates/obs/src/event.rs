@@ -30,8 +30,14 @@ pub enum Event<'a> {
     SpanStart {
         /// Span id (> 0).
         id: u64,
-        /// Enclosing span id, 0 at top level.
+        /// Enclosing span id, 0 at top level. Under an active trace, a
+        /// top-level span's parent is the **remote** parent span id
+        /// carried by the [`crate::TraceContext`] — how cross-process
+        /// trees stitch.
         parent: u64,
+        /// Distributed trace id ([`crate::TraceContext`]), 0 when no
+        /// trace is active.
+        trace: u64,
         /// Stage name, e.g. `"step1.block_fits"`.
         name: &'a str,
         /// Microseconds since the `Obs` epoch.
@@ -41,8 +47,10 @@ pub enum Event<'a> {
     SpanEnd {
         /// Span id of the corresponding [`Event::SpanStart`].
         id: u64,
-        /// Enclosing span id, 0 at top level.
+        /// Enclosing span id, 0 at top level (see [`Event::SpanStart`]).
         parent: u64,
+        /// Distributed trace id, 0 when no trace is active.
+        trace: u64,
         /// Stage name (repeated so single lines are self-describing).
         name: &'a str,
         /// Microseconds since the `Obs` epoch.
@@ -117,23 +125,27 @@ impl Event<'_> {
             Event::SpanStart {
                 id,
                 parent,
+                trace,
                 name,
                 t_us,
             } => OwnedEvent::SpanStart {
                 id,
                 parent,
+                trace,
                 name: name.to_string(),
                 t_us,
             },
             Event::SpanEnd {
                 id,
                 parent,
+                trace,
                 name,
                 t_us,
                 dur_us,
             } => OwnedEvent::SpanEnd {
                 id,
                 parent,
+                trace,
                 name: name.to_string(),
                 t_us,
                 dur_us,
@@ -197,12 +209,14 @@ pub enum OwnedEvent {
     SpanStart {
         id: u64,
         parent: u64,
+        trace: u64,
         name: String,
         t_us: u64,
     },
     SpanEnd {
         id: u64,
         parent: u64,
+        trace: u64,
         name: String,
         t_us: u64,
         dur_us: u64,
@@ -255,23 +269,27 @@ impl OwnedEvent {
             OwnedEvent::SpanStart {
                 id,
                 parent,
+                trace,
                 name,
                 t_us,
             } => Event::SpanStart {
                 id: *id,
                 parent: *parent,
+                trace: *trace,
                 name,
                 t_us: *t_us,
             },
             OwnedEvent::SpanEnd {
                 id,
                 parent,
+                trace,
                 name,
                 t_us,
                 dur_us,
             } => Event::SpanEnd {
                 id: *id,
                 parent: *parent,
+                trace: *trace,
                 name,
                 t_us: *t_us,
                 dur_us: *dur_us,

@@ -47,6 +47,10 @@ pub struct Exemplar {
     pub shard: u32,
     /// The offending batch's wall-clock latency in nanoseconds.
     pub batch_ns: u64,
+    /// The distributed trace id active when the batch ran (0 =
+    /// untraced) — lets an operator jump from a slow-batch exemplar to
+    /// the fleet-wide `/trace/<id>` tree for that exact batch.
+    pub trace: u64,
 }
 
 /// A bounded overwrite-oldest ring of [`Exemplar`]s.
@@ -77,13 +81,14 @@ impl ExemplarRing {
 
     /// Record an exemplar, assigning it the next sequence number (which
     /// is also returned). Evicts the oldest entry when full.
-    pub fn push(&mut self, stream: u64, shard: u32, batch_ns: u64) -> u64 {
+    pub fn push(&mut self, stream: u64, shard: u32, batch_ns: u64, trace: u64) -> u64 {
         let seq = self.pushed;
         let ex = Exemplar {
             seq,
             stream,
             shard,
             batch_ns,
+            trace,
         };
         if self.slots.len() < self.cap {
             self.slots.push(ex);
@@ -140,6 +145,13 @@ pub fn push_exemplars(out: &mut String, name: &str, exemplars: &[Exemplar]) {
         out.push_str(&ex.shard.to_string());
         out.push_str("\",seq=\"");
         out.push_str(&ex.seq.to_string());
+        // The trace label only exists when a trace was active, so
+        // untraced deployments render byte-identically to before tracing
+        // existed. Hex to match the `/trace/<id>` URL and header format.
+        if ex.trace != 0 {
+            out.push_str("\",trace=\"");
+            out.push_str(&format!("{:016x}", ex.trace));
+        }
         out.push_str("\"} ");
         push_f64(out, ex.batch_ns as f64);
         out.push('\n');
@@ -166,7 +178,7 @@ mod tests {
         let mut ring = ExemplarRing::new(3);
         assert!(ring.is_empty());
         for i in 0..5u64 {
-            let seq = ring.push(i, (i % 2) as u32, 1000 + i);
+            let seq = ring.push(i, (i % 2) as u32, 1000 + i, 0);
             assert_eq!(seq, i);
         }
         assert_eq!(ring.len(), 3);
@@ -178,7 +190,7 @@ mod tests {
     #[test]
     fn zero_capacity_rounds_up() {
         let mut ring = ExemplarRing::new(0);
-        ring.push(7, 1, 99);
+        ring.push(7, 1, 99, 0);
         assert_eq!(ring.len(), 1);
         assert_eq!(ring.iter_recent().next().unwrap().stream, 7);
     }
@@ -186,13 +198,19 @@ mod tests {
     #[test]
     fn prometheus_rendering_is_labeled_and_parseable() {
         let mut ring = ExemplarRing::new(4);
-        ring.push(42, 3, 2_000_000);
+        ring.push(42, 3, 2_000_000, 0);
+        ring.push(43, 1, 3_000_000, 0xdead_beef);
         let snapshot: Vec<Exemplar> = ring.iter_recent().copied().collect();
         let mut out = String::new();
         push_exemplars(&mut out, "hom_slo_exemplar_batch_ns", &snapshot);
         assert!(out.contains("# TYPE hom_slo_exemplar_batch_ns gauge\n"));
+        // Untraced exemplars render exactly as before tracing existed.
         assert!(out
             .contains("hom_slo_exemplar_batch_ns{stream=\"42\",shard=\"3\",seq=\"0\"} 2000000\n"));
+        // Traced ones carry the trace id in the /trace URL's hex format.
+        assert!(out.contains(
+            "hom_slo_exemplar_batch_ns{stream=\"43\",shard=\"1\",seq=\"1\",trace=\"00000000deadbeef\"} 3000000\n"
+        ));
 
         let mut empty = String::new();
         push_exemplars(&mut empty, "hom_x", &[]);

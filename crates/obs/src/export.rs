@@ -560,4 +560,58 @@ mod tests {
         let already = "# TYPE hom_y counter\nhom_y{worker=\"9\"} 1\n";
         assert!(federate(&[("0".into(), already.into())], "worker").is_err());
     }
+
+    #[test]
+    fn federate_escapes_label_values() {
+        let scrape = "# TYPE hom_x counter\nhom_x 1\n".to_string();
+        // A worker label containing both escape-worthy characters: a
+        // quote and a backslash.
+        let merged = federate(&[("node\"a\\b".to_string(), scrape)], "worker").expect("federates");
+        assert!(
+            merged.contains("hom_x{worker=\"node\\\"a\\\\b\"} 1\n"),
+            "quotes and backslashes escaped: {merged}"
+        );
+        // The escaped output still parses as a valid exposition.
+        let families = parse_prometheus(&merged).expect("escaped output parses");
+        assert_eq!(families[0].samples[0].labels, "worker=\"node\\\"a\\\\b\"");
+    }
+
+    #[test]
+    fn federate_merges_duplicate_names_across_workers() {
+        // Both workers report the same family; the merged exposition
+        // keeps ONE header and both samples, each with its own label —
+        // never two `# TYPE` declarations for one name (invalid) and
+        // never a dropped worker.
+        let w0 = "# HELP hom_x first help\n# TYPE hom_x gauge\nhom_x 1\n".to_string();
+        let w1 = "# HELP hom_x second help\n# TYPE hom_x gauge\nhom_x 2\n".to_string();
+        let merged =
+            federate(&[("0".to_string(), w0), ("1".to_string(), w1)], "worker").expect("federates");
+        assert_eq!(merged.matches("# TYPE hom_x gauge").count(), 1);
+        assert!(merged.contains("# HELP hom_x first help\n"), "first wins");
+        assert!(!merged.contains("second help"));
+        assert!(merged.contains("hom_x{worker=\"0\"} 1\n"));
+        assert!(merged.contains("hom_x{worker=\"1\"} 2\n"));
+    }
+
+    #[test]
+    fn federate_tolerates_empty_worker_expositions() {
+        // A worker with nothing to report (fresh process, no traffic)
+        // returns an empty body; federation must pass it through rather
+        // than erroring out the whole fleet scrape.
+        let w0 = "# TYPE hom_x counter\nhom_x 5\n".to_string();
+        let merged = federate(
+            &[
+                ("0".to_string(), w0),
+                ("1".to_string(), String::new()),
+                ("2".to_string(), "\n\n".to_string()),
+            ],
+            "worker",
+        )
+        .expect("empty scrapes are fine");
+        assert!(merged.contains("hom_x{worker=\"0\"} 5\n"));
+        assert!(!merged.contains("worker=\"1\""), "nothing to tag");
+        // All workers empty → empty (but valid) merged exposition.
+        let none = federate(&[("0".to_string(), String::new())], "worker").expect("all empty");
+        assert!(none.is_empty());
+    }
 }

@@ -112,6 +112,14 @@ impl FlightRecorder {
         out
     }
 
+    /// [`Self::dump_jsonl`] keeping at most `max_events` (the newest).
+    /// When events were dropped, the final line is a `flight.truncated`
+    /// count event carrying the drop count — a scrape endpoint serving
+    /// this can bound its response body without truncating silently.
+    pub fn dump_jsonl_capped(&self, max_events: usize) -> String {
+        crate::trace::render_capped(&self.dump(), max_events, "flight.truncated")
+    }
+
     /// Write the JSONL dump to `path` (created or truncated).
     pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         std::fs::write(path, self.dump_jsonl())
@@ -175,7 +183,10 @@ mod tests {
 
     #[test]
     fn dump_is_ordered_and_jsonl_parses() {
-        let rec = Arc::new(FlightRecorder::new(1024));
+        // Sized so even if every thread hashed to ONE stripe, nothing is
+        // evicted (stripe assignment depends on thread-id allocation,
+        // which the test runner does not control).
+        let rec = Arc::new(FlightRecorder::new(STRIPES * 80));
         let obs = Obs::new(Arc::clone(&rec));
         std::thread::scope(|scope| {
             for _ in 0..4 {
@@ -199,6 +210,30 @@ mod tests {
         for line in rec.dump_jsonl().lines() {
             jsonl::parse_line(line).expect("every dumped line parses");
         }
+    }
+
+    #[test]
+    fn capped_dump_reports_truncation() {
+        let rec = Arc::new(FlightRecorder::new(1024));
+        let obs = Obs::new(Arc::clone(&rec));
+        for i in 0..20u64 {
+            obs.count("tick", i);
+        }
+        let out = rec.dump_jsonl_capped(8);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 9, "8 kept + 1 trailer");
+        let trailer = jsonl::parse_line(lines[8]).expect("trailer parses");
+        assert!(matches!(
+            trailer,
+            OwnedEvent::Count { name, n: 12, .. } if name == "flight.truncated"
+        ));
+        // The kept events are the newest.
+        assert!(matches!(
+            jsonl::parse_line(lines[0]).unwrap(),
+            OwnedEvent::Count { n: 12, .. }
+        ));
+        // A dump within budget has no trailer.
+        assert_eq!(rec.dump_jsonl_capped(1024).lines().count(), 20);
     }
 
     #[test]

@@ -23,23 +23,35 @@ pub fn to_line(event: &Event<'_>) -> String {
         Event::SpanStart {
             id,
             parent,
+            trace,
             name,
             t_us,
         } => {
             s.push_str("{\"ev\":\"span_start\",\"id\":");
-            let _ = write!(s, "{id},\"parent\":{parent},\"name\":");
+            let _ = write!(s, "{id},\"parent\":{parent}");
+            // Untraced spans (the common case) omit the field — old
+            // traces and new ones stay byte-identical.
+            if trace != 0 {
+                let _ = write!(s, ",\"trace\":{trace}");
+            }
+            s.push_str(",\"name\":");
             push_json_str(&mut s, name);
             let _ = write!(s, ",\"t_us\":{t_us}}}");
         }
         Event::SpanEnd {
             id,
             parent,
+            trace,
             name,
             t_us,
             dur_us,
         } => {
             s.push_str("{\"ev\":\"span_end\",\"id\":");
-            let _ = write!(s, "{id},\"parent\":{parent},\"name\":");
+            let _ = write!(s, "{id},\"parent\":{parent}");
+            if trace != 0 {
+                let _ = write!(s, ",\"trace\":{trace}");
+            }
+            s.push_str(",\"name\":");
             push_json_str(&mut s, name);
             let _ = write!(s, ",\"t_us\":{t_us},\"dur_us\":{dur_us}}}");
         }
@@ -184,10 +196,16 @@ fn err<T>(reason: impl Into<String>) -> Result<T, ParseError> {
 }
 
 /// A parsed JSON value (the subset the trace format uses).
+///
+/// Non-negative integers keep their exact `u64` value in [`Json::Int`]
+/// rather than passing through `f64`: trace ids are FNV-1a hashes near
+/// 2⁶³, where `f64` has a 1024-ulp grid — rounding one would silently
+/// re-key every span of a stitched trace.
 #[derive(Debug, Clone, PartialEq)]
 enum Json {
     Null,
     Bool(bool),
+    Int(u64),
     Num(f64),
     Str(String),
     Arr(Vec<Json>),
@@ -197,6 +215,7 @@ enum Json {
 impl Json {
     fn as_u64(&self) -> Option<u64> {
         match *self {
+            Json::Int(n) => Some(n),
             Json::Num(n) if n >= 0.0 && n.fract() == 0.0 => Some(n as u64),
             _ => None,
         }
@@ -205,6 +224,7 @@ impl Json {
     fn as_f64(&self) -> Option<f64> {
         match *self {
             Json::Num(n) => Some(n),
+            Json::Int(n) => Some(n as f64),
             Json::Null => Some(0.0),
             _ => None,
         }
@@ -273,6 +293,11 @@ impl<'a> Parser<'a> {
         }
         let text =
             std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        // Plain non-negative integers stay exact (see [`Json::Int`]);
+        // anything with a sign, fraction or exponent is a float.
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Json::Int(n));
+        }
         match text.parse::<f64>() {
             Ok(n) => Ok(Json::Num(n)),
             Err(_) => err(format!("bad number {text:?} at byte {start}")),
@@ -422,16 +447,21 @@ pub fn parse_line(line: &str) -> Result<OwnedEvent, ParseError> {
     };
 
     let ev = get_str("ev")?;
+    // Optional on the wire (omitted when 0 — pre-tracing lines have no
+    // trace field at all), so default rather than error.
+    let trace = get("trace").and_then(Json::as_u64).unwrap_or(0);
     match ev.as_str() {
         "span_start" => Ok(OwnedEvent::SpanStart {
             id: get_u64("id")?,
             parent: get_u64("parent")?,
+            trace,
             name: get_str("name")?,
             t_us: get_u64("t_us")?,
         }),
         "span_end" => Ok(OwnedEvent::SpanEnd {
             id: get_u64("id")?,
             parent: get_u64("parent")?,
+            trace,
             name: get_str("name")?,
             t_us: get_u64("t_us")?,
             dur_us: get_u64("dur_us")?,
@@ -521,15 +551,32 @@ mod tests {
             OwnedEvent::SpanStart {
                 id: 3,
                 parent: 1,
+                trace: 0,
                 name: "step1".into(),
                 t_us: 10,
             },
             OwnedEvent::SpanEnd {
                 id: 3,
                 parent: 1,
+                trace: 0,
                 name: "step1".into(),
                 t_us: 99,
                 dur_us: 89,
+            },
+            OwnedEvent::SpanStart {
+                id: 4,
+                parent: 3,
+                trace: u64::MAX,
+                name: "cluster.forward".into(),
+                t_us: 11,
+            },
+            OwnedEvent::SpanEnd {
+                id: 4,
+                parent: 3,
+                trace: u64::MAX,
+                name: "cluster.forward".into(),
+                t_us: 12,
+                dur_us: 1,
             },
             OwnedEvent::Count {
                 span: 3,
@@ -599,6 +646,41 @@ mod tests {
             "{\"ev\":\"count\",\"span\":0,\"name\":\"x\",\"n\":1,\"t_us\":0} extra"
         )
         .is_err());
+    }
+
+    #[test]
+    fn untraced_spans_serialize_without_a_trace_field() {
+        let ev = OwnedEvent::SpanStart {
+            id: 1,
+            parent: 0,
+            trace: 0,
+            name: "s".into(),
+            t_us: 0,
+        };
+        let line = to_line(&ev.as_event());
+        assert!(!line.contains("trace"), "{line}");
+        // A pre-tracing line (no trace field) parses to trace 0.
+        assert_eq!(parse_line(&line).unwrap(), ev);
+    }
+
+    /// Trace ids are FNV-1a hashes near 2⁶³ — far beyond `f64`'s exact
+    /// integer range (the ulp up there is 1024). They must survive the
+    /// round trip bit-for-bit: a trace id rounded to the nearest ulp
+    /// would silently re-key every span of a stitched trace.
+    #[test]
+    fn u64_fields_beyond_f64_precision_round_trip_exactly() {
+        // Not a multiple of 1024, so an f64 detour would corrupt it.
+        let trace = 7_823_268_718_516_767_775_u64;
+        let ev = OwnedEvent::SpanEnd {
+            id: u64::MAX - 1,
+            parent: (1 << 53) + 1,
+            trace,
+            name: "cluster.forward".into(),
+            t_us: 1,
+            dur_us: 1,
+        };
+        let line = to_line(&ev.as_event());
+        assert_eq!(parse_line(&line).unwrap(), ev, "line: {line}");
     }
 
     #[test]

@@ -56,11 +56,23 @@
 //! | `serve.*` | the serving engine (`hom-serve`) | request/eviction/unpark counters, batch-latency histogram, shard-occupancy series; hot-swap: `serve.swaps`, `serve.model_epoch`, `serve.swap_live_migrated`, `serve.swap_parked_migrated`, `serve.swap_pause_ns` (stop-the-world migration pause histogram); kernel stages (batch-amortized, one sample per fan-out task): `serve.stage_intern_ns` / `serve.stage_evaluate_ns` / `serve.stage_apply_ns` histograms, `serve.batch_requests` / `serve.batch_distinct` batch-shape histograms, `serve.dedup_ratio` gauge, `serve.pruned_records` + `serve.concepts_consulted` counters |
 //! | `serve.concept_*`, `serve.fleet_*`, `serve.slo_*` | fleet concept analytics & SLO (`hom-serve`) | `serve.concept_posterior_mass` / `serve.concept_map_streams` / `serve.concept_map_hits` series (one sample per flush, indexed by concept; also rendered with labels by `/concepts`), `serve.fleet_mean_likelihood` + `serve.fleet_mean_entropy` gauges (cumulative Eq. 7 evidence over every absorbed record), `serve.slo_exemplars` counter (slow-batch exemplars captured, see [`exemplar`]) |
 //! | `store.*` | the durable state tier (`hom-store`) | group-commit counters: `store.appends` / `store.append_bytes` / `store.commits` / `store.commit_records` + `store.fsync_ns` histogram; tiering: `store.unparks` (disk-tier unparks), `store.parked` / `store.pending_bytes` / `store.segments` gauges; segment lifecycle: `store.seals`, `store.compactions` + `store.reclaimed_bytes`; health: `store.io_errors`; recovery (emitted once at open): `store.recovery_ns` / `store.recovered_streams` gauges + `store.truncated_bytes` counter |
-//! | `adapt.*` | novelty & maintenance (`hom-adapt`) | `adapt.evidence` series (windowed mean likelihood + entropy, one sample per window); `adapt.fleet_evidence` series (fleet-wide mean likelihood + entropy ingested from the serving engine's cumulative accumulators); lifecycle counters/gauges: `adapt.triggers` + `adapt.trigger_likelihood`, `adapt.recoveries` + `adapt.recovery_latency`, `adapt.admissions_novel` / `adapt.admissions_matched` + `adapt.admission_latency` / `adapt.admission_similarity`, `adapt.swaps` + `adapt.swap_epoch`, `adapt.swap_failures`; incident reporting: `adapt.flight_dumps`, `adapt.flight_dump_failures` |
+//! | `adapt.*` | novelty & maintenance (`hom-adapt`) | `adapt.evidence` series (windowed mean likelihood + entropy, one sample per window); `adapt.fleet_evidence` series (fleet-wide mean likelihood + entropy ingested from the serving engine's cumulative accumulators); lifecycle counters/gauges: `adapt.triggers` + `adapt.trigger_likelihood`, `adapt.recoveries` + `adapt.recovery_latency`, `adapt.admissions_novel` / `adapt.admissions_matched` + `adapt.admission_latency` / `adapt.admission_similarity`, `adapt.swaps` + `adapt.swap_epoch`, `adapt.swap_failures`; incident reporting: `adapt.flight_dumps`, `adapt.flight_dump_failures`, `adapt.trigger_trace` (count whose `n` is the distributed trace id active when a novelty trigger fired — links an incident dump to the exact fleet traffic that caused it) |
+//! | `cluster.*` | the multi-node tier (`hom-cluster-serve`) | distributed-trace spans (all carry a nonzero `trace` field, see [`ctx`]): router side `cluster.route` → `cluster.forward` (one per sub-batch) → `cluster.merge`, `cluster.migrate` (two-phase stream migration root), `cluster.swap` (two-phase fleet-flip root), `cluster.probe` (health sweep); worker side `cluster.submit` → `cluster.decode` / `cluster.encode`, `cluster.migrate_snapshot` / `cluster.migrate_in` / `cluster.migrate_evict`, `cluster.swap_prepare` / `cluster.swap_commit`, `cluster.healthz` |
+//! | `serve.batch`, `trace.*`, `flight.*` | tracing plumbing | `serve.batch` span (the engine's per-batch span, emitted only under an active trace); `trace.truncated` / `flight.truncated` counts (trailer lines of a capped `/trace` or `/flight` dump — `n` is the number of dropped events) |
+//!
+//! # Distributed tracing
+//!
+//! [`TraceContext`] carries a deterministic `(trace_id, parent span)`
+//! pair across process boundaries (the cluster's `X-HOM-Trace` header);
+//! [`Obs::trace_scope`] installs it on the current thread, every span
+//! opened under the scope carries the trace id, and a [`TraceBuffer`]
+//! sink retains traced spans for the `/trace/<id>` endpoints. See
+//! [`ctx`] and [`trace`].
 
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod ctx;
 pub mod event;
 pub mod exemplar;
 pub mod export;
@@ -69,8 +81,13 @@ pub mod hist;
 pub mod jsonl;
 pub mod sink;
 pub mod slo;
+pub mod trace;
 
 pub use agg::{AggSink, AggSnapshot};
+pub use ctx::{
+    trace_buffer_from_env, trace_sample_from_env, TraceContext, TraceKnobError, TRACE_BUFFER_ENV,
+    TRACE_SAMPLE_ENV,
+};
 pub use event::{Event, OwnedEvent};
 pub use exemplar::{hash_sampled, Exemplar, ExemplarRing};
 pub use export::{
@@ -80,8 +97,9 @@ pub use flight::FlightRecorder;
 pub use hist::Histogram;
 pub use sink::{Fanout, JsonlSink, NullSink, Recorder, Sink};
 pub use slo::{SloConfigError, SloPolicy, SloStatus};
+pub use trace::TraceBuffer;
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -131,6 +149,15 @@ thread_local! {
     /// stays a per-thread structure, which is exactly what stage timing
     /// needs.
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+
+    /// The distributed trace active on this thread (default: untraced).
+    /// Installed by [`Obs::trace_scope`]; read by [`Obs::span`] so every
+    /// span opened under a scope carries the trace id, and a *top-level*
+    /// span hangs under the remote parent span id — the cross-process
+    /// stitch point. Like `SPAN_STACK`, the context is per-thread: worker
+    /// threads spawned mid-scope start untraced unless the spawner
+    /// installs the context explicitly (the cluster fan-out does).
+    static TRACE_CTX: Cell<TraceContext> = const { Cell::new(TraceContext { trace_id: 0, parent_span_id: 0 }) };
 }
 
 /// A handle to an observability sink, or a disabled no-op.
@@ -227,6 +254,31 @@ impl Obs {
         SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
     }
 
+    /// The distributed trace id active on this thread (0 = untraced, and
+    /// always 0 on a disabled handle — tracing rides on instrumentation,
+    /// it does not exist without it).
+    pub fn current_trace(&self) -> u64 {
+        if self.shared.is_none() {
+            return 0;
+        }
+        TRACE_CTX.with(|c| c.get().trace_id)
+    }
+
+    /// Install `ctx` as this thread's active [`TraceContext`] until the
+    /// returned guard drops (the previous context — normally "untraced" —
+    /// is restored). Every span opened under the scope carries
+    /// `ctx.trace_id`, and top-level spans become children of
+    /// `ctx.parent_span_id`, which is how a receiver hangs its work under
+    /// the sender's span. Disabled handles return an inert guard: no
+    /// events means no trace to attach to.
+    pub fn trace_scope(&self, ctx: TraceContext) -> TraceScope {
+        if self.shared.is_none() {
+            return TraceScope { prev: None };
+        }
+        let prev = TRACE_CTX.with(|c| c.replace(ctx));
+        TraceScope { prev: Some(prev) }
+    }
+
     /// Open a span: emits `span_start` now and `span_end` when the
     /// returned guard drops. Spans opened while the guard is live (on the
     /// same thread) become its children. Disabled handles return an inert
@@ -239,9 +291,13 @@ impl Obs {
             return Span { state: None };
         };
         let id = shared.next_span.fetch_add(1, Ordering::Relaxed);
+        let ctx = TRACE_CTX.with(|c| c.get());
+        // A top-level span under an active trace parents to the *remote*
+        // span that initiated this work (ctx.parent_span_id is 0 when
+        // untraced, so the untraced behaviour is unchanged).
         let parent = SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
-            let parent = stack.last().copied().unwrap_or(0);
+            let parent = stack.last().copied().unwrap_or(ctx.parent_span_id);
             stack.push(id);
             parent
         });
@@ -249,6 +305,7 @@ impl Obs {
         shared.sink.record(&Event::SpanStart {
             id,
             parent,
+            trace: ctx.trace_id,
             name,
             t_us: shared.epoch.elapsed().as_micros() as u64,
         });
@@ -257,6 +314,7 @@ impl Obs {
                 obs: self.clone(),
                 id,
                 parent,
+                trace: ctx.trace_id,
                 name,
                 start,
             }),
@@ -321,8 +379,25 @@ struct SpanState {
     obs: Obs,
     id: u64,
     parent: u64,
+    trace: u64,
     name: &'static str,
     start: Instant,
+}
+
+/// An installed [`TraceContext`]; restores the previous context when
+/// dropped. Obtain via [`Obs::trace_scope`]. Like [`Span`] guards,
+/// scopes must drop in LIFO order on their installing thread.
+#[must_use = "a trace scope covers the lexical scope it is bound to; binding it to _ drops it immediately"]
+pub struct TraceScope {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            TRACE_CTX.with(|c| c.set(prev));
+        }
+    }
 }
 
 /// An open span; emits `span_end` (with its monotonic duration) when
@@ -361,6 +436,7 @@ impl Drop for Span {
         shared.sink.record(&Event::SpanEnd {
             id: state.id,
             parent: state.parent,
+            trace: state.trace,
             name: state.name,
             t_us: shared.epoch.elapsed().as_micros() as u64,
             dur_us: state.start.elapsed().as_micros() as u64,

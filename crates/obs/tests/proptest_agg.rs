@@ -51,6 +51,7 @@ fn deliver(sink: &dyn Sink, op: &Op, pos: usize, thread: usize, scratch: &mut Hi
         3 => sink.record(&Event::SpanEnd {
             id: 1 + pos as u64,
             parent: 0,
+            trace: 0,
             name: ["s.a", "s.b"][name_idx % 2],
             t_us,
             dur_us: value,

@@ -329,6 +329,10 @@ struct Counters {
     consulted: AtomicU64,
     /// Exemplars captured from batches over the SLO objective.
     exemplars: AtomicU64,
+    /// The most recent distributed trace id observed by
+    /// [`ServeEngine::submit`] (0 = no traced batch yet). Not flushed —
+    /// it is correlation state, read by incident paths.
+    last_trace: AtomicU64,
 }
 
 /// The engine's batch-amortized accumulators, all behind the one mutex
@@ -1146,6 +1150,17 @@ impl ServeEngine {
     pub fn submit(&self, requests: &[Request]) -> Vec<Response> {
         let measure = self.obs.enabled();
         let t0 = measure.then(Instant::now);
+        // Under an active distributed trace (installed by the caller via
+        // `Obs::trace_scope` — the cluster worker does this for traced
+        // requests), the whole batch gets one `serve.batch` span and the
+        // engine remembers the trace id so incident paths (adapt dumps,
+        // exemplars) can link back to the fleet-wide trace. Untraced
+        // batches skip all of it.
+        let trace = self.obs.current_trace();
+        if trace != 0 {
+            self.counters.last_trace.store(trace, Ordering::Relaxed);
+        }
+        let _batch_span = (trace != 0).then(|| self.obs.span("serve.batch"));
         let serving = self.serving_guard();
 
         let groups = ShardGroups::build(requests, self.shards.len(), self.shard_bits);
@@ -1228,7 +1243,7 @@ impl ServeEngine {
                     let stream = r.stream();
                     if hash_sampled(stream, EXEMPLAR_LOG2_RATE) {
                         let shard = self.shard_index(stream) as u32;
-                        fleet.exemplars.push(stream, shard, elapsed_ns);
+                        fleet.exemplars.push(stream, shard, elapsed_ns, trace);
                         captured += 1;
                         if captured as usize >= EXEMPLARS_PER_BATCH {
                             break;
@@ -1956,6 +1971,13 @@ impl ServeEngine {
     /// or their env knobs) — what the `/slo` endpoint evaluates.
     pub fn slo_policy(&self) -> SloPolicy {
         self.slo
+    }
+
+    /// The most recent distributed trace id a [`Self::submit`] call ran
+    /// under (0 = none yet). Incident paths use this to link a dump to
+    /// the fleet-wide `/trace/<id>` tree of the traffic that caused it.
+    pub fn last_trace_id(&self) -> u64 {
+        self.counters.last_trace.load(Ordering::Relaxed)
     }
 
     /// The retained slow-batch exemplars, oldest first, plus the total

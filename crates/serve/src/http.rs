@@ -13,9 +13,10 @@
 //! | `/healthz` | JSON liveness: model epoch, shard/thread counts, live/parked totals |
 //! | `/shards` | JSON per-shard `(live, parked)` occupancy |
 //! | `/streams/<id>` | JSON introspection of one stream — posterior, prior, prune order, likelihood/entropy evidence, parked/live, model epoch ([`ServeEngine::stream_info`]) |
-//! | `/flight` | the flight recorder's ring as JSONL (same format as `HOM_TRACE`) |
+//! | `/flight` | the flight recorder's ring as JSONL (same format as `HOM_TRACE`), capped at [`hom_obs::trace::DUMP_CAP`] events with a `flight.truncated` trailer when clipped |
+//! | `/trace/<id>` | this node's span slice of distributed trace `<id>` (fixed-width lowercase hex) as JSONL; an unknown id is an empty 200 body — see [`hom_obs::TraceBuffer`] |
 //! | `/concepts` | Prometheus text: fleet-wide per-concept posterior mass, MAP share and MAP hits (labeled by `concept`), plus mean Eq. 7 likelihood / posterior entropy / prune depth gauges ([`ServeEngine::concept_analytics`]) |
-//! | `/slo` | Prometheus text: batch-latency SLO compliance, error-budget remaining and burn rate computed from the cumulative latency histogram ([`hom_obs::SloPolicy`]), plus deterministic slow-batch exemplars labeled `stream`/`shard` |
+//! | `/slo` | Prometheus text: batch-latency SLO compliance, error-budget remaining and burn rate computed from the cumulative latency histogram ([`hom_obs::SloPolicy`]), plus deterministic slow-batch exemplars labeled `stream`/`shard` (and `trace` when the slow batch ran under a distributed trace) |
 //!
 //! Floats are rendered with Rust's shortest round-trip decimal
 //! ([`hom_obs::jsonl::push_f64`]), so a scraped posterior parses back
@@ -45,7 +46,8 @@ use std::thread::JoinHandle;
 
 use hom_obs::exemplar::push_exemplars;
 use hom_obs::jsonl::push_f64;
-use hom_obs::{export, AggSink, Fanout, FlightRecorder, Histogram, Obs};
+use hom_obs::trace::DUMP_CAP;
+use hom_obs::{export, AggSink, Fanout, FlightRecorder, Histogram, Obs, TraceBuffer};
 
 use crate::engine::ServeEngine;
 use crate::request::StreamId;
@@ -138,6 +140,7 @@ impl std::error::Error for MetricsConfigError {
 pub struct ServeTelemetry {
     agg: Arc<AggSink>,
     flight: Arc<FlightRecorder>,
+    traces: Arc<TraceBuffer>,
     obs: Obs,
 }
 
@@ -149,22 +152,46 @@ impl Default for ServeTelemetry {
 
 impl ServeTelemetry {
     /// A bundle with the default flight-recorder capacity
-    /// ([`FlightRecorder::DEFAULT_CAPACITY`]).
+    /// ([`FlightRecorder::DEFAULT_CAPACITY`]) and the trace buffer sized
+    /// by `$HOM_TRACE_BUFFER` (default
+    /// [`TraceBuffer::DEFAULT_CAPACITY`]).
+    ///
+    /// # Panics
+    ///
+    /// On a set-but-malformed `$HOM_TRACE_BUFFER` — like
+    /// [`Obs::from_env`], misconfiguration must surface, not silently
+    /// fall back.
     pub fn new() -> Self {
         Self::with_flight_capacity(FlightRecorder::DEFAULT_CAPACITY)
     }
 
     /// A bundle whose flight recorder retains (approximately) the last
-    /// `capacity` events.
+    /// `capacity` events; the trace buffer is sized from the
+    /// environment as in [`Self::new`] (and panics the same way).
     pub fn with_flight_capacity(capacity: usize) -> Self {
+        let traces = TraceBuffer::from_env().unwrap_or_else(|e| panic!("{e}"));
+        Self::with_capacities(capacity, traces.capacity())
+    }
+
+    /// A bundle with both capacities explicit (no environment reads):
+    /// `flight_capacity` events of raw tail, `trace_capacity` traced
+    /// span events for `/trace/<id>`.
+    pub fn with_capacities(flight_capacity: usize, trace_capacity: usize) -> Self {
         let agg = Arc::new(AggSink::new());
-        let flight = Arc::new(FlightRecorder::new(capacity));
+        let flight = Arc::new(FlightRecorder::new(flight_capacity));
+        let traces = Arc::new(TraceBuffer::new(trace_capacity));
         let obs = Obs::new(
             Fanout::new()
                 .with(Arc::clone(&agg))
-                .with(Arc::clone(&flight)),
+                .with(Arc::clone(&flight))
+                .with(Arc::clone(&traces)),
         );
-        ServeTelemetry { agg, flight, obs }
+        ServeTelemetry {
+            agg,
+            flight,
+            traces,
+            obs,
+        }
     }
 
     /// The handle to record through — pass to `ServeOptions { sink }` /
@@ -181,6 +208,11 @@ impl ServeTelemetry {
     /// The flight recorder (what `/flight` dumps).
     pub fn flight(&self) -> &Arc<FlightRecorder> {
         &self.flight
+    }
+
+    /// The per-node trace buffer (what `/trace/<id>` slices).
+    pub fn traces(&self) -> &Arc<TraceBuffer> {
+        &self.traces
     }
 }
 
@@ -389,9 +421,27 @@ fn handle_connection(
             conn,
             "200 OK",
             "application/x-ndjson",
-            &telemetry.flight().dump_jsonl(),
+            // Capped: a hot node's ring must not translate into an
+            // unbounded response body. A clipped dump ends with a
+            // `flight.truncated` count event.
+            &telemetry.flight().dump_jsonl_capped(DUMP_CAP),
         ),
         _ => {
+            if let Some(hex) = path.strip_prefix("/trace/") {
+                // Trace ids are fixed-width lowercase hex everywhere
+                // (header, exemplar label, this URL). An unknown id is a
+                // 200 with an empty body — "no spans here" is a valid
+                // answer the router's federation relies on.
+                return match u64::from_str_radix(hex, 16) {
+                    Ok(id) if id != 0 => respond(
+                        conn,
+                        "200 OK",
+                        "application/x-ndjson",
+                        &telemetry.traces().slice_jsonl(id, DUMP_CAP),
+                    ),
+                    _ => respond(conn, "400 Bad Request", "text/plain", "bad trace id\n"),
+                };
+            }
             if let Some(id) = path.strip_prefix("/streams/") {
                 return match id
                     .parse::<StreamId>()

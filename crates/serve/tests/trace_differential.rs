@@ -1,0 +1,158 @@
+//! Differential proof that **distributed tracing never changes
+//! results**: an engine whose batches run under an active
+//! [`TraceContext`] (spans captured into a [`TraceBuffer`], the exact
+//! fleet configuration) produces bit-identical predictions and
+//! posteriors to an engine with observability off entirely — at one
+//! thread and at eight. This is the standing invariant the tracing
+//! tier promises: trace ids ride *alongside* the data path (span
+//! events, exemplar labels, correlation counters) and never touch
+//! posterior arithmetic, batch grouping, or scheduling.
+
+use std::sync::Arc;
+
+use hom_classifiers::DecisionTreeLearner;
+use hom_cluster::ClusterParams;
+use hom_core::{build, BuildParams, HighOrderModel};
+use hom_data::stream::collect;
+use hom_data::{StreamRecord, StreamSource};
+use hom_datagen::{StaggerParams, StaggerSource};
+use hom_obs::{Obs, OwnedEvent, TraceBuffer, TraceContext};
+use hom_serve::{Request, ServeEngine, ServeOptions};
+
+const STREAMS: u64 = 16;
+const ROUNDS: usize = 64;
+const BATCH: usize = 64;
+
+fn bits(p: &[f64]) -> Vec<u64> {
+    p.iter().map(|v| v.to_bits()).collect()
+}
+
+fn fixture() -> (Arc<HighOrderModel>, Vec<StreamRecord>) {
+    let mut src = StaggerSource::new(StaggerParams {
+        lambda: 0.01,
+        ..Default::default()
+    });
+    let (data, _) = collect(&mut src, 3000);
+    let (model, _) = build(
+        &data,
+        &DecisionTreeLearner::new(),
+        &BuildParams {
+            cluster: ClusterParams {
+                block_size: 10,
+                seed: 9,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let test: Vec<StreamRecord> = (0..300).map(|_| src.next_record()).collect();
+    (Arc::new(model), test)
+}
+
+/// Streams 2k and 2k+1 share each round's record so batches carry
+/// duplicates — the same dedup-heavy shape `obs_differential` uses.
+fn request_sequence(test: &[StreamRecord], rounds: usize) -> Vec<Request> {
+    let mut requests = Vec::new();
+    for t in 0..rounds {
+        for s in 0..STREAMS {
+            if t % 16 == 15 {
+                requests.push(Request::Advance { stream: s, k: 2 });
+            }
+            let r = &test[(t + (s as usize / 2)) % test.len()];
+            requests.push(Request::Step {
+                stream: s,
+                x: r.x.to_vec(),
+                y: r.y,
+            });
+        }
+    }
+    requests
+}
+
+fn engine(model: &Arc<HighOrderModel>, threads: usize, sink: Obs) -> ServeEngine {
+    ServeEngine::with_options(
+        Arc::clone(model),
+        &ServeOptions {
+            shards: Some(8),
+            threads: Some(threads),
+            fanout: Some(1),
+            sink,
+            ..Default::default()
+        },
+    )
+}
+
+fn assert_traced_is_bit_identical(
+    model: &Arc<HighOrderModel>,
+    test: &[StreamRecord],
+    threads: usize,
+) {
+    let requests = request_sequence(test, ROUNDS);
+    let ctx_label = format!("threads={threads}");
+
+    let traces = Arc::new(TraceBuffer::new(1 << 14));
+    // The traced engine and the scope installer share one enabled `Obs`
+    // (the fleet wiring: `ServeTelemetry` hands the same sink to the
+    // engine and to the request handler that installs the scope).
+    let obs = Obs::new(Arc::clone(&traces));
+    let traced = engine(model, threads, obs.clone());
+    let dark = engine(model, threads, Obs::none());
+
+    let mut batch_index = 0u64;
+    for chunk in requests.chunks(BATCH) {
+        let got = {
+            // Every batch traced — sampling off, maximum interference.
+            let _scope = obs.trace_scope(TraceContext::for_batch(batch_index));
+            traced.submit(chunk)
+        };
+        let want = dark.submit(chunk);
+        assert_eq!(
+            got, want,
+            "{ctx_label}: tracing changed a response in batch {batch_index}"
+        );
+        batch_index += 1;
+    }
+
+    for s in 0..STREAMS {
+        assert_eq!(
+            bits(&traced.posterior(s).expect("stream exists")),
+            bits(&dark.posterior(s).expect("stream exists")),
+            "{ctx_label}: tracing perturbed the posterior of stream {s}"
+        );
+    }
+
+    // Non-vacuity: the scopes really were active. Every batch must have
+    // landed a `serve.batch` span in the buffer under its own trace id,
+    // and the engine must have recorded the last batch's id for
+    // incident correlation.
+    for bi in [0, batch_index - 1] {
+        let id = TraceContext::for_batch(bi).trace_id;
+        let spans = traces.slice(id);
+        assert!(
+            spans.iter().any(|e| matches!(
+                e,
+                OwnedEvent::SpanEnd { name, trace, .. }
+                    if name == "serve.batch" && *trace == id
+            )),
+            "{ctx_label}: batch {bi} left no serve.batch span under trace {id:016x}"
+        );
+    }
+    assert_eq!(
+        traced.last_trace_id(),
+        TraceContext::for_batch(batch_index - 1).trace_id,
+        "{ctx_label}: engine must remember the most recent trace id"
+    );
+    assert_eq!(dark.last_trace_id(), 0, "{ctx_label}: dark engine untraced");
+}
+
+#[test]
+fn tracing_is_bit_identical_single_thread() {
+    let (model, test) = fixture();
+    assert_traced_is_bit_identical(&model, &test, 1);
+}
+
+#[test]
+fn tracing_is_bit_identical_multi_thread() {
+    let (model, test) = fixture();
+    assert_traced_is_bit_identical(&model, &test, 8);
+}

@@ -17,12 +17,20 @@
 //!   [`Router::swap`], against the reference's in-process
 //!   `swap_model`; the fleet lands on epoch 1 as one.
 //!
+//! Mid-traffic the example also scrapes one **stitched distributed
+//! trace** from the router's federated `/trace/<id>` endpoint (served
+//! by a bound [`RouterServer`]) and asserts the cross-process tree
+//! carries spans from the router *and all three workers* under the one
+//! trace id the last batch propagated via `X-HOM-Trace`.
+//!
 //! The grep-able CI contract is one line:
 //!
 //! * `digest: <hex>` — FNV-1a over every stream's final posterior
 //!   bits, each scraped from its ring owner's `/posterior/<id>`
 //!   endpoint. Bit-identical distribution means the digest is the same
 //!   at every `HOM_THREADS`, so CI compares `HOM_THREADS=1` vs `=8`.
+//!   Tracing is always on here, so the comparison also proves the
+//!   trace plumbing never perturbs predictions.
 //!
 //! ```sh
 //! HOM_THREADS=8 cargo run --release --example cluster_smoke
@@ -37,7 +45,8 @@ use std::time::{Duration, Instant};
 use high_order_models::classifiers::{Classifier, DecisionTreeLearner, MajorityClassifier};
 use high_order_models::cluster::ClusterParams;
 use high_order_models::cluster_serve::{
-    http_request, ClusterConfig, Router, WorkerServer, CLUSTER_WORKERS_ENV, WORKER_ADDR_ENV,
+    http_request, ClusterConfig, Router, RouterServer, WorkerServer, CLUSTER_WORKERS_ENV,
+    WORKER_ADDR_ENV,
 };
 use high_order_models::core::{build, encode_model, fnv1a, BuildParams, HighOrderModel};
 use high_order_models::data::stream::collect;
@@ -197,11 +206,17 @@ fn main() {
             .join(","),
     );
     let config = ClusterConfig::from_env().expect("cluster config from env");
-    let router = Router::from_config(&ClusterConfig {
-        timeout: TIMEOUT,
-        ..config
-    })
-    .expect("router over the fleet");
+    let router = Arc::new(
+        Router::from_config(&ClusterConfig {
+            timeout: TIMEOUT,
+            ..config
+        })
+        .expect("router over the fleet"),
+    );
+    // Bind the operator surface too: the stitched-trace check below goes
+    // through the real federated HTTP endpoint, not an in-process call.
+    let router_server = RouterServer::bind("127.0.0.1:0".parse().unwrap(), Arc::clone(&router))
+        .expect("router server binds");
 
     // The uninterrupted single-engine reference.
     let reference = ServeEngine::new(Arc::clone(&model));
@@ -228,6 +243,43 @@ fn main() {
          vs a single engine …"
     );
     drive(&test[..PHASE]);
+
+    // ── One stitched trace, fetched mid-traffic through the federated
+    //    /trace API: the last batch's trace id must resolve to a
+    //    cross-process tree with spans from the router and every
+    //    worker, all under that single id. ──────────────────────────────
+    let trace_id = router.last_trace_id();
+    assert_ne!(trace_id, 0, "phase 1 traffic must have stamped a trace id");
+    let (status, body) = http_request(
+        router_server.addr(),
+        "GET",
+        &format!("/trace/{trace_id:016x}"),
+        b"",
+        TIMEOUT,
+    )
+    .expect("stitched trace fetch");
+    assert_eq!(status, 200, "router /trace/<id> must answer");
+    let stitched = std::str::from_utf8(&body).expect("stitched trace is UTF-8");
+    for node in ["router", "w0", "w1", "w2"] {
+        assert!(
+            stitched.contains(&format!("\"node\":\"{node}\"")),
+            "stitched trace {trace_id:016x} is missing spans from {node}:\n{stitched}"
+        );
+    }
+    let spans = stitched.lines().filter(|l| !l.trim().is_empty()).count();
+    for line in stitched.lines().filter(|l| !l.trim().is_empty()) {
+        assert!(
+            line.contains(&format!("\"trace\":{trace_id}")),
+            "stitched line escaped the requested trace id: {line}"
+        );
+    }
+    // With HOM_TRACE_DUMP set, persist the stitched body — CI renders
+    // it with `--example trace_report`, which fails loud on any event
+    // name missing from its registry.
+    if let Ok(path) = std::env::var("HOM_TRACE_DUMP") {
+        std::fs::write(&path, stitched).expect("write stitched trace dump");
+    }
+    println!("stitched trace {trace_id:016x}: {spans} spans from router + 3 workers");
 
     // ── Crash one worker and recover it from its store. ──────────────
     let victim = 1usize;

@@ -22,10 +22,18 @@
 //! * the **adaptation loop**: the evidence windows (mean likelihood and
 //!   entropy sparklines, per monitor stream and fleet-wide), trigger →
 //!   recovery → admission lifecycle counts and flight-recorder incident
-//!   dumps.
+//!   dumps;
+//! * the **cluster fleet**: stitched distributed traces — one
+//!   cross-process span tree per trace id, each span labelled with the
+//!   node that emitted it (`router`, `w0`, …) and every cross-node edge
+//!   broken down into remote work vs transport/queue overhead. This is
+//!   the shape the router's federated `/trace/<id>` endpoint serves;
+//!   the `"node"` label it injects is not part of the event schema, so
+//!   this report recovers it by scanning the raw line.
 //!
-//! Works on `HOM_TRACE` files and on flight-recorder dumps (`/flight`,
-//! trigger incident reports) alike — they share the JSONL format.
+//! Works on `HOM_TRACE` files, on flight-recorder dumps (`/flight`,
+//! trigger incident reports) and on `/trace/<id>` responses alike —
+//! they share the JSONL format.
 //!
 //! Exits non-zero on unreadable input, malformed trace lines, **or event
 //! names this report does not know**, so CI verifies both the trace
@@ -89,7 +97,28 @@ const KNOWN_EVENTS: &[&str] = &[
     // worker pool (hom-parallel)
     "pool.worker_busy_us",
     "pool.worker_tasks",
+    // cluster fleet, router side (hom-cluster-serve)
+    "cluster.forward",
+    "cluster.merge",
+    "cluster.migrate",
+    "cluster.probe",
+    "cluster.route",
+    "cluster.swap",
+    // cluster fleet, worker side (hom-cluster-serve)
+    "cluster.decode",
+    "cluster.encode",
+    "cluster.healthz",
+    "cluster.migrate_evict",
+    "cluster.migrate_in",
+    "cluster.migrate_snapshot",
+    "cluster.submit",
+    "cluster.swap_commit",
+    "cluster.swap_prepare",
+    // capped-dump truncation trailers (hom-obs)
+    "flight.truncated",
+    "trace.truncated",
     // serving engine (hom-serve)
+    "serve.batch",
     "serve.batch_distinct",
     "serve.batch_latency_ns",
     "serve.batch_requests",
@@ -151,6 +180,7 @@ const KNOWN_EVENTS: &[&str] = &[
     "adapt.swap_failures",
     "adapt.swaps",
     "adapt.trigger_likelihood",
+    "adapt.trigger_trace",
     "adapt.triggers",
 ];
 
@@ -180,12 +210,18 @@ fn main() {
     };
 
     let mut events: Vec<OwnedEvent> = Vec::new();
+    // Origin node per event ("" when the line carries no `"node"` label,
+    // i.e. everything except stitched `/trace/<id>` responses).
+    let mut nodes: Vec<String> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         match jsonl::parse_line(line) {
-            Ok(ev) => events.push(ev),
+            Ok(ev) => {
+                events.push(ev);
+                nodes.push(node_of(line));
+            }
             Err(e) => {
                 eprintln!("trace_report: {path}:{}: bad trace line: {e}", lineno + 1);
                 std::process::exit(1);
@@ -219,6 +255,7 @@ fn main() {
     println!("trace: {path} ({} events)", events.len());
 
     report_spans(&events);
+    report_traces(&events, &nodes);
     report_counters(&events);
     report_gauges(&events);
     report_pools(&events);
@@ -293,6 +330,137 @@ fn report_spans(events: &[OwnedEvent]) {
         }
     }
     print_level(&order, &aggs, None, 0);
+}
+
+/// The `"node":"…"` label the router's federated `/trace/<id>` endpoint
+/// injects into each stitched line, or `""` when absent. Node names are
+/// plain identifiers (`router`, `w0`, …), so no unescaping is needed;
+/// `jsonl::parse_line` tolerates-but-drops the field, hence the raw scan.
+fn node_of(line: &str) -> String {
+    const KEY: &str = "\"node\":\"";
+    match line.find(KEY) {
+        Some(at) => {
+            let rest = &line[at + KEY.len()..];
+            rest[..rest.find('"').unwrap_or(0)].to_string()
+        }
+        None => String::new(),
+    }
+}
+
+/// Stitched distributed traces: one cross-process span tree per trace
+/// id, each span labelled with its origin node, plus a transport/queue
+/// breakdown for every cross-node edge (the hop's wall time on the
+/// caller minus the remote span's own wall time).
+///
+/// Span ids are per-process counters, so spans are keyed `(node, id)`;
+/// a parent link resolves to the same node first and falls back to any
+/// other node — that fallback is exactly the cross-process stitch the
+/// `X-HOM-Trace` header carries.
+fn report_traces(events: &[OwnedEvent], nodes: &[String]) {
+    let mut traces: BTreeMap<u64, Vec<TraceSpan<'_>>> = BTreeMap::new();
+    for (e, node) in events.iter().zip(nodes) {
+        if let OwnedEvent::SpanEnd {
+            id,
+            parent,
+            trace,
+            name,
+            dur_us,
+            ..
+        } = e
+        {
+            if *trace != 0 {
+                traces.entry(*trace).or_default().push((
+                    node.as_str(),
+                    *id,
+                    *parent,
+                    name.as_str(),
+                    *dur_us,
+                ));
+            }
+        }
+    }
+    if traces.is_empty() {
+        return;
+    }
+    println!("\n== distributed traces ==");
+    const MAX_TREES: usize = 4;
+    for (shown, (trace, spans)) in traces.iter().enumerate() {
+        if shown == MAX_TREES {
+            println!("  ... {} more trace(s) not shown", traces.len() - MAX_TREES);
+            break;
+        }
+        let node_count = {
+            let mut seen: Vec<&str> = spans.iter().map(|s| s.0).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            seen.len()
+        };
+        println!(
+            "  trace {trace:016x}  ({} spans across {node_count} node{})",
+            spans.len(),
+            if node_count == 1 { "" } else { "s" },
+        );
+        print_subtree(spans, None, 0);
+        // Per-hop transport overhead: every edge whose child lives on a
+        // different node crossed the wire. The caller-side span covers
+        // connect + serialize + remote work + response; subtracting the
+        // remote span's own wall time isolates transport + queueing.
+        for &(node, _, parent, name, dur_us) in spans {
+            let Some((pnode, pid)) = resolve_parent(spans, node, parent) else {
+                continue;
+            };
+            if pnode == node {
+                continue;
+            }
+            let &(_, _, _, pname, pdur) = spans
+                .iter()
+                .find(|s| s.0 == pnode && s.1 == pid)
+                .expect("resolve_parent only returns existing spans");
+            println!(
+                "    hop {pnode}->{node} ({pname}): {} total, {} remote ({name}), {} transport+queue",
+                fmt_us(pdur),
+                fmt_us(dur_us),
+                fmt_us(pdur.saturating_sub(dur_us)),
+            );
+        }
+    }
+}
+
+/// One closed span of a stitched trace: (node, id, parent, name, dur_us),
+/// in file order.
+type TraceSpan<'a> = (&'a str, u64, u64, &'a str, u64);
+
+/// Resolve a span's parent link to a `(node, id)` key: a same-node span
+/// wins (span ids are per-process counters), any other node is the
+/// cross-process fallback (the remote parent the `X-HOM-Trace` header
+/// carried), and no match at all makes the span a root.
+fn resolve_parent<'a>(spans: &[TraceSpan<'a>], node: &str, parent: u64) -> Option<(&'a str, u64)> {
+    if parent == 0 {
+        return None;
+    }
+    spans
+        .iter()
+        .find(|s| s.0 == node && s.1 == parent)
+        .or_else(|| spans.iter().find(|s| s.1 == parent))
+        .map(|s| (s.0, parent))
+}
+
+/// Print the spans whose resolved parent is `want`, then recurse.
+fn print_subtree(spans: &[TraceSpan<'_>], want: Option<(&str, u64)>, depth: usize) {
+    for &(node, id, parent, name, dur_us) in spans {
+        if resolve_parent(spans, node, parent) != want {
+            continue;
+        }
+        let label = if node.is_empty() { "local" } else { node };
+        println!(
+            "    {label:>6}  {:indent$}{name:<width$} {:>9}",
+            "",
+            fmt_us(dur_us),
+            indent = depth * 2,
+            width = 26usize.saturating_sub(depth * 2),
+        );
+        print_subtree(spans, Some((node, id)), depth + 1);
+    }
 }
 
 fn report_counters(events: &[OwnedEvent]) {
